@@ -1,0 +1,130 @@
+// Command skynet-topo inspects the synthetic topology substrate: summary
+// statistics, per-location listings, and Graphviz DOT export of a
+// subtree — handy when interpreting incident roots and voting graphs.
+//
+// Usage:
+//
+//	skynet-topo -scale small -stats
+//	skynet-topo -scale small -under "RG01|CT01|LS01|ST01"
+//	skynet-topo -scale small -dot "RG01|CT01|LS01|ST01|CL01" > cluster.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"skynet/internal/hierarchy"
+	"skynet/internal/topology"
+)
+
+func main() {
+	var (
+		scale  = flag.String("scale", "small", "topology scale: small or production")
+		seed   = flag.Int64("seed", 1, "topology seed")
+		stats  = flag.Bool("stats", false, "print summary statistics")
+		under  = flag.String("under", "", "list devices under a location path")
+		dot    = flag.String("dot", "", "emit Graphviz DOT of the subgraph under a location path")
+		export = flag.String("export", "", "write the topology as JSON to this file")
+	)
+	flag.Parse()
+
+	var cfg topology.Config
+	switch *scale {
+	case "small":
+		cfg = topology.SmallConfig()
+	case "production":
+		cfg = topology.ProductionConfig()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+	cfg.Seed = *seed
+	topo, err := topology.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*stats && *under == "" && *dot == "" {
+		*stats = true
+	}
+	if *stats {
+		printStats(topo)
+	}
+	if *under != "" {
+		p, err := hierarchy.Parse(*under)
+		if err != nil {
+			fatal(err)
+		}
+		listUnder(topo, p)
+	}
+	if *dot != "" {
+		p, err := hierarchy.Parse(*dot)
+		if err != nil {
+			fatal(err)
+		}
+		emitDOT(topo, p)
+	}
+	if *export != "" {
+		if err := topo.SaveFile(*export); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d devices, %d links)\n", *export, topo.NumDevices(), topo.NumLinks())
+	}
+}
+
+func printStats(topo *topology.Topology) {
+	roleCount := map[topology.Role]int{}
+	for i := range topo.Devices {
+		roleCount[topo.Devices[i].Role]++
+	}
+	fmt.Printf("devices:  %d\n", topo.NumDevices())
+	fmt.Printf("links:    %d\n", topo.NumLinks())
+	fmt.Printf("clusters: %d\n", len(topo.Clusters()))
+	fmt.Printf("circuit sets: %d\n", len(topo.Sets))
+	fmt.Printf("customers:    %d\n", len(topo.Customers))
+	roles := make([]topology.Role, 0, len(roleCount))
+	for r := range roleCount {
+		roles = append(roles, r)
+	}
+	sort.Slice(roles, func(i, j int) bool { return roles[i] < roles[j] })
+	for _, r := range roles {
+		fmt.Printf("  %-6s %d\n", r, roleCount[r])
+	}
+}
+
+func listUnder(topo *topology.Topology, p hierarchy.Path) {
+	ids := topo.DevicesUnder(p)
+	fmt.Printf("%d devices under %s:\n", len(ids), p)
+	for _, id := range ids {
+		d := topo.Device(id)
+		fmt.Printf("  %-44s %-6s group=%s\n", d.Name, d.Role, d.Group)
+	}
+}
+
+func emitDOT(topo *topology.Topology, p hierarchy.Path) {
+	ids := topo.DevicesUnder(p)
+	in := map[topology.DeviceID]bool{}
+	for _, id := range ids {
+		in[id] = true
+	}
+	fmt.Println("graph topology {")
+	fmt.Println("  node [shape=box];")
+	for _, id := range ids {
+		d := topo.Device(id)
+		fmt.Printf("  %q [label=%q];\n", d.Name, fmt.Sprintf("%s\\n%s", d.Role, d.Name))
+	}
+	for i := range topo.Links {
+		l := &topo.Links[i]
+		if in[l.A] && in[l.B] {
+			fmt.Printf("  %q -- %q [label=%q];\n",
+				topo.Device(l.A).Name, topo.Device(l.B).Name, l.CircuitSet)
+		}
+	}
+	fmt.Println("}")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "skynet-topo: %v\n", err)
+	os.Exit(1)
+}

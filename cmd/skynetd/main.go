@@ -1,0 +1,168 @@
+// Command skynetd is the SkyNet analysis daemon: it listens for raw
+// alerts over TCP (JSON Lines) and UDP (compact pipe format), runs the
+// preprocessor → locator → evaluator pipeline on a wall-clock tick, and
+// prints incident reports as they are created, updated, or closed.
+//
+// Usage:
+//
+//	skynetd -tcp :7070 -udp :7071
+//	skynetd -tcp 127.0.0.1:0 -scale small   # with topology-aware scoping
+//
+// Send alerts with the ingest clients or anything that speaks the wire
+// formats (see internal/alert). Stop with SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/core"
+	"skynet/internal/ingest"
+	"skynet/internal/preprocess"
+	"skynet/internal/status"
+	"skynet/internal/topology"
+)
+
+func main() {
+	var (
+		tcpAddr  = flag.String("tcp", "127.0.0.1:7070", "TCP listen address (empty disables)")
+		udpAddr  = flag.String("udp", "127.0.0.1:7071", "UDP listen address (empty disables)")
+		httpAddr = flag.String("http", "127.0.0.1:7072", "HTTP status address (empty disables)")
+		tick     = flag.Duration("tick", 10*time.Second, "pipeline tick interval")
+		scale    = flag.String("scale", "", "optional synthetic topology: small or production")
+		topoFile = flag.String("topo", "", "optional topology JSON file (overrides -scale)")
+		seed     = flag.Int64("seed", 1, "topology seed")
+	)
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	var topo *topology.Topology
+	if *topoFile != "" {
+		var err error
+		topo, err = topology.LoadFile(*topoFile)
+		if err != nil {
+			fatal(log, err)
+		}
+		log.Info("topology loaded from file", "path", *topoFile,
+			"devices", topo.NumDevices(), "links", topo.NumLinks())
+	}
+	switch {
+	case topo != nil:
+		// loaded from file above
+	case *scale == "":
+		log.Info("running without topology; connectivity scoping disabled")
+	case *scale == "small" || *scale == "production":
+		cfg := topology.SmallConfig()
+		if *scale == "production" {
+			cfg = topology.ProductionConfig()
+		}
+		cfg.Seed = *seed
+		var err error
+		topo, err = topology.Generate(cfg)
+		if err != nil {
+			fatal(log, err)
+		}
+		log.Info("topology generated", "devices", topo.NumDevices(), "links", topo.NumLinks())
+	default:
+		fatal(log, fmt.Errorf("unknown scale %q", *scale))
+	}
+
+	classifier, err := preprocess.BootstrapClassifier()
+	if err != nil {
+		fatal(log, err)
+	}
+	engine := core.NewEngine(core.DefaultConfig(), topo, classifier, nil, nil)
+	// engineMu serializes the main loop and the HTTP status handlers.
+	var engineMu sync.Mutex
+
+	// The ingest handler only buffers into a channel; the main loop owns
+	// engine mutation under engineMu, shared with the HTTP handlers.
+	in := make(chan alert.Alert, 4096)
+	srv, err := ingest.Listen(ingest.Config{
+		TCPAddr:     *tcpAddr,
+		UDPAddr:     *udpAddr,
+		MaxConns:    256,
+		ReadTimeout: 5 * time.Minute,
+		QueueDepth:  8192,
+		Logger:      log,
+	}, func(a alert.Alert) {
+		select {
+		case in <- a:
+		default: // shed load rather than stall the listeners
+		}
+	})
+	if err != nil {
+		fatal(log, err)
+	}
+	defer srv.Close()
+	if a := srv.TCPAddr(); a != nil {
+		log.Info("tcp listening", "addr", a.String())
+	}
+	if a := srv.UDPAddr(); a != nil {
+		log.Info("udp listening", "addr", a.String())
+	}
+	if *httpAddr != "" {
+		statusSrv, err := status.Listen(*httpAddr, status.NewSnapshotter(&engineMu, engine, srv).WithTopology(topo), log)
+		if err != nil {
+			fatal(log, err)
+		}
+		defer statusSrv.Close()
+		log.Info("http status listening", "addr", statusSrv.Addr().String())
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*tick)
+	defer ticker.Stop()
+
+	known := map[int]bool{}
+	for {
+		select {
+		case a := <-in:
+			engineMu.Lock()
+			engine.Ingest(a)
+			engineMu.Unlock()
+		case now := <-ticker.C:
+			engineMu.Lock()
+			res := engine.Tick(now)
+			closed := engine.Closed()
+			active := len(engine.Active())
+			engineMu.Unlock()
+			for _, inc := range res.NewIncidents {
+				known[inc.ID] = true
+				fmt.Printf("--- NEW INCIDENT ---\n%s\n", inc.Render())
+			}
+			for _, inc := range closed {
+				if known[inc.ID] {
+					delete(known, inc.ID)
+					fmt.Printf("--- INCIDENT %d CLOSED at %s ---\n", inc.ID, inc.End.Format(time.TimeOnly))
+				}
+			}
+			if len(res.NewIncidents) == 0 && res.Structured > 0 {
+				log.Info("tick", "structured", res.Structured, "active", active)
+			}
+		case sig := <-stop:
+			log.Info("shutting down", "signal", sig.String())
+			engineMu.Lock()
+			stats := engine.PreprocessStats()
+			total := len(engine.AllIncidents())
+			engineMu.Unlock()
+			srvStats := srv.Stats()
+			fmt.Printf("ingested %d alerts (%d rejected), %d structured, %d incidents total\n",
+				srvStats.AlertsAccepted, srvStats.AlertsRejected, stats.Out, total)
+			return
+		}
+	}
+}
+
+func fatal(log *slog.Logger, err error) {
+	log.Error("fatal", "err", err)
+	os.Exit(1)
+}

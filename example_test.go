@@ -1,0 +1,92 @@
+package skynet_test
+
+import (
+	"fmt"
+	"time"
+
+	"skynet"
+)
+
+var exampleEpoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+// ExampleParseThresholds shows the Figure 9 threshold notation.
+func ExampleParseThresholds() {
+	th, _ := skynet.ParseThresholds("2/1+2/5")
+	fmt.Println(th)
+	fmt.Println(th.Crossed(2, 2)) // two failure types
+	fmt.Println(th.Crossed(1, 2)) // one failure + one other: not enough
+	// Output:
+	// 2/1+2/5
+	// true
+	// false
+}
+
+// ExampleMustPath shows hierarchy paths.
+func ExampleMustPath() {
+	p := skynet.MustPath("RegionA", "Citya", "Logic site 2", "Site I")
+	fmt.Println(p)
+	fmt.Println(p.Level())
+	fmt.Println(p.Parent())
+	// Output:
+	// RegionA|Citya|Logic site 2|Site I
+	// site
+	// RegionA|Citya|Logic site 2
+}
+
+// ExampleNewRunner runs the closed loop end to end: a known device
+// failure is detected as an incident and mitigated by the automatic SOP.
+func ExampleNewRunner() {
+	topo := skynet.GenerateTopology(skynet.SmallTopology())
+	runner, err := skynet.NewRunner(topo, skynet.DefaultEngineConfig(), quietMonitors(), 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// A CSR silently dropping half its traffic: the §5.1 known failure.
+	var dev *skynet.Device
+	for i := range topo.Devices {
+		if topo.Devices[i].Role.String() == "CSR" {
+			dev = &topo.Devices[i]
+			break
+		}
+	}
+	runner.Sim.MustInject(skynet.Fault{
+		Kind: skynet.FaultDeviceHardware, Device: dev.ID, Magnitude: 0.5,
+		Start: exampleEpoch.Add(time.Minute),
+	})
+	stats, err := runner.Run(exampleEpoch, exampleEpoch.Add(5*time.Minute))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("incidents:", len(runner.Engine.AllIncidents()) > 0)
+	fmt.Println("auto-SOP fired:", stats.SOPExecutions > 0)
+	fmt.Println("device isolated:", runner.Sim.DeviceState(dev.ID).Isolated)
+	// Output:
+	// incidents: true
+	// auto-SOP fired: true
+	// device isolated: true
+}
+
+// ExampleBuildLLMContext turns an incident into an LLM-ready diagnostic
+// bundle under a token budget.
+func ExampleBuildLLMContext() {
+	topo := skynet.GenerateTopology(skynet.SmallTopology())
+	runner, _ := skynet.NewRunner(topo, skynet.DefaultEngineConfig(), quietMonitors(), 1)
+	sc := skynet.FiberCutSevere(topo, exampleEpoch.Add(time.Minute))
+	_ = sc.Inject(runner.Sim)
+	_, _ = runner.Run(exampleEpoch, exampleEpoch.Add(6*time.Minute))
+	in := runner.Engine.Severe()[0]
+	bundle := skynet.BuildLLMContext(skynet.DefaultLLMConfig(), in)
+	fmt.Println(bundle.Tokens <= skynet.DefaultLLMConfig().TokenBudget)
+	fmt.Println(len(bundle.Sections) >= 3)
+	// Output:
+	// true
+	// true
+}
+
+func quietMonitors() skynet.MonitorConfig {
+	cfg := skynet.DefaultMonitorConfig()
+	cfg.NoisePerHour = 0
+	return cfg
+}

@@ -1,0 +1,63 @@
+// Multiple scene detection: the §5.1 DDoS case.
+//
+// A DDoS attack hits five sites simultaneously. Clustering the alert flood
+// by time AND location produces five separate incidents, telling operators
+// the attacks are unrelated so every site gets blocked — no attack point
+// is overlooked.
+//
+//	go run ./examples/ddosmultiscene
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"skynet"
+)
+
+func main() {
+	t0 := time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+	topo := skynet.GenerateTopology(skynet.SmallTopology())
+	runner, err := skynet.NewRunner(topo, skynet.DefaultEngineConfig(), skynet.DefaultMonitorConfig(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The small topology has four independent aggregation domains
+	// (2 cities x 2 logic sites); attacks beyond that share a domain and
+	// correctly merge into one incident.
+	attacks := skynet.DDoSMultiSite(topo, 4, t0.Add(time.Minute))
+	fmt.Printf("injecting %d simultaneous DDoS attacks:\n", len(attacks))
+	for _, sc := range attacks {
+		fmt.Printf("  %s\n", sc.Truth[0])
+		if err := sc.Inject(runner.Sim); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	stats, err := runner.Run(t0, t0.Add(8*time.Minute))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d raw alerts → %d incidents\n\n", stats.RawAlerts, len(runner.Engine.Active()))
+
+	distinct := map[int]bool{}
+	for _, sc := range attacks {
+		found := false
+		for _, in := range runner.Engine.Active() {
+			if sc.Matches(in.Root, in.Start, in.UpdateTime) {
+				fmt.Printf("attack at %-40s → incident %d rooted at %s (severity %.1f)\n",
+					sc.Truth[0], in.ID, in.Root, in.Severity)
+				distinct[in.ID] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("attack at %-40s → MISSED\n", sc.Truth[0])
+		}
+	}
+	fmt.Printf("\n%d attacks → %d separate incidents\n", len(attacks), len(distinct))
+	fmt.Println("→ operators block all sites at once instead of chasing one merged blob")
+}

@@ -1,0 +1,3 @@
+module skynet
+
+go 1.22

@@ -1,0 +1,299 @@
+// Package alert defines SkyNet's uniform alert model (§4.1 of the paper).
+//
+// Every monitoring tool — ping, SNMP, syslog, out-of-band, and the rest of
+// Table 2 — emits raw observations in its own shape and cadence. The
+// preprocessor converts them into the single structured form defined here:
+// a Source (which tool), a Type (what happened), a Class (how much it
+// matters for incident detection: failure, abnormal, or root-cause), a time
+// span, and a Location in the network hierarchy.
+package alert
+
+import (
+	"fmt"
+	"time"
+
+	"skynet/internal/hierarchy"
+)
+
+// Source identifies the monitoring data source that produced an alert,
+// mirroring Table 2 of the paper.
+type Source int
+
+// The monitoring data sources integrated by SkyNet (Table 2).
+const (
+	SourceUnknown Source = iota
+	SourcePing
+	SourceTraceroute
+	SourceOutOfBand
+	SourceTraffic // sFlow traffic statistics
+	SourceNetFlow // per-customer flow accounting
+	SourceInternetTelemetry
+	SourceSyslog
+	SourceSNMP
+	SourceINT // in-band network telemetry
+	SourcePTP
+	SourceRouteMonitoring
+	SourceModificationEvents
+	SourcePatrolInspection
+
+	numSources
+)
+
+var sourceNames = [...]string{
+	SourceUnknown:            "unknown",
+	SourcePing:               "ping",
+	SourceTraceroute:         "traceroute",
+	SourceOutOfBand:          "out-of-band",
+	SourceTraffic:            "traffic",
+	SourceNetFlow:            "netflow",
+	SourceInternetTelemetry:  "internet-telemetry",
+	SourceSyslog:             "syslog",
+	SourceSNMP:               "snmp",
+	SourceINT:                "int",
+	SourcePTP:                "ptp",
+	SourceRouteMonitoring:    "route-monitoring",
+	SourceModificationEvents: "modification-events",
+	SourcePatrolInspection:   "patrol-inspection",
+}
+
+// Sources returns all real sources (excluding SourceUnknown), in Table 2
+// order. The returned slice is freshly allocated.
+func Sources() []Source {
+	out := make([]Source, 0, int(numSources)-1)
+	for s := SourcePing; s < numSources; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// String returns the canonical lowercase source name.
+func (s Source) String() string {
+	if s < 0 || int(s) >= len(sourceNames) {
+		return fmt.Sprintf("source(%d)", int(s))
+	}
+	return sourceNames[s]
+}
+
+// Valid reports whether s is a known real source.
+func (s Source) Valid() bool { return s > SourceUnknown && s < numSources }
+
+// ParseSource parses the canonical source name.
+func ParseSource(name string) (Source, error) {
+	for i, n := range sourceNames {
+		if n == name && Source(i) != SourceUnknown {
+			return Source(i), nil
+		}
+	}
+	return SourceUnknown, fmt.Errorf("alert: unknown source %q", name)
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (s Source) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *Source) UnmarshalText(b []byte) error {
+	v, err := ParseSource(string(b))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// Class is the importance tier SkyNet assigns to an alert type (§4.2).
+type Class int
+
+// The three alert classes of §4.2, plus ClassInfo for alerts that carry
+// context but never count toward incident thresholds.
+const (
+	// ClassInfo alerts are informational only (e.g. a completed planned
+	// modification). They are retained for display but never counted.
+	ClassInfo Class = iota
+	// ClassAbnormal alerts flag irregular but not definitively broken
+	// behaviour: jitter, sudden latency increase, abrupt flow decrease.
+	ClassAbnormal
+	// ClassRootCause alerts indicate failures of network entities: device
+	// or NIC failures, link outages, CRC errors, risky routing paths.
+	ClassRootCause
+	// ClassFailure alerts mark definitively abnormal network behaviour:
+	// packet loss, packet bit flips, high transmission latency. They are
+	// the most authoritative signal during incident detection.
+	ClassFailure
+
+	numClasses
+)
+
+var classNames = [...]string{
+	ClassInfo:      "info",
+	ClassAbnormal:  "abnormal",
+	ClassRootCause: "rootcause",
+	ClassFailure:   "failure",
+}
+
+// String returns the canonical lowercase class name.
+func (c Class) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// Valid reports whether c is a known class.
+func (c Class) Valid() bool { return c >= ClassInfo && c < numClasses }
+
+// ParseClass parses the canonical class name.
+func ParseClass(name string) (Class, error) {
+	for i, n := range classNames {
+		if n == name {
+			return Class(i), nil
+		}
+	}
+	return ClassInfo, fmt.Errorf("alert: unknown class %q", name)
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (c Class) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (c *Class) UnmarshalText(b []byte) error {
+	v, err := ParseClass(string(b))
+	if err != nil {
+		return err
+	}
+	*c = v
+	return nil
+}
+
+// TypeKey identifies an alert kind for deduplicated counting: the locator
+// counts distinct (source, type) pairs rather than alert instances (§4.2).
+type TypeKey struct {
+	Source Source
+	Type   string
+}
+
+// String renders "[source][type]" as in Figure 6.
+func (k TypeKey) String() string { return "[" + k.Source.String() + "][" + k.Type + "]" }
+
+// Alert is SkyNet's uniform structured alert (§4.1): the output format of
+// the preprocessor and the input of the locator.
+type Alert struct {
+	// ID is a process-unique identifier assigned at ingestion.
+	ID uint64 `json:"id,omitempty"`
+
+	// Source is the monitoring tool that produced the alert.
+	Source Source `json:"source"`
+
+	// Type names what happened, e.g. "packet loss", "link down",
+	// "bgp peer down". Types are normalized lowercase strings; syslog
+	// types come from FT-tree templates.
+	Type string `json:"type"`
+
+	// Class is the importance tier of the alert type.
+	Class Class `json:"class"`
+
+	// Time is when the condition started; End is the last time it was
+	// observed. For one-shot alerts (syslog) End equals Time. The
+	// preprocessor extends End as repeated observations arrive,
+	// implementing the "duration" attribute of §4.1.
+	Time time.Time `json:"time"`
+	End  time.Time `json:"end"`
+
+	// Location is the position in the network hierarchy the alert is
+	// attributed to. Link alerts are split by the preprocessor into two
+	// alerts, one per endpoint device, before reaching the locator.
+	Location hierarchy.Path `json:"location"`
+
+	// Peer is the far end of a link- or path-scoped measurement
+	// (e.g. the ping destination), or the zero Path.
+	Peer hierarchy.Path `json:"peer,omitempty"`
+
+	// Value carries the source-specific magnitude: packet-loss ratio for
+	// ping/sFlow (0..1), utilization for SNMP traffic, delay seconds for
+	// PTP, etc. Zero when not applicable.
+	Value float64 `json:"value,omitempty"`
+
+	// Count is the number of raw observations consolidated into this
+	// alert. The preprocessor sets it ≥ 1.
+	Count int `json:"count,omitempty"`
+
+	// CircuitSet names the redundant circuit group a link alert belongs
+	// to, used by the evaluator's impact factor (Eq. 1). Empty when not
+	// link-scoped.
+	CircuitSet string `json:"circuitset,omitempty"`
+
+	// Raw preserves the original message (e.g. the syslog line) for
+	// operator display.
+	Raw string `json:"raw,omitempty"`
+}
+
+// Key returns the dedup-counting key for the alert: the locator counts
+// distinct (source, type) pairs (§4.2).
+func (a *Alert) Key() TypeKey { return TypeKey{Source: a.Source, Type: a.Type} }
+
+// StreamKey identifies an aggregation stream: alerts of the same source
+// and type are consolidated together, but per-circuit-set streams stay
+// separate so the evaluator keeps its per-set break and SLA ratios
+// (Eq. 1). Type-based counting still uses Key.
+type StreamKey struct {
+	Source     Source
+	Type       string
+	CircuitSet string
+}
+
+// StreamKey returns the aggregation-stream key for the alert.
+func (a *Alert) StreamKey() StreamKey {
+	return StreamKey{Source: a.Source, Type: a.Type, CircuitSet: a.CircuitSet}
+}
+
+// TypeKey returns the counting key of the stream.
+func (k StreamKey) TypeKey() TypeKey { return TypeKey{Source: k.Source, Type: k.Type} }
+
+// Duration returns how long the condition has been observed. One-shot
+// alerts have zero duration.
+func (a *Alert) Duration() time.Duration {
+	if a.End.Before(a.Time) {
+		return 0
+	}
+	return a.End.Sub(a.Time)
+}
+
+// Validate checks structural invariants of a preprocessed alert.
+func (a *Alert) Validate() error {
+	if !a.Source.Valid() {
+		return fmt.Errorf("alert: invalid source %v", a.Source)
+	}
+	if a.Type == "" {
+		return fmt.Errorf("alert: empty type")
+	}
+	if !a.Class.Valid() {
+		return fmt.Errorf("alert: invalid class %v", a.Class)
+	}
+	if a.Time.IsZero() {
+		return fmt.Errorf("alert: zero timestamp")
+	}
+	if a.End.Before(a.Time) {
+		return fmt.Errorf("alert: end %v before start %v", a.End, a.Time)
+	}
+	if a.Location.IsRoot() {
+		return fmt.Errorf("alert: root location")
+	}
+	if a.Count < 0 {
+		return fmt.Errorf("alert: negative count %d", a.Count)
+	}
+	return nil
+}
+
+// String renders a compact single-line operator view, in the spirit of the
+// structured-alert boxes of Figure 6.
+func (a *Alert) String() string {
+	return fmt.Sprintf("%s %s loc=%s class=%s t=%s..%s n=%d",
+		a.Key(), valueStr(a.Value), a.Location, a.Class,
+		a.Time.Format(time.TimeOnly), a.End.Format(time.TimeOnly), a.Count)
+}
+
+func valueStr(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -1,0 +1,168 @@
+package alert
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skynet/internal/hierarchy"
+)
+
+var testLoc = hierarchy.MustNew("RegionA", "Citya", "Logic site 2", "Site I", "Cluster ii", "Device i")
+
+func testAlert() Alert {
+	t0 := time.Date(2024, 7, 2, 11, 45, 14, 0, time.UTC)
+	return Alert{
+		ID:       1,
+		Source:   SourcePing,
+		Type:     TypePacketLoss,
+		Class:    ClassFailure,
+		Time:     t0,
+		End:      t0.Add(3 * time.Minute),
+		Location: testLoc,
+		Value:    0.15,
+		Count:    42,
+	}
+}
+
+func TestSourceNames(t *testing.T) {
+	for _, s := range Sources() {
+		if !s.Valid() {
+			t.Errorf("source %d invalid", s)
+		}
+		got, err := ParseSource(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSource(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseSource("bogus"); err == nil {
+		t.Error("ParseSource(bogus): want error")
+	}
+	if _, err := ParseSource("unknown"); err == nil {
+		t.Error("ParseSource(unknown): want error (not a real source)")
+	}
+	if len(Sources()) != 13 {
+		t.Errorf("Sources() = %d entries, want 13 (Table 2)", len(Sources()))
+	}
+	if SourceUnknown.Valid() {
+		t.Error("SourceUnknown should be invalid")
+	}
+	if Source(99).String() != "source(99)" {
+		t.Errorf("out of range String = %q", Source(99).String())
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	for c := ClassInfo; c <= ClassFailure; c++ {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("bogus"); err == nil {
+		t.Error("ParseClass(bogus): want error")
+	}
+	if !ClassFailure.Valid() || Class(-1).Valid() {
+		t.Error("class validity mismatch")
+	}
+}
+
+func TestClassOrdering(t *testing.T) {
+	// Failure alerts are the most authoritative during detection (§4.2);
+	// the numeric ordering encodes that priority.
+	if !(ClassFailure > ClassRootCause && ClassRootCause > ClassAbnormal && ClassAbnormal > ClassInfo) {
+		t.Error("class ordering does not encode priority")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		src  Source
+		typ  string
+		want Class
+	}{
+		{SourcePing, TypePacketLoss, ClassFailure},
+		{SourceSyslog, TypeLinkDown, ClassRootCause},
+		{SourceSyslog, TypeBGPPeerDown, ClassAbnormal},
+		{SourceSNMP, TypeTrafficCongestion, ClassAbnormal},
+		{SourceOutOfBand, TypeDeviceInaccessible, ClassAbnormal},
+		{SourceSyslog, "never heard of it", ClassInfo},
+		{SourceModificationEvents, TypeModificationDone, ClassInfo},
+	}
+	for _, c := range cases {
+		if got := Classify(c.src, c.typ); got != c.want {
+			t.Errorf("Classify(%v, %q) = %v, want %v", c.src, c.typ, got, c.want)
+		}
+	}
+	if CatalogSize() < 40 {
+		t.Errorf("catalog unexpectedly small: %d", CatalogSize())
+	}
+	if len(KnownTypes()) != CatalogSize() {
+		t.Error("KnownTypes length mismatch")
+	}
+}
+
+func TestCatalogConsistency(t *testing.T) {
+	// Every cataloged pair must have a valid source and a non-empty type,
+	// and classify back to its catalog class.
+	for _, k := range KnownTypes() {
+		if !k.Source.Valid() {
+			t.Errorf("catalog key %v: invalid source", k)
+		}
+		if k.Type == "" || k.Type != strings.ToLower(k.Type) {
+			t.Errorf("catalog type %q must be non-empty lowercase", k.Type)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := testAlert()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid alert rejected: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Alert)
+	}{
+		{"invalid source", func(a *Alert) { a.Source = SourceUnknown }},
+		{"empty type", func(a *Alert) { a.Type = "" }},
+		{"invalid class", func(a *Alert) { a.Class = Class(99) }},
+		{"zero time", func(a *Alert) { a.Time = time.Time{}; a.End = time.Time{} }},
+		{"end before start", func(a *Alert) { a.End = a.Time.Add(-time.Second) }},
+		{"root location", func(a *Alert) { a.Location = hierarchy.Root() }},
+		{"negative count", func(a *Alert) { a.Count = -1 }},
+	}
+	for _, m := range mutations {
+		a := testAlert()
+		m.mut(&a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s: want error", m.name)
+		}
+	}
+}
+
+func TestDuration(t *testing.T) {
+	a := testAlert()
+	if a.Duration() != 3*time.Minute {
+		t.Errorf("Duration = %v", a.Duration())
+	}
+	a.End = a.Time.Add(-time.Hour)
+	if a.Duration() != 0 {
+		t.Error("inverted span should clamp to zero duration")
+	}
+}
+
+func TestTypeKeyString(t *testing.T) {
+	a := testAlert()
+	if got := a.Key().String(); got != "[ping][packet loss]" {
+		t.Errorf("Key().String() = %q", got)
+	}
+	if !strings.Contains(a.String(), "[ping][packet loss]") {
+		t.Errorf("alert String missing key: %q", a.String())
+	}
+	zeroVal := testAlert()
+	zeroVal.Value = 0
+	if !strings.Contains(zeroVal.String(), " - ") {
+		t.Errorf("zero value should render as '-': %q", zeroVal.String())
+	}
+}

@@ -1,0 +1,177 @@
+package alert
+
+// This file holds the alert-type catalog: the manually curated mapping from
+// (source, type) to Class described in §4.1 ("The classification process
+// starts with manually assigning types to existing alerts... we prioritize
+// the most critical and complete the manual classification over several
+// months"). Types absent from the catalog default to ClassInfo so that an
+// unclassified alert can never trip incident thresholds on its own.
+
+// Canonical alert type names used across the monitors, the preprocessor,
+// and the experiments. Keeping them as constants prevents the silent
+// type-string drift that would break dedup counting.
+const (
+	// Behaviour-level failures (ClassFailure).
+	TypePacketLoss       = "packet loss"
+	TypeEndToEndICMP     = "end to end icmp"
+	TypeEndToEndTCP      = "end to end tcp"
+	TypeEndToEndSource   = "end to end source"
+	TypeHighLatency      = "high latency"
+	TypeBitFlip          = "packet bit flip"
+	TypeInternetLoss     = "internet unreachability"
+	TypeTrafficBlackhole = "traffic blackhole"
+
+	// Irregular-but-not-proven-broken behaviour (ClassAbnormal).
+	TypeTrafficDrop        = "traffic drop"
+	TypeTrafficSurge       = "traffic surge"
+	TypeLatencyJitter      = "latency jitter"
+	TypeLinkFlapping       = "link flapping"
+	TypePortFlapping       = "port flapping"
+	TypeBGPPeerDown        = "bgp peer down"
+	TypeDeviceInaccessible = "inaccessible"
+	TypeHighCPU            = "high cpu"
+	TypeHighMemory         = "high memory"
+	TypeClockUnsync        = "clock out of sync"
+	TypeHopLatency         = "hop latency"
+	TypePathChange         = "path change"
+	TypeTrafficCongestion  = "traffic congestion"
+	TypeSLAFlowOverLimit   = "sla flow beyond limit"
+
+	// Entity failures that pinpoint what to repair (ClassRootCause).
+	TypeLinkDown           = "link down"
+	TypePortDown           = "port down"
+	TypeInterfaceDown      = "interface down"
+	TypeDeviceDown         = "device down"
+	TypeHardwareError      = "hardware error"
+	TypeSoftwareError      = "software error"
+	TypeOutOfMemory        = "out of memory"
+	TypeCRCError           = "crc error"
+	TypeRXError            = "rx error"
+	TypeBGPLinkJitter      = "bgp link jitter"
+	TypeRouteLoss          = "route loss"
+	TypeRouteHijack        = "route hijack"
+	TypeRouteLeak          = "route leak"
+	TypeFanFailure         = "fan failure"
+	TypePowerFailure       = "power failure"
+	TypeHighTemperature    = "high temperature"
+	TypeOpticalDegrade     = "optical power degrade"
+	TypeINTRateMismatch    = "int rate mismatch"
+	TypeModificationFailed = "modification failed"
+	TypePatrolAnomaly      = "patrol anomaly"
+
+	// Informational (ClassInfo).
+	TypeModificationDone = "modification done"
+	TypeConfigDrift      = "config drift"
+)
+
+// catalog maps (source, type) pairs to classes. A type may carry different
+// classes under different sources; e.g. "link down" from SNMP counters is a
+// root-cause alert just like from syslog.
+var catalog = map[TypeKey]Class{
+	// Ping mesh: end-to-end reachability failures.
+	{SourcePing, TypePacketLoss}:     ClassFailure,
+	{SourcePing, TypeEndToEndICMP}:   ClassFailure,
+	{SourcePing, TypeEndToEndTCP}:    ClassFailure,
+	{SourcePing, TypeEndToEndSource}: ClassFailure,
+	{SourcePing, TypeHighLatency}:    ClassFailure,
+	{SourcePing, TypeLatencyJitter}:  ClassAbnormal,
+
+	// Traceroute: per-hop behaviour.
+	{SourceTraceroute, TypeHopLatency}: ClassAbnormal,
+	{SourceTraceroute, TypePathChange}: ClassAbnormal,
+	{SourceTraceroute, TypePacketLoss}: ClassFailure,
+
+	// Out-of-band monitoring: device liveness and environmentals.
+	{SourceOutOfBand, TypeDeviceInaccessible}: ClassAbnormal,
+	{SourceOutOfBand, TypeDeviceDown}:         ClassRootCause,
+	{SourceOutOfBand, TypeHighCPU}:            ClassAbnormal,
+	{SourceOutOfBand, TypeHighMemory}:         ClassAbnormal,
+	{SourceOutOfBand, TypeHighTemperature}:    ClassRootCause,
+	{SourceOutOfBand, TypeFanFailure}:         ClassRootCause,
+	{SourceOutOfBand, TypePowerFailure}:       ClassRootCause,
+
+	// sFlow traffic statistics.
+	{SourceTraffic, TypePacketLoss}:        ClassFailure,
+	{SourceTraffic, TypeTrafficDrop}:       ClassAbnormal,
+	{SourceTraffic, TypeTrafficSurge}:      ClassAbnormal,
+	{SourceTraffic, TypeTrafficCongestion}: ClassAbnormal,
+
+	// NetFlow SLA accounting.
+	{SourceNetFlow, TypeSLAFlowOverLimit}: ClassAbnormal,
+	{SourceNetFlow, TypeTrafficDrop}:      ClassAbnormal,
+
+	// Internet telemetry (DC → Internet probing).
+	{SourceInternetTelemetry, TypeInternetLoss}: ClassFailure,
+	{SourceInternetTelemetry, TypeHighLatency}:  ClassFailure,
+
+	// Syslog (types produced by FT-tree classification).
+	{SourceSyslog, TypeLinkDown}:         ClassRootCause,
+	{SourceSyslog, TypePortDown}:         ClassRootCause,
+	{SourceSyslog, TypeInterfaceDown}:    ClassRootCause,
+	{SourceSyslog, TypeHardwareError}:    ClassRootCause,
+	{SourceSyslog, TypeSoftwareError}:    ClassRootCause,
+	{SourceSyslog, TypeOutOfMemory}:      ClassRootCause,
+	{SourceSyslog, TypeCRCError}:         ClassRootCause,
+	{SourceSyslog, TypeBGPLinkJitter}:    ClassRootCause,
+	{SourceSyslog, TypeOpticalDegrade}:   ClassRootCause,
+	{SourceSyslog, TypeTrafficBlackhole}: ClassFailure,
+	{SourceSyslog, TypeLinkFlapping}:     ClassAbnormal,
+	{SourceSyslog, TypePortFlapping}:     ClassAbnormal,
+	{SourceSyslog, TypeBGPPeerDown}:      ClassAbnormal,
+
+	// SNMP / GRPC counters.
+	{SourceSNMP, TypeLinkDown}:          ClassRootCause,
+	{SourceSNMP, TypePortDown}:          ClassRootCause,
+	{SourceSNMP, TypeRXError}:           ClassRootCause,
+	{SourceSNMP, TypeCRCError}:          ClassRootCause,
+	{SourceSNMP, TypeTrafficCongestion}: ClassAbnormal,
+	{SourceSNMP, TypeTrafficDrop}:       ClassAbnormal,
+	{SourceSNMP, TypeTrafficSurge}:      ClassAbnormal,
+	{SourceSNMP, TypeHighCPU}:           ClassAbnormal,
+	{SourceSNMP, TypeHighMemory}:        ClassAbnormal,
+
+	// In-band network telemetry (incl. the SRTE label-probe extension).
+	{SourceINT, TypeINTRateMismatch}: ClassRootCause,
+	{SourceINT, TypePacketLoss}:      ClassFailure,
+	{SourceINT, TypeBitFlip}:         ClassFailure,
+	{SourceINT, TypeLinkDown}:        ClassRootCause,
+
+	// PTP clock monitoring.
+	{SourcePTP, TypeClockUnsync}: ClassAbnormal,
+
+	// Route monitoring (control plane).
+	{SourceRouteMonitoring, TypeRouteLoss}:   ClassRootCause,
+	{SourceRouteMonitoring, TypeRouteHijack}: ClassRootCause,
+	{SourceRouteMonitoring, TypeRouteLeak}:   ClassRootCause,
+
+	// Modification events.
+	{SourceModificationEvents, TypeModificationFailed}: ClassRootCause,
+	{SourceModificationEvents, TypeModificationDone}:   ClassInfo,
+
+	// Patrol inspection.
+	{SourcePatrolInspection, TypePatrolAnomaly}: ClassRootCause,
+	{SourcePatrolInspection, TypeConfigDrift}:   ClassInfo,
+}
+
+// Classify returns the catalog class for a (source, type) pair. Unknown
+// pairs are ClassInfo: an unclassified alert is displayed but never counted
+// toward incident thresholds.
+func Classify(source Source, typ string) Class {
+	if c, ok := catalog[TypeKey{source, typ}]; ok {
+		return c
+	}
+	return ClassInfo
+}
+
+// KnownTypes returns every cataloged (source, type) pair. The slice is
+// freshly allocated and unordered.
+func KnownTypes() []TypeKey {
+	out := make([]TypeKey, 0, len(catalog))
+	for k := range catalog {
+		out = append(out, k)
+	}
+	return out
+}
+
+// CatalogSize reports how many (source, type) pairs are classified.
+func CatalogSize() int { return len(catalog) }

@@ -1,0 +1,195 @@
+package alert
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file implements the two wire encodings used by SkyNet's ingestion
+// and trace layers:
+//
+//   - JSON Lines: one JSON object per line, used for trace files and the
+//     TCP ingestion listener. Self-describing and extensible.
+//   - A compact pipe-delimited line format used by the UDP listener, in
+//     the spirit of the raw monitoring feeds shown in Figure 2b:
+//     "<unix-nanos>|<source>|<type>|<class>|<location>|<value>|<raw>".
+
+// MaxLineBytes bounds a single encoded alert line. Lines beyond this are
+// rejected by decoders to protect the ingestion path from hostile or
+// corrupt peers.
+const MaxLineBytes = 64 * 1024
+
+// ErrLineTooLong is returned when an encoded alert exceeds MaxLineBytes.
+var ErrLineTooLong = errors.New("alert: encoded line exceeds limit")
+
+// Encoder writes alerts as JSON Lines to an underlying writer.
+// It is not safe for concurrent use.
+type Encoder struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	bw := bufio.NewWriter(w)
+	return &Encoder{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Encode writes one alert as a JSON line.
+func (e *Encoder) Encode(a *Alert) error {
+	if err := e.enc.Encode(a); err != nil {
+		return fmt.Errorf("alert: encode: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered output to the underlying writer.
+func (e *Encoder) Flush() error { return e.w.Flush() }
+
+// Decoder reads JSON Lines alerts from an underlying reader.
+// It is not safe for concurrent use.
+type Decoder struct {
+	s *bufio.Scanner
+}
+
+// NewDecoder returns a Decoder reading from r. Lines longer than
+// MaxLineBytes cause Decode to fail.
+func NewDecoder(r io.Reader) *Decoder {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 4096), MaxLineBytes)
+	return &Decoder{s: s}
+}
+
+// Decode reads the next alert. It returns io.EOF at end of input and skips
+// blank lines.
+func (d *Decoder) Decode(a *Alert) error {
+	for d.s.Scan() {
+		line := bytes.TrimSpace(d.s.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		*a = Alert{}
+		if err := json.Unmarshal(line, a); err != nil {
+			return fmt.Errorf("alert: decode: %w", err)
+		}
+		return nil
+	}
+	if err := d.s.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return ErrLineTooLong
+		}
+		return fmt.Errorf("alert: decode: %w", err)
+	}
+	return io.EOF
+}
+
+// ReadAll decodes every alert from r. It is a convenience for tests and
+// trace loading; streaming consumers should use Decoder directly.
+func ReadAll(r io.Reader) ([]Alert, error) {
+	d := NewDecoder(r)
+	var out []Alert
+	for {
+		var a Alert
+		err := d.Decode(&a)
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, a)
+	}
+}
+
+// WriteAll encodes every alert to w as JSON Lines.
+func WriteAll(w io.Writer, alerts []Alert) error {
+	e := NewEncoder(w)
+	for i := range alerts {
+		if err := e.Encode(&alerts[i]); err != nil {
+			return err
+		}
+	}
+	return e.Flush()
+}
+
+// AppendWire appends the compact pipe-delimited form of a to dst and
+// returns the extended slice. The format is:
+//
+//	<unix-nanos>|<end-unix-nanos>|<source>|<type>|<class>|<location>|<peer>|<value>|<count>|<circuitset>|<raw>
+//
+// Location segments use hierarchy.Sep internally, so location fields are
+// sub-delimited with "/" on the wire.
+func AppendWire(dst []byte, a *Alert) []byte {
+	dst = appendInt(dst, a.Time.UnixNano())
+	dst = append(dst, '|')
+	dst = appendInt(dst, a.End.UnixNano())
+	dst = append(dst, '|')
+	dst = append(dst, a.Source.String()...)
+	dst = append(dst, '|')
+	dst = append(dst, escapeWire(a.Type)...)
+	dst = append(dst, '|')
+	dst = append(dst, a.Class.String()...)
+	dst = append(dst, '|')
+	dst = append(dst, wireLoc(a.Location.String())...)
+	dst = append(dst, '|')
+	dst = append(dst, wireLoc(a.Peer.String())...)
+	dst = append(dst, '|')
+	dst = appendFloat(dst, a.Value)
+	dst = append(dst, '|')
+	dst = appendInt(dst, int64(a.Count))
+	dst = append(dst, '|')
+	dst = append(dst, escapeWire(a.CircuitSet)...)
+	dst = append(dst, '|')
+	dst = append(dst, escapeWire(a.Raw)...)
+	return dst
+}
+
+// ParseWire parses the compact pipe-delimited form produced by AppendWire.
+func ParseWire(line []byte) (Alert, error) {
+	if len(line) > MaxLineBytes {
+		return Alert{}, ErrLineTooLong
+	}
+	fields := bytes.Split(line, []byte{'|'})
+	if len(fields) != 11 {
+		return Alert{}, fmt.Errorf("alert: wire: %d fields, want 11", len(fields))
+	}
+	var a Alert
+	startNanos, err := parseInt(fields[0])
+	if err != nil {
+		return Alert{}, fmt.Errorf("alert: wire time: %w", err)
+	}
+	endNanos, err := parseInt(fields[1])
+	if err != nil {
+		return Alert{}, fmt.Errorf("alert: wire end: %w", err)
+	}
+	a.Time = unixNano(startNanos)
+	a.End = unixNano(endNanos)
+	if a.Source, err = ParseSource(string(fields[2])); err != nil {
+		return Alert{}, err
+	}
+	a.Type = unescapeWire(string(fields[3]))
+	if a.Class, err = ParseClass(string(fields[4])); err != nil {
+		return Alert{}, err
+	}
+	if a.Location, err = parseWireLoc(string(fields[5])); err != nil {
+		return Alert{}, fmt.Errorf("alert: wire location: %w", err)
+	}
+	if a.Peer, err = parseWireLoc(string(fields[6])); err != nil {
+		return Alert{}, fmt.Errorf("alert: wire peer: %w", err)
+	}
+	if a.Value, err = parseFloat(fields[7]); err != nil {
+		return Alert{}, fmt.Errorf("alert: wire value: %w", err)
+	}
+	count, err := parseInt(fields[8])
+	if err != nil {
+		return Alert{}, fmt.Errorf("alert: wire count: %w", err)
+	}
+	a.Count = int(count)
+	a.CircuitSet = unescapeWire(string(fields[9]))
+	a.Raw = unescapeWire(string(fields[10]))
+	return a, nil
+}

@@ -1,0 +1,207 @@
+package alert
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"skynet/internal/hierarchy"
+)
+
+func TestJSONLinesRoundTrip(t *testing.T) {
+	in := []Alert{testAlert(), testAlert(), testAlert()}
+	in[1].Source = SourceSyslog
+	in[1].Type = TypeLinkDown
+	in[1].Class = ClassRootCause
+	in[1].Raw = "LINEPROTO-5-UPDOWN: Line protocol on Interface TenGigE0/1/0/25, changed state to down"
+	in[2].Peer = hierarchy.MustNew("RegionA", "Citya", "Logic site 2", "Site I", "Cluster o", "Device o")
+
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d alerts, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !alertEqual(&in[i], &out[i]) {
+			t.Errorf("alert %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDecoderSkipsBlankLines(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	a := testAlert()
+	if err := e.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	input := "\n\n" + buf.String() + "\n\n"
+	out, err := ReadAll(strings.NewReader(input))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("ReadAll = %d alerts, %v", len(out), err)
+	}
+}
+
+func TestDecoderRejectsGarbage(t *testing.T) {
+	_, err := ReadAll(strings.NewReader("{not json}\n"))
+	if err == nil {
+		t.Error("want decode error")
+	}
+}
+
+func TestDecoderLineTooLong(t *testing.T) {
+	long := strings.Repeat("x", MaxLineBytes+10)
+	d := NewDecoder(strings.NewReader(long))
+	var a Alert
+	err := d.Decode(&a)
+	if !errors.Is(err, ErrLineTooLong) {
+		t.Errorf("got %v, want ErrLineTooLong", err)
+	}
+}
+
+func TestDecoderEOF(t *testing.T) {
+	d := NewDecoder(strings.NewReader(""))
+	var a Alert
+	if err := d.Decode(&a); !errors.Is(err, io.EOF) {
+		t.Errorf("got %v, want EOF", err)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	a := testAlert()
+	a.CircuitSet = "cs-17"
+	a.Raw = "Packet loss to H3"
+	line := AppendWire(nil, &a)
+	got, err := ParseWire(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.ID = a.ID // ID is not carried on the wire
+	if !alertEqual(&a, &got) {
+		t.Errorf("wire round trip:\n got %+v\nwant %+v", got, a)
+	}
+}
+
+func TestWireZeroTimes(t *testing.T) {
+	a := testAlert()
+	a.End = time.Time{}
+	a.Time = time.Time{}
+	line := AppendWire(nil, &a)
+	got, err := ParseWire(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Time.IsZero() || !got.End.IsZero() {
+		t.Errorf("zero times not preserved: %v %v", got.Time, got.End)
+	}
+}
+
+func TestWireEscaping(t *testing.T) {
+	a := testAlert()
+	a.Raw = "weird|raw\nwith newline"
+	line := AppendWire(nil, &a)
+	if bytes.Count(line, []byte{'|'}) != 10 {
+		t.Fatalf("escaping failed: %d delimiters in %q", bytes.Count(line, []byte{'|'}), line)
+	}
+	if _, err := ParseWire(line); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"1|2|3",
+		"x|0|ping|t|failure|R|R|0|1||",         // bad start time
+		"0|x|ping|t|failure|R|R|0|1||",         // bad end time
+		"0|0|bogus|t|failure|R|R|0|1||",        // bad source
+		"0|0|ping|t|bogus|R|R|0|1||",           // bad class
+		"0|0|ping|t|failure|a//b|R|0|1||",      // bad location
+		"0|0|ping|t|failure|R|a//b|0|1||",      // bad peer
+		"0|0|ping|t|failure|R|R|notafloat|1||", // bad value
+		"0|0|ping|t|failure|R|R|0|notanint||",  // bad count
+	}
+	for _, c := range cases {
+		if _, err := ParseWire([]byte(c)); err == nil {
+			t.Errorf("ParseWire(%q): want error", c)
+		}
+	}
+	if _, err := ParseWire(bytes.Repeat([]byte{'x'}, MaxLineBytes+1)); !errors.Is(err, ErrLineTooLong) {
+		t.Error("oversize wire line: want ErrLineTooLong")
+	}
+}
+
+func randWireAlert(r *rand.Rand) Alert {
+	srcs := Sources()
+	depth := 1 + r.Intn(hierarchy.NumLevels)
+	segs := make([]string, depth)
+	for i := range segs {
+		segs[i] = string(rune('A'+r.Intn(5))) + string(rune('0'+r.Intn(10)))
+	}
+	t0 := time.Unix(r.Int63n(1e9), int64(r.Intn(1e9))).UTC()
+	return Alert{
+		Source:   srcs[r.Intn(len(srcs))],
+		Type:     "type-" + string(rune('a'+r.Intn(26))),
+		Class:    Class(r.Intn(int(numClasses))),
+		Time:     t0,
+		End:      t0.Add(time.Duration(r.Intn(600)) * time.Second),
+		Location: hierarchy.MustNew(segs...),
+		Value:    float64(r.Intn(1000)) / 997.0,
+		Count:    r.Intn(100),
+	}
+}
+
+func TestPropertyWireRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randWireAlert(rand.New(rand.NewSource(seed)))
+		got, err := ParseWire(AppendWire(nil, &a))
+		return err == nil && alertEqual(&a, &got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randWireAlert(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, []Alert{a}); err != nil {
+			return false
+		}
+		out, err := ReadAll(&buf)
+		return err == nil && len(out) == 1 && alertEqual(&a, &out[0])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// alertEqual compares alerts with time equality that tolerates the
+// monotonic-clock stripping done by serialization.
+func alertEqual(a, b *Alert) bool {
+	return a.Source == b.Source &&
+		a.Type == b.Type &&
+		a.Class == b.Class &&
+		a.Time.Equal(b.Time) &&
+		a.End.Equal(b.End) &&
+		a.Location == b.Location &&
+		a.Peer == b.Peer &&
+		a.Value == b.Value &&
+		a.Count == b.Count &&
+		a.CircuitSet == b.CircuitSet
+}

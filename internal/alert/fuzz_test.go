@@ -1,0 +1,51 @@
+package alert
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseWire hardens the UDP ingestion path: arbitrary datagram bytes
+// must never panic, and anything that parses must re-encode to something
+// that parses back to the same alert.
+func FuzzParseWire(f *testing.F) {
+	a := testAlert()
+	f.Add(AppendWire(nil, &a))
+	f.Add([]byte(""))
+	f.Add([]byte("||||||||||"))
+	f.Add([]byte("0|0|ping|t|failure|R|R|0|1||"))
+	f.Add([]byte("9999999999999999999|x|ping|t|failure|R|R|0.5|1|cs|raw"))
+	f.Add([]byte("\x00\x01\x02|\xff|ping|t|failure|R|R|0|1||"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := ParseWire(data)
+		if err != nil {
+			return
+		}
+		// Round-trip stability for accepted inputs.
+		re := AppendWire(nil, &parsed)
+		again, err := ParseWire(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted alert failed: %v\n in: %q\n re: %q", err, data, re)
+		}
+		if !alertEqual(&parsed, &again) {
+			t.Fatalf("round trip unstable:\n a: %+v\n b: %+v", parsed, again)
+		}
+	})
+}
+
+// FuzzJSONDecode hardens the TCP ingestion path the same way.
+func FuzzJSONDecode(f *testing.F) {
+	f.Add([]byte(`{"source":"ping","type":"packet loss","class":"failure","time":"2024-07-02T11:00:00Z","end":"2024-07-02T11:00:00Z","location":"R|C|L|S|K|d"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"location":"a||b"}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		all, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := range all {
+			_ = all[i].Validate() // must not panic
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package alert
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"skynet/internal/hierarchy"
+)
+
+// Helpers for the compact wire format. Kept separate from codec.go so the
+// escaping rules are reviewable in one place.
+
+// wireLocSep replaces hierarchy.Sep inside wire location fields, because
+// "|" is the wire field delimiter.
+const wireLocSep = "/"
+
+func wireLoc(loc string) string {
+	return strings.ReplaceAll(loc, hierarchy.Sep, wireLocSep)
+}
+
+func parseWireLoc(s string) (hierarchy.Path, error) {
+	if s == "" {
+		return hierarchy.Root(), nil
+	}
+	return hierarchy.Parse(strings.ReplaceAll(s, wireLocSep, hierarchy.Sep))
+}
+
+// escapeWire makes free-text fields safe for the pipe-delimited format:
+// "|" and newlines are replaced with visually similar characters rather
+// than escaped, keeping parsing allocation-free and unambiguous.
+func escapeWire(s string) string {
+	if !strings.ContainsAny(s, "|\n\r") {
+		return s
+	}
+	r := strings.NewReplacer("|", "¦", "\n", " ", "\r", " ")
+	return r.Replace(s)
+}
+
+func unescapeWire(s string) string { return s }
+
+func appendInt(dst []byte, v int64) []byte { return strconv.AppendInt(dst, v, 10) }
+
+func parseInt(b []byte) (int64, error) { return strconv.ParseInt(string(b), 10, 64) }
+
+func appendFloat(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+func parseFloat(b []byte) (float64, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return 0, fmt.Errorf("parse float %q: %w", b, err)
+	}
+	return v, nil
+}
+
+// unixNano converts nanoseconds to a time.Time, mapping the sentinel
+// value of the zero time back to a zero time.
+func unixNano(n int64) time.Time {
+	if n == zeroUnixNano {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// zeroUnixNano is what time.Time{}.UnixNano() yields; used to round-trip
+// unset timestamps through the wire format.
+var zeroUnixNano = time.Time{}.UnixNano()

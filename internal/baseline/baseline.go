@@ -1,0 +1,135 @@
+// Package baseline implements the comparison points the paper evaluates
+// SkyNet against:
+//
+//   - single-data-source monitoring (Figure 3's coverage bars and the
+//     Fig. 8a source-removal ablation) — each tool alone, with its blind
+//     spots;
+//   - first-alert time-series causality (§7.3) — the "first alert is the
+//     root cause" heuristic the paper shows to be unreliable;
+//   - per-(type, location) alert counting (Figure 9's first column) lives
+//     in the locator as a config switch.
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/scenario"
+)
+
+// DetectedBy reports whether one data source, alone, would have detected a
+// scenario: it emitted at least one counting-class alert (failure,
+// abnormal, or root cause) whose location relates to the scenario's ground
+// truth during the activity window. This is the Figure 3 coverage notion —
+// tool-level awareness, before any SkyNet processing.
+func DetectedBy(raw []alert.Alert, src alert.Source, sc *scenario.Scenario) bool {
+	grace := 5 * time.Minute
+	for i := range raw {
+		a := &raw[i]
+		if a.Source != src {
+			continue
+		}
+		if a.Class == alert.ClassInfo && a.Source != alert.SourceSyslog {
+			continue
+		}
+		if a.Time.Before(sc.Start) || (!sc.End.IsZero() && a.Time.After(sc.End.Add(grace))) {
+			continue
+		}
+		for _, tp := range sc.Truth {
+			if tp.Contains(a.Location) || a.Location.Contains(tp) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Coverage computes each source's scenario-detection ratio over a corpus
+// of (raw alerts, scenario) runs — the Figure 3 experiment.
+func Coverage(runs []Run) map[alert.Source]float64 {
+	detected := map[alert.Source]int{}
+	for _, run := range runs {
+		for _, src := range alert.Sources() {
+			if DetectedBy(run.Raw, src, run.Scenario) {
+				detected[src]++
+			}
+		}
+	}
+	out := make(map[alert.Source]float64, len(detected))
+	if len(runs) == 0 {
+		return out
+	}
+	for _, src := range alert.Sources() {
+		out[src] = float64(detected[src]) / float64(len(runs))
+	}
+	return out
+}
+
+// Run pairs a raw alert trace with the scenario that produced it.
+type Run struct {
+	Raw      []alert.Alert
+	Scenario *scenario.Scenario
+}
+
+// FirstAlertVerdict is the outcome of the §7.3 time-series heuristic on
+// one incident window.
+type FirstAlertVerdict struct {
+	// First is the earliest alert in the window.
+	First alert.Alert
+	// FirstIsRootCauseClass reports whether the earliest alert is a
+	// root-cause-class alert — what the heuristic implicitly assumes.
+	FirstIsRootCauseClass bool
+	// RootCauseDelay is how long after the first alert the first
+	// root-cause-class alert arrived (zero when the first alert already
+	// was one; negative never occurs).
+	RootCauseDelay time.Duration
+	// HasRootCause reports whether any root-cause alert exists at all.
+	HasRootCause bool
+}
+
+// FirstAlertAnalysis applies the time-series-causality heuristic to a set
+// of structured alerts: order by time, call the first one the root cause.
+// The paper's lesson (§7.3) is that network behaviour is usually affected
+// first and root-cause logs are collected later — the returned verdict
+// quantifies exactly that gap.
+func FirstAlertAnalysis(alerts []alert.Alert) (FirstAlertVerdict, bool) {
+	if len(alerts) == 0 {
+		return FirstAlertVerdict{}, false
+	}
+	sorted := make([]alert.Alert, len(alerts))
+	copy(sorted, alerts)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+	v := FirstAlertVerdict{First: sorted[0]}
+	v.FirstIsRootCauseClass = sorted[0].Class == alert.ClassRootCause
+	for i := range sorted {
+		if sorted[i].Class == alert.ClassRootCause {
+			v.HasRootCause = true
+			v.RootCauseDelay = sorted[i].Time.Sub(sorted[0].Time)
+			break
+		}
+	}
+	return v, true
+}
+
+// MisleadRate measures, over many incident alert sets, how often the
+// first-alert heuristic points at something other than a root-cause
+// alert even though one eventually arrives — the fraction of incidents
+// where time ordering misleads the operator.
+func MisleadRate(incidentAlerts [][]alert.Alert) float64 {
+	misled, applicable := 0, 0
+	for _, alerts := range incidentAlerts {
+		v, ok := FirstAlertAnalysis(alerts)
+		if !ok || !v.HasRootCause {
+			continue
+		}
+		applicable++
+		if !v.FirstIsRootCauseClass {
+			misled++
+		}
+	}
+	if applicable == 0 {
+		return 0
+	}
+	return float64(misled) / float64(applicable)
+}

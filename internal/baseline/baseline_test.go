@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+	"skynet/internal/monitors"
+	"skynet/internal/netsim"
+	"skynet/internal/scenario"
+	"skynet/internal/topology"
+)
+
+var epoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+func mkAlert(src alert.Source, typ string, class alert.Class, at time.Time, loc hierarchy.Path) alert.Alert {
+	return alert.Alert{Source: src, Type: typ, Class: class, Time: at, End: at, Location: loc, Count: 1}
+}
+
+func TestDetectedBy(t *testing.T) {
+	dev := hierarchy.MustNew("R", "C", "L", "S", "K", "d1")
+	sc := scenario.Scenario{
+		Truth: []hierarchy.Path{dev},
+		Start: epoch, End: epoch.Add(10 * time.Minute),
+	}
+	raw := []alert.Alert{
+		mkAlert(alert.SourcePing, alert.TypePacketLoss, alert.ClassFailure, epoch.Add(time.Minute), dev),
+		mkAlert(alert.SourceSNMP, alert.TypeHighCPU, alert.ClassAbnormal, epoch.Add(time.Minute),
+			hierarchy.MustNew("R9", "C", "L", "S", "K", "dx")), // unrelated
+	}
+	if !DetectedBy(raw, alert.SourcePing, &sc) {
+		t.Error("ping should detect")
+	}
+	if DetectedBy(raw, alert.SourceSNMP, &sc) {
+		t.Error("SNMP alert is unrelated, should not detect")
+	}
+	if DetectedBy(raw, alert.SourceSyslog, &sc) {
+		t.Error("no syslog alerts at all")
+	}
+	// Out-of-window alerts don't count.
+	late := []alert.Alert{
+		mkAlert(alert.SourcePing, alert.TypePacketLoss, alert.ClassFailure, epoch.Add(2*time.Hour), dev),
+	}
+	if DetectedBy(late, alert.SourcePing, &sc) {
+		t.Error("late alert should not count")
+	}
+}
+
+func TestCoverageOrdering(t *testing.T) {
+	// End-to-end: silent loss is visible to ping/sFlow/INT but not
+	// syslog/SNMP; a link cut is visible to syslog/SNMP. Coverage over a
+	// mixed corpus must reflect each tool's blind spots.
+	topo := topology.MustGenerate(topology.SmallConfig())
+	cfg := monitors.DefaultConfig()
+	cfg.NoisePerHour = 0
+
+	var runs []Run
+	mk := func(f netsim.Fault, truth hierarchy.Path) {
+		sim := netsim.New(topo, 1)
+		sim.MustInject(f)
+		fleet := monitors.NewFleet(topo, cfg)
+		raw, err := fleet.Run(sim, epoch, epoch.Add(3*time.Minute), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := scenario.Scenario{Truth: []hierarchy.Path{truth}, Start: f.Start, End: epoch.Add(3 * time.Minute)}
+		runs = append(runs, Run{Raw: raw, Scenario: &sc})
+	}
+	var isr *topology.Device
+	for i := range topo.Devices {
+		if topo.Devices[i].Role == topology.RoleISR {
+			isr = &topo.Devices[i]
+			break
+		}
+	}
+	mk(netsim.Fault{Kind: netsim.FaultSilentLoss, Device: isr.ID, Magnitude: 0.5, Start: epoch.Add(10 * time.Second)}, isr.Path)
+	l := topo.Link(0)
+	mk(netsim.Fault{Kind: netsim.FaultLinkCut, Link: l.ID, Circuits: l.Circuits, Start: epoch.Add(10 * time.Second)},
+		topo.Device(l.A).Path)
+
+	cov := Coverage(runs)
+	if cov[alert.SourcePing] < 0.5 {
+		t.Errorf("ping coverage = %v, want ≥ 0.5", cov[alert.SourcePing])
+	}
+	if cov[alert.SourceSyslog] >= 1.0 {
+		t.Errorf("syslog coverage = %v; it must miss the silent loss", cov[alert.SourceSyslog])
+	}
+	if cov[alert.SourcePTP] != 0 {
+		t.Errorf("PTP coverage = %v; neither fault is clock-related", cov[alert.SourcePTP])
+	}
+	if len(Coverage(nil)) != 0 {
+		t.Error("empty corpus should give empty coverage")
+	}
+}
+
+func TestFirstAlertAnalysis(t *testing.T) {
+	dev := hierarchy.MustNew("R", "C", "L", "S", "K", "d1")
+	// Behaviour first, root cause 4 minutes later — the §7.3 incident.
+	alerts := []alert.Alert{
+		mkAlert(alert.SourceSyslog, alert.TypeHardwareError, alert.ClassRootCause, epoch.Add(4*time.Minute), dev),
+		mkAlert(alert.SourcePing, alert.TypePacketLoss, alert.ClassFailure, epoch, dev),
+		mkAlert(alert.SourceSyslog, alert.TypeBGPPeerDown, alert.ClassAbnormal, epoch.Add(10*time.Second), dev),
+	}
+	v, ok := FirstAlertAnalysis(alerts)
+	if !ok {
+		t.Fatal("analysis failed")
+	}
+	if v.FirstIsRootCauseClass {
+		t.Error("first alert should be the behaviour symptom")
+	}
+	if !v.HasRootCause || v.RootCauseDelay != 4*time.Minute {
+		t.Errorf("root cause delay = %v, want 4m", v.RootCauseDelay)
+	}
+	if v.First.Type != alert.TypePacketLoss {
+		t.Errorf("first = %v", v.First.Type)
+	}
+	if _, ok := FirstAlertAnalysis(nil); ok {
+		t.Error("empty input should not analyze")
+	}
+}
+
+func TestMisleadRate(t *testing.T) {
+	dev := hierarchy.MustNew("R", "C", "L", "S", "K", "d1")
+	misleading := []alert.Alert{
+		mkAlert(alert.SourcePing, alert.TypePacketLoss, alert.ClassFailure, epoch, dev),
+		mkAlert(alert.SourceSyslog, alert.TypeHardwareError, alert.ClassRootCause, epoch.Add(time.Minute), dev),
+	}
+	honest := []alert.Alert{
+		mkAlert(alert.SourceSyslog, alert.TypeLinkDown, alert.ClassRootCause, epoch, dev),
+		mkAlert(alert.SourcePing, alert.TypePacketLoss, alert.ClassFailure, epoch.Add(time.Second), dev),
+	}
+	noRootCause := []alert.Alert{
+		mkAlert(alert.SourcePing, alert.TypePacketLoss, alert.ClassFailure, epoch, dev),
+	}
+	rate := MisleadRate([][]alert.Alert{misleading, honest, noRootCause})
+	if rate != 0.5 {
+		t.Errorf("mislead rate = %v, want 0.5 (no-root-cause sets excluded)", rate)
+	}
+	if MisleadRate(nil) != 0 {
+		t.Error("empty corpus rate should be 0")
+	}
+}
+
+func TestUnbalancedHashCaseMisleads(t *testing.T) {
+	// End-to-end reproduction of the §7.3 lesson: run the scenario, apply
+	// the first-alert heuristic to its raw alerts, confirm it misleads.
+	topo := topology.MustGenerate(topology.SmallConfig())
+	sc := scenario.UnbalancedHashCase(topo, epoch.Add(30*time.Second))
+	sim := netsim.New(topo, 1)
+	if err := sc.Inject(sim); err != nil {
+		t.Fatal(err)
+	}
+	cfg := monitors.DefaultConfig()
+	cfg.NoisePerHour = 0
+	fleet := monitors.NewFleet(topo, cfg)
+	raw, err := fleet.Run(sim, epoch, epoch.Add(6*time.Minute), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("scenario produced no alerts")
+	}
+	v, ok := FirstAlertAnalysis(raw)
+	if !ok {
+		t.Fatal("no analysis")
+	}
+	// The hardware error (true root cause) must NOT be the first alert:
+	// behaviour symptoms and BGP churn lead.
+	if v.First.Type == alert.TypeHardwareError {
+		t.Error("hardware error arrived first; scenario does not reproduce §7.3")
+	}
+}

@@ -1,0 +1,162 @@
+// Package core wires SkyNet's three modules — preprocessor, locator,
+// evaluator — into the streaming analysis engine of Figure 5a, together
+// with location zoom-in and the automatic-SOP hook for known failures.
+//
+// The engine is clock-driven: Ingest accepts raw alerts from any source
+// (monitor fleets, network listeners, trace replays) and Tick advances the
+// pipeline, returning what changed. All times are explicit; the engine
+// never reads the wall clock, which makes replays and simulations exact.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/evaluator"
+	"skynet/internal/ftree"
+	"skynet/internal/incident"
+	"skynet/internal/locator"
+	"skynet/internal/preprocess"
+	"skynet/internal/sop"
+	"skynet/internal/topology"
+	"skynet/internal/zoomin"
+)
+
+// Config aggregates the per-module configurations.
+type Config struct {
+	Preprocess preprocess.Config
+	Locator    locator.Config
+	Evaluator  evaluator.Config
+	Zoom       zoomin.Config
+	// EnableSOP turns on automatic mitigation of known failures.
+	EnableSOP bool
+}
+
+// DefaultConfig returns the production parameters of every module.
+func DefaultConfig() Config {
+	return Config{
+		Preprocess: preprocess.DefaultConfig(),
+		Locator:    locator.DefaultConfig(),
+		Evaluator:  evaluator.DefaultConfig(),
+		Zoom:       zoomin.DefaultConfig(),
+		EnableSOP:  true,
+	}
+}
+
+// TickResult reports what one pipeline tick produced.
+type TickResult struct {
+	// Structured is the number of preprocessed alerts that entered the
+	// locator this tick.
+	Structured int
+	// NewIncidents are incidents created this tick, already zoomed and
+	// scored.
+	NewIncidents []*incident.Incident
+	// SOPExecutions are automatic mitigations applied this tick.
+	SOPExecutions []*sop.Execution
+}
+
+// Engine is the SkyNet pipeline. Not safe for concurrent use; callers
+// serialize Ingest/Tick (the ingest layer does this).
+type Engine struct {
+	cfg  Config
+	topo *topology.Topology
+
+	pre     *preprocess.Preprocessor
+	loc     *locator.Locator
+	eval    *evaluator.Evaluator
+	refiner *zoomin.Refiner
+	sopEng  *sop.Engine
+
+	samples []zoomin.Sample
+
+	rawIn int
+}
+
+// NewEngine assembles a pipeline. classifier may be nil (raw syslog is
+// then dropped); topo may be nil (connectivity scoping and SOP disabled);
+// sopExec may be nil (SOP disabled).
+func NewEngine(cfg Config, topo *topology.Topology, classifier *ftree.Classifier, sopExec sop.Executor, sopUtil sop.TrafficOracle) *Engine {
+	e := &Engine{
+		cfg:     cfg,
+		topo:    topo,
+		pre:     preprocess.New(cfg.Preprocess, topo, classifier),
+		loc:     locator.New(cfg.Locator, topo),
+		eval:    evaluator.New(cfg.Evaluator, topo),
+		refiner: zoomin.NewRefiner(cfg.Zoom),
+	}
+	if cfg.EnableSOP && topo != nil && sopExec != nil {
+		e.sopEng = sop.NewEngine(topo, sopExec, sopUtil)
+	}
+	return e
+}
+
+// Ingest feeds one raw alert into the preprocessor.
+func (e *Engine) Ingest(a alert.Alert) {
+	e.rawIn++
+	e.pre.Add(a)
+}
+
+// SetReachability installs the latest end-to-end ping observations used by
+// location zoom-in's reachability matrix.
+func (e *Engine) SetReachability(samples []zoomin.Sample) {
+	e.samples = samples
+}
+
+// Tick advances the pipeline to now: flushes the preprocessor into the
+// locator, runs incident generation and expiry, refines and scores
+// incidents, and applies automatic SOPs to new ones.
+func (e *Engine) Tick(now time.Time) TickResult {
+	var res TickResult
+	structured := e.pre.Tick(now)
+	res.Structured = len(structured)
+	for i := range structured {
+		e.loc.Add(structured[i])
+	}
+	res.NewIncidents = e.loc.Check(now)
+	// Refine and (re)score every active incident so severity escalates
+	// with duration (Eq. 2's ΔT term).
+	for _, in := range e.loc.Active() {
+		e.refiner.Refine(in, e.samples)
+		e.eval.Score(in, now)
+	}
+	if e.sopEng != nil {
+		for _, in := range res.NewIncidents {
+			if exec, ok := e.sopEng.Consider(in, now); ok {
+				res.SOPExecutions = append(res.SOPExecutions, exec)
+			}
+		}
+	}
+	return res
+}
+
+// Active returns the open incidents, oldest first.
+func (e *Engine) Active() []*incident.Incident { return e.loc.Active() }
+
+// Closed returns timed-out incidents.
+func (e *Engine) Closed() []*incident.Incident { return e.loc.Closed() }
+
+// AllIncidents returns every incident the engine has produced, by ID.
+func (e *Engine) AllIncidents() []*incident.Incident {
+	out := append(e.loc.Closed(), e.loc.Active()...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Severe returns the active incidents clearing the severity filter,
+// highest severity first — the ranked feed of §6.4.
+func (e *Engine) Severe() []*incident.Incident {
+	return e.eval.Filter(e.loc.Active())
+}
+
+// PreprocessStats exposes the preprocessor's volume counters.
+func (e *Engine) PreprocessStats() preprocess.Stats { return e.pre.Stats() }
+
+// RawIngested reports the number of raw alerts seen.
+func (e *Engine) RawIngested() int { return e.rawIn }
+
+// SOP exposes the SOP engine (nil when disabled).
+func (e *Engine) SOP() *sop.Engine { return e.sopEng }
+
+// Evaluator exposes the evaluator for ad-hoc scoring.
+func (e *Engine) Evaluator() *evaluator.Evaluator { return e.eval }

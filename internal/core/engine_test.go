@@ -1,0 +1,352 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+	"skynet/internal/monitors"
+	"skynet/internal/netsim"
+	"skynet/internal/scenario"
+	"skynet/internal/topology"
+)
+
+var epoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+func smallTopo() *topology.Topology { return topology.MustGenerate(topology.SmallConfig()) }
+
+func quietMonitors() monitors.Config {
+	cfg := monitors.DefaultConfig()
+	cfg.NoisePerHour = 0
+	return cfg
+}
+
+func newRunner(t *testing.T, topo *topology.Topology) *Runner {
+	t.Helper()
+	r, err := NewRunner(topo, DefaultConfig(), quietMonitors(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestHealthyRunNoIncidents(t *testing.T) {
+	topo := smallTopo()
+	r := newRunner(t, topo)
+	stats, err := r.Run(epoch, epoch.Add(3*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NewIncidents != 0 {
+		t.Errorf("healthy network produced %d incidents", stats.NewIncidents)
+	}
+	if stats.RawAlerts != 0 {
+		t.Errorf("healthy network produced %d raw alerts", stats.RawAlerts)
+	}
+}
+
+func TestFiberCutDetectedAsSingleSevereIncident(t *testing.T) {
+	// The §2.2 war story end to end: the alert flood must collapse into
+	// one incident at the affected city, severe enough to clear the
+	// filter, with the entry-congestion evidence inside.
+	topo := smallTopo()
+	r := newRunner(t, topo)
+	sc := scenario.FiberCutSevere(topo, epoch.Add(time.Minute))
+	if err := sc.Inject(r.Sim); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.Run(epoch, epoch.Add(8*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RawAlerts < 100 {
+		t.Fatalf("expected an alert flood, got %d raw alerts", stats.RawAlerts)
+	}
+	active := r.Engine.Active()
+	if len(active) == 0 {
+		t.Fatal("fiber cut produced no incident")
+	}
+	city := sc.Truth[0]
+	matched := 0
+	for _, in := range active {
+		if city.Contains(in.Root) || in.Root.Contains(city) {
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Errorf("no incident at the cut city; roots: %v", rootsOf(r))
+	}
+	severe := r.Engine.Severe()
+	if len(severe) == 0 {
+		t.Error("fiber cut incident did not clear the severity filter")
+	}
+	// The distilled view must be operator-sized: a handful of incidents,
+	// not thousands of alerts (§2.4's "~10 messages").
+	if len(active) > 5 {
+		t.Errorf("too many incidents for one failure: %d", len(active))
+	}
+}
+
+func rootsOf(r *Runner) []hierarchy.Path {
+	var out []hierarchy.Path
+	for _, in := range r.Engine.Active() {
+		out = append(out, in.Root)
+	}
+	return out
+}
+
+func TestKnownDeviceFailureAutoSOP(t *testing.T) {
+	// §5.1 case 1: a lone device failure matches the SOP rule, gets
+	// isolated automatically, and the isolation feeds back into the
+	// simulator.
+	topo := smallTopo()
+	r := newRunner(t, topo)
+	sc := scenario.KnownDeviceFailure(topo, epoch.Add(time.Minute))
+	if err := sc.Inject(r.Sim); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.Run(epoch, epoch.Add(6*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SOPExecutions == 0 {
+		t.Fatal("no automatic SOP executed")
+	}
+	dev, _ := topo.DeviceByPath(sc.Truth[0])
+	if !r.Sim.DeviceState(dev.ID).Isolated {
+		t.Error("faulty device not isolated in the simulator")
+	}
+	hist := r.Engine.SOP().History()
+	if len(hist) == 0 || hist[0].Plan.Rule != "device-loss-isolation" {
+		t.Errorf("unexpected SOP history: %+v", hist)
+	}
+}
+
+func TestDDoSMultiSiteSeparateIncidents(t *testing.T) {
+	// §5.1 case 2: simultaneous DDoS at multiple sites must produce
+	// separate incidents, proving the attacks unrelated.
+	topo := smallTopo()
+	r := newRunner(t, topo)
+	scs := scenario.DDoSMultiSite(topo, 3, epoch.Add(time.Minute))
+	for _, sc := range scs {
+		if err := sc.Inject(r.Sim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Run(epoch, epoch.Add(8*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	matchedScenarios := 0
+	for _, sc := range scs {
+		for _, in := range r.Engine.Active() {
+			if sc.Matches(in.Root, in.Start, in.UpdateTime) {
+				matchedScenarios++
+				break
+			}
+		}
+	}
+	if matchedScenarios < len(scs) {
+		t.Errorf("only %d of %d DDoS sites have incidents; roots: %v",
+			matchedScenarios, len(scs), rootsOf(r))
+	}
+}
+
+func TestSceneRankingCriticalFirst(t *testing.T) {
+	// §5.1 case 3: the big-but-mild incident must rank below the small-
+	// but-critical one.
+	topo := smallTopo()
+	r := newRunner(t, topo)
+	big, critical := scenario.ConcurrentIncidents(topo, epoch.Add(time.Minute))
+	for _, sc := range []scenario.Scenario{big, critical} {
+		if err := sc.Inject(r.Sim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Run(epoch, epoch.Add(10*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	var bigIn, critIn *hierarchy.Path
+	var bigSev, critSev float64
+	for _, in := range r.Engine.Active() {
+		root := in.Root
+		if big.Matches(root, in.Start, in.UpdateTime) {
+			bigIn, bigSev = &root, in.Severity
+		}
+		if critical.Matches(root, in.Start, in.UpdateTime) {
+			critIn, critSev = &root, in.Severity
+		}
+	}
+	if bigIn == nil || critIn == nil {
+		t.Fatalf("missing incidents (big=%v crit=%v); roots: %v", bigIn, critIn, rootsOf(r))
+	}
+	if critSev <= 0 || bigSev <= 0 {
+		t.Fatalf("severities not computed: big=%v crit=%v", bigSev, critSev)
+	}
+}
+
+func TestFineGrainedZoomIn(t *testing.T) {
+	// §5.1 case 4: the repeat cable cut is zoomed to the data-center
+	// entrance via the reachability matrix (or traceback).
+	topo := smallTopo()
+	r := newRunner(t, topo)
+	sc := scenario.FiberCutSevere(topo, epoch.Add(time.Minute))
+	if err := sc.Inject(r.Sim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(epoch, epoch.Add(8*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range r.Engine.Active() {
+		if sc.Truth[0].Contains(in.Root) || in.Root.Contains(sc.Truth[0]) {
+			// Zoom-in is best effort; when it fires it must stay inside
+			// the incident scope.
+			if !in.Zoomed.IsRoot() && !in.Root.Contains(in.Zoomed) {
+				t.Errorf("zoomed %v escapes root %v", in.Zoomed, in.Root)
+			}
+			return
+		}
+	}
+	t.Fatal("no matching incident found")
+}
+
+func TestEngineAccessors(t *testing.T) {
+	topo := smallTopo()
+	r := newRunner(t, topo)
+	sc := scenario.KnownDeviceFailure(topo, epoch.Add(time.Minute))
+	if err := sc.Inject(r.Sim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(epoch, epoch.Add(5*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	eng := r.Engine
+	if eng.RawIngested() == 0 {
+		t.Error("RawIngested = 0")
+	}
+	if eng.PreprocessStats().In == 0 {
+		t.Error("preprocess stats empty")
+	}
+	all := eng.AllIncidents()
+	if len(all) != len(eng.Active())+len(eng.Closed()) {
+		t.Error("AllIncidents inconsistent")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].ID < all[i-1].ID {
+			t.Error("AllIncidents not ID-ordered")
+		}
+	}
+	if eng.Evaluator() == nil {
+		t.Error("evaluator accessor nil")
+	}
+}
+
+func TestIncidentClosesAfterScenario(t *testing.T) {
+	topo := smallTopo()
+	r := newRunner(t, topo)
+	// Short fault, long run: the incident must time out and close.
+	sc := scenario.KnownDeviceFailure(topo, epoch.Add(time.Minute))
+	sc.Faults[0].End = epoch.Add(3 * time.Minute)
+	if err := sc.Inject(r.Sim); err != nil {
+		t.Fatal(err)
+	}
+	// Disable SOP so the incident isn't mitigated before it times out
+	// naturally.
+	cfg := DefaultConfig()
+	cfg.EnableSOP = false
+	r2, err := NewRunner(topo, cfg, quietMonitors(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Inject(r2.Sim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Run(epoch, epoch.Add(25*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Engine.Closed()) == 0 {
+		t.Errorf("incident never closed; active=%d", len(r2.Engine.Active()))
+	}
+}
+
+func TestRunnerSourceRestriction(t *testing.T) {
+	// The Fig. 8a mechanism at the runner level: a silent-loss failure is
+	// invisible to a syslog-only fleet but caught with behaviour tools.
+	topo := smallTopo()
+	var isr *topology.Device
+	for i := range topo.Devices {
+		if topo.Devices[i].Role == topology.RoleISR {
+			isr = &topo.Devices[i]
+			break
+		}
+	}
+	fault := netsim.Fault{Kind: netsim.FaultSilentLoss, Device: isr.ID, Magnitude: 0.5, Start: epoch.Add(30 * time.Second)}
+
+	blind, err := NewRunner(topo, DefaultConfig(), quietMonitors(), 1, alert.SourceSyslog, alert.SourceSNMP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind.Sim.MustInject(fault)
+	if _, err := blind.Run(epoch, epoch.Add(4*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(blind.Engine.AllIncidents()); n != 0 {
+		t.Errorf("syslog+SNMP fleet detected a silent loss: %d incidents", n)
+	}
+
+	seeing, err := NewRunner(topo, DefaultConfig(), quietMonitors(), 1, alert.SourcePing, alert.SourceTraffic, alert.SourceINT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeing.Sim.MustInject(fault)
+	if _, err := seeing.Run(epoch, epoch.Add(4*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(seeing.Engine.AllIncidents()); n == 0 {
+		t.Error("behaviour fleet missed the silent loss")
+	}
+}
+
+func TestProductionScalePipeline(t *testing.T) {
+	// Scale smoke: the closed loop over the O(10^4)-device topology
+	// holds up — a severe failure is detected and the per-tick cost stays
+	// within the paper's minute-level SLA by orders of magnitude.
+	if testing.Short() {
+		t.Skip("production-scale pipeline skipped in -short mode")
+	}
+	topo := topology.MustGenerate(topology.ProductionConfig())
+	r, err := NewRunner(topo, DefaultConfig(), quietMonitors(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scenario.FiberCutSevere(topo, epoch.Add(30*time.Second))
+	if err := sc.Inject(r.Sim); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	stats, err := r.Run(epoch, epoch.Add(2*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if stats.RawAlerts == 0 {
+		t.Fatal("no raw alerts at production scale")
+	}
+	matched := false
+	for _, in := range r.Engine.Active() {
+		if sc.Matches(in.Root, in.Start, in.UpdateTime) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		t.Errorf("severe failure undetected at production scale (%d incidents)", len(r.Engine.Active()))
+	}
+	// 2 simulated minutes must process in well under real time on any
+	// modern machine; this guards against accidental quadratic blowups.
+	if elapsed > 90*time.Second {
+		t.Errorf("2 simulated minutes took %v wall clock", elapsed)
+	}
+	t.Logf("production scale: %d devices, %d raw alerts, %d incidents, wall %v",
+		topo.NumDevices(), stats.RawAlerts, len(r.Engine.Active()), elapsed)
+}

@@ -1,0 +1,293 @@
+package evaluator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+	"skynet/internal/incident"
+	"skynet/internal/topology"
+)
+
+var epoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+func smallTopo() *topology.Topology { return topology.MustGenerate(topology.SmallConfig()) }
+
+func mkAlert(src alert.Source, typ string, at time.Time, loc hierarchy.Path, val float64, cs string) alert.Alert {
+	return alert.Alert{
+		Source: src, Type: typ, Class: alert.Classify(src, typ),
+		Time: at, End: at, Location: loc, Value: val, Count: 1, CircuitSet: cs,
+	}
+}
+
+// buildIncident assembles an incident at a device with ping loss and a
+// broken circuit set, lasting the given duration.
+func buildIncident(topo *topology.Topology, loss float64, dur time.Duration) *incident.Incident {
+	l := topo.Link(0)
+	dev := topo.Device(l.A)
+	in := incident.New(1, dev.Path)
+	in.Add(mkAlert(alert.SourcePing, alert.TypePacketLoss, epoch, dev.Path, loss, ""))
+	in.Add(mkAlert(alert.SourceSNMP, alert.TypeLinkDown, epoch, dev.Path, 1.0, l.CircuitSet))
+	in.Add(mkAlert(alert.SourcePing, alert.TypeEndToEndICMP, epoch.Add(dur), dev.Path, loss, ""))
+	return in
+}
+
+func TestScoreBasics(t *testing.T) {
+	topo := smallTopo()
+	e := New(DefaultConfig(), topo)
+	in := buildIncident(topo, 0.5, 10*time.Minute)
+	b := e.Score(in, epoch.Add(10*time.Minute))
+	if b.Impact < 1 {
+		t.Errorf("impact = %v, must be ≥ 1", b.Impact)
+	}
+	if b.R != 0.5 {
+		t.Errorf("R = %v, want 0.5", b.R)
+	}
+	if b.TimeFactor <= 0 {
+		t.Errorf("time factor = %v", b.TimeFactor)
+	}
+	if b.Severity <= 0 || math.IsInf(b.Severity, 1) {
+		t.Errorf("severity = %v out of range", b.Severity)
+	}
+	if in.Severity != b.Severity {
+		t.Error("severity not stored on incident")
+	}
+	if b.DurationUnits != 10 {
+		t.Errorf("duration = %v units, want 10", b.DurationUnits)
+	}
+}
+
+func TestSeverityGrowsWithDuration(t *testing.T) {
+	topo := smallTopo()
+	cfg := DefaultConfig()
+	cfg.SeverityCap = math.Inf(1) // uncapped to observe growth
+	e := New(cfg, topo)
+	short := e.Score(buildIncident(topo, 0.3, 2*time.Minute), epoch.Add(2*time.Minute))
+	long := e.Score(buildIncident(topo, 0.3, 60*time.Minute), epoch.Add(60*time.Minute))
+	if long.Severity <= short.Severity {
+		t.Errorf("severity must escalate with duration: %v → %v", short.Severity, long.Severity)
+	}
+}
+
+func TestSeverityGrowsWithLossRate(t *testing.T) {
+	topo := smallTopo()
+	cfg := DefaultConfig()
+	cfg.SeverityCap = math.Inf(1)
+	e := New(cfg, topo)
+	mild := e.Score(buildIncident(topo, 0.05, 10*time.Minute), epoch.Add(10*time.Minute))
+	heavy := e.Score(buildIncident(topo, 0.50, 10*time.Minute), epoch.Add(10*time.Minute))
+	if heavy.TimeFactor <= mild.TimeFactor {
+		t.Errorf("heavier loss must accelerate the time factor: %v vs %v",
+			mild.TimeFactor, heavy.TimeFactor)
+	}
+}
+
+func TestZeroLossZeroTimeFactor(t *testing.T) {
+	topo := smallTopo()
+	e := New(DefaultConfig(), topo)
+	dev := topo.Device(0)
+	in := incident.New(1, dev.Path)
+	in.Add(mkAlert(alert.SourceSyslog, alert.TypeLinkDown, epoch, dev.Path, 0, ""))
+	b := e.Score(in, epoch.Add(10*time.Minute))
+	if b.TimeFactor != 0 || b.Severity != 0 {
+		t.Errorf("no loss anywhere should score 0: %+v", b)
+	}
+}
+
+func TestSLAOverloadDrivesTimeFactor(t *testing.T) {
+	// An incident with no ping loss but overloaded SLA flows must still
+	// escalate (the second term of Eq. 2's max).
+	topo := smallTopo()
+	e := New(DefaultConfig(), topo)
+	l := topo.Link(0)
+	dev := topo.Device(l.A)
+	in := incident.New(1, dev.Path)
+	in.Add(mkAlert(alert.SourceNetFlow, alert.TypeSLAFlowOverLimit, epoch, dev.Path, 2.0, l.CircuitSet))
+	late := mkAlert(alert.SourceNetFlow, alert.TypeSLAFlowOverLimit, epoch.Add(20*time.Minute), dev.Path, 2.0, l.CircuitSet)
+	in.Add(late)
+	b := e.Score(in, epoch.Add(20*time.Minute))
+	if b.L != 0.5 { // demand 2× capacity → half the traffic beyond limit
+		t.Errorf("L = %v, want 0.5", b.L)
+	}
+	if b.TimeFactor <= 0 {
+		t.Error("SLA overload alone should still produce a time factor")
+	}
+}
+
+func TestImpactCountsCustomers(t *testing.T) {
+	topo := smallTopo()
+	e := New(DefaultConfig(), topo)
+	in := buildIncident(topo, 0.5, 10*time.Minute)
+	b := e.Score(in, epoch.Add(10*time.Minute))
+	if len(b.Circuits) == 0 {
+		t.Fatal("no circuit impacts recorded")
+	}
+	top := b.Circuits[0]
+	if top.Customers == 0 || top.Importance <= 0 || top.Contribution <= 0 {
+		t.Errorf("degenerate circuit impact: %+v", top)
+	}
+	for i := 1; i < len(b.Circuits); i++ {
+		if b.Circuits[i].Contribution > b.Circuits[i-1].Contribution {
+			t.Error("circuit impacts not sorted by contribution")
+		}
+	}
+}
+
+func TestZoomedScopeNarrowsCircuitSets(t *testing.T) {
+	topo := smallTopo()
+	e := New(DefaultConfig(), topo)
+	city := topo.Clusters()[0].Truncate(hierarchy.LevelCity)
+	in := incident.New(1, city)
+	in.Add(mkAlert(alert.SourcePing, alert.TypePacketLoss, epoch, city, 0.4, ""))
+	in.Add(mkAlert(alert.SourcePing, alert.TypeEndToEndICMP, epoch.Add(10*time.Minute), city, 0.4, ""))
+	wide := e.Score(in, epoch.Add(10*time.Minute))
+	in.Zoomed = topo.Device(0).Path
+	narrow := e.Score(in, epoch.Add(10*time.Minute))
+	// Severity is capped, so compare the raw impact factors.
+	if narrow.Impact > wide.Impact {
+		t.Errorf("zoomed scope should not widen impact: %v > %v", narrow.Impact, wide.Impact)
+	}
+}
+
+func TestSevereAndFilter(t *testing.T) {
+	topo := smallTopo()
+	e := New(DefaultConfig(), topo)
+	big := buildIncident(topo, 0.6, 30*time.Minute)
+	e.Score(big, epoch.Add(30*time.Minute))
+	small := incident.New(2, topo.Device(0).Path)
+	small.Add(mkAlert(alert.SourceSyslog, alert.TypeLinkDown, epoch, topo.Device(0).Path, 0, ""))
+	e.Score(small, epoch.Add(time.Minute))
+	if !e.Severe(big) {
+		t.Errorf("big incident severity %v under threshold", big.Severity)
+	}
+	if e.Severe(small) {
+		t.Errorf("trivial incident severity %v over threshold", small.Severity)
+	}
+	filtered := e.Filter([]*incident.Incident{small, big})
+	if len(filtered) != 1 || filtered[0].ID != big.ID {
+		t.Errorf("filter result wrong: %v", filtered)
+	}
+	ranked := Rank([]*incident.Incident{small, big})
+	if ranked[0].ID != big.ID {
+		t.Error("rank order wrong")
+	}
+}
+
+func TestScoreCapped(t *testing.T) {
+	topo := smallTopo()
+	cfg := DefaultConfig()
+	cfg.SeverityCap = 100 // the Fig. 10a presentation cap
+	e := New(cfg, topo)
+	// A city-scope, hour-long, heavy-loss incident: the raw product far
+	// exceeds the cap.
+	city := topo.Clusters()[0].Truncate(hierarchy.LevelCity)
+	in := incident.New(1, city)
+	in.Add(mkAlert(alert.SourcePing, alert.TypePacketLoss, epoch, city, 0.8, ""))
+	for _, lid := range topo.LinksUnder(city)[:20] {
+		l := topo.Link(lid)
+		in.Add(mkAlert(alert.SourceSNMP, alert.TypeLinkDown, epoch, topo.Device(l.A).Path, 1, l.CircuitSet))
+	}
+	in.Add(mkAlert(alert.SourcePing, alert.TypeEndToEndICMP, epoch.Add(time.Hour), city, 0.8, ""))
+	b := e.Score(in, epoch.Add(time.Hour))
+	if b.Severity != 100 {
+		t.Errorf("severity = %v, want capped at 100", b.Severity)
+	}
+}
+
+func TestRankingReproducesSceneRankingCase(t *testing.T) {
+	// §5.1 "Scene ranking": the incident with more alerts but less
+	// customer impact must rank below the one hurting critical traffic.
+	topo := smallTopo()
+	e := New(DefaultConfig(), topo)
+
+	// Big: many alerts, but no broken circuit sets and mild loss.
+	cl := topo.Clusters()[0]
+	big := incident.New(1, cl)
+	for _, id := range topo.DevicesUnder(cl) {
+		big.Add(mkAlert(alert.SourceOutOfBand, alert.TypeDeviceInaccessible, epoch, topo.Device(id).Path, 0, ""))
+	}
+	big.Add(mkAlert(alert.SourcePing, alert.TypePacketLoss, epoch, cl, 0.02, ""))
+	big.Add(mkAlert(alert.SourcePing, alert.TypePacketLoss, epoch.Add(5*time.Minute), cl, 0.02, ""))
+
+	// Critical: few alerts, heavy loss, broken SLA circuit.
+	var bsr *topology.Device
+	for i := range topo.Devices {
+		if topo.Devices[i].Role == topology.RoleBSR {
+			bsr = &topo.Devices[i]
+			break
+		}
+	}
+	lid := topo.LinksOf(bsr.ID)[0]
+	l := topo.Link(lid)
+	critical := incident.New(2, bsr.Path)
+	critical.Add(mkAlert(alert.SourcePing, alert.TypePacketLoss, epoch, bsr.Path, 0.6, ""))
+	critical.Add(mkAlert(alert.SourceSNMP, alert.TypeLinkDown, epoch, bsr.Path, 1, l.CircuitSet))
+	critical.Add(mkAlert(alert.SourceNetFlow, alert.TypeSLAFlowOverLimit, epoch.Add(8*time.Minute), bsr.Path, 2.5, l.CircuitSet))
+
+	now := epoch.Add(10 * time.Minute)
+	e.Score(big, now)
+	e.Score(critical, now)
+	if big.AlertCount() <= critical.AlertCount() {
+		t.Fatal("test setup: big incident should have more alerts")
+	}
+	if critical.Severity <= big.Severity {
+		t.Errorf("critical (%.1f) must outrank big (%.1f)", critical.Severity, big.Severity)
+	}
+}
+
+func TestNilTopology(t *testing.T) {
+	e := New(DefaultConfig(), nil)
+	dev := hierarchy.MustNew("R", "C", "L", "S", "K", "d")
+	in := incident.New(1, dev)
+	in.Add(mkAlert(alert.SourcePing, alert.TypePacketLoss, epoch, dev, 0.5, ""))
+	in.Add(mkAlert(alert.SourcePing, alert.TypeEndToEndICMP, epoch.Add(10*time.Minute), dev, 0.5, ""))
+	b := e.Score(in, epoch.Add(10*time.Minute))
+	if b.Impact != 1 {
+		t.Errorf("impact without topology = %v, want the max(1, ...) floor", b.Impact)
+	}
+	if b.Severity <= 0 {
+		t.Error("time factor alone should still produce severity")
+	}
+}
+
+func TestOverloadRatio(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.5, 0}, {1, 0}, {2, 0.5}, {4, 0.75},
+	}
+	for _, c := range cases {
+		if got := overloadRatio(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("overloadRatio(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLogBaseInvLoss(t *testing.T) {
+	// log_{1/0.5}(4) = ln4/ln2 = 2.
+	if got := logBaseInvLoss(0.5, 4, 0.99); math.Abs(got-2) > 1e-9 {
+		t.Errorf("logBaseInvLoss(0.5, 4) = %v, want 2", got)
+	}
+	if logBaseInvLoss(0, 10, 0.99) != 0 {
+		t.Error("zero loss must contribute 0")
+	}
+	if logBaseInvLoss(0.5, 0.5, 0.99) != 0 {
+		t.Error("arg ≤ 1 must contribute 0")
+	}
+	// Loss ≥ 1 clamps rather than exploding.
+	if v := logBaseInvLoss(1.5, 10, 0.99); math.IsInf(v, 0) || v < 0 {
+		t.Errorf("clamped loss misbehaved: %v", v)
+	}
+}
+
+func TestSigmoidShape(t *testing.T) {
+	if s := sigmoid(0); math.Abs(s-0.5) > 1e-9 {
+		t.Errorf("sigmoid(0) = %v", s)
+	}
+	if sigmoid(10) < 0.99 {
+		t.Error("sigmoid should saturate")
+	}
+	if !(sigmoid(1) > sigmoid(0)) {
+		t.Error("sigmoid not increasing")
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/baseline"
+	"skynet/internal/core"
+	"skynet/internal/locator"
+	"skynet/internal/scenario"
+	"skynet/internal/trace"
+)
+
+// Ablations evaluates the design choices DESIGN.md calls out. Each
+// ablation uses the workload that actually exercises the mechanism:
+//
+//   - connectivity scoping — two CONCURRENT failures in different cities:
+//     scoping keeps them separate incidents; disabling it merges them into
+//     one blurred scope (the Figure 5c failure mode).
+//   - alert-tree timeout — a failure whose corroborating evidence arrives
+//     ~2.5 minutes late (the old-device SNMP delay of §4.2): a 1-minute
+//     tree forgets the first alert before the evidence lands; the paper's
+//     5-minute choice holds the pieces together.
+//   - cross-source consolidation — over the scenario corpus, how many
+//     uncorroborated traffic-drop alerts reach the locator when the rule
+//     is off.
+//   - first-alert time-series causality (§7.3) — how often the earliest
+//     alert is NOT root-cause-class evidence.
+func Ablations(opts Options) (*Result, error) {
+	res := &Result{
+		Name:       "ablations",
+		Title:      "Design-choice ablations",
+		PaperShape: "connectivity scoping separates concurrent incidents; the 5-minute tree tolerates delayed SNMP; the cross-source rule suppresses benign drops; time ordering is not causality",
+		Header:     []string{"ablation", "variant", "result"},
+	}
+	if err := connectivityAblation(opts, res); err != nil {
+		return nil, err
+	}
+	timeoutAblation(opts, res)
+	if err := crossSourceAblation(opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// connectivityAblation replays one raw trace containing two simultaneous
+// failures in different cities under scoping on/off.
+func connectivityAblation(opts Options, res *Result) error {
+	topo, err := topoGen(opts.Topology)
+	if err != nil {
+		return err
+	}
+	r, err := core.NewRunner(topo, opts.Engine, opts.Monitors, opts.Seed)
+	if err != nil {
+		return err
+	}
+	var raw []alert.Alert
+	r.Tap = func(a alert.Alert) { raw = append(raw, a) }
+	scs := scenario.DDoSMultiSite(topo, 2, epoch.Add(time.Minute))
+	for i := range scs {
+		if err := scs[i].Inject(r.Sim); err != nil {
+			return err
+		}
+	}
+	if _, err := r.Run(epoch, epoch.Add(8*time.Minute)); err != nil {
+		return err
+	}
+	replayWith := func(disable bool) (int, error) {
+		cfg := opts.Engine
+		cfg.EnableSOP = false
+		cfg.Locator.DisableConnectivity = disable
+		eng, err := trace.Replay(raw, topo, cfg, 10*time.Second)
+		if err != nil {
+			return 0, err
+		}
+		return len(eng.AllIncidents()), nil
+	}
+	on, err := replayWith(false)
+	if err != nil {
+		return err
+	}
+	off, err := replayWith(true)
+	if err != nil {
+		return err
+	}
+	res.Rows = append(res.Rows,
+		[]string{"connectivity scoping", "ON (paper design)",
+			fmt.Sprintf("%d incidents for 2 concurrent failures", on)},
+		[]string{"connectivity scoping", "OFF",
+			fmt.Sprintf("%d incident(s) — unrelated failures merged", off)},
+	)
+	return nil
+}
+
+// timeoutAblation feeds the locator a failure whose second piece of
+// evidence arrives after the worst-case SNMP delay.
+func timeoutAblation(opts Options, res *Result) {
+	topo, err := topoGen(opts.Topology)
+	if err != nil {
+		return
+	}
+	dev := topo.Device(0).Path
+	delayed := []alert.Alert{
+		{Source: alert.SourcePing, Type: alert.TypePacketLoss, Class: alert.ClassFailure,
+			Time: epoch, End: epoch, Location: dev, Value: 0.3, Count: 1},
+		// The old device's SNMP agent reports 2.5 minutes late (§4.2).
+		{Source: alert.SourceSNMP, Type: alert.TypeLinkDown, Class: alert.ClassRootCause,
+			Time: epoch.Add(150 * time.Second), End: epoch.Add(150 * time.Second), Location: dev, Value: 1, Count: 1},
+		{Source: alert.SourceSNMP, Type: alert.TypePortDown, Class: alert.ClassRootCause,
+			Time: epoch.Add(150 * time.Second), End: epoch.Add(150 * time.Second), Location: dev, Value: 1, Count: 1},
+	}
+	for _, ttl := range []time.Duration{time.Minute, 5 * time.Minute, 15 * time.Minute} {
+		cfg := opts.Engine.Locator
+		cfg.NodeTTL = ttl
+		loc := locator.New(cfg, topo)
+		detected := false
+		for _, a := range delayed {
+			// The periodic check between alerts expires short-TTL nodes,
+			// exactly as Algorithm 3 would in production.
+			loc.Check(a.Time)
+			loc.Add(a)
+			if len(loc.Check(a.Time.Add(time.Second))) > 0 {
+				detected = true
+			}
+		}
+		verdict := "MISSED — evidence expired before the delayed SNMP arrived"
+		if detected {
+			verdict = "detected — tree held the early evidence"
+		}
+		res.Rows = append(res.Rows, []string{"tree timeout (delayed SNMP)", ttl.String(), verdict})
+	}
+}
+
+// crossSourceAblation measures the uncorroborated-drop volume over the
+// corpus, plus the §7.3 mislead rate.
+func crossSourceAblation(opts Options, res *Result) error {
+	records, err := corpus(opts)
+	if err != nil {
+		return err
+	}
+	topo, err := topoGen(opts.Topology)
+	if err != nil {
+		return err
+	}
+	structuredWith := func(disable bool) (int, error) {
+		cfg := opts.Engine
+		cfg.EnableSOP = false
+		cfg.Preprocess.DisableCrossSource = disable
+		total := 0
+		for i := range records {
+			eng, err := trace.Replay(records[i].Raw, topo, cfg, 10*time.Second)
+			if err != nil {
+				return 0, err
+			}
+			total += eng.PreprocessStats().Out
+		}
+		return total, nil
+	}
+	on, err := structuredWith(false)
+	if err != nil {
+		return err
+	}
+	off, err := structuredWith(true)
+	if err != nil {
+		return err
+	}
+	res.Rows = append(res.Rows,
+		[]string{"cross-source rule", "ON (paper design)", fmt.Sprintf("%d structured alerts", on)},
+		[]string{"cross-source rule", "OFF", fmt.Sprintf("%d structured alerts (+%d uncorroborated drops admitted)", off, off-on)},
+	)
+	misleadInputs := make([][]alert.Alert, 0, len(records))
+	for i := range records {
+		misleadInputs = append(misleadInputs, records[i].Raw)
+	}
+	rate := baseline.MisleadRate(misleadInputs)
+	res.Rows = append(res.Rows, []string{"§7.3 time ordering", "first alert = root cause",
+		fmt.Sprintf("misleads in %s of traces — behaviour alerts precede root-cause logs", pct(rate))})
+	return nil
+}

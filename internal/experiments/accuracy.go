@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/baseline"
+	"skynet/internal/locator"
+	"skynet/internal/metrics"
+	"skynet/internal/scenario"
+	"skynet/internal/trace"
+)
+
+// Fig8a regenerates the data-source ablation: run the same corpus with
+// All/6/4/3 data sources (removing low-coverage tools first) and measure
+// false positives and negatives.
+func Fig8a(opts Options) (*Result, error) {
+	// Establish per-tool coverage to order the removal.
+	full, err := corpus(opts)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]baseline.Run, len(full))
+	for i := range full {
+		runs[i] = baseline.Run{Raw: full[i].Raw, Scenario: &full[i].Scenario}
+	}
+	cov := baseline.Coverage(runs)
+	srcs := alert.Sources()
+	sort.Slice(srcs, func(i, j int) bool { return cov[srcs[i]] > cov[srcs[j]] }) // high coverage first
+
+	res := &Result{
+		Name:       "fig8a",
+		Title:      "Locating accuracy vs number of data sources",
+		PaperShape: "removing sources barely moves FP but steadily raises FN (missed failures)",
+		Header:     []string{"sources", "false positive", "false negative"},
+	}
+	evaluateSet := func(label string, keep []alert.Source) error {
+		var recs []runRecord
+		if len(keep) == 0 {
+			recs = full
+		} else {
+			var err error
+			recs, err = corpus(opts, keep...)
+			if err != nil {
+				return err
+			}
+		}
+		var outs []metrics.Outcome
+		for i := range recs {
+			outs = append(outs, recs[i].Outcome)
+		}
+		total := metrics.Merge(outs...)
+		res.Rows = append(res.Rows, []string{label, pct(total.FPRatio()), pct(total.FNRatio())})
+		return nil
+	}
+	if err := evaluateSet(fmt.Sprintf("All (%d)", len(srcs)), nil); err != nil {
+		return nil, err
+	}
+	for _, n := range []int{6, 4, 3} {
+		if n > len(srcs) {
+			continue
+		}
+		if err := evaluateSet(fmt.Sprintf("%d", n), srcs[:n]); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Fig9ParameterSets is the x-axis of Figure 9, in paper order. The first
+// entry is the per-(type,location) counting baseline at production
+// thresholds.
+var Fig9ParameterSets = []string{
+	"type+location",
+	"0/1+2/5",
+	"2/0+0/5",
+	"2/1+2/0",
+	"1/1+2/5",
+	"2/1+2/4",
+	"2/1+1/5",
+	"2/1+2/5",
+	"2/1+3/5",
+	"2/1+2/6",
+}
+
+// Fig9 regenerates the threshold sweep: replay the same raw corpus through
+// locators configured with each parameter set and measure FP/FN.
+func Fig9(opts Options) (*Result, error) {
+	records, err := corpus(opts)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := topoGen(opts.Topology)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Name:       "fig9",
+		Title:      "Accuracy with different incident thresholds (A/B+C/D)",
+		PaperShape: "production 2/1+2/5 gives 0 FN with the lowest FP; type+location counting explodes FP to ~70%; disabling clauses raises FN",
+		Header:     []string{"threshold", "false positive", "false negative"},
+	}
+	for _, setting := range Fig9ParameterSets {
+		engCfg := opts.Engine
+		engCfg.EnableSOP = false
+		if setting == "type+location" {
+			engCfg.Locator.Thresholds = locator.ProductionThresholds()
+			engCfg.Locator.TypeAndLocation = true
+		} else {
+			th, err := locator.ParseThresholds(setting)
+			if err != nil {
+				return nil, err
+			}
+			engCfg.Locator.Thresholds = th
+			engCfg.Locator.TypeAndLocation = false
+		}
+		var outs []metrics.Outcome
+		for i := range records {
+			eng, err := trace.Replay(records[i].Raw, topo, engCfg, 10*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			outs = append(outs, metrics.Evaluate(eng.AllIncidents(),
+				[]scenario.Scenario{records[i].Scenario}))
+		}
+		total := metrics.Merge(outs...)
+		res.Rows = append(res.Rows, []string{setting, pct(total.FPRatio()), pct(total.FNRatio())})
+	}
+	return res, nil
+}

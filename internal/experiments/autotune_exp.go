@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"skynet/internal/autotune"
+	"skynet/internal/locator"
+)
+
+// Autotune runs the §9 "better thresholds" future-work experiment: sweep
+// the incident-threshold space over a labeled corpus and compare the
+// selected setting with the hand-tuned production "2/1+2/5".
+func Autotune(opts Options) (*Result, error) {
+	topo, err := topoGen(opts.Topology)
+	if err != nil {
+		return nil, err
+	}
+	n := opts.Scenarios / 2
+	if n > 10 {
+		n = 10 // the sweep is quadratic in corpus x candidates; 10 labeled traces suffice
+	}
+	if n < 4 {
+		n = 4
+	}
+	corpus, err := autotune.BuildCorpus(topo, opts.Monitors, n, opts.Window, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := autotune.DefaultConfig()
+	cfg.Engine = opts.Engine
+	// Sweep a space that still contains every Figure 9 setting but trims
+	// clause maxima the data never reaches.
+	cfg.MaxFailureOnly, cfg.MaxComboFail, cfg.MaxComboOther, cfg.MaxAny = 3, 1, 3, 6
+	res0, err := autotune.Tune(cfg, topo, corpus)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Name:       "autotune",
+		Title:      "Threshold auto-tuning (§9 future work)",
+		PaperShape: "production hand-tuned 2/1+2/5: zero FN with lowest FP; the tuner should land on a setting at least as good",
+		Header:     []string{"setting", "false positive", "false negative"},
+	}
+	// Show the tuner's pick, the production setting, and the extremes of
+	// the candidate list for context.
+	prod := locator.ProductionThresholds()
+	var prodCand *autotune.Candidate
+	for i := range res0.Candidates {
+		if res0.Candidates[i].Thresholds == prod {
+			prodCand = &res0.Candidates[i]
+			break
+		}
+	}
+	res.Rows = append(res.Rows, []string{
+		"tuned: " + res0.Best.Thresholds.String(),
+		pct(res0.Best.FPRatio()), pct(res0.Best.FNRatio()),
+	})
+	if prodCand != nil {
+		res.Rows = append(res.Rows, []string{
+			"production: " + prod.String(),
+			pct(prodCand.FPRatio()), pct(prodCand.FNRatio()),
+		})
+	}
+	worst := res0.Candidates[len(res0.Candidates)-1]
+	res.Rows = append(res.Rows, []string{
+		"worst candidate: " + worst.Thresholds.String(),
+		pct(worst.FPRatio()), pct(worst.FNRatio()),
+	})
+	res.Notes = append(res.Notes, fmt.Sprintf("%d candidates swept over %d labeled traces; zero-FN achievable: %v",
+		len(res0.Candidates), len(corpus), res0.ZeroFN))
+	return res, nil
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"skynet/internal/core"
+	"skynet/internal/scenario"
+	"skynet/internal/viz"
+)
+
+// Cases reruns the four §5.1 case studies end to end and reports what
+// SkyNet did in each.
+func Cases(opts Options) (*Result, error) {
+	topo, err := topoGen(opts.Topology)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Name:       "cases",
+		Title:      "§5.1 case studies",
+		PaperShape: "auto-SOP in ~1 minute; 5 separate DDoS incidents; critical-first ranking; cable cut zoomed to the DC entrance",
+		Header:     []string{"case", "outcome"},
+	}
+
+	newRun := func() (*core.Runner, error) {
+		return core.NewRunner(topo, opts.Engine, opts.Monitors, opts.Seed)
+	}
+
+	// Case 1: automatic SOP for a known failure.
+	{
+		r, err := newRun()
+		if err != nil {
+			return nil, err
+		}
+		sc := scenario.KnownDeviceFailure(topo, epoch.Add(time.Minute))
+		if err := sc.Inject(r.Sim); err != nil {
+			return nil, err
+		}
+		stats, err := r.Run(epoch, epoch.Add(6*time.Minute))
+		if err != nil {
+			return nil, err
+		}
+		dev, _ := topo.DeviceByPath(sc.Truth[0])
+		isolated := dev != nil && r.Sim.DeviceState(dev.ID).Isolated
+		res.Rows = append(res.Rows, []string{"automatic SOP",
+			fmt.Sprintf("SOP executions=%d, device isolated=%v", stats.SOPExecutions, isolated)})
+	}
+
+	// Case 2: multi-site DDoS → separate incidents.
+	{
+		r, err := newRun()
+		if err != nil {
+			return nil, err
+		}
+		scs := scenario.DDoSMultiSite(topo, 5, epoch.Add(time.Minute))
+		for i := range scs {
+			if err := scs[i].Inject(r.Sim); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := r.Run(epoch, epoch.Add(8*time.Minute)); err != nil {
+			return nil, err
+		}
+		matched, distinct := 0, map[int]bool{}
+		for i := range scs {
+			for _, in := range r.Engine.Active() {
+				if scs[i].Matches(in.Root, in.Start, in.UpdateTime) {
+					matched++
+					distinct[in.ID] = true
+					break
+				}
+			}
+		}
+		res.Rows = append(res.Rows, []string{"multiple scene detection",
+			fmt.Sprintf("%d attack sites, %d matched, %d distinct incidents", len(scs), matched, len(distinct))})
+	}
+
+	// Case 3: scene ranking.
+	{
+		r, err := newRun()
+		if err != nil {
+			return nil, err
+		}
+		big, critical := scenario.ConcurrentIncidents(topo, epoch.Add(time.Minute))
+		if err := big.Inject(r.Sim); err != nil {
+			return nil, err
+		}
+		if err := critical.Inject(r.Sim); err != nil {
+			return nil, err
+		}
+		if _, err := r.Run(epoch, epoch.Add(10*time.Minute)); err != nil {
+			return nil, err
+		}
+		var bigSev, critSev float64
+		var bigLocs, critLocs int
+		for _, in := range r.Engine.Active() {
+			if big.Matches(in.Root, in.Start, in.UpdateTime) {
+				bigSev, bigLocs = in.Severity, len(in.Locations())
+			} else if critical.Matches(in.Root, in.Start, in.UpdateTime) {
+				critSev, critLocs = in.Severity, len(in.Locations())
+			}
+		}
+		res.Rows = append(res.Rows, []string{"scene ranking",
+			fmt.Sprintf("big: %d alerting locations sev=%.1f; critical: %d alerting locations sev=%.1f",
+				bigLocs, bigSev, critLocs, critSev)})
+	}
+
+	// Case 4: fine-grained localization of the repeat cable cut.
+	{
+		r, err := newRun()
+		if err != nil {
+			return nil, err
+		}
+		sc := scenario.FiberCutSevere(topo, epoch.Add(time.Minute))
+		if err := sc.Inject(r.Sim); err != nil {
+			return nil, err
+		}
+		stats, err := r.Run(epoch, epoch.Add(8*time.Minute))
+		if err != nil {
+			return nil, err
+		}
+		outcome := "no incident"
+		for _, in := range r.Engine.Active() {
+			if sc.Matches(in.Root, in.Start, in.UpdateTime) {
+				zoom := "not refined"
+				if !in.Zoomed.IsRoot() {
+					zoom = "zoomed to " + in.Zoomed.String()
+				}
+				suspect := "-"
+				if s := viz.Build(topo, in).PrimeSuspect(); s != nil {
+					suspect = s.Name
+				}
+				outcome = fmt.Sprintf("flood of %d raw alerts → 1 incident at %s (%s); top-voted device %s",
+					stats.RawAlerts, in.Root, zoom, suspect)
+				break
+			}
+		}
+		res.Rows = append(res.Rows, []string{"fine-grained localization", outcome})
+	}
+	return res, nil
+}
+
+// All runs every experiment at the given options and returns the results
+// in presentation order. Table2 needs no corpus and is included as-is.
+func All(opts Options) ([]*Result, error) {
+	type job struct {
+		name string
+		fn   func(Options) (*Result, error)
+	}
+	jobs := []job{
+		{"fig1", Fig1},
+		{"fig3", Fig3},
+		{"fig5d", Fig5d},
+		{"fig8a", Fig8a},
+		{"fig8b", Fig8b},
+		{"fig8c", Fig8c},
+		{"fig9", Fig9},
+		{"fig10a", Fig10a},
+		{"fig10b", Fig10b},
+		{"fig10c", Fig10c},
+		{"preprocessing", Sec62},
+		{"ablations", Ablations},
+		{"autotune", Autotune},
+		{"cases", Cases},
+	}
+	out := []*Result{Table2()}
+	for _, j := range jobs {
+		r, err := j.fn(opts)
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", j.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ByName runs a single experiment by its figure/table identifier.
+func ByName(name string, opts Options) (*Result, error) {
+	switch name {
+	case "table2":
+		return Table2(), nil
+	case "fig1":
+		return Fig1(opts)
+	case "fig3":
+		return Fig3(opts)
+	case "fig5d":
+		return Fig5d(opts)
+	case "fig8a":
+		return Fig8a(opts)
+	case "fig8b":
+		return Fig8b(opts)
+	case "fig8c":
+		return Fig8c(opts)
+	case "fig9":
+		return Fig9(opts)
+	case "fig10a":
+		return Fig10a(opts)
+	case "fig10b":
+		return Fig10b(opts)
+	case "fig10c":
+		return Fig10c(opts)
+	case "preprocessing":
+		return Sec62(opts)
+	case "ablations":
+		return Ablations(opts)
+	case "autotune":
+		return Autotune(opts)
+	case "cases":
+		return Cases(opts)
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+}
+
+// Names lists the runnable experiment identifiers.
+func Names() []string {
+	return []string{"table2", "fig1", "fig3", "fig5d", "fig8a", "fig8b", "fig8c",
+		"fig9", "fig10a", "fig10b", "fig10c", "preprocessing", "ablations", "autotune", "cases"}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/metrics"
+)
+
+// Fig10a regenerates the severity-score comparison over a mixed
+// operational load — mostly benign events that redundancy absorbs, a few
+// genuinely harmful failures — matching the §6.4 population where
+// "hundreds of network events occur monthly, though only a few truly
+// constitute harmful network failures". Following the paper's operator
+// labeling, an incident is a FAILURE incident when its failure caused
+// customer-visible behaviour breakage (failure-class evidence present).
+// Scores are capped at 100 for presentation, as in the paper.
+func Fig10a(opts Options) (*Result, error) {
+	records, err := mixedCorpus(opts)
+	if err != nil {
+		return nil, err
+	}
+	all, failure := severityGroups(records)
+	res := &Result{
+		Name:       "fig10a",
+		Title:      "Severity score of network incidents (cap 100)",
+		PaperShape: "failure incidents score visibly higher than the all-incident distribution; threshold 10 keeps all failures",
+		Header:     []string{"group", "n", "min", "median", "p90", "max"},
+	}
+	res.Rows = append(res.Rows, distRow("all incidents", all))
+	res.Rows = append(res.Rows, distRow("failure incidents", failure))
+	// The filter property that justifies threshold 10: no HARMFUL
+	// incident below it.
+	missed := 0
+	for _, s := range failure {
+		if s < opts.Engine.Evaluator.SeverityThreshold {
+			missed++
+		}
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf("failure incidents below threshold %.0f: %d of %d",
+		opts.Engine.Evaluator.SeverityThreshold, missed, len(failure)))
+	return res, nil
+}
+
+// severityGroups splits a corpus's incidents into the all/failure
+// populations with the presentation cap applied. "Failure incidents"
+// follows the paper's operator labeling: incidents of non-benign failures
+// with customer-visible breakage that the automation did not already
+// mitigate — the ones a human must act on.
+func severityGroups(records []runRecord) (all, failure []float64) {
+	cap100 := func(v float64) float64 {
+		if v > 100 {
+			return 100
+		}
+		return v
+	}
+	for i := range records {
+		rec := &records[i]
+		for _, in := range rec.Incidents {
+			all = append(all, cap100(in.Severity))
+			harmful := !rec.Scenario.Benign && !rec.SOP &&
+				rec.Scenario.Matches(in.Root, in.Start, in.UpdateTime) &&
+				in.TypeCount(alert.ClassFailure) > 0
+			if harmful {
+				failure = append(failure, cap100(in.Severity))
+			}
+		}
+	}
+	return all, failure
+}
+
+func distRow(label string, vals []float64) []string {
+	if len(vals) == 0 {
+		return []string{label, "0", "-", "-", "-", "-"}
+	}
+	sorted := make([]float64, len(vals))
+	copy(sorted, vals)
+	sort.Float64s(sorted)
+	q := func(f float64) string {
+		idx := int(f * float64(len(sorted)-1))
+		return fmt.Sprintf("%.1f", sorted[idx])
+	}
+	return []string{label, fmt.Sprintf("%d", len(vals)), q(0), q(0.5), q(0.9), q(1)}
+}
+
+// Fig10b regenerates the monthly incident counts before and after the
+// severity filter: months 4–12, each month an independent corpus slice;
+// the filter should cut volume by one to two orders of magnitude with no
+// failure incident lost.
+func Fig10b(opts Options) (*Result, error) {
+	res := &Result{
+		Name:       "fig10b",
+		Title:      "Incident count per month before/after severity filter",
+		PaperShape: "filter reduces incidents by ~2 orders of magnitude; after filtering, <1/day with zero false negatives",
+		Header:     []string{"month", "all incidents", "severe incidents"},
+	}
+	monthOpts := opts
+	// Each month carries a few harmful failures plus 3x benign events;
+	// bound the per-month harmful count so the nine-month sweep stays
+	// tractable at large corpus settings.
+	monthOpts.Scenarios = opts.Scenarios / 8
+	if monthOpts.Scenarios < 2 {
+		monthOpts.Scenarios = 2
+	}
+	totalAll, totalSevere := 0, 0
+	for month := 4; month <= 12; month++ {
+		monthOpts.Seed = opts.Seed + int64(month)*1000
+		records, err := mixedCorpus(monthOpts)
+		if err != nil {
+			return nil, err
+		}
+		all, severe := 0, 0
+		for i := range records {
+			all += len(records[i].Incidents)
+			severe += records[i].Severe
+		}
+		totalAll += all
+		totalSevere += severe
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", month), fmt.Sprintf("%d", all), fmt.Sprintf("%d", severe),
+		})
+	}
+	if totalSevere > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"overall reduction factor %.1fx at this corpus scale (the paper's ~2 orders come from production event rates)",
+			float64(totalAll)/float64(totalSevere)))
+	}
+	return res, nil
+}
+
+// Fig10c regenerates the mitigation-time comparison via the operator
+// model. The paper's claim is about SEVERE failures — "the average
+// mitigation time for severe failures decreased by 80%" — so the corpus
+// here is the severe-scenario set (the §2.2/§5.1 families), not the mixed
+// background corpus.
+func Fig10c(opts Options) (*Result, error) {
+	records, err := severeCorpus(opts)
+	if err != nil {
+		return nil, err
+	}
+	model := metrics.DefaultOperatorModel()
+	var before, after []time.Duration
+	for i := range records {
+		rec := &records[i]
+		if rec.Outcome.TruePositives == 0 {
+			continue // undetected (should not happen at production settings)
+		}
+		before = append(before, model.ManualMitigation(len(rec.Raw)))
+		after = append(after, model.SkyNetMitigation(rec.Severe, rec.Zoomed, rec.SOP))
+	}
+	b := metrics.Summarize(before)
+	a := metrics.Summarize(after)
+	res := &Result{
+		Name:       "fig10c",
+		Title:      "Mitigation time before vs after SkyNet (operator model)",
+		PaperShape: "median and maximum both reduced by >80% (median 736s→147s, max 14028s→1920s)",
+		Header:     []string{"stat", "before", "after", "reduction"},
+	}
+	res.Rows = [][]string{
+		{"median", b.Median.Round(time.Second).String(), a.Median.Round(time.Second).String(), pct(metrics.Reduction(b.Median, a.Median))},
+		{"p90", b.P90.Round(time.Second).String(), a.P90.Round(time.Second).String(), pct(metrics.Reduction(b.P90, a.P90))},
+		{"max", b.Max.Round(time.Second).String(), a.Max.Round(time.Second).String(), pct(metrics.Reduction(b.Max, a.Max))},
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf("%d mitigated failures", len(before)))
+	return res, nil
+}

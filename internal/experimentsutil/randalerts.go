@@ -1,0 +1,47 @@
+// Package experimentsutil holds small shared test/experiment generators
+// that would otherwise create import cycles between the analysis packages
+// and the experiment harness.
+package experimentsutil
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/topology"
+)
+
+// RandomAlerts produces n random structured alerts over the topology:
+// valid, cataloged types at real device locations, with timestamps
+// marching forward a few seconds at a time. Used by property tests.
+func RandomAlerts(topo *topology.Topology, r *rand.Rand, n int, start time.Time) []alert.Alert {
+	types := alert.KnownTypes()
+	// KnownTypes iterates a map; sort so the same seed draws the same
+	// stream.
+	sort.Slice(types, func(i, j int) bool {
+		if types[i].Source != types[j].Source {
+			return types[i].Source < types[j].Source
+		}
+		return types[i].Type < types[j].Type
+	})
+	out := make([]alert.Alert, n)
+	at := start
+	for i := range out {
+		at = at.Add(time.Duration(r.Intn(5)) * time.Second)
+		k := types[r.Intn(len(types))]
+		d := topo.Device(topology.DeviceID(r.Intn(topo.NumDevices())))
+		out[i] = alert.Alert{
+			ID:       uint64(i + 1),
+			Source:   k.Source,
+			Type:     k.Type,
+			Class:    alert.Classify(k.Source, k.Type),
+			Time:     at,
+			End:      at.Add(time.Duration(r.Intn(30)) * time.Second),
+			Location: d.Path,
+			Value:    r.Float64() * 0.6,
+			Count:    1 + r.Intn(3),
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package ftree
+
+import (
+	"strings"
+
+	"skynet/internal/alert"
+)
+
+// Classifier combines a trained FT-tree with the manually curated
+// template→type assignments of §4.1 ("The classification process starts
+// with manually assigning types to existing alerts... we prioritize the
+// most critical"). Keyword rules stand in for months of operator labeling:
+// each rule recognizes the distinguishing detail words of a message family
+// and names its alert type.
+type Classifier struct {
+	tree *Tree
+	// typeOf maps template ID → alert type, precomputed at construction
+	// by running the keyword rules over every learned template.
+	typeOf []string
+}
+
+// keywordRule maps template content to an alert type. All words must be
+// present (case-insensitively) in the template.
+type keywordRule struct {
+	allOf []string
+	typ   string
+}
+
+// rules are ordered most-specific first; the first full match wins. The
+// vendor message tag (e.g. "%LINEPROTO") is the most reliable key: it is
+// rare enough to survive frequency ordering and depth truncation.
+var rules = []keywordRule{
+	{[]string{"%LINEPROTO"}, alert.TypePortDown},
+	{[]string{"line", "protocol", "down"}, alert.TypePortDown},
+	{[]string{"%LINK-3-UPDOWN"}, alert.TypeLinkDown},
+	{[]string{"%BGP-4-FLAP"}, alert.TypeBGPLinkJitter},
+	{[]string{"%BGP-5-ADJCHANGE", "down"}, alert.TypeBGPPeerDown},
+	{[]string{"%PLATFORM-2-HW_ERROR"}, alert.TypeHardwareError},
+	{[]string{"%SYSMGR-3-PROC_RESTART"}, alert.TypeSoftwareError},
+	{[]string{"%SYSTEM-2-MEMORY"}, alert.TypeOutOfMemory},
+	{[]string{"%IF-3-CRC"}, alert.TypeCRCError},
+	{[]string{"%CONFIG-3-COMMIT", "rejected"}, alert.TypeModificationFailed},
+	{[]string{"%PTP-4-OFFSET"}, alert.TypeClockUnsync},
+	{[]string{"blackhole"}, alert.TypeTrafficBlackhole},
+	{[]string{"flapping"}, alert.TypeLinkFlapping},
+	{[]string{"parity", "error"}, alert.TypeHardwareError},
+	{[]string{"memory"}, alert.TypeOutOfMemory},
+	{[]string{"crc"}, alert.TypeCRCError},
+	{[]string{"down"}, alert.TypeLinkDown},
+}
+
+// NewClassifier trains an FT-tree over the corpus and labels its
+// templates.
+func NewClassifier(corpus []string, cfg Config) (*Classifier, error) {
+	tree, err := Train(corpus, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Classifier{tree: tree, typeOf: make([]string, tree.NumTemplates())}
+	for _, tpl := range tree.Templates() {
+		c.typeOf[tpl.ID] = matchRules(tpl.Words)
+	}
+	return c, nil
+}
+
+// matchRules labels one template; unlabeled templates get the empty type.
+func matchRules(words []string) string {
+	lower := make([]string, len(words))
+	for i, w := range words {
+		lower[i] = strings.ToLower(w)
+	}
+	has := func(want string) bool {
+		want = strings.ToLower(want)
+		for _, w := range lower {
+			if strings.Contains(w, want) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range rules {
+		ok := true
+		for _, k := range r.allOf {
+			if !has(k) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return r.typ
+		}
+	}
+	return ""
+}
+
+// Tree exposes the underlying FT-tree.
+func (c *Classifier) Tree() *Tree { return c.tree }
+
+// ClassifyLine maps a raw syslog line to an alert type. ok is false when
+// the line matches no template or an unlabeled one; such alerts stay
+// informational (ClassInfo) so they can never trip incident thresholds.
+func (c *Classifier) ClassifyLine(line string) (typ string, ok bool) {
+	tpl, matched := c.tree.Classify(line)
+	if !matched {
+		return "", false
+	}
+	typ = c.typeOf[tpl.ID]
+	return typ, typ != ""
+}

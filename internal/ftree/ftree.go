@@ -1,0 +1,262 @@
+// Package ftree implements FT-tree syslog template extraction (Zhang et
+// al., IWQoS'17 [56]), the mechanism SkyNet's preprocessor uses to turn
+// free-text device logs into alert types (§4.1):
+//
+//  1. Command-line outputs are broken into words.
+//  2. Variable words — addresses, interface names, numbers — are removed
+//     with predefined regular expressions.
+//  3. The remaining "detailed" words, ordered by corpus frequency
+//     (frequent first), form a path inserted into a tree.
+//  4. Subtrees with low support are pruned; every surviving path is a
+//     template.
+//
+// Classification walks a new line's frequency-ordered words down the tree;
+// the deepest matching node identifies the template.
+package ftree
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// DefaultVarPatterns are the predefined variable-word regexps of step 2:
+// IPv4 addresses, interface names, hex constants, and bare numbers.
+func DefaultVarPatterns() []*regexp.Regexp {
+	return []*regexp.Regexp{
+		regexp.MustCompile(`^\d+\.\d+\.\d+\.\d+$`),                 // IPv4
+		regexp.MustCompile(`^(Ten|Forty|Hundred)?GigE\d+(/\d+)*$`), // interfaces
+		regexp.MustCompile(`^0x[0-9a-fA-F]+$`),                     // hex
+		regexp.MustCompile(`^\d+$`),                                // numbers
+		regexp.MustCompile(`^[0-9]+(us|ms|s|%)$`),                  // magnitudes
+	}
+}
+
+// Config tunes training.
+type Config struct {
+	// MaxDepth bounds template length; deeper words are dropped. The
+	// FT-tree paper uses small depths because the first few frequent
+	// words identify the message type.
+	MaxDepth int
+	// MinSupport prunes nodes observed fewer than this many times.
+	MinSupport int
+	// VarPatterns are the variable-word regexps; nil means
+	// DefaultVarPatterns.
+	VarPatterns []*regexp.Regexp
+}
+
+// DefaultConfig returns the training defaults.
+func DefaultConfig() Config {
+	return Config{MaxDepth: 6, MinSupport: 2}
+}
+
+// node is one FT-tree node.
+type node struct {
+	word     string
+	count    int
+	children map[string]*node
+	// templateID is set on nodes that terminate a surviving template,
+	// -1 otherwise.
+	templateID int
+}
+
+func newNode(word string) *node {
+	return &node{word: word, children: make(map[string]*node), templateID: -1}
+}
+
+// Template is one learned syslog template.
+type Template struct {
+	ID int
+	// Words are the template's detail words, frequency order.
+	Words []string
+	// Support is how many training lines matched.
+	Support int
+}
+
+// String renders the template words joined by spaces.
+func (t Template) String() string { return strings.Join(t.Words, " ") }
+
+// Tree is a trained FT-tree. It is immutable after Train and safe for
+// concurrent readers.
+type Tree struct {
+	cfg       Config
+	freq      map[string]int
+	root      *node
+	templates []Template
+}
+
+// Train builds an FT-tree from a corpus of raw log lines.
+func Train(lines []string, cfg Config) (*Tree, error) {
+	if cfg.MaxDepth <= 0 {
+		return nil, fmt.Errorf("ftree: MaxDepth must be positive, got %d", cfg.MaxDepth)
+	}
+	if cfg.MinSupport < 1 {
+		return nil, fmt.Errorf("ftree: MinSupport must be ≥ 1, got %d", cfg.MinSupport)
+	}
+	if cfg.VarPatterns == nil {
+		cfg.VarPatterns = DefaultVarPatterns()
+	}
+	t := &Tree{cfg: cfg, freq: make(map[string]int), root: newNode("")}
+
+	// Pass 1: global word frequencies over detail words.
+	tokenized := make([][]string, 0, len(lines))
+	for _, line := range lines {
+		words := t.detailWords(line)
+		tokenized = append(tokenized, words)
+		for _, w := range words {
+			t.freq[w]++
+		}
+	}
+	// Pass 2: insert frequency-ordered word paths.
+	for _, words := range tokenized {
+		path := t.orderWords(words)
+		t.insert(path)
+	}
+	// Pass 3: prune and number templates.
+	t.prune(t.root)
+	t.collect(t.root, nil)
+	return t, nil
+}
+
+// MustTrain is Train but panics on error.
+func MustTrain(lines []string, cfg Config) *Tree {
+	t, err := Train(lines, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Templates returns the learned templates, by ID.
+func (t *Tree) Templates() []Template {
+	out := make([]Template, len(t.templates))
+	copy(out, t.templates)
+	return out
+}
+
+// NumTemplates returns the template count.
+func (t *Tree) NumTemplates() int { return len(t.templates) }
+
+// Classify maps a raw line to its template. ok is false when no template
+// prefix matches (an unseen message shape).
+func (t *Tree) Classify(line string) (Template, bool) {
+	words := t.orderWords(t.detailWords(line))
+	cur := t.root
+	best := -1
+	for _, w := range words {
+		next, ok := cur.children[w]
+		if !ok {
+			break
+		}
+		cur = next
+		if cur.templateID >= 0 {
+			best = cur.templateID
+		}
+	}
+	if best < 0 {
+		return Template{}, false
+	}
+	return t.templates[best], true
+}
+
+// detailWords tokenizes a line and strips variable words.
+func (t *Tree) detailWords(line string) []string {
+	raw := strings.FieldsFunc(line, func(r rune) bool {
+		switch r {
+		case ' ', '\t', ',', ':', ';', '(', ')', '[', ']', '"':
+			return true
+		}
+		return false
+	})
+	out := make([]string, 0, len(raw))
+	for _, w := range raw {
+		if w == "" || t.isVariable(w) {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func (t *Tree) isVariable(w string) bool {
+	for _, re := range t.cfg.VarPatterns {
+		if re.MatchString(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// orderWords sorts words by global frequency (descending), breaking ties
+// lexicographically, dedups, and truncates to MaxDepth. Words unseen in
+// training have frequency 0 and sort last.
+func (t *Tree) orderWords(words []string) []string {
+	uniq := make([]string, 0, len(words))
+	seen := make(map[string]bool, len(words))
+	for _, w := range words {
+		if !seen[w] {
+			seen[w] = true
+			uniq = append(uniq, w)
+		}
+	}
+	sort.SliceStable(uniq, func(i, j int) bool {
+		fi, fj := t.freq[uniq[i]], t.freq[uniq[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return uniq[i] < uniq[j]
+	})
+	if len(uniq) > t.cfg.MaxDepth {
+		uniq = uniq[:t.cfg.MaxDepth]
+	}
+	return uniq
+}
+
+func (t *Tree) insert(path []string) {
+	cur := t.root
+	cur.count++
+	for _, w := range path {
+		next, ok := cur.children[w]
+		if !ok {
+			next = newNode(w)
+			cur.children[w] = next
+		}
+		next.count++
+		cur = next
+	}
+}
+
+// prune removes children with support below MinSupport.
+func (t *Tree) prune(n *node) {
+	for w, c := range n.children {
+		if c.count < t.cfg.MinSupport {
+			delete(n.children, w)
+			continue
+		}
+		t.prune(c)
+	}
+}
+
+// collect numbers every surviving leaf (and internal nodes whose children
+// were pruned away) as a template, in deterministic word order.
+func (t *Tree) collect(n *node, prefix []string) {
+	if len(n.children) == 0 {
+		if len(prefix) > 0 {
+			n.templateID = len(t.templates)
+			words := make([]string, len(prefix))
+			copy(words, prefix)
+			t.templates = append(t.templates, Template{ID: n.templateID, Words: words, Support: n.count})
+		}
+		return
+	}
+	words := make([]string, 0, len(n.children))
+	for w := range n.children {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	for _, w := range words {
+		c := n.children[w]
+		t.collect(c, append(prefix, c.word))
+	}
+}

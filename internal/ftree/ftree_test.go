@@ -1,0 +1,213 @@
+package ftree
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"skynet/internal/alert"
+)
+
+// corpus synthesizes vendor-style lines with randomized variable fields,
+// mirroring what the syslog monitor emits.
+func corpus(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	iface := func() string {
+		return fmt.Sprintf("TenGigE%d/%d/%d/%d", rng.Intn(2), rng.Intn(4), rng.Intn(2), rng.Intn(36))
+	}
+	ip := func() string {
+		return fmt.Sprintf("10.%d.%d.%d", rng.Intn(256), rng.Intn(256), 1+rng.Intn(254))
+	}
+	gens := []func() string{
+		func() string {
+			return fmt.Sprintf("%%LINK-3-UPDOWN: Interface %s, changed state to down (cable)", iface())
+		},
+		func() string {
+			return fmt.Sprintf("%%LINEPROTO-5-UPDOWN: Line protocol on Interface %s, changed state to down", iface())
+		},
+		func() string {
+			return fmt.Sprintf("%%BGP-5-ADJCHANGE: neighbor %s Down - Hold timer expired", ip())
+		},
+		func() string {
+			return fmt.Sprintf("%%BGP-4-FLAP: neighbor %s session flapping, count %d", ip(), rng.Intn(100))
+		},
+		func() string {
+			return fmt.Sprintf("%%PLATFORM-2-HW_ERROR: Linecard %d parity error detected at 0x%x", rng.Intn(8), rng.Intn(65536))
+		},
+		func() string {
+			return fmt.Sprintf("%%SYSMGR-3-PROC_RESTART: Process rpd restarted, pid %d", rng.Intn(30000))
+		},
+		func() string {
+			return fmt.Sprintf("%%SYSTEM-2-MEMORY: Out of memory in process rpd, requested %d bytes", rng.Intn(1<<20))
+		},
+		func() string {
+			return fmt.Sprintf("%%IF-3-CRC: Interface %s CRC errors %d", iface(), rng.Intn(10000))
+		},
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = gens[i%len(gens)]()
+	}
+	return out
+}
+
+func TestTrainBasics(t *testing.T) {
+	tree := MustTrain(corpus(400, 1), DefaultConfig())
+	n := tree.NumTemplates()
+	// Eight message families; variable stripping must collapse each to a
+	// handful of templates, not hundreds.
+	if n < 8 || n > 24 {
+		t.Errorf("templates = %d, want ≈8 families", n)
+	}
+	for _, tpl := range tree.Templates() {
+		if tpl.Support < 2 {
+			t.Errorf("template %q survived with support %d < MinSupport", tpl, tpl.Support)
+		}
+		if len(tpl.Words) == 0 {
+			t.Error("empty template")
+		}
+	}
+}
+
+func TestTrainConfigValidation(t *testing.T) {
+	if _, err := Train(nil, Config{MaxDepth: 0, MinSupport: 1}); err == nil {
+		t.Error("MaxDepth=0 accepted")
+	}
+	if _, err := Train(nil, Config{MaxDepth: 4, MinSupport: 0}); err == nil {
+		t.Error("MinSupport=0 accepted")
+	}
+}
+
+func TestClassifyKnownShapes(t *testing.T) {
+	tree := MustTrain(corpus(400, 1), DefaultConfig())
+	// A fresh line with unseen variable values must classify.
+	line := "%LINK-3-UPDOWN: Interface TenGigE1/3/1/35, changed state to down (cable)"
+	tpl, ok := tree.Classify(line)
+	if !ok {
+		t.Fatal("known shape did not classify")
+	}
+	joined := tpl.String()
+	if !strings.Contains(joined, "%LINK-3-UPDOWN") && !strings.Contains(joined, "down") {
+		t.Errorf("template %q does not look like a link-down family", joined)
+	}
+}
+
+func TestClassifyUnknownShape(t *testing.T) {
+	tree := MustTrain(corpus(200, 1), DefaultConfig())
+	if _, ok := tree.Classify("utterly novel message shape xyzzy grue"); ok {
+		t.Error("unknown shape classified")
+	}
+}
+
+func TestVariableStripping(t *testing.T) {
+	tree := MustTrain(corpus(100, 2), DefaultConfig())
+	for _, tpl := range tree.Templates() {
+		for _, w := range tpl.Words {
+			if tree.isVariable(w) {
+				t.Errorf("template %q contains variable word %q", tpl, w)
+			}
+		}
+	}
+}
+
+func TestPruningRemovesRareShapes(t *testing.T) {
+	lines := corpus(100, 3)
+	lines = append(lines, "one-off weird line qux")
+	cfg := DefaultConfig()
+	cfg.MinSupport = 2
+	tree := MustTrain(lines, cfg)
+	if _, ok := tree.Classify("one-off weird line qux"); ok {
+		t.Error("singleton shape survived pruning")
+	}
+}
+
+func TestMaxDepthBoundsTemplates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 3
+	tree := MustTrain(corpus(200, 4), cfg)
+	for _, tpl := range tree.Templates() {
+		if len(tpl.Words) > 3 {
+			t.Errorf("template %q longer than MaxDepth", tpl)
+		}
+	}
+}
+
+func TestPropertyTrainingLinesClassify(t *testing.T) {
+	// Every line family present ≥ MinSupport times in training must
+	// classify afterwards, for any seed.
+	f := func(seed int64) bool {
+		lines := corpus(160, seed)
+		tree := MustTrain(lines, DefaultConfig())
+		for _, l := range lines {
+			if _, ok := tree.Classify(l); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyClassificationDeterministic(t *testing.T) {
+	tree := MustTrain(corpus(300, 5), DefaultConfig())
+	f := func(seed int64) bool {
+		l := corpus(1, seed)[0]
+		a, okA := tree.Classify(l)
+		b, okB := tree.Classify(l)
+		return okA == okB && a.ID == b.ID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifierTypes(t *testing.T) {
+	c, err := NewClassifier(corpus(400, 6), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		line string
+		want string
+	}{
+		{"%LINK-3-UPDOWN: Interface TenGigE0/0/0/1, changed state to down (x)", alert.TypeLinkDown},
+		{"%LINEPROTO-5-UPDOWN: Line protocol on Interface TenGigE0/0/0/2, changed state to down", alert.TypePortDown},
+		{"%BGP-5-ADJCHANGE: neighbor 10.1.2.3 Down - Hold timer expired", alert.TypeBGPPeerDown},
+		{"%BGP-4-FLAP: neighbor 10.1.2.4 session flapping, count 12", alert.TypeBGPLinkJitter},
+		{"%PLATFORM-2-HW_ERROR: Linecard 2 parity error detected at 0xdead", alert.TypeHardwareError},
+		{"%SYSMGR-3-PROC_RESTART: Process rpd restarted, pid 99", alert.TypeSoftwareError},
+		{"%SYSTEM-2-MEMORY: Out of memory in process rpd, requested 4096 bytes", alert.TypeOutOfMemory},
+		{"%IF-3-CRC: Interface TenGigE0/0/0/3 CRC errors 17", alert.TypeCRCError},
+	}
+	for _, tc := range cases {
+		got, ok := c.ClassifyLine(tc.line)
+		if !ok {
+			t.Errorf("line %q did not classify", tc.line)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("line %q → %q, want %q", tc.line, got, tc.want)
+		}
+	}
+	if _, ok := c.ClassifyLine("novel xyzzy"); ok {
+		t.Error("unknown line got a type")
+	}
+	if c.Tree() == nil {
+		t.Error("tree accessor nil")
+	}
+}
+
+func TestClassifierTypesAreCataloged(t *testing.T) {
+	// Every type a rule can produce must be a cataloged syslog type, so
+	// classified alerts get a real Class.
+	for _, r := range rules {
+		if alert.Classify(alert.SourceSyslog, r.typ) == alert.ClassInfo &&
+			r.typ != alert.TypeModificationFailed && r.typ != alert.TypeClockUnsync {
+			t.Errorf("rule type %q not cataloged for syslog", r.typ)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package ftree
+
+import "testing"
+
+// FuzzClassify hardens the syslog path: arbitrary log lines must never
+// panic the classifier, and classification must be idempotent.
+func FuzzClassify(f *testing.F) {
+	tree := MustTrain(corpus(200, 1), DefaultConfig())
+	f.Add("%LINK-3-UPDOWN: Interface TenGigE0/0/0/1, changed state to down")
+	f.Add("")
+	f.Add("::::][((")
+	f.Add("%SYSTEM-2-MEMORY: Out of memory in process rpd, requested 1 bytes")
+	f.Fuzz(func(t *testing.T, line string) {
+		a, okA := tree.Classify(line)
+		b, okB := tree.Classify(line)
+		if okA != okB || (okA && a.ID != b.ID) {
+			t.Fatalf("classification not idempotent for %q", line)
+		}
+	})
+}

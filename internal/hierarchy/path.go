@@ -1,0 +1,292 @@
+// Package hierarchy models the location hierarchy of a global cloud
+// network as used by SkyNet: Region → City → LogicSite → Site → Cluster →
+// Device (Figure 5b of the paper). Every alert carries a Path into this
+// hierarchy, and the locator's alert trees are indexed by Path.
+//
+// Paths are value types: comparable, usable as map keys, and cheap to copy.
+package hierarchy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level identifies one layer of the network location hierarchy.
+// Lower numeric values are closer to the root.
+type Level int
+
+// The hierarchy levels, ordered from the global root down to a single
+// network device. LevelRoot is the virtual root of the main alert tree.
+const (
+	LevelRoot Level = iota
+	LevelRegion
+	LevelCity
+	LevelLogicSite
+	LevelSite
+	LevelCluster
+	LevelDevice
+
+	// NumLevels counts the addressable levels below the root.
+	NumLevels = int(LevelDevice)
+)
+
+var levelNames = [...]string{
+	LevelRoot:      "root",
+	LevelRegion:    "region",
+	LevelCity:      "city",
+	LevelLogicSite: "logicsite",
+	LevelSite:      "site",
+	LevelCluster:   "cluster",
+	LevelDevice:    "device",
+}
+
+// String returns the lowercase level name ("region", "cluster", ...).
+func (l Level) String() string {
+	if l < LevelRoot || l > LevelDevice {
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+	return levelNames[l]
+}
+
+// Valid reports whether l names a real hierarchy level (root included).
+func (l Level) Valid() bool { return l >= LevelRoot && l <= LevelDevice }
+
+// Sep separates path segments in the canonical textual form, matching the
+// "Region A|City a|Logic site 2|Site I|Cluster ii" rendering in the paper.
+const Sep = "|"
+
+// Path is a location in the hierarchy: a prefix of
+// [region, city, logicsite, site, cluster, device]. The zero Path is the
+// root. Path is comparable and safe to use as a map key.
+type Path struct {
+	seg   [NumLevels]string
+	depth uint8
+}
+
+// Root returns the root path (the zero value).
+func Root() Path { return Path{} }
+
+// New builds a Path from the given segments, region first. It returns an
+// error if more than NumLevels segments are given, if any segment is empty,
+// or if a segment contains the separator.
+func New(segments ...string) (Path, error) {
+	var p Path
+	if len(segments) > NumLevels {
+		return Path{}, fmt.Errorf("hierarchy: too many segments: %d > %d", len(segments), NumLevels)
+	}
+	for i, s := range segments {
+		if s == "" {
+			return Path{}, fmt.Errorf("hierarchy: empty segment at depth %d", i+1)
+		}
+		if strings.Contains(s, Sep) {
+			return Path{}, fmt.Errorf("hierarchy: segment %q contains separator %q", s, Sep)
+		}
+		p.seg[i] = s
+	}
+	p.depth = uint8(len(segments))
+	return p, nil
+}
+
+// MustNew is New but panics on error. Intended for tests and literals.
+func MustNew(segments ...string) Path {
+	p, err := New(segments...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Parse parses the canonical textual form produced by String:
+// segments joined by "|". An empty string parses to the root.
+func Parse(s string) (Path, error) {
+	if s == "" {
+		return Path{}, nil
+	}
+	return New(strings.Split(s, Sep)...)
+}
+
+// String renders the canonical textual form: segments joined by "|".
+// The root renders as "".
+func (p Path) String() string {
+	if p.depth == 0 {
+		return ""
+	}
+	return strings.Join(p.Segments(), Sep)
+}
+
+// Depth returns the number of segments (0 for the root, NumLevels for a
+// device path).
+func (p Path) Depth() int { return int(p.depth) }
+
+// Level returns the hierarchy level this path addresses. The root path is
+// LevelRoot, a one-segment path LevelRegion, and so on.
+func (p Path) Level() Level { return Level(p.depth) }
+
+// IsRoot reports whether p is the root path.
+func (p Path) IsRoot() bool { return p.depth == 0 }
+
+// IsDevice reports whether p addresses a single device (full depth).
+func (p Path) IsDevice() bool { return int(p.depth) == NumLevels }
+
+// Segments returns a copy of the path segments, region first.
+func (p Path) Segments() []string {
+	out := make([]string, p.depth)
+	copy(out, p.seg[:p.depth])
+	return out
+}
+
+// Segment returns the segment at the given level, or "" if the path does
+// not reach that level. Segment(LevelRoot) is always "".
+func (p Path) Segment(l Level) string {
+	if l <= LevelRoot || int(l) > int(p.depth) {
+		return ""
+	}
+	return p.seg[int(l)-1]
+}
+
+// Leaf returns the last segment, or "" for the root.
+func (p Path) Leaf() string {
+	if p.depth == 0 {
+		return ""
+	}
+	return p.seg[p.depth-1]
+}
+
+// Parent returns the path one level up. The parent of the root is the root.
+func (p Path) Parent() Path {
+	if p.depth == 0 {
+		return p
+	}
+	q := p
+	q.seg[q.depth-1] = ""
+	q.depth--
+	return q
+}
+
+// Child returns p extended by one segment. It returns an error if p is
+// already at device depth or the segment is invalid.
+func (p Path) Child(segment string) (Path, error) {
+	if int(p.depth) >= NumLevels {
+		return Path{}, fmt.Errorf("hierarchy: cannot extend device path %q", p)
+	}
+	if segment == "" {
+		return Path{}, fmt.Errorf("hierarchy: empty child segment under %q", p)
+	}
+	if strings.Contains(segment, Sep) {
+		return Path{}, fmt.Errorf("hierarchy: segment %q contains separator %q", segment, Sep)
+	}
+	q := p
+	q.seg[q.depth] = segment
+	q.depth++
+	return q, nil
+}
+
+// MustChild is Child but panics on error.
+func (p Path) MustChild(segment string) Path {
+	q, err := p.Child(segment)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Truncate returns the prefix of p at the given level. Truncating to a
+// level deeper than p returns p unchanged.
+func (p Path) Truncate(l Level) Path {
+	if !l.Valid() || int(l) >= int(p.depth) {
+		return p
+	}
+	var q Path
+	for i := 0; i < int(l); i++ {
+		q.seg[i] = p.seg[i]
+	}
+	q.depth = uint8(l)
+	return q
+}
+
+// Contains reports whether p is an ancestor of q or equal to q: every
+// location is contained in itself, and the root contains everything.
+func (p Path) Contains(q Path) bool {
+	if p.depth > q.depth {
+		return false
+	}
+	for i := 0; i < int(p.depth); i++ {
+		if p.seg[i] != q.seg[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlyContains reports whether p is a proper ancestor of q.
+func (p Path) StrictlyContains(q Path) bool {
+	return p.depth < q.depth && p.Contains(q)
+}
+
+// CommonAncestor returns the deepest path that contains both p and q.
+func (p Path) CommonAncestor(q Path) Path {
+	var out Path
+	n := int(p.depth)
+	if int(q.depth) < n {
+		n = int(q.depth)
+	}
+	for i := 0; i < n; i++ {
+		if p.seg[i] != q.seg[i] {
+			break
+		}
+		out.seg[i] = p.seg[i]
+		out.depth++
+	}
+	return out
+}
+
+// Compare orders paths lexicographically by segment, with ancestors before
+// descendants. It returns -1, 0, or +1.
+func (p Path) Compare(q Path) int {
+	n := int(p.depth)
+	if int(q.depth) < n {
+		n = int(q.depth)
+	}
+	for i := 0; i < n; i++ {
+		if c := strings.Compare(p.seg[i], q.seg[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case p.depth < q.depth:
+		return -1
+	case p.depth > q.depth:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Ancestors returns all proper ancestors of p from the root (exclusive of p
+// itself), shallowest first. The root path returns an empty slice.
+func (p Path) Ancestors() []Path {
+	if p.depth == 0 {
+		return nil
+	}
+	out := make([]Path, 0, p.depth)
+	q := Root()
+	for i := 0; i < int(p.depth); i++ {
+		out = append(out, q)
+		q.seg[i] = p.seg[i]
+		q.depth++
+	}
+	return out
+}
+
+// MarshalText implements encoding.TextMarshaler using the canonical form.
+func (p Path) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (p *Path) UnmarshalText(b []byte) error {
+	q, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*p = q
+	return nil
+}

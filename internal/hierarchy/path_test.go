@@ -1,0 +1,310 @@
+package hierarchy
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndString(t *testing.T) {
+	cases := []struct {
+		segs []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{"RegionA"}, "RegionA"},
+		{[]string{"RegionA", "Citya"}, "RegionA|Citya"},
+		{[]string{"RegionA", "Citya", "Logic site 2", "Site I", "Cluster ii", "Device i"},
+			"RegionA|Citya|Logic site 2|Site I|Cluster ii|Device i"},
+	}
+	for _, c := range cases {
+		p, err := New(c.segs...)
+		if err != nil {
+			t.Fatalf("New(%v): %v", c.segs, err)
+		}
+		if got := p.String(); got != c.want {
+			t.Errorf("New(%v).String() = %q, want %q", c.segs, got, c.want)
+		}
+		if p.Depth() != len(c.segs) {
+			t.Errorf("Depth() = %d, want %d", p.Depth(), len(c.segs))
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New("a", "b", "c", "d", "e", "f", "g"); err == nil {
+		t.Error("New with 7 segments: want error")
+	}
+	if _, err := New("a", "", "c"); err == nil {
+		t.Error("New with empty segment: want error")
+	}
+	if _, err := New("a|b"); err == nil {
+		t.Error("New with separator in segment: want error")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "R", "R|C", "R|C|L|S|K|D"} {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if p.String() != s {
+			t.Errorf("Parse(%q).String() = %q", s, p.String())
+		}
+	}
+	if _, err := Parse("a||b"); err == nil {
+		t.Error("Parse with empty segment: want error")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	p := MustNew("R", "C", "L", "S", "K", "D")
+	if p.Level() != LevelDevice || !p.IsDevice() {
+		t.Errorf("full path level = %v", p.Level())
+	}
+	if Root().Level() != LevelRoot || !Root().IsRoot() {
+		t.Error("root level mismatch")
+	}
+	if got := p.Segment(LevelCity); got != "C" {
+		t.Errorf("Segment(City) = %q", got)
+	}
+	if got := p.Segment(LevelRoot); got != "" {
+		t.Errorf("Segment(Root) = %q, want empty", got)
+	}
+	if got := MustNew("R").Segment(LevelCity); got != "" {
+		t.Errorf("Segment beyond depth = %q, want empty", got)
+	}
+	if Level(99).String() == "" || Level(99).Valid() {
+		t.Error("invalid level should stringify and report invalid")
+	}
+	for l := LevelRoot; l <= LevelDevice; l++ {
+		if !l.Valid() {
+			t.Errorf("level %d should be valid", l)
+		}
+	}
+}
+
+func TestParentChildLeaf(t *testing.T) {
+	p := MustNew("R", "C")
+	if p.Parent() != MustNew("R") {
+		t.Errorf("Parent = %v", p.Parent())
+	}
+	if Root().Parent() != Root() {
+		t.Error("root parent should be root")
+	}
+	if p.Leaf() != "C" {
+		t.Errorf("Leaf = %q", p.Leaf())
+	}
+	if Root().Leaf() != "" {
+		t.Error("root leaf should be empty")
+	}
+	q, err := p.Child("L")
+	if err != nil || q.String() != "R|C|L" {
+		t.Errorf("Child: %v %v", q, err)
+	}
+	full := MustNew("R", "C", "L", "S", "K", "D")
+	if _, err := full.Child("x"); err == nil {
+		t.Error("Child beyond device: want error")
+	}
+	if _, err := p.Child(""); err == nil {
+		t.Error("empty child: want error")
+	}
+	if _, err := p.Child("a|b"); err == nil {
+		t.Error("child with separator: want error")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	p := MustNew("R", "C", "L", "S", "K", "D")
+	if got := p.Truncate(LevelCity); got != MustNew("R", "C") {
+		t.Errorf("Truncate(City) = %v", got)
+	}
+	if got := p.Truncate(LevelDevice); got != p {
+		t.Errorf("Truncate(Device) = %v", got)
+	}
+	if got := MustNew("R").Truncate(LevelCluster); got != MustNew("R") {
+		t.Errorf("Truncate deeper than path = %v", got)
+	}
+	if got := p.Truncate(LevelRoot); !got.IsRoot() {
+		t.Errorf("Truncate(Root) = %v", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := MustNew("R")
+	rc := MustNew("R", "C")
+	rx := MustNew("R", "X")
+	if !Root().Contains(rc) || !r.Contains(rc) || !rc.Contains(rc) {
+		t.Error("expected containment")
+	}
+	if rc.Contains(r) {
+		t.Error("child should not contain parent")
+	}
+	if rx.Contains(rc) || rc.Contains(rx) {
+		t.Error("siblings should not contain each other")
+	}
+	if !r.StrictlyContains(rc) || rc.StrictlyContains(rc) {
+		t.Error("strict containment mismatch")
+	}
+}
+
+func TestCommonAncestor(t *testing.T) {
+	a := MustNew("R", "C", "L1")
+	b := MustNew("R", "C", "L2")
+	if got := a.CommonAncestor(b); got != MustNew("R", "C") {
+		t.Errorf("CommonAncestor = %v", got)
+	}
+	if got := a.CommonAncestor(MustNew("Z")); !got.IsRoot() {
+		t.Errorf("disjoint CommonAncestor = %v", got)
+	}
+	if got := a.CommonAncestor(a); got != a {
+		t.Errorf("self CommonAncestor = %v", got)
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	p := MustNew("R", "C", "L")
+	anc := p.Ancestors()
+	want := []Path{Root(), MustNew("R"), MustNew("R", "C")}
+	if !reflect.DeepEqual(anc, want) {
+		t.Errorf("Ancestors = %v, want %v", anc, want)
+	}
+	if len(Root().Ancestors()) != 0 {
+		t.Error("root should have no ancestors")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	paths := []Path{
+		MustNew("B"),
+		MustNew("A", "b"),
+		Root(),
+		MustNew("A"),
+		MustNew("A", "a"),
+	}
+	sort.Slice(paths, func(i, j int) bool { return paths[i].Compare(paths[j]) < 0 })
+	var got []string
+	for _, p := range paths {
+		got = append(got, p.String())
+	}
+	want := []string{"", "A", "A|a", "A|b", "B"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sorted = %v, want %v", got, want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := MustNew("R", "C", "L")
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Path
+	if err := json.Unmarshal(b, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Errorf("round trip = %v, want %v", q, p)
+	}
+	var bad Path
+	if err := json.Unmarshal([]byte(`"a||b"`), &bad); err == nil {
+		t.Error("unmarshal invalid path: want error")
+	}
+}
+
+// randPath produces a random valid path for property tests.
+func randPath(r *rand.Rand) Path {
+	depth := r.Intn(NumLevels + 1)
+	segs := make([]string, depth)
+	for i := range segs {
+		segs[i] = string(rune('a'+r.Intn(4))) + string(rune('0'+r.Intn(10)))
+	}
+	return MustNew(segs...)
+}
+
+func TestPropertyParseStringInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		p := randPath(rand.New(rand.NewSource(seed)))
+		q, err := Parse(p.String())
+		return err == nil && q == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyContainsTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randPath(r)
+		// b is a random ancestor of c; a is a random ancestor of b.
+		b := c
+		for i := r.Intn(NumLevels); i > 0 && !b.IsRoot(); i-- {
+			b = b.Parent()
+		}
+		a := b
+		for i := r.Intn(NumLevels); i > 0 && !a.IsRoot(); i-- {
+			a = a.Parent()
+		}
+		return a.Contains(b) && b.Contains(c) && a.Contains(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCommonAncestorContainsBoth(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randPath(r), randPath(r)
+		ca := a.CommonAncestor(b)
+		if !ca.Contains(a) || !ca.Contains(b) {
+			return false
+		}
+		// Maximality: the next-deeper prefix of a must not contain b
+		// (unless ca already equals a).
+		if ca != a {
+			deeper := a.Truncate(Level(ca.Depth() + 1))
+			if deeper.Contains(b) {
+				return false
+			}
+		}
+		return ca.CommonAncestor(a) == ca
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTruncateIsPrefix(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randPath(r)
+		l := Level(r.Intn(NumLevels + 1))
+		q := p.Truncate(l)
+		return q.Contains(p) && strings.HasPrefix(p.String(), q.String())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randPath(r), randPath(r)
+		c1, c2 := a.Compare(b), b.Compare(a)
+		if a == b {
+			return c1 == 0 && c2 == 0
+		}
+		return c1 == -c2 && c1 != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

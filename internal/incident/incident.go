@@ -1,0 +1,258 @@
+// Package incident defines SkyNet's central output object: an incident is
+// "a set of alerts originating from the same root cause" (§1), grouped by
+// time and location, with its alerts organized into the three classes of
+// §4.2 and rendered for operators in the Figure 6 report format.
+package incident
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+)
+
+// Entry is one aggregated alert stream inside an incident: all alerts of
+// one (source, type) at one location.
+type Entry struct {
+	// Alert is the aggregated view: Time of first observation, End of
+	// last, Count of instances, max Value.
+	Alert alert.Alert
+}
+
+// Incident is a cluster of alerts attributed to one root cause.
+type Incident struct {
+	// ID is unique within a locator's lifetime.
+	ID int
+	// Root is the hierarchy node the incident is rooted at.
+	Root hierarchy.Path
+	// Start is the earliest alert time; End is set when the incident
+	// times out (zero while active).
+	Start time.Time
+	End   time.Time
+	// UpdateTime is the latest alert timestamp seen (Algorithm 1's
+	// i.updateTime).
+	UpdateTime time.Time
+
+	// Entries maps location → stream key (source, type, circuit set)
+	// → aggregated entry.
+	Entries map[hierarchy.Path]map[alert.StreamKey]*Entry
+
+	// Severity is the evaluator's score y_k (0 until evaluated).
+	Severity float64
+	// Zoomed is the refined failure location from location zoom-in, or
+	// the zero path when zoom-in could not refine.
+	Zoomed hierarchy.Path
+	// MergedFrom lists incident IDs absorbed into this one as its scope
+	// grew.
+	MergedFrom []int
+}
+
+// New creates an empty incident.
+func New(id int, root hierarchy.Path) *Incident {
+	return &Incident{
+		ID:      id,
+		Root:    root,
+		Entries: make(map[hierarchy.Path]map[alert.StreamKey]*Entry),
+	}
+}
+
+// Active reports whether the incident is still open.
+func (in *Incident) Active() bool { return in.End.IsZero() }
+
+// Add merges one alert into the incident, updating Start/UpdateTime and
+// the per-location aggregation.
+func (in *Incident) Add(a alert.Alert) {
+	locEntries, ok := in.Entries[a.Location]
+	if !ok {
+		locEntries = make(map[alert.StreamKey]*Entry)
+		in.Entries[a.Location] = locEntries
+	}
+	k := a.StreamKey()
+	if e, ok := locEntries[k]; ok {
+		if a.End.After(e.Alert.End) {
+			e.Alert.End = a.End
+		}
+		if a.Time.Before(e.Alert.Time) {
+			e.Alert.Time = a.Time
+		}
+		if a.Value > e.Alert.Value {
+			e.Alert.Value = a.Value
+		}
+		e.Alert.Count += max(a.Count, 1)
+	} else {
+		cp := a
+		if cp.Count <= 0 {
+			cp.Count = 1
+		}
+		locEntries[k] = &Entry{Alert: cp}
+	}
+	if in.Start.IsZero() || a.Time.Before(in.Start) {
+		in.Start = a.Time
+	}
+	last := a.Time
+	if a.End.After(last) {
+		last = a.End
+	}
+	if last.After(in.UpdateTime) {
+		in.UpdateTime = last
+	}
+}
+
+// Merge absorbs all entries of another incident.
+func (in *Incident) Merge(other *Incident) {
+	for _, locEntries := range other.Entries {
+		for _, e := range locEntries {
+			in.Add(e.Alert)
+		}
+	}
+	in.MergedFrom = append(in.MergedFrom, other.ID)
+	in.MergedFrom = append(in.MergedFrom, other.MergedFrom...)
+}
+
+// Close marks the incident ended at the given time.
+func (in *Incident) Close(at time.Time) {
+	if in.End.IsZero() {
+		in.End = at
+	}
+}
+
+// Locations returns the alerting locations inside the incident, sorted.
+func (in *Incident) Locations() []hierarchy.Path {
+	out := make([]hierarchy.Path, 0, len(in.Entries))
+	for p := range in.Entries {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// TypeCount returns the number of distinct (source, type) pairs of the
+// given class across the incident — the deduplicated counting unit of
+// §4.2.
+func (in *Incident) TypeCount(c alert.Class) int {
+	seen := map[alert.TypeKey]bool{}
+	for _, locEntries := range in.Entries {
+		for k, e := range locEntries {
+			if e.Alert.Class == c {
+				seen[k.TypeKey()] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// AlertCount returns the total number of raw alert instances aggregated.
+func (in *Incident) AlertCount() int {
+	n := 0
+	for _, locEntries := range in.Entries {
+		for _, e := range locEntries {
+			n += e.Alert.Count
+		}
+	}
+	return n
+}
+
+// EntriesByClass groups aggregated entries of one class by source, each
+// source's entries sorted by type — the structure of the Figure 6 report.
+func (in *Incident) EntriesByClass(c alert.Class) map[alert.Source][]*Entry {
+	out := make(map[alert.Source][]*Entry)
+	for _, locEntries := range in.Entries {
+		for _, e := range locEntries {
+			if e.Alert.Class == c {
+				out[e.Alert.Source] = append(out[e.Alert.Source], e)
+			}
+		}
+	}
+	for _, entries := range out {
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].Alert.Type != entries[j].Alert.Type {
+				return entries[i].Alert.Type < entries[j].Alert.Type
+			}
+			return entries[i].Alert.Location.Compare(entries[j].Alert.Location) < 0
+		})
+	}
+	return out
+}
+
+// Render produces the operator-facing report in the Figure 6 layout:
+//
+//	Incident 1:
+//	[Region A|City a|Logic site 2][11:45:11 - 11:48:10] severity=60.0
+//	Failure alerts
+//	  ping
+//	  |- end to end icmp (3)
+//	  └- packet loss (5)
+//	...
+func (in *Incident) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Incident %d:\n", in.ID)
+	end := in.UpdateTime
+	if !in.End.IsZero() {
+		end = in.End
+	}
+	fmt.Fprintf(&b, "[%s][%s - %s]", in.Root, in.Start.Format(time.TimeOnly), end.Format(time.TimeOnly))
+	if in.Severity > 0 {
+		fmt.Fprintf(&b, " severity=%.1f", in.Severity)
+	}
+	if !in.Zoomed.IsRoot() && in.Zoomed != in.Root {
+		fmt.Fprintf(&b, " zoomed=%s", in.Zoomed)
+	}
+	b.WriteByte('\n')
+	sections := []struct {
+		title string
+		class alert.Class
+	}{
+		{"Failure alerts", alert.ClassFailure},
+		{"Abnormal alerts", alert.ClassAbnormal},
+		{"Root cause alerts", alert.ClassRootCause},
+	}
+	for _, sec := range sections {
+		grouped := in.EntriesByClass(sec.class)
+		if len(grouped) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s\n", sec.title)
+		srcs := make([]alert.Source, 0, len(grouped))
+		for s := range grouped {
+			srcs = append(srcs, s)
+		}
+		sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+		for _, s := range srcs {
+			fmt.Fprintf(&b, "  %s\n", s)
+			entries := grouped[s]
+			// Collapse per-type across locations for display counts.
+			type agg struct {
+				typ   string
+				count int
+			}
+			var rows []agg
+			idx := map[string]int{}
+			for _, e := range entries {
+				if i, ok := idx[e.Alert.Type]; ok {
+					rows[i].count += e.Alert.Count
+				} else {
+					idx[e.Alert.Type] = len(rows)
+					rows = append(rows, agg{e.Alert.Type, e.Alert.Count})
+				}
+			}
+			for i, r := range rows {
+				branch := "|-"
+				if i == len(rows)-1 {
+					branch = "└-"
+				}
+				fmt.Fprintf(&b, "  %s %s (%d)\n", branch, r.typ, r.count)
+			}
+		}
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+package incident
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+)
+
+var epoch = time.Date(2024, 7, 2, 11, 45, 11, 0, time.UTC)
+
+var root = hierarchy.MustNew("RegionA", "Citya", "Logic site 2")
+var locA = root.MustChild("Site I").MustChild("Cluster ii").MustChild("Device i")
+var locB = root.MustChild("Site I")
+
+func mk(src alert.Source, typ string, at time.Time, loc hierarchy.Path, count int) alert.Alert {
+	return alert.Alert{
+		Source: src, Type: typ, Class: alert.Classify(src, typ),
+		Time: at, End: at, Location: loc, Count: count,
+	}
+}
+
+func TestAddAggregates(t *testing.T) {
+	in := New(1, root)
+	in.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, locA, 1))
+	in.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch.Add(time.Minute), locA, 2))
+	if got := in.AlertCount(); got != 3 {
+		t.Errorf("AlertCount = %d, want 3", got)
+	}
+	if len(in.Entries[locA]) != 1 {
+		t.Error("same type+location should aggregate into one entry")
+	}
+	e := in.Entries[locA][alert.StreamKey{Source: alert.SourcePing, Type: alert.TypePacketLoss}]
+	if !e.Alert.Time.Equal(epoch) || !e.Alert.End.Equal(epoch.Add(time.Minute)) {
+		t.Error("aggregate span wrong")
+	}
+	if !in.Start.Equal(epoch) || !in.UpdateTime.Equal(epoch.Add(time.Minute)) {
+		t.Errorf("incident span wrong: %v %v", in.Start, in.UpdateTime)
+	}
+}
+
+func TestAddZeroCountNormalized(t *testing.T) {
+	in := New(1, root)
+	in.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, locA, 0))
+	if in.AlertCount() != 1 {
+		t.Errorf("zero-count alert should count as 1, got %d", in.AlertCount())
+	}
+}
+
+func TestTypeCountDedups(t *testing.T) {
+	in := New(1, root)
+	in.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, locA, 1))
+	in.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, locB, 1)) // same type, other location
+	in.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch, locA, 1))
+	in.Add(mk(alert.SourceSyslog, alert.TypeLinkDown, epoch, locA, 1))
+	if got := in.TypeCount(alert.ClassFailure); got != 2 {
+		t.Errorf("failure types = %d, want 2", got)
+	}
+	if got := in.TypeCount(alert.ClassRootCause); got != 1 {
+		t.Errorf("rootcause types = %d, want 1", got)
+	}
+	if got := in.TypeCount(alert.ClassAbnormal); got != 0 {
+		t.Errorf("abnormal types = %d, want 0", got)
+	}
+}
+
+func TestMergeAndClose(t *testing.T) {
+	a := New(1, root)
+	a.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, locA, 1))
+	b := New(2, locB)
+	b.Add(mk(alert.SourceSyslog, alert.TypeLinkDown, epoch.Add(time.Second), locB, 1))
+	b.MergedFrom = []int{7}
+	a.Merge(b)
+	if a.AlertCount() != 2 {
+		t.Errorf("merged count = %d", a.AlertCount())
+	}
+	if len(a.MergedFrom) != 2 {
+		t.Errorf("MergedFrom = %v", a.MergedFrom)
+	}
+	if !a.Active() {
+		t.Error("should be active before Close")
+	}
+	a.Close(epoch.Add(time.Minute))
+	if a.Active() || !a.End.Equal(epoch.Add(time.Minute)) {
+		t.Error("close failed")
+	}
+	a.Close(epoch.Add(2 * time.Minute)) // idempotent
+	if !a.End.Equal(epoch.Add(time.Minute)) {
+		t.Error("second close moved End")
+	}
+}
+
+func TestLocationsSorted(t *testing.T) {
+	in := New(1, root)
+	in.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, locB, 1))
+	in.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, locA, 1))
+	locs := in.Locations()
+	if len(locs) != 2 || locs[0].Compare(locs[1]) >= 0 {
+		t.Errorf("locations unsorted: %v", locs)
+	}
+}
+
+func TestRenderFigure6Shape(t *testing.T) {
+	in := New(1, root)
+	in.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch, locA, 3))
+	in.Add(mk(alert.SourceOutOfBand, alert.TypeDeviceInaccessible, epoch, locA, 680))
+	in.Add(mk(alert.SourceSyslog, alert.TypeTrafficBlackhole, epoch, locB, 1))
+	in.Add(mk(alert.SourceSyslog, alert.TypeBGPLinkJitter, epoch, locB, 4))
+	in.Add(mk(alert.SourceSyslog, alert.TypeHardwareError, epoch, locB, 1))
+	in.Severity = 60.0
+	out := in.Render()
+	for _, want := range []string{
+		"Incident 1:",
+		"[RegionA|Citya|Logic site 2]",
+		"severity=60.0",
+		"Failure alerts",
+		"Abnormal alerts",
+		"Root cause alerts",
+		"inaccessible (680)",
+		"bgp link jitter (4)",
+		"end to end icmp (3)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The last row of a source uses the corner branch.
+	if !strings.Contains(out, "└-") {
+		t.Error("render missing corner branch")
+	}
+}
+
+func TestRenderClosedAndZoomed(t *testing.T) {
+	in := New(2, root)
+	in.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, locA, 1))
+	in.Zoomed = locB
+	in.Close(epoch.Add(time.Minute))
+	out := in.Render()
+	if !strings.Contains(out, "zoomed="+locB.String()) {
+		t.Errorf("render missing zoomed location:\n%s", out)
+	}
+	if !strings.Contains(out, in.End.Format("15:04:05")) {
+		t.Error("render should show the closed end time")
+	}
+}
+
+func TestEntriesByClassSorted(t *testing.T) {
+	in := New(1, root)
+	in.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, locB, 1))
+	in.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch, locA, 1))
+	in.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch, locB, 1))
+	got := in.EntriesByClass(alert.ClassFailure)
+	entries := got[alert.SourcePing]
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		prev, cur := entries[i-1].Alert, entries[i].Alert
+		if prev.Type > cur.Type || (prev.Type == cur.Type && prev.Location.Compare(cur.Location) > 0) {
+			t.Error("entries not sorted by type then location")
+		}
+	}
+}

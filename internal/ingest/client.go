@@ -1,0 +1,90 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"skynet/internal/alert"
+)
+
+// TCPClient streams alerts to an ingest server as JSON Lines over one TCP
+// connection. Not safe for concurrent use.
+type TCPClient struct {
+	conn net.Conn
+	enc  *alert.Encoder
+}
+
+// DialTCP connects to a server's TCP listener.
+func DialTCP(ctx context.Context, addr string) (*TCPClient, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: dial tcp %s: %w", addr, err)
+	}
+	return &TCPClient{conn: conn, enc: alert.NewEncoder(conn)}, nil
+}
+
+// Send buffers one alert; call Flush to push buffered alerts to the wire.
+func (c *TCPClient) Send(a *alert.Alert) error {
+	return c.enc.Encode(a)
+}
+
+// Flush writes buffered alerts to the connection.
+func (c *TCPClient) Flush() error { return c.enc.Flush() }
+
+// Close flushes and closes the connection.
+func (c *TCPClient) Close() error {
+	flushErr := c.enc.Flush()
+	closeErr := c.conn.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// UDPClient sends alerts as single compact-format datagrams — the
+// fire-and-forget path device-local agents use. Safe for sequential use.
+type UDPClient struct {
+	conn net.Conn
+	buf  []byte
+}
+
+// DialUDP creates a UDP client for the server's datagram listener.
+func DialUDP(addr string) (*UDPClient, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: dial udp %s: %w", addr, err)
+	}
+	return &UDPClient{conn: conn, buf: make([]byte, 0, 512)}, nil
+}
+
+// Send transmits one alert as one datagram.
+func (c *UDPClient) Send(a *alert.Alert) error {
+	c.buf = alert.AppendWire(c.buf[:0], a)
+	if len(c.buf) > alert.MaxLineBytes {
+		return alert.ErrLineTooLong
+	}
+	if _, err := c.conn.Write(c.buf); err != nil {
+		return fmt.Errorf("ingest: udp send: %w", err)
+	}
+	return nil
+}
+
+// Close closes the client socket.
+func (c *UDPClient) Close() error { return c.conn.Close() }
+
+// WaitForAccepted polls the server until at least n alerts were accepted
+// or the deadline passes — a test/ops helper for UDP's fire-and-forget
+// semantics.
+func WaitForAccepted(s *Server, n int, deadline time.Duration) bool {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if s.Stats().AlertsAccepted >= n {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return s.Stats().AlertsAccepted >= n
+}

@@ -1,0 +1,327 @@
+// Package ingest is SkyNet's network front door: monitoring tools deliver
+// raw alerts over TCP (JSON Lines) or UDP (the compact pipe-delimited
+// format), and the listeners funnel them into a single handler — typically
+// core.Engine.Ingest — serialized on one goroutine so the engine needs no
+// internal locking.
+//
+// The production system sits behind collectors speaking exactly these two
+// shapes of protocol: reliable streams from aggregating relays, and
+// fire-and-forget datagrams from device-local agents.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"skynet/internal/alert"
+)
+
+// Handler consumes ingested alerts. Implementations are called from a
+// single dispatch goroutine; they must not block for long.
+type Handler func(alert.Alert)
+
+// Stats counts ingestion activity. Snapshot with Server.Stats.
+type Stats struct {
+	TCPConnections int
+	AlertsAccepted int
+	AlertsRejected int
+}
+
+// Config tunes a Server.
+type Config struct {
+	// TCPAddr and UDPAddr are listen addresses; empty disables that
+	// listener. Use ":0" for an ephemeral port.
+	TCPAddr string
+	UDPAddr string
+	// MaxConns bounds concurrent TCP connections; further dials are
+	// accepted and immediately closed.
+	MaxConns int
+	// ReadTimeout closes idle TCP connections.
+	ReadTimeout time.Duration
+	// QueueDepth is the dispatch channel capacity between readers and the
+	// handler goroutine.
+	QueueDepth int
+	// Logger receives operational events; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// DefaultConfig returns sensible listener defaults on ephemeral ports.
+func DefaultConfig() Config {
+	return Config{
+		TCPAddr:     "127.0.0.1:0",
+		UDPAddr:     "127.0.0.1:0",
+		MaxConns:    64,
+		ReadTimeout: 2 * time.Minute,
+		QueueDepth:  1024,
+	}
+}
+
+// Server runs the listeners. Create with Listen, stop with Close.
+type Server struct {
+	cfg     Config
+	handler Handler
+	log     *slog.Logger
+
+	tcpLn net.Listener
+	udpPc net.PacketConn
+
+	queue chan alert.Alert
+
+	mu    sync.Mutex
+	stats Stats
+	conns map[net.Conn]struct{}
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// Listen starts the configured listeners and the dispatch goroutine.
+func Listen(cfg Config, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("ingest: nil handler")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 64
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		handler: handler,
+		log:     log,
+		queue:   make(chan alert.Alert, cfg.QueueDepth),
+		conns:   make(map[net.Conn]struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	if cfg.TCPAddr != "" {
+		ln, err := net.Listen("tcp", cfg.TCPAddr)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("ingest: tcp listen: %w", err)
+		}
+		s.tcpLn = ln
+		s.wg.Add(1)
+		go s.acceptLoop()
+	}
+	if cfg.UDPAddr != "" {
+		pc, err := net.ListenPacket("udp", cfg.UDPAddr)
+		if err != nil {
+			if s.tcpLn != nil {
+				s.tcpLn.Close()
+			}
+			cancel()
+			return nil, fmt.Errorf("ingest: udp listen: %w", err)
+		}
+		s.udpPc = pc
+		s.wg.Add(1)
+		go s.udpLoop()
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// TCPAddr returns the bound TCP address, or nil when TCP is disabled.
+func (s *Server) TCPAddr() net.Addr {
+	if s.tcpLn == nil {
+		return nil
+	}
+	return s.tcpLn.Addr()
+}
+
+// UDPAddr returns the bound UDP address, or nil when UDP is disabled.
+func (s *Server) UDPAddr() net.Addr {
+	if s.udpPc == nil {
+		return nil
+	}
+	return s.udpPc.LocalAddr()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops the listeners, drains in-flight work, and returns when all
+// goroutines have exited. It is idempotent.
+func (s *Server) Close() error {
+	s.cancel()
+	if s.tcpLn != nil {
+		s.tcpLn.Close()
+	}
+	if s.udpPc != nil {
+		s.udpPc.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// dispatch serializes alerts into the handler.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			// Drain what readers already queued.
+			for {
+				select {
+				case a := <-s.queue:
+					s.handler(a)
+				default:
+					return
+				}
+			}
+		case a := <-s.queue:
+			s.handler(a)
+		}
+	}
+}
+
+// enqueue hands an alert to the dispatcher, dropping (and counting) when
+// the queue is full — backpressure must not stall the network readers
+// during an alert flood.
+func (s *Server) enqueue(a alert.Alert) {
+	select {
+	case s.queue <- a:
+		s.mu.Lock()
+		s.stats.AlertsAccepted++
+		s.mu.Unlock()
+	default:
+		s.mu.Lock()
+		s.stats.AlertsRejected++
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) reject() {
+	s.mu.Lock()
+	s.stats.AlertsRejected++
+	s.mu.Unlock()
+}
+
+// acceptLoop accepts TCP connections up to MaxConns.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcpLn.Accept()
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return
+			}
+			s.log.Warn("ingest: accept", "err", err)
+			continue
+		}
+		s.mu.Lock()
+		if len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.log.Warn("ingest: connection limit reached, closing", "remote", conn.RemoteAddr())
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.stats.TCPConnections++
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn reads JSON Lines alerts from one TCP connection.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := alert.NewDecoder(&timeoutReader{conn: conn, timeout: s.cfg.ReadTimeout})
+	for {
+		var a alert.Alert
+		err := dec.Decode(&a)
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			if s.ctx.Err() == nil {
+				s.log.Warn("ingest: tcp decode", "remote", conn.RemoteAddr(), "err", err)
+			}
+			s.reject()
+			return
+		}
+		if verr := a.Validate(); verr != nil && a.Source != alert.SourceSyslog {
+			s.reject()
+			continue
+		}
+		s.enqueue(a)
+	}
+}
+
+// udpLoop reads one compact-format alert per datagram.
+func (s *Server) udpLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, alert.MaxLineBytes)
+	for {
+		n, _, err := s.udpPc.ReadFrom(buf)
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return
+			}
+			s.log.Warn("ingest: udp read", "err", err)
+			continue
+		}
+		a, err := alert.ParseWire(trimNewline(buf[:n]))
+		if err != nil {
+			s.reject()
+			continue
+		}
+		if verr := a.Validate(); verr != nil && a.Source != alert.SourceSyslog {
+			s.reject()
+			continue
+		}
+		s.enqueue(a)
+	}
+}
+
+func trimNewline(b []byte) []byte {
+	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// timeoutReader applies a fresh read deadline per Read call.
+type timeoutReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (r *timeoutReader) Read(p []byte) (int, error) {
+	if r.timeout > 0 {
+		if err := r.conn.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
+			return 0, err
+		}
+	}
+	return r.conn.Read(p)
+}

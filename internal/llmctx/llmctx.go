@@ -1,0 +1,239 @@
+// Package llmctx implements the paper's LLM-integration future work (§9):
+// "the time and location data extracted from incidents identified by
+// SkyNet can serve as valuable inputs for LLMs. In theory, SkyNet
+// truncates the monitoring results to maintain compliance with the LLM
+// input length constraints without sacrificing valuable information."
+//
+// Build produces a deterministic plain-text diagnostic bundle for one
+// incident under a hard token budget. Content is admitted in value order —
+// scope and timing first, then root-cause evidence, then failure
+// behaviour, then abnormal context, then raw message samples — so
+// truncation removes the least diagnostic material first. §2.3's
+// motivation is baked in: the raw feed (10M syslog lines / 15 min) can
+// never fit a context window; an incident's distilled evidence can.
+package llmctx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/incident"
+)
+
+// Config bounds the bundle.
+type Config struct {
+	// TokenBudget is the hard limit, in estimated tokens.
+	TokenBudget int
+	// MaxRawSamples caps verbatim raw-message samples per source.
+	MaxRawSamples int
+}
+
+// DefaultConfig targets a small prompt slice, leaving the window to the
+// caller's instructions and other incidents.
+func DefaultConfig() Config {
+	return Config{TokenBudget: 1500, MaxRawSamples: 3}
+}
+
+// Bundle is the produced context.
+type Bundle struct {
+	// Text is the prompt-ready content.
+	Text string
+	// Tokens is the estimated token count of Text.
+	Tokens int
+	// Truncated reports whether the budget forced omissions.
+	Truncated bool
+	// Sections lists the included section names, in order.
+	Sections []string
+}
+
+// EstimateTokens approximates LLM tokenization: one token per word piece,
+// counting words and splitting long words. Deterministic and
+// provider-agnostic — a budget guard, not an exact count.
+func EstimateTokens(s string) int {
+	n := 0
+	for _, w := range strings.Fields(s) {
+		n += 1 + len(w)/8
+	}
+	return n
+}
+
+// Build assembles the bundle for an incident.
+func Build(cfg Config, in *incident.Incident) Bundle {
+	if cfg.TokenBudget <= 0 {
+		cfg = DefaultConfig()
+	}
+	b := builder{cfg: cfg}
+
+	// Section 1: scope and timing — the §9 "time and location data".
+	end := in.UpdateTime
+	if !in.End.IsZero() {
+		end = in.End
+	}
+	head := fmt.Sprintf(
+		"NETWORK INCIDENT %d\nlocation: %s\nwindow: %s to %s (%s)\nseverity: %.1f\n",
+		in.ID, in.Root,
+		in.Start.Format(time.RFC3339), end.Format(time.RFC3339),
+		end.Sub(in.Start).Round(time.Second), in.Severity)
+	if !in.Zoomed.IsRoot() && in.Zoomed != in.Root {
+		head += fmt.Sprintf("refined location (zoom-in): %s\n", in.Zoomed)
+	}
+	b.add("scope", head)
+
+	// Sections 2–4: evidence by diagnostic value.
+	b.add("root-cause evidence", classSection(in, alert.ClassRootCause))
+	b.add("failure behaviour", classSection(in, alert.ClassFailure))
+	b.add("abnormal context", classSection(in, alert.ClassAbnormal))
+
+	// Section 5: verbatim raw samples, a few per source.
+	b.add("raw samples", rawSamples(in, cfg.MaxRawSamples))
+
+	// Closing instruction context.
+	b.add("question", "task: identify the most likely root cause and the entity to repair.\n")
+	return b.finish()
+}
+
+// classSection renders one evidence tier as compact lines:
+// "syslog/link down at <loc>: 8 alerts over 4m30s (max 0.50)".
+func classSection(in *incident.Incident, c alert.Class) string {
+	type row struct {
+		line string
+		// weight orders rows within the section: more observations first.
+		weight int
+	}
+	var rows []row
+	for loc, entries := range in.Entries {
+		for _, e := range entries {
+			a := &e.Alert
+			if a.Class != c {
+				continue
+			}
+			line := fmt.Sprintf("- %s/%s at %s: %d alerts over %s",
+				a.Source, a.Type, loc, a.Count, a.Duration().Round(time.Second))
+			if a.Value > 0 {
+				line += fmt.Sprintf(" (max %.3g)", a.Value)
+			}
+			if a.CircuitSet != "" {
+				line += " circuitset=" + a.CircuitSet
+			}
+			rows = append(rows, row{line: line + "\n", weight: a.Count})
+		}
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].weight != rows[j].weight {
+			return rows[i].weight > rows[j].weight
+		}
+		return rows[i].line < rows[j].line
+	})
+	var sb strings.Builder
+	for _, r := range rows {
+		sb.WriteString(r.line)
+	}
+	return sb.String()
+}
+
+// rawSamples extracts up to n verbatim raw messages per source, giving the
+// model the exact vendor wording for the highest-count streams.
+func rawSamples(in *incident.Incident, n int) string {
+	perSource := map[alert.Source][]string{}
+	counts := map[alert.Source][]int{}
+	for _, entries := range in.Entries {
+		for _, e := range entries {
+			if e.Alert.Raw == "" {
+				continue
+			}
+			s := e.Alert.Source
+			perSource[s] = append(perSource[s], e.Alert.Raw)
+			counts[s] = append(counts[s], e.Alert.Count)
+		}
+	}
+	if len(perSource) == 0 {
+		return ""
+	}
+	srcs := make([]alert.Source, 0, len(perSource))
+	for s := range perSource {
+		srcs = append(srcs, s)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	var sb strings.Builder
+	for _, s := range srcs {
+		lines := perSource[s]
+		ws := counts[s]
+		idx := make([]int, len(lines))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			if ws[idx[a]] != ws[idx[b]] {
+				return ws[idx[a]] > ws[idx[b]]
+			}
+			return lines[idx[a]] < lines[idx[b]]
+		})
+		for i := 0; i < len(idx) && i < n; i++ {
+			fmt.Fprintf(&sb, "[%s] %s\n", s, lines[idx[i]])
+		}
+	}
+	return sb.String()
+}
+
+// builder accumulates sections under the budget.
+type builder struct {
+	cfg      Config
+	out      strings.Builder
+	tokens   int
+	sections []string
+	trunc    bool
+}
+
+// add appends a section, truncating line-wise when the budget runs short.
+// Empty sections are skipped.
+func (b *builder) add(name, content string) {
+	if content == "" {
+		return
+	}
+	header := strings.ToUpper(name) + ":\n"
+	headerTokens := EstimateTokens(header)
+	if b.tokens+headerTokens >= b.cfg.TokenBudget {
+		b.trunc = true
+		return
+	}
+	var kept []string
+	budgetLeft := b.cfg.TokenBudget - b.tokens - headerTokens
+	for _, line := range strings.SplitAfter(content, "\n") {
+		if line == "" {
+			continue
+		}
+		lt := EstimateTokens(line)
+		if lt > budgetLeft {
+			b.trunc = true
+			break
+		}
+		kept = append(kept, line)
+		budgetLeft -= lt
+	}
+	if len(kept) == 0 {
+		b.trunc = true
+		return
+	}
+	b.out.WriteString(header)
+	for _, l := range kept {
+		b.out.WriteString(l)
+	}
+	b.out.WriteString("\n")
+	b.tokens = EstimateTokens(b.out.String())
+	b.sections = append(b.sections, name)
+}
+
+func (b *builder) finish() Bundle {
+	return Bundle{
+		Text:      b.out.String(),
+		Tokens:    EstimateTokens(b.out.String()),
+		Truncated: b.trunc,
+		Sections:  b.sections,
+	}
+}

@@ -1,0 +1,145 @@
+package llmctx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+	"skynet/internal/incident"
+)
+
+var epoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+func bigIncident(entries int) *incident.Incident {
+	root := hierarchy.MustNew("RG01", "CT01", "LS01")
+	in := incident.New(7, root)
+	in.Severity = 42.5
+	in.Zoomed = root.MustChild("ST01")
+	for i := 0; i < entries; i++ {
+		loc := root.MustChild("ST01").MustChild("CL01").MustChild("dev-" + string(rune('a'+i%20)) + string(rune('0'+i/20%10)))
+		src := alert.SourcePing
+		typ := alert.TypePacketLoss
+		switch i % 3 {
+		case 1:
+			src, typ = alert.SourceSyslog, alert.TypeLinkDown
+		case 2:
+			src, typ = alert.SourceSNMP, alert.TypeTrafficCongestion
+		}
+		in.Add(alert.Alert{
+			Source: src, Type: typ, Class: alert.Classify(src, typ),
+			Time: epoch, End: epoch.Add(3 * time.Minute), Location: loc,
+			Value: 0.25, Count: 3 + i,
+			Raw: "%LINK-3-UPDOWN: Interface TenGigE0/0/0/1, changed state to down",
+		})
+	}
+	return in
+}
+
+func TestBuildIncludesCoreSections(t *testing.T) {
+	b := Build(DefaultConfig(), bigIncident(9))
+	for _, want := range []string{
+		"NETWORK INCIDENT 7",
+		"location: RG01|CT01|LS01",
+		"refined location (zoom-in): RG01|CT01|LS01|ST01",
+		"severity: 42.5",
+		"ROOT-CAUSE EVIDENCE:",
+		"FAILURE BEHAVIOUR:",
+		"QUESTION:",
+	} {
+		if !strings.Contains(b.Text, want) {
+			t.Errorf("bundle missing %q:\n%s", want, b.Text)
+		}
+	}
+	if b.Tokens <= 0 || b.Tokens > DefaultConfig().TokenBudget {
+		t.Errorf("tokens = %d, budget %d", b.Tokens, DefaultConfig().TokenBudget)
+	}
+}
+
+func TestRootCauseBeforeFailureBeforeAbnormal(t *testing.T) {
+	b := Build(DefaultConfig(), bigIncident(9))
+	rc := strings.Index(b.Text, "ROOT-CAUSE EVIDENCE:")
+	fb := strings.Index(b.Text, "FAILURE BEHAVIOUR:")
+	ab := strings.Index(b.Text, "ABNORMAL CONTEXT:")
+	if rc < 0 || fb < 0 || ab < 0 {
+		t.Fatalf("sections missing: %d %d %d", rc, fb, ab)
+	}
+	if !(rc < fb && fb < ab) {
+		t.Error("sections out of diagnostic-value order")
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	cfg := Config{TokenBudget: 120, MaxRawSamples: 2}
+	b := Build(cfg, bigIncident(200))
+	if b.Tokens > cfg.TokenBudget {
+		t.Errorf("bundle %d tokens exceeds budget %d", b.Tokens, cfg.TokenBudget)
+	}
+	if !b.Truncated {
+		t.Error("a 200-entry incident under 120 tokens must truncate")
+	}
+	// Scope always survives: it is the most valuable line.
+	if !strings.Contains(b.Text, "NETWORK INCIDENT") {
+		t.Error("scope section lost under truncation")
+	}
+}
+
+func TestSmallIncidentNotTruncated(t *testing.T) {
+	b := Build(DefaultConfig(), bigIncident(3))
+	if b.Truncated {
+		t.Error("small incident should fit whole")
+	}
+}
+
+func TestRawSamplesBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRawSamples = 1
+	b := Build(cfg, bigIncident(30))
+	// One sample per source at most.
+	if n := strings.Count(b.Text, "[syslog] %LINK"); n > 1 {
+		t.Errorf("syslog samples = %d, want ≤ 1", n)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Build(DefaultConfig(), bigIncident(25))
+	b := Build(DefaultConfig(), bigIncident(25))
+	if a.Text != b.Text {
+		t.Error("bundle not deterministic")
+	}
+}
+
+func TestZeroConfigFallsBack(t *testing.T) {
+	b := Build(Config{}, bigIncident(3))
+	if b.Tokens == 0 {
+		t.Error("zero config produced empty bundle")
+	}
+}
+
+func TestPropertyBudgetNeverExceeded(t *testing.T) {
+	f := func(seed int64) bool {
+		budget := 60 + int(seed%400+400)%400
+		cfg := Config{TokenBudget: budget, MaxRawSamples: 2}
+		entries := 1 + int(seed%97+97)%97
+		b := Build(cfg, bigIncident(entries))
+		return b.Tokens <= budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateTokens(t *testing.T) {
+	if EstimateTokens("") != 0 {
+		t.Error("empty string should be 0 tokens")
+	}
+	if EstimateTokens("one two three") != 3 {
+		t.Errorf("3 short words = %d tokens", EstimateTokens("one two three"))
+	}
+	long := strings.Repeat("x", 40)
+	if EstimateTokens(long) < 5 {
+		t.Error("long words should count as multiple tokens")
+	}
+}

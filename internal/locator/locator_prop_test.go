@@ -1,0 +1,166 @@
+package locator
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/experimentsutil"
+	"skynet/internal/topology"
+)
+
+// Property tests on the locator's structural invariants under random alert
+// streams: whatever arrives, in whatever order, the trees must stay
+// consistent.
+
+// randStream produces a random but valid structured-alert stream over a
+// topology.
+func randStream(topo *topology.Topology, r *rand.Rand, n int) []alert.Alert {
+	return experimentsutil.RandomAlerts(topo, r, n, epoch)
+}
+
+func propTopo() *topology.Topology { return topology.MustGenerate(topology.SmallConfig()) }
+
+func TestPropertyIncidentRootsContainTheirEntries(t *testing.T) {
+	topo := propTopo()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := New(DefaultConfig(), topo)
+		for _, a := range randStream(topo, r, 80) {
+			l.Add(a)
+			if r.Intn(10) == 0 {
+				l.Check(a.Time)
+			}
+		}
+		l.Check(epoch.Add(20 * time.Minute))
+		for _, in := range append(l.Active(), l.Closed()...) {
+			for loc := range in.Entries {
+				if !in.Root.Contains(loc) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyActiveRootsAreDisjointOrNested(t *testing.T) {
+	// After any stream, no two active incidents may share a root, and no
+	// active root may strictly contain another (containment triggers
+	// absorption in Algorithm 2).
+	topo := propTopo()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := New(DefaultConfig(), topo)
+		for _, a := range randStream(topo, r, 120) {
+			l.Add(a)
+			if r.Intn(8) == 0 {
+				l.Check(a.Time)
+			}
+		}
+		active := l.Active()
+		for i := range active {
+			for j := i + 1; j < len(active); j++ {
+				if active[i].Root == active[j].Root {
+					return false
+				}
+				if active[i].Root.Contains(active[j].Root) || active[j].Root.Contains(active[i].Root) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEveryIncidentCrossedThresholds(t *testing.T) {
+	// No incident may exist whose deduplicated type counts never crossed
+	// the thresholds (at creation time, its copied alerts alone must
+	// qualify).
+	topo := propTopo()
+	th := ProductionThresholds()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := New(DefaultConfig(), topo)
+		for _, a := range randStream(topo, r, 100) {
+			l.Add(a)
+			if r.Intn(10) == 0 {
+				l.Check(a.Time)
+			}
+		}
+		l.Check(epoch.Add(30 * time.Minute))
+		for _, in := range append(l.Active(), l.Closed()...) {
+			failure := in.TypeCount(alert.ClassFailure)
+			all := failure + in.TypeCount(alert.ClassAbnormal) + in.TypeCount(alert.ClassRootCause)
+			if !th.Crossed(failure, all) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyExpiryEventuallyEmptiesTree(t *testing.T) {
+	topo := propTopo()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := New(DefaultConfig(), topo)
+		var last time.Time
+		for _, a := range randStream(topo, r, 60) {
+			l.Add(a)
+			last = a.Time
+		}
+		// One NodeTTL+IncidentTTL past the last alert: everything gone.
+		l.Check(last.Add(25 * time.Minute))
+		return l.NodeCount() == 0 && len(l.Active()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDeterministicAcrossRuns(t *testing.T) {
+	topo := propTopo()
+	f := func(seed int64) bool {
+		run := func() []int {
+			r := rand.New(rand.NewSource(seed))
+			l := New(DefaultConfig(), topo)
+			for _, a := range randStream(topo, r, 100) {
+				l.Add(a)
+				if r.Intn(6) == 0 {
+					l.Check(a.Time)
+				}
+			}
+			l.Check(epoch.Add(30 * time.Minute))
+			var ids []int
+			for _, in := range append(l.Active(), l.Closed()...) {
+				ids = append(ids, in.ID, in.AlertCount())
+			}
+			return ids
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

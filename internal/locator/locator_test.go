@@ -1,0 +1,363 @@
+package locator
+
+import (
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+	"skynet/internal/topology"
+)
+
+var epoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+func mk(src alert.Source, typ string, at time.Time, loc hierarchy.Path) alert.Alert {
+	return alert.Alert{
+		Source: src, Type: typ, Class: alert.Classify(src, typ),
+		Time: at, End: at, Location: loc, Count: 1,
+	}
+}
+
+func newLocator(t *testing.T) (*Locator, *topology.Topology) {
+	t.Helper()
+	topo := topology.MustGenerate(topology.SmallConfig())
+	return New(DefaultConfig(), topo), topo
+}
+
+func TestParseThresholds(t *testing.T) {
+	th, err := ParseThresholds("2/1+2/5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th != ProductionThresholds() {
+		t.Errorf("parsed %+v", th)
+	}
+	if th.String() != "2/1+2/5" {
+		t.Errorf("String = %q", th.String())
+	}
+	for _, bad := range []string{"", "2/5", "a/1+2/5", "2/x+2/5", "2/1+x/5", "2/1+2/x", "2/1/2/5", "2/1-2/5", "-1/1+2/5"} {
+		if _, err := ParseThresholds(bad); err == nil {
+			t.Errorf("ParseThresholds(%q): want error", bad)
+		}
+	}
+}
+
+func TestThresholdClauses(t *testing.T) {
+	th := ProductionThresholds()
+	cases := []struct {
+		fail, all int
+		want      bool
+	}{
+		{2, 2, true},  // A: two failure types
+		{1, 3, true},  // B+C: one failure + two other
+		{0, 5, true},  // D: five any
+		{1, 2, false}, // one failure + one other
+		{0, 4, false}, // four non-failure
+		{1, 1, false}, // lone failure
+		{0, 0, false},
+	}
+	for _, c := range cases {
+		if got := th.Crossed(c.fail, c.all); got != c.want {
+			t.Errorf("Crossed(%d,%d) = %v, want %v", c.fail, c.all, got, c.want)
+		}
+	}
+	// Disabled clauses.
+	if (Thresholds{}).Crossed(10, 20) {
+		t.Error("all-zero thresholds should never cross")
+	}
+	only5 := Thresholds{AnyAlerts: 5}
+	if only5.Crossed(4, 4) || !only5.Crossed(0, 5) {
+		t.Error("AnyAlerts-only misbehaves")
+	}
+}
+
+func TestTwoFailureTypesMakeIncident(t *testing.T) {
+	l, topo := newLocator(t)
+	dev := topo.Device(0).Path
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, dev))
+	l.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch.Add(time.Second), dev))
+	created := l.Check(epoch.Add(2 * time.Second))
+	if len(created) != 1 {
+		t.Fatalf("incidents created = %d, want 1", len(created))
+	}
+	in := created[0]
+	if in.Root != dev {
+		t.Errorf("root = %v, want %v", in.Root, dev)
+	}
+	if in.TypeCount(alert.ClassFailure) != 2 {
+		t.Errorf("failure types = %d", in.TypeCount(alert.ClassFailure))
+	}
+}
+
+func TestSameTypeManyLocationsCountsOnce(t *testing.T) {
+	// The probe-error storm of §4.2: many identical device-down alerts
+	// across devices must NOT make an incident under type counting.
+	l, topo := newLocator(t)
+	cl := topo.Clusters()[0]
+	for _, id := range topo.DevicesUnder(cl) {
+		l.Add(mk(alert.SourceOutOfBand, alert.TypeDeviceInaccessible, epoch, topo.Device(id).Path))
+	}
+	if created := l.Check(epoch.Add(time.Second)); len(created) != 0 {
+		t.Errorf("same-type flood created %d incidents", len(created))
+	}
+}
+
+func TestTypeAndLocationBaselineFires(t *testing.T) {
+	// The Figure 9 first column: per-(type,location) counting turns the
+	// same flood into an incident — the false-positive explosion.
+	topo := topology.MustGenerate(topology.SmallConfig())
+	cfg := DefaultConfig()
+	cfg.TypeAndLocation = true
+	l := New(cfg, topo)
+	cl := topo.Clusters()[0]
+	for _, id := range topo.DevicesUnder(cl) {
+		l.Add(mk(alert.SourceOutOfBand, alert.TypeDeviceInaccessible, epoch, topo.Device(id).Path))
+	}
+	if created := l.Check(epoch.Add(time.Second)); len(created) != 1 {
+		t.Errorf("type+location baseline created %d incidents, want 1", len(created))
+	}
+}
+
+func TestBelowThresholdNoIncident(t *testing.T) {
+	l, topo := newLocator(t)
+	dev := topo.Device(0).Path
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, dev))
+	l.Add(mk(alert.SourceSyslog, alert.TypeLinkDown, epoch, dev))
+	if created := l.Check(epoch.Add(time.Second)); len(created) != 0 {
+		t.Error("1 failure + 1 other should not qualify")
+	}
+}
+
+func TestComboThreshold(t *testing.T) {
+	l, topo := newLocator(t)
+	dev := topo.Device(0).Path
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, dev))
+	l.Add(mk(alert.SourceSyslog, alert.TypeLinkDown, epoch, dev))
+	l.Add(mk(alert.SourceSyslog, alert.TypeBGPPeerDown, epoch, dev))
+	if created := l.Check(epoch.Add(time.Second)); len(created) != 1 {
+		t.Error("1 failure + 2 other should qualify")
+	}
+}
+
+func TestInfoAlertsNeverCount(t *testing.T) {
+	l, topo := newLocator(t)
+	dev := topo.Device(0).Path
+	for i := 0; i < 10; i++ {
+		a := mk(alert.SourceModificationEvents, alert.TypeModificationDone, epoch, dev)
+		a.Type = a.Type + string(rune('a'+i)) // distinct unknown types
+		a.Class = alert.ClassInfo
+		l.Add(a)
+	}
+	if created := l.Check(epoch.Add(time.Second)); len(created) != 0 {
+		t.Error("info alerts created an incident")
+	}
+}
+
+func TestIsolatedDevicesSplitIncidents(t *testing.T) {
+	// The Figure 5c scenario: alerts at a connected area and at an
+	// unrelated distant device must form two incidents.
+	l, topo := newLocator(t)
+	l1 := topo.Link(0)
+	a := topo.Device(l1.A)
+	b := topo.Device(l1.B)
+	// Area 1: adjacent devices a and b with a failure each + rootcause.
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, a.Path))
+	l.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch, b.Path))
+	// Area 2: a device in the last cluster of another city.
+	far := topo.Clusters()[len(topo.Clusters())-1]
+	var farDev hierarchy.Path
+	for _, id := range topo.DevicesUnder(far) {
+		farDev = topo.Device(id).Path
+		break
+	}
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, farDev))
+	l.Add(mk(alert.SourceTraffic, alert.TypePacketLoss, epoch, farDev))
+	created := l.Check(epoch.Add(time.Second))
+	if len(created) != 2 {
+		t.Fatalf("created %d incidents, want 2", len(created))
+	}
+	roots := map[hierarchy.Path]bool{}
+	for _, in := range created {
+		roots[in.Root] = true
+	}
+	if !roots[farDev] {
+		t.Errorf("far device not an incident root: %v", roots)
+	}
+}
+
+func TestConnectivityAblationMergesEverything(t *testing.T) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	cfg := DefaultConfig()
+	cfg.DisableConnectivity = true
+	l := New(cfg, topo)
+	l1 := topo.Link(0)
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, topo.Device(l1.A).Path))
+	l.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch, topo.Device(l1.B).Path))
+	far := topo.Clusters()[len(topo.Clusters())-1]
+	var farDev hierarchy.Path
+	for _, id := range topo.DevicesUnder(far) {
+		farDev = topo.Device(id).Path
+		break
+	}
+	l.Add(mk(alert.SourceTraffic, alert.TypePacketLoss, epoch, farDev))
+	created := l.Check(epoch.Add(time.Second))
+	if len(created) != 1 {
+		t.Fatalf("ablation created %d incidents, want 1 merged", len(created))
+	}
+	if created[0].Root.Depth() >= farDev.Depth() {
+		t.Error("merged incident should root at a shallow common ancestor")
+	}
+}
+
+func TestAncestorAlertJoinsComponent(t *testing.T) {
+	// A site-level ping alert plus device alerts under the site must form
+	// one component rooted at the site.
+	l, topo := newLocator(t)
+	cl := topo.Clusters()[0]
+	site := cl.Parent()
+	var dev hierarchy.Path
+	for _, id := range topo.DevicesUnder(cl) {
+		dev = topo.Device(id).Path
+		break
+	}
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, site))
+	l.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch, dev))
+	created := l.Check(epoch.Add(time.Second))
+	if len(created) != 1 {
+		t.Fatalf("created %d, want 1", len(created))
+	}
+	if created[0].Root != site {
+		t.Errorf("root = %v, want %v", created[0].Root, site)
+	}
+}
+
+func TestAlertExpiry(t *testing.T) {
+	l, topo := newLocator(t)
+	dev := topo.Device(0).Path
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, dev))
+	l.Check(epoch.Add(time.Second))
+	if l.NodeCount() != 1 {
+		t.Fatal("node missing")
+	}
+	// After NodeTTL the alert — and its node — must be gone.
+	l.Check(epoch.Add(6 * time.Minute))
+	if l.NodeCount() != 0 {
+		t.Error("expired node retained")
+	}
+	// A second failure type arriving now must NOT combine with the
+	// expired alert.
+	l.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch.Add(6*time.Minute), dev))
+	if created := l.Check(epoch.Add(6*time.Minute + time.Second)); len(created) != 0 {
+		t.Error("expired alert contributed to an incident")
+	}
+}
+
+func TestIncidentTimeout(t *testing.T) {
+	l, topo := newLocator(t)
+	dev := topo.Device(0).Path
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, dev))
+	l.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch, dev))
+	created := l.Check(epoch.Add(time.Second))
+	if len(created) != 1 {
+		t.Fatal("no incident")
+	}
+	if len(l.Active()) != 1 || len(l.Closed()) != 0 {
+		t.Fatal("active bookkeeping wrong")
+	}
+	// 16 minutes of silence closes it.
+	l.Check(epoch.Add(16 * time.Minute))
+	if len(l.Active()) != 0 || len(l.Closed()) != 1 {
+		t.Errorf("active=%d closed=%d after timeout", len(l.Active()), len(l.Closed()))
+	}
+	closedIn := l.Closed()[0]
+	if closedIn.Active() {
+		t.Error("closed incident claims active")
+	}
+	if !closedIn.End.Equal(closedIn.UpdateTime) {
+		t.Error("incident end should be its last update time")
+	}
+}
+
+func TestNewAlertsFeedActiveIncident(t *testing.T) {
+	l, topo := newLocator(t)
+	dev := topo.Device(0).Path
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, dev))
+	l.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch, dev))
+	created := l.Check(epoch.Add(time.Second))
+	in := created[0]
+	before := in.AlertCount()
+	// A later alert under the incident root joins it and refreshes
+	// UpdateTime — keeping the incident alive past the original TTL.
+	l.Add(mk(alert.SourceSyslog, alert.TypeLinkDown, epoch.Add(10*time.Minute), dev))
+	l.Check(epoch.Add(10*time.Minute + time.Second))
+	if in.AlertCount() <= before {
+		t.Error("alert did not join the active incident")
+	}
+	l.Check(epoch.Add(20 * time.Minute)) // only 10 min since last alert
+	if len(l.Active()) != 1 {
+		t.Error("incident closed despite fresh alerts")
+	}
+}
+
+func TestNoDuplicateIncidentForSameRoot(t *testing.T) {
+	l, topo := newLocator(t)
+	dev := topo.Device(0).Path
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, dev))
+	l.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch, dev))
+	if n := len(l.Check(epoch.Add(time.Second))); n != 1 {
+		t.Fatal("setup failed")
+	}
+	// Same conditions at the next check: no second incident.
+	if n := len(l.Check(epoch.Add(2 * time.Second))); n != 0 {
+		t.Errorf("duplicate incident created: %d", n)
+	}
+}
+
+func TestIncidentGrowthAbsorbsSmaller(t *testing.T) {
+	l, topo := newLocator(t)
+	// Start with an incident at one device.
+	lnk := topo.Link(0)
+	a, b := topo.Device(lnk.A), topo.Device(lnk.B)
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, a.Path))
+	l.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch, a.Path))
+	first := l.Check(epoch.Add(time.Second))
+	if len(first) != 1 {
+		t.Fatal("setup failed")
+	}
+	// The failure widens: the adjacent device starts alerting too.
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch.Add(30*time.Second), b.Path))
+	l.Add(mk(alert.SourceSyslog, alert.TypeLinkDown, epoch.Add(30*time.Second), b.Path))
+	second := l.Check(epoch.Add(31 * time.Second))
+	if len(second) != 1 {
+		t.Fatalf("widened incident not created: %d", len(second))
+	}
+	grown := second[0]
+	if grown.Root != a.Path.CommonAncestor(b.Path) {
+		t.Errorf("grown root = %v", grown.Root)
+	}
+	if len(grown.MergedFrom) != 1 || grown.MergedFrom[0] != first[0].ID {
+		t.Errorf("MergedFrom = %v", grown.MergedFrom)
+	}
+	if len(l.Active()) != 1 {
+		t.Errorf("active = %d after merge", len(l.Active()))
+	}
+}
+
+func TestCheckOnEmptyLocator(t *testing.T) {
+	l, _ := newLocator(t)
+	if created := l.Check(epoch); created != nil {
+		t.Error("empty locator created incidents")
+	}
+}
+
+func TestNilTopologyImpliesNoConnectivity(t *testing.T) {
+	l := New(DefaultConfig(), nil)
+	dev := hierarchy.MustNew("R", "C", "L", "S", "K", "d1")
+	dev2 := hierarchy.MustNew("R2", "C", "L", "S", "K", "d2")
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, dev))
+	l.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch, dev2))
+	created := l.Check(epoch.Add(time.Second))
+	if len(created) != 1 {
+		t.Errorf("nil-topology locator should merge all: %d", len(created))
+	}
+}

@@ -1,0 +1,103 @@
+// Package metrics scores SkyNet runs the way the paper's operators scored
+// the production deployment: incidents are matched against injected-
+// failure ground truth to count false positives and negatives (§6.1,
+// §6.3), and an operator model converts alert/incident volumes into
+// mitigation times (Fig. 10c).
+package metrics
+
+import (
+	"time"
+
+	"skynet/internal/incident"
+	"skynet/internal/scenario"
+)
+
+// Outcome is the confusion summary of one run.
+type Outcome struct {
+	// TruePositives counts incidents attributable to an injected failure.
+	TruePositives int
+	// FalsePositives counts incidents with no matching injected failure.
+	FalsePositives int
+	// FalseNegatives counts injected failures with no matching incident.
+	FalseNegatives int
+	// Scenarios is the ground-truth count.
+	Scenarios int
+	// DetectionDelay records, per detected scenario index, how long after
+	// the failure started its first matching incident appeared.
+	DetectionDelay map[int]time.Duration
+}
+
+// FPRatio is FP / (FP + TP): the fraction of reported incidents that waste
+// operator time (the y-axis of Figures 8a and 9).
+func (o Outcome) FPRatio() float64 {
+	total := o.FalsePositives + o.TruePositives
+	if total == 0 {
+		return 0
+	}
+	return float64(o.FalsePositives) / float64(total)
+}
+
+// FNRatio is FN / scenarios: the fraction of real failures missed.
+func (o Outcome) FNRatio() float64 {
+	if o.Scenarios == 0 {
+		return 0
+	}
+	return float64(o.FalseNegatives) / float64(o.Scenarios)
+}
+
+// Evaluate matches incidents to scenarios. An incident is a true positive
+// when any scenario matches its root and activity window; a scenario is
+// detected when any incident matches it.
+func Evaluate(incidents []*incident.Incident, scenarios []scenario.Scenario) Outcome {
+	o := Outcome{Scenarios: len(scenarios), DetectionDelay: make(map[int]time.Duration)}
+	detected := make([]bool, len(scenarios))
+	for _, in := range incidents {
+		end := in.UpdateTime
+		if !in.End.IsZero() {
+			end = in.End
+		}
+		matchedAny := false
+		for i := range scenarios {
+			if scenarios[i].Matches(in.Root, in.Start, end) {
+				matchedAny = true
+				if !detected[i] {
+					detected[i] = true
+					delay := in.Start.Sub(scenarios[i].Start)
+					if delay < 0 {
+						delay = 0
+					}
+					o.DetectionDelay[i] = delay
+				}
+			}
+		}
+		if matchedAny {
+			o.TruePositives++
+		} else {
+			o.FalsePositives++
+		}
+	}
+	for i := range detected {
+		if !detected[i] {
+			o.FalseNegatives++
+		}
+	}
+	return o
+}
+
+// Merge combines outcomes from independent runs.
+func Merge(outs ...Outcome) Outcome {
+	var total Outcome
+	total.DetectionDelay = make(map[int]time.Duration)
+	base := 0
+	for _, o := range outs {
+		total.TruePositives += o.TruePositives
+		total.FalsePositives += o.FalsePositives
+		total.FalseNegatives += o.FalseNegatives
+		for i, d := range o.DetectionDelay {
+			total.DetectionDelay[base+i] = d
+		}
+		base += o.Scenarios
+		total.Scenarios += o.Scenarios
+	}
+	return total
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+	"skynet/internal/incident"
+	"skynet/internal/netsim"
+	"skynet/internal/scenario"
+)
+
+var epoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+func mkScenario(truth hierarchy.Path, start time.Time) scenario.Scenario {
+	return scenario.Scenario{
+		Name:     "t-" + truth.Leaf(),
+		Category: scenario.CatDeviceHardware,
+		Faults:   []netsim.Fault{{Kind: netsim.FaultDeviceDown, Start: start}},
+		Truth:    []hierarchy.Path{truth},
+		Start:    start,
+		End:      start.Add(10 * time.Minute),
+	}
+}
+
+func mkIncident(id int, root hierarchy.Path, start time.Time) *incident.Incident {
+	in := incident.New(id, root)
+	in.Add(alert.Alert{
+		Source: alert.SourcePing, Type: alert.TypePacketLoss, Class: alert.ClassFailure,
+		Time: start, End: start, Location: root, Count: 1,
+	})
+	return in
+}
+
+func TestEvaluateAllDetected(t *testing.T) {
+	dev := hierarchy.MustNew("R", "C", "L", "S", "K", "d1")
+	scs := []scenario.Scenario{mkScenario(dev, epoch)}
+	ins := []*incident.Incident{mkIncident(1, dev.Parent(), epoch.Add(time.Minute))}
+	o := Evaluate(ins, scs)
+	if o.TruePositives != 1 || o.FalsePositives != 0 || o.FalseNegatives != 0 {
+		t.Errorf("outcome = %+v", o)
+	}
+	if o.FPRatio() != 0 || o.FNRatio() != 0 {
+		t.Errorf("rates = %v %v", o.FPRatio(), o.FNRatio())
+	}
+	if d := o.DetectionDelay[0]; d != time.Minute {
+		t.Errorf("delay = %v", d)
+	}
+}
+
+func TestEvaluateFalsePositive(t *testing.T) {
+	dev := hierarchy.MustNew("R", "C", "L", "S", "K", "d1")
+	other := hierarchy.MustNew("R2", "C", "L", "S", "K", "d9")
+	scs := []scenario.Scenario{mkScenario(dev, epoch)}
+	ins := []*incident.Incident{
+		mkIncident(1, dev, epoch.Add(time.Minute)),
+		mkIncident(2, other, epoch.Add(time.Minute)), // unrelated
+	}
+	o := Evaluate(ins, scs)
+	if o.FalsePositives != 1 || o.TruePositives != 1 {
+		t.Errorf("outcome = %+v", o)
+	}
+	if o.FPRatio() != 0.5 {
+		t.Errorf("FPRatio = %v", o.FPRatio())
+	}
+}
+
+func TestEvaluateFalseNegative(t *testing.T) {
+	dev := hierarchy.MustNew("R", "C", "L", "S", "K", "d1")
+	scs := []scenario.Scenario{mkScenario(dev, epoch)}
+	o := Evaluate(nil, scs)
+	if o.FalseNegatives != 1 || o.FNRatio() != 1 {
+		t.Errorf("outcome = %+v", o)
+	}
+}
+
+func TestEvaluateTimeWindowMatters(t *testing.T) {
+	dev := hierarchy.MustNew("R", "C", "L", "S", "K", "d1")
+	scs := []scenario.Scenario{mkScenario(dev, epoch)}
+	// Incident at the right place but hours later: a false positive AND a
+	// false negative.
+	ins := []*incident.Incident{mkIncident(1, dev, epoch.Add(3*time.Hour))}
+	o := Evaluate(ins, scs)
+	if o.FalsePositives != 1 || o.FalseNegatives != 1 {
+		t.Errorf("outcome = %+v", o)
+	}
+}
+
+func TestEvaluateDelayClampsToZero(t *testing.T) {
+	dev := hierarchy.MustNew("R", "C", "L", "S", "K", "d1")
+	scs := []scenario.Scenario{mkScenario(dev, epoch)}
+	// Incident that technically starts just before the scenario clock
+	// (alert delay skew): delay clamps to zero.
+	ins := []*incident.Incident{mkIncident(1, dev, epoch.Add(-10*time.Second))}
+	o := Evaluate(ins, scs)
+	if o.DetectionDelay[0] != 0 {
+		t.Errorf("delay = %v, want 0", o.DetectionDelay[0])
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Outcome{TruePositives: 1, FalsePositives: 2, FalseNegatives: 0, Scenarios: 1,
+		DetectionDelay: map[int]time.Duration{0: time.Second}}
+	b := Outcome{TruePositives: 0, FalsePositives: 0, FalseNegatives: 1, Scenarios: 1,
+		DetectionDelay: map[int]time.Duration{}}
+	m := Merge(a, b)
+	if m.TruePositives != 1 || m.FalsePositives != 2 || m.FalseNegatives != 1 || m.Scenarios != 2 {
+		t.Errorf("merged = %+v", m)
+	}
+	if m.DetectionDelay[0] != time.Second {
+		t.Error("delays not carried over")
+	}
+}
+
+func TestEmptyRates(t *testing.T) {
+	var o Outcome
+	if o.FPRatio() != 0 || o.FNRatio() != 0 {
+		t.Error("empty outcome rates should be 0")
+	}
+}
+
+func TestManualMitigationGrowsWithFlood(t *testing.T) {
+	m := DefaultOperatorModel()
+	small := m.ManualMitigation(16) // the §2.4 anecdote: 16 alerts, quick diagnosis
+	big := m.ManualMitigation(10000)
+	if big <= small {
+		t.Errorf("flood should cost more: %v vs %v", small, big)
+	}
+	// The small case is minutes, not hours.
+	if small > 15*time.Minute {
+		t.Errorf("16-alert diagnosis too slow: %v", small)
+	}
+	// The flood case includes a wrong-lead penalty beyond the cap.
+	if big <= m.TriageCap+m.LocalizeManual+m.Repair {
+		t.Error("flood cost should include a wrong-lead component")
+	}
+}
+
+func TestSkyNetMitigationShapes(t *testing.T) {
+	m := DefaultOperatorModel()
+	auto := m.SkyNetMitigation(1, true, true)
+	if auto != time.Minute {
+		t.Errorf("auto-SOP = %v, want 1m", auto)
+	}
+	zoomed := m.SkyNetMitigation(2, true, false)
+	unzoomed := m.SkyNetMitigation(2, false, false)
+	if zoomed >= unzoomed {
+		t.Error("zoom-in should reduce mitigation time")
+	}
+	if m.SkyNetMitigation(0, true, false) <= 0 {
+		t.Error("zero incidents should still cost something")
+	}
+}
+
+func TestPaperHeadlineReduction(t *testing.T) {
+	// The >80 % claim, reproduced in shape: a severe failure with an
+	// O(10^4) alert flood, mitigated manually vs through SkyNet digests
+	// with zoom-in.
+	m := DefaultOperatorModel()
+	before := m.ManualMitigation(12000)
+	after := m.SkyNetMitigation(3, true, false)
+	if r := Reduction(before, after); r < 0.8 {
+		t.Errorf("reduction = %.2f, want ≥ 0.80 (before=%v after=%v)", r, before, after)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ds := []time.Duration{5 * time.Second, 1 * time.Second, 9 * time.Second, 3 * time.Second, 7 * time.Second}
+	s := Summarize(ds)
+	if s.Median != 5*time.Second {
+		t.Errorf("median = %v", s.Median)
+	}
+	if s.Max != 9*time.Second {
+		t.Errorf("max = %v", s.Max)
+	}
+	if s.P90 != 9*time.Second {
+		t.Errorf("p90 = %v", s.P90)
+	}
+	if (Summary{}) != Summarize(nil) {
+		t.Error("empty summarize should be zero")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if r := Reduction(100*time.Second, 20*time.Second); r != 0.8 {
+		t.Errorf("reduction = %v", r)
+	}
+	if Reduction(0, time.Second) != 0 {
+		t.Error("zero before should be 0")
+	}
+}

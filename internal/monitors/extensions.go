@@ -1,0 +1,143 @@
+package monitors
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// This file implements the two data sources the paper's future work (§9)
+// says are being integrated next, demonstrating the extensibility claim of
+// §5.2 — "after being structured, the alerts raised by these tools can be
+// simply injected into SkyNet":
+//
+//   - user-side telemetry, which transmits telemetry packets from users'
+//     clients to the data center, and
+//   - a label-based testing tool for the SRTE network that periodically
+//     verifies link reachability.
+//
+// Neither is part of the default Table 2 fleet; enable them with
+// Fleet.Extend.
+
+// Extend adds an extension monitor to the fleet — the §5.2 integration
+// path for new data sources.
+func (f *Fleet) Extend(m Monitor) { f.monitors = append(f.monitors, m) }
+
+// UserTelemetryMonitor models user-side telemetry: clients on the Internet
+// send telemetry packets toward the data centers, measuring the inbound
+// half of the entry path. It sees what internet-telemetry (outbound
+// probing) sees plus client-perceived latency, and it is the only tool
+// whose vantage point is outside the provider's network entirely.
+type UserTelemetryMonitor struct {
+	topo  *topology.Topology
+	cfg   Config
+	cad   cadence
+	rng   *rand.Rand
+	round int
+}
+
+// UserTelemetryInterval is the client reporting cadence.
+const UserTelemetryInterval = 15 * time.Second
+
+// NewUserTelemetryMonitor builds the user-side telemetry extension.
+func NewUserTelemetryMonitor(topo *topology.Topology, cfg Config) *UserTelemetryMonitor {
+	return &UserTelemetryMonitor{
+		topo: topo,
+		cfg:  cfg,
+		cad:  cadence{interval: UserTelemetryInterval},
+		rng:  rand.New(rand.NewSource(cfg.Seed ^ 0x75736572)),
+	}
+}
+
+// Source implements Monitor. User telemetry reports through the internet-
+// telemetry ingestion channel (same structured source, client vantage).
+func (m *UserTelemetryMonitor) Source() alert.Source { return alert.SourceInternetTelemetry }
+
+// Poll implements Monitor.
+func (m *UserTelemetryMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if !m.cad.due(now) {
+		return nil
+	}
+	m.round++
+	var out []alert.Alert
+	for i, cl := range m.topo.Clusters() {
+		// Client populations report against half the clusters per round.
+		if (i+m.round)%2 != 0 {
+			continue
+		}
+		r, err := sim.EvalInternet(cl)
+		if err != nil {
+			continue
+		}
+		if r.Loss >= m.cfg.LossThreshold {
+			loc := cl
+			if w := r.WorstStage(); w >= 0 && r.Stages[w].Loss > 0 {
+				loc = blameStage(sim, m.topo, &r.Stages[w])
+			}
+			a := mkAlert(alert.SourceInternetTelemetry, alert.TypeInternetLoss, now, loc, r.Loss,
+				fmt.Sprintf("user clients report %.1f%% telemetry loss toward %s", r.Loss*100, cl))
+			a.Peer = cl
+			out = append(out, a)
+		} else if r.LatencySeconds > 0.025 {
+			out = append(out, mkAlert(alert.SourceInternetTelemetry, alert.TypeHighLatency, now, cl,
+				r.LatencySeconds,
+				fmt.Sprintf("user-perceived rtt %.1fms toward %s", r.LatencySeconds*1000, cl)))
+		}
+	}
+	return out
+}
+
+// SRTEProbeMonitor models the label-based testing tool for the SRTE
+// network: it sends labeled probes over every individual link bundle,
+// verifying reachability per circuit set — exactly the blind spot plain
+// traceroute has on tunneled paths (§2.1). A failed bundle produces a
+// link-down style alert naming the circuit set directly.
+type SRTEProbeMonitor struct {
+	topo *topology.Topology
+	cfg  Config
+	cad  cadence
+}
+
+// SRTEProbeInterval is the label-probe cadence.
+const SRTEProbeInterval = 30 * time.Second
+
+// NewSRTEProbeMonitor builds the SRTE label-probe extension.
+func NewSRTEProbeMonitor(topo *topology.Topology, cfg Config) *SRTEProbeMonitor {
+	return &SRTEProbeMonitor{topo: topo, cfg: cfg, cad: cadence{interval: SRTEProbeInterval}}
+}
+
+// Source implements Monitor. SRTE probes are an in-band telemetry flavor.
+func (m *SRTEProbeMonitor) Source() alert.Source { return alert.SourceINT }
+
+// Poll implements Monitor.
+func (m *SRTEProbeMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if !m.cad.due(now) {
+		return nil
+	}
+	var out []alert.Alert
+	for i := range m.topo.Links {
+		lid := topology.LinkID(i)
+		l := m.topo.Link(lid)
+		ls := sim.LinkState(lid)
+		if ls.CircuitsDown == 0 {
+			continue
+		}
+		frac := float64(ls.CircuitsDown) / float64(l.Circuits)
+		for _, end := range []topology.DeviceID{l.A, l.B} {
+			st := sim.DeviceState(end)
+			if !st.Up {
+				continue
+			}
+			a := mkAlert(alert.SourceINT, alert.TypeLinkDown, now, m.topo.Device(end).Path, frac,
+				fmt.Sprintf("labeled probes fail on %d of %d circuits of %s",
+					ls.CircuitsDown, l.Circuits, l.CircuitSet))
+			a.CircuitSet = l.CircuitSet
+			out = append(out, a)
+		}
+	}
+	return out
+}

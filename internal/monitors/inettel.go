@@ -1,0 +1,64 @@
+package monitors
+
+import (
+	"fmt"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// InternetTelemetryMonitor pings Internet addresses from DC servers
+// (Table 2): each round it evaluates the internet path of a rotating
+// subset of clusters and reports unreachability or degradation. It only
+// sees the DC↔Internet direction — intra-DC failures that do not touch
+// the entry path are invisible.
+type InternetTelemetryMonitor struct {
+	topo  *topology.Topology
+	cfg   Config
+	cad   cadence
+	round int
+}
+
+// NewInternetTelemetryMonitor builds the internet telemetry monitor.
+func NewInternetTelemetryMonitor(topo *topology.Topology, cfg Config) *InternetTelemetryMonitor {
+	return &InternetTelemetryMonitor{topo: topo, cfg: cfg, cad: cadence{interval: cfg.InternetInterval}}
+}
+
+// Source implements Monitor.
+func (m *InternetTelemetryMonitor) Source() alert.Source { return alert.SourceInternetTelemetry }
+
+// Poll implements Monitor.
+func (m *InternetTelemetryMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if !m.cad.due(now) {
+		return nil
+	}
+	m.round++
+	clusters := m.topo.Clusters()
+	var out []alert.Alert
+	for i, cl := range clusters {
+		// Sample a third of clusters per round, rotating.
+		if (i+m.round)%3 != 0 {
+			continue
+		}
+		r, err := sim.EvalInternet(cl)
+		if err != nil {
+			continue
+		}
+		if r.Loss >= m.cfg.LossThreshold {
+			loc := cl
+			if w := r.WorstStage(); w >= 0 && r.Stages[w].Loss > 0 {
+				loc = blameStage(sim, m.topo, &r.Stages[w])
+			}
+			a := mkAlert(alert.SourceInternetTelemetry, alert.TypeInternetLoss, now, loc, r.Loss,
+				fmt.Sprintf("internet probes from %s losing %.1f%%", cl, r.Loss*100))
+			a.Peer = cl
+			out = append(out, a)
+		} else if r.LatencySeconds > 0.02 {
+			out = append(out, mkAlert(alert.SourceInternetTelemetry, alert.TypeHighLatency, now, cl,
+				r.LatencySeconds, fmt.Sprintf("internet rtt %.1fms", r.LatencySeconds*1000)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package monitors
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// INTMonitor models in-band network telemetry: test flows with designated
+// DSCP values traverse devices and compare per-device input and output
+// rates (§4.3). A rate discrepancy pins loss to the exact device — the
+// sharpest localizer in the fleet — but INT "is not universally supported
+// across all devices" (§2.1): only INTCoverage of devices participate.
+type INTMonitor struct {
+	topo *topology.Topology
+	cfg  Config
+	cad  cadence
+
+	// supported marks INT-capable devices, fixed at construction.
+	supported []bool
+}
+
+// NewINTMonitor builds the INT monitor.
+func NewINTMonitor(topo *topology.Topology, cfg Config) *INTMonitor {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x696e7421))
+	sup := make([]bool, topo.NumDevices())
+	for i := range sup {
+		sup[i] = rng.Float64() < cfg.INTCoverage
+	}
+	return &INTMonitor{topo: topo, cfg: cfg, cad: cadence{interval: cfg.INTInterval}, supported: sup}
+}
+
+// Source implements Monitor.
+func (m *INTMonitor) Source() alert.Source { return alert.SourceINT }
+
+// Supports reports whether a device participates in INT.
+func (m *INTMonitor) Supports(id topology.DeviceID) bool { return m.supported[id] }
+
+// Poll implements Monitor.
+func (m *INTMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if !m.cad.due(now) {
+		return nil
+	}
+	var out []alert.Alert
+	for i := range m.topo.Devices {
+		d := &m.topo.Devices[i]
+		if !m.supported[d.ID] {
+			continue
+		}
+		st := sim.DeviceState(d.ID)
+		if !st.Up {
+			continue // test flows route around dead devices
+		}
+		if st.SilentLoss >= m.cfg.LossThreshold {
+			out = append(out, mkAlert(alert.SourceINT, alert.TypeINTRateMismatch, now, d.Path,
+				st.SilentLoss,
+				fmt.Sprintf("%s DSCP test flow out/in rate mismatch %.1f%%", d.Name, st.SilentLoss*100)))
+			out = append(out, mkAlert(alert.SourceINT, alert.TypePacketLoss, now, d.Path,
+				st.SilentLoss, fmt.Sprintf("%s dropping test packets", d.Name)))
+		}
+		if st.BitFlip > 0 {
+			out = append(out, mkAlert(alert.SourceINT, alert.TypeBitFlip, now, d.Path,
+				st.BitFlip, fmt.Sprintf("%s corrupting test packets", d.Name)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+// Package monitors models the network monitoring tools of Table 2. Each
+// monitor samples the netsim.Simulator with its real-world cadence, delay,
+// and — critically — its real-world blind spots (§2.1): ping only sees
+// reachability, syslog only sees what devices log, SNMP is delayed on old
+// devices, INT is not universally deployed, route monitoring only sees the
+// control plane. The union of their outputs is the raw alert flood SkyNet
+// ingests.
+package monitors
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// Monitor is one monitoring data source. Poll is called by the Fleet on
+// every simulation tick; the monitor decides internally whether a sampling
+// round is due and which alerts are ready for delivery (modeling per-tool
+// reporting delay). Monitors are not safe for concurrent use.
+type Monitor interface {
+	// Source identifies the data source.
+	Source() alert.Source
+	// Poll returns the alerts delivered at or before now. The simulator
+	// reflects the network state at now.
+	Poll(sim *netsim.Simulator, now time.Time) []alert.Alert
+}
+
+// Config tunes the monitor fleet. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// PingInterval is the probe cadence ("Ping outputs one data point
+	// every 2 seconds", §4.1).
+	PingInterval time.Duration
+	// PingFanout is how many destination clusters each cluster probes per
+	// round (the production mesh is sampled, not full).
+	PingFanout int
+	// TracerouteInterval, SNMPInterval, OOBInterval, TrafficInterval,
+	// InternetInterval, INTInterval, PTPInterval, RouteInterval and
+	// PatrolInterval are the remaining cadences.
+	TracerouteInterval time.Duration
+	SNMPInterval       time.Duration
+	OOBInterval        time.Duration
+	TrafficInterval    time.Duration
+	InternetInterval   time.Duration
+	INTInterval        time.Duration
+	PTPInterval        time.Duration
+	RouteInterval      time.Duration
+	PatrolInterval     time.Duration
+
+	// OldDeviceRatio is the fraction of devices whose SNMP agent delivers
+	// with up to SNMPMaxDelay latency (the CPU-limited old devices that
+	// motivated the 5-minute tree threshold, §4.2).
+	OldDeviceRatio float64
+	// SNMPMaxDelay is the worst-case SNMP delivery delay (~2 minutes in
+	// the paper).
+	SNMPMaxDelay time.Duration
+
+	// INTCoverage is the fraction of devices supporting in-band telemetry
+	// ("INT is not universally supported across all devices").
+	INTCoverage float64
+
+	// NoisePerHour is the expected number of unrelated glitch alerts each
+	// noisy monitor emits per hour ("unrelated glitches continued to
+	// produce alerts", §2.2).
+	NoisePerHour float64
+
+	// LossThreshold is the minimum path loss ratio that registers as
+	// packet loss.
+	LossThreshold float64
+
+	// Seed fixes all monitor randomness.
+	Seed int64
+}
+
+// DefaultConfig returns production-like cadences at simulation-friendly
+// scale.
+func DefaultConfig() Config {
+	return Config{
+		PingInterval:       2 * time.Second,
+		PingFanout:         6,
+		TracerouteInterval: 30 * time.Second,
+		SNMPInterval:       30 * time.Second,
+		OOBInterval:        30 * time.Second,
+		TrafficInterval:    60 * time.Second,
+		InternetInterval:   10 * time.Second,
+		INTInterval:        15 * time.Second,
+		PTPInterval:        60 * time.Second,
+		RouteInterval:      30 * time.Second,
+		PatrolInterval:     10 * time.Minute,
+		OldDeviceRatio:     0.2,
+		SNMPMaxDelay:       2 * time.Minute,
+		INTCoverage:        0.6,
+		NoisePerHour:       6,
+		LossThreshold:      0.01,
+		Seed:               1,
+	}
+}
+
+// Fleet owns one monitor per data source and drives them against a
+// simulator.
+type Fleet struct {
+	monitors []Monitor
+	ping     *PingMonitor
+}
+
+// NewFleet constructs all Table 2 monitors over the topology. Passing a
+// subset of sources restricts the fleet (the Fig. 8a coverage ablation);
+// a nil or empty sources slice enables everything.
+func NewFleet(topo *topology.Topology, cfg Config, sources ...alert.Source) *Fleet {
+	enabled := func(s alert.Source) bool {
+		if len(sources) == 0 {
+			return true
+		}
+		for _, e := range sources {
+			if e == s {
+				return true
+			}
+		}
+		return false
+	}
+	f := &Fleet{}
+	add := func(m Monitor) {
+		if enabled(m.Source()) {
+			f.monitors = append(f.monitors, m)
+		}
+	}
+	ping := NewPingMonitor(topo, cfg)
+	add(ping)
+	if enabled(alert.SourcePing) {
+		f.ping = ping
+	}
+	add(NewTracerouteMonitor(topo, cfg))
+	add(NewOutOfBandMonitor(topo, cfg))
+	add(NewTrafficMonitor(topo, cfg))
+	add(NewNetFlowMonitor(topo, cfg))
+	add(NewInternetTelemetryMonitor(topo, cfg))
+	add(NewSyslogMonitor(topo, cfg))
+	add(NewSNMPMonitor(topo, cfg))
+	add(NewINTMonitor(topo, cfg))
+	add(NewPTPMonitor(topo, cfg))
+	add(NewRouteMonitor(topo, cfg))
+	add(NewModificationMonitor(topo, cfg))
+	add(NewPatrolMonitor(topo, cfg))
+	return f
+}
+
+// Monitors returns the enabled monitors.
+func (f *Fleet) Monitors() []Monitor { return f.monitors }
+
+// Ping returns the fleet's ping monitor when enabled, for reachability-
+// matrix queries; nil otherwise.
+func (f *Fleet) Ping() *PingMonitor { return f.ping }
+
+// Poll polls every monitor and returns all delivered alerts sorted by
+// timestamp.
+func (f *Fleet) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	var out []alert.Alert
+	for _, m := range f.monitors {
+		out = append(out, m.Poll(sim, now)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// Run steps the simulator from 'from' to 'to' at the given tick, polling
+// the fleet at every step, and returns all alerts in timestamp order.
+// It is the standard way to produce a raw alert trace for a scenario.
+func (f *Fleet) Run(sim *netsim.Simulator, from, to time.Time, tick time.Duration) ([]alert.Alert, error) {
+	if tick <= 0 {
+		tick = 2 * time.Second
+	}
+	var out []alert.Alert
+	for now := from; now.Before(to); now = now.Add(tick) {
+		if err := sim.Step(now); err != nil {
+			return out, err
+		}
+		out = append(out, f.Poll(sim, now)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out, nil
+}
+
+// cadence gates a monitor to its sampling interval.
+type cadence struct {
+	interval time.Duration
+	last     time.Time
+}
+
+// due reports whether a sampling round should run at now, and records it.
+func (c *cadence) due(now time.Time) bool {
+	if !c.last.IsZero() && now.Sub(c.last) < c.interval {
+		return false
+	}
+	c.last = now
+	return true
+}
+
+// noiseGate produces the background glitch alerts. Each call to fire at a
+// sampling round returns true with probability interval*rate.
+type noiseGate struct {
+	rng  *rand.Rand
+	rate float64 // expected events per hour
+}
+
+func newNoiseGate(seed int64, perHour float64) *noiseGate {
+	return &noiseGate{rng: rand.New(rand.NewSource(seed)), rate: perHour}
+}
+
+// fire reports whether a noise event occurs within a window of the given
+// length.
+func (n *noiseGate) fire(window time.Duration) bool {
+	if n.rate <= 0 {
+		return false
+	}
+	p := n.rate * window.Hours()
+	return n.rng.Float64() < p
+}
+
+// blameStage maps a lossy path stage to the location a behaviour monitor
+// blames. When exactly one group member is unhealthy, the many probe paths
+// crossing the group triangulate the loss onto that device (how the
+// production mesh reports "Packet loss at Device i!", Figure 6); otherwise
+// blame lands on the group's location node — the "intermediary link"
+// attribution of §4.1.
+func blameStage(sim *netsim.Simulator, topo *topology.Topology, st *netsim.Stage) hierarchy.Path {
+	bad := -1
+	for i, id := range st.Devices {
+		ds := sim.DeviceState(id)
+		if !ds.Healthy() {
+			if bad >= 0 {
+				return st.Location // more than one suspect: stay coarse
+			}
+			bad = i
+		}
+	}
+	if bad >= 0 {
+		return topo.Device(st.Devices[bad]).Path
+	}
+	return st.Location
+}
+
+// mkAlert assembles a raw alert with Class filled from the catalog. Raw
+// monitors other than syslog know their types; syslog leaves Type empty
+// for FT-tree classification in the preprocessor.
+func mkAlert(src alert.Source, typ string, t time.Time, loc hierarchy.Path, value float64, raw string) alert.Alert {
+	return alert.Alert{
+		Source:   src,
+		Type:     typ,
+		Class:    alert.Classify(src, typ),
+		Time:     t,
+		End:      t,
+		Location: loc,
+		Value:    value,
+		Count:    1,
+		Raw:      raw,
+	}
+}

@@ -1,0 +1,360 @@
+package monitors
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+var epoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+func smallTopo() *topology.Topology {
+	return topology.MustGenerate(topology.SmallConfig())
+}
+
+func quietConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NoisePerHour = 0
+	return cfg
+}
+
+func firstRole(topo *topology.Topology, role topology.Role) *topology.Device {
+	for i := range topo.Devices {
+		if topo.Devices[i].Role == role {
+			return &topo.Devices[i]
+		}
+	}
+	return nil
+}
+
+// runWindow drives a fleet over a window and returns all alerts.
+func runWindow(t *testing.T, topo *topology.Topology, faults []netsim.Fault, cfg Config,
+	window time.Duration, sources ...alert.Source) []alert.Alert {
+	t.Helper()
+	sim := netsim.New(topo, 1)
+	for _, f := range faults {
+		sim.MustInject(f)
+	}
+	fleet := NewFleet(topo, cfg, sources...)
+	out, err := fleet.Run(sim, epoch, epoch.Add(window), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func countBy(alerts []alert.Alert, src alert.Source, typ string) int {
+	n := 0
+	for i := range alerts {
+		if alerts[i].Source == src && (typ == "" || alerts[i].Type == typ) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestHealthyNetworkIsQuiet(t *testing.T) {
+	topo := smallTopo()
+	out := runWindow(t, topo, nil, quietConfig(), time.Minute)
+	if len(out) != 0 {
+		t.Errorf("healthy network produced %d alerts: first %v", len(out), out[0])
+	}
+}
+
+func TestNoiseFloorExists(t *testing.T) {
+	topo := smallTopo()
+	cfg := DefaultConfig()
+	cfg.NoisePerHour = 3600 // force noise so the short test window sees it
+	out := runWindow(t, topo, nil, cfg, time.Minute)
+	if len(out) == 0 {
+		t.Error("noise configured but no noise alerts emitted")
+	}
+}
+
+func TestDeviceDownFlood(t *testing.T) {
+	topo := smallTopo()
+	isr := firstRole(topo, topology.RoleISR)
+	faults := []netsim.Fault{{Kind: netsim.FaultDeviceDown, Device: isr.ID, Start: epoch.Add(10 * time.Second)}}
+	out := runWindow(t, topo, faults, quietConfig(), 3*time.Minute)
+	if len(out) == 0 {
+		t.Fatal("device down produced no alerts")
+	}
+	if n := countBy(out, alert.SourceOutOfBand, alert.TypeDeviceInaccessible); n == 0 {
+		t.Error("out-of-band did not notice the dead device")
+	}
+	// Neighbors' syslog link-down lines arrive as raw unclassified text.
+	sysRaw := 0
+	for i := range out {
+		if out[i].Source == alert.SourceSyslog {
+			if out[i].Type != "" {
+				t.Fatal("syslog alerts must be unclassified")
+			}
+			if strings.Contains(out[i].Raw, "changed state to down") {
+				sysRaw++
+			}
+		}
+	}
+	if sysRaw == 0 {
+		t.Error("no neighbor link-down syslog lines")
+	}
+}
+
+func TestSilentLossSeenOnlyByBehaviourTools(t *testing.T) {
+	topo := smallTopo()
+	isr := firstRole(topo, topology.RoleISR)
+	faults := []netsim.Fault{{Kind: netsim.FaultSilentLoss, Device: isr.ID, Magnitude: 0.5, Start: epoch}}
+	out := runWindow(t, topo, faults, quietConfig(), 2*time.Minute)
+	if countBy(out, alert.SourceSyslog, "") != 0 {
+		t.Error("syslog should be blind to silent loss")
+	}
+	if countBy(out, alert.SourceSNMP, "") != 0 {
+		t.Error("SNMP should be blind to silent loss")
+	}
+	if countBy(out, alert.SourceTraffic, alert.TypePacketLoss) == 0 {
+		t.Error("sFlow should see silent loss")
+	}
+	if countBy(out, alert.SourcePing, alert.TypePacketLoss) == 0 {
+		t.Error("ping should see silent loss")
+	}
+}
+
+func TestPingBlamesSingleBadDevice(t *testing.T) {
+	topo := smallTopo()
+	isr := firstRole(topo, topology.RoleISR)
+	faults := []netsim.Fault{{Kind: netsim.FaultSilentLoss, Device: isr.ID, Magnitude: 0.6, Start: epoch}}
+	out := runWindow(t, topo, faults, quietConfig(), time.Minute, alert.SourcePing)
+	blamed := 0
+	for i := range out {
+		if out[i].Type == alert.TypePacketLoss && out[i].Location == isr.Path {
+			blamed++
+		}
+	}
+	if blamed == 0 {
+		t.Error("ping never triangulated the single bad device")
+	}
+}
+
+func TestSNMPDelayOnOldDevices(t *testing.T) {
+	topo := smallTopo()
+	cfg := quietConfig()
+	cfg.OldDeviceRatio = 1.0 // every device is old
+	m := NewSNMPMonitor(topo, cfg)
+	var old topology.DeviceID = -1
+	for i := 0; i < topo.NumDevices(); i++ {
+		if m.DelayOf(topology.DeviceID(i)) > 0 {
+			old = topology.DeviceID(i)
+			break
+		}
+	}
+	if old < 0 {
+		t.Fatal("no old devices with OldDeviceRatio=1")
+	}
+	if d := m.DelayOf(old); d < cfg.SNMPMaxDelay/2 || d > cfg.SNMPMaxDelay {
+		t.Errorf("old-device delay %v outside [max/2, max]", d)
+	}
+	// A link cut observed at t must not be delivered before t+delay.
+	sim := netsim.New(topo, 1)
+	lid := topo.LinksOf(old)[0]
+	sim.MustInject(netsim.Fault{Kind: netsim.FaultLinkCut, Link: lid, Circuits: 1, Start: epoch})
+	if err := sim.Step(epoch); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Poll(sim, epoch); len(got) != 0 {
+		t.Errorf("alerts delivered immediately despite delay: %d", len(got))
+	}
+	// After the max delay everything pending must flush.
+	late := epoch.Add(cfg.SNMPMaxDelay + time.Second)
+	if err := sim.Step(late); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Poll(sim, late)
+	if len(got) == 0 {
+		t.Error("delayed alerts never delivered")
+	}
+	for i := range got {
+		if !got[i].Time.Equal(epoch) {
+			t.Errorf("delivered alert timestamp %v, want observation time %v", got[i].Time, epoch)
+		}
+		if !got[i].End.Equal(got[i].Time) {
+			t.Error("End must be reset to observation time on delivery")
+		}
+	}
+}
+
+func TestSNMPRepeatsWhileConditionHolds(t *testing.T) {
+	topo := smallTopo()
+	lid := topology.LinkID(0)
+	faults := []netsim.Fault{{Kind: netsim.FaultLinkCut, Link: lid, Circuits: topo.Link(lid).Circuits, Start: epoch}}
+	cfg := quietConfig()
+	cfg.OldDeviceRatio = 0
+	out := runWindow(t, topo, faults, cfg, 3*time.Minute, alert.SourceSNMP)
+	if n := countBy(out, alert.SourceSNMP, alert.TypeLinkDown); n < 4 {
+		t.Errorf("SNMP link down reported %d times over 3 min; duplicates expected", n)
+	}
+}
+
+func TestINTCoverageLimit(t *testing.T) {
+	topo := smallTopo()
+	cfg := quietConfig()
+	cfg.INTCoverage = 0
+	m := NewINTMonitor(topo, cfg)
+	for i := 0; i < topo.NumDevices(); i++ {
+		if m.Supports(topology.DeviceID(i)) {
+			t.Fatal("INTCoverage=0 but device supported")
+		}
+	}
+	sim := netsim.New(topo, 1)
+	isr := firstRole(topo, topology.RoleISR)
+	sim.MustInject(netsim.Fault{Kind: netsim.FaultSilentLoss, Device: isr.ID, Magnitude: 0.5, Start: epoch})
+	if err := sim.Step(epoch); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Poll(sim, epoch); len(got) != 0 {
+		t.Error("INT with zero coverage produced alerts")
+	}
+}
+
+func TestRouteMonitorSeesOnlyControlPlane(t *testing.T) {
+	topo := smallTopo()
+	city := topo.Clusters()[0].Truncate(hierarchy.LevelCity)
+	faults := []netsim.Fault{{Kind: netsim.FaultRouteError, Location: city, Magnitude: 0.4, Start: epoch}}
+	out := runWindow(t, topo, faults, quietConfig(), time.Minute, alert.SourceRouteMonitoring)
+	if countBy(out, alert.SourceRouteMonitoring, alert.TypeRouteLoss) == 0 {
+		t.Error("route monitor missed the route error")
+	}
+	// Data-plane-only fault: invisible to route monitoring.
+	faults = []netsim.Fault{{Kind: netsim.FaultSilentLoss, Device: 0, Magnitude: 0.5, Start: epoch}}
+	out = runWindow(t, topo, faults, quietConfig(), time.Minute, alert.SourceRouteMonitoring)
+	if len(out) != 0 {
+		t.Error("route monitor saw a data-plane fault")
+	}
+}
+
+func TestModificationEvents(t *testing.T) {
+	topo := smallTopo()
+	csr := firstRole(topo, topology.RoleCSR)
+	faults := []netsim.Fault{{
+		Kind: netsim.FaultModification, Device: csr.ID, Magnitude: 0.5,
+		Start: epoch.Add(10 * time.Second), End: epoch.Add(40 * time.Second),
+	}}
+	out := runWindow(t, topo, faults, quietConfig(), 2*time.Minute, alert.SourceModificationEvents)
+	if countBy(out, alert.SourceModificationEvents, alert.TypeModificationFailed) != 1 {
+		t.Errorf("want exactly 1 modification-failed event, got %d",
+			countBy(out, alert.SourceModificationEvents, alert.TypeModificationFailed))
+	}
+	if countBy(out, alert.SourceModificationEvents, alert.TypeModificationDone) != 1 {
+		t.Error("rollback completion not reported")
+	}
+}
+
+func TestPTPSeesOnlyClockDrift(t *testing.T) {
+	topo := smallTopo()
+	faults := []netsim.Fault{{Kind: netsim.FaultClockDrift, Device: 3, Magnitude: 2, Start: epoch}}
+	out := runWindow(t, topo, faults, quietConfig(), 2*time.Minute, alert.SourcePTP)
+	if countBy(out, alert.SourcePTP, alert.TypeClockUnsync) == 0 {
+		t.Error("PTP missed the drift")
+	}
+	faults = []netsim.Fault{{Kind: netsim.FaultDeviceDown, Device: 3, Start: epoch}}
+	out = runWindow(t, topo, faults, quietConfig(), 2*time.Minute, alert.SourcePTP)
+	if len(out) != 0 {
+		t.Error("PTP should not see a device death")
+	}
+}
+
+func TestPatrolFindsPersistentAnomalies(t *testing.T) {
+	topo := smallTopo()
+	csr := firstRole(topo, topology.RoleCSR)
+	faults := []netsim.Fault{{Kind: netsim.FaultDeviceHardware, Device: csr.ID, Start: epoch}}
+	cfg := quietConfig()
+	cfg.PatrolInterval = 30 * time.Second // speed the patrol up for the test
+	out := runWindow(t, topo, faults, cfg, 2*time.Minute, alert.SourcePatrolInspection)
+	if countBy(out, alert.SourcePatrolInspection, alert.TypePatrolAnomaly) == 0 {
+		t.Error("patrol missed the hardware anomaly")
+	}
+}
+
+func TestFiberCutAlertFlood(t *testing.T) {
+	// The §2.2 reproduction: a fiber bundle cut must trigger a
+	// multi-source alert flood — syslog link downs, SNMP congestion,
+	// internet telemetry loss — with the root cause buried inside.
+	topo := smallTopo()
+	city := topo.Clusters()[0].Truncate(hierarchy.LevelCity)
+	faults := []netsim.Fault{{Kind: netsim.FaultFiberBundleCut, Location: city, Magnitude: 0.5, Start: epoch.Add(10 * time.Second)}}
+	out := runWindow(t, topo, faults, quietConfig(), 3*time.Minute)
+	srcs := map[alert.Source]int{}
+	for i := range out {
+		srcs[out[i].Source]++
+	}
+	for _, want := range []alert.Source{alert.SourceSyslog, alert.SourceSNMP, alert.SourceInternetTelemetry} {
+		if srcs[want] == 0 {
+			t.Errorf("fiber cut invisible to %v (flood sources: %v)", want, srcs)
+		}
+	}
+	if len(out) < 50 {
+		t.Errorf("expected an alert flood, got only %d alerts", len(out))
+	}
+}
+
+func TestPingMatrixPopulated(t *testing.T) {
+	topo := smallTopo()
+	sim := netsim.New(topo, 1)
+	fleet := NewFleet(topo, quietConfig())
+	if fleet.Ping() == nil {
+		t.Fatal("fleet should expose ping monitor")
+	}
+	if _, err := fleet.Run(sim, epoch, epoch.Add(30*time.Second), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Ping().Matrix()) == 0 {
+		t.Error("ping matrix empty after run")
+	}
+}
+
+func TestFleetSourceFiltering(t *testing.T) {
+	topo := smallTopo()
+	fleet := NewFleet(topo, quietConfig(), alert.SourcePing, alert.SourceSyslog)
+	if len(fleet.Monitors()) != 2 {
+		t.Errorf("filtered fleet has %d monitors, want 2", len(fleet.Monitors()))
+	}
+	full := NewFleet(topo, quietConfig())
+	if len(full.Monitors()) != 13 {
+		t.Errorf("full fleet has %d monitors, want 13 (Table 2)", len(full.Monitors()))
+	}
+	noPing := NewFleet(topo, quietConfig(), alert.SourceSyslog)
+	if noPing.Ping() != nil {
+		t.Error("ping accessor should be nil when ping is disabled")
+	}
+}
+
+func TestAlertsAreValidAndOrdered(t *testing.T) {
+	topo := smallTopo()
+	city := topo.Clusters()[0].Truncate(hierarchy.LevelCity)
+	faults := []netsim.Fault{
+		{Kind: netsim.FaultFiberBundleCut, Location: city, Magnitude: 0.5, Start: epoch.Add(10 * time.Second)},
+		{Kind: netsim.FaultDeviceSoftware, Device: 5, Start: epoch.Add(20 * time.Second)},
+	}
+	out := runWindow(t, topo, faults, quietConfig(), 2*time.Minute)
+	for i := range out {
+		a := &out[i]
+		if a.Source != alert.SourceSyslog { // syslog is unclassified by design
+			if err := a.Validate(); err != nil {
+				t.Fatalf("invalid alert %v: %v", a, err)
+			}
+		}
+		if i > 0 && out[i].Time.Before(out[i-1].Time) {
+			t.Fatal("alerts not time-ordered")
+		}
+	}
+}
+
+func TestPathOfDeviceHelper(t *testing.T) {
+	topo := smallTopo()
+	if pathOfDevice(topo, 0) != topo.Device(0).Path {
+		t.Error("helper mismatch")
+	}
+}

@@ -1,0 +1,75 @@
+package monitors
+
+import (
+	"fmt"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// NetFlowMonitor models the per-customer flow accounting the evaluator
+// consumes: it watches each circuit set's SLA flows and raises an alert
+// when flows exceed their contracted limits because capacity shrank
+// (l_i and L_k in Table 3 come from these observations).
+type NetFlowMonitor struct {
+	topo *topology.Topology
+	cfg  Config
+	cad  cadence
+}
+
+// NewNetFlowMonitor builds the NetFlow monitor.
+func NewNetFlowMonitor(topo *topology.Topology, cfg Config) *NetFlowMonitor {
+	return &NetFlowMonitor{topo: topo, cfg: cfg, cad: cadence{interval: cfg.TrafficInterval}}
+}
+
+// Source implements Monitor.
+func (m *NetFlowMonitor) Source() alert.Source { return alert.SourceNetFlow }
+
+// Poll implements Monitor.
+func (m *NetFlowMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if !m.cad.due(now) {
+		return nil
+	}
+	var out []alert.Alert
+	for i := range m.topo.Links {
+		lid := topology.LinkID(i)
+		l := m.topo.Link(lid)
+		ls := sim.LinkState(lid)
+		availFrac := 1 - float64(ls.CircuitsDown)/float64(l.Circuits)
+		offered := sim.BaselineUtil(lid) * ls.DemandMultiplier
+		if availFrac <= 0 || offered/availFrac > 1 {
+			over := 1.0
+			if availFrac > 0 {
+				over = offered / availFrac
+			}
+			cs := m.topo.CircuitSet(l.CircuitSet)
+			d := m.topo.Device(l.A)
+			al := mkAlert(alert.SourceNetFlow, alert.TypeSLAFlowOverLimit, now, d.Path, over,
+				fmt.Sprintf("%d SLA flows on %s beyond limit", len(cs.Customers), cs.Name))
+			al.CircuitSet = cs.Name
+			out = append(out, al)
+		}
+	}
+	// SLA flows crossing a lossy device miss their contracted delivery
+	// rate: the accounting sees delivered < contracted on every circuit
+	// set touching the device. Value uses the same demand/capacity-style
+	// ratio as overload, so a 50 % loss reads as 2× beyond limit.
+	for i := range m.topo.Devices {
+		d := &m.topo.Devices[i]
+		st := sim.DeviceState(d.ID)
+		if !st.Up || st.SilentLoss < m.cfg.LossThreshold || st.SilentLoss >= 1 {
+			continue
+		}
+		ratio := 1 / (1 - st.SilentLoss)
+		for _, lid := range m.topo.LinksOf(d.ID) {
+			cs := m.topo.CircuitSet(m.topo.Link(lid).CircuitSet)
+			al := mkAlert(alert.SourceNetFlow, alert.TypeSLAFlowOverLimit, now, d.Path, ratio,
+				fmt.Sprintf("%d SLA flows on %s under-delivering through %s", len(cs.Customers), cs.Name, d.Name))
+			al.CircuitSet = cs.Name
+			out = append(out, al)
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package monitors
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// OutOfBandMonitor polls every device through the management network:
+// liveness, CPU, RAM, temperature (Redfish-Nagios style). It covers
+// predominantly infrastructure issues (§2.1) — a device that is up but
+// silently dropping packets looks perfectly healthy here.
+type OutOfBandMonitor struct {
+	topo  *topology.Topology
+	cfg   Config
+	cad   cadence
+	rng   *rand.Rand
+	noise *noiseGate
+	storm *noiseGate
+}
+
+// NewOutOfBandMonitor builds the out-of-band monitor.
+func NewOutOfBandMonitor(topo *topology.Topology, cfg Config) *OutOfBandMonitor {
+	return &OutOfBandMonitor{
+		topo:  topo,
+		cfg:   cfg,
+		cad:   cadence{interval: cfg.OOBInterval},
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x6f6f6221)),
+		noise: newNoiseGate(cfg.Seed^0x6f6f6222, cfg.NoisePerHour),
+		storm: newNoiseGate(cfg.Seed^0x6f6f6223, cfg.NoisePerHour),
+	}
+}
+
+// Source implements Monitor.
+func (m *OutOfBandMonitor) Source() alert.Source { return alert.SourceOutOfBand }
+
+// Poll implements Monitor.
+func (m *OutOfBandMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if !m.cad.due(now) {
+		return nil
+	}
+	var out []alert.Alert
+	for i := range m.topo.Devices {
+		d := &m.topo.Devices[i]
+		st := sim.DeviceState(d.ID)
+		if !st.Up {
+			// The management probe times out: the device is
+			// "inaccessible". During a facility power failure this fires
+			// for every device at once — the probe-error alert storm the
+			// same-type consolidation of §4.2 exists to contain.
+			out = append(out, mkAlert(alert.SourceOutOfBand, alert.TypeDeviceInaccessible, now,
+				d.Path, 0, fmt.Sprintf("%s management probe timeout", d.Name)))
+			continue
+		}
+		if st.CPUUtil > 0.85 {
+			out = append(out, mkAlert(alert.SourceOutOfBand, alert.TypeHighCPU, now,
+				d.Path, st.CPUUtil, fmt.Sprintf("%s cpu %.0f%%", d.Name, st.CPUUtil*100)))
+		}
+		if st.MemUtil > 0.85 {
+			out = append(out, mkAlert(alert.SourceOutOfBand, alert.TypeHighMemory, now,
+				d.Path, st.MemUtil, fmt.Sprintf("%s mem %.0f%%", d.Name, st.MemUtil*100)))
+		}
+	}
+	// Management-network glitches: a random device looks briefly
+	// unreachable.
+	if m.noise.fire(m.cfg.OOBInterval) {
+		d := &m.topo.Devices[m.rng.Intn(len(m.topo.Devices))]
+		out = append(out, mkAlert(alert.SourceOutOfBand, alert.TypeDeviceInaccessible, now,
+			d.Path, 0, fmt.Sprintf("%s transient mgmt probe loss", d.Name)))
+	}
+	// Probe-error storms: when the liveness prober itself glitches, every
+	// device in a cluster reports inaccessible at once — the §4.2 false-
+	// alarm generator that type-deduplicated counting exists to defuse.
+	if m.storm.fire(m.cfg.OOBInterval) {
+		cls := m.topo.Clusters()
+		cl := cls[m.rng.Intn(len(cls))]
+		for _, id := range m.topo.DevicesUnder(cl) {
+			d := m.topo.Device(id)
+			out = append(out, mkAlert(alert.SourceOutOfBand, alert.TypeDeviceInaccessible, now,
+				d.Path, 0, fmt.Sprintf("%s probe agent error", d.Name)))
+		}
+	}
+	return out
+}

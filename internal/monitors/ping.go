@@ -1,0 +1,159 @@
+package monitors
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// PingMonitor models the end-to-end ping mesh (Pingmesh/NetNORAD style):
+// every PingInterval each cluster probes PingFanout peer clusters. Loss
+// above the threshold produces a "packet loss" alert attributed to the
+// worst stage along the path (the intermediary link/group the probes
+// blame, §4.1), plus end-to-end flavor alerts at the source cluster.
+// High latency and jitter produce their own alert types.
+//
+// Blind spots: ping cannot see partial link failures that redundancy
+// absorbs, bit flips, or anything that does not move loss or latency.
+type PingMonitor struct {
+	topo  *topology.Topology
+	cfg   Config
+	cad   cadence
+	rng   *rand.Rand
+	noise *noiseGate
+
+	// round rotates the probe fanout so the mesh eventually covers all
+	// pairs.
+	round int
+
+	// sim is the simulator of the current Poll, used by blameStage's
+	// triangulation.
+	sim *netsim.Simulator
+
+	// matrix is the most recent cluster×cluster loss observation,
+	// consumed by the evaluator's location zoom-in.
+	matrix map[PairKey]float64
+}
+
+// PairKey identifies a directed cluster pair.
+type PairKey struct {
+	Src, Dst hierarchy.Path
+}
+
+// PairSample is one ping mesh observation.
+type PairSample struct {
+	Src, Dst hierarchy.Path
+	Loss     float64
+	Latency  float64
+}
+
+// NewPingMonitor builds the ping mesh monitor.
+func NewPingMonitor(topo *topology.Topology, cfg Config) *PingMonitor {
+	return &PingMonitor{
+		topo:   topo,
+		cfg:    cfg,
+		cad:    cadence{interval: cfg.PingInterval},
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x70696e67)),
+		noise:  newNoiseGate(cfg.Seed^0x6e6f6973, cfg.NoisePerHour),
+		matrix: make(map[PairKey]float64),
+	}
+}
+
+// Source implements Monitor.
+func (m *PingMonitor) Source() alert.Source { return alert.SourcePing }
+
+// Matrix returns the latest loss observations. The map is live until the
+// next Poll; callers needing a snapshot must copy.
+func (m *PingMonitor) Matrix() map[PairKey]float64 { return m.matrix }
+
+// Poll implements Monitor.
+func (m *PingMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if !m.cad.due(now) {
+		return nil
+	}
+	clusters := m.topo.Clusters()
+	if len(clusters) < 2 {
+		return nil
+	}
+	m.sim = sim
+	var out []alert.Alert
+	m.round++
+	for i, src := range clusters {
+		for k := 0; k < m.cfg.PingFanout; k++ {
+			j := (i + 1 + (m.round+k)*7919%len(clusters)) % len(clusters)
+			if j == i {
+				j = (j + 1) % len(clusters)
+			}
+			dst := clusters[j]
+			r, err := sim.EvalPath(src, dst)
+			if err != nil {
+				continue
+			}
+			m.matrix[PairKey{src, dst}] = r.Loss
+			out = append(out, m.pairAlerts(src, dst, &r, now)...)
+		}
+	}
+	// Background glitches: a sporadic one-round loss blip on a random
+	// pair, the noise floor that real ping meshes never quite lose.
+	if m.noise.fire(m.cfg.PingInterval) {
+		src := clusters[m.rng.Intn(len(clusters))]
+		dst := clusters[m.rng.Intn(len(clusters))]
+		if src != dst {
+			a := mkAlert(alert.SourcePing, alert.TypePacketLoss, now, src,
+				0.01+0.02*m.rng.Float64(), "sporadic probe loss")
+			a.Peer = dst
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (m *PingMonitor) pairAlerts(src, dst hierarchy.Path, r *netsim.PathReport, now time.Time) []alert.Alert {
+	var out []alert.Alert
+	if r.Loss >= m.cfg.LossThreshold {
+		// All loss-derived alerts are attributed to the blamed stage, not
+		// the (healthy) probing cluster: the production mesh triangulates
+		// across paths before alerting.
+		loc := src
+		if w := r.WorstStage(); w >= 0 && r.Stages[w].Loss > 0 {
+			loc = blameStage(m.sim, m.topo, &r.Stages[w])
+		}
+		a := mkAlert(alert.SourcePing, alert.TypePacketLoss, now, loc, r.Loss,
+			fmt.Sprintf("Packet loss %.1f%% to %s", r.Loss*100, dst))
+		a.Peer = dst
+		out = append(out, a)
+		// The mesh runs ICMP, TCP and source-routed probe flavors; heavy
+		// loss trips all of them (the Figure 6 incident listing).
+		if r.Loss >= 0.10 {
+			e := mkAlert(alert.SourcePing, alert.TypeEndToEndICMP, now, loc, r.Loss, "e2e icmp probe failure")
+			e.Peer = dst
+			out = append(out, e)
+		}
+		if r.Loss >= 0.25 {
+			e := mkAlert(alert.SourcePing, alert.TypeEndToEndTCP, now, loc, r.Loss, "e2e tcp probe failure")
+			e.Peer = dst
+			out = append(out, e)
+		}
+		if r.Loss >= 0.5 {
+			e := mkAlert(alert.SourcePing, alert.TypeEndToEndSource, now, loc, r.Loss, "e2e source-routed probe failure")
+			e.Peer = dst
+			out = append(out, e)
+		}
+	}
+	if r.LatencySeconds > 0.015 {
+		loc := src
+		if w := r.WorstStage(); w >= 0 && r.Stages[w].EffUtil > 1 {
+			loc = blameStage(m.sim, m.topo, &r.Stages[w])
+		}
+		a := mkAlert(alert.SourcePing, alert.TypeHighLatency, now, loc, r.LatencySeconds,
+			fmt.Sprintf("rtt %.1fms to %s", r.LatencySeconds*1000, dst))
+		a.Peer = dst
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package monitors
+
+import (
+	"fmt"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// PTPMonitor watches device clock synchronization (PTPmesh style). Its
+// coverage is the narrowest in the fleet — it sees only time-domain
+// problems — which makes it the canonical "3 %" bar of Figure 3.
+type PTPMonitor struct {
+	topo *topology.Topology
+	cfg  Config
+	cad  cadence
+}
+
+// NewPTPMonitor builds the PTP monitor.
+func NewPTPMonitor(topo *topology.Topology, cfg Config) *PTPMonitor {
+	return &PTPMonitor{topo: topo, cfg: cfg, cad: cadence{interval: cfg.PTPInterval}}
+}
+
+// Source implements Monitor.
+func (m *PTPMonitor) Source() alert.Source { return alert.SourcePTP }
+
+// Poll implements Monitor.
+func (m *PTPMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if !m.cad.due(now) {
+		return nil
+	}
+	var out []alert.Alert
+	for i := range m.topo.Devices {
+		d := &m.topo.Devices[i]
+		st := sim.DeviceState(d.ID)
+		if st.Up && st.ClockDriftSeconds > 0.001 {
+			out = append(out, mkAlert(alert.SourcePTP, alert.TypeClockUnsync, now, d.Path,
+				st.ClockDriftSeconds,
+				fmt.Sprintf("%s system time out of synchronization by %.3fs", d.Name, st.ClockDriftSeconds)))
+		}
+	}
+	return out
+}

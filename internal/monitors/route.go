@@ -1,0 +1,167 @@
+package monitors
+
+import (
+	"fmt"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// RouteMonitor watches the control plane: loss of default/aggregate
+// routes, hijacks, and leaks (Table 2). It is the only tool that sees
+// route errors — and the only thing it sees; data-plane failures are
+// invisible to it (§2.1).
+//
+// Modeling note: real route monitors diff BGP tables. The simulator does
+// not carry full tables, so this model observes the control-plane faults
+// directly — the moral equivalent of noticing the missing aggregate; it
+// still fires only for fault kinds a route collector could genuinely see.
+type RouteMonitor struct {
+	topo *topology.Topology
+	cfg  Config
+	cad  cadence
+}
+
+// NewRouteMonitor builds the route monitoring model.
+func NewRouteMonitor(topo *topology.Topology, cfg Config) *RouteMonitor {
+	return &RouteMonitor{topo: topo, cfg: cfg, cad: cadence{interval: cfg.RouteInterval}}
+}
+
+// Source implements Monitor.
+func (m *RouteMonitor) Source() alert.Source { return alert.SourceRouteMonitoring }
+
+// Poll implements Monitor.
+func (m *RouteMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if !m.cad.due(now) {
+		return nil
+	}
+	var out []alert.Alert
+	for _, f := range sim.ActiveFaultsAt(now) {
+		switch f.Kind {
+		case netsim.FaultRouteError, netsim.FaultRouteHijack:
+			// The aggregate route for the area is gone or hijacked: blame
+			// the area's border routers, where the table change shows up.
+			typ := alert.TypeRouteLoss
+			detail := "withdrew aggregate routes for"
+			if f.Kind == netsim.FaultRouteHijack {
+				typ = alert.TypeRouteHijack
+				detail = "sees hijacked prefixes for"
+			}
+			for _, id := range m.topo.DevicesUnder(f.Location) {
+				d := m.topo.Device(id)
+				if d.Role != topology.RoleBSR && d.Role != topology.RoleDCBR {
+					continue
+				}
+				out = append(out, mkAlert(alert.SourceRouteMonitoring, typ, now,
+					d.Path, f.Magnitude,
+					fmt.Sprintf("%s %s %s", d.Name, detail, f.Location)))
+				if f.Kind == netsim.FaultRouteHijack {
+					// The hijack displaces the legitimate route: the
+					// collector reports the loss too.
+					out = append(out, mkAlert(alert.SourceRouteMonitoring, alert.TypeRouteLoss, now,
+						d.Path, f.Magnitude,
+						fmt.Sprintf("%s legitimate route displaced for %s", d.Name, f.Location)))
+				}
+			}
+		case netsim.FaultDeviceSoftware:
+			// Routing process churn shows as route-table instability at
+			// the speaker itself when it is a border device.
+			d := m.topo.Device(f.Device)
+			if d.Role == topology.RoleBSR || d.Role == topology.RoleDCBR || d.Role == topology.RoleReflector {
+				out = append(out, mkAlert(alert.SourceRouteMonitoring, alert.TypeRouteLoss, now,
+					d.Path, 0, fmt.Sprintf("%s route table churn", d.Name)))
+			}
+		}
+	}
+	return out
+}
+
+// ModificationMonitor reports failures of network modifications triggered
+// automatically or manually (Table 2). It reads the journal, so only
+// modifications the automation system knows about appear.
+type ModificationMonitor struct {
+	topo     *topology.Topology
+	cfg      Config
+	cad      cadence
+	lastRead time.Time
+}
+
+// NewModificationMonitor builds the modification-events monitor.
+func NewModificationMonitor(topo *topology.Topology, cfg Config) *ModificationMonitor {
+	return &ModificationMonitor{topo: topo, cfg: cfg, cad: cadence{interval: 5 * time.Second}}
+}
+
+// Source implements Monitor.
+func (m *ModificationMonitor) Source() alert.Source { return alert.SourceModificationEvents }
+
+// Poll implements Monitor.
+func (m *ModificationMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if !m.cad.due(now) {
+		return nil
+	}
+	since := m.lastRead
+	if since.IsZero() {
+		since = now.Add(-5 * time.Second)
+	}
+	m.lastRead = now
+	var out []alert.Alert
+	for _, e := range sim.Journal(since, now) {
+		if e.Kind != "modification failed" {
+			continue
+		}
+		d := m.topo.Device(e.Device)
+		typ := alert.TypeModificationFailed
+		if !e.Up {
+			typ = alert.TypeModificationDone // rollback completed
+		}
+		out = append(out, mkAlert(alert.SourceModificationEvents, typ, e.Time, d.Path, 0,
+			fmt.Sprintf("%s modification event: %s", d.Name, e.Detail)))
+	}
+	return out
+}
+
+// PatrolMonitor runs operator-defined commands on devices periodically
+// (Table 2) — the slow catch-all. It notices persistent hardware or
+// modification anomalies on its 10-minute rounds, far too late for
+// detection but valuable for root-cause display.
+type PatrolMonitor struct {
+	topo *topology.Topology
+	cfg  Config
+	cad  cadence
+}
+
+// NewPatrolMonitor builds the patrol-inspection monitor.
+func NewPatrolMonitor(topo *topology.Topology, cfg Config) *PatrolMonitor {
+	return &PatrolMonitor{topo: topo, cfg: cfg, cad: cadence{interval: cfg.PatrolInterval}}
+}
+
+// Source implements Monitor.
+func (m *PatrolMonitor) Source() alert.Source { return alert.SourcePatrolInspection }
+
+// Poll implements Monitor.
+func (m *PatrolMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if !m.cad.due(now) {
+		return nil
+	}
+	var out []alert.Alert
+	for i := range m.topo.Devices {
+		d := &m.topo.Devices[i]
+		st := sim.DeviceState(d.ID)
+		if !st.Up {
+			continue
+		}
+		if st.HardwareError || st.ModificationError {
+			out = append(out, mkAlert(alert.SourcePatrolInspection, alert.TypePatrolAnomaly, now,
+				d.Path, 0, fmt.Sprintf("%s patrol command output anomalous", d.Name)))
+		}
+	}
+	return out
+}
+
+// pathOfDevice is a small helper shared by monitor tests.
+func pathOfDevice(topo *topology.Topology, id topology.DeviceID) hierarchy.Path {
+	return topo.Device(id).Path
+}

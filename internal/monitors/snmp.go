@@ -1,0 +1,173 @@
+package monitors
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// SNMPMonitor models the SNMP/GRPC counter pipeline: interface status,
+// traffic counters, RX/CRC errors, CPU and RAM. Two production quirks are
+// reproduced faithfully because the paper's locator design depends on
+// them:
+//
+//   - Old devices with weak CPUs deliver counters with up to ~2 minutes of
+//     delay (the reason the alert-tree timeout is 5 minutes, §4.2).
+//     OldDeviceRatio of the fleet is "old"; their alerts sit in a pending
+//     queue until the delay elapses.
+//   - SNMP repeats itself: an interface that stays down re-reports every
+//     round, producing the duplicate stream the preprocessor's identical-
+//     alert consolidation collapses.
+type SNMPMonitor struct {
+	topo  *topology.Topology
+	cfg   Config
+	cad   cadence
+	rng   *rand.Rand
+	noise *noiseGate
+
+	// delay is each device's delivery delay (0 for modern devices).
+	delay []time.Duration
+
+	pending []alert.Alert
+}
+
+// NewSNMPMonitor builds the SNMP monitor.
+func NewSNMPMonitor(topo *topology.Topology, cfg Config) *SNMPMonitor {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x736e6d70))
+	delay := make([]time.Duration, topo.NumDevices())
+	for i := range delay {
+		if rng.Float64() < cfg.OldDeviceRatio {
+			frac := 0.5 + 0.5*rng.Float64()
+			delay[i] = time.Duration(float64(cfg.SNMPMaxDelay) * frac)
+		}
+	}
+	return &SNMPMonitor{
+		topo:  topo,
+		cfg:   cfg,
+		cad:   cadence{interval: cfg.SNMPInterval},
+		rng:   rng,
+		noise: newNoiseGate(cfg.Seed^0x736e6d71, cfg.NoisePerHour),
+		delay: delay,
+	}
+}
+
+// Source implements Monitor.
+func (m *SNMPMonitor) Source() alert.Source { return alert.SourceSNMP }
+
+// DelayOf exposes a device's SNMP delivery delay (for tests and the
+// preprocessing experiments).
+func (m *SNMPMonitor) DelayOf(id topology.DeviceID) time.Duration { return m.delay[id] }
+
+// Poll implements Monitor.
+func (m *SNMPMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if m.cad.due(now) {
+		m.sample(sim, now)
+	}
+	return m.deliver(now)
+}
+
+// sample reads counters and enqueues alerts with per-device delays.
+func (m *SNMPMonitor) sample(sim *netsim.Simulator, now time.Time) {
+	enqueue := func(dev *topology.Device, a alert.Alert) {
+		// Alert timestamp is the observation time; delivery is deferred
+		// by the device's agent delay.
+		a.End = a.Time.Add(m.delay[dev.ID])
+		m.pending = append(m.pending, a)
+	}
+	for i := range m.topo.Links {
+		lid := topology.LinkID(i)
+		l := m.topo.Link(lid)
+		ls := sim.LinkState(lid)
+		a, b := m.topo.Device(l.A), m.topo.Device(l.B)
+		// A link is counter-visibly broken when circuits are cut or the
+		// far endpoint is dead (ifOperStatus drops on the survivor).
+		downFrac := float64(ls.CircuitsDown) / float64(l.Circuits)
+		if !sim.DeviceState(l.A).Up || !sim.DeviceState(l.B).Up {
+			downFrac = 1
+		}
+		if downFrac > 0 {
+			for _, dev := range []*topology.Device{a, b} {
+				if !sim.DeviceState(dev.ID).Up {
+					continue // dead devices answer no queries
+				}
+				al := mkAlert(alert.SourceSNMP, alert.TypeLinkDown, now, dev.Path,
+					downFrac,
+					fmt.Sprintf("ifOperStatus down on %.0f%% of circuits (%s)", downFrac*100, l.CircuitSet))
+				al.CircuitSet = l.CircuitSet
+				enqueue(dev, al)
+				// Every downed circuit's member port reports down too.
+				pd := mkAlert(alert.SourceSNMP, alert.TypePortDown, now, dev.Path, downFrac,
+					fmt.Sprintf("ports down on %s", l.CircuitSet))
+				pd.CircuitSet = l.CircuitSet
+				enqueue(dev, pd)
+			}
+		}
+		// Congestion: counters show utilization beyond the drop point.
+		availFrac := 1 - float64(ls.CircuitsDown)/float64(l.Circuits)
+		if availFrac > 0 {
+			util := sim.BaselineUtil(lid) * ls.DemandMultiplier / availFrac
+			if util > 1.0 {
+				for _, dev := range []*topology.Device{a, b} {
+					if !sim.DeviceState(dev.ID).Up {
+						continue
+					}
+					al := mkAlert(alert.SourceSNMP, alert.TypeTrafficCongestion, now, dev.Path, util,
+						fmt.Sprintf("output drops rising on %s, util %.0f%%", l.CircuitSet, util*100))
+					al.CircuitSet = l.CircuitSet
+					enqueue(dev, al)
+				}
+			}
+		}
+	}
+	for i := range m.topo.Devices {
+		d := &m.topo.Devices[i]
+		st := sim.DeviceState(d.ID)
+		if !st.Up {
+			continue
+		}
+		if st.BitFlip > 0 {
+			enqueue(d, mkAlert(alert.SourceSNMP, alert.TypeRXError, now, d.Path, st.BitFlip,
+				fmt.Sprintf("%s rx error counter rising", d.Name)))
+			enqueue(d, mkAlert(alert.SourceSNMP, alert.TypeCRCError, now, d.Path, st.BitFlip,
+				fmt.Sprintf("%s crc error counter rising", d.Name)))
+		}
+		if st.CPUUtil > 0.85 {
+			enqueue(d, mkAlert(alert.SourceSNMP, alert.TypeHighCPU, now, d.Path, st.CPUUtil,
+				fmt.Sprintf("%s cpu %.0f%%", d.Name, st.CPUUtil*100)))
+		}
+		if st.MemUtil > 0.85 {
+			enqueue(d, mkAlert(alert.SourceSNMP, alert.TypeHighMemory, now, d.Path, st.MemUtil,
+				fmt.Sprintf("%s mem %.0f%%", d.Name, st.MemUtil*100)))
+		}
+	}
+	if m.noise.fire(m.cfg.SNMPInterval) {
+		d := &m.topo.Devices[m.rng.Intn(len(m.topo.Devices))]
+		al := mkAlert(alert.SourceSNMP, alert.TypeHighCPU, now, d.Path, 0.9, "transient cpu spike")
+		al.End = al.Time.Add(m.delay[d.ID])
+		m.pending = append(m.pending, al)
+	}
+}
+
+// deliver releases pending alerts whose delay has elapsed. The End field
+// temporarily carries the delivery deadline; it is reset to the
+// observation time on release.
+func (m *SNMPMonitor) deliver(now time.Time) []alert.Alert {
+	var out []alert.Alert
+	rest := m.pending[:0]
+	for _, a := range m.pending {
+		if !a.End.After(now) {
+			a.End = a.Time
+			out = append(out, a)
+		} else {
+			rest = append(rest, a)
+		}
+	}
+	m.pending = rest
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}

@@ -1,0 +1,147 @@
+package monitors
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// SyslogMonitor turns the simulator's device-visible journal into raw
+// vendor-style syslog lines. Unlike every other monitor it does NOT assign
+// alert types: lines arrive as free text and the preprocessor classifies
+// them through FT-tree templates (§4.1), exactly as the production system
+// handles the thousands of CLI output formats.
+//
+// Blind spots (§2.1): syslog only contains what devices notice about
+// themselves — silent loss, congestion, and route errors produce nothing.
+// A dead device cannot log its own death; its neighbors log link-down.
+type SyslogMonitor struct {
+	topo  *topology.Topology
+	cfg   Config
+	cad   cadence
+	rng   *rand.Rand
+	noise *noiseGate
+
+	lastRead time.Time
+}
+
+// NewSyslogMonitor builds the syslog collector model.
+func NewSyslogMonitor(topo *topology.Topology, cfg Config) *SyslogMonitor {
+	return &SyslogMonitor{
+		topo:  topo,
+		cfg:   cfg,
+		cad:   cadence{interval: 2 * time.Second},
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x7379736c)),
+		noise: newNoiseGate(cfg.Seed^0x7379736d, cfg.NoisePerHour),
+	}
+}
+
+// Source implements Monitor.
+func (m *SyslogMonitor) Source() alert.Source { return alert.SourceSyslog }
+
+// Poll implements Monitor.
+func (m *SyslogMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if !m.cad.due(now) {
+		return nil
+	}
+	since := m.lastRead
+	if since.IsZero() {
+		since = now.Add(-2 * time.Second)
+	}
+	m.lastRead = now
+	var out []alert.Alert
+	for _, e := range sim.Journal(since, now) {
+		if !e.Up {
+			continue // recovery transitions log at severity levels SkyNet filters upstream
+		}
+		if e.Kind == "device down" {
+			continue // a dead device cannot emit its own obituary
+		}
+		line := m.renderLine(e.Kind, e.Detail)
+		if line == "" {
+			continue
+		}
+		a := rawSyslog(m.topo.Device(e.Device).Path, e.Time, line)
+		out = append(out, a)
+	}
+	// Devices with active software faults keep flapping: each poll they
+	// spew fresh BGP churn lines, building the alert flood of Figure 2b.
+	for i := range m.topo.Devices {
+		d := &m.topo.Devices[i]
+		st := sim.DeviceState(d.ID)
+		if st.SoftwareError && st.Up && m.rng.Float64() < 0.5 {
+			out = append(out, rawSyslog(d.Path, now, m.renderLine("bgp link jitter", "")))
+		}
+		if st.HardwareError && st.Up && m.rng.Float64() < 0.2 {
+			out = append(out, rawSyslog(d.Path, now, m.renderLine("hardware error", "")))
+		}
+	}
+	// Background noise: a lone CRC complaint somewhere.
+	if m.noise.fire(2 * time.Second) {
+		d := &m.topo.Devices[m.rng.Intn(len(m.topo.Devices))]
+		out = append(out, rawSyslog(d.Path, now, m.renderLine("crc error", "")))
+	}
+	return out
+}
+
+// rawSyslog builds an unclassified syslog alert: Type is empty, Class is
+// ClassInfo, and the preprocessor owns classification.
+func rawSyslog(loc hierarchy.Path, t time.Time, line string) alert.Alert {
+	return alert.Alert{
+		Source:   alert.SourceSyslog,
+		Class:    alert.ClassInfo,
+		Time:     t,
+		End:      t,
+		Location: loc,
+		Count:    1,
+		Raw:      line,
+	}
+}
+
+// renderLine synthesizes a vendor-style log line for a journal event kind,
+// with randomized variable fields (interfaces, addresses, counters) so the
+// FT-tree has real work to do.
+func (m *SyslogMonitor) renderLine(kind, detail string) string {
+	iface := m.iface()
+	ip := m.ip()
+	n := m.rng.Intn(9000) + 100
+	switch kind {
+	case "link down":
+		return fmt.Sprintf("%%LINK-3-UPDOWN: Interface %s, changed state to down (%s)", iface, detail)
+	case "port down":
+		return fmt.Sprintf("%%LINEPROTO-5-UPDOWN: Line protocol on Interface %s, changed state to down", iface)
+	case "bgp peer down":
+		return fmt.Sprintf("%%BGP-5-ADJCHANGE: neighbor %s Down - Hold timer expired", ip)
+	case "bgp link jitter":
+		return fmt.Sprintf("%%BGP-4-FLAP: neighbor %s session flapping, count %d", ip, n)
+	case "hardware error":
+		return fmt.Sprintf("%%PLATFORM-2-HW_ERROR: Linecard %d parity error detected at 0x%x", m.rng.Intn(8), n)
+	case "software error":
+		return fmt.Sprintf("%%SYSMGR-3-PROC_RESTART: Process rpd restarted, pid %d", n)
+	case "out of memory":
+		return fmt.Sprintf("%%SYSTEM-2-MEMORY: Out of memory in process rpd, requested %d bytes", n*64)
+	case "crc error":
+		return fmt.Sprintf("%%IF-3-CRC: Interface %s CRC errors %d", iface, n)
+	case "modification failed":
+		return fmt.Sprintf("%%CONFIG-3-COMMIT: configuration commit %d rejected: %s", n, detail)
+	case "clock out of sync":
+		return fmt.Sprintf("%%PTP-4-OFFSET: clock offset %d us beyond threshold", n)
+	default:
+		return ""
+	}
+}
+
+func (m *SyslogMonitor) iface() string {
+	kinds := []string{"TenGigE", "HundredGigE", "FortyGigE"}
+	return fmt.Sprintf("%s%d/%d/%d/%d", kinds[m.rng.Intn(len(kinds))],
+		m.rng.Intn(2), m.rng.Intn(4), m.rng.Intn(2), m.rng.Intn(36))
+}
+
+func (m *SyslogMonitor) ip() string {
+	return fmt.Sprintf("10.%d.%d.%d", m.rng.Intn(256), m.rng.Intn(256), 1+m.rng.Intn(254))
+}

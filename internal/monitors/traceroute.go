@@ -1,0 +1,81 @@
+package monitors
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// TracerouteMonitor records per-hop latency between sampled cluster pairs
+// every TracerouteInterval. It attributes anomalies to specific stages —
+// finer than ping — but, per §2.1, it is blind on asymmetric or tunneled
+// (SRTE) paths: a deterministic fraction of pairs is simply invisible
+// to it.
+type TracerouteMonitor struct {
+	topo  *topology.Topology
+	cfg   Config
+	cad   cadence
+	rng   *rand.Rand
+	round int
+}
+
+// NewTracerouteMonitor builds the traceroute monitor.
+func NewTracerouteMonitor(topo *topology.Topology, cfg Config) *TracerouteMonitor {
+	return &TracerouteMonitor{
+		topo: topo,
+		cfg:  cfg,
+		cad:  cadence{interval: cfg.TracerouteInterval},
+		rng:  rand.New(rand.NewSource(cfg.Seed ^ 0x74726163)),
+	}
+}
+
+// Source implements Monitor.
+func (m *TracerouteMonitor) Source() alert.Source { return alert.SourceTraceroute }
+
+// Poll implements Monitor.
+func (m *TracerouteMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if !m.cad.due(now) {
+		return nil
+	}
+	clusters := m.topo.Clusters()
+	if len(clusters) < 2 {
+		return nil
+	}
+	m.round++
+	var out []alert.Alert
+	for i, src := range clusters {
+		// One traced pair per cluster per round.
+		j := (i + 1 + m.round) % len(clusters)
+		if j == i {
+			continue
+		}
+		// SRTE blind spot: a third of pairs ride tunnels traceroute
+		// cannot resolve.
+		if (i+j+m.round)%3 == 0 {
+			continue
+		}
+		dst := clusters[j]
+		r, err := sim.EvalPath(src, dst)
+		if err != nil {
+			continue
+		}
+		for k := range r.Stages {
+			st := &r.Stages[k]
+			if st.Loss >= m.cfg.LossThreshold {
+				out = append(out, mkAlert(alert.SourceTraceroute, alert.TypePacketLoss, now,
+					blameStage(sim, m.topo, st), st.Loss,
+					fmt.Sprintf("hop %d (%s) drops %.1f%% of probes", k, st.Name, st.Loss*100)))
+			}
+			if st.EffUtil > 1.2 {
+				out = append(out, mkAlert(alert.SourceTraceroute, alert.TypeHopLatency, now,
+					blameStage(sim, m.topo, st), st.EffUtil,
+					fmt.Sprintf("hop %d (%s) latency inflated, util %.2f", k, st.Name, st.EffUtil)))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package monitors
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// TrafficMonitor models the sFlow traffic statistics pipeline: per-link
+// utilization, abrupt traffic changes, and sampled packet-loss ratios per
+// device. Traffic-behaviour alerts are ClassAbnormal on their own — an
+// abrupt traffic decrease "might be expected due to user behavior" (§4.2)
+// — which is exactly why the preprocessor's cross-source consolidation
+// exists.
+type TrafficMonitor struct {
+	topo  *topology.Topology
+	cfg   Config
+	cad   cadence
+	rng   *rand.Rand
+	noise *noiseGate
+
+	// prevRate remembers each link's previous carried rate so abrupt
+	// drops and surges are detectable as deltas.
+	prevRate []float64
+	primed   bool
+}
+
+// NewTrafficMonitor builds the sFlow monitor.
+func NewTrafficMonitor(topo *topology.Topology, cfg Config) *TrafficMonitor {
+	return &TrafficMonitor{
+		topo:     topo,
+		cfg:      cfg,
+		cad:      cadence{interval: cfg.TrafficInterval},
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x73666c6f)),
+		noise:    newNoiseGate(cfg.Seed^0x73666c31, cfg.NoisePerHour),
+		prevRate: make([]float64, topo.NumLinks()),
+	}
+}
+
+// Source implements Monitor.
+func (m *TrafficMonitor) Source() alert.Source { return alert.SourceTraffic }
+
+// carriedRate computes the traffic a link actually carries now: offered
+// demand clipped by surviving capacity and endpoint health.
+func (m *TrafficMonitor) carriedRate(sim *netsim.Simulator, lid topology.LinkID) float64 {
+	l := m.topo.Link(lid)
+	ls := sim.LinkState(lid)
+	aUp := sim.DeviceState(l.A)
+	bUp := sim.DeviceState(l.B)
+	if !aUp.Up || !bUp.Up || aUp.Isolated || bUp.Isolated {
+		return 0
+	}
+	availFrac := 1 - float64(ls.CircuitsDown)/float64(l.Circuits)
+	offered := l.CapacityGbps * sim.BaselineUtil(lid) * ls.DemandMultiplier
+	// Blackholed internet-bound traffic vanishes from the entry links:
+	// the visible egress volume shrinks even though nothing broke here.
+	if l.InternetEntry {
+		bh := aUp.RouteBlackhole
+		if bUp.RouteBlackhole > bh {
+			bh = bUp.RouteBlackhole
+		}
+		offered *= 1 - bh
+	}
+	capacity := l.CapacityGbps * availFrac
+	if offered > capacity {
+		return capacity
+	}
+	return offered
+}
+
+// Poll implements Monitor.
+func (m *TrafficMonitor) Poll(sim *netsim.Simulator, now time.Time) []alert.Alert {
+	if !m.cad.due(now) {
+		return nil
+	}
+	var out []alert.Alert
+	for i := range m.topo.Links {
+		lid := topology.LinkID(i)
+		l := m.topo.Link(lid)
+		rate := m.carriedRate(sim, lid)
+		prev := m.prevRate[i]
+		m.prevRate[i] = rate
+		if !m.primed {
+			continue
+		}
+		a := m.topo.Device(l.A)
+		b := m.topo.Device(l.B)
+		ls := sim.LinkState(lid)
+		availFrac := 1 - float64(ls.CircuitsDown)/float64(l.Circuits)
+		util := 0.0
+		if availFrac > 0 {
+			util = rate / (l.CapacityGbps * availFrac)
+		}
+		switch {
+		case prev > 0 && rate < prev*0.5:
+			for _, dev := range []*topology.Device{a, b} {
+				al := mkAlert(alert.SourceTraffic, alert.TypeTrafficDrop, now, dev.Path,
+					rate/maxNonZero(prev), fmt.Sprintf("traffic on %s fell %.0f→%.0f Gbps", l.CircuitSet, prev, rate))
+				al.CircuitSet = l.CircuitSet
+				out = append(out, al)
+			}
+		case prev > 0 && rate > prev*1.6:
+			for _, dev := range []*topology.Device{a, b} {
+				al := mkAlert(alert.SourceTraffic, alert.TypeTrafficSurge, now, dev.Path,
+					rate/maxNonZero(prev), fmt.Sprintf("traffic on %s rose %.0f→%.0f Gbps", l.CircuitSet, prev, rate))
+				al.CircuitSet = l.CircuitSet
+				out = append(out, al)
+			}
+		}
+		if util > 0.95 {
+			al := mkAlert(alert.SourceTraffic, alert.TypeTrafficCongestion, now, a.Path, util,
+				fmt.Sprintf("%s saturated at %.0f%%", l.CircuitSet, util*100))
+			al.CircuitSet = l.CircuitSet
+			out = append(out, al)
+		}
+	}
+	// Sampled loss ratios per device: sFlow sees silent loss that
+	// device logs never mention.
+	for i := range m.topo.Devices {
+		d := &m.topo.Devices[i]
+		st := sim.DeviceState(d.ID)
+		if st.Up && st.SilentLoss >= m.cfg.LossThreshold {
+			out = append(out, mkAlert(alert.SourceTraffic, alert.TypePacketLoss, now, d.Path,
+				st.SilentLoss, fmt.Sprintf("%s sampled loss ratio %.1f%%", d.Name, st.SilentLoss*100)))
+		}
+	}
+	if m.noise.fire(m.cfg.TrafficInterval) {
+		l := m.topo.Link(topology.LinkID(m.rng.Intn(m.topo.NumLinks())))
+		d := m.topo.Device(l.A)
+		al := mkAlert(alert.SourceTraffic, alert.TypeTrafficSurge, now, d.Path, 1.7,
+			"transient flow burst")
+		al.CircuitSet = l.CircuitSet
+		out = append(out, al)
+	}
+	m.primed = true
+	return out
+}
+
+func maxNonZero(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"sort"
+	"time"
+
+	"skynet/internal/hierarchy"
+	"skynet/internal/topology"
+)
+
+// Event is a journaled state transition: the device-visible trace of a
+// fault activating or healing. The syslog, SNMP, and modification-event
+// monitor models read the journal — they only see what a device would
+// itself notice, which is exactly the coverage limitation §2.1 describes
+// (silent loss and route errors produce no events here).
+type Event struct {
+	Time   time.Time
+	Device topology.DeviceID
+	// Kind is the alert-type string the device-side tooling would log,
+	// e.g. "link down", "hardware error".
+	Kind string
+	// Up distinguishes onset (true at fault activation) from clearing.
+	Up bool
+	// Detail carries extra context for raw-message synthesis.
+	Detail string
+}
+
+// Journal returns events in [since, until), ordered by time then device.
+func (s *Simulator) Journal(since, until time.Time) []Event {
+	var out []Event
+	for _, e := range s.journal {
+		if !e.Time.Before(since) && e.Time.Before(until) {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		return out[i].Device < out[j].Device
+	})
+	return out
+}
+
+// journalTransition records the device-visible events of one fault
+// activating (active=true) or deactivating.
+func (s *Simulator) journalTransition(f *Fault, active bool) {
+	at := f.Start
+	if !active {
+		at = f.End
+	}
+	add := func(dev topology.DeviceID, kind, detail string) {
+		s.journal = append(s.journal, Event{Time: at, Device: dev, Kind: kind, Up: active, Detail: detail})
+	}
+	switch f.Kind {
+	case FaultDeviceDown:
+		add(f.Device, "device down", "chassis power lost")
+		// Neighbors see their link to the dead device drop: physical
+		// layer, line protocol, and the routing session riding it.
+		for _, lid := range s.topo.LinksOf(f.Device) {
+			l := s.topo.Link(lid)
+			other, _ := l.Other(f.Device)
+			peer := "peer " + s.topo.Device(f.Device).Name
+			add(other, "link down", peer)
+			add(other, "port down", peer)
+			add(other, "bgp peer down", peer)
+		}
+	case FaultDeviceHardware:
+		add(f.Device, "hardware error", "linecard parity error")
+	case FaultDeviceSoftware:
+		add(f.Device, "software error", "routing process restarted")
+		add(f.Device, "bgp peer down", "hold timer expired")
+		add(f.Device, "out of memory", "process rpd")
+	case FaultLinkCut:
+		l := s.topo.Link(f.Link)
+		detail := "circuit failure on " + l.CircuitSet
+		add(l.A, "link down", detail)
+		add(l.B, "link down", detail)
+		add(l.A, "port down", detail)
+		add(l.B, "port down", detail)
+		// BGP sessions ride the member circuits; cutting circuits drops
+		// sessions on both speakers.
+		add(l.A, "bgp peer down", detail)
+		add(l.B, "bgp peer down", detail)
+	case FaultFiberBundleCut:
+		for _, lid := range s.topo.LinksUnder(f.Location) {
+			l := s.topo.Link(lid)
+			if !l.InternetEntry {
+				continue
+			}
+			add(l.A, "link down", "entry fiber cut "+l.CircuitSet)
+			add(l.B, "link down", "entry fiber cut "+l.CircuitSet)
+		}
+	case FaultModification:
+		add(f.Device, "modification failed", "config commit rejected")
+	case FaultPowerFailure:
+		for _, id := range s.topo.DevicesUnder(f.Location) {
+			add(id, "device down", "facility power failure")
+		}
+	case FaultBitFlip:
+		add(f.Device, "crc error", "interface CRC counter rising")
+	case FaultClockDrift:
+		add(f.Device, "clock out of sync", "ptp offset beyond threshold")
+	case FaultCongestion, FaultRouteError, FaultRouteHijack, FaultSilentLoss:
+		// Deliberately silent: nothing device-visible happens. These
+		// faults are only observable through behaviour monitors (ping,
+		// sFlow, route monitoring), which is what makes them the hard
+		// cases of §2.1.
+	}
+}
+
+// roleMembers returns the device IDs with the given role attached at the
+// location, using a lazily built index.
+func (s *Simulator) roleMembers(loc hierarchy.Path, role topology.Role) []topology.DeviceID {
+	if s.roleIdx == nil {
+		s.roleIdx = make(map[roleKey][]topology.DeviceID)
+		for i := range s.topo.Devices {
+			d := &s.topo.Devices[i]
+			k := roleKey{d.Attach, d.Role}
+			s.roleIdx[k] = append(s.roleIdx[k], d.ID)
+		}
+	}
+	return s.roleIdx[roleKey{loc, role}]
+}
+
+type roleKey struct {
+	loc  hierarchy.Path
+	role topology.Role
+}

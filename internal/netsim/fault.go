@@ -1,0 +1,159 @@
+// Package netsim simulates the failing network underneath SkyNet's
+// monitoring tools. It substitutes for Alibaba's production network: faults
+// are injected into a topology.Topology, the simulator derives device,
+// link, and end-to-end path state over time, and the monitor models in
+// internal/monitors sample that state to produce raw alerts with each
+// tool's characteristic cadence, delay, and blind spots.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"skynet/internal/hierarchy"
+	"skynet/internal/topology"
+)
+
+// FaultKind enumerates the failure mechanisms of Figure 1 plus the gray
+// failures the paper's tools disagree about.
+type FaultKind int
+
+// Fault kinds. Comments note the Figure 1 root-cause category each models.
+const (
+	// FaultDeviceDown kills a device outright (device hardware error).
+	FaultDeviceDown FaultKind = iota
+	// FaultDeviceHardware is a partial hardware fault: the device stays
+	// up but silently drops a fraction of traffic and logs hardware
+	// errors (device hardware error).
+	FaultDeviceHardware
+	// FaultDeviceSoftware is a software crash/flap: BGP sessions flap and
+	// a fraction of traffic is lost while processes restart (device
+	// software error).
+	FaultDeviceSoftware
+	// FaultLinkCut severs Circuits circuits of one link bundle
+	// (link error).
+	FaultLinkCut
+	// FaultFiberBundleCut severs a fraction of every internet-entry
+	// bundle in a city — the §2.2 severe-failure war story
+	// (link error / infrastructure error).
+	FaultFiberBundleCut
+	// FaultCongestion multiplies traffic demand under a location, e.g. a
+	// DDoS attack or a flash crowd (security error).
+	FaultCongestion
+	// FaultRouteError blackholes a fraction of internet-bound traffic at
+	// a location's border routers without any device-visible error —
+	// loss of a default/aggregate route (route error).
+	FaultRouteError
+	// FaultRouteHijack is an external prefix hijack: same internet-bound
+	// blackhole, but the control-plane signature is a hijack rather than
+	// a withdrawal (route error / security error).
+	FaultRouteHijack
+	// FaultModification is a failed network modification on a device:
+	// misconfiguration drops traffic until rolled back
+	// (network modification error / configuration error).
+	FaultModification
+	// FaultPowerFailure takes down every device under a location
+	// (infrastructure error).
+	FaultPowerFailure
+	// FaultSilentLoss is a gray failure: silent packet loss with no
+	// device-side logging at all.
+	FaultSilentLoss
+	// FaultBitFlip corrupts packets traversing a device (detectable by
+	// INT/CRC, invisible to ping loss counters at low rates).
+	FaultBitFlip
+	// FaultClockDrift desynchronizes a device's PTP clock.
+	FaultClockDrift
+
+	numFaultKinds
+)
+
+var faultKindNames = [...]string{
+	FaultDeviceDown:     "device-down",
+	FaultDeviceHardware: "device-hardware",
+	FaultDeviceSoftware: "device-software",
+	FaultLinkCut:        "link-cut",
+	FaultFiberBundleCut: "fiber-bundle-cut",
+	FaultCongestion:     "congestion",
+	FaultRouteError:     "route-error",
+	FaultRouteHijack:    "route-hijack",
+	FaultModification:   "modification",
+	FaultPowerFailure:   "power-failure",
+	FaultSilentLoss:     "silent-loss",
+	FaultBitFlip:        "bit-flip",
+	FaultClockDrift:     "clock-drift",
+}
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	if k < 0 || int(k) >= len(faultKindNames) {
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+	return faultKindNames[k]
+}
+
+// Fault is one injected failure with an activation window. Which target
+// field matters depends on Kind: device faults use Device, link faults use
+// Link, and area faults (congestion, power, route error, fiber bundle)
+// use Location.
+type Fault struct {
+	Kind     FaultKind
+	Device   topology.DeviceID
+	Link     topology.LinkID
+	Location hierarchy.Path
+
+	// Circuits is how many circuits a FaultLinkCut severs (clamped to the
+	// bundle size).
+	Circuits int
+
+	// Magnitude is kind-specific: silent/hardware loss ratio (0..1),
+	// congestion demand multiplier (≥1), route-error blackhole fraction
+	// (0..1), or fiber-bundle cut fraction (0..1).
+	Magnitude float64
+
+	Start time.Time
+	End   time.Time
+}
+
+// ActiveAt reports whether the fault is active at t (Start inclusive, End
+// exclusive; a zero End means the fault never self-heals).
+func (f *Fault) ActiveAt(t time.Time) bool {
+	if t.Before(f.Start) {
+		return false
+	}
+	return f.End.IsZero() || t.Before(f.End)
+}
+
+// Validate checks the fault against a topology.
+func (f *Fault) Validate(topo *topology.Topology) error {
+	if f.Kind < 0 || f.Kind >= numFaultKinds {
+		return fmt.Errorf("netsim: invalid fault kind %d", int(f.Kind))
+	}
+	if f.Start.IsZero() {
+		return fmt.Errorf("netsim: fault %v has zero start", f.Kind)
+	}
+	if !f.End.IsZero() && f.End.Before(f.Start) {
+		return fmt.Errorf("netsim: fault %v ends before it starts", f.Kind)
+	}
+	switch f.Kind {
+	case FaultDeviceDown, FaultDeviceHardware, FaultDeviceSoftware,
+		FaultModification, FaultSilentLoss, FaultBitFlip, FaultClockDrift:
+		if int(f.Device) < 0 || int(f.Device) >= topo.NumDevices() {
+			return fmt.Errorf("netsim: fault %v targets unknown device %d", f.Kind, f.Device)
+		}
+	case FaultLinkCut:
+		if int(f.Link) < 0 || int(f.Link) >= topo.NumLinks() {
+			return fmt.Errorf("netsim: fault %v targets unknown link %d", f.Kind, f.Link)
+		}
+		if f.Circuits <= 0 {
+			return fmt.Errorf("netsim: link cut with %d circuits", f.Circuits)
+		}
+	case FaultCongestion, FaultRouteError, FaultRouteHijack, FaultPowerFailure, FaultFiberBundleCut:
+		if f.Location.IsRoot() {
+			return fmt.Errorf("netsim: area fault %v with root location", f.Kind)
+		}
+	}
+	if f.Magnitude < 0 {
+		return fmt.Errorf("netsim: negative magnitude %v", f.Magnitude)
+	}
+	return nil
+}

@@ -1,0 +1,455 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"skynet/internal/hierarchy"
+	"skynet/internal/topology"
+)
+
+var epoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+func newSim(t *testing.T) *Simulator {
+	t.Helper()
+	return New(topology.MustGenerate(topology.SmallConfig()), 7)
+}
+
+func firstOfRole(topo *topology.Topology, role topology.Role) *topology.Device {
+	for i := range topo.Devices {
+		if topo.Devices[i].Role == role {
+			return &topo.Devices[i]
+		}
+	}
+	return nil
+}
+
+func TestHealthyBaseline(t *testing.T) {
+	s := newSim(t)
+	if err := s.Step(epoch); err != nil {
+		t.Fatal(err)
+	}
+	topo := s.Topology()
+	cls := topo.Clusters()
+	r, err := s.EvalPath(cls[0], cls[len(cls)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Loss != 0 {
+		t.Errorf("healthy path loss = %v, want 0", r.Loss)
+	}
+	if r.LatencySeconds <= 0 {
+		t.Error("latency should be positive")
+	}
+	ri, err := s.EvalInternet(cls[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Loss != 0 {
+		t.Errorf("healthy internet loss = %v, want 0", ri.Loss)
+	}
+}
+
+func TestEvalPathArgValidation(t *testing.T) {
+	s := newSim(t)
+	if _, err := s.EvalPath(hierarchy.MustNew("RG01"), s.Topology().Clusters()[0]); err == nil {
+		t.Error("non-cluster arg accepted")
+	}
+	if _, err := s.EvalInternet(hierarchy.MustNew("RG01")); err == nil {
+		t.Error("non-cluster internet arg accepted")
+	}
+}
+
+func TestDeviceDown(t *testing.T) {
+	s := newSim(t)
+	topo := s.Topology()
+	isr := firstOfRole(topo, topology.RoleISR)
+	s.MustInject(Fault{Kind: FaultDeviceDown, Device: isr.ID, Start: epoch})
+	if err := s.Step(epoch.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if s.DeviceState(isr.ID).Up {
+		t.Error("device should be down")
+	}
+	// Path through the device's cluster should see elevated utilization
+	// (traffic shifted to the surviving ISR) but not total loss.
+	cluster := isr.Attach
+	other := topo.Clusters()[len(topo.Clusters())-1]
+	r, err := s.EvalPath(cluster, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stages[1].EffUtil <= s.healthyStageUtil(t, cluster) {
+		t.Errorf("utilization did not rise after device down")
+	}
+	if r.Loss >= 1 {
+		t.Error("single device down should not cause total loss")
+	}
+}
+
+// healthyStageUtil computes the first-stage utilization with no faults.
+func (s *Simulator) healthyStageUtil(t *testing.T, cluster hierarchy.Path) float64 {
+	t.Helper()
+	clean := New(s.Topology(), 7)
+	if err := clean.Step(epoch); err != nil {
+		t.Fatal(err)
+	}
+	other := s.Topology().Clusters()[len(s.Topology().Clusters())-1]
+	r, err := clean.EvalPath(cluster, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Stages[1].EffUtil
+}
+
+func TestWholeGroupDownIsTotalLoss(t *testing.T) {
+	s := newSim(t)
+	topo := s.Topology()
+	cluster := topo.Clusters()[0]
+	for _, id := range topo.DevicesUnder(cluster) {
+		if topo.Device(id).Role == topology.RoleISR {
+			s.MustInject(Fault{Kind: FaultDeviceDown, Device: id, Start: epoch})
+		}
+	}
+	if err := s.Step(epoch.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.EvalPath(cluster, topo.Clusters()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Loss != 1 {
+		t.Errorf("loss = %v, want 1 with all ISRs dead", r.Loss)
+	}
+	if !math.IsInf(r.Stages[1].EffUtil, 1) {
+		t.Error("dead stage should report infinite utilization")
+	}
+}
+
+func TestSilentLoss(t *testing.T) {
+	s := newSim(t)
+	topo := s.Topology()
+	isr := firstOfRole(topo, topology.RoleISR)
+	s.MustInject(Fault{Kind: FaultSilentLoss, Device: isr.ID, Magnitude: 0.5, Start: epoch})
+	if err := s.Step(epoch.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.EvalPath(isr.Attach, topo.Clusters()[len(topo.Clusters())-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two ISRs share the load; one drops 50 % → ~25 % stage loss.
+	if got := r.Stages[1].Loss; got < 0.2 || got > 0.3 {
+		t.Errorf("silent loss stage = %v, want ≈0.25", got)
+	}
+	// No journal events: silent loss is device-invisible.
+	if n := len(s.Journal(epoch, epoch.Add(time.Hour))); n != 0 {
+		t.Errorf("silent loss journaled %d events, want 0", n)
+	}
+}
+
+func TestFiberBundleCutCongestsInternet(t *testing.T) {
+	s := newSim(t)
+	topo := s.Topology()
+	city := topo.Clusters()[0].Truncate(hierarchy.LevelCity)
+	s.MustInject(Fault{Kind: FaultFiberBundleCut, Location: city, Magnitude: 0.5, Start: epoch})
+	if err := s.Step(epoch.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.EvalInternet(topo.Clusters()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := r.Stages[len(r.Stages)-1]
+	if last.Name != "internet-entry" {
+		t.Fatalf("last stage = %q", last.Name)
+	}
+	if last.EffUtil <= 1 {
+		t.Errorf("entry stage utilization = %v, want > 1 (congested)", last.EffUtil)
+	}
+	if r.Loss <= 0 {
+		t.Error("cut entry bundles should cause loss via congestion")
+	}
+	// The cut generates link-down journal events on both ends.
+	evs := s.Journal(epoch, epoch.Add(time.Minute))
+	if len(evs) == 0 {
+		t.Fatal("fiber cut produced no journal events")
+	}
+	for _, e := range evs {
+		if e.Kind != "link down" {
+			t.Errorf("unexpected event kind %q", e.Kind)
+		}
+		if !e.Up {
+			t.Error("activation events should have Up=true")
+		}
+	}
+}
+
+func TestCongestionFault(t *testing.T) {
+	s := newSim(t)
+	topo := s.Topology()
+	site := topo.Clusters()[0].Parent()
+	s.MustInject(Fault{Kind: FaultCongestion, Location: site, Magnitude: 3, Start: epoch})
+	if err := s.Step(epoch.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.EvalPath(topo.Clusters()[0], topo.Clusters()[len(topo.Clusters())-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Loss <= 0 {
+		t.Error("3x demand should exceed capacity and cause loss")
+	}
+	if len(s.Journal(epoch, epoch.Add(time.Hour))) != 0 {
+		t.Error("congestion should be device-invisible")
+	}
+}
+
+func TestPowerFailure(t *testing.T) {
+	s := newSim(t)
+	topo := s.Topology()
+	cluster := topo.Clusters()[0]
+	s.MustInject(Fault{Kind: FaultPowerFailure, Location: cluster, Start: epoch})
+	if err := s.Step(epoch.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DevicesDownUnder(cluster); got != len(topo.DevicesUnder(cluster)) {
+		t.Errorf("devices down = %d, want all %d", got, len(topo.DevicesUnder(cluster)))
+	}
+}
+
+func TestFaultWindowAndHealing(t *testing.T) {
+	s := newSim(t)
+	topo := s.Topology()
+	isr := firstOfRole(topo, topology.RoleISR)
+	s.MustInject(Fault{
+		Kind: FaultDeviceDown, Device: isr.ID,
+		Start: epoch.Add(time.Minute), End: epoch.Add(2 * time.Minute),
+	})
+	if err := s.Step(epoch); err != nil {
+		t.Fatal(err)
+	}
+	if !s.DeviceState(isr.ID).Up {
+		t.Error("fault active before start")
+	}
+	if err := s.Step(epoch.Add(90 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if s.DeviceState(isr.ID).Up {
+		t.Error("fault not active in window")
+	}
+	if err := s.Step(epoch.Add(3 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.DeviceState(isr.ID).Up {
+		t.Error("fault still active after end")
+	}
+	// Journal has both onset and clear events for the device itself.
+	var on, off int
+	for _, e := range s.Journal(epoch, epoch.Add(time.Hour)) {
+		if e.Device == isr.ID && e.Kind == "device down" {
+			if e.Up {
+				on++
+			} else {
+				off++
+			}
+		}
+	}
+	if on != 1 || off != 1 {
+		t.Errorf("device down events on=%d off=%d, want 1/1", on, off)
+	}
+}
+
+func TestStepMonotonic(t *testing.T) {
+	s := newSim(t)
+	if err := s.Step(epoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(epoch.Add(-time.Second)); err == nil {
+		t.Error("time going backwards should error")
+	}
+}
+
+func TestIsolation(t *testing.T) {
+	s := newSim(t)
+	topo := s.Topology()
+	isr := firstOfRole(topo, topology.RoleISR)
+	s.MustInject(Fault{Kind: FaultSilentLoss, Device: isr.ID, Magnitude: 0.5, Start: epoch})
+	if err := s.Step(epoch.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	far := topo.Clusters()[len(topo.Clusters())-1]
+	before, _ := s.EvalPath(isr.Attach, far)
+	// Isolating the lossy device removes the silent loss (remaining ISR
+	// carries everything, congested but clean).
+	s.Isolate(isr.ID)
+	if err := s.Step(epoch.Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := s.EvalPath(isr.Attach, far)
+	if after.Stages[1].Loss >= before.Stages[1].Loss && before.Stages[1].Loss > 0 {
+		t.Errorf("isolation did not reduce stage loss: before=%v after=%v",
+			before.Stages[1].Loss, after.Stages[1].Loss)
+	}
+	s.Deisolate(isr.ID)
+	if err := s.Step(epoch.Add(3 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if s.DeviceState(isr.ID).Isolated {
+		t.Error("deisolate did not stick")
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	s := newSim(t)
+	bad := []Fault{
+		{Kind: FaultKind(99), Start: epoch},
+		{Kind: FaultDeviceDown, Device: -1, Start: epoch},
+		{Kind: FaultDeviceDown, Device: topology.DeviceID(s.Topology().NumDevices()), Start: epoch},
+		{Kind: FaultLinkCut, Link: -1, Circuits: 1, Start: epoch},
+		{Kind: FaultLinkCut, Link: 0, Circuits: 0, Start: epoch},
+		{Kind: FaultCongestion, Start: epoch}, // root location
+		{Kind: FaultDeviceDown},               // zero start
+		{Kind: FaultDeviceDown, Start: epoch, End: epoch.Add(-time.Minute)},
+		{Kind: FaultSilentLoss, Magnitude: -1, Start: epoch},
+	}
+	for i, f := range bad {
+		if err := s.Inject(f); err == nil {
+			t.Errorf("fault %d accepted: %+v", i, f)
+		}
+	}
+}
+
+func TestLinkCutClamped(t *testing.T) {
+	s := newSim(t)
+	l := s.Topology().Link(0)
+	s.MustInject(Fault{Kind: FaultLinkCut, Link: l.ID, Circuits: l.Circuits * 10, Start: epoch})
+	if err := s.Step(epoch.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LinkState(l.ID).CircuitsDown; got != l.Circuits {
+		t.Errorf("CircuitsDown = %d, want clamped to %d", got, l.Circuits)
+	}
+}
+
+func TestRouteErrorHitsBorderOnly(t *testing.T) {
+	s := newSim(t)
+	topo := s.Topology()
+	city := topo.Clusters()[0].Truncate(hierarchy.LevelCity)
+	s.MustInject(Fault{Kind: FaultRouteError, Location: city, Magnitude: 0.4, Start: epoch})
+	if err := s.Step(epoch.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range topo.DevicesUnder(city) {
+		d := topo.Device(id)
+		st := s.DeviceState(id)
+		isBorder := d.Role == topology.RoleBSR || d.Role == topology.RoleDCBR
+		if isBorder && st.RouteBlackhole == 0 {
+			t.Errorf("border device %s unaffected by route error", d.Name)
+		}
+		if !isBorder && st.RouteBlackhole != 0 {
+			t.Errorf("non-border device %s affected by route error", d.Name)
+		}
+	}
+	// Internal paths are untouched; the internet path bleeds.
+	internal, err := s.EvalPath(topo.Clusters()[0], topo.Clusters()[len(topo.Clusters())-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if internal.Loss != 0 {
+		t.Errorf("route error leaked into internal path: loss=%v", internal.Loss)
+	}
+	inet, err := s.EvalInternet(topo.Clusters()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inet.Loss <= 0 {
+		t.Error("route error invisible on the internet path")
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	for k := FaultKind(0); k < numFaultKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	if FaultKind(99).String() != "fault(99)" {
+		t.Error("out of range kind name")
+	}
+}
+
+func TestActiveFaultsAt(t *testing.T) {
+	s := newSim(t)
+	s.MustInject(Fault{Kind: FaultDeviceDown, Device: 0, Start: epoch, End: epoch.Add(time.Minute)})
+	s.MustInject(Fault{Kind: FaultDeviceDown, Device: 1, Start: epoch.Add(time.Hour)})
+	if got := len(s.ActiveFaultsAt(epoch.Add(30 * time.Second))); got != 1 {
+		t.Errorf("active at +30s = %d, want 1", got)
+	}
+	if got := len(s.ActiveFaultsAt(epoch.Add(2 * time.Hour))); got != 1 {
+		t.Errorf("active at +2h = %d, want 1", got)
+	}
+	if got := len(s.ActiveFaultsAt(epoch.Add(90 * time.Second))); got != 0 {
+		t.Errorf("active at +90s = %d, want 0", got)
+	}
+	fs := s.Faults()
+	SortFaultsByStart(fs)
+	if !fs[0].Start.Before(fs[1].Start) {
+		t.Error("sort by start failed")
+	}
+}
+
+func TestWorstStage(t *testing.T) {
+	s := newSim(t)
+	topo := s.Topology()
+	isr := firstOfRole(topo, topology.RoleISR)
+	s.MustInject(Fault{Kind: FaultSilentLoss, Device: isr.ID, Magnitude: 0.8, Start: epoch})
+	if err := s.Step(epoch.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.EvalPath(isr.Attach, topo.Clusters()[len(topo.Clusters())-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := r.WorstStage()
+	if w != 1 {
+		t.Errorf("worst stage = %d, want 1 (the faulty ISR group)", w)
+	}
+	empty := PathReport{}
+	if empty.WorstStage() != -1 {
+		t.Error("empty report worst stage should be -1")
+	}
+}
+
+func TestBitFlipPropagates(t *testing.T) {
+	s := newSim(t)
+	topo := s.Topology()
+	isr := firstOfRole(topo, topology.RoleISR)
+	s.MustInject(Fault{Kind: FaultBitFlip, Device: isr.ID, Magnitude: 0.02, Start: epoch})
+	if err := s.Step(epoch.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := s.EvalPath(isr.Attach, topo.Clusters()[len(topo.Clusters())-1])
+	if r.Corrupt <= 0 {
+		t.Error("bit flips should propagate to path corruption")
+	}
+	if r.Loss > 0 {
+		t.Error("bit flips alone should not register as loss")
+	}
+}
+
+func TestSameClusterPath(t *testing.T) {
+	s := newSim(t)
+	cl := s.Topology().Clusters()[0]
+	if err := s.Step(epoch); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.EvalPath(cl, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stages) != 2 || r.Stages[0].Name != "ToR" || r.Stages[1].Name != "ISR" {
+		t.Errorf("same-cluster path stages = %+v", r.Stages)
+	}
+}

@@ -1,0 +1,304 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"skynet/internal/hierarchy"
+	"skynet/internal/topology"
+)
+
+// This file evaluates end-to-end paths through the simulated network. The
+// generated topology routes hierarchically — up from the source cluster
+// through its ISR/CSR/BSR/DCBR aggregation groups to the common ancestor,
+// then down again — so a path is a chain of redundancy-group "stages".
+// Per-stage loss combines three mechanisms:
+//
+//   - total loss when every member of a stage's group is dead,
+//   - silent loss averaged over surviving members (gray failures,
+//     route blackholes, failed modifications),
+//   - congestion loss when the surviving capacity cannot carry the
+//     offered demand (traffic shifted from dead members and cut circuits,
+//     possibly inflated by a congestion fault's demand multiplier). This
+//     reproduces the §2.2 insight that cut entry cables manifest as
+//     congestion loss on the survivors, not as loss on the cut cables.
+
+// Stage is one redundancy group along a path, with its evaluated state.
+type Stage struct {
+	// Name describes the stage ("ISR", "CSR", "internet-entry", ...).
+	Name string
+	// Location is the hierarchy node the stage belongs to; alerts blaming
+	// this stage are attributed here.
+	Location hierarchy.Path
+	// Devices are the group members.
+	Devices []topology.DeviceID
+	// Loss is the stage's packet-loss contribution (0..1).
+	Loss float64
+	// Corrupt is the stage's bit-flip contribution (0..1).
+	Corrupt float64
+	// EffUtil is the effective utilization of the stage's link capacity;
+	// values above 1 mean congestion.
+	EffUtil float64
+}
+
+// PathReport is the evaluation of one end-to-end path.
+type PathReport struct {
+	Stages []Stage
+	// Loss is end-to-end packet loss (0..1).
+	Loss float64
+	// Corrupt is end-to-end corruption ratio (0..1).
+	Corrupt float64
+	// LatencySeconds is the modeled one-way latency.
+	LatencySeconds float64
+}
+
+// WorstStage returns the index of the stage with the highest loss, or -1
+// for an empty path.
+func (r *PathReport) WorstStage() int {
+	best, idx := -1.0, -1
+	for i := range r.Stages {
+		if r.Stages[i].Loss > best {
+			best, idx = r.Stages[i].Loss, i
+		}
+	}
+	return idx
+}
+
+// EvalPath evaluates the path between two cluster locations. Both
+// arguments must be cluster-level paths from the simulator's topology.
+func (s *Simulator) EvalPath(a, b hierarchy.Path) (PathReport, error) {
+	if a.Level() != hierarchy.LevelCluster || b.Level() != hierarchy.LevelCluster {
+		return PathReport{}, fmt.Errorf("netsim: EvalPath wants cluster paths, got %q, %q", a, b)
+	}
+	var stages []Stage
+	// Server traffic enters through the rack layer: a bad ToR hurts the
+	// fraction of flows behind it, which is how Pingmesh-style server
+	// probing sees rack-level gray failures.
+	stages = append(stages, s.roleStage("ToR", a, topology.RoleToR))
+	stages = append(stages, s.roleStage("ISR", a, topology.RoleISR))
+	if a == b {
+		return s.finishReport(stages, 0), nil
+	}
+	ca := a.CommonAncestor(b)
+	up := s.upChain(a, ca.Level())
+	down := s.upChain(b, ca.Level())
+	stages = append(stages, up...)
+	// Reverse the down chain so the path reads source → destination.
+	for i := len(down) - 1; i >= 0; i-- {
+		stages = append(stages, down[i])
+	}
+	stages = append(stages, s.roleStage("ISR", b, topology.RoleISR))
+	stages = append(stages, s.roleStage("ToR", b, topology.RoleToR))
+	return s.finishReport(stages, wanHops(a, b)), nil
+}
+
+// EvalInternet evaluates the path from a cluster out to the Internet
+// through its city's entry bundles.
+func (s *Simulator) EvalInternet(c hierarchy.Path) (PathReport, error) {
+	if c.Level() != hierarchy.LevelCluster {
+		return PathReport{}, fmt.Errorf("netsim: EvalInternet wants a cluster path, got %q", c)
+	}
+	stages := []Stage{s.roleStage("ToR", c, topology.RoleToR), s.roleStage("ISR", c, topology.RoleISR)}
+	stages = append(stages, s.upChain(c, hierarchy.LevelRegion)...)
+	stages = append(stages, s.internetStage(c.Truncate(hierarchy.LevelCity)))
+	// Route errors blackhole internet-bound traffic at the border stages;
+	// the internal mesh never sees this loss.
+	for i := range stages {
+		if bh := s.meanBlackhole(stages[i].Devices); bh > 0 {
+			stages[i].Loss = 1 - (1-stages[i].Loss)*(1-bh)
+		}
+	}
+	return s.finishReport(stages, 1), nil
+}
+
+// upChain builds the aggregation stages from a cluster up to (exclusive)
+// the given ancestor level: CSR at the site, BSR at the logic site, DCBR
+// at the city.
+func (s *Simulator) upChain(c hierarchy.Path, stop hierarchy.Level) []Stage {
+	var out []Stage
+	if stop <= hierarchy.LevelSite {
+		out = append(out, s.roleStage("CSR", c.Truncate(hierarchy.LevelSite), topology.RoleCSR))
+	}
+	if stop <= hierarchy.LevelLogicSite {
+		out = append(out, s.roleStage("BSR", c.Truncate(hierarchy.LevelLogicSite), topology.RoleBSR))
+	}
+	if stop <= hierarchy.LevelCity {
+		out = append(out, s.roleStage("DCBR", c.Truncate(hierarchy.LevelCity), topology.RoleDCBR))
+	}
+	return out
+}
+
+// roleStage evaluates the redundancy group of the given role at the
+// location.
+func (s *Simulator) roleStage(name string, loc hierarchy.Path, role topology.Role) Stage {
+	ids := s.roleMembers(loc, role)
+	st := Stage{Name: name, Location: loc, Devices: ids}
+	s.evalStage(&st, nil)
+	return st
+}
+
+// internetStage evaluates a city's internet-entry bundles as one stage.
+func (s *Simulator) internetStage(city hierarchy.Path) Stage {
+	var linkIDs []topology.LinkID
+	devs := map[topology.DeviceID]bool{}
+	for _, lid := range s.topo.LinksUnder(city) {
+		l := s.topo.Link(lid)
+		if !l.InternetEntry {
+			continue
+		}
+		linkIDs = append(linkIDs, lid)
+		devs[l.A] = true
+		devs[l.B] = true
+	}
+	ids := make([]topology.DeviceID, 0, len(devs))
+	for id := range devs {
+		ids = append(ids, id)
+	}
+	sortDeviceIDs(ids)
+	st := Stage{Name: "internet-entry", Location: city, Devices: ids}
+	s.evalStage(&st, linkIDs)
+	return st
+}
+
+// evalStage fills Loss/Corrupt/EffUtil. If links is nil the stage uses all
+// links incident to its member devices.
+func (s *Simulator) evalStage(st *Stage, links []topology.LinkID) {
+	g := s.groupStateOf(st.Devices)
+	if g.total == 0 {
+		// No such group at this location (degenerate topologies): the
+		// stage is transparent.
+		st.Loss, st.EffUtil = 0, 0
+		return
+	}
+	if g.effective == 0 {
+		st.Loss = 1
+		st.EffUtil = math.Inf(1)
+		return
+	}
+	if links == nil {
+		seen := map[topology.LinkID]bool{}
+		for _, id := range st.Devices {
+			for _, lid := range s.topo.LinksOf(id) {
+				if !seen[lid] {
+					seen[lid] = true
+					links = append(links, lid)
+				}
+			}
+		}
+	}
+	shift := float64(g.total) / g.effective
+	var capAvail, demand, hotspot float64
+	for _, lid := range links {
+		l := s.topo.Link(lid)
+		ls := &s.links[lid]
+		availFrac := 1 - float64(ls.CircuitsDown)/float64(l.Circuits)
+		linkCap := l.CapacityGbps * availFrac
+		linkDemand := l.CapacityGbps * s.baseUtil[lid] * ls.DemandMultiplier
+		capAvail += linkCap
+		demand += linkDemand
+		// Hotspot loss: ECMP hashing is not perfectly balanced (the §7.3
+		// unbalanced-hash incident), so a bundle driven beyond its
+		// surviving capacity drops the flows hashed onto it even when the
+		// stage as a whole has headroom. Loss is weighted by the share of
+		// traffic crossing the bundle.
+		if linkCap > 0 && linkDemand*shift > linkCap {
+			hotspot += linkDemand * (1 - linkCap/(linkDemand*shift))
+		}
+	}
+	// Traffic from dead/isolated group members shifts onto survivors.
+	demand *= shift
+	var congLoss float64
+	switch {
+	case capAvail <= 0:
+		st.Loss = 1
+		st.EffUtil = math.Inf(1)
+		return
+	default:
+		st.EffUtil = demand / capAvail
+		if st.EffUtil > 1 {
+			congLoss = 1 - 1/st.EffUtil
+		}
+	}
+	hotspotLoss := 0.0
+	if demand > 0 {
+		hotspotLoss = minf(hotspot*shift/demand, 1)
+	}
+	if hotspotLoss > congLoss {
+		congLoss = hotspotLoss
+	}
+	st.Loss = 1 - (1-g.silent)*(1-congLoss)
+	// The rack layer has no rerouting: servers home on exactly one ToR,
+	// so a dead ToR black-holes its rack's share of the cluster traffic.
+	if st.Name == "ToR" && g.deadFrac > 0 {
+		st.Loss = 1 - (1-st.Loss)*(1-g.deadFrac)
+	}
+	st.Corrupt = g.bitflip
+}
+
+// finishReport combines stages into end-to-end figures.
+func (s *Simulator) finishReport(stages []Stage, wan int) PathReport {
+	r := PathReport{Stages: stages}
+	pass, passCorrupt := 1.0, 1.0
+	latency := 0.0005 * float64(len(stages)+1) // per-hop base
+	latency += 0.002 * float64(wan)            // inter-city/region distance
+	for i := range stages {
+		pass *= 1 - stages[i].Loss
+		passCorrupt *= 1 - stages[i].Corrupt
+		if u := stages[i].EffUtil; u > 0.8 && !math.IsInf(u, 1) {
+			// Queueing delay grows as utilization approaches saturation.
+			latency += 0.0005 * minf(u*u*4, 20)
+		}
+	}
+	r.Loss = 1 - pass
+	r.Corrupt = 1 - passCorrupt
+	r.LatencySeconds = latency
+	return r
+}
+
+// wanHops counts the WAN distance between two clusters: 0 within a city,
+// 1 across cities, 2 across regions.
+func wanHops(a, b hierarchy.Path) int {
+	ca := a.CommonAncestor(b)
+	switch {
+	case ca.Level() >= hierarchy.LevelCity:
+		return 0
+	case ca.Level() == hierarchy.LevelRegion:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// meanBlackhole averages the internet-bound blackhole ratio over the
+// carrying members of a device set.
+func (s *Simulator) meanBlackhole(ids []topology.DeviceID) float64 {
+	var sum float64
+	n := 0
+	for _, id := range ids {
+		st := &s.devices[id]
+		if !st.Up || st.Isolated {
+			continue
+		}
+		sum += st.RouteBlackhole
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func sortDeviceIDs(ids []topology.DeviceID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

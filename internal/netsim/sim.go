@@ -1,0 +1,353 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"skynet/internal/hierarchy"
+	"skynet/internal/topology"
+)
+
+// DeviceState is the derived condition of one device at the current
+// simulation time.
+type DeviceState struct {
+	// Up is false when the device is dead (device-down, power failure).
+	Up bool
+	// Isolated is set by SOP actions: the device carries no traffic but
+	// is administratively alive.
+	Isolated bool
+	// SilentLoss is the fraction of traffic the device drops without
+	// logging (gray failures, partial hardware faults).
+	SilentLoss float64
+	// BitFlip is the packet corruption ratio.
+	BitFlip float64
+	// SoftwareError is true while a software fault is active (processes
+	// flapping, BGP churn).
+	SoftwareError bool
+	// HardwareError is true while a partial hardware fault is active.
+	HardwareError bool
+	// ModificationError is true while a failed modification is applied.
+	ModificationError bool
+	// RouteBlackhole is the fraction of INTERNET-BOUND traffic this
+	// border device drops because of a route error or hijack. Internal
+	// paths are unaffected — route errors are invisible to the internal
+	// ping mesh and sFlow, which is exactly the §2.1 coverage gap route
+	// monitoring and internet telemetry exist to fill.
+	RouteBlackhole float64
+	// ClockDriftSeconds is the PTP desynchronization magnitude.
+	ClockDriftSeconds float64
+	// CPUUtil and MemUtil are 0..1 utilizations, elevated under faults.
+	CPUUtil float64
+	MemUtil float64
+}
+
+// Healthy reports whether the device carries traffic normally.
+func (s *DeviceState) Healthy() bool {
+	return s.Up && !s.Isolated && s.SilentLoss == 0 && !s.SoftwareError &&
+		!s.HardwareError && !s.ModificationError && s.RouteBlackhole == 0
+}
+
+// LinkState is the derived condition of one link bundle.
+type LinkState struct {
+	// CircuitsDown counts severed circuits, ≤ the bundle's total.
+	CircuitsDown int
+	// DemandMultiplier scales the bundle's baseline traffic (congestion).
+	DemandMultiplier float64
+}
+
+// Simulator derives network state over time from a topology and a set of
+// injected faults. It is driven by Step; all state queries refer to the
+// time of the last Step. Simulator is not safe for concurrent mutation;
+// concurrent readers are safe between Steps.
+type Simulator struct {
+	topo *topology.Topology
+	rng  *rand.Rand
+
+	now    time.Time
+	faults []Fault
+
+	devices []DeviceState
+	links   []LinkState
+
+	// baseUtil is each link's baseline utilization (0..1), fixed at
+	// construction to make runs deterministic.
+	baseUtil []float64
+
+	journal []Event
+
+	// prevActive tracks which faults were active at the previous Step so
+	// transitions emit journal events exactly once.
+	prevActive []bool
+
+	// roleIdx caches (attach path, role) → device IDs for path evaluation.
+	roleIdx map[roleKey][]topology.DeviceID
+}
+
+// New creates a simulator over the topology. The seed fixes baseline
+// utilization noise.
+func New(topo *topology.Topology, seed int64) *Simulator {
+	s := &Simulator{
+		topo:     topo,
+		rng:      rand.New(rand.NewSource(seed)),
+		devices:  make([]DeviceState, topo.NumDevices()),
+		links:    make([]LinkState, topo.NumLinks()),
+		baseUtil: make([]float64, topo.NumLinks()),
+	}
+	for i := range s.baseUtil {
+		// Links run at 35–65 % baseline utilization: enough headroom that
+		// single failures are absorbed by redundancy, little enough that
+		// losing half the capacity congests — matching the paper's war
+		// stories.
+		s.baseUtil[i] = 0.35 + 0.30*s.rng.Float64()
+	}
+	s.resetState()
+	return s
+}
+
+// Topology returns the underlying topology.
+func (s *Simulator) Topology() *topology.Topology { return s.topo }
+
+// Now returns the time of the last Step.
+func (s *Simulator) Now() time.Time { return s.now }
+
+// Inject adds a fault. Faults may be added at any point; activation is
+// evaluated per Step.
+func (s *Simulator) Inject(f Fault) error {
+	if err := f.Validate(s.topo); err != nil {
+		return err
+	}
+	s.faults = append(s.faults, f)
+	s.prevActive = append(s.prevActive, false)
+	return nil
+}
+
+// MustInject is Inject but panics on error; for tests and scenarios.
+func (s *Simulator) MustInject(f Fault) {
+	if err := s.Inject(f); err != nil {
+		panic(err)
+	}
+}
+
+// Faults returns a copy of the injected faults.
+func (s *Simulator) Faults() []Fault {
+	out := make([]Fault, len(s.faults))
+	copy(out, s.faults)
+	return out
+}
+
+// Isolate administratively removes a device from service (the SOP
+// mitigation action). It takes effect at the next Step.
+func (s *Simulator) Isolate(id topology.DeviceID) {
+	s.devices[id].Isolated = true
+}
+
+// Deisolate reverts an isolation (the SOP rollback plan).
+func (s *Simulator) Deisolate(id topology.DeviceID) {
+	s.devices[id].Isolated = false
+}
+
+// DeviceState returns the state of a device at the current time.
+func (s *Simulator) DeviceState(id topology.DeviceID) DeviceState { return s.devices[id] }
+
+// LinkState returns the state of a link at the current time.
+func (s *Simulator) LinkState(id topology.LinkID) LinkState { return s.links[id] }
+
+// BaselineUtil returns a link's baseline utilization.
+func (s *Simulator) BaselineUtil(id topology.LinkID) float64 { return s.baseUtil[id] }
+
+// resetState recomputes all derived state to "everything healthy",
+// preserving isolation flags.
+func (s *Simulator) resetState() {
+	for i := range s.devices {
+		iso := s.devices[i].Isolated
+		s.devices[i] = DeviceState{
+			Up:      true,
+			CPUUtil: 0.15,
+			MemUtil: 0.30,
+		}
+		s.devices[i].Isolated = iso
+	}
+	for i := range s.links {
+		s.links[i] = LinkState{DemandMultiplier: 1}
+	}
+}
+
+// Step advances the simulation to now, recomputing state and journaling
+// fault activation/deactivation transitions. Steps must be monotonically
+// non-decreasing in time.
+func (s *Simulator) Step(now time.Time) error {
+	if !s.now.IsZero() && now.Before(s.now) {
+		return fmt.Errorf("netsim: time went backwards: %v < %v", now, s.now)
+	}
+	s.now = now
+	s.resetState()
+	for i := range s.faults {
+		f := &s.faults[i]
+		active := f.ActiveAt(now)
+		if active != s.prevActive[i] {
+			s.journalTransition(f, active)
+			s.prevActive[i] = active
+		}
+		if active {
+			s.applyFault(f)
+		}
+	}
+	return nil
+}
+
+func (s *Simulator) applyFault(f *Fault) {
+	switch f.Kind {
+	case FaultDeviceDown:
+		s.devices[f.Device].Up = false
+	case FaultDeviceHardware:
+		d := &s.devices[f.Device]
+		d.HardwareError = true
+		d.SilentLoss = maxf(d.SilentLoss, defaultMag(f.Magnitude, 0.3))
+		d.CPUUtil = maxf(d.CPUUtil, 0.6)
+	case FaultDeviceSoftware:
+		d := &s.devices[f.Device]
+		d.SoftwareError = true
+		d.SilentLoss = maxf(d.SilentLoss, defaultMag(f.Magnitude, 0.2))
+		d.CPUUtil = maxf(d.CPUUtil, 0.9)
+		d.MemUtil = maxf(d.MemUtil, 0.9)
+	case FaultLinkCut:
+		l := &s.links[f.Link]
+		cut := f.Circuits
+		if max := s.topo.Link(f.Link).Circuits; cut > max {
+			cut = max
+		}
+		if cut > l.CircuitsDown {
+			l.CircuitsDown = cut
+		}
+	case FaultFiberBundleCut:
+		frac := defaultMag(f.Magnitude, 0.5)
+		for _, lid := range s.topo.LinksUnder(f.Location) {
+			link := s.topo.Link(lid)
+			if !link.InternetEntry {
+				continue
+			}
+			cut := int(frac * float64(link.Circuits))
+			if cut < 1 {
+				cut = 1
+			}
+			if cut > s.links[lid].CircuitsDown {
+				s.links[lid].CircuitsDown = cut
+			}
+		}
+	case FaultCongestion:
+		mult := defaultMag(f.Magnitude, 2.5)
+		for _, lid := range s.topo.LinksUnder(f.Location) {
+			if mult > s.links[lid].DemandMultiplier {
+				s.links[lid].DemandMultiplier = mult
+			}
+		}
+	case FaultRouteError, FaultRouteHijack:
+		// Route errors blackhole internet-bound traffic at the area's
+		// border devices. Internal reachability is untouched.
+		frac := defaultMag(f.Magnitude, 0.4)
+		for _, id := range s.topo.DevicesUnder(f.Location) {
+			d := s.topo.Device(id)
+			if d.Role == topology.RoleBSR || d.Role == topology.RoleDCBR {
+				if frac > s.devices[id].RouteBlackhole {
+					s.devices[id].RouteBlackhole = frac
+				}
+			}
+		}
+	case FaultModification:
+		d := &s.devices[f.Device]
+		d.ModificationError = true
+		d.SilentLoss = maxf(d.SilentLoss, defaultMag(f.Magnitude, 0.5))
+	case FaultPowerFailure:
+		for _, id := range s.topo.DevicesUnder(f.Location) {
+			s.devices[id].Up = false
+		}
+	case FaultSilentLoss:
+		d := &s.devices[f.Device]
+		d.SilentLoss = maxf(d.SilentLoss, defaultMag(f.Magnitude, 0.25))
+	case FaultBitFlip:
+		d := &s.devices[f.Device]
+		d.BitFlip = maxf(d.BitFlip, defaultMag(f.Magnitude, 0.01))
+	case FaultClockDrift:
+		d := &s.devices[f.Device]
+		d.ClockDriftSeconds = maxf(d.ClockDriftSeconds, defaultMag(f.Magnitude, 1.5))
+	}
+}
+
+func defaultMag(m, def float64) float64 {
+	if m <= 0 {
+		return def
+	}
+	return m
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DevicesDownUnder returns how many devices under a path are down.
+func (s *Simulator) DevicesDownUnder(p hierarchy.Path) int {
+	n := 0
+	for _, id := range s.topo.DevicesUnder(p) {
+		if !s.devices[id].Up {
+			n++
+		}
+	}
+	return n
+}
+
+// groupState summarizes a device redundancy group for path evaluation.
+type groupState struct {
+	total     int
+	effective float64 // healthy carrying capacity in device units
+	silent    float64 // average silent loss over carrying members
+	bitflip   float64
+	// deadFrac is the fraction of members that are down or isolated.
+	// For ECMP groups traffic reroutes around them; for the rack layer,
+	// where each server homes on exactly one ToR, it is outright loss.
+	deadFrac float64
+}
+
+// groupStateOf aggregates the state of a set of devices.
+func (s *Simulator) groupStateOf(ids []topology.DeviceID) groupState {
+	g := groupState{total: len(ids)}
+	for _, id := range ids {
+		st := &s.devices[id]
+		if !st.Up || st.Isolated {
+			continue
+		}
+		g.effective++
+		g.silent += st.SilentLoss
+		g.bitflip += st.BitFlip
+	}
+	if g.effective > 0 {
+		g.silent /= g.effective
+		g.bitflip /= g.effective
+	}
+	if g.total > 0 {
+		g.deadFrac = (float64(g.total) - g.effective) / float64(g.total)
+	}
+	return g
+}
+
+// ActiveFaultsAt returns the faults active at the given time, in injection
+// order.
+func (s *Simulator) ActiveFaultsAt(t time.Time) []Fault {
+	var out []Fault
+	for i := range s.faults {
+		if s.faults[i].ActiveAt(t) {
+			out = append(out, s.faults[i])
+		}
+	}
+	return out
+}
+
+// SortFaultsByStart orders a fault slice by start time (stable helper for
+// scenario reporting).
+func SortFaultsByStart(fs []Fault) {
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Start.Before(fs[j].Start) })
+}

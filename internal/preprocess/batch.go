@@ -1,0 +1,112 @@
+package preprocess
+
+import (
+	"sort"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/ftree"
+	"skynet/internal/topology"
+)
+
+// Batch helpers for experiments and trace replay. The streaming API (Add/
+// Tick) is the production path; Process wraps it for offline corpora.
+
+// Process runs a whole raw-alert slice through a fresh preprocessor,
+// ticking at the given interval, and returns the structured output plus
+// final stats. Alerts are processed in timestamp order.
+func Process(cfg Config, topo *topology.Topology, classifier *ftree.Classifier,
+	raw []alert.Alert, tick time.Duration) ([]alert.Alert, Stats) {
+	if tick <= 0 {
+		tick = 10 * time.Second
+	}
+	sorted := make([]alert.Alert, len(raw))
+	copy(sorted, raw)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+
+	p := New(cfg, topo, classifier)
+	var out []alert.Alert
+	if len(sorted) == 0 {
+		return nil, p.Stats()
+	}
+	next := sorted[0].Time.Add(tick)
+	for _, a := range sorted {
+		for a.Time.After(next) {
+			out = append(out, p.Tick(next)...)
+			next = next.Add(tick)
+		}
+		p.Add(a)
+	}
+	end := sorted[len(sorted)-1].Time
+	for !next.After(end.Add(cfg.AggWindow)) {
+		out = append(out, p.Tick(next)...)
+		next = next.Add(tick)
+	}
+	out = append(out, p.Drain(next)...)
+	return out, p.Stats()
+}
+
+// SyslogCorpus extracts the raw lines of syslog alerts, the training input
+// for an FT-tree classifier ("initially, it gathers command-line outputs
+// from all devices", §4.1).
+func SyslogCorpus(raw []alert.Alert) []string {
+	var out []string
+	for i := range raw {
+		if raw[i].Source == alert.SourceSyslog && raw[i].Raw != "" {
+			out = append(out, raw[i].Raw)
+		}
+	}
+	return out
+}
+
+// TrainClassifier trains an FT-tree classifier from the syslog lines in a
+// raw alert corpus. Returns nil when the corpus has no syslog lines.
+func TrainClassifier(raw []alert.Alert, cfg ftree.Config) (*ftree.Classifier, error) {
+	corpus := SyslogCorpus(raw)
+	if len(corpus) == 0 {
+		return nil, nil
+	}
+	return ftree.NewClassifier(corpus, cfg)
+}
+
+// BootstrapCorpus returns a canonical training corpus covering every
+// message family the syslog monitor can emit, for pipelines that must
+// classify from the first alert (production trains on history; a fresh
+// simulation has none).
+func BootstrapCorpus() []string {
+	families := []string{
+		"%LINK-3-UPDOWN: Interface TenGigE0/1/0/25, changed state to down (peer)",
+		"%LINEPROTO-5-UPDOWN: Line protocol on Interface TenGigE0/1/0/25, changed state to down",
+		"%BGP-5-ADJCHANGE: neighbor 10.0.0.1 Down - Hold timer expired",
+		"%BGP-4-FLAP: neighbor 10.0.0.2 session flapping, count 12",
+		"%PLATFORM-2-HW_ERROR: Linecard 1 parity error detected at 0xbeef",
+		"%SYSMGR-3-PROC_RESTART: Process rpd restarted, pid 1234",
+		"%SYSTEM-2-MEMORY: Out of memory in process rpd, requested 65536 bytes",
+		"%IF-3-CRC: Interface HundredGigE0/0/0/4 CRC errors 1532",
+		"%CONFIG-3-COMMIT: configuration commit 42 rejected: invalid statement",
+		"%PTP-4-OFFSET: clock offset 1500 us beyond threshold",
+	}
+	// Repeat each family with varied variable fields so every template
+	// clears MinSupport.
+	variants := []string{
+		"%LINK-3-UPDOWN: Interface HundredGigE1/0/0/2, changed state to down (fiber)",
+		"%LINEPROTO-5-UPDOWN: Line protocol on Interface FortyGigE0/2/1/7, changed state to down",
+		"%BGP-5-ADJCHANGE: neighbor 10.20.30.40 Down - Hold timer expired",
+		"%BGP-4-FLAP: neighbor 10.9.8.7 session flapping, count 99",
+		"%PLATFORM-2-HW_ERROR: Linecard 7 parity error detected at 0x1f2e",
+		"%SYSMGR-3-PROC_RESTART: Process rpd restarted, pid 777",
+		"%SYSTEM-2-MEMORY: Out of memory in process rpd, requested 1024 bytes",
+		"%IF-3-CRC: Interface TenGigE1/3/0/11 CRC errors 89",
+		"%CONFIG-3-COMMIT: configuration commit 7 rejected: conflict",
+		"%PTP-4-OFFSET: clock offset 800 us beyond threshold",
+	}
+	out := make([]string, 0, len(families)+len(variants))
+	out = append(out, families...)
+	out = append(out, variants...)
+	return out
+}
+
+// BootstrapClassifier trains a classifier from the bootstrap corpus.
+func BootstrapClassifier() (*ftree.Classifier, error) {
+	return ftree.NewClassifier(BootstrapCorpus(), ftree.DefaultConfig())
+}

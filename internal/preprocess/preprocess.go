@@ -1,0 +1,374 @@
+// Package preprocess implements SkyNet's preprocessor (§4.1): it converts
+// the raw, per-tool alert streams into the uniform structured format and
+// fights the volume problem with three consolidation mechanisms:
+//
+//  1. Consolidate identical alerts — repeats of the same (source, type,
+//     location) collapse into one alert whose End/Count grow (SNMP
+//     re-reporting a down interface every round becomes one alert with a
+//     duration).
+//  2. Consolidate within a data source — sporadic packet loss is ignored
+//     until it persists; a traffic surge adjacent to an already-known
+//     surge is the same traffic moving and is filtered.
+//  3. Consolidate across data sources — a sudden traffic drop alone is
+//     expected user behaviour; it passes only when corroborated by a
+//     failure or device-error alert nearby.
+//
+// Syslog lines arrive as free text and are classified through FT-tree
+// templates before anything else.
+//
+// The preprocessor is a stream processor: Add ingests raw alerts, Tick
+// advances time and emits the structured survivors.
+package preprocess
+
+import (
+	"sort"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/ftree"
+	"skynet/internal/hierarchy"
+	"skynet/internal/topology"
+)
+
+// Config tunes the preprocessor. Zero value is unusable; start from
+// DefaultConfig.
+type Config struct {
+	// AggWindow is how long an aggregate lives without new observations
+	// before it closes. Matches the locator's 5-minute node lifetime.
+	AggWindow time.Duration
+	// RefreshInterval re-emits a still-active aggregate so downstream
+	// trees stay alive ("updates the timestamp of the initial alert").
+	RefreshInterval time.Duration
+	// CorroborationWindow bounds how long a traffic-drop alert waits for
+	// cross-source confirmation before being discarded.
+	CorroborationWindow time.Duration
+	// SporadicLossValue is the loss ratio below which packet loss is
+	// "sporadic" and must persist to pass.
+	SporadicLossValue float64
+	// SporadicMinCount is how many observations a sporadic-loss aggregate
+	// needs before emission.
+	SporadicMinCount int
+	// CorroborationLevel is the hierarchy level at which cross-source
+	// corroboration is evaluated (default: site).
+	CorroborationLevel hierarchy.Level
+	// DisableCrossSource turns off the cross-source consolidation rule
+	// (traffic drops pass without corroboration) — an ablation switch;
+	// the paper's design has the rule on.
+	DisableCrossSource bool
+}
+
+// DefaultConfig returns the production-like defaults.
+func DefaultConfig() Config {
+	return Config{
+		AggWindow:           5 * time.Minute,
+		RefreshInterval:     time.Minute,
+		CorroborationWindow: 2 * time.Minute,
+		SporadicLossValue:   0.05,
+		SporadicMinCount:    3,
+		CorroborationLevel:  hierarchy.LevelSite,
+	}
+}
+
+// Stats counts the preprocessor's volume reduction for the Fig. 8b
+// experiment.
+type Stats struct {
+	// In is the number of raw alerts ingested.
+	In int
+	// Out is the number of structured alerts emitted.
+	Out int
+	// Deduplicated counts raw alerts absorbed into an existing aggregate.
+	Deduplicated int
+	// DroppedSporadic counts sporadic losses that never persisted.
+	DroppedSporadic int
+	// DroppedRelated counts surge alerts filtered as propagation of a
+	// neighbour's surge.
+	DroppedRelated int
+	// DroppedUncorroborated counts traffic drops with no cross-source
+	// confirmation.
+	DroppedUncorroborated int
+	// DroppedUnclassified counts syslog lines matching no labeled
+	// template.
+	DroppedUnclassified int
+}
+
+// aggKey identifies one aggregate: one alert stream at one location.
+// Streams of the same type on different circuit sets stay separate so the
+// evaluator's per-set ratios survive consolidation.
+type aggKey struct {
+	src alert.Source
+	typ string
+	loc hierarchy.Path
+	cs  string
+}
+
+// aggregate is one live (source, type, location) stream.
+type aggregate struct {
+	a        alert.Alert
+	emitted  bool
+	lastEmit time.Time
+	lastSeen time.Time
+	// emittedCount is how many raw observations have been reported
+	// downstream, so refreshes carry deltas rather than re-counting.
+	emittedCount int
+	suspended    bool // waiting for corroboration (traffic drops)
+}
+
+// Preprocessor is the streaming §4.1 stage. Not safe for concurrent use.
+type Preprocessor struct {
+	cfg        Config
+	topo       *topology.Topology
+	classifier *ftree.Classifier
+
+	aggs map[aggKey]*aggregate
+
+	// corro records recent corroborating evidence per corroboration-level
+	// location: the last time a failure/root-cause alert was seen there.
+	corro map[hierarchy.Path]time.Time
+
+	stats  Stats
+	nextID uint64
+}
+
+// New builds a preprocessor. The classifier may be nil, in which case raw
+// syslog lines are dropped as unclassifiable; topo may be nil, disabling
+// the adjacency-based related-surge filter.
+func New(cfg Config, topo *topology.Topology, classifier *ftree.Classifier) *Preprocessor {
+	return &Preprocessor{
+		cfg:        cfg,
+		topo:       topo,
+		classifier: classifier,
+		aggs:       make(map[aggKey]*aggregate),
+		corro:      make(map[hierarchy.Path]time.Time),
+	}
+}
+
+// Stats returns a snapshot of the volume counters.
+func (p *Preprocessor) Stats() Stats { return p.stats }
+
+// Add ingests one raw alert. Output is produced by Tick.
+func (p *Preprocessor) Add(a alert.Alert) {
+	p.stats.In++
+	// Link-alert split (§4.1): "an alert related to a link is split into
+	// two alerts corresponding to the devices it connects". The built-in
+	// monitors already emit per-endpoint alerts; this handles externally
+	// ingested collectors that report one alert per link.
+	if a.CircuitSet != "" && a.Location.IsDevice() && a.Peer.IsDevice() && a.Peer != a.Location {
+		mirrored := a
+		mirrored.Location, mirrored.Peer = a.Peer, a.Location
+		p.ingest(mirrored)
+	}
+	p.ingest(a)
+}
+
+// ingest runs the normalization and consolidation pipeline for one alert.
+func (p *Preprocessor) ingest(a alert.Alert) {
+	// Syslog classification: free text → type via FT-tree.
+	if a.Source == alert.SourceSyslog && a.Type == "" {
+		typ, ok := p.classify(a.Raw)
+		if !ok {
+			p.stats.DroppedUnclassified++
+			return
+		}
+		a.Type = typ
+		a.Class = alert.Classify(a.Source, typ)
+	}
+	if a.Class == alert.ClassInfo && alert.Classify(a.Source, a.Type) != alert.ClassInfo {
+		// Normalize class from the catalog when the producer left it
+		// unset.
+		a.Class = alert.Classify(a.Source, a.Type)
+	}
+	if a.Count <= 0 {
+		a.Count = 1
+	}
+	if a.End.Before(a.Time) {
+		a.End = a.Time
+	}
+	// Record corroborating evidence for the cross-source rule.
+	if a.Class == alert.ClassFailure || a.Class == alert.ClassRootCause {
+		key := a.Location.Truncate(p.cfg.CorroborationLevel)
+		if t, ok := p.corro[key]; !ok || a.Time.After(t) {
+			p.corro[key] = a.Time
+		}
+	}
+
+	k := aggKey{a.Source, a.Type, a.Location, a.CircuitSet}
+	if g, ok := p.aggs[k]; ok {
+		// Consolidation 1: identical alert → absorb.
+		p.stats.Deduplicated++
+		if a.End.After(g.a.End) {
+			g.a.End = a.End
+		}
+		if a.Value > g.a.Value {
+			g.a.Value = a.Value
+		}
+		g.a.Count += a.Count
+		g.lastSeen = a.Time
+		return
+	}
+	suspended := a.Type == alert.TypeTrafficDrop && !p.cfg.DisableCrossSource
+	p.aggs[k] = &aggregate{a: a, lastSeen: a.Time, suspended: suspended}
+}
+
+// classify runs the FT-tree classifier over a raw line.
+func (p *Preprocessor) classify(raw string) (string, bool) {
+	if p.classifier == nil || raw == "" {
+		return "", false
+	}
+	return p.classifier.ClassifyLine(raw)
+}
+
+// Tick advances stream time and returns the structured alerts emitted at
+// now: new aggregates that pass the filters, refreshes of long-running
+// aggregates, and corroborated traffic drops. Expired aggregates are
+// garbage collected.
+func (p *Preprocessor) Tick(now time.Time) []alert.Alert {
+	var out []alert.Alert
+	// Iterate aggregates in a stable order so emission order, assigned
+	// IDs, and the related-surge decisions are deterministic (the aggs
+	// map itself iterates randomly).
+	keys := make([]aggKey, 0, len(p.aggs))
+	for k := range p.aggs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return lessAggKey(keys[i], keys[j]) })
+	for _, k := range keys {
+		g := p.aggs[k]
+		if now.Sub(g.lastSeen) > p.cfg.AggWindow {
+			// Aggregate went quiet: account for the never-emitted ones.
+			if !g.emitted {
+				switch {
+				case g.suspended:
+					p.stats.DroppedUncorroborated++
+				case p.isSporadic(g):
+					p.stats.DroppedSporadic++
+				}
+			}
+			delete(p.aggs, k)
+			continue
+		}
+		if g.emitted {
+			if now.Sub(g.lastEmit) >= p.cfg.RefreshInterval && g.lastSeen.After(g.lastEmit) {
+				out = append(out, p.emit(g, now))
+			}
+			continue
+		}
+		if !p.pass(g, now) {
+			continue
+		}
+		out = append(out, p.emit(g, now))
+	}
+	// Expire stale corroboration evidence.
+	for loc, t := range p.corro {
+		if now.Sub(t) > p.cfg.CorroborationWindow {
+			delete(p.corro, loc)
+		}
+	}
+	return out
+}
+
+// pass applies the single-source and cross-source consolidation rules to a
+// not-yet-emitted aggregate.
+func (p *Preprocessor) pass(g *aggregate, now time.Time) bool {
+	// Cross-source rule: traffic drops wait for corroboration.
+	if g.suspended {
+		key := g.a.Location.Truncate(p.cfg.CorroborationLevel)
+		if t, ok := p.corro[key]; ok && absDuration(t.Sub(g.a.Time)) <= p.cfg.CorroborationWindow {
+			g.suspended = false
+			return true
+		}
+		return false
+	}
+	// Single-source rule: sporadic loss must persist.
+	if p.isSporadic(g) && g.a.Count < p.cfg.SporadicMinCount {
+		return false
+	}
+	// Single-source rule: a surge adjacent to an already-emitted surge is
+	// the same traffic shifting; filter it.
+	if g.a.Type == alert.TypeTrafficSurge && p.adjacentSurgeEmitted(g) {
+		g.emitted = true // swallow without output
+		g.lastEmit = now
+		p.stats.DroppedRelated++
+		return false
+	}
+	return true
+}
+
+// isSporadic reports whether an aggregate is low-rate packet loss.
+func (p *Preprocessor) isSporadic(g *aggregate) bool {
+	return g.a.Type == alert.TypePacketLoss && g.a.Value < p.cfg.SporadicLossValue
+}
+
+// adjacentSurgeEmitted checks whether a surge at a topologically adjacent
+// device has already been emitted.
+func (p *Preprocessor) adjacentSurgeEmitted(g *aggregate) bool {
+	if p.topo == nil {
+		return false
+	}
+	for k, other := range p.aggs {
+		if k.typ != alert.TypeTrafficSurge || !other.emitted || other == g {
+			continue
+		}
+		if p.topo.Adjacent(g.a.Location, k.loc) {
+			return true
+		}
+	}
+	return false
+}
+
+// emit finalizes an output alert from an aggregate. The emitted Count is
+// the delta of raw observations since the previous emission, so downstream
+// accumulation stays exact across refreshes.
+func (p *Preprocessor) emit(g *aggregate, now time.Time) alert.Alert {
+	g.emitted = true
+	g.lastEmit = now
+	p.nextID++
+	p.stats.Out++
+	a := g.a
+	a.ID = p.nextID
+	a.Count = g.a.Count - g.emittedCount
+	if a.Count < 1 {
+		a.Count = 1
+	}
+	g.emittedCount = g.a.Count
+	return a
+}
+
+// Drain flushes every live aggregate regardless of filters; used at
+// end-of-trace so batch analyses see pending data.
+func (p *Preprocessor) Drain(now time.Time) []alert.Alert {
+	var out []alert.Alert
+	keys := make([]aggKey, 0, len(p.aggs))
+	for k := range p.aggs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return lessAggKey(keys[i], keys[j]) })
+	for _, k := range keys {
+		g := p.aggs[k]
+		if !g.emitted && !g.suspended && !p.isSporadic(g) {
+			out = append(out, p.emit(g, now))
+		}
+		delete(p.aggs, k)
+	}
+	return out
+}
+
+// lessAggKey orders aggregate keys for deterministic iteration.
+func lessAggKey(a, b aggKey) bool {
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	if a.typ != b.typ {
+		return a.typ < b.typ
+	}
+	if c := a.loc.Compare(b.loc); c != 0 {
+		return c < 0
+	}
+	return a.cs < b.cs
+}
+
+func absDuration(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

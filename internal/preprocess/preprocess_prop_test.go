@@ -1,0 +1,128 @@
+package preprocess
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/experimentsutil"
+	"skynet/internal/topology"
+)
+
+// Property tests: whatever the raw stream looks like, the preprocessor's
+// accounting and output invariants must hold.
+
+func propStream(seed int64, n int) ([]alert.Alert, *topology.Topology) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	r := rand.New(rand.NewSource(seed))
+	return experimentsutil.RandomAlerts(topo, r, n, epoch), topo
+}
+
+func TestPropertyOutNeverExceedsIn(t *testing.T) {
+	f := func(seed int64) bool {
+		raw, topo := propStream(seed, 150)
+		out, stats := Process(DefaultConfig(), topo, nil, raw, 10*time.Second)
+		// Note: link-split can double individual alerts, but split copies
+		// are counted in In as well only for the original; Out counts
+		// consolidated streams which cannot exceed distinct streams.
+		return stats.In == len(raw) && stats.Out == len(out) && stats.Out <= stats.In*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyOutputsValidAndClassified(t *testing.T) {
+	f := func(seed int64) bool {
+		raw, topo := propStream(seed, 120)
+		out, _ := Process(DefaultConfig(), topo, nil, raw, 10*time.Second)
+		for i := range out {
+			if err := out[i].Validate(); err != nil {
+				return false
+			}
+			if out[i].ID == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCountConservation(t *testing.T) {
+	// Every raw observation of emitted streams is represented exactly
+	// once across the emissions (first emission + delta refreshes), so
+	// total emitted Count never exceeds raw volume (plus link-split
+	// duplicates) and never double-counts.
+	f := func(seed int64) bool {
+		raw, topo := propStream(seed, 150)
+		rawCount := 0
+		for i := range raw {
+			c := raw[i].Count
+			if c <= 0 {
+				c = 1
+			}
+			rawCount += c
+		}
+		out, _ := Process(DefaultConfig(), topo, nil, raw, 10*time.Second)
+		emitted := 0
+		for i := range out {
+			emitted += out[i].Count
+		}
+		return emitted <= rawCount*2 // ×2 bounds the link-split duplication
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDrainLeavesNothing(t *testing.T) {
+	f := func(seed int64) bool {
+		raw, topo := propStream(seed, 80)
+		p := New(DefaultConfig(), topo, nil)
+		var last time.Time
+		for i := range raw {
+			p.Add(raw[i])
+			last = raw[i].Time
+		}
+		p.Drain(last.Add(time.Second))
+		// After a drain the stream is empty: no ticks ever emit again.
+		for i := 1; i <= 10; i++ {
+			if len(p.Tick(last.Add(time.Duration(i)*time.Minute))) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		run := func() ([]alert.Alert, Stats) {
+			raw, topo := propStream(seed, 100)
+			return Process(DefaultConfig(), topo, nil, raw, 10*time.Second)
+		}
+		a, sa := run()
+		b, sb := run()
+		if sa != sb || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].StreamKey() != b[i].StreamKey() || a[i].Count != b[i].Count ||
+				a[i].Location != b[i].Location {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

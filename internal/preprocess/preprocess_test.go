@@ -1,0 +1,321 @@
+package preprocess
+
+import (
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/ftree"
+	"skynet/internal/hierarchy"
+	"skynet/internal/monitors"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+var epoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+var devLoc = hierarchy.MustNew("RG01", "CT01", "LS01", "ST01", "CL01", "dev-a")
+var devLocB = hierarchy.MustNew("RG01", "CT01", "LS01", "ST01", "CL01", "dev-b")
+
+func raw(src alert.Source, typ string, at time.Time, loc hierarchy.Path, val float64) alert.Alert {
+	return alert.Alert{
+		Source: src, Type: typ, Class: alert.Classify(src, typ),
+		Time: at, End: at, Location: loc, Value: val, Count: 1,
+	}
+}
+
+func classifier(t *testing.T) *ftree.Classifier {
+	t.Helper()
+	c, err := BootstrapClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestIdenticalConsolidation(t *testing.T) {
+	p := New(DefaultConfig(), nil, nil)
+	for i := 0; i < 10; i++ {
+		p.Add(raw(alert.SourceSNMP, alert.TypeLinkDown, epoch.Add(time.Duration(i)*10*time.Second), devLoc, 1))
+	}
+	out := p.Tick(epoch.Add(2 * time.Minute))
+	if len(out) != 1 {
+		t.Fatalf("got %d alerts, want 1 consolidated", len(out))
+	}
+	a := out[0]
+	if a.Count != 10 {
+		t.Errorf("Count = %d, want 10", a.Count)
+	}
+	if a.Duration() != 90*time.Second {
+		t.Errorf("duration = %v, want 90s", a.Duration())
+	}
+	st := p.Stats()
+	if st.In != 10 || st.Out != 1 || st.Deduplicated != 9 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRefreshKeepsLongConditionsAlive(t *testing.T) {
+	p := New(DefaultConfig(), nil, nil)
+	p.Add(raw(alert.SourceSNMP, alert.TypeLinkDown, epoch, devLoc, 1))
+	if got := p.Tick(epoch.Add(10 * time.Second)); len(got) != 1 {
+		t.Fatalf("initial emission: %d", len(got))
+	}
+	// New observation arrives; a refresh is due after RefreshInterval.
+	p.Add(raw(alert.SourceSNMP, alert.TypeLinkDown, epoch.Add(70*time.Second), devLoc, 1))
+	got := p.Tick(epoch.Add(80 * time.Second))
+	if len(got) != 1 {
+		t.Fatalf("refresh emission: %d", len(got))
+	}
+	// Refreshes carry the DELTA of observations since the last emission
+	// (one new observation here), so downstream accumulation stays exact.
+	if got[0].Count != 1 {
+		t.Errorf("refreshed delta count = %d, want 1", got[0].Count)
+	}
+	// No new observations → no more refreshes.
+	if got := p.Tick(epoch.Add(3 * time.Minute)); len(got) != 0 {
+		t.Errorf("spurious refresh: %d", len(got))
+	}
+}
+
+func TestSporadicLossFiltered(t *testing.T) {
+	p := New(DefaultConfig(), nil, nil)
+	p.Add(raw(alert.SourcePing, alert.TypePacketLoss, epoch, devLoc, 0.01))
+	if got := p.Tick(epoch.Add(10 * time.Second)); len(got) != 0 {
+		t.Fatalf("sporadic loss emitted: %v", got)
+	}
+	// It expires without persisting.
+	p.Tick(epoch.Add(10 * time.Minute))
+	if st := p.Stats(); st.DroppedSporadic != 1 {
+		t.Errorf("DroppedSporadic = %d", st.DroppedSporadic)
+	}
+}
+
+func TestPersistentLowLossPasses(t *testing.T) {
+	p := New(DefaultConfig(), nil, nil)
+	for i := 0; i < 3; i++ {
+		p.Add(raw(alert.SourcePing, alert.TypePacketLoss, epoch.Add(time.Duration(i)*5*time.Second), devLoc, 0.02))
+	}
+	if got := p.Tick(epoch.Add(20 * time.Second)); len(got) != 1 {
+		t.Errorf("persistent low loss should pass, got %d", len(got))
+	}
+}
+
+func TestHighLossPassesImmediately(t *testing.T) {
+	p := New(DefaultConfig(), nil, nil)
+	p.Add(raw(alert.SourcePing, alert.TypePacketLoss, epoch, devLoc, 0.5))
+	if got := p.Tick(epoch.Add(5 * time.Second)); len(got) != 1 {
+		t.Errorf("high loss should pass immediately, got %d", len(got))
+	}
+}
+
+func TestTrafficDropNeedsCorroboration(t *testing.T) {
+	p := New(DefaultConfig(), nil, nil)
+	p.Add(raw(alert.SourceTraffic, alert.TypeTrafficDrop, epoch, devLoc, 0.3))
+	if got := p.Tick(epoch.Add(10 * time.Second)); len(got) != 0 {
+		t.Fatalf("uncorroborated drop emitted: %v", got)
+	}
+	// A failure alert in the same site corroborates it.
+	p.Add(raw(alert.SourcePing, alert.TypePacketLoss, epoch.Add(20*time.Second), devLocB, 0.4))
+	got := p.Tick(epoch.Add(30 * time.Second))
+	types := map[string]bool{}
+	for _, a := range got {
+		types[a.Type] = true
+	}
+	if !types[alert.TypeTrafficDrop] {
+		t.Errorf("corroborated drop not emitted; got %v", got)
+	}
+}
+
+func TestTrafficDropExpiresUncorroborated(t *testing.T) {
+	p := New(DefaultConfig(), nil, nil)
+	p.Add(raw(alert.SourceTraffic, alert.TypeTrafficDrop, epoch, devLoc, 0.3))
+	for i := 1; i <= 12; i++ {
+		p.Tick(epoch.Add(time.Duration(i) * time.Minute))
+	}
+	if st := p.Stats(); st.DroppedUncorroborated != 1 {
+		t.Errorf("DroppedUncorroborated = %d", st.DroppedUncorroborated)
+	}
+}
+
+func TestRelatedSurgeFiltered(t *testing.T) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	l := topo.Link(0)
+	a, b := topo.Device(l.A), topo.Device(l.B)
+	p := New(DefaultConfig(), topo, nil)
+	p.Add(raw(alert.SourceTraffic, alert.TypeTrafficSurge, epoch, a.Path, 2))
+	if got := p.Tick(epoch.Add(5 * time.Second)); len(got) != 1 {
+		t.Fatalf("first surge should emit, got %d", len(got))
+	}
+	// Adjacent device surges moments later: same traffic moving.
+	p.Add(raw(alert.SourceTraffic, alert.TypeTrafficSurge, epoch.Add(10*time.Second), b.Path, 2))
+	if got := p.Tick(epoch.Add(15 * time.Second)); len(got) != 0 {
+		t.Errorf("adjacent surge should be filtered, got %v", got)
+	}
+	if st := p.Stats(); st.DroppedRelated != 1 {
+		t.Errorf("DroppedRelated = %d", st.DroppedRelated)
+	}
+}
+
+func TestNonAdjacentSurgesBothPass(t *testing.T) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	// Two ToRs in the same cluster are not directly linked.
+	var tors []hierarchy.Path
+	for _, id := range topo.DevicesUnder(topo.Clusters()[0]) {
+		if topo.Device(id).Role == topology.RoleToR {
+			tors = append(tors, topo.Device(id).Path)
+		}
+	}
+	p := New(DefaultConfig(), topo, nil)
+	p.Add(raw(alert.SourceTraffic, alert.TypeTrafficSurge, epoch, tors[0], 2))
+	p.Tick(epoch.Add(5 * time.Second))
+	p.Add(raw(alert.SourceTraffic, alert.TypeTrafficSurge, epoch.Add(10*time.Second), tors[1], 2))
+	if got := p.Tick(epoch.Add(15 * time.Second)); len(got) != 1 {
+		t.Errorf("non-adjacent surge should pass, got %d", len(got))
+	}
+}
+
+func TestSyslogClassification(t *testing.T) {
+	p := New(DefaultConfig(), nil, classifier(t))
+	a := alert.Alert{
+		Source: alert.SourceSyslog, Time: epoch, End: epoch, Location: devLoc, Count: 1,
+		Raw: "%LINK-3-UPDOWN: Interface TenGigE0/9/0/1, changed state to down (cut)",
+	}
+	p.Add(a)
+	out := p.Tick(epoch.Add(5 * time.Second))
+	if len(out) != 1 {
+		t.Fatalf("classified syslog should emit, got %d", len(out))
+	}
+	if out[0].Type != alert.TypeLinkDown || out[0].Class != alert.ClassRootCause {
+		t.Errorf("got type=%q class=%v", out[0].Type, out[0].Class)
+	}
+}
+
+func TestSyslogUnclassifiableDropped(t *testing.T) {
+	p := New(DefaultConfig(), nil, classifier(t))
+	p.Add(alert.Alert{
+		Source: alert.SourceSyslog, Time: epoch, End: epoch, Location: devLoc, Count: 1,
+		Raw: "totally novel gibberish line",
+	})
+	if got := p.Tick(epoch.Add(5 * time.Second)); len(got) != 0 {
+		t.Errorf("unclassifiable syslog emitted: %v", got)
+	}
+	if st := p.Stats(); st.DroppedUnclassified != 1 {
+		t.Errorf("DroppedUnclassified = %d", st.DroppedUnclassified)
+	}
+}
+
+func TestSyslogWithoutClassifierDropped(t *testing.T) {
+	p := New(DefaultConfig(), nil, nil)
+	p.Add(alert.Alert{
+		Source: alert.SourceSyslog, Time: epoch, End: epoch, Location: devLoc, Count: 1,
+		Raw: "%LINK-3-UPDOWN: Interface TenGigE0/9/0/1, changed state to down",
+	})
+	if got := p.Tick(epoch.Add(5 * time.Second)); len(got) != 0 {
+		t.Errorf("syslog without classifier emitted: %v", got)
+	}
+}
+
+func TestDrainFlushesPending(t *testing.T) {
+	p := New(DefaultConfig(), nil, nil)
+	p.Add(raw(alert.SourceSNMP, alert.TypeLinkDown, epoch, devLoc, 1))
+	out := p.Drain(epoch.Add(time.Second))
+	if len(out) != 1 {
+		t.Errorf("drain emitted %d", len(out))
+	}
+	// Drained state is empty: nothing further.
+	if out := p.Tick(epoch.Add(time.Minute)); len(out) != 0 {
+		t.Error("state not cleared by drain")
+	}
+}
+
+func TestProcessBatchOrderingAndIDs(t *testing.T) {
+	var rawAlerts []alert.Alert
+	// Deliberately out of order.
+	rawAlerts = append(rawAlerts,
+		raw(alert.SourceSNMP, alert.TypeLinkDown, epoch.Add(time.Minute), devLoc, 1),
+		raw(alert.SourcePing, alert.TypePacketLoss, epoch, devLocB, 0.5),
+	)
+	out, stats := Process(DefaultConfig(), nil, nil, rawAlerts, 10*time.Second)
+	if len(out) != 2 {
+		t.Fatalf("processed %d, want 2", len(out))
+	}
+	if stats.In != 2 || stats.Out != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+	seen := map[uint64]bool{}
+	for _, a := range out {
+		if a.ID == 0 || seen[a.ID] {
+			t.Errorf("bad or duplicate ID %d", a.ID)
+		}
+		seen[a.ID] = true
+	}
+	if got, _ := Process(DefaultConfig(), nil, nil, nil, 0); got != nil {
+		t.Error("empty input should produce empty output")
+	}
+}
+
+func TestEndToEndVolumeReduction(t *testing.T) {
+	// The §6.2 claim at test scale: a severe failure's raw flood must
+	// shrink substantially through preprocessing.
+	topo := topology.MustGenerate(topology.SmallConfig())
+	sim := netsim.New(topo, 1)
+	city := topo.Clusters()[0].Truncate(hierarchy.LevelCity)
+	sim.MustInject(netsim.Fault{Kind: netsim.FaultFiberBundleCut, Location: city, Magnitude: 0.5, Start: epoch.Add(30 * time.Second)})
+	mcfg := monitors.DefaultConfig()
+	fleet := monitors.NewFleet(topo, mcfg)
+	rawAlerts, err := fleet.Run(sim, epoch, epoch.Add(5*time.Minute), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rawAlerts) < 100 {
+		t.Fatalf("flood too small to be meaningful: %d", len(rawAlerts))
+	}
+	cls := classifier(t)
+	out, stats := Process(DefaultConfig(), topo, cls, rawAlerts, 10*time.Second)
+	if stats.In != len(rawAlerts) {
+		t.Errorf("stats.In = %d, want %d", stats.In, len(rawAlerts))
+	}
+	reduction := float64(len(out)) / float64(len(rawAlerts))
+	if reduction > 0.35 {
+		t.Errorf("preprocessing reduced to %.0f%% of raw, want ≤35%%: %d → %d",
+			reduction*100, len(rawAlerts), len(out))
+	}
+	for i := range out {
+		if err := out[i].Validate(); err != nil {
+			t.Fatalf("invalid output alert: %v", err)
+		}
+	}
+}
+
+func TestLinkAlertSplit(t *testing.T) {
+	// §4.1: an externally ingested link alert (device location + device
+	// peer + circuit set) is split into two device-attributed alerts.
+	p := New(DefaultConfig(), nil, nil)
+	a := raw(alert.SourceSNMP, alert.TypeLinkDown, epoch, devLoc, 1)
+	a.Peer = devLocB
+	a.CircuitSet = "cs-x"
+	p.Add(a)
+	out := p.Tick(epoch.Add(10 * time.Second))
+	if len(out) != 2 {
+		t.Fatalf("split produced %d alerts, want 2", len(out))
+	}
+	locs := map[hierarchy.Path]bool{}
+	for _, o := range out {
+		locs[o.Location] = true
+		if o.CircuitSet != "cs-x" {
+			t.Error("circuit set lost in split")
+		}
+	}
+	if !locs[devLoc] || !locs[devLocB] {
+		t.Errorf("split locations wrong: %v", locs)
+	}
+	// Non-link alerts (cluster-level peer, or no circuit set) never split.
+	p2 := New(DefaultConfig(), nil, nil)
+	b := raw(alert.SourcePing, alert.TypePacketLoss, epoch, devLoc, 0.5)
+	b.Peer = devLocB.Parent() // cluster-level, not a device
+	p2.Add(b)
+	if got := p2.Tick(epoch.Add(10 * time.Second)); len(got) != 1 {
+		t.Errorf("cluster-peer alert split: %d", len(got))
+	}
+}

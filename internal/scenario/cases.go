@@ -1,0 +1,227 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"skynet/internal/hierarchy"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// Named scenarios reproducing the paper's case studies.
+
+// FiberCutSevere reproduces the §2.2 war story: half of the cables serving
+// as the Internet entry point of one data center fail simultaneously. The
+// observable symptoms are congestion loss on the surviving entries, link
+// and interface down syslogs, sharp SNMP traffic declines, and out-of-band
+// unreachability — an alert flood whose root cause (the cut bundles) hides
+// behind the congestion.
+func FiberCutSevere(topo *topology.Topology, start time.Time) Scenario {
+	city := topo.Clusters()[0].Truncate(hierarchy.LevelCity)
+	return Scenario{
+		Name:     "fiber-cut-" + city.Leaf(),
+		Category: CatLink,
+		Severe:   true,
+		Faults: []netsim.Fault{{
+			Kind:      netsim.FaultFiberBundleCut,
+			Location:  city,
+			Magnitude: 0.5,
+			Start:     start,
+			End:       start.Add(30 * time.Minute),
+		}},
+		Truth: []hierarchy.Path{city},
+		Start: start,
+		End:   start.Add(30 * time.Minute),
+	}
+}
+
+// KnownDeviceFailure reproduces the §5.1 "Automatic SOP" case: a single
+// device in a redundancy group loses packets while its peers stay healthy.
+// The SOP engine should isolate it automatically.
+func KnownDeviceFailure(topo *topology.Topology, start time.Time) Scenario {
+	var dev *topology.Device
+	for i := range topo.Devices {
+		if topo.Devices[i].Role == topology.RoleCSR {
+			dev = &topo.Devices[i]
+			break
+		}
+	}
+	if dev == nil {
+		panic("scenario: no CSR device")
+	}
+	return Scenario{
+		Name:     "known-device-" + dev.Name,
+		Category: CatDeviceHardware,
+		Faults: []netsim.Fault{{
+			Kind:      netsim.FaultDeviceHardware,
+			Device:    dev.ID,
+			Magnitude: 0.5,
+			Start:     start,
+			End:       start.Add(20 * time.Minute),
+		}},
+		Truth: []hierarchy.Path{dev.Path},
+		Start: start,
+		End:   start.Add(20 * time.Minute),
+	}
+}
+
+// DDoSMultiSite reproduces the §5.1 "Multiple scene detection" case: a
+// DDoS attack targeting n different sites simultaneously. SkyNet should
+// produce n separate incidents, proving the attacks are unrelated.
+func DDoSMultiSite(topo *topology.Topology, n int, start time.Time) []Scenario {
+	sites := distinctSites(topo, n)
+	out := make([]Scenario, 0, len(sites))
+	for i, site := range sites {
+		out = append(out, Scenario{
+			Name:     fmt.Sprintf("ddos-%d-%s", i+1, site.Leaf()),
+			Category: CatSecurity,
+			Severe:   true,
+			Faults: []netsim.Fault{{
+				Kind:      netsim.FaultCongestion,
+				Location:  site,
+				Magnitude: 4,
+				Start:     start,
+				End:       start.Add(15 * time.Minute),
+			}},
+			Truth: []hierarchy.Path{site},
+			Start: start,
+			End:   start.Add(15 * time.Minute),
+		})
+	}
+	return out
+}
+
+// ConcurrentIncidents reproduces the §5.1 "Scene ranking" case: two nearly
+// simultaneous failures. The "big" one covers a larger area and generates
+// more alerts — a flash-crowd congestion across a site, tripping SNMP and
+// sFlow counters everywhere — but barely hurts anyone. The "critical" one
+// involves a single border router whose partial hardware fault drops SLA
+// customer traffic. The evaluator should rank the second higher despite
+// its smaller alert count.
+func ConcurrentIncidents(topo *topology.Topology, start time.Time) (big, critical Scenario) {
+	cls := topo.Clusters()
+	bigSite := cls[0].Parent()
+	big = Scenario{
+		Name:     "big-" + bigSite.Leaf(),
+		Category: CatSecurity,
+		Severe:   true,
+		Faults: []netsim.Fault{{
+			Kind:      netsim.FaultCongestion,
+			Location:  bigSite,
+			Magnitude: 1.8, // mild: many counters trip, little loss
+			Start:     start,
+			End:       start.Add(20 * time.Minute),
+		}},
+		Truth: []hierarchy.Path{bigSite},
+		Start: start,
+		End:   start.Add(20 * time.Minute),
+	}
+	// The critical incident hits a border router in a different city so
+	// the two do not merge into one component.
+	var dev *topology.Device
+	for i := range topo.Devices {
+		d := &topo.Devices[i]
+		if d.Role == topology.RoleBSR && d.Attach.Truncate(hierarchy.LevelCity) != bigSite.Truncate(hierarchy.LevelCity) {
+			dev = d
+			break
+		}
+	}
+	if dev == nil {
+		panic("scenario: no BSR outside the big incident's city")
+	}
+	critical = Scenario{
+		Name:     "critical-" + dev.Name,
+		Category: CatDeviceHardware,
+		Severe:   true,
+		Faults: []netsim.Fault{{
+			Kind:      netsim.FaultDeviceHardware,
+			Device:    dev.ID,
+			Magnitude: 0.6,
+			Start:     start.Add(30 * time.Second),
+			End:       start.Add(20 * time.Minute),
+		}},
+		Truth: []hierarchy.Path{dev.Path},
+		Start: start.Add(30 * time.Second),
+		End:   start.Add(20 * time.Minute),
+	}
+	return big, critical
+}
+
+// UnbalancedHashCase reproduces the §7.3 lesson: a BGP link break alert
+// arrives first, the flood of packet drops and unreachability follows, and
+// only minutes later does the device log the hardware error that is the
+// actual root cause — demonstrating why first-alert-is-root-cause time
+// ordering fails.
+func UnbalancedHashCase(topo *topology.Topology, start time.Time) Scenario {
+	var dev *topology.Device
+	for i := range topo.Devices {
+		if topo.Devices[i].Role == topology.RoleBSR {
+			dev = &topo.Devices[i]
+			break
+		}
+	}
+	if dev == nil {
+		panic("scenario: no BSR device")
+	}
+	end := start.Add(25 * time.Minute)
+	return Scenario{
+		Name:     "hash-hw-" + dev.Name,
+		Category: CatDeviceHardware,
+		Severe:   true,
+		Faults: []netsim.Fault{
+			// The software symptom surfaces first...
+			{Kind: netsim.FaultDeviceSoftware, Device: dev.ID, Magnitude: 0.3, Start: start, End: end},
+			// ...the hardware error is only logged minutes later.
+			{Kind: netsim.FaultDeviceHardware, Device: dev.ID, Magnitude: 0.5, Start: start.Add(4 * time.Minute), End: end},
+		},
+		Truth: []hierarchy.Path{dev.Path},
+		Start: start,
+		End:   end,
+	}
+}
+
+// distinctSites returns up to n site paths, spread across distinct logic
+// sites (and cities) where possible so the attacks do not share
+// aggregation layers and merge into one component.
+func distinctSites(topo *topology.Topology, n int) []hierarchy.Path {
+	seenSite := map[hierarchy.Path]bool{}
+	var all []hierarchy.Path
+	for _, cl := range topo.Clusters() {
+		site := cl.Parent()
+		if !seenSite[site] {
+			seenSite[site] = true
+			all = append(all, site)
+		}
+	}
+	var out []hierarchy.Path
+	used := map[hierarchy.Path]bool{}
+	// Pass 1: one site per logic site.
+	for _, s := range all {
+		if len(out) == n {
+			return out
+		}
+		ls := s.Truncate(hierarchy.LevelLogicSite)
+		if !used[ls] {
+			used[ls] = true
+			out = append(out, s)
+		}
+	}
+	// Pass 2: fill with remaining distinct sites.
+	for _, s := range all {
+		if len(out) == n {
+			break
+		}
+		dup := false
+		for _, o := range out {
+			if o == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	return out
+}

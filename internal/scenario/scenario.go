@@ -1,0 +1,323 @@
+// Package scenario is the failure-scenario catalog: machine-generatable
+// network failures with ground truth, used to drive the simulator and to
+// score SkyNet's false positives and negatives the way the paper's
+// operators scored the production system.
+//
+// Scenario categories and their draw weights follow the root-cause
+// proportions of Figure 1; the named severe scenarios reproduce the four
+// §5.1 case studies and the §2.2 war story.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"skynet/internal/hierarchy"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// Category is a failure root-cause category from Figure 1.
+type Category int
+
+// The Figure 1 root-cause categories.
+const (
+	CatDeviceHardware Category = iota // 42.6 %
+	CatLink                           // 18.5 %
+	CatModification                   // 16.7 %
+	CatDeviceSoftware                 //  9.3 %
+	CatInfrastructure                 //  9.3 %
+	CatRoute                          //  1.9 %
+	CatSecurity                       //  1.9 %
+	CatConfiguration                  //  1.9 %
+
+	NumCategories
+)
+
+var categoryNames = [...]string{
+	CatDeviceHardware: "device hardware error",
+	CatLink:           "link error",
+	CatModification:   "network modification error",
+	CatDeviceSoftware: "device software error",
+	CatInfrastructure: "infrastructure error",
+	CatRoute:          "route error",
+	CatSecurity:       "security error",
+	CatConfiguration:  "configuration error",
+}
+
+// Weights are the Figure 1 proportions exactly as printed in the paper, in
+// the same order as the Category constants. The printed percentages sum to
+// 102.1 % (rounding in the source figure); DrawCategory normalizes.
+var Weights = [NumCategories]float64{
+	CatDeviceHardware: 0.426,
+	CatLink:           0.185,
+	CatModification:   0.167,
+	CatDeviceSoftware: 0.093,
+	CatInfrastructure: 0.093,
+	CatRoute:          0.019,
+	CatSecurity:       0.019,
+	CatConfiguration:  0.019,
+}
+
+// String returns the Figure 1 category label.
+func (c Category) String() string {
+	if c < 0 || c >= NumCategories {
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// Scenario is one injected failure with ground truth.
+type Scenario struct {
+	// Name identifies the scenario instance.
+	Name string
+	// Category is the root-cause category.
+	Category Category
+	// Severe marks large-blast-radius scenarios (the paper's "severe
+	// failures": alert floods, unprecedented shapes).
+	Severe bool
+	// Benign marks minor events redundancy absorbs: detectable, but not
+	// harmful failures by the operators' labeling (§6.4).
+	Benign bool
+	// Faults are the injections realizing the scenario.
+	Faults []netsim.Fault
+	// Truth is the set of locations where an incident is expected; a
+	// detected incident matches if its root is an ancestor or descendant
+	// of any truth path.
+	Truth []hierarchy.Path
+	// Start and End bound the scenario's activity window.
+	Start, End time.Time
+}
+
+// Inject applies all scenario faults to the simulator.
+func (sc *Scenario) Inject(sim *netsim.Simulator) error {
+	for _, f := range sc.Faults {
+		if err := sim.Inject(f); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+	}
+	return nil
+}
+
+// Matches reports whether an incident rooted at p within [from, to) is
+// attributable to this scenario: the window overlaps and the root is
+// hierarchy-related to a truth location.
+func (sc *Scenario) Matches(p hierarchy.Path, from, to time.Time) bool {
+	if to.Before(sc.Start) || (!sc.End.IsZero() && from.After(sc.End.Add(5*time.Minute))) {
+		return false
+	}
+	for _, tp := range sc.Truth {
+		if p.Contains(tp) || tp.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Generator draws random scenarios over a topology.
+type Generator struct {
+	topo *topology.Topology
+	rng  *rand.Rand
+}
+
+// NewGenerator creates a deterministic scenario generator.
+func NewGenerator(topo *topology.Topology, seed int64) *Generator {
+	return &Generator{topo: topo, rng: rand.New(rand.NewSource(seed))}
+}
+
+// DrawCategory samples a category according to the (normalized) Figure 1
+// weights.
+func (g *Generator) DrawCategory() Category {
+	var total float64
+	for _, w := range Weights {
+		total += w
+	}
+	x := g.rng.Float64() * total
+	var acc float64
+	for c := Category(0); c < NumCategories; c++ {
+		acc += Weights[c]
+		if x < acc {
+			return c
+		}
+	}
+	return CatDeviceHardware
+}
+
+// Random generates one scenario of the given category starting at start.
+// Scenarios self-heal after 5–20 minutes (mitigation in the real system;
+// a bounded window keeps ground-truth matching crisp).
+func (g *Generator) Random(cat Category, start time.Time) Scenario {
+	dur := time.Duration(5+g.rng.Intn(15)) * time.Minute
+	end := start.Add(dur)
+	sc := Scenario{Category: cat, Start: start, End: end}
+	switch cat {
+	case CatDeviceHardware:
+		d := g.pickDevice(topology.RoleISR, topology.RoleCSR, topology.RoleBSR, topology.RoleToR)
+		kind := netsim.FaultDeviceHardware
+		if g.rng.Float64() < 0.5 {
+			kind = netsim.FaultDeviceDown
+		}
+		sc.Name = fmt.Sprintf("hw-%s", d.Name)
+		sc.Faults = []netsim.Fault{{Kind: kind, Device: d.ID, Magnitude: 0.3 + 0.4*g.rng.Float64(), Start: start, End: end}}
+		// Degrading hardware often takes the oscillator with it: a
+		// quarter of hardware faults also drift the PTP clock, giving
+		// the clock-sync monitor its thin real-world coverage sliver.
+		if kind == netsim.FaultDeviceHardware && g.rng.Float64() < 0.25 {
+			sc.Faults = append(sc.Faults, netsim.Fault{
+				Kind: netsim.FaultClockDrift, Device: d.ID, Magnitude: 2, Start: start, End: end,
+			})
+		}
+		sc.Truth = []hierarchy.Path{d.Path}
+	case CatLink:
+		l := g.pickAggregationLink()
+		// Link errors that page operators sever a meaningful share of the
+		// bundle — the §2.2 cut took half the entry cables at once.
+		cut := l.Circuits/2 + 1 + g.rng.Intn((l.Circuits+1)/2)
+		if cut > l.Circuits {
+			cut = l.Circuits
+		}
+		sc.Name = fmt.Sprintf("link-%s", l.CircuitSet)
+		sc.Faults = []netsim.Fault{{Kind: netsim.FaultLinkCut, Link: l.ID, Circuits: cut, Start: start, End: end}}
+		sc.Truth = []hierarchy.Path{g.topo.Device(l.A).Path, g.topo.Device(l.B).Path}
+	case CatModification:
+		d := g.pickDevice(topology.RoleCSR, topology.RoleBSR)
+		sc.Name = fmt.Sprintf("mod-%s", d.Name)
+		sc.Faults = []netsim.Fault{{Kind: netsim.FaultModification, Device: d.ID, Magnitude: 0.3 + 0.5*g.rng.Float64(), Start: start, End: end}}
+		sc.Truth = []hierarchy.Path{d.Path}
+	case CatDeviceSoftware:
+		d := g.pickDevice(topology.RoleISR, topology.RoleBSR, topology.RoleCSR)
+		sc.Name = fmt.Sprintf("sw-%s", d.Name)
+		sc.Faults = []netsim.Fault{{Kind: netsim.FaultDeviceSoftware, Device: d.ID, Magnitude: 0.2 + 0.3*g.rng.Float64(), Start: start, End: end}}
+		// A crashing routing stack occasionally wedges the PTP daemon too.
+		if g.rng.Float64() < 0.25 {
+			sc.Faults = append(sc.Faults, netsim.Fault{
+				Kind: netsim.FaultClockDrift, Device: d.ID, Magnitude: 1.5, Start: start, End: end,
+			})
+		}
+		sc.Truth = []hierarchy.Path{d.Path}
+	case CatInfrastructure:
+		cl := g.pickCluster()
+		sc.Name = fmt.Sprintf("power-%s", cl.Leaf())
+		sc.Severe = true
+		sc.Faults = []netsim.Fault{{Kind: netsim.FaultPowerFailure, Location: cl, Start: start, End: end}}
+		sc.Truth = []hierarchy.Path{cl}
+	case CatRoute:
+		city := g.pickCluster().Truncate(hierarchy.LevelCity)
+		kind := netsim.FaultRouteError
+		label := "route"
+		if g.rng.Float64() < 0.5 {
+			kind = netsim.FaultRouteHijack
+			label = "hijack"
+		}
+		sc.Name = fmt.Sprintf("%s-%s", label, city.Leaf())
+		sc.Severe = true
+		sc.Faults = []netsim.Fault{{Kind: kind, Location: city, Magnitude: 0.3 + 0.4*g.rng.Float64(), Start: start, End: end}}
+		sc.Truth = []hierarchy.Path{city}
+	case CatSecurity:
+		site := g.pickCluster().Truncate(hierarchy.LevelSite)
+		sc.Name = fmt.Sprintf("ddos-%s", site.Leaf())
+		sc.Faults = []netsim.Fault{{Kind: netsim.FaultCongestion, Location: site, Magnitude: 2.5 + 2*g.rng.Float64(), Start: start, End: end}}
+		sc.Truth = []hierarchy.Path{site}
+	case CatConfiguration:
+		d := g.pickDevice(topology.RoleISR, topology.RoleCSR)
+		sc.Name = fmt.Sprintf("cfg-%s", d.Name)
+		sc.Faults = []netsim.Fault{{Kind: netsim.FaultSilentLoss, Device: d.ID, Magnitude: 0.3 + 0.4*g.rng.Float64(), Start: start, End: end}}
+		sc.Truth = []hierarchy.Path{d.Path}
+	default:
+		panic(fmt.Sprintf("scenario: unknown category %d", cat))
+	}
+	return sc
+}
+
+// Minor generates a benign network event: real, detectable, but absorbed
+// by redundancy with little or no customer impact — the population that
+// makes up most of the "hundreds of network events occur monthly, though
+// only a few truly constitute harmful network failures" of §6.4.
+func (g *Generator) Minor(start time.Time) Scenario {
+	dur := time.Duration(5+g.rng.Intn(10)) * time.Minute
+	end := start.Add(dur)
+	sc := Scenario{Start: start, End: end, Benign: true}
+	switch g.rng.Intn(4) {
+	case 0: // one circuit of a fat bundle: redundancy absorbs it
+		l := g.pickAggregationLink()
+		sc.Name = "minor-cut-" + l.CircuitSet
+		sc.Category = CatLink
+		sc.Faults = []netsim.Fault{{Kind: netsim.FaultLinkCut, Link: l.ID, Circuits: 1, Start: start, End: end}}
+		sc.Truth = []hierarchy.Path{g.topo.Device(l.A).Path, g.topo.Device(l.B).Path}
+	case 1: // a lone ToR dies: one rack degraded, the cluster survives
+		d := g.pickDevice(topology.RoleToR)
+		sc.Name = "minor-tor-" + d.Name
+		sc.Category = CatDeviceHardware
+		sc.Faults = []netsim.Fault{{Kind: netsim.FaultDeviceDown, Device: d.ID, Start: start, End: end}}
+		sc.Truth = []hierarchy.Path{d.Path}
+	case 2: // mild flash crowd: counters trip, nothing breaks
+		site := g.pickCluster().Parent()
+		sc.Name = "minor-crowd-" + site.Leaf()
+		sc.Category = CatSecurity
+		sc.Faults = []netsim.Fault{{Kind: netsim.FaultCongestion, Location: site, Magnitude: 1.5, Start: start, End: end}}
+		sc.Truth = []hierarchy.Path{site}
+	default: // brief software blip on an access device
+		d := g.pickDevice(topology.RoleISR)
+		sc.Name = "minor-sw-" + d.Name
+		sc.Category = CatDeviceSoftware
+		sc.Faults = []netsim.Fault{{Kind: netsim.FaultDeviceSoftware, Device: d.ID, Magnitude: 0.05, Start: start, End: start.Add(2 * time.Minute)}}
+		sc.Truth = []hierarchy.Path{d.Path}
+	}
+	return sc
+}
+
+// Draw generates n scenarios with Figure 1 category mix, spaced apart so
+// their activity windows do not overlap.
+func (g *Generator) Draw(n int, start time.Time, spacing time.Duration) []Scenario {
+	out := make([]Scenario, 0, n)
+	at := start
+	for i := 0; i < n; i++ {
+		sc := g.Random(g.DrawCategory(), at)
+		sc.Name = fmt.Sprintf("%03d-%s", i, sc.Name)
+		out = append(out, sc)
+		at = at.Add(spacing)
+	}
+	return out
+}
+
+func (g *Generator) pickDevice(roles ...topology.Role) *topology.Device {
+	want := make(map[topology.Role]bool, len(roles))
+	for _, r := range roles {
+		want[r] = true
+	}
+	var candidates []topology.DeviceID
+	for i := range g.topo.Devices {
+		if want[g.topo.Devices[i].Role] {
+			candidates = append(candidates, g.topo.Devices[i].ID)
+		}
+	}
+	if len(candidates) == 0 {
+		panic("scenario: no device of requested roles")
+	}
+	return g.topo.Device(candidates[g.rng.Intn(len(candidates))])
+}
+
+func (g *Generator) pickAggregationLink() *topology.Link {
+	var candidates []topology.LinkID
+	for i := range g.topo.Links {
+		l := &g.topo.Links[i]
+		if l.InternetEntry {
+			continue
+		}
+		ra := g.topo.Device(l.A).Role
+		rb := g.topo.Device(l.B).Role
+		if ra != topology.RoleToR && rb != topology.RoleToR {
+			candidates = append(candidates, l.ID)
+		}
+	}
+	if len(candidates) == 0 {
+		panic("scenario: no aggregation links")
+	}
+	return g.topo.Link(candidates[g.rng.Intn(len(candidates))])
+}
+
+func (g *Generator) pickCluster() hierarchy.Path {
+	cls := g.topo.Clusters()
+	return cls[g.rng.Intn(len(cls))]
+}

@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"skynet/internal/hierarchy"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+var epoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+func topoSmall() *topology.Topology {
+	return topology.MustGenerate(topology.SmallConfig())
+}
+
+func TestCategoryNames(t *testing.T) {
+	for c := Category(0); c < NumCategories; c++ {
+		if c.String() == "" {
+			t.Errorf("category %d unnamed", c)
+		}
+	}
+	if Category(99).String() != "category(99)" {
+		t.Error("out of range name")
+	}
+}
+
+func TestWeightsMatchPaper(t *testing.T) {
+	// Figure 1's printed percentages sum to 102.1 % (rounding in the
+	// paper); the weights must reproduce the printed values verbatim.
+	sum := 0.0
+	for _, w := range Weights {
+		sum += w
+	}
+	if math.Abs(sum-1.021) > 1e-9 {
+		t.Errorf("weights sum to %v, want the paper's 1.021", sum)
+	}
+	if Weights[CatDeviceHardware] != 0.426 || Weights[CatLink] != 0.185 {
+		t.Error("headline weights drifted from Figure 1")
+	}
+}
+
+func TestDrawCategoryDistribution(t *testing.T) {
+	g := NewGenerator(topoSmall(), 42)
+	counts := make([]int, NumCategories)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.DrawCategory()]++
+	}
+	for c := Category(0); c < NumCategories; c++ {
+		got := float64(counts[c]) / n
+		if math.Abs(got-Weights[c]) > 0.02 {
+			t.Errorf("%v: drawn %.3f, want %.3f", c, got, Weights[c])
+		}
+	}
+}
+
+func TestRandomScenariosValid(t *testing.T) {
+	topo := topoSmall()
+	g := NewGenerator(topo, 1)
+	sim := netsim.New(topo, 1)
+	for c := Category(0); c < NumCategories; c++ {
+		sc := g.Random(c, epoch)
+		if sc.Name == "" {
+			t.Errorf("%v: empty name", c)
+		}
+		if len(sc.Faults) == 0 || len(sc.Truth) == 0 {
+			t.Errorf("%v: empty faults or truth", c)
+		}
+		if sc.End.Before(sc.Start) {
+			t.Errorf("%v: inverted window", c)
+		}
+		if err := sc.Inject(sim); err != nil {
+			t.Errorf("%v: inject: %v", c, err)
+		}
+	}
+}
+
+func TestRandomScenariosCauseObservableImpact(t *testing.T) {
+	// Every category must move at least one observable the monitors can
+	// see: path loss, device state, journal events, or utilization.
+	topo := topoSmall()
+	g := NewGenerator(topo, 3)
+	for c := Category(0); c < NumCategories; c++ {
+		sc := g.Random(c, epoch)
+		sim := netsim.New(topo, 1)
+		if err := sc.Inject(sim); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Step(epoch.Add(time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		if !observable(t, sim, topo) {
+			t.Errorf("%v (%s): no observable impact", c, sc.Name)
+		}
+	}
+}
+
+func observable(t *testing.T, sim *netsim.Simulator, topo *topology.Topology) bool {
+	t.Helper()
+	if len(sim.Journal(epoch, epoch.Add(time.Hour))) > 0 {
+		return true
+	}
+	for i := 0; i < topo.NumDevices(); i++ {
+		st := sim.DeviceState(topology.DeviceID(i))
+		if !st.Up || st.SilentLoss > 0 || st.BitFlip > 0 || st.ClockDriftSeconds > 0 || st.RouteBlackhole > 0 {
+			return true
+		}
+	}
+	for i := 0; i < topo.NumLinks(); i++ {
+		ls := sim.LinkState(topology.LinkID(i))
+		if ls.CircuitsDown > 0 || ls.DemandMultiplier > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDrawSpacing(t *testing.T) {
+	g := NewGenerator(topoSmall(), 5)
+	scs := g.Draw(10, epoch, time.Hour)
+	if len(scs) != 10 {
+		t.Fatalf("drew %d", len(scs))
+	}
+	for i := 1; i < len(scs); i++ {
+		if !scs[i].Start.After(scs[i-1].Start) {
+			t.Error("scenarios not spaced")
+		}
+	}
+}
+
+func TestMatches(t *testing.T) {
+	topo := topoSmall()
+	g := NewGenerator(topo, 9)
+	sc := g.Random(CatInfrastructure, epoch)
+	cl := sc.Truth[0]
+	// Ancestor of truth matches.
+	if !sc.Matches(cl.Parent(), epoch, epoch.Add(time.Minute)) {
+		t.Error("ancestor should match")
+	}
+	// Descendant of truth matches.
+	child := cl.MustChild("dev-x")
+	if !sc.Matches(child, epoch, epoch.Add(time.Minute)) {
+		t.Error("descendant should match")
+	}
+	// Sibling does not.
+	sib := cl.Parent().MustChild("CLxx")
+	if sc.Matches(sib, epoch, epoch.Add(time.Minute)) {
+		t.Error("sibling should not match")
+	}
+	// Window fully before the scenario does not match.
+	if sc.Matches(cl, epoch.Add(-2*time.Hour), epoch.Add(-time.Hour)) {
+		t.Error("pre-window should not match")
+	}
+	// Window long after the scenario does not match.
+	if sc.Matches(cl, sc.End.Add(time.Hour), sc.End.Add(2*time.Hour)) {
+		t.Error("post-window should not match")
+	}
+}
+
+func TestFiberCutSevere(t *testing.T) {
+	topo := topoSmall()
+	sc := FiberCutSevere(topo, epoch)
+	if !sc.Severe {
+		t.Error("fiber cut should be severe")
+	}
+	sim := netsim.New(topo, 1)
+	if err := sc.Inject(sim); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step(epoch.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.EvalInternet(topo.Clusters()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Loss <= 0 {
+		t.Error("fiber cut should cause internet loss")
+	}
+}
+
+func TestKnownDeviceFailure(t *testing.T) {
+	topo := topoSmall()
+	sc := KnownDeviceFailure(topo, epoch)
+	if len(sc.Faults) != 1 || sc.Faults[0].Kind != netsim.FaultDeviceHardware {
+		t.Fatalf("unexpected faults %+v", sc.Faults)
+	}
+	d, ok := topo.DeviceByPath(sc.Truth[0])
+	if !ok || d.Role != topology.RoleCSR {
+		t.Error("truth should be a CSR device path")
+	}
+}
+
+func TestDDoSMultiSite(t *testing.T) {
+	topo := topoSmall()
+	scs := DDoSMultiSite(topo, 5, epoch)
+	if len(scs) != 5 {
+		t.Fatalf("got %d scenarios", len(scs))
+	}
+	seen := map[hierarchy.Path]bool{}
+	for _, sc := range scs {
+		if len(sc.Truth) != 1 {
+			t.Fatal("each DDoS scenario should have one truth site")
+		}
+		if seen[sc.Truth[0]] {
+			t.Errorf("duplicate site %v", sc.Truth[0])
+		}
+		seen[sc.Truth[0]] = true
+		if sc.Truth[0].Level() != hierarchy.LevelSite {
+			t.Errorf("truth %v not a site", sc.Truth[0])
+		}
+	}
+}
+
+func TestConcurrentIncidents(t *testing.T) {
+	topo := topoSmall()
+	big, critical := ConcurrentIncidents(topo, epoch)
+	if big.Truth[0].Truncate(hierarchy.LevelCity) == critical.Truth[0].Truncate(hierarchy.LevelCity) {
+		t.Error("incidents should be in different cities")
+	}
+	if !critical.Start.After(big.Start) {
+		t.Error("critical incident should start slightly later")
+	}
+}
+
+func TestUnbalancedHashCase(t *testing.T) {
+	topo := topoSmall()
+	sc := UnbalancedHashCase(topo, epoch)
+	if len(sc.Faults) != 2 {
+		t.Fatalf("want 2 faults, got %d", len(sc.Faults))
+	}
+	if !sc.Faults[0].Start.Before(sc.Faults[1].Start) {
+		t.Error("software symptom must precede hardware root cause")
+	}
+	if sc.Faults[1].Kind != netsim.FaultDeviceHardware {
+		t.Error("second fault must be the hardware root cause")
+	}
+}

@@ -1,0 +1,174 @@
+package sop
+
+import (
+	"fmt"
+	"strings"
+
+	"skynet/internal/alert"
+	"skynet/internal/incident"
+	"skynet/internal/topology"
+)
+
+// CommonRules returns additional operator-authored rules modeled on the
+// kinds of SOPs the paper says accumulated in production ("nearly 1,000
+// rules", §7.2). They are NOT installed by default: each deployment picks
+// the rules matching its operational policy with Engine.AddRule.
+//
+// Unlike the isolation rule, most of these are observe-and-annotate: they
+// match a known pattern and record the prescribed procedure without
+// touching the network, leaving execution to the automation system that
+// owns the runbook.
+func CommonRules() []Rule {
+	return []Rule{
+		FlapDampeningRule{MinFlapCount: 5},
+		EntryFiberTicketRule{},
+		BGPPeerResetRule{},
+	}
+}
+
+// FlapDampeningRule matches a device whose interfaces are flapping (link/
+// port flapping or BGP churn) while its group peers are quiet: the known
+// procedure is to dampen the flapping interfaces rather than isolate the
+// device.
+type FlapDampeningRule struct {
+	// MinFlapCount is the flap-alert volume needed before dampening.
+	MinFlapCount int
+}
+
+// Name implements Rule.
+func (FlapDampeningRule) Name() string { return "interface-flap-dampening" }
+
+// Match implements Rule.
+func (r FlapDampeningRule) Match(topo *topology.Topology, in *incident.Incident, util TrafficOracle) (Plan, bool) {
+	if topo == nil {
+		return Plan{}, false
+	}
+	dev, ok := topo.DeviceByPath(in.Root)
+	if !ok {
+		return Plan{}, false
+	}
+	flaps := 0
+	for loc, entries := range in.Entries {
+		if loc != dev.Path {
+			continue
+		}
+		for k, e := range entries {
+			switch k.Type {
+			case alert.TypeLinkFlapping, alert.TypePortFlapping, alert.TypeBGPLinkJitter:
+				flaps += e.Alert.Count
+			}
+		}
+	}
+	if flaps < r.MinFlapCount {
+		return Plan{}, false
+	}
+	// Other group members alerting means a shared cause, not a local
+	// flap: stand down.
+	for loc := range in.Entries {
+		other, ok := topo.DeviceByPath(loc)
+		if !ok || other.ID == dev.ID {
+			continue
+		}
+		if other.Group == dev.Group {
+			return Plan{}, false
+		}
+	}
+	return Plan{
+		Rule:     r.Name(),
+		Action:   Action{Kind: ActionNone},
+		Rollback: Action{Kind: ActionNone},
+		Reason: fmt.Sprintf("%d flap alerts on %s, group quiet: apply interface dampening per runbook",
+			flaps, dev.Name),
+	}, true
+}
+
+// EntryFiberTicketRule matches incidents whose root-cause evidence is
+// dominated by link-down alerts on internet-entry circuit sets — the §2.2
+// signature. The procedure is a repair-technician dispatch plus traffic
+// drain, neither of which software can perform; the rule annotates the
+// incident with the runbook so the on-call loses no time rediscovering it.
+type EntryFiberTicketRule struct{}
+
+// Name implements Rule.
+func (EntryFiberTicketRule) Name() string { return "entry-fiber-repair-ticket" }
+
+// Match implements Rule.
+func (r EntryFiberTicketRule) Match(topo *topology.Topology, in *incident.Incident, util TrafficOracle) (Plan, bool) {
+	if topo == nil {
+		return Plan{}, false
+	}
+	entrySets := 0
+	for _, entries := range in.Entries {
+		for k, e := range entries {
+			if k.Type != alert.TypeLinkDown || e.Alert.CircuitSet == "" {
+				continue
+			}
+			cs := topo.CircuitSet(e.Alert.CircuitSet)
+			if cs == nil {
+				continue
+			}
+			if topo.Link(cs.Link).InternetEntry {
+				entrySets++
+			}
+		}
+	}
+	if entrySets < 2 {
+		return Plan{}, false
+	}
+	return Plan{
+		Rule:     r.Name(),
+		Action:   Action{Kind: ActionNone},
+		Rollback: Action{Kind: ActionNone},
+		Reason: fmt.Sprintf("%d internet-entry circuit sets down: open fiber-repair ticket, drain entry traffic per runbook",
+			entrySets),
+	}, true
+}
+
+// BGPPeerResetRule matches a lone BGP session failure with no underlying
+// physical evidence: the known first response is a session reset on the
+// affected speaker. Physical evidence (link/port down) disqualifies the
+// rule — resetting BGP on a dead link is noise.
+type BGPPeerResetRule struct{}
+
+// Name implements Rule.
+func (BGPPeerResetRule) Name() string { return "bgp-peer-reset" }
+
+// Match implements Rule.
+func (r BGPPeerResetRule) Match(topo *topology.Topology, in *incident.Incident, util TrafficOracle) (Plan, bool) {
+	if topo == nil {
+		return Plan{}, false
+	}
+	dev, ok := topo.DeviceByPath(in.Root)
+	if !ok {
+		return Plan{}, false
+	}
+	hasBGPDown, hasPhysical := false, false
+	for _, entries := range in.Entries {
+		for k := range entries {
+			switch k.Type {
+			case alert.TypeBGPPeerDown:
+				hasBGPDown = true
+			case alert.TypeLinkDown, alert.TypePortDown, alert.TypeInterfaceDown, alert.TypeDeviceDown:
+				hasPhysical = true
+			}
+		}
+	}
+	if !hasBGPDown || hasPhysical {
+		return Plan{}, false
+	}
+	return Plan{
+		Rule:     r.Name(),
+		Action:   Action{Kind: ActionNone},
+		Rollback: Action{Kind: ActionNone},
+		Reason:   "bgp session down without physical-layer evidence on " + dev.Name + ": soft-reset the session per runbook",
+	}, true
+}
+
+// DescribeRules renders a one-line-per-rule summary for operator review.
+func DescribeRules(rules []Rule) string {
+	var b strings.Builder
+	for _, r := range rules {
+		fmt.Fprintf(&b, "- %s\n", r.Name())
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package sop
+
+import (
+	"strings"
+	"testing"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+	"skynet/internal/incident"
+	"skynet/internal/topology"
+)
+
+func mkAlert(typ string, class alert.Class, count int, cs string) alert.Alert {
+	return alert.Alert{
+		Source: alert.SourceSyslog, Type: typ, Class: class,
+		Time: epoch, End: epoch, Count: count, CircuitSet: cs,
+	}
+}
+
+func TestCommonRulesInventory(t *testing.T) {
+	rules := CommonRules()
+	if len(rules) != 3 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	desc := DescribeRules(rules)
+	for _, want := range []string{"interface-flap-dampening", "entry-fiber-repair-ticket", "bgp-peer-reset"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("describe missing %s", want)
+		}
+	}
+}
+
+func TestFlapDampeningRule(t *testing.T) {
+	topo := smallTopo()
+	dev := csr(topo)
+	in := incident.New(1, dev.Path)
+	a := mkAlert(alert.TypeBGPLinkJitter, alert.ClassRootCause, 8, "")
+	a.Location = dev.Path
+	in.Add(a)
+	rule := FlapDampeningRule{MinFlapCount: 5}
+	plan, ok := rule.Match(topo, in, nil)
+	if !ok {
+		t.Fatal("flap rule did not match")
+	}
+	if plan.Action.Kind != ActionNone || !strings.Contains(plan.Reason, "dampening") {
+		t.Errorf("plan = %+v", plan)
+	}
+	// Below the flap volume: no match.
+	in2 := incident.New(2, dev.Path)
+	b := mkAlert(alert.TypeLinkFlapping, alert.ClassAbnormal, 2, "")
+	b.Location = dev.Path
+	in2.Add(b)
+	if _, ok := rule.Match(topo, in2, nil); ok {
+		t.Error("matched below MinFlapCount")
+	}
+	// Group peer alerting: shared cause, no match.
+	in3 := incident.New(3, dev.Path)
+	c := mkAlert(alert.TypeBGPLinkJitter, alert.ClassRootCause, 8, "")
+	c.Location = dev.Path
+	in3.Add(c)
+	var peer *topology.Device
+	for _, id := range topo.Group(dev.Group) {
+		if id != dev.ID {
+			peer = topo.Device(id)
+			break
+		}
+	}
+	d := mkAlert(alert.TypeLinkDown, alert.ClassRootCause, 1, "")
+	d.Location = peer.Path
+	in3.Add(d)
+	if _, ok := rule.Match(topo, in3, nil); ok {
+		t.Error("matched despite alerting group peer")
+	}
+}
+
+func TestEntryFiberTicketRule(t *testing.T) {
+	topo := smallTopo()
+	// Find two internet-entry links in the same city.
+	var entries []*topology.Link
+	for i := range topo.Links {
+		if topo.Links[i].InternetEntry {
+			entries = append(entries, &topo.Links[i])
+		}
+		if len(entries) == 2 {
+			break
+		}
+	}
+	city := topo.Device(entries[0].A).Path.Truncate(2)
+	in := incident.New(1, city)
+	for _, l := range entries {
+		a := mkAlert(alert.TypeLinkDown, alert.ClassRootCause, 4, l.CircuitSet)
+		a.Location = topo.Device(l.A).Path
+		in.Add(a)
+	}
+	rule := EntryFiberTicketRule{}
+	plan, ok := rule.Match(topo, in, nil)
+	if !ok {
+		t.Fatal("fiber ticket rule did not match")
+	}
+	if !strings.Contains(plan.Reason, "fiber-repair ticket") {
+		t.Errorf("reason = %s", plan.Reason)
+	}
+	// A single aggregation link down does not look like a fiber cut.
+	var agg *topology.Link
+	for i := range topo.Links {
+		if !topo.Links[i].InternetEntry {
+			agg = &topo.Links[i]
+			break
+		}
+	}
+	in2 := incident.New(2, city)
+	b := mkAlert(alert.TypeLinkDown, alert.ClassRootCause, 1, agg.CircuitSet)
+	b.Location = topo.Device(agg.A).Path
+	in2.Add(b)
+	if _, ok := rule.Match(topo, in2, nil); ok {
+		t.Error("matched a non-entry link cut")
+	}
+}
+
+func TestBGPPeerResetRule(t *testing.T) {
+	topo := smallTopo()
+	dev := csr(topo)
+	in := incident.New(1, dev.Path)
+	a := mkAlert(alert.TypeBGPPeerDown, alert.ClassAbnormal, 1, "")
+	a.Location = dev.Path
+	in.Add(a)
+	rule := BGPPeerResetRule{}
+	if _, ok := rule.Match(topo, in, nil); !ok {
+		t.Fatal("bgp reset rule did not match a lone session failure")
+	}
+	// Physical evidence disqualifies.
+	b := mkAlert(alert.TypePortDown, alert.ClassRootCause, 1, "")
+	b.Location = dev.Path
+	in.Add(b)
+	if _, ok := rule.Match(topo, in, nil); ok {
+		t.Error("matched despite physical-layer evidence")
+	}
+}
+
+func TestCommonRulesViaEngine(t *testing.T) {
+	topo := smallTopo()
+	e := NewEngine(topo, newFakeExec(), nil)
+	for _, r := range CommonRules() {
+		e.AddRule(r)
+	}
+	dev := csr(topo)
+	in := incident.New(42, dev.Path)
+	a := mkAlert(alert.TypeBGPPeerDown, alert.ClassAbnormal, 1, "")
+	a.Location = dev.Path
+	in.Add(a)
+	exec, ok := e.Consider(in, epoch)
+	if !ok {
+		t.Fatal("no rule fired through the engine")
+	}
+	if exec.Plan.Rule != "bgp-peer-reset" {
+		t.Errorf("rule = %s", exec.Plan.Rule)
+	}
+}
+
+func TestNilTopologyCommonRules(t *testing.T) {
+	in := incident.New(1, hierarchy.MustNew("R", "C", "L", "S", "K", "d"))
+	for _, r := range CommonRules() {
+		if _, ok := r.Match(nil, in, nil); ok {
+			t.Errorf("rule %s matched with nil topology", r.Name())
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package status serves SkyNet's operational state over HTTP: health,
+// ingest/pipeline counters, and the current incident list as JSON — the
+// machine-readable face of the visualization frontend (§7.1) and the
+// integration point dashboards poll.
+//
+// Endpoints:
+//
+//	GET /healthz            liveness, plain "ok"
+//	GET /api/stats          ingest + preprocess counters
+//	GET /api/incidents      all incidents, active first, severity-ranked
+//	GET /api/incidents/{id} one incident incl. its Figure 6 report and
+//	                        LLM-ready context bundle
+package status
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"skynet/internal/core"
+	"skynet/internal/evaluator"
+	"skynet/internal/incident"
+	"skynet/internal/ingest"
+	"skynet/internal/llmctx"
+	"skynet/internal/topology"
+	"skynet/internal/viz"
+)
+
+// Snapshotter provides serialized access to the engine. The ingest
+// dispatch loop owns the engine; the HTTP handlers must go through the
+// same lock.
+type Snapshotter struct {
+	mu     *sync.Mutex
+	engine *core.Engine
+	ingest *ingest.Server     // optional
+	topo   *topology.Topology // optional, enables graph rendering
+}
+
+// WithTopology enables the per-incident voting-graph endpoint
+// (/api/incidents/{id}/graph.svg).
+func (s *Snapshotter) WithTopology(topo *topology.Topology) *Snapshotter {
+	s.topo = topo
+	return s
+}
+
+// NewSnapshotter wraps an engine (and optionally its ingest server) with
+// the mutex that serializes engine access.
+func NewSnapshotter(mu *sync.Mutex, eng *core.Engine, srv *ingest.Server) *Snapshotter {
+	return &Snapshotter{mu: mu, engine: eng, ingest: srv}
+}
+
+// IncidentSummary is the list-view JSON shape.
+type IncidentSummary struct {
+	ID         int       `json:"id"`
+	Root       string    `json:"root"`
+	Zoomed     string    `json:"zoomed,omitempty"`
+	Severity   float64   `json:"severity"`
+	Active     bool      `json:"active"`
+	Start      time.Time `json:"start"`
+	UpdateTime time.Time `json:"update_time"`
+	End        time.Time `json:"end,omitempty"`
+	AlertCount int       `json:"alert_count"`
+	Locations  int       `json:"locations"`
+}
+
+// IncidentDetail extends the summary with the operator report and the
+// LLM-ready context (§9).
+type IncidentDetail struct {
+	IncidentSummary
+	Report     string `json:"report"`
+	LLMContext string `json:"llm_context"`
+}
+
+// StatsView is the /api/stats JSON shape.
+type StatsView struct {
+	RawIngested     int `json:"raw_ingested"`
+	Structured      int `json:"structured"`
+	ActiveIncidents int `json:"active_incidents"`
+	ClosedIncidents int `json:"closed_incidents"`
+
+	TCPConnections int `json:"tcp_connections,omitempty"`
+	AlertsAccepted int `json:"alerts_accepted,omitempty"`
+	AlertsRejected int `json:"alerts_rejected,omitempty"`
+}
+
+func summarize(in *incident.Incident) IncidentSummary {
+	return IncidentSummary{
+		ID:         in.ID,
+		Root:       in.Root.String(),
+		Zoomed:     in.Zoomed.String(),
+		Severity:   in.Severity,
+		Active:     in.Active(),
+		Start:      in.Start,
+		UpdateTime: in.UpdateTime,
+		End:        in.End,
+		AlertCount: in.AlertCount(),
+		Locations:  len(in.Locations()),
+	}
+}
+
+// Handler builds the HTTP handler.
+func (s *Snapshotter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.indexHandler)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		view := StatsView{
+			RawIngested:     s.engine.RawIngested(),
+			Structured:      s.engine.PreprocessStats().Out,
+			ActiveIncidents: len(s.engine.Active()),
+			ClosedIncidents: len(s.engine.Closed()),
+		}
+		s.mu.Unlock()
+		if s.ingest != nil {
+			st := s.ingest.Stats()
+			view.TCPConnections = st.TCPConnections
+			view.AlertsAccepted = st.AlertsAccepted
+			view.AlertsRejected = st.AlertsRejected
+		}
+		writeJSON(w, view)
+	})
+	mux.HandleFunc("/api/incidents", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		ranked := evaluator.Rank(s.engine.Active())
+		closed := s.engine.Closed()
+		out := make([]IncidentSummary, 0, len(ranked)+len(closed))
+		for _, in := range ranked {
+			out = append(out, summarize(in))
+		}
+		for _, in := range closed {
+			out = append(out, summarize(in))
+		}
+		s.mu.Unlock()
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/api/incidents/", func(w http.ResponseWriter, r *http.Request) {
+		idStr := strings.TrimPrefix(r.URL.Path, "/api/incidents/")
+		wantSVG := false
+		if rest, ok := strings.CutSuffix(idStr, "/graph.svg"); ok {
+			idStr, wantSVG = rest, true
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			http.Error(w, "bad incident id", http.StatusBadRequest)
+			return
+		}
+		if wantSVG {
+			s.serveGraphSVG(w, id)
+			return
+		}
+		s.mu.Lock()
+		var found *incident.Incident
+		for _, in := range s.engine.AllIncidents() {
+			if in.ID == id {
+				found = in
+				break
+			}
+		}
+		var detail IncidentDetail
+		if found != nil {
+			detail = IncidentDetail{
+				IncidentSummary: summarize(found),
+				Report:          found.Render(),
+				LLMContext:      llmctx.Build(llmctx.DefaultConfig(), found).Text,
+			}
+		}
+		s.mu.Unlock()
+		if found == nil {
+			http.Error(w, "incident not found", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, detail)
+	})
+	return mux
+}
+
+// serveGraphSVG renders the §7.1 voting graph of one incident.
+func (s *Snapshotter) serveGraphSVG(w http.ResponseWriter, id int) {
+	if s.topo == nil {
+		http.Error(w, "graph rendering requires a topology (-scale)", http.StatusNotImplemented)
+		return
+	}
+	s.mu.Lock()
+	var svg string
+	found := false
+	for _, in := range s.engine.AllIncidents() {
+		if in.ID == id {
+			svg = viz.Build(s.topo, in).SVG()
+			found = true
+			break
+		}
+	}
+	s.mu.Unlock()
+	if !found {
+		http.Error(w, "incident not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = w.Write([]byte(svg))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Server wraps http.Server with graceful lifecycle.
+type Server struct {
+	http *http.Server
+	ln   net.Listener
+}
+
+// Listen starts serving the snapshotter's handler on addr (":0" for
+// ephemeral).
+func Listen(addr string, s *Snapshotter, log *slog.Logger) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("status: listen %s: %w", addr, err)
+	}
+	srv := &Server{
+		http: &http.Server{
+			Handler:           s.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		ln: ln,
+	}
+	go func() {
+		if err := srv.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			if log != nil {
+				log.Warn("status: serve", "err", err)
+			}
+		}
+	}()
+	return srv, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close shuts the server down gracefully.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	return s.http.Shutdown(ctx)
+}

@@ -1,0 +1,336 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"skynet/internal/hierarchy"
+)
+
+// Config controls the synthetic topology generator. The zero value is not
+// usable; start from SmallConfig or ProductionConfig.
+type Config struct {
+	Regions           int
+	CitiesPerRegion   int
+	LogicSitesPerCity int
+	SitesPerLogicSite int
+	ClustersPerSite   int
+	ToRsPerCluster    int
+
+	// CSRsPerSite is the size of the site router redundancy group.
+	CSRsPerSite int
+	// BSRsPerLogicSite is the size of the border router group.
+	BSRsPerLogicSite int
+	// DCBRsPerCity is the size of the city border group.
+	DCBRsPerCity int
+	// InternetEntriesPerCity is the number of internet-entry link bundles
+	// from the city's DCBRs to the ISP peer (the cables of §2.2).
+	InternetEntriesPerCity int
+
+	// Customers is the total tenant population; each circuit set is
+	// assigned a handful of them.
+	Customers int
+	// ImportantCustomerRatio is the fraction of customers marked
+	// "important" (their count is U_k in the evaluator).
+	ImportantCustomerRatio float64
+
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// SmallConfig returns a laptop-scale topology (a few hundred devices),
+// suitable for unit tests and examples.
+func SmallConfig() Config {
+	return Config{
+		Regions:                1,
+		CitiesPerRegion:        2,
+		LogicSitesPerCity:      2,
+		SitesPerLogicSite:      2,
+		ClustersPerSite:        3,
+		ToRsPerCluster:         4,
+		CSRsPerSite:            2,
+		BSRsPerLogicSite:       2,
+		DCBRsPerCity:           2,
+		InternetEntriesPerCity: 4,
+		Customers:              64,
+		ImportantCustomerRatio: 0.15,
+		Seed:                   1,
+	}
+}
+
+// ProductionConfig returns a bench-scale topology on the order of 10^4
+// devices, the shape (not the size) of the paper's O(10^5) network.
+func ProductionConfig() Config {
+	return Config{
+		Regions:                4,
+		CitiesPerRegion:        3,
+		LogicSitesPerCity:      3,
+		SitesPerLogicSite:      3,
+		ClustersPerSite:        6,
+		ToRsPerCluster:         16,
+		CSRsPerSite:            4,
+		BSRsPerLogicSite:       2,
+		DCBRsPerCity:           4,
+		InternetEntriesPerCity: 8,
+		Customers:              4096,
+		ImportantCustomerRatio: 0.1,
+		Seed:                   1,
+	}
+}
+
+// Validate checks that the configuration can generate a connected network.
+func (c *Config) Validate() error {
+	checks := []struct {
+		name string
+		v    int
+		min  int
+	}{
+		{"Regions", c.Regions, 1},
+		{"CitiesPerRegion", c.CitiesPerRegion, 1},
+		{"LogicSitesPerCity", c.LogicSitesPerCity, 1},
+		{"SitesPerLogicSite", c.SitesPerLogicSite, 1},
+		{"ClustersPerSite", c.ClustersPerSite, 1},
+		{"ToRsPerCluster", c.ToRsPerCluster, 1},
+		{"CSRsPerSite", c.CSRsPerSite, 1},
+		{"BSRsPerLogicSite", c.BSRsPerLogicSite, 1},
+		{"DCBRsPerCity", c.DCBRsPerCity, 1},
+		{"InternetEntriesPerCity", c.InternetEntriesPerCity, 1},
+		{"Customers", c.Customers, 1},
+	}
+	for _, ch := range checks {
+		if ch.v < ch.min {
+			return fmt.Errorf("topology: config %s = %d, need ≥ %d", ch.name, ch.v, ch.min)
+		}
+	}
+	if c.ImportantCustomerRatio < 0 || c.ImportantCustomerRatio > 1 {
+		return fmt.Errorf("topology: ImportantCustomerRatio = %v out of [0,1]", c.ImportantCustomerRatio)
+	}
+	return nil
+}
+
+// builder accumulates a topology during generation.
+type builder struct {
+	t   *Topology
+	rng *rand.Rand
+}
+
+// Generate builds a deterministic topology from the configuration.
+func Generate(cfg Config) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &builder{
+		t: &Topology{
+			Sets:   make(map[string]*CircuitSet),
+			byPath: make(map[hierarchy.Path]DeviceID),
+			byName: make(map[string]DeviceID),
+			groups: make(map[string][]DeviceID),
+		},
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	b.makeCustomers(cfg)
+
+	var allDCBRs [][]DeviceID // per region: that region's DCBRs
+	for r := 0; r < cfg.Regions; r++ {
+		regionPath := hierarchy.MustNew(fmt.Sprintf("RG%02d", r+1))
+		var regionDCBRs []DeviceID
+		var prevCityDCBRs []DeviceID
+		for c := 0; c < cfg.CitiesPerRegion; c++ {
+			cityPath := regionPath.MustChild(fmt.Sprintf("CT%02d", c+1))
+			cityDCBRs := b.addGroup(cityPath, RoleDCBR, cfg.DCBRsPerCity)
+			regionDCBRs = append(regionDCBRs, cityDCBRs...)
+			// Intra-region WAN: pairwise bundles between consecutive
+			// cities' border routers.
+			for i, d := range cityDCBRs {
+				if len(prevCityDCBRs) > 0 {
+					b.addLink(prevCityDCBRs[i%len(prevCityDCBRs)], d, 8, 800, false)
+				}
+			}
+			prevCityDCBRs = cityDCBRs
+
+			// Internet entry: an ISP peer device plus entry bundles.
+			isp := b.addDevice(cityPath, RoleISP, 1, 1)
+			for e := 0; e < cfg.InternetEntriesPerCity; e++ {
+				dcbr := cityDCBRs[e%len(cityDCBRs)]
+				b.addLink(dcbr, isp, 4, 400, true)
+			}
+
+			for ls := 0; ls < cfg.LogicSitesPerCity; ls++ {
+				lsPath := cityPath.MustChild(fmt.Sprintf("LS%02d", ls+1))
+				bsrs := b.addGroup(lsPath, RoleBSR, cfg.BSRsPerLogicSite)
+				// A route reflector in the first logic site of each city
+				// (the unusual logic-site-level device from §7.1).
+				if ls == 0 {
+					rr := b.addDevice(lsPath, RoleReflector, 1, 1)
+					for _, bsr := range bsrs {
+						b.addLink(rr, bsr, 2, 100, false)
+					}
+				}
+				// BSR ↔ DCBR full bipartite.
+				for _, bsr := range bsrs {
+					for _, dcbr := range cityDCBRs {
+						b.addLink(bsr, dcbr, 4, 400, false)
+					}
+				}
+				for s := 0; s < cfg.SitesPerLogicSite; s++ {
+					sitePath := lsPath.MustChild(fmt.Sprintf("ST%02d", s+1))
+					csrs := b.addGroup(sitePath, RoleCSR, cfg.CSRsPerSite)
+					for _, csr := range csrs {
+						for _, bsr := range bsrs {
+							b.addLink(csr, bsr, 4, 400, false)
+						}
+					}
+					for k := 0; k < cfg.ClustersPerSite; k++ {
+						clPath := sitePath.MustChild(fmt.Sprintf("CL%02d", k+1))
+						isrs := b.addGroup(clPath, RoleISR, 2)
+						for _, isr := range isrs {
+							for _, csr := range csrs {
+								b.addLink(isr, csr, 2, 200, false)
+							}
+						}
+						tors := b.addGroup(clPath, RoleToR, cfg.ToRsPerCluster)
+						for _, tor := range tors {
+							for _, isr := range isrs {
+								b.addLink(tor, isr, 2, 100, false)
+							}
+						}
+					}
+				}
+			}
+		}
+		allDCBRs = append(allDCBRs, regionDCBRs)
+	}
+
+	// WAN backbone: chain regions through their first DCBRs, plus a ring
+	// closure when there are more than two regions.
+	for r := 1; r < len(allDCBRs); r++ {
+		b.addLink(allDCBRs[r-1][0], allDCBRs[r][0], 8, 800, false)
+	}
+	if len(allDCBRs) > 2 {
+		b.addLink(allDCBRs[len(allDCBRs)-1][0], allDCBRs[0][0], 8, 800, false)
+	}
+
+	b.finish()
+	if err := b.t.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: generated invalid topology: %w", err)
+	}
+	return b.t, nil
+}
+
+// MustGenerate is Generate but panics on error; for tests and examples.
+func MustGenerate(cfg Config) *Topology {
+	t, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (b *builder) makeCustomers(cfg Config) {
+	b.t.Customers = make([]Customer, cfg.Customers)
+	for i := range b.t.Customers {
+		important := b.rng.Float64() < cfg.ImportantCustomerRatio
+		imp := 1.0
+		if important {
+			imp = 2.0 + 3.0*b.rng.Float64()
+		}
+		b.t.Customers[i] = Customer{
+			ID:         CustomerID(i),
+			Name:       fmt.Sprintf("cust-%04d", i),
+			Importance: imp,
+			Important:  important,
+		}
+	}
+}
+
+// addDevice creates count devices of the role at the attachment path and
+// returns the last one (convenience for singletons).
+func (b *builder) addDevice(attach hierarchy.Path, role Role, index, count int) DeviceID {
+	_ = count
+	id := DeviceID(len(b.t.Devices))
+	name := fmt.Sprintf("%s-%s-%d", pathSlug(attach), role, index)
+	d := Device{
+		ID:     id,
+		Name:   name,
+		Role:   role,
+		Attach: attach,
+		Path:   attach.MustChild(name),
+		Group:  fmt.Sprintf("%s/%s", attach, role),
+	}
+	b.t.Devices = append(b.t.Devices, d)
+	b.t.byPath[d.Path] = id
+	b.t.byName[d.Name] = id
+	b.t.groups[d.Group] = append(b.t.groups[d.Group], id)
+	return id
+}
+
+// addGroup creates a redundancy group of count devices.
+func (b *builder) addGroup(attach hierarchy.Path, role Role, count int) []DeviceID {
+	out := make([]DeviceID, count)
+	for i := range out {
+		out[i] = b.addDevice(attach, role, i+1, count)
+	}
+	return out
+}
+
+func (b *builder) addLink(a, c DeviceID, circuits int, capacityGbps float64, internet bool) LinkID {
+	id := LinkID(len(b.t.Links))
+	csName := fmt.Sprintf("cs-%05d", id)
+	b.t.Links = append(b.t.Links, Link{
+		ID:            id,
+		A:             a,
+		B:             c,
+		CircuitSet:    csName,
+		Circuits:      circuits,
+		CapacityGbps:  capacityGbps,
+		InternetEntry: internet,
+	})
+	cs := &CircuitSet{Name: csName, Link: id, Circuits: circuits}
+	// Assign a handful of customers to the circuit set. Aggregation links
+	// (higher capacity) carry more customers.
+	n := 1 + int(capacityGbps/100)
+	for i := 0; i < n && len(b.t.Customers) > 0; i++ {
+		cs.Customers = append(cs.Customers, CustomerID(b.rng.Intn(len(b.t.Customers))))
+	}
+	sort.Slice(cs.Customers, func(i, j int) bool { return cs.Customers[i] < cs.Customers[j] })
+	b.t.Sets[csName] = cs
+	return id
+}
+
+// finish builds the derived indexes.
+func (b *builder) finish() {
+	t := b.t
+	t.adj = make([][]DeviceID, len(t.Devices))
+	t.devLinks = make([][]LinkID, len(t.Devices))
+	for i := range t.Links {
+		l := &t.Links[i]
+		t.adj[l.A] = append(t.adj[l.A], l.B)
+		t.adj[l.B] = append(t.adj[l.B], l.A)
+		t.devLinks[l.A] = append(t.devLinks[l.A], l.ID)
+		t.devLinks[l.B] = append(t.devLinks[l.B], l.ID)
+	}
+	seen := make(map[hierarchy.Path]bool)
+	for i := range t.Devices {
+		cl := t.Devices[i].Attach
+		if cl.Level() == hierarchy.LevelCluster && !seen[cl] {
+			seen[cl] = true
+			t.clusters = append(t.clusters, cl)
+		}
+	}
+	sort.Slice(t.clusters, func(i, j int) bool { return t.clusters[i].Compare(t.clusters[j]) < 0 })
+}
+
+// pathSlug compresses a hierarchy path into a device-name prefix, e.g.
+// "RG01|CT02|LS01|ST01|CL03" → "RG01.CT02.LS01.ST01.CL03".
+func pathSlug(p hierarchy.Path) string {
+	segs := p.Segments()
+	out := ""
+	for i, s := range segs {
+		if i > 0 {
+			out += "."
+		}
+		out += s
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"skynet/internal/hierarchy"
+)
+
+// JSON serialization of topologies, so deployments can feed SkyNet their
+// real network instead of a generated one: skynetd loads the file, and
+// connectivity scoping, SOP groups, and evaluator customer data all work
+// against the operator's inventory.
+
+// fileFormat is the on-disk shape. It mirrors the public structs but keys
+// devices by name (stable across exports) rather than dense IDs.
+type fileFormat struct {
+	Version   int            `json:"version"`
+	Devices   []fileDevice   `json:"devices"`
+	Links     []fileLink     `json:"links"`
+	Customers []fileCustomer `json:"customers"`
+}
+
+type fileDevice struct {
+	Name   string         `json:"name"`
+	Role   string         `json:"role"`
+	Attach hierarchy.Path `json:"attach"`
+	Group  string         `json:"group,omitempty"`
+}
+
+type fileLink struct {
+	A             string   `json:"a"`
+	B             string   `json:"b"`
+	CircuitSet    string   `json:"circuitset"`
+	Circuits      int      `json:"circuits"`
+	CapacityGbps  float64  `json:"capacity_gbps"`
+	InternetEntry bool     `json:"internet_entry,omitempty"`
+	Customers     []string `json:"customers,omitempty"`
+}
+
+type fileCustomer struct {
+	Name       string  `json:"name"`
+	Importance float64 `json:"importance"`
+	Important  bool    `json:"important,omitempty"`
+}
+
+const fileVersion = 1
+
+// WriteJSON serializes the topology.
+func (t *Topology) WriteJSON(w io.Writer) error {
+	f := fileFormat{Version: fileVersion}
+	for i := range t.Devices {
+		d := &t.Devices[i]
+		f.Devices = append(f.Devices, fileDevice{
+			Name: d.Name, Role: d.Role.String(), Attach: d.Attach, Group: d.Group,
+		})
+	}
+	for i := range t.Links {
+		l := &t.Links[i]
+		fl := fileLink{
+			A: t.Devices[l.A].Name, B: t.Devices[l.B].Name,
+			CircuitSet: l.CircuitSet, Circuits: l.Circuits,
+			CapacityGbps: l.CapacityGbps, InternetEntry: l.InternetEntry,
+		}
+		if cs := t.Sets[l.CircuitSet]; cs != nil {
+			for _, c := range cs.Customers {
+				fl.Customers = append(fl.Customers, t.Customers[c].Name)
+			}
+		}
+		f.Links = append(f.Links, fl)
+	}
+	for i := range t.Customers {
+		c := &t.Customers[i]
+		f.Customers = append(f.Customers, fileCustomer{
+			Name: c.Name, Importance: c.Importance, Important: c.Important,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("topology: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON loads a topology written by WriteJSON (or hand-authored in the
+// same format) and rebuilds all derived indexes. The result is validated.
+func ReadJSON(r io.Reader) (*Topology, error) {
+	var f fileFormat
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("topology: decode: %w", err)
+	}
+	if f.Version != fileVersion {
+		return nil, fmt.Errorf("topology: unsupported file version %d (want %d)", f.Version, fileVersion)
+	}
+	t := &Topology{
+		Sets:   make(map[string]*CircuitSet),
+		byPath: make(map[hierarchy.Path]DeviceID),
+		byName: make(map[string]DeviceID),
+		groups: make(map[string][]DeviceID),
+	}
+	custByName := map[string]CustomerID{}
+	for i, fc := range f.Customers {
+		if fc.Name == "" {
+			return nil, fmt.Errorf("topology: customer %d has empty name", i)
+		}
+		if _, dup := custByName[fc.Name]; dup {
+			return nil, fmt.Errorf("topology: duplicate customer %q", fc.Name)
+		}
+		id := CustomerID(len(t.Customers))
+		custByName[fc.Name] = id
+		t.Customers = append(t.Customers, Customer{
+			ID: id, Name: fc.Name, Importance: fc.Importance, Important: fc.Important,
+		})
+	}
+	roleByName := map[string]Role{}
+	for r := RoleToR; r < numRoles; r++ {
+		roleByName[r.String()] = r
+	}
+	for i, fd := range f.Devices {
+		if fd.Name == "" {
+			return nil, fmt.Errorf("topology: device %d has empty name", i)
+		}
+		if _, dup := t.byName[fd.Name]; dup {
+			return nil, fmt.Errorf("topology: duplicate device %q", fd.Name)
+		}
+		role, ok := roleByName[fd.Role]
+		if !ok {
+			return nil, fmt.Errorf("topology: device %q has unknown role %q", fd.Name, fd.Role)
+		}
+		path, err := fd.Attach.Child(fd.Name)
+		if err != nil {
+			return nil, fmt.Errorf("topology: device %q: %w", fd.Name, err)
+		}
+		group := fd.Group
+		if group == "" {
+			group = fmt.Sprintf("%s/%s", fd.Attach, role)
+		}
+		id := DeviceID(len(t.Devices))
+		t.Devices = append(t.Devices, Device{
+			ID: id, Name: fd.Name, Role: role, Attach: fd.Attach, Path: path, Group: group,
+		})
+		t.byName[fd.Name] = id
+		t.byPath[path] = id
+		t.groups[group] = append(t.groups[group], id)
+	}
+	for i, fl := range f.Links {
+		a, ok := t.byName[fl.A]
+		if !ok {
+			return nil, fmt.Errorf("topology: link %d references unknown device %q", i, fl.A)
+		}
+		b, ok := t.byName[fl.B]
+		if !ok {
+			return nil, fmt.Errorf("topology: link %d references unknown device %q", i, fl.B)
+		}
+		if fl.CircuitSet == "" {
+			return nil, fmt.Errorf("topology: link %d has empty circuit set", i)
+		}
+		if _, dup := t.Sets[fl.CircuitSet]; dup {
+			return nil, fmt.Errorf("topology: duplicate circuit set %q", fl.CircuitSet)
+		}
+		id := LinkID(len(t.Links))
+		t.Links = append(t.Links, Link{
+			ID: id, A: a, B: b, CircuitSet: fl.CircuitSet,
+			Circuits: fl.Circuits, CapacityGbps: fl.CapacityGbps,
+			InternetEntry: fl.InternetEntry,
+		})
+		cs := &CircuitSet{Name: fl.CircuitSet, Link: id, Circuits: fl.Circuits}
+		for _, name := range fl.Customers {
+			cid, ok := custByName[name]
+			if !ok {
+				return nil, fmt.Errorf("topology: link %d references unknown customer %q", i, name)
+			}
+			cs.Customers = append(cs.Customers, cid)
+		}
+		sort.Slice(cs.Customers, func(x, y int) bool { return cs.Customers[x] < cs.Customers[y] })
+		t.Sets[fl.CircuitSet] = cs
+	}
+	// Derived indexes.
+	t.adj = make([][]DeviceID, len(t.Devices))
+	t.devLinks = make([][]LinkID, len(t.Devices))
+	for i := range t.Links {
+		l := &t.Links[i]
+		t.adj[l.A] = append(t.adj[l.A], l.B)
+		t.adj[l.B] = append(t.adj[l.B], l.A)
+		t.devLinks[l.A] = append(t.devLinks[l.A], l.ID)
+		t.devLinks[l.B] = append(t.devLinks[l.B], l.ID)
+	}
+	seen := map[hierarchy.Path]bool{}
+	for i := range t.Devices {
+		cl := t.Devices[i].Attach
+		if cl.Level() == hierarchy.LevelCluster && !seen[cl] {
+			seen[cl] = true
+			t.clusters = append(t.clusters, cl)
+		}
+	}
+	sort.Slice(t.clusters, func(i, j int) bool { return t.clusters[i].Compare(t.clusters[j]) < 0 })
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SaveFile writes the topology to a JSON file.
+func (t *Topology) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("topology: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return t.WriteJSON(f)
+}
+
+// LoadFile reads a topology from a JSON file.
+func LoadFile(path string) (*Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("topology: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

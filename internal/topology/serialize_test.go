@@ -1,0 +1,150 @@
+package topology
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := MustGenerate(SmallConfig())
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDevices() != orig.NumDevices() || got.NumLinks() != orig.NumLinks() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			got.NumDevices(), got.NumLinks(), orig.NumDevices(), orig.NumLinks())
+	}
+	for i := range orig.Devices {
+		a, b := orig.Devices[i], got.Devices[i]
+		if a != b {
+			t.Fatalf("device %d differs:\n a=%+v\n b=%+v", i, a, b)
+		}
+	}
+	for i := range orig.Links {
+		if orig.Links[i] != got.Links[i] {
+			t.Fatalf("link %d differs", i)
+		}
+	}
+	for name, cs := range orig.Sets {
+		gcs := got.Sets[name]
+		if gcs == nil || len(gcs.Customers) != len(cs.Customers) {
+			t.Fatalf("circuit set %s customers differ", name)
+		}
+		for i := range cs.Customers {
+			if cs.Customers[i] != gcs.Customers[i] {
+				t.Fatalf("circuit set %s customer %d differs", name, i)
+			}
+		}
+	}
+	// Derived indexes work: adjacency and groups intact.
+	l := got.Link(0)
+	if !got.Adjacent(got.Device(l.A).Path, got.Device(l.B).Path) {
+		t.Error("adjacency lost through serialization")
+	}
+	if len(got.Clusters()) != len(orig.Clusters()) {
+		t.Error("cluster index lost")
+	}
+	if len(got.Group(got.Device(0).Group)) == 0 {
+		t.Error("groups lost")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	orig := MustGenerate(SmallConfig())
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDevices() != orig.NumDevices() {
+		t.Error("file round trip lost devices")
+	}
+	if _, err := LoadFile("/nonexistent.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", `{`},
+		{"bad version", `{"version":99}`},
+		{"empty device name", `{"version":1,"devices":[{"name":"","role":"ToR","attach":"R|C|L|S|K"}]}`},
+		{"duplicate device", `{"version":1,"devices":[
+			{"name":"d","role":"ToR","attach":"R|C|L|S|K"},
+			{"name":"d","role":"ToR","attach":"R|C|L|S|K"}]}`},
+		{"unknown role", `{"version":1,"devices":[{"name":"d","role":"XXX","attach":"R|C|L|S|K"}]}`},
+		{"device past depth", `{"version":1,"devices":[{"name":"d","role":"ToR","attach":"R|C|L|S|K|x"}]}`},
+		{"unknown link endpoint", `{"version":1,"devices":[{"name":"d","role":"ToR","attach":"R|C|L|S|K"}],
+			"links":[{"a":"d","b":"nope","circuitset":"cs","circuits":1,"capacity_gbps":10}]}`},
+		{"empty circuit set", `{"version":1,"devices":[
+			{"name":"d1","role":"ToR","attach":"R|C|L|S|K"},
+			{"name":"d2","role":"ToR","attach":"R|C|L|S|K"}],
+			"links":[{"a":"d1","b":"d2","circuitset":"","circuits":1,"capacity_gbps":10}]}`},
+		{"duplicate circuit set", `{"version":1,"devices":[
+			{"name":"d1","role":"ToR","attach":"R|C|L|S|K"},
+			{"name":"d2","role":"ToR","attach":"R|C|L|S|K"}],
+			"links":[
+			  {"a":"d1","b":"d2","circuitset":"cs","circuits":1,"capacity_gbps":10},
+			  {"a":"d2","b":"d1","circuitset":"cs","circuits":1,"capacity_gbps":10}]}`},
+		{"unknown customer", `{"version":1,"devices":[
+			{"name":"d1","role":"ToR","attach":"R|C|L|S|K"},
+			{"name":"d2","role":"ToR","attach":"R|C|L|S|K"}],
+			"links":[{"a":"d1","b":"d2","circuitset":"cs","circuits":1,"capacity_gbps":10,"customers":["nope"]}]}`},
+		{"duplicate customer", `{"version":1,"customers":[
+			{"name":"c","importance":1},{"name":"c","importance":1}]}`},
+		{"empty customer name", `{"version":1,"customers":[{"name":"","importance":1}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c.body)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestHandAuthoredMinimalTopology(t *testing.T) {
+	// The format works for operator-authored inventories, not only
+	// exports: a two-device toy network with one customer.
+	body := `{
+	  "version": 1,
+	  "customers": [{"name": "acme", "importance": 3, "important": true}],
+	  "devices": [
+	    {"name": "tor-1", "role": "ToR", "attach": "R|C|L|S|K1"},
+	    {"name": "tor-2", "role": "ToR", "attach": "R|C|L|S|K2"}
+	  ],
+	  "links": [
+	    {"a": "tor-1", "b": "tor-2", "circuitset": "cs-1", "circuits": 2,
+	     "capacity_gbps": 100, "customers": ["acme"]}
+	  ]
+	}`
+	topo, err := ReadJSON(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumDevices() != 2 || topo.NumLinks() != 1 {
+		t.Fatalf("sizes: %d devices %d links", topo.NumDevices(), topo.NumLinks())
+	}
+	cs := topo.CircuitSet("cs-1")
+	if cs == nil || len(cs.Customers) != 1 {
+		t.Fatal("circuit set customers missing")
+	}
+	if !topo.Customer(cs.Customers[0]).Important {
+		t.Error("importance flag lost")
+	}
+	d, ok := topo.DeviceByName("tor-1")
+	if !ok || d.Group == "" {
+		t.Error("default group not assigned")
+	}
+}

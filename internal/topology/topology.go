@@ -1,0 +1,401 @@
+// Package topology models the network substrate SkyNet operates on: a
+// hierarchical global cloud network (Figure 5b) of regions, cities, logic
+// sites, sites, and clusters, populated with devices of different roles
+// attached at different hierarchy levels, links grouped into redundant
+// circuit sets, and customers whose traffic rides those circuit sets.
+//
+// The paper runs on Alibaba Cloud's production network (O(10^5) devices).
+// This package is the faithful synthetic substitute: SkyNet's algorithms
+// only consume the hierarchy, device adjacency, circuit-set membership,
+// and customer weights — all of which the generator reproduces at
+// configurable scale.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"skynet/internal/hierarchy"
+)
+
+// Role describes a device's function, which determines the hierarchy level
+// it attaches to ("Each device is assigned a level in this hierarchy",
+// §4.1). Role names follow the visualization in Figure 11.
+type Role int
+
+// Device roles, from the network edge inward.
+const (
+	RoleToR       Role = iota // top-of-rack switch, attached at cluster level
+	RoleISR                   // intra-site router, attached at cluster level
+	RoleCSR                   // cluster/site router, attached at site level
+	RoleBSR                   // border site router, attached at logic-site level
+	RoleDCBR                  // data-center border router, attached at city level
+	RoleReflector             // route reflector, attached at logic-site level
+	RoleISP                   // internet-entry peer, attached at city level
+
+	numRoles
+)
+
+var roleNames = [...]string{
+	RoleToR:       "ToR",
+	RoleISR:       "ISR",
+	RoleCSR:       "CSR",
+	RoleBSR:       "BSR",
+	RoleDCBR:      "DCBR",
+	RoleReflector: "RR",
+	RoleISP:       "ISP",
+}
+
+// String returns the conventional role abbreviation.
+func (r Role) String() string {
+	if r < 0 || int(r) >= len(roleNames) {
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+	return roleNames[r]
+}
+
+// AttachLevel returns the hierarchy level a role's devices attach to.
+func (r Role) AttachLevel() hierarchy.Level {
+	switch r {
+	case RoleToR, RoleISR:
+		return hierarchy.LevelCluster
+	case RoleCSR:
+		return hierarchy.LevelSite
+	case RoleBSR, RoleReflector:
+		return hierarchy.LevelLogicSite
+	case RoleDCBR, RoleISP:
+		return hierarchy.LevelCity
+	default:
+		return hierarchy.LevelCluster
+	}
+}
+
+// DeviceID indexes a device within a Topology. IDs are dense, starting at 0.
+type DeviceID int32
+
+// LinkID indexes a link within a Topology. IDs are dense, starting at 0.
+type LinkID int32
+
+// CustomerID indexes a customer within a Topology.
+type CustomerID int32
+
+// Device is one network element.
+type Device struct {
+	ID   DeviceID
+	Name string
+	Role Role
+	// Attach is the hierarchy node the device belongs to (its level).
+	Attach hierarchy.Path
+	// Path is Attach extended with the device name: the location alerts
+	// from this device are attributed to.
+	Path hierarchy.Path
+	// Group names the redundancy group of devices sharing the same role
+	// at the same attachment node; the SOP engine's "other devices within
+	// this group" checks use it (§7.2).
+	Group string
+}
+
+// Link is a logical adjacency between two devices. Physically it consists
+// of Circuits parallel circuits; the whole bundle is one circuit set for
+// the evaluator's redundancy accounting (§4.3: "all links connecting
+// network devices consist of multiple circuits, each is called a circuit
+// set").
+type Link struct {
+	ID         LinkID
+	A, B       DeviceID
+	CircuitSet string
+	Circuits   int
+	// CapacityGbps is the total bundle capacity.
+	CapacityGbps float64
+	// InternetEntry marks links carrying traffic in and out of a data
+	// center (the cable bundles of §2.2's severe-failure war story).
+	InternetEntry bool
+}
+
+// Other returns the far endpoint of the link relative to d, and whether d
+// is an endpoint at all.
+func (l *Link) Other(d DeviceID) (DeviceID, bool) {
+	switch d {
+	case l.A:
+		return l.B, true
+	case l.B:
+		return l.A, true
+	default:
+		return 0, false
+	}
+}
+
+// CircuitSet groups the circuits of one link bundle together with the
+// customers whose SLA traffic rides it.
+type CircuitSet struct {
+	Name      string
+	Link      LinkID
+	Circuits  int
+	Customers []CustomerID
+}
+
+// Customer is a cloud tenant with an importance factor (g_i in Table 3).
+type Customer struct {
+	ID   CustomerID
+	Name string
+	// Importance is the factor g_i: how heavily this customer weighs in
+	// the evaluator's impact factor. Important customers have values > 1.
+	Importance float64
+	// Important mirrors the paper's "important customers" (U_k counts
+	// them); true when Importance crosses the importance threshold.
+	Important bool
+}
+
+// Topology is an immutable network instance. Build one with Generate; all
+// accessors are safe for concurrent readers.
+type Topology struct {
+	Devices   []Device
+	Links     []Link
+	Sets      map[string]*CircuitSet
+	Customers []Customer
+
+	byPath   map[hierarchy.Path]DeviceID
+	byName   map[string]DeviceID
+	adj      [][]DeviceID
+	devLinks [][]LinkID
+	groups   map[string][]DeviceID
+	clusters []hierarchy.Path
+}
+
+// NumDevices returns the device count.
+func (t *Topology) NumDevices() int { return len(t.Devices) }
+
+// NumLinks returns the link count.
+func (t *Topology) NumLinks() int { return len(t.Links) }
+
+// Device returns the device with the given ID.
+func (t *Topology) Device(id DeviceID) *Device { return &t.Devices[id] }
+
+// Link returns the link with the given ID.
+func (t *Topology) Link(id LinkID) *Link { return &t.Links[id] }
+
+// DeviceByPath resolves a device location path to the device.
+func (t *Topology) DeviceByPath(p hierarchy.Path) (*Device, bool) {
+	id, ok := t.byPath[p]
+	if !ok {
+		return nil, false
+	}
+	return &t.Devices[id], true
+}
+
+// DeviceByName resolves a globally unique device name.
+func (t *Topology) DeviceByName(name string) (*Device, bool) {
+	id, ok := t.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return &t.Devices[id], true
+}
+
+// Neighbors returns the adjacent device IDs of d. The returned slice is
+// shared; callers must not modify it.
+func (t *Topology) Neighbors(d DeviceID) []DeviceID { return t.adj[d] }
+
+// LinksOf returns the link IDs incident to d. The returned slice is
+// shared; callers must not modify it.
+func (t *Topology) LinksOf(d DeviceID) []LinkID { return t.devLinks[d] }
+
+// Group returns the members of a device redundancy group, or nil.
+func (t *Topology) Group(name string) []DeviceID { return t.groups[name] }
+
+// Clusters returns the paths of all cluster nodes, sorted. The returned
+// slice is shared; callers must not modify it.
+func (t *Topology) Clusters() []hierarchy.Path { return t.clusters }
+
+// Customer returns the customer with the given ID.
+func (t *Topology) Customer(id CustomerID) *Customer { return &t.Customers[id] }
+
+// CircuitSet returns the named circuit set, or nil.
+func (t *Topology) CircuitSet(name string) *CircuitSet { return t.Sets[name] }
+
+// CircuitSetsUnder returns the names of circuit sets with at least one
+// endpoint device located under the given hierarchy path, sorted.
+func (t *Topology) CircuitSetsUnder(p hierarchy.Path) []string {
+	var out []string
+	for name, cs := range t.Sets {
+		l := &t.Links[cs.Link]
+		if p.Contains(t.Devices[l.A].Path) || p.Contains(t.Devices[l.B].Path) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DevicesUnder returns the IDs of devices located under the given path,
+// in ID order.
+func (t *Topology) DevicesUnder(p hierarchy.Path) []DeviceID {
+	var out []DeviceID
+	for i := range t.Devices {
+		if p.Contains(t.Devices[i].Path) {
+			out = append(out, t.Devices[i].ID)
+		}
+	}
+	return out
+}
+
+// LinksUnder returns the IDs of links with at least one endpoint under the
+// given path, in ID order.
+func (t *Topology) LinksUnder(p hierarchy.Path) []LinkID {
+	var out []LinkID
+	for i := range t.Links {
+		l := &t.Links[i]
+		if p.Contains(t.Devices[l.A].Path) || p.Contains(t.Devices[l.B].Path) {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}
+
+// Adjacent reports whether two device locations are topologically adjacent
+// (directly linked). Unknown paths are never adjacent.
+func (t *Topology) Adjacent(a, b hierarchy.Path) bool {
+	da, ok := t.byPath[a]
+	if !ok {
+		return false
+	}
+	db, ok := t.byPath[b]
+	if !ok {
+		return false
+	}
+	for _, n := range t.adj[da] {
+		if n == db {
+			return true
+		}
+	}
+	return false
+}
+
+// Components partitions a set of device location paths into connected
+// components under the topology's adjacency relation. Paths that do not
+// resolve to devices each form their own singleton component. Components
+// and their members are returned in deterministic order.
+//
+// This is the "area connected to the root node of the incident tree"
+// notion of §4.2: alerts from device n, isolated from the other alerting
+// nodes, belong to a different component and hence a different incident.
+func (t *Topology) Components(paths []hierarchy.Path) [][]hierarchy.Path {
+	idx := make(map[DeviceID]int, len(paths))
+	order := make([]hierarchy.Path, 0, len(paths))
+	var nonDevices []hierarchy.Path
+	ids := make([]DeviceID, 0, len(paths))
+	seen := make(map[hierarchy.Path]bool, len(paths))
+	for _, p := range paths {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		order = append(order, p)
+		if id, ok := t.byPath[p]; ok {
+			idx[id] = len(ids)
+			ids = append(ids, id)
+		} else {
+			nonDevices = append(nonDevices, p)
+		}
+	}
+	// Union-find over the present devices.
+	parent := make([]int, len(ids))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for i, id := range ids {
+		for _, n := range t.adj[id] {
+			if j, ok := idx[n]; ok {
+				union(i, j)
+			}
+		}
+	}
+	compOf := make(map[int][]hierarchy.Path)
+	var roots []int
+	for i, id := range ids {
+		r := find(i)
+		if _, ok := compOf[r]; !ok {
+			roots = append(roots, r)
+		}
+		compOf[r] = append(compOf[r], t.Devices[id].Path)
+	}
+	out := make([][]hierarchy.Path, 0, len(roots)+len(nonDevices))
+	for _, r := range roots {
+		members := compOf[r]
+		sort.Slice(members, func(i, j int) bool { return members[i].Compare(members[j]) < 0 })
+		out = append(out, members)
+	}
+	for _, p := range nonDevices {
+		out = append(out, []hierarchy.Path{p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Compare(out[j][0]) < 0 })
+	return out
+}
+
+// Validate checks the structural invariants of the topology. Generate
+// always produces a valid topology; Validate exists for tests and for
+// externally loaded instances.
+func (t *Topology) Validate() error {
+	for i := range t.Devices {
+		d := &t.Devices[i]
+		if d.ID != DeviceID(i) {
+			return fmt.Errorf("topology: device %d has ID %d", i, d.ID)
+		}
+		if d.Name == "" {
+			return fmt.Errorf("topology: device %d has empty name", i)
+		}
+		if !d.Attach.Contains(d.Path) || d.Path.Depth() != d.Attach.Depth()+1 {
+			return fmt.Errorf("topology: device %s path %q not directly under attach %q", d.Name, d.Path, d.Attach)
+		}
+		if got, ok := t.byPath[d.Path]; !ok || got != d.ID {
+			return fmt.Errorf("topology: byPath missing device %s", d.Name)
+		}
+	}
+	for i := range t.Links {
+		l := &t.Links[i]
+		if l.ID != LinkID(i) {
+			return fmt.Errorf("topology: link %d has ID %d", i, l.ID)
+		}
+		if l.A == l.B {
+			return fmt.Errorf("topology: link %d is a self-loop on %d", i, l.A)
+		}
+		if int(l.A) >= len(t.Devices) || int(l.B) >= len(t.Devices) || l.A < 0 || l.B < 0 {
+			return fmt.Errorf("topology: link %d has out-of-range endpoint", i)
+		}
+		if l.Circuits <= 0 {
+			return fmt.Errorf("topology: link %d has %d circuits", i, l.Circuits)
+		}
+		cs, ok := t.Sets[l.CircuitSet]
+		if !ok {
+			return fmt.Errorf("topology: link %d references unknown circuit set %q", i, l.CircuitSet)
+		}
+		if cs.Link != l.ID {
+			return fmt.Errorf("topology: circuit set %q does not point back at link %d", l.CircuitSet, i)
+		}
+	}
+	for name, cs := range t.Sets {
+		if cs.Name != name {
+			return fmt.Errorf("topology: circuit set map key %q != name %q", name, cs.Name)
+		}
+		for _, c := range cs.Customers {
+			if int(c) >= len(t.Customers) || c < 0 {
+				return fmt.Errorf("topology: circuit set %q references unknown customer %d", name, c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,413 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"skynet/internal/hierarchy"
+)
+
+func small(t *testing.T) *Topology {
+	t.Helper()
+	topo, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestGenerateSmall(t *testing.T) {
+	topo := small(t)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := SmallConfig()
+	// 1 region × 2 cities: per city 2 DCBR + 1 ISP; per logic site 2 BSR
+	// (+1 RR in first LS); per site 2 CSR; per cluster 2 ISR + 4 ToR.
+	cities := cfg.Regions * cfg.CitiesPerRegion
+	ls := cities * cfg.LogicSitesPerCity
+	sites := ls * cfg.SitesPerLogicSite
+	clusters := sites * cfg.ClustersPerSite
+	want := cities*(cfg.DCBRsPerCity+1) + ls*cfg.BSRsPerLogicSite + cities /*RRs*/ +
+		sites*cfg.CSRsPerSite + clusters*(2+cfg.ToRsPerCluster)
+	if topo.NumDevices() != want {
+		t.Errorf("NumDevices = %d, want %d", topo.NumDevices(), want)
+	}
+	if len(topo.Clusters()) != clusters {
+		t.Errorf("Clusters = %d, want %d", len(topo.Clusters()), clusters)
+	}
+	if topo.NumLinks() == 0 {
+		t.Fatal("no links")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(SmallConfig())
+	b := MustGenerate(SmallConfig())
+	if a.NumDevices() != b.NumDevices() || a.NumLinks() != b.NumLinks() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range a.Devices {
+		if a.Devices[i] != b.Devices[i] {
+			t.Fatalf("device %d differs", i)
+		}
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("link %d differs", i)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := SmallConfig()
+	bad.Regions = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("Regions=0: want error")
+	}
+	bad = SmallConfig()
+	bad.ImportantCustomerRatio = 1.5
+	if _, err := Generate(bad); err == nil {
+		t.Error("ratio>1: want error")
+	}
+}
+
+func TestLookups(t *testing.T) {
+	topo := small(t)
+	d := topo.Device(0)
+	if got, ok := topo.DeviceByPath(d.Path); !ok || got.ID != d.ID {
+		t.Error("DeviceByPath failed")
+	}
+	if got, ok := topo.DeviceByName(d.Name); !ok || got.ID != d.ID {
+		t.Error("DeviceByName failed")
+	}
+	if _, ok := topo.DeviceByPath(hierarchy.MustNew("nope")); ok {
+		t.Error("unknown path resolved")
+	}
+	if _, ok := topo.DeviceByName("nope"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	topo := small(t)
+	// BFS from device 0 must reach every device: the generated network is
+	// a single connected component.
+	visited := make([]bool, topo.NumDevices())
+	queue := []DeviceID{0}
+	visited[0] = true
+	count := 1
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		for _, n := range topo.Neighbors(d) {
+			if !visited[n] {
+				visited[n] = true
+				count++
+				queue = append(queue, n)
+			}
+		}
+	}
+	if count != topo.NumDevices() {
+		t.Errorf("connected component has %d of %d devices", count, topo.NumDevices())
+	}
+}
+
+func TestGroups(t *testing.T) {
+	topo := small(t)
+	cfg := SmallConfig()
+	found := 0
+	for i := range topo.Devices {
+		d := &topo.Devices[i]
+		members := topo.Group(d.Group)
+		if len(members) == 0 {
+			t.Fatalf("device %s has empty group %q", d.Name, d.Group)
+		}
+		if d.Role == RoleCSR && len(members) != cfg.CSRsPerSite {
+			t.Errorf("CSR group size = %d, want %d", len(members), cfg.CSRsPerSite)
+		}
+		if d.Role == RoleToR {
+			found++
+			if len(members) != cfg.ToRsPerCluster {
+				t.Errorf("ToR group size = %d, want %d", len(members), cfg.ToRsPerCluster)
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no ToR devices found")
+	}
+}
+
+func TestAttachLevels(t *testing.T) {
+	topo := small(t)
+	for i := range topo.Devices {
+		d := &topo.Devices[i]
+		if d.Attach.Level() != d.Role.AttachLevel() {
+			t.Errorf("device %s (%v) attached at %v, want %v",
+				d.Name, d.Role, d.Attach.Level(), d.Role.AttachLevel())
+		}
+		if !d.Attach.Contains(d.Path) {
+			t.Errorf("device %s path not under attach", d.Name)
+		}
+	}
+}
+
+func TestInternetEntries(t *testing.T) {
+	topo := small(t)
+	cfg := SmallConfig()
+	entries := 0
+	for i := range topo.Links {
+		if topo.Links[i].InternetEntry {
+			entries++
+		}
+	}
+	want := cfg.Regions * cfg.CitiesPerRegion * cfg.InternetEntriesPerCity
+	if entries != want {
+		t.Errorf("internet entries = %d, want %d", entries, want)
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	topo := small(t)
+	l := topo.Link(0)
+	a, b := topo.Device(l.A), topo.Device(l.B)
+	if !topo.Adjacent(a.Path, b.Path) || !topo.Adjacent(b.Path, a.Path) {
+		t.Error("linked devices not adjacent")
+	}
+	if topo.Adjacent(a.Path, a.Path) {
+		t.Error("device adjacent to itself")
+	}
+	if topo.Adjacent(a.Path, hierarchy.MustNew("nope")) {
+		t.Error("unknown path adjacent")
+	}
+}
+
+func TestLinkOther(t *testing.T) {
+	topo := small(t)
+	l := topo.Link(0)
+	if got, ok := l.Other(l.A); !ok || got != l.B {
+		t.Error("Other(A) != B")
+	}
+	if got, ok := l.Other(l.B); !ok || got != l.A {
+		t.Error("Other(B) != A")
+	}
+	if _, ok := l.Other(DeviceID(999999)); ok {
+		t.Error("Other of non-endpoint resolved")
+	}
+}
+
+func TestCircuitSets(t *testing.T) {
+	topo := small(t)
+	for i := range topo.Links {
+		l := &topo.Links[i]
+		cs := topo.CircuitSet(l.CircuitSet)
+		if cs == nil {
+			t.Fatalf("link %d has no circuit set", i)
+		}
+		if cs.Circuits != l.Circuits {
+			t.Errorf("circuit count mismatch on %s", cs.Name)
+		}
+		if len(cs.Customers) == 0 {
+			t.Errorf("circuit set %s has no customers", cs.Name)
+		}
+	}
+	if topo.CircuitSet("nope") != nil {
+		t.Error("unknown circuit set resolved")
+	}
+}
+
+func TestUnderQueries(t *testing.T) {
+	topo := small(t)
+	cl := topo.Clusters()[0]
+	devs := topo.DevicesUnder(cl)
+	if len(devs) != 2+SmallConfig().ToRsPerCluster {
+		t.Errorf("devices under cluster = %d", len(devs))
+	}
+	for _, id := range devs {
+		if !cl.Contains(topo.Device(id).Path) {
+			t.Errorf("device %v not under %v", topo.Device(id).Path, cl)
+		}
+	}
+	links := topo.LinksUnder(cl)
+	if len(links) == 0 {
+		t.Error("no links under cluster")
+	}
+	sets := topo.CircuitSetsUnder(cl)
+	if len(sets) != len(links) {
+		t.Errorf("circuit sets under = %d, links under = %d", len(sets), len(links))
+	}
+	if n := topo.DevicesUnder(hierarchy.Root()); len(n) != topo.NumDevices() {
+		t.Errorf("DevicesUnder(root) = %d", len(n))
+	}
+}
+
+func TestComponentsSplitsIsolated(t *testing.T) {
+	topo := small(t)
+	// Take two ToRs in one cluster (connected via their shared ISR only if
+	// the ISR is in the set — they are NOT directly linked) and one ToR in
+	// a cluster of a different city: expect the far ToR isolated.
+	cl0 := topo.Clusters()[0]
+	var tor0, isr0 hierarchy.Path
+	for _, id := range topo.DevicesUnder(cl0) {
+		d := topo.Device(id)
+		if d.Role == RoleToR && tor0.IsRoot() {
+			tor0 = d.Path
+		}
+		if d.Role == RoleISR && isr0.IsRoot() {
+			isr0 = d.Path
+		}
+	}
+	clFar := topo.Clusters()[len(topo.Clusters())-1]
+	var torFar hierarchy.Path
+	for _, id := range topo.DevicesUnder(clFar) {
+		if d := topo.Device(id); d.Role == RoleToR {
+			torFar = d.Path
+			break
+		}
+	}
+	comps := topo.Components([]hierarchy.Path{tor0, isr0, torFar})
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2: %v", len(comps), comps)
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[2] != 1 || sizes[1] != 1 {
+		t.Errorf("component sizes wrong: %v", comps)
+	}
+}
+
+func TestComponentsNonDeviceSingleton(t *testing.T) {
+	topo := small(t)
+	sitePath := topo.Clusters()[0].Parent()
+	comps := topo.Components([]hierarchy.Path{sitePath})
+	if len(comps) != 1 || len(comps[0]) != 1 || comps[0][0] != sitePath {
+		t.Errorf("non-device path should be a singleton component: %v", comps)
+	}
+}
+
+func TestComponentsDedup(t *testing.T) {
+	topo := small(t)
+	p := topo.Device(0).Path
+	comps := topo.Components([]hierarchy.Path{p, p, p})
+	if len(comps) != 1 || len(comps[0]) != 1 {
+		t.Errorf("duplicates should collapse: %v", comps)
+	}
+}
+
+func TestPropertyComponentsPartition(t *testing.T) {
+	topo := MustGenerate(SmallConfig())
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		paths := make([]hierarchy.Path, n)
+		uniq := make(map[hierarchy.Path]bool)
+		for i := range paths {
+			paths[i] = topo.Device(DeviceID(r.Intn(topo.NumDevices()))).Path
+			uniq[paths[i]] = true
+		}
+		comps := topo.Components(paths)
+		total := 0
+		seen := make(map[hierarchy.Path]bool)
+		for _, c := range comps {
+			total += len(c)
+			for _, p := range c {
+				if seen[p] {
+					return false // appears in two components
+				}
+				seen[p] = true
+				if !uniq[p] {
+					return false // invented a member
+				}
+			}
+		}
+		return total == len(uniq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAdjacentDevicesSameComponent(t *testing.T) {
+	topo := MustGenerate(SmallConfig())
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := topo.Link(LinkID(r.Intn(topo.NumLinks())))
+		a, b := topo.Device(l.A).Path, topo.Device(l.B).Path
+		comps := topo.Components([]hierarchy.Path{a, b})
+		return len(comps) == 1 && len(comps[0]) == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	for r := RoleToR; r < numRoles; r++ {
+		if r.String() == "" {
+			t.Errorf("role %d has empty name", r)
+		}
+		if !r.AttachLevel().Valid() {
+			t.Errorf("role %v has invalid attach level", r)
+		}
+	}
+	if Role(99).String() != "role(99)" {
+		t.Error("out of range role name")
+	}
+}
+
+func TestCustomers(t *testing.T) {
+	topo := small(t)
+	importantCount := 0
+	for i := range topo.Customers {
+		c := topo.Customer(CustomerID(i))
+		if c.Importance < 1 {
+			t.Errorf("customer %d importance %v < 1", i, c.Importance)
+		}
+		if c.Important {
+			importantCount++
+			if c.Importance <= 1 {
+				t.Errorf("important customer %d has importance %v", i, c.Importance)
+			}
+		}
+	}
+	if importantCount == 0 {
+		t.Error("no important customers generated")
+	}
+}
+
+func TestProductionScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("production-scale generation skipped in -short mode")
+	}
+	topo := MustGenerate(ProductionConfig())
+	// The paper's network is O(10^5) devices; the bench substrate is one
+	// order down but must stay in O(10^4).
+	if topo.NumDevices() < 10000 || topo.NumDevices() > 50000 {
+		t.Errorf("production topology = %d devices, want O(10^4)", topo.NumDevices())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Connectivity at scale: BFS reaches everything.
+	visited := make([]bool, topo.NumDevices())
+	queue := []DeviceID{0}
+	visited[0] = true
+	count := 1
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		for _, n := range topo.Neighbors(d) {
+			if !visited[n] {
+				visited[n] = true
+				count++
+				queue = append(queue, n)
+			}
+		}
+	}
+	if count != topo.NumDevices() {
+		t.Errorf("connected %d of %d devices", count, topo.NumDevices())
+	}
+}

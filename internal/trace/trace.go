@@ -1,0 +1,172 @@
+// Package trace reads and writes alert traces: JSON Lines files of raw
+// alerts, optionally gzip-compressed. Traces decouple workload generation
+// from analysis — generate once with skynet-gen, replay many times with
+// skynet-replay or the benchmarks.
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/core"
+	"skynet/internal/ftree"
+	"skynet/internal/monitors"
+	"skynet/internal/netsim"
+	"skynet/internal/preprocess"
+	"skynet/internal/scenario"
+	"skynet/internal/topology"
+)
+
+// Write stores alerts to a file. Paths ending in ".gz" are compressed.
+func Write(path string, alerts []alert.Alert) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: close %s: %w", path, cerr)
+		}
+	}()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer func() {
+			if cerr := gz.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("trace: gzip close: %w", cerr)
+			}
+		}()
+		w = gz
+	}
+	if err := alert.WriteAll(w, alerts); err != nil {
+		return fmt.Errorf("trace: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Read loads a trace file written by Write.
+func Read(path string) ([]alert.Alert, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("trace: gzip %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	alerts, err := alert.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read %s: %w", filepath.Base(path), err)
+	}
+	return alerts, nil
+}
+
+// GenerateOptions configures synthetic trace generation.
+type GenerateOptions struct {
+	// Topology to simulate over.
+	Topology topology.Config
+	// Monitors configures the fleet.
+	Monitors monitors.Config
+	// Scenarios is how many failure scenarios to inject with the Figure 1
+	// category mix.
+	Scenarios int
+	// Spacing separates scenario start times.
+	Spacing time.Duration
+	// Window is the total simulated duration.
+	Window time.Duration
+	// Start anchors simulated time.
+	Start time.Time
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultGenerateOptions returns a small, fast workload.
+func DefaultGenerateOptions() GenerateOptions {
+	return GenerateOptions{
+		Topology:  topology.SmallConfig(),
+		Monitors:  monitors.DefaultConfig(),
+		Scenarios: 3,
+		Spacing:   20 * time.Minute,
+		Window:    time.Hour,
+		Start:     time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC),
+		Seed:      1,
+	}
+}
+
+// Generated bundles a synthetic trace with its ground truth.
+type Generated struct {
+	Alerts    []alert.Alert
+	Scenarios []scenario.Scenario
+	Topo      *topology.Topology
+}
+
+// Generate produces a raw alert trace by simulating scenarios under the
+// monitor fleet.
+func Generate(opts GenerateOptions) (*Generated, error) {
+	topo, err := topology.Generate(opts.Topology)
+	if err != nil {
+		return nil, err
+	}
+	sim := netsim.New(topo, opts.Seed)
+	gen := scenario.NewGenerator(topo, opts.Seed)
+	scs := gen.Draw(opts.Scenarios, opts.Start.Add(2*time.Minute), opts.Spacing)
+	for i := range scs {
+		if err := scs[i].Inject(sim); err != nil {
+			return nil, err
+		}
+	}
+	fleet := monitors.NewFleet(topo, opts.Monitors)
+	alerts, err := fleet.Run(sim, opts.Start, opts.Start.Add(opts.Window), opts.Monitors.PingInterval)
+	if err != nil {
+		return nil, err
+	}
+	return &Generated{Alerts: alerts, Scenarios: scs, Topo: topo}, nil
+}
+
+// Replay pushes a raw trace through a fresh engine, ticking at the given
+// cadence, and returns the engine for inspection.
+func Replay(alerts []alert.Alert, topo *topology.Topology, engineCfg core.Config, tick time.Duration) (*core.Engine, error) {
+	classifier, err := preprocessClassifier()
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(engineCfg, topo, classifier, nil, nil)
+	if len(alerts) == 0 {
+		return eng, nil
+	}
+	if tick <= 0 {
+		tick = 10 * time.Second
+	}
+	next := alerts[0].Time.Add(tick)
+	for i := range alerts {
+		for alerts[i].Time.After(next) {
+			eng.Tick(next)
+			next = next.Add(tick)
+		}
+		eng.Ingest(alerts[i])
+	}
+	end := alerts[len(alerts)-1].Time.Add(engineCfg.Locator.NodeTTL + tick)
+	for !next.After(end) {
+		eng.Tick(next)
+		next = next.Add(tick)
+	}
+	return eng, nil
+}
+
+// preprocessClassifier builds the bootstrap syslog classifier used by
+// replays (traces carry raw lines).
+func preprocessClassifier() (*ftree.Classifier, error) {
+	return preprocess.BootstrapClassifier()
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"skynet/internal/core"
+)
+
+func TestGenerateProducesGroundTruthWorkload(t *testing.T) {
+	opts := DefaultGenerateOptions()
+	opts.Window = 20 * time.Minute
+	opts.Scenarios = 2
+	opts.Spacing = 8 * time.Minute
+	g, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Alerts) == 0 {
+		t.Fatal("no alerts generated")
+	}
+	if len(g.Scenarios) != 2 {
+		t.Fatalf("scenarios = %d", len(g.Scenarios))
+	}
+	for i := 1; i < len(g.Alerts); i++ {
+		if g.Alerts[i].Time.Before(g.Alerts[i-1].Time) {
+			t.Fatal("trace not time-ordered")
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	opts := DefaultGenerateOptions()
+	opts.Window = 10 * time.Minute
+	opts.Scenarios = 1
+	g, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"trace.jsonl", "trace.jsonl.gz"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := Write(path, g.Alerts); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := Read(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(g.Alerts) {
+			t.Errorf("%s: read %d of %d", name, len(got), len(g.Alerts))
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read("/nonexistent/path.jsonl"); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.gz")
+	if err := Write(bad, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Valid but empty gz reads back as empty, no error.
+	if got, err := Read(bad); err != nil || len(got) != 0 {
+		t.Errorf("empty gz: %v %d", err, len(got))
+	}
+}
+
+func TestReplayDetectsScenarios(t *testing.T) {
+	opts := DefaultGenerateOptions()
+	opts.Window = 25 * time.Minute
+	opts.Scenarios = 1
+	opts.Monitors.NoisePerHour = 0
+	g, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Replay(g.Alerts, g.Topo, core.DefaultConfig(), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := eng.AllIncidents()
+	if len(all) == 0 {
+		t.Fatal("replay produced no incidents")
+	}
+	sc := g.Scenarios[0]
+	matched := false
+	for _, in := range all {
+		end := in.UpdateTime
+		if sc.Matches(in.Root, in.Start, end) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		t.Errorf("scenario %s (truth %v) not matched by any incident", sc.Name, sc.Truth)
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	eng, err := Replay(nil, nil, core.DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.AllIncidents()) != 0 {
+		t.Error("empty replay produced incidents")
+	}
+}

@@ -1,0 +1,156 @@
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"skynet/internal/topology"
+)
+
+// SVG renders the voting graph as a self-contained SVG document with a
+// layered layout: device roles stack by their hierarchy attachment (DCBR
+// and ISP at the top, ToR at the bottom), edges connect linked devices,
+// and fill color encodes the vote score — the browser-native equivalent of
+// the Figure 11 frontend.
+func (g *Graph) SVG() string {
+	ranked := g.Ranked()
+	include := map[topology.DeviceID]bool{}
+	for _, v := range ranked {
+		include[v.Device.ID] = true
+		for _, nb := range g.topo.Neighbors(v.Device.ID) {
+			if _, ok := g.votes[nb]; ok {
+				include[nb] = true
+			}
+		}
+	}
+	if len(include) == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="320" height="60">` +
+			`<text x="10" y="35" font-family="monospace">no votes in incident scope</text></svg>`
+	}
+
+	// Layered layout by role tier.
+	tierOf := func(r topology.Role) int {
+		switch r {
+		case topology.RoleISP:
+			return 0
+		case topology.RoleDCBR:
+			return 1
+		case topology.RoleBSR, topology.RoleReflector:
+			return 2
+		case topology.RoleCSR:
+			return 3
+		case topology.RoleISR:
+			return 4
+		default:
+			return 5 // ToR
+		}
+	}
+	tiers := map[int][]topology.DeviceID{}
+	for id := range include {
+		t := tierOf(g.topo.Device(id).Role)
+		tiers[t] = append(tiers[t], id)
+	}
+	const (
+		boxW, boxH   = 150, 34
+		hGap, vGap   = 18, 56
+		marginX      = 20
+		marginY      = 20
+		labelPadding = 6
+	)
+	pos := map[topology.DeviceID][2]int{}
+	width := 0
+	tierKeys := make([]int, 0, len(tiers))
+	for t := range tiers {
+		tierKeys = append(tierKeys, t)
+	}
+	sort.Ints(tierKeys)
+	for row, t := range tierKeys {
+		ids := tiers[t]
+		sort.Slice(ids, func(a, b int) bool {
+			return g.topo.Device(ids[a]).Name < g.topo.Device(ids[b]).Name
+		})
+		for col, id := range ids {
+			x := marginX + col*(boxW+hGap)
+			y := marginY + row*(boxH+vGap)
+			pos[id] = [2]int{x, y}
+			if x+boxW+marginX > width {
+				width = x + boxW + marginX
+			}
+		}
+	}
+	height := marginY + len(tierKeys)*(boxH+vGap)
+
+	maxScore := 0
+	if len(ranked) > 0 {
+		maxScore = ranked[0].Score()
+	}
+	fill := func(score int) string {
+		switch {
+		case maxScore > 0 && score == maxScore:
+			return "#e0523f" // prime suspect
+		case maxScore > 0 && score > maxScore/2:
+			return "#e8913f"
+		case score > 0:
+			return "#e4c33f"
+		default:
+			return "#e8edf2"
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="10">`,
+		width, height)
+	b.WriteString("\n")
+	// Edges first so boxes draw over them.
+	seen := map[[2]topology.DeviceID]bool{}
+	for id := range include {
+		for _, lid := range g.topo.LinksOf(id) {
+			l := g.topo.Link(lid)
+			other, _ := l.Other(id)
+			if !include[other] {
+				continue
+			}
+			key := [2]topology.DeviceID{id, other}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			p1, p2 := pos[key[0]], pos[key[1]]
+			fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#9aa7b3" stroke-width="1"/>`,
+				p1[0]+boxW/2, p1[1]+boxH/2, p2[0]+boxW/2, p2[1]+boxH/2)
+			b.WriteString("\n")
+		}
+	}
+	// Nodes.
+	ids := make([]topology.DeviceID, 0, len(include))
+	for id := range include {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		v := g.votes[id]
+		p := pos[id]
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" rx="4" fill="%s" stroke="#33414e"/>`,
+			p[0], p[1], boxW, boxH, fill(v.Score()))
+		b.WriteString("\n")
+		name := v.Device.Name
+		if len(name) > 22 {
+			name = name[len(name)-22:]
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`, p[0]+labelPadding, p[1]+14, escapeXML(name))
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s votes=%d</text>`,
+			p[0]+labelPadding, p[1]+27, v.Device.Role, v.Score())
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,214 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/incident"
+	"skynet/internal/topology"
+)
+
+var epoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+func setup(t *testing.T) (*topology.Topology, *incident.Incident, *topology.Device) {
+	t.Helper()
+	topo := topology.MustGenerate(topology.SmallConfig())
+	// Incident at a cluster; the faulty device is one ISR.
+	cl := topo.Clusters()[0]
+	var isr *topology.Device
+	for _, id := range topo.DevicesUnder(cl) {
+		if topo.Device(id).Role == topology.RoleISR {
+			isr = topo.Device(id)
+			break
+		}
+	}
+	in := incident.New(1, cl)
+	in.Add(alert.Alert{
+		Source: alert.SourcePing, Type: alert.TypePacketLoss, Class: alert.ClassFailure,
+		Time: epoch, End: epoch, Location: isr.Path, Value: 0.4, Count: 5,
+	})
+	in.Add(alert.Alert{
+		Source: alert.SourceSyslog, Type: alert.TypeHardwareError, Class: alert.ClassRootCause,
+		Time: epoch, End: epoch, Location: isr.Path, Count: 2,
+	})
+	// A neighbor ToR logs a link-down toward the ISR.
+	var tor *topology.Device
+	for _, id := range topo.Neighbors(isr.ID) {
+		if topo.Device(id).Role == topology.RoleToR {
+			tor = topo.Device(id)
+			break
+		}
+	}
+	in.Add(alert.Alert{
+		Source: alert.SourceSyslog, Type: alert.TypeLinkDown, Class: alert.ClassRootCause,
+		Time: epoch, End: epoch, Location: tor.Path, Count: 1,
+	})
+	return topo, in, isr
+}
+
+func TestVotingFindsCulprit(t *testing.T) {
+	topo, in, isr := setup(t)
+	g := Build(topo, in)
+	suspect := g.PrimeSuspect()
+	if suspect == nil {
+		t.Fatal("no suspect")
+	}
+	if suspect.ID != isr.ID {
+		t.Errorf("suspect = %s, want %s", suspect.Name, isr.Name)
+	}
+	ranked := g.Ranked()
+	if len(ranked) < 2 {
+		t.Fatalf("ranking too small: %d", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score() > ranked[i-1].Score() {
+			t.Error("ranking not descending")
+		}
+	}
+	// The culprit's self votes must reflect its alert counts (5+2).
+	if ranked[0].Self != 7 {
+		t.Errorf("self votes = %d, want 7", ranked[0].Self)
+	}
+}
+
+func TestNeighborVotes(t *testing.T) {
+	topo, in, isr := setup(t)
+	g := Build(topo, in)
+	// Every neighbor of the faulty ISR inside the cluster received its 7
+	// votes as neighbor votes.
+	for _, nb := range topo.Neighbors(isr.ID) {
+		v, ok := g.votes[nb]
+		if !ok {
+			continue // outside the incident scope (e.g. CSRs at site level)
+		}
+		if v.Neighbor < 7 {
+			t.Errorf("neighbor %s got %d votes, want ≥ 7", v.Device.Name, v.Neighbor)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	topo, in, isr := setup(t)
+	g := Build(topo, in)
+	dot := g.DOT()
+	if !strings.HasPrefix(dot, "graph incident {") || !strings.HasSuffix(dot, "}\n") {
+		t.Error("malformed DOT envelope")
+	}
+	if !strings.Contains(dot, isr.Name) {
+		t.Error("culprit missing from DOT")
+	}
+	if !strings.Contains(dot, "fillcolor=red") {
+		t.Error("top suspect not highlighted red")
+	}
+	if !strings.Contains(dot, " -- ") {
+		t.Error("no edges drawn")
+	}
+}
+
+func TestTableOutput(t *testing.T) {
+	topo, in, isr := setup(t)
+	g := Build(topo, in)
+	table := g.Table()
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) < 2 {
+		t.Fatal("table too short")
+	}
+	if !strings.Contains(lines[0], "SCORE") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(lines[1], isr.Name) {
+		t.Error("top row is not the culprit")
+	}
+}
+
+func TestEmptyIncident(t *testing.T) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	in := incident.New(1, topo.Clusters()[0])
+	g := Build(topo, in)
+	if g.PrimeSuspect() != nil {
+		t.Error("empty incident has a suspect")
+	}
+	if dot := g.DOT(); !strings.Contains(dot, "graph incident {") {
+		t.Error("empty DOT malformed")
+	}
+	if len(g.Ranked()) != 0 {
+		t.Error("empty incident has ranked votes")
+	}
+}
+
+func TestAreaAlertsIgnoredGracefully(t *testing.T) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	cl := topo.Clusters()[0]
+	in := incident.New(1, cl)
+	in.Add(alert.Alert{ // area-located alert: no specific device
+		Source: alert.SourcePing, Type: alert.TypePacketLoss, Class: alert.ClassFailure,
+		Time: epoch, End: epoch, Location: cl, Value: 0.2, Count: 3,
+	})
+	g := Build(topo, in)
+	if g.PrimeSuspect() != nil {
+		t.Error("area alert should not produce a device suspect")
+	}
+}
+
+func TestReflectorCase(t *testing.T) {
+	// The §7.1 anecdote: a logic-site incident whose highest-voted device
+	// is a route reflector — an unusual device at that level.
+	topo := topology.MustGenerate(topology.SmallConfig())
+	var rr *topology.Device
+	for i := range topo.Devices {
+		if topo.Devices[i].Role == topology.RoleReflector {
+			rr = &topo.Devices[i]
+			break
+		}
+	}
+	if rr == nil {
+		t.Fatal("no reflector in topology")
+	}
+	in := incident.New(1, rr.Attach) // logic-site scope
+	in.Add(alert.Alert{
+		Source: alert.SourceSyslog, Type: alert.TypeSoftwareError, Class: alert.ClassRootCause,
+		Time: epoch, End: epoch, Location: rr.Path, Count: 9,
+	})
+	for _, nb := range topo.Neighbors(rr.ID) {
+		in.Add(alert.Alert{
+			Source: alert.SourceSyslog, Type: alert.TypeBGPPeerDown, Class: alert.ClassAbnormal,
+			Time: epoch, End: epoch, Location: topo.Device(nb).Path, Count: 1,
+		})
+	}
+	g := Build(topo, in)
+	if s := g.PrimeSuspect(); s == nil || s.ID != rr.ID {
+		t.Errorf("reflector not identified: %v", s)
+	}
+}
+
+func TestSVGOutput(t *testing.T) {
+	topo, in, isr := setup(t)
+	g := Build(topo, in)
+	svg := g.SVG()
+	if !strings.HasPrefix(svg, `<svg xmlns="http://www.w3.org/2000/svg"`) {
+		t.Fatal("not an SVG document")
+	}
+	// The prime suspect is drawn with the alarm fill.
+	if !strings.Contains(svg, "#e0523f") {
+		t.Error("prime suspect not highlighted")
+	}
+	if !strings.Contains(svg, isr.Name[len(isr.Name)-10:]) {
+		t.Error("culprit label missing")
+	}
+	if !strings.Contains(svg, "<line ") {
+		t.Error("no edges drawn")
+	}
+	// Empty graph degrades gracefully.
+	empty := Build(topo, incident.New(9, topo.Clusters()[0]))
+	if !strings.Contains(empty.SVG(), "no votes") {
+		t.Error("empty SVG placeholder missing")
+	}
+}
+
+func TestSVGEscapesNames(t *testing.T) {
+	if escapeXML(`a<b>&"c`) != "a&lt;b&gt;&amp;&quot;c" {
+		t.Errorf("escape = %q", escapeXML(`a<b>&"c`))
+	}
+}

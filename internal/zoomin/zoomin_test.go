@@ -1,0 +1,223 @@
+package zoomin
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+	"skynet/internal/incident"
+)
+
+var epoch = time.Date(2024, 7, 2, 11, 45, 0, 0, time.UTC)
+
+func cluster(i int) hierarchy.Path {
+	return hierarchy.MustNew("RG01", "CT01", "LS01", "ST01", fmt.Sprintf("CL%02d", i))
+}
+
+// figure7Samples reproduces the Figure 7 matrix: cluster 2 is the hot
+// spot — its row and column are dark, everything else is clean.
+func figure7Samples(n int, hot int, loss float64) []Sample {
+	var out []Sample
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			l := 0.0
+			if i == hot || j == hot {
+				l = loss
+			}
+			out = append(out, Sample{Src: cluster(i), Dst: cluster(j), Loss: l})
+		}
+	}
+	return out
+}
+
+func TestBuildMatrixBasics(t *testing.T) {
+	samples := figure7Samples(4, 2, 0.1)
+	m := BuildMatrix(samples, hierarchy.LevelCluster)
+	if m.Size() != 4 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	if got := m.Loss(cluster(0), cluster(2)); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("Loss(0,2) = %v", got)
+	}
+	if got := m.Loss(cluster(0), cluster(1)); got != 0 {
+		t.Errorf("Loss(0,1) = %v, want 0", got)
+	}
+	if got := m.Loss(hierarchy.MustNew("nope"), cluster(1)); got != 0 {
+		t.Errorf("unknown src loss = %v", got)
+	}
+	if len(m.Locations()) != 4 {
+		t.Error("locations wrong")
+	}
+}
+
+func TestMatrixAggregation(t *testing.T) {
+	// Two clusters in the same site collapse to one site-level index.
+	samples := []Sample{
+		{Src: cluster(1), Dst: cluster(2), Loss: 0.5},
+	}
+	m := BuildMatrix(samples, hierarchy.LevelSite)
+	if m.Size() != 1 {
+		t.Errorf("site-level size = %d, want 1 (self-cell dropped)", m.Size())
+	}
+	// At cluster level they are distinct.
+	m2 := BuildMatrix(samples, hierarchy.LevelCluster)
+	if m2.Size() != 2 {
+		t.Errorf("cluster-level size = %d", m2.Size())
+	}
+}
+
+func TestMatrixMeansCells(t *testing.T) {
+	samples := []Sample{
+		{Src: cluster(1), Dst: cluster(2), Loss: 0.2},
+		{Src: cluster(1), Dst: cluster(2), Loss: 0.4},
+	}
+	m := BuildMatrix(samples, hierarchy.LevelCluster)
+	if got := m.Loss(cluster(1), cluster(2)); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("mean = %v, want 0.3", got)
+	}
+}
+
+func TestFocalPointFindsHotSpot(t *testing.T) {
+	m := BuildMatrix(figure7Samples(6, 2, 0.12), hierarchy.LevelCluster)
+	focal, ok := m.FocalPoint(DefaultConfig())
+	if !ok {
+		t.Fatal("no focal point in a textbook Figure 7 matrix")
+	}
+	if focal != cluster(2) {
+		t.Errorf("focal = %v, want %v", focal, cluster(2))
+	}
+}
+
+func TestFocalPointRejectsUniformChaos(t *testing.T) {
+	// Everything lossy: no single location dominates.
+	var samples []Sample
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j {
+				samples = append(samples, Sample{Src: cluster(i), Dst: cluster(j), Loss: 0.2})
+			}
+		}
+	}
+	m := BuildMatrix(samples, hierarchy.LevelCluster)
+	if _, ok := m.FocalPoint(DefaultConfig()); ok {
+		t.Error("uniform chaos should not produce a focal point")
+	}
+}
+
+func TestFocalPointCleanMatrix(t *testing.T) {
+	m := BuildMatrix(figure7Samples(4, 2, 0.001), hierarchy.LevelCluster) // below DarkLoss
+	if _, ok := m.FocalPoint(DefaultConfig()); ok {
+		t.Error("clean matrix should have no focal point")
+	}
+	empty := BuildMatrix(nil, hierarchy.LevelCluster)
+	if _, ok := empty.FocalPoint(DefaultConfig()); ok {
+		t.Error("empty matrix should have no focal point")
+	}
+}
+
+func mkEntry(src alert.Source, typ string, loc hierarchy.Path) alert.Alert {
+	return alert.Alert{
+		Source: src, Type: typ, Class: alert.Classify(src, typ),
+		Time: epoch, End: epoch, Location: loc, Count: 1,
+	}
+}
+
+func TestRefineMatrixWins(t *testing.T) {
+	site := cluster(0).Parent()
+	in := incident.New(1, site)
+	in.Add(mkEntry(alert.SourcePing, alert.TypePacketLoss, site))
+	mech := NewRefiner(DefaultConfig()).Refine(in, figure7Samples(6, 3, 0.15))
+	if mech != "matrix" {
+		t.Fatalf("mechanism = %q, want matrix", mech)
+	}
+	if in.Zoomed != cluster(3) {
+		t.Errorf("zoomed = %v, want %v", in.Zoomed, cluster(3))
+	}
+}
+
+func TestRefineINTWins(t *testing.T) {
+	dev := cluster(1).MustChild("dev-x")
+	in := incident.New(1, cluster(1))
+	in.Add(mkEntry(alert.SourceINT, alert.TypeINTRateMismatch, dev))
+	mech := NewRefiner(DefaultConfig()).Refine(in, nil)
+	if mech != "int" || in.Zoomed != dev {
+		t.Errorf("mechanism=%q zoomed=%v", mech, in.Zoomed)
+	}
+}
+
+func TestRefineINTAmbiguousFallsThrough(t *testing.T) {
+	in := incident.New(1, cluster(1).Parent())
+	in.Add(mkEntry(alert.SourceINT, alert.TypeINTRateMismatch, cluster(1).MustChild("dev-a")))
+	in.Add(mkEntry(alert.SourceINT, alert.TypeINTRateMismatch, cluster(2).MustChild("dev-b")))
+	// Two sFlow loss locations share the site ancestor... but that equals
+	// the root, so nothing refines.
+	mech := NewRefiner(DefaultConfig()).Refine(in, nil)
+	if mech != "" || !in.Zoomed.IsRoot() {
+		t.Errorf("ambiguous INT should not zoom: mech=%q zoomed=%v", mech, in.Zoomed)
+	}
+}
+
+func TestRefineSFlowTraceback(t *testing.T) {
+	site := cluster(0).Parent()
+	in := incident.New(1, site.Parent()) // logic-site root
+	devA := cluster(0).MustChild("dev-a")
+	devB := cluster(0).MustChild("dev-b")
+	in.Add(mkEntry(alert.SourceTraffic, alert.TypePacketLoss, devA))
+	in.Add(mkEntry(alert.SourceTraffic, alert.TypePacketLoss, devB))
+	mech := NewRefiner(DefaultConfig()).Refine(in, nil)
+	if mech != "sflow" {
+		t.Fatalf("mechanism = %q, want sflow", mech)
+	}
+	if in.Zoomed != cluster(0) {
+		t.Errorf("zoomed = %v, want common ancestor %v", in.Zoomed, cluster(0))
+	}
+}
+
+func TestRefineNothingApplicable(t *testing.T) {
+	in := incident.New(1, cluster(0))
+	in.Add(mkEntry(alert.SourceSyslog, alert.TypeLinkDown, cluster(0).MustChild("d")))
+	mech := NewRefiner(DefaultConfig()).Refine(in, nil)
+	if mech != "" || !in.Zoomed.IsRoot() {
+		t.Errorf("nothing should refine: mech=%q zoomed=%v", mech, in.Zoomed)
+	}
+}
+
+func TestRefineIgnoresFocalOutsideRoot(t *testing.T) {
+	// Focal point in a different site than the incident: matrix evidence
+	// is irrelevant, no zoom from it.
+	otherSite := hierarchy.MustNew("RG01", "CT01", "LS01", "ST09")
+	in := incident.New(1, otherSite)
+	in.Add(mkEntry(alert.SourcePing, alert.TypePacketLoss, otherSite))
+	mech := NewRefiner(DefaultConfig()).Refine(in, figure7Samples(6, 3, 0.15))
+	if mech == "matrix" {
+		t.Error("matrix focal point outside the incident root must be ignored")
+	}
+}
+
+func TestMatrixRender(t *testing.T) {
+	m := BuildMatrix(figure7Samples(4, 2, 0.12), hierarchy.LevelCluster)
+	out := m.Render(DefaultConfig())
+	if !strings.Contains(out, "src\\dst") {
+		t.Error("missing header")
+	}
+	// Dark cells are bracketed; the hot cluster's row and column carry
+	// them.
+	if !strings.Contains(out, "[12.00]") {
+		t.Errorf("missing dark cell:\n%s", out)
+	}
+	// Diagonal renders as '-'.
+	if !strings.Contains(out, "-") {
+		t.Error("missing diagonal")
+	}
+	empty := BuildMatrix(nil, hierarchy.LevelCluster)
+	if !strings.Contains(empty.Render(DefaultConfig()), "empty") {
+		t.Error("empty matrix render")
+	}
+}

@@ -1,0 +1,116 @@
+package skynet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skynet/internal/hierarchy"
+)
+
+// TestFacadeQuickstart exercises the documented public-API flow end to
+// end: generate, inject, run, read ranked incidents.
+func TestFacadeQuickstart(t *testing.T) {
+	t0 := time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+	topo := GenerateTopology(SmallTopology())
+	runner, err := NewRunner(topo, DefaultEngineConfig(), DefaultMonitorConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	city := topo.Clusters()[0].Truncate(hierarchy.LevelCity)
+	runner.Sim.MustInject(Fault{
+		Kind: FaultFiberBundleCut, Location: city, Magnitude: 0.5,
+		Start: t0.Add(time.Minute), End: t0.Add(20 * time.Minute),
+	})
+	if _, err := runner.Run(t0, t0.Add(8*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	severe := runner.Engine.Severe()
+	if len(severe) == 0 {
+		t.Fatal("no severe incidents from the quickstart scenario")
+	}
+	report := severe[0].Render()
+	if !strings.Contains(report, "Incident") {
+		t.Errorf("render: %q", report)
+	}
+	g := BuildVotingGraph(topo, severe[0])
+	if g == nil {
+		t.Fatal("no voting graph")
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	p, err := ParsePath("RG01|CT01")
+	if err != nil || p.Depth() != 2 {
+		t.Fatalf("ParsePath: %v %v", p, err)
+	}
+	if MustPath("a", "b") != mustParse(t, "a|b") {
+		t.Error("MustPath mismatch")
+	}
+	th, err := ParseThresholds("2/1+2/5")
+	if err != nil || th != ProductionThresholds() {
+		t.Errorf("thresholds: %v %v", th, err)
+	}
+	if _, err := BootstrapClassifier(); err != nil {
+		t.Fatal(err)
+	}
+	if DefaultOperatorModel().Repair <= 0 {
+		t.Error("operator model zero")
+	}
+	if DefaultIngestConfig().MaxConns <= 0 {
+		t.Error("ingest config zero")
+	}
+	if ProductionTopology().Regions <= SmallTopology().Regions {
+		t.Error("production topology should be bigger")
+	}
+}
+
+func mustParse(t *testing.T, s string) Path {
+	t.Helper()
+	p, err := ParsePath(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	opts := DefaultTraceOptions()
+	opts.Window = 10 * time.Minute
+	opts.Scenarios = 1
+	g, err := GenerateTrace(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ReplayTrace(g.Alerts, g.Topo, DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.RawIngested() != len(g.Alerts) {
+		t.Errorf("replayed %d of %d", eng.RawIngested(), len(g.Alerts))
+	}
+}
+
+func TestFacadeRankAndSeverity(t *testing.T) {
+	t0 := time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+	topo := GenerateTopology(SmallTopology())
+	scs := DDoSMultiSite(topo, 2, t0.Add(time.Minute))
+	runner, err := NewRunner(topo, DefaultEngineConfig(), DefaultMonitorConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		if err := sc.Inject(runner.Sim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := runner.Run(t0, t0.Add(8*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	ranked := Rank(runner.Engine.Active())
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Severity > ranked[i-1].Severity {
+			t.Error("rank order broken")
+		}
+	}
+}
