@@ -11,6 +11,8 @@ package skynet
 // implementation's own performance.
 
 import (
+	"flag"
+	"os"
 	"testing"
 	"time"
 
@@ -24,6 +26,7 @@ import (
 	"skynet/internal/monitors"
 	"skynet/internal/netsim"
 	"skynet/internal/preprocess"
+	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 )
 
@@ -201,6 +204,67 @@ func buildBenchIncident(topo *topology.Topology, alerts []alert.Alert) *Incident
 		}
 	}
 	return in
+}
+
+// --- Telemetry overhead ---
+
+// telemetryDump, when set, writes the Prometheus text snapshot
+// accumulated by the instrumented benchmarks to the given file:
+//
+//	go test -bench=EngineTick -telemetrydump=telemetry.prom
+var telemetryDump = flag.String("telemetrydump", "",
+	"write a Prometheus text snapshot of benchmark telemetry to this file")
+
+// benchEngineTick drives the engine through repeated ingest+tick rounds
+// over a severe-failure alert batch. With a nil registry it measures the
+// bare pipeline; with one attached it measures the instrumented path, so
+// the pair bounds the telemetry overhead.
+func benchEngineTick(b *testing.B, reg *telemetry.Registry, journal *telemetry.Journal) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
+	classifier, err := preprocess.BootstrapClassifier()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.NewEngine(core.DefaultConfig(), topo, classifier, nil, nil)
+	if reg != nil || journal != nil {
+		eng.EnableTelemetry(reg, journal)
+	}
+	now := benchEpoch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range alerts {
+			a := alerts[j]
+			a.Time = now.Add(time.Duration(j%10) * time.Second)
+			eng.Ingest(a)
+		}
+		now = now.Add(10 * time.Second)
+		eng.Tick(now)
+	}
+	b.ReportMetric(float64(len(alerts)), "alerts/tick")
+}
+
+// BenchmarkEngineTick measures an uninstrumented ingest+tick round.
+func BenchmarkEngineTick(b *testing.B) { benchEngineTick(b, nil, nil) }
+
+// BenchmarkEngineTickTelemetry is BenchmarkEngineTick with the metrics
+// registry and lifecycle journal attached; the delta between the two is
+// the telemetry cost per tick (acceptance bound: within 5%).
+func BenchmarkEngineTickTelemetry(b *testing.B) {
+	reg := telemetry.New()
+	benchEngineTick(b, reg, telemetry.NewJournal(0))
+	if *telemetryDump == "" {
+		return
+	}
+	f, err := os.Create(*telemetryDump)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := reg.Expose(f); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("telemetry snapshot written to %s", *telemetryDump)
 }
 
 // BenchmarkWireCodec measures the UDP wire format round trip.

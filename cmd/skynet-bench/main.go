@@ -14,12 +14,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"skynet/internal/core"
 	"skynet/internal/experiments"
+	"skynet/internal/telemetry"
 	"skynet/internal/topology"
+	"skynet/internal/trace"
 )
 
 func main() {
@@ -30,6 +34,8 @@ func main() {
 		window    = flag.Duration("window", 12*time.Minute, "observation window per scenario")
 		seed      = flag.Int64("seed", 1, "random seed")
 		scale     = flag.String("scale", "small", "topology scale: small or production")
+		telDump   = flag.String("telemetry", "",
+			`dump a telemetry snapshot from an instrumented replay ("-" for stdout, else a file)`)
 	)
 	flag.Parse()
 
@@ -75,4 +81,45 @@ func main() {
 	}
 	fmt.Printf("completed in %v (scenarios=%d, scale=%s, seed=%d)\n",
 		time.Since(start).Round(time.Millisecond), opts.Scenarios, *scale, *seed)
+
+	if *telDump != "" {
+		if err := dumpTelemetry(*telDump, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-bench: telemetry dump: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpTelemetry replays a freshly generated severe-failure trace with the
+// telemetry registry and journal attached, then writes the resulting
+// Prometheus text snapshot — funnel counters, per-stage histograms,
+// incident gauges, and replay throughput — to dst.
+func dumpTelemetry(dst string, opts experiments.Options) error {
+	gen := trace.DefaultGenerateOptions()
+	gen.Topology = opts.Topology
+	gen.Seed = opts.Seed
+	gen.Scenarios = 2
+	gen.Window = opts.Window
+	g, err := trace.Generate(gen)
+	if err != nil {
+		return err
+	}
+	reg := telemetry.New()
+	journal := telemetry.NewJournal(0)
+	journal.RegisterMetrics(reg)
+	if _, err := trace.ReplayWithOptions(g.Alerts, g.Topo, core.DefaultConfig(),
+		trace.ReplayOptions{Telemetry: reg, Journal: journal}); err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if dst != "-" {
+		f, err := os.Create(dst)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+		fmt.Printf("telemetry snapshot written to %s\n", dst)
+	}
+	return reg.Expose(w)
 }

@@ -6,16 +6,24 @@
 //
 //	skynet-replay -trace trace.jsonl.gz
 //	skynet-replay -trace trace.jsonl.gz -thresholds 2/1+2/6 -severity 0
+//	skynet-replay -trace trace.jsonl.gz -stats
+//
+// With -stats, the replay runs instrumented and a per-stage timing table
+// plus the volume funnel (raw → structured → consolidated → incidents)
+// follow the reports.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"time"
 
 	"skynet/internal/core"
 	"skynet/internal/evaluator"
 	"skynet/internal/locator"
+	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 	"skynet/internal/trace"
 )
@@ -29,6 +37,8 @@ func main() {
 			"incident thresholds in A/B+C/D notation")
 		severity = flag.Float64("severity", evaluator.DefaultConfig().SeverityThreshold,
 			"severity filter (0 shows everything)")
+		showStats = flag.Bool("stats", false,
+			"print per-stage timing and the volume funnel after replay")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -64,7 +74,14 @@ func main() {
 	cfg.Locator.Thresholds = th
 	cfg.Evaluator.SeverityThreshold = *severity
 
-	eng, err := trace.Replay(alerts, topo, cfg, 0)
+	var reg *telemetry.Registry
+	var journal *telemetry.Journal
+	if *showStats {
+		reg = telemetry.New()
+		journal = telemetry.NewJournal(0)
+	}
+	eng, err := trace.ReplayWithOptions(alerts, topo, cfg,
+		trace.ReplayOptions{Telemetry: reg, Journal: journal})
 	if err != nil {
 		fatal(err)
 	}
@@ -83,6 +100,78 @@ func main() {
 	}
 	if shown == 0 {
 		fmt.Printf("no incidents at or above severity %.1f (rerun with -severity 0 to see all)\n", *severity)
+	}
+	if *showStats {
+		printStats(eng, reg, journal)
+	}
+}
+
+// printStats renders the -stats report: the volume funnel of Fig. 5a and
+// the per-stage tick timings accumulated by the telemetry registry.
+func printStats(eng *core.Engine, reg *telemetry.Registry, journal *telemetry.Journal) {
+	st := eng.PreprocessStats()
+	active := len(eng.Active())
+	closed := len(eng.Closed())
+	structured := st.In - st.DroppedUnclassified
+
+	fmt.Println("\n== funnel: raw → structured → consolidated → incidents ==")
+	fmt.Printf("  raw alerts          %d\n", st.In)
+	fmt.Printf("  structured          %d  (%d syslog lines unclassified)\n", structured, st.DroppedUnclassified)
+	fmt.Printf("  consolidated        %d  (%s reduction: %d deduplicated, %d sporadic, %d related, %d uncorroborated)\n",
+		st.Out, reduction(st.In, st.Out), st.Deduplicated, st.DroppedSporadic, st.DroppedRelated, st.DroppedUncorroborated)
+	fmt.Printf("  incidents           %d  (%d active, %d closed)\n", active+closed, active, closed)
+	if journal != nil {
+		fmt.Printf("  lifecycle events    %d\n", len(journal.Events()))
+	}
+
+	snaps := map[string]telemetry.MetricSnapshot{}
+	for _, m := range reg.Snapshot() {
+		snaps[m.Name] = m
+	}
+	fmt.Println("\n== per-stage timing (per tick) ==")
+	fmt.Printf("  %-12s %8s %10s %10s %10s %12s\n", "stage", "ticks", "mean", "p50", "p90", "total")
+	for _, row := range []struct{ label, metric string }{
+		{"preprocess", "skynet_stage_preprocess_seconds"},
+		{"locate", "skynet_stage_locate_seconds"},
+		{"evaluate", "skynet_stage_evaluate_seconds"},
+		{"sop", "skynet_stage_sop_seconds"},
+		{"full tick", "skynet_tick_seconds"},
+	} {
+		h := snaps[row.metric].Hist
+		if h == nil {
+			continue
+		}
+		fmt.Printf("  %-12s %8d %10s %10s %10s %12s\n", row.label, h.Count,
+			fmtSeconds(h.Mean()), fmtSeconds(h.Quantile(0.5)), fmtSeconds(h.Quantile(0.9)), fmtSeconds(h.Sum))
+	}
+	if v, ok := snaps["skynet_replay_alerts_per_second"]; ok && v.Value > 0 {
+		fmt.Printf("\nreplay throughput: %s alerts/s (%s wall)\n",
+			fmtCount(v.Value), fmtSeconds(snaps["skynet_replay_seconds"].Value))
+	}
+}
+
+func reduction(in, out int) string {
+	if in == 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*(1-float64(out)/float64(in)))
+}
+
+func fmtSeconds(s float64) string {
+	if math.IsInf(s, 1) {
+		return ">10s"
+	}
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+func fmtCount(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
 	}
 }
 

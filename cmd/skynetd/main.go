@@ -27,6 +27,7 @@ import (
 	"skynet/internal/ingest"
 	"skynet/internal/preprocess"
 	"skynet/internal/status"
+	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 )
 
@@ -39,6 +40,7 @@ func main() {
 		scale    = flag.String("scale", "", "optional synthetic topology: small or production")
 		topoFile = flag.String("topo", "", "optional topology JSON file (overrides -scale)")
 		seed     = flag.Int64("seed", 1, "topology seed")
+		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof on the HTTP status server")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -82,9 +84,21 @@ func main() {
 	// engineMu serializes the main loop and the HTTP status handlers.
 	var engineMu sync.Mutex
 
+	// Telemetry: the registry backs GET /metrics, the journal backs
+	// GET /api/journal.
+	reg := telemetry.New()
+	journal := telemetry.NewJournal(0)
+	engine.EnableTelemetry(reg, journal)
+	journal.RegisterMetrics(reg)
+	shed := reg.Counter("skynet_engine_queue_shed_total",
+		"Alerts shed between the ingest dispatcher and the engine loop.")
+
 	// The ingest handler only buffers into a channel; the main loop owns
 	// engine mutation under engineMu, shared with the HTTP handlers.
+	// Alerts that do not fit are shed rather than stalling the listeners
+	// — but counted and warned about, never silently dropped.
 	in := make(chan alert.Alert, 4096)
+	var lastShedWarn time.Time // dispatch goroutine only
 	srv, err := ingest.Listen(ingest.Config{
 		TCPAddr:     *tcpAddr,
 		UDPAddr:     *udpAddr,
@@ -95,12 +109,21 @@ func main() {
 	}, func(a alert.Alert) {
 		select {
 		case in <- a:
-		default: // shed load rather than stall the listeners
+		default:
+			shed.Inc()
+			if now := time.Now(); now.Sub(lastShedWarn) > 5*time.Second {
+				lastShedWarn = now
+				log.Warn("engine queue full, shedding alerts", "shed_total", shed.Value())
+			}
 		}
 	})
 	if err != nil {
 		fatal(log, err)
 	}
+	srv.RegisterMetrics(reg)
+	reg.GaugeFunc("skynet_engine_queue_depth",
+		"Alerts buffered between the ingest dispatcher and the engine loop.",
+		func() float64 { return float64(len(in)) })
 	defer srv.Close()
 	if a := srv.TCPAddr(); a != nil {
 		log.Info("tcp listening", "addr", a.String())
@@ -109,12 +132,17 @@ func main() {
 		log.Info("udp listening", "addr", a.String())
 	}
 	if *httpAddr != "" {
-		statusSrv, err := status.Listen(*httpAddr, status.NewSnapshotter(&engineMu, engine, srv).WithTopology(topo), log)
+		snap := status.NewSnapshotter(&engineMu, engine, srv).
+			WithTopology(topo).
+			WithTelemetry(reg).
+			WithJournal(journal).
+			WithPprof(*pprofOn)
+		statusSrv, err := status.Listen(*httpAddr, snap, log)
 		if err != nil {
 			fatal(log, err)
 		}
 		defer statusSrv.Close()
-		log.Info("http status listening", "addr", statusSrv.Addr().String())
+		log.Info("http status listening", "addr", statusSrv.Addr().String(), "pprof", *pprofOn)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -155,8 +183,9 @@ func main() {
 			total := len(engine.AllIncidents())
 			engineMu.Unlock()
 			srvStats := srv.Stats()
-			fmt.Printf("ingested %d alerts (%d rejected), %d structured, %d incidents total\n",
-				srvStats.AlertsAccepted, srvStats.AlertsRejected, stats.Out, total)
+			fmt.Printf("ingested %d alerts (%d rejected, %d shed), %d structured, queue high water %d\n",
+				srvStats.AlertsAccepted, srvStats.AlertsRejected, shed.Value(), stats.Out, srvStats.QueueHighWater)
+			fmt.Printf("%d incidents over the run, %d lifecycle events journaled\n", total, journal.Len())
 			return
 		}
 	}

@@ -19,6 +19,7 @@ import (
 	"skynet/internal/locator"
 	"skynet/internal/preprocess"
 	"skynet/internal/sop"
+	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 	"skynet/internal/zoomin"
 )
@@ -71,6 +72,13 @@ type Engine struct {
 	samples []zoomin.Sample
 
 	rawIn int
+
+	// Telemetry is optional; all fields below are nil/zero until
+	// EnableTelemetry, and the pipeline takes no telemetry branches then.
+	tel        *pipelineMetrics
+	journal    *telemetry.Journal
+	lastState  map[int]incidentState
+	closedSeen int
 }
 
 // NewEngine assembles a pipeline. classifier may be nil (raw syslog is
@@ -94,6 +102,9 @@ func NewEngine(cfg Config, topo *topology.Topology, classifier *ftree.Classifier
 // Ingest feeds one raw alert into the preprocessor.
 func (e *Engine) Ingest(a alert.Alert) {
 	e.rawIn++
+	if e.tel != nil {
+		e.tel.rawIngested.Inc()
+	}
 	e.pre.Add(a)
 }
 
@@ -108,17 +119,33 @@ func (e *Engine) SetReachability(samples []zoomin.Sample) {
 // incidents, and applies automatic SOPs to new ones.
 func (e *Engine) Tick(now time.Time) TickResult {
 	var res TickResult
+	tel := e.tel
+	var start, mark time.Time
+	if tel != nil {
+		start = time.Now()
+		mark = start
+	}
 	structured := e.pre.Tick(now)
 	res.Structured = len(structured)
+	if tel != nil {
+		mark = tel.observe(tel.stagePreprocess, mark)
+	}
 	for i := range structured {
 		e.loc.Add(structured[i])
 	}
 	res.NewIncidents = e.loc.Check(now)
+	if tel != nil {
+		mark = tel.observe(tel.stageLocate, mark)
+	}
 	// Refine and (re)score every active incident so severity escalates
 	// with duration (Eq. 2's ΔT term).
-	for _, in := range e.loc.Active() {
+	active := e.loc.Active()
+	for _, in := range active {
 		e.refiner.Refine(in, e.samples)
 		e.eval.Score(in, now)
+	}
+	if tel != nil {
+		mark = tel.observe(tel.stageEvaluate, mark)
 	}
 	if e.sopEng != nil {
 		for _, in := range res.NewIncidents {
@@ -126,6 +153,20 @@ func (e *Engine) Tick(now time.Time) TickResult {
 				res.SOPExecutions = append(res.SOPExecutions, exec)
 			}
 		}
+	}
+	if tel != nil {
+		tel.observe(tel.stageSOP, mark)
+		tel.tickSeconds.Observe(time.Since(start).Seconds())
+		tel.ticks.Inc()
+		tel.structured.Add(int64(res.Structured))
+		tel.structuredLast.SetInt(res.Structured)
+		tel.incidentsCreated.Add(int64(len(res.NewIncidents)))
+		tel.sopExecutions.Add(int64(len(res.SOPExecutions)))
+		tel.activeIncidents.SetInt(e.loc.ActiveCount())
+		tel.closedIncidents.SetInt(e.loc.ClosedCount())
+	}
+	if e.journal != nil {
+		e.observeLifecycle(now, res.NewIncidents, active)
 	}
 	return res
 }

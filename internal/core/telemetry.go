@@ -1,0 +1,172 @@
+package core
+
+import (
+	"time"
+
+	"skynet/internal/incident"
+	"skynet/internal/telemetry"
+)
+
+// journalSeverityDelta is how far an incident's severity must move before
+// a "scored" event is journaled. Severity grows every tick through the
+// ΔT term of Eq. 2, so journaling every change would flood the ring.
+const journalSeverityDelta = 1.0
+
+// pipelineMetrics holds the engine's pre-resolved metric handles so the
+// hot path never touches the registry's lock.
+type pipelineMetrics struct {
+	rawIngested      *telemetry.Counter
+	structured       *telemetry.Counter
+	ticks            *telemetry.Counter
+	incidentsCreated *telemetry.Counter
+	sopExecutions    *telemetry.Counter
+
+	tickSeconds     *telemetry.Histogram
+	stagePreprocess *telemetry.Histogram
+	stageLocate     *telemetry.Histogram
+	stageEvaluate   *telemetry.Histogram
+	stageSOP        *telemetry.Histogram
+
+	activeIncidents *telemetry.Gauge
+	closedIncidents *telemetry.Gauge
+	structuredLast  *telemetry.Gauge
+}
+
+func newPipelineMetrics(reg *telemetry.Registry) *pipelineMetrics {
+	lb := telemetry.LatencyBuckets()
+	return &pipelineMetrics{
+		rawIngested: reg.Counter("skynet_raw_alerts_total",
+			"Raw alerts ingested into the preprocessor."),
+		structured: reg.Counter("skynet_structured_alerts_total",
+			"Structured alerts emitted by the preprocessor into the locator."),
+		ticks: reg.Counter("skynet_ticks_total",
+			"Pipeline ticks executed."),
+		incidentsCreated: reg.Counter("skynet_incidents_created_total",
+			"Incident trees generated (Algorithm 2)."),
+		sopExecutions: reg.Counter("skynet_sop_executions_total",
+			"Automatic SOP mitigations applied."),
+		tickSeconds: reg.Histogram("skynet_tick_seconds",
+			"Wall time of one full pipeline tick.", lb),
+		stagePreprocess: reg.Histogram("skynet_stage_preprocess_seconds",
+			"Wall time of the preprocessor flush stage (§4.1).", lb),
+		stageLocate: reg.Histogram("skynet_stage_locate_seconds",
+			"Wall time of locator add/check (Algorithms 1-3).", lb),
+		stageEvaluate: reg.Histogram("skynet_stage_evaluate_seconds",
+			"Wall time of zoom-in refine plus severity scoring (Eq. 1-3).", lb),
+		stageSOP: reg.Histogram("skynet_stage_sop_seconds",
+			"Wall time of the automatic-SOP stage (§5.1).", lb),
+		activeIncidents: reg.Gauge("skynet_active_incidents",
+			"Currently open incidents."),
+		closedIncidents: reg.Gauge("skynet_closed_incidents",
+			"Incidents closed over the engine's lifetime."),
+		structuredLast: reg.Gauge("skynet_structured_last_tick",
+			"Structured alerts produced by the most recent tick."),
+	}
+}
+
+// observe records the elapsed time since mark on h and returns a fresh
+// mark for the next stage.
+func (m *pipelineMetrics) observe(h *telemetry.Histogram, mark time.Time) time.Time {
+	now := time.Now()
+	h.Observe(now.Sub(mark).Seconds())
+	return now
+}
+
+// incidentState is the journal differ's last-known view of one incident.
+type incidentState struct {
+	alerts   int
+	severity float64
+	zoomed   string
+	updated  time.Time
+}
+
+// EnableTelemetry attaches a metrics registry and/or a lifecycle journal
+// to the engine. Either argument may be nil. Call before the first Tick;
+// with neither attached the pipeline runs exactly as before (no clock
+// reads, no atomic traffic).
+func (e *Engine) EnableTelemetry(reg *telemetry.Registry, j *telemetry.Journal) {
+	if reg != nil {
+		e.tel = newPipelineMetrics(reg)
+	}
+	if j != nil {
+		e.journal = j
+		e.lastState = make(map[int]incidentState)
+	}
+}
+
+// Journal returns the attached lifecycle journal (nil when disabled).
+func (e *Engine) Journal() *telemetry.Journal { return e.journal }
+
+// snapshotState captures the differ's view of an incident.
+func snapshotState(in *incident.Incident) incidentState {
+	return incidentState{
+		alerts:   in.AlertCount(),
+		severity: in.Severity,
+		zoomed:   in.Zoomed.String(),
+		updated:  in.UpdateTime,
+	}
+}
+
+func lifecycleEvent(now time.Time, typ telemetry.EventType, in *incident.Incident, st incidentState) telemetry.Event {
+	ev := telemetry.Event{
+		Time:      now,
+		Type:      typ,
+		Incident:  in.ID,
+		Root:      in.Root.String(),
+		Severity:  st.severity,
+		Alerts:    st.alerts,
+		Locations: len(in.Entries),
+	}
+	if !in.Zoomed.IsRoot() && in.Zoomed != in.Root {
+		ev.Zoomed = st.zoomed
+	}
+	return ev
+}
+
+// observeLifecycle diffs the incident population against the last tick
+// and appends created/updated/zoomed/scored/closed events to the journal.
+// created is this tick's new incidents; active is the current open set.
+func (e *Engine) observeLifecycle(now time.Time, created, active []*incident.Incident) {
+	isNew := make(map[int]bool, len(created))
+	for _, in := range created {
+		isNew[in.ID] = true
+		st := snapshotState(in)
+		e.journal.Append(lifecycleEvent(now, telemetry.EventCreated, in, st))
+		e.lastState[in.ID] = st
+		// Incidents absorbed into this one (Algorithm 2, lines 7-9) left
+		// the active set without closing; their history continues here.
+		for _, id := range in.MergedFrom {
+			delete(e.lastState, id)
+		}
+	}
+	for _, in := range active {
+		if isNew[in.ID] {
+			continue
+		}
+		prev, known := e.lastState[in.ID]
+		st := snapshotState(in)
+		if !known {
+			// Engine attached mid-flight: adopt without fabricating a
+			// created event at the wrong time.
+			e.lastState[in.ID] = st
+			continue
+		}
+		if st.zoomed != prev.zoomed {
+			e.journal.Append(lifecycleEvent(now, telemetry.EventZoomed, in, st))
+		}
+		if diff := st.severity - prev.severity; diff >= journalSeverityDelta || diff <= -journalSeverityDelta {
+			e.journal.Append(lifecycleEvent(now, telemetry.EventScored, in, st))
+		} else if st.alerts != prev.alerts || !st.updated.Equal(prev.updated) {
+			e.journal.Append(lifecycleEvent(now, telemetry.EventUpdated, in, st))
+		}
+		if st != prev {
+			e.lastState[in.ID] = st
+		}
+	}
+	for _, in := range e.loc.ClosedSince(e.closedSeen) {
+		st := snapshotState(in)
+		e.journal.Append(lifecycleEvent(now, telemetry.EventClosed, in, st))
+		delete(e.lastState, in.ID)
+	}
+	e.closedSeen = e.loc.ClosedCount()
+}

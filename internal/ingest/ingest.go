@@ -20,18 +20,43 @@ import (
 	"time"
 
 	"skynet/internal/alert"
+	"skynet/internal/telemetry"
 )
 
 // Handler consumes ingested alerts. Implementations are called from a
 // single dispatch goroutine; they must not block for long.
 type Handler func(alert.Alert)
 
-// Stats counts ingestion activity. Snapshot with Server.Stats.
+// Stats counts ingestion activity. Snapshot with Server.Stats. The same
+// struct backs /api/stats and the /metrics exposition (via
+// RegisterMetrics), so the two always agree.
 type Stats struct {
 	TCPConnections int
 	AlertsAccepted int
+	// AlertsRejected is the total across every reject reason below.
 	AlertsRejected int
+	// QueueHighWater is the deepest the dispatch queue has been — how
+	// close a flood came to shedding.
+	QueueHighWater int
+
+	// Per-protocol reject reasons, summing to AlertsRejected.
+	TCPDecodeErrors int // malformed JSON Lines stream (connection dropped)
+	TCPInvalid      int // TCP alerts failing validation
+	UDPParseErrors  int // malformed compact-format datagrams
+	UDPInvalid      int // UDP alerts failing validation
+	QueueFull       int // dropped because the dispatch queue was full
 }
+
+// rejectReason indexes the per-protocol reject counters.
+type rejectReason int
+
+const (
+	rejectTCPDecode rejectReason = iota
+	rejectTCPInvalid
+	rejectUDPParse
+	rejectUDPInvalid
+	rejectQueueFull
+)
 
 // Config tunes a Server.
 type Config struct {
@@ -204,20 +229,77 @@ func (s *Server) dispatch() {
 func (s *Server) enqueue(a alert.Alert) {
 	select {
 	case s.queue <- a:
+		depth := len(s.queue)
 		s.mu.Lock()
 		s.stats.AlertsAccepted++
+		if depth > s.stats.QueueHighWater {
+			s.stats.QueueHighWater = depth
+		}
 		s.mu.Unlock()
 	default:
-		s.mu.Lock()
-		s.stats.AlertsRejected++
-		s.mu.Unlock()
+		s.reject(rejectQueueFull)
 	}
 }
 
-func (s *Server) reject() {
+func (s *Server) reject(why rejectReason) {
 	s.mu.Lock()
 	s.stats.AlertsRejected++
+	switch why {
+	case rejectTCPDecode:
+		s.stats.TCPDecodeErrors++
+	case rejectTCPInvalid:
+		s.stats.TCPInvalid++
+	case rejectUDPParse:
+		s.stats.UDPParseErrors++
+	case rejectUDPInvalid:
+		s.stats.UDPInvalid++
+	case rejectQueueFull:
+		s.stats.QueueFull++
+	}
 	s.mu.Unlock()
+}
+
+// RegisterMetrics exposes the server's counters on a telemetry registry.
+// The callbacks read the same Stats struct /api/stats serves, so the two
+// surfaces can never drift apart.
+func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
+	stat := func(pick func(Stats) int) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(pick(s.stats))
+		}
+	}
+	reg.CounterFunc("skynet_ingest_tcp_connections_total",
+		"TCP alert connections accepted.",
+		stat(func(st Stats) int { return st.TCPConnections }))
+	reg.CounterFunc("skynet_ingest_alerts_accepted_total",
+		"Alerts accepted into the dispatch queue.",
+		stat(func(st Stats) int { return st.AlertsAccepted }))
+	reg.CounterFunc("skynet_ingest_alerts_rejected_total",
+		"Alerts rejected across all reasons.",
+		stat(func(st Stats) int { return st.AlertsRejected }))
+	reg.CounterFunc("skynet_ingest_rejected_tcp_decode_total",
+		"TCP streams dropped on a malformed JSON line.",
+		stat(func(st Stats) int { return st.TCPDecodeErrors }))
+	reg.CounterFunc("skynet_ingest_rejected_tcp_invalid_total",
+		"TCP alerts failing validation.",
+		stat(func(st Stats) int { return st.TCPInvalid }))
+	reg.CounterFunc("skynet_ingest_rejected_udp_parse_total",
+		"Malformed compact-format UDP datagrams.",
+		stat(func(st Stats) int { return st.UDPParseErrors }))
+	reg.CounterFunc("skynet_ingest_rejected_udp_invalid_total",
+		"UDP alerts failing validation.",
+		stat(func(st Stats) int { return st.UDPInvalid }))
+	reg.CounterFunc("skynet_ingest_rejected_queue_full_total",
+		"Alerts shed because the dispatch queue was full.",
+		stat(func(st Stats) int { return st.QueueFull }))
+	reg.GaugeFunc("skynet_ingest_queue_high_water",
+		"Deepest the dispatch queue has been.",
+		stat(func(st Stats) int { return st.QueueHighWater }))
+	reg.GaugeFunc("skynet_ingest_queue_depth",
+		"Current dispatch queue depth.",
+		func() float64 { return float64(len(s.queue)) })
 }
 
 // acceptLoop accepts TCP connections up to MaxConns.
@@ -267,11 +349,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			if s.ctx.Err() == nil {
 				s.log.Warn("ingest: tcp decode", "remote", conn.RemoteAddr(), "err", err)
 			}
-			s.reject()
+			s.reject(rejectTCPDecode)
 			return
 		}
 		if verr := a.Validate(); verr != nil && a.Source != alert.SourceSyslog {
-			s.reject()
+			s.reject(rejectTCPInvalid)
 			continue
 		}
 		s.enqueue(a)
@@ -293,11 +375,11 @@ func (s *Server) udpLoop() {
 		}
 		a, err := alert.ParseWire(trimNewline(buf[:n]))
 		if err != nil {
-			s.reject()
+			s.reject(rejectUDPParse)
 			continue
 		}
 		if verr := a.Validate(); verr != nil && a.Source != alert.SourceSyslog {
-			s.reject()
+			s.reject(rejectUDPInvalid)
 			continue
 		}
 		s.enqueue(a)

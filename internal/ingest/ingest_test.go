@@ -40,6 +40,17 @@ func (c *collector) len() int {
 	return len(c.got)
 }
 
+// waitHandled blocks until n alerts have reached the handler or the
+// deadline passes. Enqueue counts an alert as accepted before the
+// dispatch goroutine delivers it, so accepted may run ahead of handled.
+func (c *collector) waitHandled(n int, deadline time.Duration) int {
+	end := time.Now().Add(deadline)
+	for c.len() < n && time.Now().Before(end) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	return c.len()
+}
+
 func startServer(t *testing.T, cfg Config) (*Server, *collector) {
 	t.Helper()
 	col := &collector{}
@@ -70,8 +81,8 @@ func TestTCPRoundTrip(t *testing.T) {
 	if !WaitForAccepted(s, 20, 2*time.Second) {
 		t.Fatalf("accepted %d of 20", s.Stats().AlertsAccepted)
 	}
-	if col.len() != 20 {
-		t.Errorf("handled %d of 20", col.len())
+	if got := col.waitHandled(20, 2*time.Second); got != 20 {
+		t.Errorf("handled %d of 20", got)
 	}
 	if s.Stats().TCPConnections != 1 {
 		t.Errorf("connections = %d", s.Stats().TCPConnections)
@@ -281,8 +292,8 @@ func TestConcurrentSenders(t *testing.T) {
 	if !WaitForAccepted(s, senders*per, 3*time.Second) {
 		t.Fatalf("accepted %d of %d", s.Stats().AlertsAccepted, senders*per)
 	}
-	if col.len() != senders*per {
-		t.Errorf("handled %d of %d", col.len(), senders*per)
+	if got := col.waitHandled(senders*per, 3*time.Second); got != senders*per {
+		t.Errorf("handled %d of %d", got, senders*per)
 	}
 }
 

@@ -416,6 +416,26 @@ func (l *Locator) Closed() []*incident.Incident {
 	return out
 }
 
+// ActiveCount reports the number of open incidents without copying.
+func (l *Locator) ActiveCount() int { return len(l.active) }
+
+// ClosedCount reports the number of timed-out incidents without copying.
+func (l *Locator) ClosedCount() int { return len(l.closed) }
+
+// ClosedSince returns closed incidents from index i on, in closing order
+// — the telemetry layer's incremental view of Algorithm 3's output.
+func (l *Locator) ClosedSince(i int) []*incident.Incident {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(l.closed) {
+		return nil
+	}
+	out := make([]*incident.Incident, len(l.closed)-i)
+	copy(out, l.closed[i:])
+	return out
+}
+
 // NodeCount reports the number of live main-tree nodes (for tests and the
 // Fig. 8c measurements).
 func (l *Locator) NodeCount() int { return len(l.nodes) }

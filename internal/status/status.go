@@ -10,6 +10,10 @@
 //	GET /api/incidents      all incidents, active first, severity-ranked
 //	GET /api/incidents/{id} one incident incl. its Figure 6 report and
 //	                        LLM-ready context bundle
+//	GET /api/journal        incident lifecycle events (WithJournal);
+//	                        ?since=SEQ returns only newer events
+//	GET /metrics            Prometheus text exposition (WithTelemetry)
+//	GET /debug/pprof/...    runtime profiles (WithPprof)
 package status
 
 import (
@@ -20,6 +24,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -30,6 +35,7 @@ import (
 	"skynet/internal/incident"
 	"skynet/internal/ingest"
 	"skynet/internal/llmctx"
+	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 	"skynet/internal/viz"
 )
@@ -38,16 +44,42 @@ import (
 // dispatch loop owns the engine; the HTTP handlers must go through the
 // same lock.
 type Snapshotter struct {
-	mu     *sync.Mutex
-	engine *core.Engine
-	ingest *ingest.Server     // optional
-	topo   *topology.Topology // optional, enables graph rendering
+	mu      *sync.Mutex
+	engine  *core.Engine
+	ingest  *ingest.Server      // optional
+	topo    *topology.Topology  // optional, enables graph rendering
+	reg     *telemetry.Registry // optional, enables GET /metrics
+	journal *telemetry.Journal  // optional, enables GET /api/journal
+	pprof   bool                // mounts /debug/pprof
 }
 
 // WithTopology enables the per-incident voting-graph endpoint
 // (/api/incidents/{id}/graph.svg).
 func (s *Snapshotter) WithTopology(topo *topology.Topology) *Snapshotter {
 	s.topo = topo
+	return s
+}
+
+// WithTelemetry mounts GET /metrics serving the registry in Prometheus
+// text exposition format. Metric reads are atomic snapshots; the handler
+// does not take the engine lock.
+func (s *Snapshotter) WithTelemetry(reg *telemetry.Registry) *Snapshotter {
+	s.reg = reg
+	return s
+}
+
+// WithJournal mounts GET /api/journal serving the incident lifecycle
+// event log. The journal is internally synchronized; the handler does not
+// take the engine lock.
+func (s *Snapshotter) WithJournal(j *telemetry.Journal) *Snapshotter {
+	s.journal = j
+	return s
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ — gated behind a
+// flag because profiles expose internals and cost CPU while sampled.
+func (s *Snapshotter) WithPprof(enable bool) *Snapshotter {
+	s.pprof = enable
 	return s
 }
 
@@ -79,7 +111,9 @@ type IncidentDetail struct {
 	LLMContext string `json:"llm_context"`
 }
 
-// StatsView is the /api/stats JSON shape.
+// StatsView is the /api/stats JSON shape. The ingest fields are copied
+// from ingest.Stats — the same struct RegisterMetrics exposes on /metrics
+// — so the two surfaces always report identical numbers.
 type StatsView struct {
 	RawIngested     int `json:"raw_ingested"`
 	Structured      int `json:"structured"`
@@ -89,6 +123,14 @@ type StatsView struct {
 	TCPConnections int `json:"tcp_connections,omitempty"`
 	AlertsAccepted int `json:"alerts_accepted,omitempty"`
 	AlertsRejected int `json:"alerts_rejected,omitempty"`
+	QueueHighWater int `json:"queue_high_water,omitempty"`
+
+	// Per-protocol reject reasons, summing to alerts_rejected.
+	RejectedTCPDecode  int `json:"rejected_tcp_decode,omitempty"`
+	RejectedTCPInvalid int `json:"rejected_tcp_invalid,omitempty"`
+	RejectedUDPParse   int `json:"rejected_udp_parse,omitempty"`
+	RejectedUDPInvalid int `json:"rejected_udp_invalid,omitempty"`
+	RejectedQueueFull  int `json:"rejected_queue_full,omitempty"`
 }
 
 func summarize(in *incident.Incident) IncidentSummary {
@@ -128,9 +170,42 @@ func (s *Snapshotter) Handler() http.Handler {
 			view.TCPConnections = st.TCPConnections
 			view.AlertsAccepted = st.AlertsAccepted
 			view.AlertsRejected = st.AlertsRejected
+			view.QueueHighWater = st.QueueHighWater
+			view.RejectedTCPDecode = st.TCPDecodeErrors
+			view.RejectedTCPInvalid = st.TCPInvalid
+			view.RejectedUDPParse = st.UDPParseErrors
+			view.RejectedUDPInvalid = st.UDPInvalid
+			view.RejectedQueueFull = st.QueueFull
 		}
 		writeJSON(w, view)
 	})
+	if s.reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = s.reg.Expose(w)
+		})
+	}
+	if s.journal != nil {
+		mux.HandleFunc("/api/journal", func(w http.ResponseWriter, r *http.Request) {
+			after := int64(-1)
+			if q := r.URL.Query().Get("since"); q != "" {
+				v, err := strconv.ParseInt(q, 10, 64)
+				if err != nil {
+					http.Error(w, "bad since sequence", http.StatusBadRequest)
+					return
+				}
+				after = v
+			}
+			writeJSON(w, s.journal.Since(after))
+		})
+	}
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/api/incidents", func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		ranked := evaluator.Rank(s.engine.Active())

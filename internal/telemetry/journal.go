@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// EventType labels one incident lifecycle transition.
+type EventType string
+
+// Lifecycle event types, in the order they typically occur.
+const (
+	EventCreated EventType = "created" // incident tree generated (Algorithm 2)
+	EventUpdated EventType = "updated" // new alerts joined the incident
+	EventZoomed  EventType = "zoomed"  // location zoom-in refined the root
+	EventScored  EventType = "scored"  // evaluator severity moved materially
+	EventClosed  EventType = "closed"  // incident timed out (Algorithm 3)
+)
+
+// Event is one append-only journal entry: what happened to which incident
+// when, with enough provenance (alert and location counts, severity) to
+// reconstruct the funnel an operator saw.
+type Event struct {
+	// Seq is the monotonically increasing journal sequence number,
+	// assigned at append time. Gaps mean the ring buffer evicted entries.
+	Seq int64 `json:"seq"`
+	// Time is the pipeline tick time the transition was observed at —
+	// simulated time under replay, wall time in the daemon.
+	Time time.Time `json:"time"`
+	// Type is the lifecycle transition.
+	Type EventType `json:"type"`
+	// Incident is the incident ID.
+	Incident int `json:"incident"`
+	// Root is the incident's hierarchy root.
+	Root string `json:"root"`
+	// Zoomed is the refined location, when zoom-in succeeded.
+	Zoomed string `json:"zoomed,omitempty"`
+	// Severity is the evaluator score at event time.
+	Severity float64 `json:"severity"`
+	// Alerts is the raw alert instance count aggregated so far.
+	Alerts int `json:"alerts"`
+	// Locations is the number of distinct alerting locations.
+	Locations int `json:"locations"`
+}
+
+// Journal is a bounded append-only event log. Appends and reads are safe
+// from any goroutine; when the capacity is exceeded the oldest events are
+// evicted (their sequence numbers are never reused, so consumers notice).
+type Journal struct {
+	mu      sync.Mutex
+	buf     []Event // ring storage
+	start   int     // index of oldest event
+	n       int     // live events
+	nextSeq int64
+	evicted int64
+}
+
+// DefaultJournalCap bounds journal memory: at one event per incident
+// transition this holds days of production churn.
+const DefaultJournalCap = 4096
+
+// NewJournal creates a journal holding at most capacity events
+// (DefaultJournalCap when capacity <= 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCap
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Append records one event, stamping its sequence number, and returns it.
+func (j *Journal) Append(e Event) Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e.Seq = j.nextSeq
+	j.nextSeq++
+	if j.n == len(j.buf) {
+		j.start = (j.start + 1) % len(j.buf)
+		j.n--
+		j.evicted++
+	}
+	j.buf[(j.start+j.n)%len(j.buf)] = e
+	j.n++
+	return e
+}
+
+// Len returns the number of retained events.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Evicted returns how many events the ring has dropped.
+func (j *Journal) Evicted() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.evicted
+}
+
+// Events returns all retained events, oldest first.
+func (j *Journal) Events() []Event { return j.Since(-1) }
+
+// Since returns retained events with Seq > after, oldest first. Pass -1
+// for everything.
+func (j *Journal) Since(after int64) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, j.n)
+	for i := 0; i < j.n; i++ {
+		e := j.buf[(j.start+i)%len(j.buf)]
+		if e.Seq > after {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RegisterMetrics exposes the journal's own health on a registry.
+func (j *Journal) RegisterMetrics(reg *Registry) {
+	reg.CounterFunc("skynet_journal_events_total",
+		"Incident lifecycle events appended to the journal.",
+		func() float64 {
+			j.mu.Lock()
+			defer j.mu.Unlock()
+			return float64(j.nextSeq)
+		})
+	reg.CounterFunc("skynet_journal_events_evicted_total",
+		"Journal events evicted by the ring buffer.",
+		func() float64 { return float64(j.Evicted()) })
+}

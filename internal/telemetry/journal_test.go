@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+func TestJournalAppendAndSince(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 5; i++ {
+		e := j.Append(Event{Time: epoch.Add(time.Duration(i) * time.Second), Type: EventUpdated, Incident: i})
+		if e.Seq != int64(i) {
+			t.Errorf("seq = %d, want %d", e.Seq, i)
+		}
+	}
+	all := j.Events()
+	if len(all) != 5 || all[0].Seq != 0 || all[4].Seq != 4 {
+		t.Fatalf("events = %+v", all)
+	}
+	since := j.Since(2)
+	if len(since) != 2 || since[0].Seq != 3 {
+		t.Errorf("since(2) = %+v", since)
+	}
+}
+
+func TestJournalEviction(t *testing.T) {
+	j := NewJournal(3)
+	for i := 0; i < 10; i++ {
+		j.Append(Event{Incident: i})
+	}
+	if j.Len() != 3 {
+		t.Fatalf("len = %d, want 3", j.Len())
+	}
+	if j.Evicted() != 7 {
+		t.Errorf("evicted = %d, want 7", j.Evicted())
+	}
+	got := j.Events()
+	if got[0].Seq != 7 || got[2].Seq != 9 {
+		t.Errorf("retained = %+v, want seqs 7..9", got)
+	}
+}
+
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j.Append(Event{Type: EventUpdated})
+				j.Since(0)
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Len() != 128 {
+		t.Errorf("len = %d, want full ring 128", j.Len())
+	}
+	// Sequence numbers must stay strictly increasing despite eviction.
+	prev := int64(-1)
+	for _, e := range j.Events() {
+		if e.Seq <= prev {
+			t.Fatalf("non-monotonic seq %d after %d", e.Seq, prev)
+		}
+		prev = e.Seq
+	}
+}
+
+func TestJournalMetrics(t *testing.T) {
+	r := New()
+	j := NewJournal(2)
+	j.RegisterMetrics(r)
+	j.Append(Event{})
+	j.Append(Event{})
+	j.Append(Event{})
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"skynet_journal_events_total 3",
+		"skynet_journal_events_evicted_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package telemetry is SkyNet's runtime observability layer: a
+// dependency-free, allocation-light metrics registry (atomic counters,
+// gauges, and fixed-bucket histograms) with Prometheus text-format
+// exposition, plus the incident lifecycle journal.
+//
+// The paper's premise is volume visibility — operators face O(10^4)–
+// O(10^5) raw alerts and need to know what the funnel is doing to them
+// (§4, Fig. 5a). This package makes the reproduction itself observable:
+// every pipeline stage exports counters and latency histograms that the
+// status server exposes on GET /metrics.
+//
+// Metric mutation is lock-free (single atomic op for counters and gauges,
+// one atomic add per histogram bucket), so instrumented hot paths stay
+// within noise of the uninstrumented ones. Registration takes a lock and
+// is expected at setup time only.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Values are float64, stored
+// as atomic bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt replaces the gauge value with an integer.
+func (g *Gauge) SetInt(v int) { g.Set(float64(v)) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: bucket i counts observations ≤ upper[i], plus an implicit +Inf
+// bucket, a sum, and a count.
+type Histogram struct {
+	upper  []float64      // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Int64 // len(upper)+1; last is +Inf
+	sum    Gauge          // atomic float64 accumulator
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket lists are short (≤ ~16) and the branch
+	// predictor makes this cheaper than binary search at this size.
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// attributing each observation to its bucket's upper bound. Good enough
+// for dashboards; exact for the bucket boundaries themselves.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.upper) {
+				return h.upper[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// LatencyBuckets is the default upper-bound ladder for stage latencies in
+// seconds: 10µs .. 10s, roughly ×3 steps.
+func LatencyBuckets() []float64 {
+	return []float64{
+		1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10,
+	}
+}
+
+// Kind labels the exposition type of a metric.
+type Kind string
+
+// Metric kinds, matching the Prometheus TYPE comment values.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// metric is one registered entry.
+type metric struct {
+	name, help string
+	kind       Kind
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+	fn         func() float64 // gauge-func / counter-func, read at expose time
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. The zero value is not usable; call New.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// lookup returns an existing metric, verifying the kind, or registers a
+// new slot.
+func (r *Registry) lookup(name, help string, kind Kind) (*metric, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, kind, m.kind))
+		}
+		return m, true
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	r.byName[name] = m
+	r.metrics = append(r.metrics, m)
+	return m, false
+}
+
+// Counter returns the named counter, registering it on first use.
+// Repeated calls with the same name return the same counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	m, existed := r.lookup(name, help, KindCounter)
+	if !existed {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m, existed := r.lookup(name, help, KindGauge)
+	if !existed {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time — the bridge for subsystems that already keep their own counters
+// (one source of truth, no double accounting). Re-registering a name
+// replaces its callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	m, _ := r.lookup(name, help, KindGauge)
+	m.fn = fn
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time. fn must be monotonic.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	m, _ := r.lookup(name, help, KindCounter)
+	m.fn = fn
+}
+
+// Histogram returns the named histogram, registering it on first use with
+// the given upper bounds (sorted ascending; +Inf is implicit). Buckets
+// are fixed at first registration; later calls ignore the argument.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	m, existed := r.lookup(name, help, KindHistogram)
+	if !existed {
+		up := make([]float64, len(buckets))
+		copy(up, buckets)
+		sort.Float64s(up)
+		m.hist = &Histogram{upper: up, counts: make([]atomic.Int64, len(up)+1)}
+	}
+	return m.hist
+}
+
+// HistogramView is a point-in-time copy of one histogram.
+type HistogramView struct {
+	Upper  []float64 // bucket upper bounds (+Inf implicit)
+	Counts []int64   // per-bucket (non-cumulative) counts; len(Upper)+1
+	Sum    float64
+	Count  int64
+}
+
+// Mean returns the view's average observed value (0 when empty).
+func (h *HistogramView) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile from the view's bucket counts, as
+// Histogram.Quantile does.
+func (h *HistogramView) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.Upper) {
+				return h.Upper[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// MetricSnapshot is a point-in-time copy of one metric.
+type MetricSnapshot struct {
+	Name  string
+	Help  string
+	Kind  Kind
+	Value float64        // counters, gauges
+	Hist  *HistogramView // histograms only
+}
+
+// Snapshot copies every metric, in registration order.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+	out := make([]MetricSnapshot, 0, len(metrics))
+	for _, m := range metrics {
+		s := MetricSnapshot{Name: m.name, Help: m.help, Kind: m.kind}
+		switch {
+		case m.fn != nil:
+			s.Value = m.fn()
+		case m.counter != nil:
+			s.Value = float64(m.counter.Value())
+		case m.gauge != nil:
+			s.Value = m.gauge.Value()
+		case m.hist != nil:
+			hv := &HistogramView{
+				Upper:  m.hist.upper,
+				Counts: make([]int64, len(m.hist.counts)),
+				Sum:    m.hist.Sum(),
+				Count:  m.hist.Count(),
+			}
+			for i := range m.hist.counts {
+				hv.Counts[i] = m.hist.counts[i].Load()
+			}
+			s.Hist = hv
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Expose writes the registry in Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE comments, cumulative histogram buckets with
+// le labels, _sum and _count series.
+func (r *Registry) Expose(w io.Writer) error {
+	var b strings.Builder
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(s.Name)
+			b.WriteByte(' ')
+			b.WriteString(escapeHelp(s.Help))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(s.Name)
+		b.WriteByte(' ')
+		b.WriteString(string(s.Kind))
+		b.WriteByte('\n')
+		if s.Hist == nil {
+			b.WriteString(s.Name)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.Value))
+			b.WriteByte('\n')
+			continue
+		}
+		var cum int64
+		for i, ub := range s.Hist.Upper {
+			cum += s.Hist.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", s.Name, formatFloat(ub), cum)
+		}
+		cum += s.Hist.Counts[len(s.Hist.Counts)-1]
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", s.Name, cum)
+		fmt.Fprintf(&b, "%s_sum %s\n", s.Name, formatFloat(s.Hist.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", s.Name, s.Hist.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("skynet_test_total", "test counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-2) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("skynet_test_total", ""); again != c {
+		t.Error("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("skynet_test_gauge", "test gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", g.Value())
+	}
+	g.SetInt(7)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %v, want 7", g.Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("skynet_dual", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge over a counter did not panic")
+		}
+	}()
+	r.Gauge("skynet_dual", "")
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("skynet_test_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if want := 0.005 + 0.05 + 0.05 + 0.5 + 5; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", h.Sum(), want)
+	}
+	if got := h.Quantile(0.5); got != 0.1 {
+		t.Errorf("p50 = %v, want 0.1 (bucket upper bound)", got)
+	}
+	if got := h.Quantile(1); !math.IsInf(got, 1) {
+		t.Errorf("p100 = %v, want +Inf", got)
+	}
+	if got := h.Mean(); math.Abs(got-1.121) > 1e-9 {
+		t.Errorf("mean = %v, want 1.121", got)
+	}
+}
+
+func TestExposeFormat(t *testing.T) {
+	r := New()
+	r.Counter("skynet_raw_total", "Raw alerts ingested.").Add(42)
+	r.Gauge("skynet_active", "Active incidents.").SetInt(3)
+	r.GaugeFunc("skynet_func", "Callback gauge.", func() float64 { return 9 })
+	h := r.Histogram("skynet_tick_seconds", "Tick latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(7)
+
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP skynet_raw_total Raw alerts ingested.",
+		"# TYPE skynet_raw_total counter",
+		"skynet_raw_total 42",
+		"# TYPE skynet_active gauge",
+		"skynet_active 3",
+		"skynet_func 9",
+		"# TYPE skynet_tick_seconds histogram",
+		`skynet_tick_seconds_bucket{le="0.01"} 1`,
+		`skynet_tick_seconds_bucket{le="0.1"} 2`,
+		`skynet_tick_seconds_bucket{le="+Inf"} 3`,
+		"skynet_tick_seconds_sum 7.055",
+		"skynet_tick_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotOrderAndContent(t *testing.T) {
+	r := New()
+	r.Counter("b_total", "").Inc()
+	r.Gauge("a_gauge", "").Set(1)
+	snaps := r.Snapshot()
+	if len(snaps) != 2 || snaps[0].Name != "b_total" || snaps[1].Name != "a_gauge" {
+		t.Fatalf("snapshot order = %+v, want registration order", snaps)
+	}
+	if snaps[0].Kind != KindCounter || snaps[0].Value != 1 {
+		t.Errorf("counter snapshot = %+v", snaps[0])
+	}
+}
+
+func TestConcurrentMutation(t *testing.T) {
+	r := New()
+	c := r.Counter("skynet_conc_total", "")
+	h := r.Histogram("skynet_conc_seconds", "", LatencyBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"skynet/internal/core"
+	"skynet/internal/telemetry"
+)
+
+func TestReplayWithOptionsRecordsTelemetry(t *testing.T) {
+	opts := DefaultGenerateOptions()
+	opts.Window = 15 * time.Minute
+	opts.Scenarios = 1
+	g, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	j := telemetry.NewJournal(0)
+	eng, err := ReplayWithOptions(g.Alerts, g.Topo, core.DefaultConfig(),
+		ReplayOptions{Telemetry: reg, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]telemetry.MetricSnapshot{}
+	for _, m := range reg.Snapshot() {
+		vals[m.Name] = m
+	}
+	if got := vals["skynet_replay_alerts_total"].Value; int(got) != len(g.Alerts) {
+		t.Errorf("replay alerts = %v, want %d", got, len(g.Alerts))
+	}
+	if got := vals["skynet_raw_alerts_total"].Value; int(got) != eng.RawIngested() {
+		t.Errorf("raw counter = %v, engine saw %d", got, eng.RawIngested())
+	}
+	if vals["skynet_replay_alerts_per_second"].Value <= 0 {
+		t.Error("throughput gauge not set")
+	}
+	tick := vals["skynet_tick_seconds"].Hist
+	if tick == nil || tick.Count == 0 {
+		t.Fatal("no tick timings recorded")
+	}
+	// Journal events are stamped with simulated time, inside the trace's
+	// window (plus the TTL drain).
+	events := j.Events()
+	if len(events) == 0 {
+		t.Fatal("journal empty after replaying a failure scenario")
+	}
+	lo := g.Alerts[0].Time
+	hi := g.Alerts[len(g.Alerts)-1].Time.Add(core.DefaultConfig().Locator.NodeTTL + time.Hour)
+	for _, e := range events {
+		if e.Time.Before(lo) || e.Time.After(hi) {
+			t.Fatalf("event %d stamped %v, outside simulated window [%v, %v]",
+				e.Seq, e.Time, lo, hi)
+		}
+	}
+}
+
+func TestReplayPlainMatchesInstrumented(t *testing.T) {
+	opts := DefaultGenerateOptions()
+	opts.Window = 12 * time.Minute
+	opts.Scenarios = 1
+	g, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Replay(g.Alerts, g.Topo, core.DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := ReplayWithOptions(g.Alerts, g.Topo, core.DefaultConfig(),
+		ReplayOptions{Telemetry: telemetry.New(), Journal: telemetry.NewJournal(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.AllIncidents()) != len(inst.AllIncidents()) {
+		t.Errorf("instrumented replay diverged: %d vs %d incidents",
+			len(plain.AllIncidents()), len(inst.AllIncidents()))
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"skynet/internal/netsim"
 	"skynet/internal/preprocess"
 	"skynet/internal/scenario"
+	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 )
 
@@ -135,32 +136,71 @@ func Generate(opts GenerateOptions) (*Generated, error) {
 	return &Generated{Alerts: alerts, Scenarios: scs, Topo: topo}, nil
 }
 
+// ReplayOptions extends Replay with observability hooks. The zero value
+// reproduces plain Replay.
+type ReplayOptions struct {
+	// Tick is the pipeline cadence (default 10 s).
+	Tick time.Duration
+	// Telemetry, when set, instruments the engine and records replay
+	// throughput on the registry.
+	Telemetry *telemetry.Registry
+	// Journal, when set, receives incident lifecycle events stamped with
+	// simulated time.
+	Journal *telemetry.Journal
+}
+
 // Replay pushes a raw trace through a fresh engine, ticking at the given
 // cadence, and returns the engine for inspection.
 func Replay(alerts []alert.Alert, topo *topology.Topology, engineCfg core.Config, tick time.Duration) (*core.Engine, error) {
+	return ReplayWithOptions(alerts, topo, engineCfg, ReplayOptions{Tick: tick})
+}
+
+// ReplayWithOptions is Replay with telemetry attached: stage timings and
+// funnel counters accumulate on opts.Telemetry, lifecycle events on
+// opts.Journal, and the replay's own wall-clock throughput is published
+// as skynet_replay_* metrics.
+func ReplayWithOptions(alerts []alert.Alert, topo *topology.Topology, engineCfg core.Config, opts ReplayOptions) (*core.Engine, error) {
 	classifier, err := preprocessClassifier()
 	if err != nil {
 		return nil, err
 	}
 	eng := core.NewEngine(engineCfg, topo, classifier, nil, nil)
-	if len(alerts) == 0 {
-		return eng, nil
+	if opts.Telemetry != nil || opts.Journal != nil {
+		eng.EnableTelemetry(opts.Telemetry, opts.Journal)
 	}
-	if tick <= 0 {
-		tick = 10 * time.Second
+	var start time.Time
+	if opts.Telemetry != nil {
+		start = time.Now()
 	}
-	next := alerts[0].Time.Add(tick)
-	for i := range alerts {
-		for alerts[i].Time.After(next) {
+	if len(alerts) > 0 {
+		tick := opts.Tick
+		if tick <= 0 {
+			tick = 10 * time.Second
+		}
+		next := alerts[0].Time.Add(tick)
+		for i := range alerts {
+			for alerts[i].Time.After(next) {
+				eng.Tick(next)
+				next = next.Add(tick)
+			}
+			eng.Ingest(alerts[i])
+		}
+		end := alerts[len(alerts)-1].Time.Add(engineCfg.Locator.NodeTTL + tick)
+		for !next.After(end) {
 			eng.Tick(next)
 			next = next.Add(tick)
 		}
-		eng.Ingest(alerts[i])
 	}
-	end := alerts[len(alerts)-1].Time.Add(engineCfg.Locator.NodeTTL + tick)
-	for !next.After(end) {
-		eng.Tick(next)
-		next = next.Add(tick)
+	if opts.Telemetry != nil {
+		elapsed := time.Since(start).Seconds()
+		opts.Telemetry.Counter("skynet_replay_alerts_total",
+			"Raw alerts pushed through the replay engine.").Add(int64(len(alerts)))
+		opts.Telemetry.Gauge("skynet_replay_seconds",
+			"Wall time of the last trace replay.").Set(elapsed)
+		if elapsed > 0 {
+			opts.Telemetry.Gauge("skynet_replay_alerts_per_second",
+				"Replay ingest throughput of the last trace replay.").Set(float64(len(alerts)) / elapsed)
+		}
 	}
 	return eng, nil
 }
