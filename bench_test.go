@@ -219,14 +219,16 @@ var telemetryDump = flag.String("telemetrydump", "",
 // over a severe-failure alert batch. With a nil registry it measures the
 // bare pipeline; with one attached it measures the instrumented path, so
 // the pair bounds the telemetry overhead.
-func benchEngineTick(b *testing.B, reg *telemetry.Registry, journal *telemetry.Journal) {
+func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal *telemetry.Journal) {
 	topo := topology.MustGenerate(topology.SmallConfig())
 	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
 	classifier, err := preprocess.BootstrapClassifier()
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng := core.NewEngine(core.DefaultConfig(), topo, classifier, nil, nil)
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	eng := core.NewEngine(cfg, topo, classifier, nil, nil)
 	if reg != nil || journal != nil {
 		eng.EnableTelemetry(reg, journal)
 	}
@@ -244,15 +246,25 @@ func benchEngineTick(b *testing.B, reg *telemetry.Registry, journal *telemetry.J
 	b.ReportMetric(float64(len(alerts)), "alerts/tick")
 }
 
-// BenchmarkEngineTick measures an uninstrumented ingest+tick round.
-func BenchmarkEngineTick(b *testing.B) { benchEngineTick(b, nil, nil) }
+// BenchmarkEngineTick measures an uninstrumented ingest+tick round with
+// the default worker fan-out (all cores).
+func BenchmarkEngineTick(b *testing.B) { benchEngineTick(b, 0, nil, nil) }
+
+// BenchmarkEngineTickSerial pins the pipeline to one worker — the serial
+// reference the parallel path must match bit-for-bit (see
+// TestEngineDeterministicAcrossWorkers).
+func BenchmarkEngineTickSerial(b *testing.B) { benchEngineTick(b, 1, nil, nil) }
+
+// BenchmarkEngineTickWorkers4 forces four workers regardless of core
+// count, exposing the goroutine fan-out overhead when oversubscribed.
+func BenchmarkEngineTickWorkers4(b *testing.B) { benchEngineTick(b, 4, nil, nil) }
 
 // BenchmarkEngineTickTelemetry is BenchmarkEngineTick with the metrics
 // registry and lifecycle journal attached; the delta between the two is
 // the telemetry cost per tick (acceptance bound: within 5%).
 func BenchmarkEngineTickTelemetry(b *testing.B) {
 	reg := telemetry.New()
-	benchEngineTick(b, reg, telemetry.NewJournal(0))
+	benchEngineTick(b, 0, reg, telemetry.NewJournal(0))
 	if *telemetryDump == "" {
 		return
 	}

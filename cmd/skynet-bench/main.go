@@ -19,7 +19,6 @@ import (
 	"strings"
 	"time"
 
-	"skynet/internal/core"
 	"skynet/internal/experiments"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
@@ -36,6 +35,8 @@ func main() {
 		scale     = flag.String("scale", "small", "topology scale: small or production")
 		telDump   = flag.String("telemetry", "",
 			`dump a telemetry snapshot from an instrumented replay ("-" for stdout, else a file)`)
+		workers = flag.Int("workers", 0,
+			"pipeline worker fan-out (0 = all cores, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 	opts.Scenarios = *scenarios
 	opts.Window = *window
 	opts.Seed = *seed
+	opts.Engine.Workers = *workers
 	switch strings.ToLower(*scale) {
 	case "small":
 		opts.Topology = topology.SmallConfig()
@@ -107,7 +109,7 @@ func dumpTelemetry(dst string, opts experiments.Options) error {
 	reg := telemetry.New()
 	journal := telemetry.NewJournal(0)
 	journal.RegisterMetrics(reg)
-	if _, err := trace.ReplayWithOptions(g.Alerts, g.Topo, core.DefaultConfig(),
+	if _, err := trace.ReplayWithOptions(g.Alerts, g.Topo, opts.Engine,
 		trace.ReplayOptions{Telemetry: reg, Journal: journal}); err != nil {
 		return err
 	}

@@ -39,6 +39,8 @@ func main() {
 			"severity filter (0 shows everything)")
 		showStats = flag.Bool("stats", false,
 			"print per-stage timing and the volume funnel after replay")
+		workers = flag.Int("workers", 0,
+			"pipeline worker fan-out (0 = all cores, 1 = serial; replays are identical either way)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -73,6 +75,7 @@ func main() {
 	}
 	cfg.Locator.Thresholds = th
 	cfg.Evaluator.SeverityThreshold = *severity
+	cfg.Workers = *workers
 
 	var reg *telemetry.Registry
 	var journal *telemetry.Journal

@@ -41,6 +41,8 @@ func main() {
 		topoFile = flag.String("topo", "", "optional topology JSON file (overrides -scale)")
 		seed     = flag.Int64("seed", 1, "topology seed")
 		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof on the HTTP status server")
+		workers  = flag.Int("workers", 0,
+			"pipeline worker fan-out (0 = all cores, 1 = serial; output is identical)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -80,7 +82,9 @@ func main() {
 	if err != nil {
 		fatal(log, err)
 	}
-	engine := core.NewEngine(core.DefaultConfig(), topo, classifier, nil, nil)
+	engineCfg := core.DefaultConfig()
+	engineCfg.Workers = *workers
+	engine := core.NewEngine(engineCfg, topo, classifier, nil, nil)
 	// engineMu serializes the main loop and the HTTP status handlers.
 	var engineMu sync.Mutex
 

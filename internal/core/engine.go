@@ -6,9 +6,23 @@
 // (monitor fleets, network listeners, trace replays) and Tick advances the
 // pipeline, returning what changed. All times are explicit; the engine
 // never reads the wall clock, which makes replays and simulations exact.
+//
+// # Parallel execution
+//
+// Config.Workers fans the heavy stages out across goroutines: FT-tree
+// classification and aggregation shards in the preprocessor, the
+// location-sharded main alert tree in the locator, and per-incident
+// zoom-in plus severity scoring in the evaluation stage. Every parallel
+// phase writes only single-owner state and merges serially, so incident
+// sets, IDs, and severities are bit-identical for every worker count —
+// replays stay exact. Scoring is additionally incremental: an incident is
+// only re-refined and re-scored when its content revision, the
+// reachability samples, or the Eq. 2 time clamp could have changed its
+// result.
 package core
 
 import (
+	"slices"
 	"sort"
 	"time"
 
@@ -17,12 +31,18 @@ import (
 	"skynet/internal/ftree"
 	"skynet/internal/incident"
 	"skynet/internal/locator"
+	"skynet/internal/par"
 	"skynet/internal/preprocess"
 	"skynet/internal/sop"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 	"skynet/internal/zoomin"
 )
+
+// evalStatePruneInterval is how many ticks pass between sweeps of the
+// incremental evaluator's per-incident state map (entries for incidents
+// that left the active set — closed or absorbed — are dropped).
+const evalStatePruneInterval = 64
 
 // Config aggregates the per-module configurations.
 type Config struct {
@@ -32,6 +52,11 @@ type Config struct {
 	Zoom       zoomin.Config
 	// EnableSOP turns on automatic mitigation of known failures.
 	EnableSOP bool
+	// Workers bounds the goroutine fan-out of every parallel stage.
+	// 0 means GOMAXPROCS, 1 runs the whole pipeline serially. It is
+	// copied into Preprocess.Workers and Locator.Workers unless those
+	// are set explicitly. Output is identical for every setting.
+	Workers int
 }
 
 // DefaultConfig returns the production parameters of every module.
@@ -57,11 +82,22 @@ type TickResult struct {
 	SOPExecutions []*sop.Execution
 }
 
+// evalState is the incremental evaluator's memory of the inputs the last
+// Refine+Score of one incident saw.
+type evalState struct {
+	rev  uint64    // incident content revision
+	gen  uint64    // reachability-sample generation
+	now  time.Time // evaluation time of the last scoring
+	seen uint64    // last tick the incident was active (for pruning)
+}
+
 // Engine is the SkyNet pipeline. Not safe for concurrent use; callers
-// serialize Ingest/Tick (the ingest layer does this).
+// serialize Ingest/Tick (the ingest layer does this). Tick internally
+// fans out to Config.Workers goroutines.
 type Engine struct {
-	cfg  Config
-	topo *topology.Topology
+	cfg     Config
+	topo    *topology.Topology
+	workers int
 
 	pre     *preprocess.Preprocessor
 	loc     *locator.Locator
@@ -69,7 +105,12 @@ type Engine struct {
 	refiner *zoomin.Refiner
 	sopEng  *sop.Engine
 
-	samples []zoomin.Sample
+	samples   []zoomin.Sample
+	sampleGen uint64
+
+	evalStates map[int]evalState
+	evalDirty  []*incident.Incident
+	tickCount  uint64
 
 	rawIn int
 
@@ -85,19 +126,32 @@ type Engine struct {
 // then dropped); topo may be nil (connectivity scoping and SOP disabled);
 // sopExec may be nil (SOP disabled).
 func NewEngine(cfg Config, topo *topology.Topology, classifier *ftree.Classifier, sopExec sop.Executor, sopUtil sop.TrafficOracle) *Engine {
+	if cfg.Workers != 0 {
+		if cfg.Preprocess.Workers == 0 {
+			cfg.Preprocess.Workers = cfg.Workers
+		}
+		if cfg.Locator.Workers == 0 {
+			cfg.Locator.Workers = cfg.Workers
+		}
+	}
 	e := &Engine{
-		cfg:     cfg,
-		topo:    topo,
-		pre:     preprocess.New(cfg.Preprocess, topo, classifier),
-		loc:     locator.New(cfg.Locator, topo),
-		eval:    evaluator.New(cfg.Evaluator, topo),
-		refiner: zoomin.NewRefiner(cfg.Zoom),
+		cfg:        cfg,
+		topo:       topo,
+		workers:    par.Workers(cfg.Workers),
+		pre:        preprocess.New(cfg.Preprocess, topo, classifier),
+		loc:        locator.New(cfg.Locator, topo),
+		eval:       evaluator.New(cfg.Evaluator, topo),
+		refiner:    zoomin.NewRefiner(cfg.Zoom),
+		evalStates: make(map[int]evalState),
 	}
 	if cfg.EnableSOP && topo != nil && sopExec != nil {
 		e.sopEng = sop.NewEngine(topo, sopExec, sopUtil)
 	}
 	return e
 }
+
+// Workers reports the resolved evaluation-stage fan-out width.
+func (e *Engine) Workers() int { return e.workers }
 
 // Ingest feeds one raw alert into the preprocessor.
 func (e *Engine) Ingest(a alert.Alert) {
@@ -109,8 +163,12 @@ func (e *Engine) Ingest(a alert.Alert) {
 }
 
 // SetReachability installs the latest end-to-end ping observations used by
-// location zoom-in's reachability matrix.
+// location zoom-in's reachability matrix. Installing an identical sample
+// set is free; a changed set marks every active incident for re-refining.
 func (e *Engine) SetReachability(samples []zoomin.Sample) {
+	if !slices.Equal(samples, e.samples) {
+		e.sampleGen++
+	}
 	e.samples = samples
 }
 
@@ -119,33 +177,55 @@ func (e *Engine) SetReachability(samples []zoomin.Sample) {
 // incidents, and applies automatic SOPs to new ones.
 func (e *Engine) Tick(now time.Time) TickResult {
 	var res TickResult
+	e.tickCount++
 	tel := e.tel
 	var start, mark time.Time
 	if tel != nil {
 		start = time.Now()
 		mark = start
+		tel.prePending.SetInt(e.pre.PendingDepth())
 	}
 	structured := e.pre.Tick(now)
 	res.Structured = len(structured)
 	if tel != nil {
 		mark = tel.observe(tel.stagePreprocess, mark)
 	}
-	for i := range structured {
-		e.loc.Add(structured[i])
-	}
+	e.loc.AddBatch(structured)
 	res.NewIncidents = e.loc.Check(now)
 	if tel != nil {
 		mark = tel.observe(tel.stageLocate, mark)
 	}
-	// Refine and (re)score every active incident so severity escalates
-	// with duration (Eq. 2's ΔT term).
+	// Refine and (re)score active incidents so severity escalates with
+	// duration (Eq. 2's ΔT term). An incident is dirty — needs the full
+	// Refine+Score — when its content changed (rev), the reachability
+	// samples changed (gen), or the previous scoring clamped Eq. 2's
+	// duration at the evaluation time (now < UpdateTime), so a later now
+	// yields a different ΔT. Otherwise both are pure functions of
+	// unchanged inputs and the stored Severity/Zoomed are already exact.
 	active := e.loc.Active()
+	dirty := e.evalDirty[:0]
 	for _, in := range active {
+		st, ok := e.evalStates[in.ID]
+		if !ok || st.rev != in.Rev() || st.gen != e.sampleGen || st.now.Before(in.UpdateTime) {
+			dirty = append(dirty, in)
+		}
+	}
+	par.Do(e.workers, len(dirty), func(i int) {
+		in := dirty[i]
 		e.refiner.Refine(in, e.samples)
 		e.eval.Score(in, now)
+	})
+	for _, in := range dirty {
+		e.evalStates[in.ID] = evalState{rev: in.Rev(), gen: e.sampleGen, now: now, seen: e.tickCount}
+	}
+	e.evalDirty = dirty
+	if e.tickCount%evalStatePruneInterval == 0 {
+		e.pruneEvalStates(active)
 	}
 	if tel != nil {
 		mark = tel.observe(tel.stageEvaluate, mark)
+		tel.evalRescored.Add(int64(len(dirty)))
+		tel.evalSkipped.Add(int64(len(active) - len(dirty)))
 	}
 	if e.sopEng != nil {
 		for _, in := range res.NewIncidents {
@@ -164,6 +244,7 @@ func (e *Engine) Tick(now time.Time) TickResult {
 		tel.sopExecutions.Add(int64(len(res.SOPExecutions)))
 		tel.activeIncidents.SetInt(e.loc.ActiveCount())
 		tel.closedIncidents.SetInt(e.loc.ClosedCount())
+		tel.observeShards(e.pre, e.loc)
 	}
 	if e.journal != nil {
 		e.observeLifecycle(now, res.NewIncidents, active)
@@ -171,15 +252,38 @@ func (e *Engine) Tick(now time.Time) TickResult {
 	return res
 }
 
-// Active returns the open incidents, oldest first.
+// pruneEvalStates drops incremental-evaluator state for incidents no
+// longer active (closed, or absorbed into a larger incident).
+func (e *Engine) pruneEvalStates(active []*incident.Incident) {
+	for _, in := range active {
+		st := e.evalStates[in.ID]
+		st.seen = e.tickCount
+		e.evalStates[in.ID] = st
+	}
+	for id, st := range e.evalStates {
+		if st.seen != e.tickCount {
+			delete(e.evalStates, id)
+		}
+	}
+}
+
+// Active returns the open incidents, oldest first. The slice is a fresh
+// copy the caller owns; the incidents themselves are shared.
 func (e *Engine) Active() []*incident.Incident { return e.loc.Active() }
 
-// Closed returns timed-out incidents.
+// Closed returns timed-out incidents. The slice is a fresh copy the
+// caller owns.
 func (e *Engine) Closed() []*incident.Incident { return e.loc.Closed() }
 
-// AllIncidents returns every incident the engine has produced, by ID.
+// AllIncidents returns every incident the engine has produced, by ID. The
+// returned slice is freshly allocated on every call — callers may sort,
+// filter, or append to it without affecting the engine.
 func (e *Engine) AllIncidents() []*incident.Incident {
-	out := append(e.loc.Closed(), e.loc.Active()...)
+	closed := e.loc.Closed()
+	active := e.loc.Active()
+	out := make([]*incident.Incident, 0, len(closed)+len(active))
+	out = append(out, closed...)
+	out = append(out, active...)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

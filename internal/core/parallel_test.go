@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"skynet/internal/scenario"
+)
+
+// engineFingerprint renders the engine's complete incident population —
+// IDs, roots, spans, entries, and exact severity bits — so runs at
+// different worker counts can be compared for strict equality.
+func engineFingerprint(e *Engine) string {
+	var b strings.Builder
+	for _, in := range e.AllIncidents() {
+		fmt.Fprintf(&b, "#%d sev=%x active=%v zoomed=%s\n%s",
+			in.ID, in.Severity, in.Active(), in.Zoomed, in.Render())
+	}
+	return b.String()
+}
+
+// severeRunAtWorkers replays the §2.2 fiber-cut scenario through a full
+// closed loop with the given pipeline fan-out.
+func severeRunAtWorkers(t *testing.T, workers int) (RunStats, string) {
+	t.Helper()
+	topo := smallTopo()
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	r, err := NewRunner(topo, cfg, quietMonitors(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scenario.FiberCutSevere(topo, epoch.Add(time.Minute))
+	if err := sc.Inject(r.Sim); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.Run(epoch, epoch.Add(8*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, engineFingerprint(r.Engine)
+}
+
+// TestEngineDeterministicAcrossWorkers is the PR's core guarantee: the
+// sharded parallel pipeline — parallel preprocessing, location-sharded
+// locator, incremental parallel scoring — produces incident sets, IDs,
+// and severities bit-identical to the serial engine at every worker
+// count. Run under -race this also exercises the shard ownership
+// discipline at real concurrency.
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	refStats, refFP := severeRunAtWorkers(t, 1)
+	if refStats.NewIncidents == 0 || refFP == "" {
+		t.Fatal("serial reference run produced no incidents to compare")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		stats, fp := severeRunAtWorkers(t, workers)
+		if stats != refStats {
+			t.Errorf("workers=%d: run stats diverged: %+v vs serial %+v", workers, stats, refStats)
+		}
+		if fp != refFP {
+			t.Errorf("workers=%d: incident population diverged from serial:\n--- parallel ---\n%s--- serial ---\n%s",
+				workers, fp, refFP)
+		}
+	}
+}
+
+// TestAllIncidentsReturnsFreshSlice pins the engine-level aliasing
+// contract: AllIncidents (and Active/Closed) hand back slices the caller
+// owns outright.
+func TestAllIncidentsReturnsFreshSlice(t *testing.T) {
+	topo := smallTopo()
+	r := newRunner(t, topo)
+	sc := scenario.FiberCutSevere(topo, epoch.Add(time.Minute))
+	if err := sc.Inject(r.Sim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(epoch, epoch.Add(8*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	all := r.Engine.AllIncidents()
+	if len(all) == 0 {
+		t.Fatal("no incidents produced")
+	}
+	// Vandalize the returned slice every way a caller might.
+	for i := range all {
+		all[i] = nil
+	}
+	_ = append(all, nil)
+	again := r.Engine.AllIncidents()
+	if len(again) != len(all) {
+		t.Fatalf("AllIncidents length changed: %d vs %d", len(again), len(all))
+	}
+	for i, in := range again {
+		if in == nil {
+			t.Fatalf("AllIncidents[%d] is nil after caller mutation — slice aliased engine state", i)
+		}
+	}
+	act := r.Engine.Active()
+	for i := range act {
+		act[i] = nil
+	}
+	for i, in := range r.Engine.Active() {
+		if in == nil {
+			t.Fatalf("Active[%d] aliased engine state", i)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"skynet/internal/alert"
@@ -150,5 +151,16 @@ func (r *Runner) pushReachability() {
 	for k, loss := range m {
 		samples = append(samples, zoomin.Sample{Src: k.Src, Dst: k.Dst, Loss: loss})
 	}
+	// The matrix is a map; sort so the sample order — which zoom-in's
+	// float accumulation and tie-breaking observe — is identical across
+	// runs. Without this, Zoomed can flap between equal-loss candidates
+	// from run to run (and SetReachability would see every refresh as a
+	// change).
+	slices.SortFunc(samples, func(a, b zoomin.Sample) int {
+		if c := a.Src.Compare(b.Src); c != 0 {
+			return c
+		}
+		return a.Dst.Compare(b.Dst)
+	})
 	r.Engine.SetReachability(samples)
 }

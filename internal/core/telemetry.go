@@ -1,9 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"skynet/internal/incident"
+	"skynet/internal/locator"
+	"skynet/internal/preprocess"
 	"skynet/internal/telemetry"
 )
 
@@ -30,6 +33,18 @@ type pipelineMetrics struct {
 	activeIncidents *telemetry.Gauge
 	closedIncidents *telemetry.Gauge
 	structuredLast  *telemetry.Gauge
+
+	// Incremental-evaluator and shard telemetry (PR: sharded pipeline).
+	evalRescored *telemetry.Counter
+	evalSkipped  *telemetry.Counter
+	workers      *telemetry.Gauge
+	prePending   *telemetry.Gauge
+
+	// Per-shard gauges, indexed by shard; set serially at the end of
+	// Tick so scrapes never race the worker goroutines.
+	preShardAggs   []*telemetry.Gauge
+	preShardRouted []*telemetry.Gauge
+	locShardNodes  []*telemetry.Gauge
 }
 
 func newPipelineMetrics(reg *telemetry.Registry) *pipelineMetrics {
@@ -61,6 +76,49 @@ func newPipelineMetrics(reg *telemetry.Registry) *pipelineMetrics {
 			"Incidents closed over the engine's lifetime."),
 		structuredLast: reg.Gauge("skynet_structured_last_tick",
 			"Structured alerts produced by the most recent tick."),
+		evalRescored: reg.Counter("skynet_eval_rescored_total",
+			"Incidents re-refined and re-scored (dirty inputs)."),
+		evalSkipped: reg.Counter("skynet_eval_skipped_total",
+			"Incidents whose Refine+Score was skipped (inputs unchanged)."),
+		workers: reg.Gauge("skynet_pipeline_workers",
+			"Resolved worker fan-out of the parallel pipeline stages."),
+		prePending: reg.Gauge("skynet_preprocess_pending_depth",
+			"Raw alerts queued for the preprocessor at the start of the last tick."),
+	}
+}
+
+// initShardMetrics registers the per-shard gauges once the shard counts
+// are known (they depend on the resolved worker setting).
+func (m *pipelineMetrics) initShardMetrics(reg *telemetry.Registry, preShards, locShards int) {
+	m.preShardAggs = make([]*telemetry.Gauge, preShards)
+	m.preShardRouted = make([]*telemetry.Gauge, preShards)
+	for i := range m.preShardAggs {
+		m.preShardAggs[i] = reg.Gauge(
+			fmt.Sprintf("skynet_preprocess_shard_%d_aggregates", i),
+			"Live aggregation groups owned by one preprocessor shard.")
+		m.preShardRouted[i] = reg.Gauge(
+			fmt.Sprintf("skynet_preprocess_shard_%d_routed", i),
+			"Alerts routed to one preprocessor shard during the last tick.")
+	}
+	m.locShardNodes = make([]*telemetry.Gauge, locShards)
+	for i := range m.locShardNodes {
+		m.locShardNodes[i] = reg.Gauge(
+			fmt.Sprintf("skynet_locator_shard_%d_nodes", i),
+			"Live main-alert-tree nodes owned by one locator shard.")
+	}
+}
+
+// observeShards publishes the per-shard occupancy gauges. Called serially
+// at the end of Tick, after every parallel phase has joined.
+func (m *pipelineMetrics) observeShards(pre *preprocess.Preprocessor, loc *locator.Locator) {
+	for i, g := range m.preShardAggs {
+		g.SetInt(pre.ShardAggregates(i))
+	}
+	for i, g := range m.preShardRouted {
+		g.SetInt(pre.ShardRouted(i))
+	}
+	for i, g := range m.locShardNodes {
+		g.SetInt(loc.ShardNodes(i))
 	}
 }
 
@@ -87,6 +145,8 @@ type incidentState struct {
 func (e *Engine) EnableTelemetry(reg *telemetry.Registry, j *telemetry.Journal) {
 	if reg != nil {
 		e.tel = newPipelineMetrics(reg)
+		e.tel.workers.SetInt(e.workers)
+		e.tel.initShardMetrics(reg, e.pre.Workers(), e.loc.Workers())
 	}
 	if j != nil {
 		e.journal = j

@@ -145,10 +145,18 @@ func (e *Evaluator) Score(in *incident.Incident, now time.Time) Breakdown {
 		}
 	}
 
-	// Equation 1: impact factor over the related circuit sets.
+	// Equation 1: impact factor over the related circuit sets. Iterate
+	// in sorted name order: float accumulation is not associative, so a
+	// map-order walk would let severity bits vary run to run, breaking
+	// the engine's exact-replay guarantee.
+	names := make([]string, 0, len(related))
+	for name := range related {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	importantCustomers := map[topology.CustomerID]bool{}
 	var impact float64
-	for name := range related {
+	for _, name := range names {
 		d := breakRatio[name]
 		l := slaOver[name]
 		ci := CircuitImpact{Name: name, BreakRatio: d, SLAOverRatio: l}
@@ -174,7 +182,12 @@ func (e *Evaluator) Score(in *incident.Incident, now time.Time) Breakdown {
 		}
 		impact += ci.Contribution
 	}
-	sort.Slice(b.Circuits, func(i, j int) bool { return b.Circuits[i].Contribution > b.Circuits[j].Contribution })
+	sort.Slice(b.Circuits, func(i, j int) bool {
+		if b.Circuits[i].Contribution != b.Circuits[j].Contribution {
+			return b.Circuits[i].Contribution > b.Circuits[j].Contribution
+		}
+		return b.Circuits[i].Name < b.Circuits[j].Name
+	})
 	b.Impact = math.Max(1, impact)
 	b.ImportantCustomers = len(importantCustomers)
 
@@ -244,8 +257,7 @@ func Rank(ins []*incident.Incident) []*incident.Incident {
 // loss observations from the ping-based tools (the cluster mesh, sFlow
 // sampling, and the internet-telemetry prober of Table 2).
 func (e *Evaluator) avgPingLoss(in *incident.Incident) float64 {
-	var sum float64
-	var n int
+	var vals []float64
 	for _, locEntries := range in.Entries {
 		for _, entry := range locEntries {
 			a := &entry.Alert
@@ -255,14 +267,20 @@ func (e *Evaluator) avgPingLoss(in *incident.Incident) float64 {
 			if !lossy {
 				continue
 			}
-			sum += a.Value
-			n++
+			vals = append(vals, a.Value)
 		}
 	}
-	if n == 0 {
+	if len(vals) == 0 {
 		return 0
 	}
-	return sum / float64(n)
+	// Sum in sorted order so the incident-entries map walk above cannot
+	// perturb the (non-associative) float mean between runs.
+	sort.Float64s(vals)
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
 }
 
 // maxSLAOver computes L_k from NetFlow SLA alerts, mapped into (0,1).

@@ -48,7 +48,16 @@ type Incident struct {
 	// MergedFrom lists incident IDs absorbed into this one as its scope
 	// grew.
 	MergedFrom []int
+
+	// rev counts content mutations (Add/Merge/Close). The engine's
+	// incremental evaluator compares revisions to skip re-refining and
+	// re-scoring incidents whose inputs cannot have changed.
+	rev uint64
 }
+
+// Rev returns the mutation revision: it changes whenever Add, Merge, or
+// Close alter the incident's content.
+func (in *Incident) Rev() uint64 { return in.rev }
 
 // New creates an empty incident.
 func New(id int, root hierarchy.Path) *Incident {
@@ -65,6 +74,7 @@ func (in *Incident) Active() bool { return in.End.IsZero() }
 // Add merges one alert into the incident, updating Start/UpdateTime and
 // the per-location aggregation.
 func (in *Incident) Add(a alert.Alert) {
+	in.rev++
 	locEntries, ok := in.Entries[a.Location]
 	if !ok {
 		locEntries = make(map[alert.StreamKey]*Entry)
@@ -116,6 +126,7 @@ func (in *Incident) Merge(other *Incident) {
 func (in *Incident) Close(at time.Time) {
 	if in.End.IsZero() {
 		in.End = at
+		in.rev++
 	}
 }
 

@@ -15,10 +15,21 @@
 //   - Incident thresholds — "2 failure | 1 failure + 2 other | 5 any" in
 //     production — are uniform across hierarchy layers.
 //   - Incident trees time out after 15 minutes without new alerts.
+//
+// # Sharded execution
+//
+// The main alert tree is partitioned into Config.Workers shards hashed by
+// location, so AddBatch and expiry run one goroutine per shard, and the
+// per-component type counting of Algorithm 2 fans out one goroutine per
+// connected component. Everything order-sensitive — incident ID
+// assignment, absorption of smaller incidents, the closed list — stays on
+// the caller's goroutine, so incident sets, IDs, and ordering are
+// identical for every worker count.
 package locator
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -27,6 +38,7 @@ import (
 	"skynet/internal/alert"
 	"skynet/internal/hierarchy"
 	"skynet/internal/incident"
+	"skynet/internal/par"
 	"skynet/internal/topology"
 )
 
@@ -113,6 +125,10 @@ type Config struct {
 	// DisableConnectivity turns off topological component scoping (an
 	// ablation; the paper's design has it on).
 	DisableConnectivity bool
+	// Workers bounds the shard fan-out of AddBatch, expiry, and component
+	// counting. 0 means GOMAXPROCS; 1 runs fully serial. Incident sets,
+	// IDs, and ordering are identical for every setting.
+	Workers int
 }
 
 // DefaultConfig returns the production parameters.
@@ -138,17 +154,29 @@ type node struct {
 	entries map[alert.StreamKey]*entry
 }
 
-// Locator is the streaming §4.2 stage. Not safe for concurrent use.
+// locShard owns a disjoint, location-hashed subset of the main-tree
+// nodes; exactly one goroutine touches a shard per parallel phase.
+type locShard struct {
+	nodes map[hierarchy.Path]*node
+}
+
+// Locator is the streaming §4.2 stage. Add/AddBatch/Check must be called
+// from one goroutine (the engine loop); the batch paths internally fan
+// out to Config.Workers goroutines.
 type Locator struct {
 	cfg  Config
 	topo *topology.Topology
 
-	nodes map[hierarchy.Path]*node
+	workers int
+	shards  []locShard
 
 	active []*incident.Incident
 	closed []*incident.Incident
 
 	nextID int
+
+	// reused per-Check buffers
+	locBuf []hierarchy.Path
 }
 
 // New builds a locator over a topology. The topology may be nil, which
@@ -157,7 +185,48 @@ func New(cfg Config, topo *topology.Topology) *Locator {
 	if topo == nil {
 		cfg.DisableConnectivity = true
 	}
-	return &Locator{cfg: cfg, topo: topo, nodes: make(map[hierarchy.Path]*node)}
+	workers := par.Workers(cfg.Workers)
+	l := &Locator{cfg: cfg, topo: topo, workers: workers, shards: make([]locShard, workers)}
+	for i := range l.shards {
+		l.shards[i].nodes = make(map[hierarchy.Path]*node)
+	}
+	return l
+}
+
+// Workers reports the resolved shard fan-out width.
+func (l *Locator) Workers() int { return l.workers }
+
+// ShardNodes reports the live main-tree node count of one shard.
+func (l *Locator) ShardNodes(i int) int { return len(l.shards[i].nodes) }
+
+// shardOf routes a location to its owning shard with an FNV-1a hash over
+// the path segments. Routing only affects which goroutine owns the node,
+// never the output.
+func (l *Locator) shardOf(p hierarchy.Path) int {
+	if l.workers == 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 1; i <= p.Depth(); i++ {
+		s := p.Segment(hierarchy.Level(i))
+		for j := 0; j < len(s); j++ {
+			h ^= uint64(s[j])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	return int(h % uint64(l.workers))
+}
+
+// nodeAt looks a location up across the shards.
+func (l *Locator) nodeAt(p hierarchy.Path) (*node, bool) {
+	n, ok := l.shards[l.shardOf(p)].nodes[p]
+	return n, ok
 }
 
 // Add inserts one structured alert — Algorithm 1. The alert joins every
@@ -169,10 +238,51 @@ func (l *Locator) Add(a alert.Alert) {
 			in.Add(a)
 		}
 	}
-	n, ok := l.nodes[a.Location]
+	l.upsert(&l.shards[l.shardOf(a.Location)], a)
+}
+
+// AddBatch inserts one tick's structured alerts — Algorithm 1 over a
+// batch. Active incidents absorb their alerts in batch order (one task
+// per incident) while the main-tree shards consolidate theirs (one task
+// per shard); both mutations are disjoint, so the result is identical to
+// calling Add per alert.
+func (l *Locator) AddBatch(batch []alert.Alert) {
+	if len(batch) == 0 {
+		return
+	}
+	if l.workers == 1 || len(batch) == 1 {
+		for i := range batch {
+			l.Add(batch[i])
+		}
+		return
+	}
+	nInc := len(l.active)
+	par.Do(l.workers, nInc+len(l.shards), func(task int) {
+		if task < nInc {
+			in := l.active[task]
+			for i := range batch {
+				if in.Root.Contains(batch[i].Location) {
+					in.Add(batch[i])
+				}
+			}
+			return
+		}
+		shard := &l.shards[task-nInc]
+		for i := range batch {
+			if l.shardOf(batch[i].Location) == task-nInc {
+				l.upsert(shard, batch[i])
+			}
+		}
+	})
+}
+
+// upsert consolidates one alert into its main-tree node within the owning
+// shard.
+func (l *Locator) upsert(shard *locShard, a alert.Alert) {
+	n, ok := shard.nodes[a.Location]
 	if !ok {
 		n = &node{loc: a.Location, entries: make(map[alert.StreamKey]*entry)}
-		l.nodes[a.Location] = n
+		shard.nodes[a.Location] = n
 	}
 	k := a.StreamKey()
 	if e, ok := n.entries[k]; ok {
@@ -209,18 +319,22 @@ func (l *Locator) Check(now time.Time) []*incident.Incident {
 	return l.generate(now)
 }
 
-// expire implements Algorithm 3.
+// expire implements Algorithm 3: main-tree expiry fans out one task per
+// node shard; incident timeout stays serial so the closed list keeps its
+// insertion order.
 func (l *Locator) expire(now time.Time) {
-	for p, n := range l.nodes {
-		for k, e := range n.entries {
-			if now.Sub(e.lastSeen) > l.cfg.NodeTTL {
-				delete(n.entries, k)
+	par.Do(l.workers, len(l.shards), func(s int) {
+		for p, n := range l.shards[s].nodes {
+			for k, e := range n.entries {
+				if now.Sub(e.lastSeen) > l.cfg.NodeTTL {
+					delete(n.entries, k)
+				}
+			}
+			if len(n.entries) == 0 {
+				delete(l.shards[s].nodes, p)
 			}
 		}
-		if len(n.entries) == 0 {
-			delete(l.nodes, p)
-		}
-	}
+	})
 	stillActive := l.active[:0]
 	for _, in := range l.active {
 		if now.Sub(in.UpdateTime) > l.cfg.IncidentTTL {
@@ -233,16 +347,22 @@ func (l *Locator) expire(now time.Time) {
 	l.active = stillActive
 }
 
-// generate implements Algorithm 2 with component scoping.
+// generate implements Algorithm 2 with component scoping. Per-component
+// type counting runs in parallel; incident creation — ID assignment and
+// absorption — stays serial in component order.
 func (l *Locator) generate(now time.Time) []*incident.Incident {
-	if len(l.nodes) == 0 {
+	if l.NodeCount() == 0 {
 		return nil
 	}
 	comps := l.components()
+	type compCount struct{ failureTypes, allTypes int }
+	counts := make([]compCount, len(comps))
+	par.Do(l.workers, len(comps), func(i int) {
+		counts[i].failureTypes, counts[i].allTypes = l.countTypes(comps[i])
+	})
 	var created []*incident.Incident
-	for _, comp := range comps {
-		failureTypes, allTypes := l.countTypes(comp)
-		if !l.cfg.Thresholds.Crossed(failureTypes, allTypes) {
+	for ci, comp := range comps {
+		if !l.cfg.Thresholds.Crossed(counts[ci].failureTypes, counts[ci].allTypes) {
 			continue
 		}
 		root := commonAncestor(comp)
@@ -264,7 +384,7 @@ func (l *Locator) generate(now time.Time) []*incident.Incident {
 		l.active = remaining
 		// Copy the component's current alerts into the incident tree.
 		for _, loc := range comp {
-			if n, ok := l.nodes[loc]; ok {
+			if n, ok := l.nodeAt(loc); ok {
 				for _, e := range n.entries {
 					in.Add(e.a)
 				}
@@ -293,11 +413,14 @@ func (l *Locator) coveredByActive(root hierarchy.Path) bool {
 // its alerting ancestors (an alert at a site node spans everything under
 // the site).
 func (l *Locator) components() [][]hierarchy.Path {
-	locs := make([]hierarchy.Path, 0, len(l.nodes))
-	for p := range l.nodes {
-		locs = append(locs, p)
+	locs := l.locBuf[:0]
+	for s := range l.shards {
+		for p := range l.shards[s].nodes {
+			locs = append(locs, p)
+		}
 	}
-	sort.Slice(locs, func(i, j int) bool { return locs[i].Compare(locs[j]) < 0 })
+	slices.SortFunc(locs, hierarchy.Path.Compare)
+	l.locBuf = locs
 	if l.cfg.DisableConnectivity {
 		return [][]hierarchy.Path{locs}
 	}
@@ -356,11 +479,12 @@ func (l *Locator) components() [][]hierarchy.Path {
 }
 
 // countTypes counts distinct failure types and total types over a
-// component, honoring the TypeAndLocation baseline.
+// component, honoring the TypeAndLocation baseline. Read-only; safe to
+// run one goroutine per component.
 func (l *Locator) countTypes(comp []hierarchy.Path) (failureTypes, allTypes int) {
 	if l.cfg.TypeAndLocation {
 		for _, loc := range comp {
-			n := l.nodes[loc]
+			n, _ := l.nodeAt(loc)
 			for _, e := range n.entries {
 				switch e.a.Class {
 				case alert.ClassFailure:
@@ -376,7 +500,7 @@ func (l *Locator) countTypes(comp []hierarchy.Path) (failureTypes, allTypes int)
 	failures := map[alert.TypeKey]bool{}
 	all := map[alert.TypeKey]bool{}
 	for _, loc := range comp {
-		n := l.nodes[loc]
+		n, _ := l.nodeAt(loc)
 		for k, e := range n.entries {
 			switch e.a.Class {
 			case alert.ClassFailure:
@@ -401,7 +525,9 @@ func commonAncestor(paths []hierarchy.Path) hierarchy.Path {
 	return ca
 }
 
-// Active returns the open incidents, oldest first.
+// Active returns the open incidents ordered by ID. The slice is a fresh
+// copy the caller may reorder or append to; the *incident.Incident
+// elements are shared with the locator and must not be mutated.
 func (l *Locator) Active() []*incident.Incident {
 	out := make([]*incident.Incident, len(l.active))
 	copy(out, l.active)
@@ -409,7 +535,8 @@ func (l *Locator) Active() []*incident.Incident {
 	return out
 }
 
-// Closed returns incidents that have timed out, in closing order.
+// Closed returns incidents that have timed out, in closing order. Like
+// Active, the slice is a fresh copy owned by the caller.
 func (l *Locator) Closed() []*incident.Incident {
 	out := make([]*incident.Incident, len(l.closed))
 	copy(out, l.closed)
@@ -438,4 +565,10 @@ func (l *Locator) ClosedSince(i int) []*incident.Incident {
 
 // NodeCount reports the number of live main-tree nodes (for tests and the
 // Fig. 8c measurements).
-func (l *Locator) NodeCount() int { return len(l.nodes) }
+func (l *Locator) NodeCount() int {
+	n := 0
+	for i := range l.shards {
+		n += len(l.shards[i].nodes)
+	}
+	return n
+}

@@ -1,0 +1,150 @@
+package locator
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/experimentsutil"
+	"skynet/internal/topology"
+)
+
+// fingerprint renders the locator's complete observable state — node
+// count, every active and closed incident with its ID, root, span, and
+// entries — for bit-exact comparison between worker settings.
+func fingerprint(l *Locator) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes=%d active=%d closed=%d\n", l.NodeCount(), l.ActiveCount(), l.ClosedCount())
+	for _, in := range l.Active() {
+		b.WriteString(in.Render())
+	}
+	for _, in := range l.Closed() {
+		b.WriteString(in.Render())
+	}
+	return b.String()
+}
+
+// TestAddBatchMatchesSerialAdd drives the same random stream through a
+// one-worker locator using per-alert Add and through multi-worker
+// locators using AddBatch, interleaving Checks. The sharded parallel path
+// must reproduce the serial engine's incidents bit for bit.
+func TestAddBatchMatchesSerialAdd(t *testing.T) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	for _, seed := range []int64{1, 11, 23} {
+		batch := experimentsutil.RandomAlerts(topo, rand.New(rand.NewSource(seed)), 600, epoch)
+		run := func(workers int, useBatch bool) string {
+			cfg := DefaultConfig()
+			cfg.Workers = workers
+			l := New(cfg, topo)
+			var b strings.Builder
+			for i := 0; i < len(batch); i += 200 {
+				end := min(i+200, len(batch))
+				if useBatch {
+					l.AddBatch(batch[i:end])
+				} else {
+					for j := i; j < end; j++ {
+						l.Add(batch[j])
+					}
+				}
+				now := batch[end-1].Time.Add(30 * time.Second)
+				for _, in := range l.Check(now) {
+					b.WriteString(in.Render())
+				}
+			}
+			b.WriteString(fingerprint(l))
+			return b.String()
+		}
+		ref := run(1, false)
+		for _, workers := range []int{2, 4, 8} {
+			if got := run(workers, true); got != ref {
+				t.Errorf("seed %d: AddBatch at %d workers diverged from serial Add", seed, workers)
+			}
+		}
+		// The batch path at one worker must also match.
+		if got := run(1, true); got != ref {
+			t.Errorf("seed %d: serial AddBatch diverged from serial Add", seed)
+		}
+	}
+}
+
+// TestActiveClosedReturnCopies pins the aliasing contract: the slices
+// returned by Active, Closed, and ClosedSince are the caller's to sort,
+// truncate, or append to — doing so must not disturb the locator.
+func TestActiveClosedReturnCopies(t *testing.T) {
+	l, topo := newLocator(t)
+	loc := topo.Clusters()[0]
+	l.Add(mk(alert.SourcePing, "packet loss", epoch, loc))
+	l.Add(mk(alert.SourcePing, "end to end icmp", epoch, loc))
+	created := l.Check(epoch.Add(time.Minute))
+	if len(created) != 1 {
+		t.Fatalf("expected 1 incident, got %d", len(created))
+	}
+
+	act := l.Active()
+	act[0] = nil
+	_ = append(act, nil)
+	if got := l.Active(); len(got) != 1 || got[0] == nil {
+		t.Fatal("mutating Active()'s result corrupted the locator")
+	}
+
+	// Time the incident out, then vandalize Closed()'s result.
+	l.Check(epoch.Add(time.Hour))
+	cl := l.Closed()
+	if len(cl) != 1 {
+		t.Fatalf("expected 1 closed incident, got %d", len(cl))
+	}
+	cl[0] = nil
+	_ = append(cl, nil)
+	if got := l.Closed(); len(got) != 1 || got[0] == nil {
+		t.Fatal("mutating Closed()'s result corrupted the locator")
+	}
+	cs := l.ClosedSince(0)
+	cs[0] = nil
+	if got := l.ClosedSince(0); len(got) != 1 || got[0] == nil {
+		t.Fatal("mutating ClosedSince()'s result corrupted the locator")
+	}
+}
+
+// TestParseThresholdsRoundTrip checks String/ParseThresholds inverse on a
+// spread of settings, plus a malformed-input table.
+func TestParseThresholdsRoundTrip(t *testing.T) {
+	for _, th := range []Thresholds{
+		ProductionThresholds(),
+		{FailureOnly: 1, ComboFailure: 0, ComboOther: 0, AnyAlerts: 0},
+		{FailureOnly: 0, ComboFailure: 3, ComboOther: 4, AnyAlerts: 9},
+		{FailureOnly: 10, ComboFailure: 2, ComboOther: 1, AnyAlerts: 100},
+	} {
+		got, err := ParseThresholds(th.String())
+		if err != nil {
+			t.Errorf("ParseThresholds(%q): %v", th.String(), err)
+			continue
+		}
+		if got != th {
+			t.Errorf("round trip %q: got %+v, want %+v", th.String(), got, th)
+		}
+	}
+	malformed := []string{
+		"",            // empty
+		"2/1+2",       // missing last clause
+		"2/12/5",      // missing +
+		"2/1+2+3/5",   // extra +
+		"x/1+2/5",     // non-numeric A
+		"2/y+2/5",     // non-numeric B
+		"2/1+z/5",     // non-numeric C
+		"2/1+2/w",     // non-numeric D
+		"-2/1+2/5",    // negative A
+		"2/-1+2/5",    // negative B
+		"2/1+-2/5",    // negative C
+		"2/1+2/-5",    // negative D
+		"2/1+2/5/6",   // too many clauses
+		"2 / 1+2 / 5", // embedded spaces
+	}
+	for _, bad := range malformed {
+		if _, err := ParseThresholds(bad); err == nil {
+			t.Errorf("ParseThresholds(%q): want error, got nil", bad)
+		}
+	}
+}

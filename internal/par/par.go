@@ -1,0 +1,67 @@
+// Package par is the pipeline's tiny fan-out helper: a bounded,
+// allocation-light parallel-for used by the sharded preprocessor, locator,
+// and evaluator stages.
+//
+// Determinism contract: Do runs independent tasks on up to `workers`
+// goroutines. Each task must write only to state it owns (its shard map,
+// its incident, its slot of a pre-sized result slice); because no two
+// tasks share mutable state and all merging happens serially after Do
+// returns, results are identical for every worker count — including 1,
+// where everything runs inline on the caller's goroutine with zero
+// scheduling overhead.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count setting: n > 0 is used as given,
+// anything else (the zero value of a config field) means "all cores",
+// i.e. GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs fn(i) for every i in [0, n), spread over at most `workers`
+// goroutines, and returns when all calls have completed. Tasks are
+// claimed from a shared counter so uneven task costs balance out. With
+// workers <= 1 or n <= 1 the calls run inline, in order, on the caller's
+// goroutine — the serial reference path the parallel one must match.
+func Do(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,54 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryTaskExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		Do(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoSerialRunsInOrderOnCallerGoroutine(t *testing.T) {
+	var order []int
+	Do(1, 5, func(i int) { order = append(order, i) }) // no synchronization: must be inline
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d of 5 tasks", len(order))
+	}
+}
+
+func TestDoZeroAndNegativeTasks(t *testing.T) {
+	ran := false
+	Do(4, 0, func(int) { ran = true })
+	Do(4, -3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n <= 0")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-2) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}

@@ -1,0 +1,55 @@
+package preprocess
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParallelMatchesSerial drives the same raw stream through the
+// preprocessor at several worker settings, interleaving uneven ingest
+// chunks with ticks and a final drain. Emissions — order included — and
+// the stats funnel must be bit-identical: the aggKey sharding and
+// parallel FT-tree classification may only change which goroutine does
+// the work, never the output.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		raw, topo := propStream(seed, 400)
+		run := func(workers int) (string, Stats) {
+			cfg := DefaultConfig()
+			cfg.Workers = workers
+			p := New(cfg, topo, nil)
+			var b strings.Builder
+			now := epoch
+			i := 0
+			for chunk := 1; i < len(raw); chunk++ {
+				end := min(i+37*chunk, len(raw)) // uneven chunk sizes
+				for ; i < end; i++ {
+					p.Add(raw[i])
+				}
+				now = now.Add(10 * time.Second)
+				for _, a := range p.Tick(now) {
+					fmt.Fprintf(&b, "%+v\n", a)
+				}
+			}
+			for _, a := range p.Drain(now.Add(time.Minute)) {
+				fmt.Fprintf(&b, "%+v\n", a)
+			}
+			return b.String(), p.Stats()
+		}
+		refOut, refStats := run(1)
+		if refOut == "" {
+			t.Fatalf("seed %d: serial run emitted nothing to compare", seed)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			out, stats := run(workers)
+			if out != refOut {
+				t.Errorf("seed %d: emissions at %d workers diverged from serial", seed, workers)
+			}
+			if stats != refStats {
+				t.Errorf("seed %d: stats at %d workers = %+v, serial %+v", seed, workers, stats, refStats)
+			}
+		}
+	}
+}

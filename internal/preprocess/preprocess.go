@@ -18,15 +18,27 @@
 //
 // The preprocessor is a stream processor: Add ingests raw alerts, Tick
 // advances time and emits the structured survivors.
+//
+// # Sharded execution
+//
+// Add only buffers; all per-alert work happens in Tick, which fans the
+// buffered batch out to Config.Workers workers in two parallel phases —
+// FT-tree classification/normalization (per-alert independent) and
+// per-aggregate consolidation (alerts hashed by aggregate key, so each
+// aggregate has a single owner) — then drains the aggregates serially in
+// one globally sorted key order. Emission order, assigned IDs, and every
+// filter decision are therefore identical for any worker count, including
+// the serial Workers=1 path.
 package preprocess
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"skynet/internal/alert"
 	"skynet/internal/ftree"
 	"skynet/internal/hierarchy"
+	"skynet/internal/par"
 	"skynet/internal/topology"
 )
 
@@ -55,6 +67,10 @@ type Config struct {
 	// (traffic drops pass without corroboration) — an ablation switch;
 	// the paper's design has the rule on.
 	DisableCrossSource bool
+	// Workers bounds the classification/consolidation fan-out in Tick.
+	// 0 means GOMAXPROCS; 1 runs fully serial. Output is identical for
+	// every setting.
+	Workers int
 }
 
 // DefaultConfig returns the production-like defaults.
@@ -70,7 +86,8 @@ func DefaultConfig() Config {
 }
 
 // Stats counts the preprocessor's volume reduction for the Fig. 8b
-// experiment.
+// experiment. Counters other than In update when Tick processes the
+// buffered batch.
 type Stats struct {
 	// In is the number of raw alerts ingested.
 	In int
@@ -113,13 +130,50 @@ type aggregate struct {
 	suspended    bool // waiting for corroboration (traffic drops)
 }
 
-// Preprocessor is the streaming §4.1 stage. Not safe for concurrent use.
+// preShard owns a disjoint subset of the aggregates, selected by hashing
+// the aggregate key. Exactly one worker touches a shard per phase.
+type preShard struct {
+	aggs map[aggKey]*aggregate
+	// keys mirrors the map's key set in lessAggKey order, maintained
+	// incrementally so Tick never re-sorts the full population.
+	keys []aggKey
+
+	// per-tick scratch, merged into Stats serially after each phase
+	newKeys []aggKey
+	dedup   int
+	routed  int // batch alerts consolidated into this shard last Tick
+	deleted int // sweep deletions pending key-list compaction
+}
+
+// prepared is the phase-A output for one buffered raw alert: normalized
+// and routed, or dropped.
+type prepared struct {
+	a     alert.Alert
+	shard int32
+	drop  bool // unclassifiable syslog
+}
+
+// chunkScratch is the phase-A per-worker scratch; slot i belongs to chunk
+// i, so no two goroutines share a map.
+type chunkScratch struct {
+	corro               map[hierarchy.Path]time.Time
+	droppedUnclassified int
+}
+
+// Preprocessor is the streaming §4.1 stage. Add and Tick must be called
+// from one goroutine (the engine loop); Tick internally fans work out to
+// Config.Workers goroutines.
 type Preprocessor struct {
 	cfg        Config
 	topo       *topology.Topology
 	classifier *ftree.Classifier
+	workers    int
 
-	aggs map[aggKey]*aggregate
+	// pending buffers raw alerts between Ticks; capacity persists at the
+	// flood high-water mark so steady state allocates nothing.
+	pending []alert.Alert
+
+	shards []preShard
 
 	// corro records recent corroborating evidence per corroboration-level
 	// location: the last time a failure/root-cause alert was seen there.
@@ -127,25 +181,57 @@ type Preprocessor struct {
 
 	stats  Stats
 	nextID uint64
+
+	// reused per-tick buffers
+	prep    []prepared
+	chunks  []chunkScratch
+	emitBuf []alert.Alert
+	cursors []int
 }
 
 // New builds a preprocessor. The classifier may be nil, in which case raw
 // syslog lines are dropped as unclassifiable; topo may be nil, disabling
 // the adjacency-based related-surge filter.
 func New(cfg Config, topo *topology.Topology, classifier *ftree.Classifier) *Preprocessor {
-	return &Preprocessor{
+	workers := par.Workers(cfg.Workers)
+	p := &Preprocessor{
 		cfg:        cfg,
 		topo:       topo,
 		classifier: classifier,
-		aggs:       make(map[aggKey]*aggregate),
+		workers:    workers,
+		shards:     make([]preShard, workers),
 		corro:      make(map[hierarchy.Path]time.Time),
+		chunks:     make([]chunkScratch, workers),
+		cursors:    make([]int, workers),
 	}
+	for i := range p.shards {
+		p.shards[i].aggs = make(map[aggKey]*aggregate)
+	}
+	for i := range p.chunks {
+		p.chunks[i].corro = make(map[hierarchy.Path]time.Time)
+	}
+	return p
 }
+
+// Workers reports the resolved fan-out width (shard count).
+func (p *Preprocessor) Workers() int { return p.workers }
+
+// PendingDepth reports the number of raw alerts buffered since the last
+// Tick — the preprocessor's queue depth.
+func (p *Preprocessor) PendingDepth() int { return len(p.pending) }
+
+// ShardAggregates reports the live aggregate count of one shard.
+func (p *Preprocessor) ShardAggregates(i int) int { return len(p.shards[i].aggs) }
+
+// ShardRouted reports how many batch alerts the last Tick consolidated
+// into shard i.
+func (p *Preprocessor) ShardRouted(i int) int { return p.shards[i].routed }
 
 // Stats returns a snapshot of the volume counters.
 func (p *Preprocessor) Stats() Stats { return p.stats }
 
-// Add ingests one raw alert. Output is produced by Tick.
+// Add buffers one raw alert; all classification and consolidation work
+// happens in the next Tick.
 func (p *Preprocessor) Add(a alert.Alert) {
 	p.stats.In++
 	// Link-alert split (§4.1): "an alert related to a link is split into
@@ -155,18 +241,95 @@ func (p *Preprocessor) Add(a alert.Alert) {
 	if a.CircuitSet != "" && a.Location.IsDevice() && a.Peer.IsDevice() && a.Peer != a.Location {
 		mirrored := a
 		mirrored.Location, mirrored.Peer = a.Peer, a.Location
-		p.ingest(mirrored)
+		p.pending = append(p.pending, mirrored)
 	}
-	p.ingest(a)
+	p.pending = append(p.pending, a)
 }
 
-// ingest runs the normalization and consolidation pipeline for one alert.
-func (p *Preprocessor) ingest(a alert.Alert) {
+// absorb ingests the pending batch into the aggregate shards: phase A
+// classifies and normalizes every alert in parallel, phase B consolidates
+// each shard's alerts in arrival order under a single owner.
+func (p *Preprocessor) absorb() {
+	n := len(p.pending)
+	if n == 0 {
+		for s := range p.shards {
+			p.shards[s].routed = 0
+		}
+		return
+	}
+	if cap(p.prep) < n {
+		p.prep = make([]prepared, n)
+	}
+	p.prep = p.prep[:n]
+	nshards := len(p.shards)
+
+	// Phase A: per-alert classification and normalization, chunked over
+	// the workers. Slot i of prep belongs to pending alert i, so worker
+	// scheduling cannot reorder anything.
+	chunkSize := (n + p.workers - 1) / p.workers
+	nchunks := (n + chunkSize - 1) / chunkSize
+	par.Do(p.workers, nchunks, func(c int) {
+		lo, hi := c*chunkSize, (c+1)*chunkSize
+		if hi > n {
+			hi = n
+		}
+		scratch := &p.chunks[c]
+		for i := lo; i < hi; i++ {
+			p.prepare(&p.pending[i], &p.prep[i], scratch, nshards)
+		}
+	})
+	// Merge corroboration evidence (max observation time per location —
+	// commutative, so chunk order cannot matter) and drop counters.
+	for c := 0; c < nchunks; c++ {
+		scratch := &p.chunks[c]
+		for loc, at := range scratch.corro {
+			if t, ok := p.corro[loc]; !ok || at.After(t) {
+				p.corro[loc] = at
+			}
+		}
+		clear(scratch.corro)
+		p.stats.DroppedUnclassified += scratch.droppedUnclassified
+		scratch.droppedUnclassified = 0
+	}
+
+	// Phase B: per-shard consolidation. Each worker scans the prepared
+	// batch in order and applies only its own shard's alerts, so every
+	// aggregate sees its observations in arrival order — exactly the
+	// serial semantics.
+	par.Do(p.workers, nshards, func(s int) {
+		shard := &p.shards[s]
+		shard.dedup, shard.routed = 0, 0
+		shard.newKeys = shard.newKeys[:0]
+		for i := range p.prep {
+			it := &p.prep[i]
+			if it.drop || int(it.shard) != s {
+				continue
+			}
+			shard.routed++
+			p.consolidate(shard, &it.a)
+		}
+		if len(shard.newKeys) > 0 {
+			slices.SortFunc(shard.newKeys, compareAggKey)
+			shard.keys = mergeSortedKeys(shard.keys, shard.newKeys)
+		}
+	})
+	for s := range p.shards {
+		p.stats.Deduplicated += p.shards[s].dedup
+	}
+	p.pending = p.pending[:0]
+}
+
+// prepare runs the order-independent per-alert work: syslog
+// classification, class/count/end normalization, corroboration evidence
+// collection, and shard routing.
+func (p *Preprocessor) prepare(in *alert.Alert, out *prepared, scratch *chunkScratch, nshards int) {
+	a := *in
 	// Syslog classification: free text → type via FT-tree.
 	if a.Source == alert.SourceSyslog && a.Type == "" {
 		typ, ok := p.classify(a.Raw)
 		if !ok {
-			p.stats.DroppedUnclassified++
+			scratch.droppedUnclassified++
+			out.drop = true
 			return
 		}
 		a.Type = typ
@@ -186,15 +349,21 @@ func (p *Preprocessor) ingest(a alert.Alert) {
 	// Record corroborating evidence for the cross-source rule.
 	if a.Class == alert.ClassFailure || a.Class == alert.ClassRootCause {
 		key := a.Location.Truncate(p.cfg.CorroborationLevel)
-		if t, ok := p.corro[key]; !ok || a.Time.After(t) {
-			p.corro[key] = a.Time
+		if t, ok := scratch.corro[key]; !ok || a.Time.After(t) {
+			scratch.corro[key] = a.Time
 		}
 	}
+	out.a = a
+	out.drop = false
+	out.shard = int32(shardIndex(aggKey{a.Source, a.Type, a.Location, a.CircuitSet}, nshards))
+}
 
+// consolidate applies consolidation 1 (identical alerts absorb) for one
+// normalized alert within its owning shard.
+func (p *Preprocessor) consolidate(shard *preShard, a *alert.Alert) {
 	k := aggKey{a.Source, a.Type, a.Location, a.CircuitSet}
-	if g, ok := p.aggs[k]; ok {
-		// Consolidation 1: identical alert → absorb.
-		p.stats.Deduplicated++
+	if g, ok := shard.aggs[k]; ok {
+		shard.dedup++
 		if a.End.After(g.a.End) {
 			g.a.End = a.End
 		}
@@ -206,10 +375,12 @@ func (p *Preprocessor) ingest(a alert.Alert) {
 		return
 	}
 	suspended := a.Type == alert.TypeTrafficDrop && !p.cfg.DisableCrossSource
-	p.aggs[k] = &aggregate{a: a, lastSeen: a.Time, suspended: suspended}
+	shard.aggs[k] = &aggregate{a: *a, lastSeen: a.Time, suspended: suspended}
+	shard.newKeys = append(shard.newKeys, k)
 }
 
-// classify runs the FT-tree classifier over a raw line.
+// classify runs the FT-tree classifier over a raw line. The classifier is
+// immutable after construction, so concurrent phase-A calls are safe.
 func (p *Preprocessor) classify(raw string) (string, bool) {
 	if p.classifier == nil || raw == "" {
 		return "", false
@@ -217,22 +388,20 @@ func (p *Preprocessor) classify(raw string) (string, bool) {
 	return p.classifier.ClassifyLine(raw)
 }
 
-// Tick advances stream time and returns the structured alerts emitted at
-// now: new aggregates that pass the filters, refreshes of long-running
-// aggregates, and corroborated traffic drops. Expired aggregates are
-// garbage collected.
+// Tick ingests the buffered batch and returns the structured alerts
+// emitted at now: new aggregates that pass the filters, refreshes of
+// long-running aggregates, and corroborated traffic drops. Expired
+// aggregates are garbage collected.
+//
+// The returned slice is reused by the next Tick or Drain call; callers
+// that retain alerts past that point must copy them.
 func (p *Preprocessor) Tick(now time.Time) []alert.Alert {
-	var out []alert.Alert
-	// Iterate aggregates in a stable order so emission order, assigned
-	// IDs, and the related-surge decisions are deterministic (the aggs
-	// map itself iterates randomly).
-	keys := make([]aggKey, 0, len(p.aggs))
-	for k := range p.aggs {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return lessAggKey(keys[i], keys[j]) })
-	for _, k := range keys {
-		g := p.aggs[k]
+	p.absorb()
+	// Sweep aggregates in one global lessAggKey order (a k-way merge of
+	// the shards' sorted key lists) so emission order, assigned IDs, and
+	// the related-surge decisions are identical for every worker count.
+	p.emitBuf = p.emitBuf[:0]
+	p.sweep(now, func(shard *preShard, k aggKey, g *aggregate) {
 		if now.Sub(g.lastSeen) > p.cfg.AggWindow {
 			// Aggregate went quiet: account for the never-emitted ones.
 			if !g.emitted {
@@ -243,27 +412,79 @@ func (p *Preprocessor) Tick(now time.Time) []alert.Alert {
 					p.stats.DroppedSporadic++
 				}
 			}
-			delete(p.aggs, k)
-			continue
+			delete(shard.aggs, k)
+			shard.deleted++
+			return
 		}
 		if g.emitted {
 			if now.Sub(g.lastEmit) >= p.cfg.RefreshInterval && g.lastSeen.After(g.lastEmit) {
-				out = append(out, p.emit(g, now))
+				p.emitBuf = append(p.emitBuf, p.emit(g, now))
 			}
-			continue
+			return
 		}
 		if !p.pass(g, now) {
-			continue
+			return
 		}
-		out = append(out, p.emit(g, now))
-	}
+		p.emitBuf = append(p.emitBuf, p.emit(g, now))
+	})
+	p.compactKeys()
 	// Expire stale corroboration evidence.
 	for loc, t := range p.corro {
 		if now.Sub(t) > p.cfg.CorroborationWindow {
 			delete(p.corro, loc)
 		}
 	}
-	return out
+	return p.emitBuf
+}
+
+// sweep visits every live aggregate in global lessAggKey order. The
+// visitor may delete the current aggregate from its shard (bumping
+// shard.deleted); compactKeys reconciles the key lists afterwards.
+func (p *Preprocessor) sweep(now time.Time, visit func(shard *preShard, k aggKey, g *aggregate)) {
+	cursors := p.cursors
+	for i := range cursors {
+		cursors[i] = 0
+	}
+	for {
+		best := -1
+		for s := range p.shards {
+			keys := p.shards[s].keys
+			if cursors[s] >= len(keys) {
+				continue
+			}
+			if best < 0 || lessAggKey(keys[cursors[s]], p.shards[best].keys[cursors[best]]) {
+				best = s
+			}
+		}
+		if best < 0 {
+			return
+		}
+		shard := &p.shards[best]
+		k := shard.keys[cursors[best]]
+		cursors[best]++
+		if g, ok := shard.aggs[k]; ok {
+			visit(shard, k, g)
+		}
+	}
+}
+
+// compactKeys drops swept-away keys from each shard's sorted list, in
+// parallel — each shard is owned by one task.
+func (p *Preprocessor) compactKeys() {
+	par.Do(p.workers, len(p.shards), func(s int) {
+		shard := &p.shards[s]
+		if shard.deleted == 0 {
+			return
+		}
+		kept := shard.keys[:0]
+		for _, k := range shard.keys {
+			if _, ok := shard.aggs[k]; ok {
+				kept = append(kept, k)
+			}
+		}
+		shard.keys = kept
+		shard.deleted = 0
+	})
 }
 
 // pass applies the single-source and cross-source consolidation rules to a
@@ -299,17 +520,20 @@ func (p *Preprocessor) isSporadic(g *aggregate) bool {
 }
 
 // adjacentSurgeEmitted checks whether a surge at a topologically adjacent
-// device has already been emitted.
+// device has already been emitted. The existence scan is order-free, so
+// the shards' random map iteration cannot change the answer.
 func (p *Preprocessor) adjacentSurgeEmitted(g *aggregate) bool {
 	if p.topo == nil {
 		return false
 	}
-	for k, other := range p.aggs {
-		if k.typ != alert.TypeTrafficSurge || !other.emitted || other == g {
-			continue
-		}
-		if p.topo.Adjacent(g.a.Location, k.loc) {
-			return true
+	for s := range p.shards {
+		for k, other := range p.shards[s].aggs {
+			if k.typ != alert.TypeTrafficSurge || !other.emitted || other == g {
+				continue
+			}
+			if p.topo.Adjacent(g.a.Location, k.loc) {
+				return true
+			}
 		}
 	}
 	return false
@@ -334,36 +558,105 @@ func (p *Preprocessor) emit(g *aggregate, now time.Time) alert.Alert {
 }
 
 // Drain flushes every live aggregate regardless of filters; used at
-// end-of-trace so batch analyses see pending data.
+// end-of-trace so batch analyses see pending data. Like Tick, the
+// returned slice is reused by the next Tick or Drain call.
 func (p *Preprocessor) Drain(now time.Time) []alert.Alert {
-	var out []alert.Alert
-	keys := make([]aggKey, 0, len(p.aggs))
-	for k := range p.aggs {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return lessAggKey(keys[i], keys[j]) })
-	for _, k := range keys {
-		g := p.aggs[k]
+	p.absorb()
+	p.emitBuf = p.emitBuf[:0]
+	p.sweep(now, func(shard *preShard, k aggKey, g *aggregate) {
 		if !g.emitted && !g.suspended && !p.isSporadic(g) {
-			out = append(out, p.emit(g, now))
+			p.emitBuf = append(p.emitBuf, p.emit(g, now))
 		}
-		delete(p.aggs, k)
+		delete(shard.aggs, k)
+		shard.deleted++
+	})
+	p.compactKeys()
+	return p.emitBuf
+}
+
+// shardIndex routes an aggregate key to its owning shard with an FNV-1a
+// hash over the key's fields. Routing only affects which goroutine owns
+// the aggregate, never the output.
+func shardIndex(k aggKey, n int) int {
+	if n == 1 {
+		return 0
 	}
-	return out
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // segment terminator so ("ab","c") != ("a","bc")
+		h *= prime64
+	}
+	h ^= uint64(k.src)
+	h *= prime64
+	mix(k.typ)
+	for l := 1; l <= k.loc.Depth(); l++ {
+		mix(k.loc.Segment(hierarchy.Level(l)))
+	}
+	mix(k.cs)
+	return int(h % uint64(n))
+}
+
+// mergeSortedKeys merges two lessAggKey-sorted, disjoint key lists into
+// one, in place on dst's backing array when capacity allows.
+func mergeSortedKeys(dst, add []aggKey) []aggKey {
+	if len(add) == 0 {
+		return dst
+	}
+	if len(dst) == 0 {
+		return append(dst, add...)
+	}
+	n, m := len(dst), len(add)
+	dst = append(dst, add...) // grow; tail will be overwritten by the merge
+	i, j, w := n-1, m-1, n+m-1
+	for j >= 0 {
+		if i >= 0 && lessAggKey(add[j], dst[i]) {
+			dst[w] = dst[i]
+			i--
+		} else {
+			dst[w] = add[j]
+			j--
+		}
+		w--
+	}
+	return dst
 }
 
 // lessAggKey orders aggregate keys for deterministic iteration.
-func lessAggKey(a, b aggKey) bool {
+func lessAggKey(a, b aggKey) bool { return compareAggKey(a, b) < 0 }
+
+// compareAggKey orders aggregate keys: source, type, location, circuit
+// set.
+func compareAggKey(a, b aggKey) int {
 	if a.src != b.src {
-		return a.src < b.src
+		if a.src < b.src {
+			return -1
+		}
+		return 1
 	}
 	if a.typ != b.typ {
-		return a.typ < b.typ
+		if a.typ < b.typ {
+			return -1
+		}
+		return 1
 	}
 	if c := a.loc.Compare(b.loc); c != 0 {
-		return c < 0
+		return c
 	}
-	return a.cs < b.cs
+	if a.cs != b.cs {
+		if a.cs < b.cs {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 func absDuration(d time.Duration) time.Duration {
