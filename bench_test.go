@@ -26,6 +26,7 @@ import (
 	"skynet/internal/monitors"
 	"skynet/internal/netsim"
 	"skynet/internal/preprocess"
+	"skynet/internal/provenance"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 )
@@ -218,8 +219,9 @@ var telemetryDump = flag.String("telemetrydump", "",
 // benchEngineTick drives the engine through repeated ingest+tick rounds
 // over a severe-failure alert batch. With a nil registry it measures the
 // bare pipeline; with one attached it measures the instrumented path, so
-// the pair bounds the telemetry overhead.
-func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal *telemetry.Journal) {
+// the pair bounds the telemetry overhead. A lineage recorder likewise
+// bounds the provenance overhead.
+func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal *telemetry.Journal, rec *provenance.Recorder) {
 	topo := topology.MustGenerate(topology.SmallConfig())
 	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
 	classifier, err := preprocess.BootstrapClassifier()
@@ -231,6 +233,9 @@ func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal
 	eng := core.NewEngine(cfg, topo, classifier, nil, nil)
 	if reg != nil || journal != nil {
 		eng.EnableTelemetry(reg, journal)
+	}
+	if rec != nil {
+		eng.EnableProvenance(rec)
 	}
 	now := benchEpoch
 	b.ResetTimer()
@@ -248,23 +253,30 @@ func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal
 
 // BenchmarkEngineTick measures an uninstrumented ingest+tick round with
 // the default worker fan-out (all cores).
-func BenchmarkEngineTick(b *testing.B) { benchEngineTick(b, 0, nil, nil) }
+func BenchmarkEngineTick(b *testing.B) { benchEngineTick(b, 0, nil, nil, nil) }
 
 // BenchmarkEngineTickSerial pins the pipeline to one worker — the serial
 // reference the parallel path must match bit-for-bit (see
 // TestEngineDeterministicAcrossWorkers).
-func BenchmarkEngineTickSerial(b *testing.B) { benchEngineTick(b, 1, nil, nil) }
+func BenchmarkEngineTickSerial(b *testing.B) { benchEngineTick(b, 1, nil, nil, nil) }
 
 // BenchmarkEngineTickWorkers4 forces four workers regardless of core
 // count, exposing the goroutine fan-out overhead when oversubscribed.
-func BenchmarkEngineTickWorkers4(b *testing.B) { benchEngineTick(b, 4, nil, nil) }
+func BenchmarkEngineTickWorkers4(b *testing.B) { benchEngineTick(b, 4, nil, nil, nil) }
+
+// BenchmarkEngineTickProvenance is BenchmarkEngineTick with the lineage
+// recorder attached at the default 1-in-16 sampling; the delta between
+// the two is the provenance cost per tick (acceptance bound: within 5%).
+func BenchmarkEngineTickProvenance(b *testing.B) {
+	benchEngineTick(b, 0, nil, nil, provenance.New(provenance.Config{}))
+}
 
 // BenchmarkEngineTickTelemetry is BenchmarkEngineTick with the metrics
 // registry and lifecycle journal attached; the delta between the two is
 // the telemetry cost per tick (acceptance bound: within 5%).
 func BenchmarkEngineTickTelemetry(b *testing.B) {
 	reg := telemetry.New()
-	benchEngineTick(b, 0, reg, telemetry.NewJournal(0))
+	benchEngineTick(b, 0, reg, telemetry.NewJournal(0), nil)
 	if *telemetryDump == "" {
 		return
 	}

@@ -6,12 +6,15 @@
 //	skynet-bench -exp all
 //	skynet-bench -exp fig9 -scenarios 48
 //	skynet-bench -list
+//	skynet-bench -json bench.json          # machine-readable microbenchmarks
+//	skynet-bench -json - engine_tick       # one benchmark, to stdout
 //
 // Every experiment prints a table plus the paper's reported shape so the
 // two can be compared side by side; EXPERIMENTS.md archives a full run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"skynet/internal/experiments"
+	"skynet/internal/microbench"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 	"skynet/internal/trace"
@@ -37,6 +41,8 @@ func main() {
 			`dump a telemetry snapshot from an instrumented replay ("-" for stdout, else a file)`)
 		workers = flag.Int("workers", 0,
 			"pipeline worker fan-out (0 = all cores, 1 = serial; results are identical)")
+		jsonOut = flag.String("json", "",
+			`run the microbenchmark suite and write machine-readable results ("-" for stdout, else a file), then exit`)
 	)
 	flag.Parse()
 
@@ -44,6 +50,17 @@ func main() {
 		fmt.Println("available experiments:")
 		for _, n := range experiments.Names() {
 			fmt.Println("  " + n)
+		}
+		fmt.Println("microbenchmarks (-json):")
+		for _, n := range microbench.Names() {
+			fmt.Println("  " + n)
+		}
+		return
+	}
+	if *jsonOut != "" {
+		if err := runMicrobench(*jsonOut, flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -90,6 +107,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runMicrobench executes the hot-path benchmark suite (optionally only
+// the names given as positional args) and writes the JSON report to dst.
+func runMicrobench(dst string, names []string) error {
+	fmt.Fprintf(os.Stderr, "running microbenchmarks: %s\n", strings.Join(microbench.Names(), ", "))
+	rep, err := microbench.Run(names...)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if dst != "-" {
+		f, err := os.Create(dst)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if dst != "-" {
+		fmt.Printf("benchmark results written to %s\n", dst)
+	}
+	return nil
 }
 
 // dumpTelemetry replays a freshly generated severe-failure trace with the

@@ -23,6 +23,7 @@ import (
 	"skynet/internal/core"
 	"skynet/internal/evaluator"
 	"skynet/internal/locator"
+	"skynet/internal/provenance"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 	"skynet/internal/trace"
@@ -41,6 +42,10 @@ func main() {
 			"print per-stage timing and the volume funnel after replay")
 		workers = flag.Int("workers", 0,
 			"pipeline worker fan-out (0 = all cores, 1 = serial; replays are identical either way)")
+		provEvery = flag.Int("provenance", 0,
+			"record lineage detail for 1 in N ingested alerts (1 = all, 0 disables) and print the conservation ledger")
+		explainID = flag.Int("explain", -1,
+			"print the provenance tree of one incident after replay (implies full-detail recording)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -83,8 +88,16 @@ func main() {
 		reg = telemetry.New()
 		journal = telemetry.NewJournal(0)
 	}
+	var prov *provenance.Recorder
+	switch {
+	case *explainID >= 0:
+		// Explaining one incident wants every lineage in detail.
+		prov = provenance.New(provenance.Config{SampleEvery: 1})
+	case *provEvery > 0:
+		prov = provenance.New(provenance.Config{SampleEvery: *provEvery})
+	}
 	eng, err := trace.ReplayWithOptions(alerts, topo, cfg,
-		trace.ReplayOptions{Telemetry: reg, Journal: journal})
+		trace.ReplayOptions{Telemetry: reg, Journal: journal, Provenance: prov})
 	if err != nil {
 		fatal(err)
 	}
@@ -107,6 +120,48 @@ func main() {
 	if *showStats {
 		printStats(eng, reg, journal)
 	}
+	if prov != nil {
+		printConservation(prov)
+	}
+	if *explainID >= 0 {
+		explain(eng, prov, *explainID)
+	}
+}
+
+// printConservation renders the lineage ledger: every ingested alert must
+// be in exactly one terminal bucket once the replay has quiesced.
+func printConservation(prov *provenance.Recorder) {
+	c := prov.Counters()
+	fmt.Println("\n== lineage conservation (ingested == consolidated + filtered + expired + attributed) ==")
+	fmt.Printf("  ingested      %8d  (%d link-split mirrors)\n", c.Ingested, c.Split)
+	fmt.Printf("  consolidated  %8d\n", c.Consolidated)
+	fmt.Printf("  filtered      %8d  (", c.Filtered)
+	for r := provenance.FilterUnclassified; ; r++ {
+		fmt.Printf("%d %s", c.ByReason[r], r)
+		if r == provenance.FilterStale {
+			break
+		}
+		fmt.Print(", ")
+	}
+	fmt.Println(")")
+	fmt.Printf("  expired       %8d\n", c.Expired)
+	fmt.Printf("  attributed    %8d\n", c.Attributed)
+	if inflight := c.Ingested - c.Terminal(); inflight != 0 {
+		fmt.Printf("  IN FLIGHT     %8d  — conservation violated at quiescence!\n", inflight)
+	} else {
+		fmt.Println("  conserved: every lineage accounted for exactly once")
+	}
+}
+
+// explain prints the human-readable provenance tree of one incident.
+func explain(eng *core.Engine, prov *provenance.Recorder, id int) {
+	for _, in := range eng.AllIncidents() {
+		if in.ID == id {
+			fmt.Printf("\n%s", prov.Explain(in).Render())
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "skynet-replay: -explain %d: no such incident\n", id)
 }
 
 // printStats renders the -stats report: the volume funnel of Fig. 5a and

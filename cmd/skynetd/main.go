@@ -18,6 +18,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -26,10 +27,15 @@ import (
 	"skynet/internal/core"
 	"skynet/internal/ingest"
 	"skynet/internal/preprocess"
+	"skynet/internal/provenance"
 	"skynet/internal/status"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 )
+
+// version identifies the build; release pipelines override it with
+// -ldflags "-X main.version=...".
+var version = "dev"
 
 func main() {
 	var (
@@ -43,6 +49,8 @@ func main() {
 		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof on the HTTP status server")
 		workers  = flag.Int("workers", 0,
 			"pipeline worker fan-out (0 = all cores, 1 = serial; output is identical)")
+		provEvery = flag.Int("provenance", provenance.DefaultSampleEvery,
+			"record lineage detail for 1 in N ingested alerts (1 = all, 0 disables; conservation counters stay exact)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -94,6 +102,21 @@ func main() {
 	journal := telemetry.NewJournal(0)
 	engine.EnableTelemetry(reg, journal)
 	journal.RegisterMetrics(reg)
+
+	// Provenance: lineage conservation counters on /metrics and the
+	// per-incident explain endpoint.
+	var prov *provenance.Recorder
+	if *provEvery > 0 {
+		prov = provenance.New(provenance.Config{SampleEvery: *provEvery})
+		engine.EnableProvenance(prov)
+		prov.RegisterMetrics(reg)
+	}
+
+	log.Info("pipeline configured",
+		"workers", engine.Workers(),
+		"preprocess_shards", engine.PreprocessShards(),
+		"locator_shards", engine.LocatorShards(),
+		"provenance_sample_every", *provEvery)
 	shed := reg.Counter("skynet_engine_queue_shed_total",
 		"Alerts shed between the ingest dispatcher and the engine loop.")
 
@@ -136,10 +159,21 @@ func main() {
 		log.Info("udp listening", "addr", a.String())
 	}
 	if *httpAddr != "" {
+		flags := map[string]string{}
+		flag.VisitAll(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
 		snap := status.NewSnapshotter(&engineMu, engine, srv).
 			WithTopology(topo).
 			WithTelemetry(reg).
 			WithJournal(journal).
+			WithProvenance(prov).
+			WithBuildInfo(status.BuildInfo{
+				Version:   version,
+				GoVersion: runtime.Version(),
+				OS:        runtime.GOOS,
+				Arch:      runtime.GOARCH,
+				Workers:   engine.Workers(),
+				Flags:     flags,
+			}).
 			WithPprof(*pprofOn)
 		statusSrv, err := status.Listen(*httpAddr, snap, log)
 		if err != nil {

@@ -33,6 +33,7 @@ import (
 	"skynet/internal/locator"
 	"skynet/internal/par"
 	"skynet/internal/preprocess"
+	"skynet/internal/provenance"
 	"skynet/internal/sop"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
@@ -120,6 +121,10 @@ type Engine struct {
 	journal    *telemetry.Journal
 	lastState  map[int]incidentState
 	closedSeen int
+
+	// Provenance is optional; nil until EnableProvenance.
+	prov    *provenance.Recorder
+	provBds []evaluator.Breakdown
 }
 
 // NewEngine assembles a pipeline. classifier may be nil (raw syslog is
@@ -152,6 +157,12 @@ func NewEngine(cfg Config, topo *topology.Topology, classifier *ftree.Classifier
 
 // Workers reports the resolved evaluation-stage fan-out width.
 func (e *Engine) Workers() int { return e.workers }
+
+// PreprocessShards reports the preprocessor's resolved shard count.
+func (e *Engine) PreprocessShards() int { return e.pre.Workers() }
+
+// LocatorShards reports the locator's resolved shard count.
+func (e *Engine) LocatorShards() int { return e.loc.Workers() }
 
 // Ingest feeds one raw alert into the preprocessor.
 func (e *Engine) Ingest(a alert.Alert) {
@@ -210,11 +221,24 @@ func (e *Engine) Tick(now time.Time) TickResult {
 			dirty = append(dirty, in)
 		}
 	}
-	par.Do(e.workers, len(dirty), func(i int) {
-		in := dirty[i]
-		e.refiner.Refine(in, e.samples)
-		e.eval.Score(in, now)
-	})
+	if e.prov != nil {
+		if cap(e.provBds) < len(dirty) {
+			e.provBds = make([]evaluator.Breakdown, len(dirty))
+		}
+		bds := e.provBds[:len(dirty)]
+		par.Do(e.workers, len(dirty), func(i int) {
+			in := dirty[i]
+			e.refiner.Refine(in, e.samples)
+			bds[i] = e.eval.Score(in, now)
+		})
+		e.recordScores(now, dirty, bds)
+	} else {
+		par.Do(e.workers, len(dirty), func(i int) {
+			in := dirty[i]
+			e.refiner.Refine(in, e.samples)
+			e.eval.Score(in, now)
+		})
+	}
 	for _, in := range dirty {
 		e.evalStates[in.ID] = evalState{rev: in.Rev(), gen: e.sampleGen, now: now, seen: e.tickCount}
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"skynet/internal/provenance"
 	"skynet/internal/scenario"
 )
 
@@ -62,6 +63,60 @@ func TestEngineDeterministicAcrossWorkers(t *testing.T) {
 		if fp != refFP {
 			t.Errorf("workers=%d: incident population diverged from serial:\n--- parallel ---\n%s--- serial ---\n%s",
 				workers, fp, refFP)
+		}
+	}
+}
+
+// severeRunAtWorkersProv is severeRunAtWorkers with full-detail lineage
+// recording attached, returning the conservation ledger alongside.
+func severeRunAtWorkersProv(t *testing.T, workers int) (RunStats, string, provenance.Counters) {
+	t.Helper()
+	topo := smallTopo()
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	r, err := NewRunner(topo, cfg, quietMonitors(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := provenance.New(provenance.Config{SampleEvery: 1})
+	r.Engine.EnableProvenance(rec)
+	sc := scenario.FiberCutSevere(topo, epoch.Add(time.Minute))
+	if err := sc.Inject(r.Sim); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.Run(epoch, epoch.Add(8*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, engineFingerprint(r.Engine), rec.Counters()
+}
+
+// TestEngineDeterministicAcrossWorkersWithProvenance re-proves the
+// bit-equality guarantee with the lineage recorder attached: provenance
+// must neither perturb the pipeline's output nor itself diverge — the
+// ledger (and hence every lineage resolution) is identical at every
+// worker count, and matches the provenance-free run exactly.
+func TestEngineDeterministicAcrossWorkersWithProvenance(t *testing.T) {
+	_, plainFP := severeRunAtWorkers(t, 1)
+	refStats, refFP, refC := severeRunAtWorkersProv(t, 1)
+	if refFP != plainFP {
+		t.Errorf("enabling provenance changed the serial engine's output:\n--- with ---\n%s--- without ---\n%s",
+			refFP, plainFP)
+	}
+	if refC.Ingested == 0 || refC.Attributed == 0 {
+		t.Fatalf("vacuous run: ledger %+v", refC)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		stats, fp, c := severeRunAtWorkersProv(t, workers)
+		if stats != refStats {
+			t.Errorf("workers=%d: run stats diverged: %+v vs serial %+v", workers, stats, refStats)
+		}
+		if fp != refFP {
+			t.Errorf("workers=%d: incident population diverged from serial:\n--- parallel ---\n%s--- serial ---\n%s",
+				workers, fp, refFP)
+		}
+		if c != refC {
+			t.Errorf("workers=%d: conservation ledger diverged: %+v vs serial %+v", workers, c, refC)
 		}
 	}
 }

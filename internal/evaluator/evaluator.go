@@ -89,6 +89,10 @@ type Breakdown struct {
 	DurationUnits float64
 	// ImportantCustomers is U_k.
 	ImportantCustomers int
+	// Sigmoid is Sig(U_k), the saturating important-customer term.
+	Sigmoid float64
+	// TimeArg is the Eq. 2 log argument ΔT_k + Sig(U_k).
+	TimeArg float64
 	// Circuits are the per-set Equation 1 terms, sorted by contribution.
 	Circuits []CircuitImpact
 }
@@ -208,7 +212,9 @@ func (e *Evaluator) Score(in *incident.Incident, now time.Time) Breakdown {
 	b.DurationUnits = float64(dur) / float64(e.cfg.DurationUnit)
 
 	// Equation 2: the time factor.
-	arg := b.DurationUnits + sigmoid(float64(b.ImportantCustomers))
+	b.Sigmoid = sigmoid(float64(b.ImportantCustomers))
+	arg := b.DurationUnits + b.Sigmoid
+	b.TimeArg = arg
 	b.TimeFactor = math.Max(logBaseInvLoss(b.R, arg, e.cfg.MaxLossBase),
 		logBaseInvLoss(b.L, arg, e.cfg.MaxLossBase))
 

@@ -39,6 +39,7 @@ import (
 	"skynet/internal/hierarchy"
 	"skynet/internal/incident"
 	"skynet/internal/par"
+	"skynet/internal/provenance"
 	"skynet/internal/topology"
 )
 
@@ -72,6 +73,24 @@ func (t Thresholds) Crossed(failureTypes, allTypes int) bool {
 		return true
 	}
 	return false
+}
+
+// Clause names the threshold clause the given counts satisfy, in the
+// order Crossed evaluates them — the human-readable trigger rule of an
+// incident's provenance record. Empty when no clause fires.
+func (t Thresholds) Clause(failureTypes, allTypes int) string {
+	if t.FailureOnly > 0 && failureTypes >= t.FailureOnly {
+		return fmt.Sprintf("failure-only (%d failure types ≥ %d)", failureTypes, t.FailureOnly)
+	}
+	if t.ComboFailure > 0 && t.ComboOther > 0 &&
+		failureTypes >= t.ComboFailure && allTypes-failureTypes >= t.ComboOther {
+		return fmt.Sprintf("combo (%d failure ≥ %d and %d other ≥ %d)",
+			failureTypes, t.ComboFailure, allTypes-failureTypes, t.ComboOther)
+	}
+	if t.AnyAlerts > 0 && allTypes >= t.AnyAlerts {
+		return fmt.Sprintf("any (%d types ≥ %d)", allTypes, t.AnyAlerts)
+	}
+	return ""
 }
 
 // String renders the Figure 9 notation A/B+C/D.
@@ -144,6 +163,10 @@ func DefaultConfig() Config {
 type entry struct {
 	a        alert.Alert
 	lastSeen time.Time
+	// lineage holds the provenance lineages waiting on this stream's fate:
+	// attributed when an incident sweeps the node up, expired when the
+	// stream ages out (empty when recording is off).
+	lineage []uint64
 }
 
 // node is one main-tree location node. Entries are keyed per stream
@@ -158,6 +181,9 @@ type node struct {
 // nodes; exactly one goroutine touches a shard per parallel phase.
 type locShard struct {
 	nodes map[hierarchy.Path]*node
+	// expLin stages lineages of streams deleted by the parallel expiry
+	// phase, flushed to the recorder serially.
+	expLin []uint64
 }
 
 // Locator is the streaming §4.2 stage. Add/AddBatch/Check must be called
@@ -175,8 +201,13 @@ type Locator struct {
 
 	nextID int
 
+	// prov is the optional lineage recorder; nil keeps every provenance
+	// branch off the hot path.
+	prov *provenance.Recorder
+
 	// reused per-Check buffers
 	locBuf []hierarchy.Path
+	linBuf []uint64
 }
 
 // New builds a locator over a topology. The topology may be nil, which
@@ -195,6 +226,10 @@ func New(cfg Config, topo *topology.Topology) *Locator {
 
 // Workers reports the resolved shard fan-out width.
 func (l *Locator) Workers() int { return l.workers }
+
+// EnableProvenance attaches a lineage recorder. Call before the first
+// Add; with no recorder the pipeline runs exactly as before.
+func (l *Locator) EnableProvenance(rec *provenance.Recorder) { l.prov = rec }
 
 // ShardNodes reports the live main-tree node count of one shard.
 func (l *Locator) ShardNodes(i int) int { return len(l.shards[i].nodes) }
@@ -233,12 +268,35 @@ func (l *Locator) nodeAt(p hierarchy.Path) (*node, bool) {
 // active incident whose subtree contains its location, and always joins
 // the main tree (so incident scopes can still grow).
 func (l *Locator) Add(a alert.Alert) {
+	var lid uint64
+	if l.prov != nil {
+		lid = l.takeLineage(&a)
+	}
 	for _, in := range l.active {
 		if in.Root.Contains(a.Location) {
 			in.Add(a)
 		}
 	}
-	l.upsert(&l.shards[l.shardOf(a.Location)], a)
+	l.upsert(&l.shards[l.shardOf(a.Location)], a, lid)
+}
+
+// takeLineage claims the head lineage a structured alert carries and, if
+// an active incident will absorb the alert, resolves it attributed right
+// away (the first containing incident in ID-insertion order, matching the
+// serial Add semantics). Returns the lineage still waiting on the main
+// tree, or 0.
+func (l *Locator) takeLineage(a *alert.Alert) uint64 {
+	lid := l.prov.TakeEmitted(a.ID)
+	if lid == 0 {
+		return 0
+	}
+	for _, in := range l.active {
+		if in.Root.Contains(a.Location) {
+			l.prov.Attributed(lid, in.ID)
+			return 0
+		}
+	}
+	return lid
 }
 
 // AddBatch inserts one tick's structured alerts — Algorithm 1 over a
@@ -256,6 +314,19 @@ func (l *Locator) AddBatch(batch []alert.Alert) {
 		}
 		return
 	}
+	// Claim lineages serially before the fan-out: attribution order (first
+	// containing incident) and the emitted-map mutation must not depend on
+	// worker scheduling.
+	var lins []uint64
+	if l.prov != nil {
+		if cap(l.linBuf) < len(batch) {
+			l.linBuf = make([]uint64, len(batch))
+		}
+		lins = l.linBuf[:len(batch)]
+		for i := range batch {
+			lins[i] = l.takeLineage(&batch[i])
+		}
+	}
 	nInc := len(l.active)
 	par.Do(l.workers, nInc+len(l.shards), func(task int) {
 		if task < nInc {
@@ -270,15 +341,20 @@ func (l *Locator) AddBatch(batch []alert.Alert) {
 		shard := &l.shards[task-nInc]
 		for i := range batch {
 			if l.shardOf(batch[i].Location) == task-nInc {
-				l.upsert(shard, batch[i])
+				var lid uint64
+				if lins != nil {
+					lid = lins[i]
+				}
+				l.upsert(shard, batch[i], lid)
 			}
 		}
 	})
 }
 
 // upsert consolidates one alert into its main-tree node within the owning
-// shard.
-func (l *Locator) upsert(shard *locShard, a alert.Alert) {
+// shard. lid is the head lineage still waiting on this stream's fate
+// (0 when recording is off or the lineage was already attributed).
+func (l *Locator) upsert(shard *locShard, a alert.Alert, lid uint64) {
 	n, ok := shard.nodes[a.Location]
 	if !ok {
 		n = &node{loc: a.Location, entries: make(map[alert.StreamKey]*entry)}
@@ -296,10 +372,17 @@ func (l *Locator) upsert(shard *locShard, a alert.Alert) {
 		if a.Time.After(e.lastSeen) {
 			e.lastSeen = a.Time
 		}
+		if lid != 0 {
+			e.lineage = append(e.lineage, lid)
+		}
 	} else {
 		cp := a
 		cp.Count = countOf(a)
-		n.entries[k] = &entry{a: cp, lastSeen: a.Time}
+		e := &entry{a: cp, lastSeen: a.Time}
+		if lid != 0 {
+			e.lineage = append(e.lineage, lid)
+		}
+		n.entries[k] = e
 	}
 }
 
@@ -324,22 +407,38 @@ func (l *Locator) Check(now time.Time) []*incident.Incident {
 // insertion order.
 func (l *Locator) expire(now time.Time) {
 	par.Do(l.workers, len(l.shards), func(s int) {
-		for p, n := range l.shards[s].nodes {
+		sh := &l.shards[s]
+		sh.expLin = sh.expLin[:0]
+		for p, n := range sh.nodes {
 			for k, e := range n.entries {
 				if now.Sub(e.lastSeen) > l.cfg.NodeTTL {
+					if len(e.lineage) > 0 {
+						sh.expLin = append(sh.expLin, e.lineage...)
+					}
 					delete(n.entries, k)
 				}
 			}
 			if len(n.entries) == 0 {
-				delete(l.shards[s].nodes, p)
+				delete(sh.nodes, p)
 			}
 		}
 	})
+	if l.prov != nil {
+		for s := range l.shards {
+			for _, lid := range l.shards[s].expLin {
+				l.prov.Expired(lid)
+			}
+			l.shards[s].expLin = l.shards[s].expLin[:0]
+		}
+	}
 	stillActive := l.active[:0]
 	for _, in := range l.active {
 		if now.Sub(in.UpdateTime) > l.cfg.IncidentTTL {
 			in.Close(in.UpdateTime)
 			l.closed = append(l.closed, in)
+			if l.prov != nil {
+				l.prov.IncidentClosed(in.ID, in.UpdateTime)
+			}
 		} else {
 			stillActive = append(stillActive, in)
 		}
@@ -382,11 +481,20 @@ func (l *Locator) generate(now time.Time) []*incident.Incident {
 			}
 		}
 		l.active = remaining
+		if l.prov != nil {
+			l.recordCreation(in, now, comp, counts[ci].failureTypes, counts[ci].allTypes)
+		}
 		// Copy the component's current alerts into the incident tree.
 		for _, loc := range comp {
 			if n, ok := l.nodeAt(loc); ok {
 				for _, e := range n.entries {
 					in.Add(e.a)
+					if l.prov != nil && len(e.lineage) > 0 {
+						for _, lid := range e.lineage {
+							l.prov.Attributed(lid, in.ID)
+						}
+						e.lineage = e.lineage[:0]
+					}
 				}
 			}
 		}
@@ -395,6 +503,34 @@ func (l *Locator) generate(now time.Time) []*incident.Incident {
 	}
 	sort.Slice(created, func(i, j int) bool { return created[i].ID < created[j].ID })
 	return created
+}
+
+// provComponentCap bounds the component locations stored on an incident's
+// provenance record; the true size is recorded separately.
+const provComponentCap = 64
+
+// recordCreation opens the incident's provenance record with the trigger
+// decision — which threshold clause fired over which connected component.
+func (l *Locator) recordCreation(in *incident.Incident, now time.Time, comp []hierarchy.Path, failureTypes, allTypes int) {
+	locs := make([]string, 0, min(len(comp), provComponentCap))
+	for _, p := range comp {
+		if len(locs) == provComponentCap {
+			break
+		}
+		locs = append(locs, p.String())
+	}
+	l.prov.IncidentCreated(provenance.IncidentInfo{
+		ID:            in.ID,
+		Root:          in.Root.String(),
+		At:            now,
+		Rule:          l.cfg.Thresholds.Clause(failureTypes, allTypes),
+		Thresholds:    l.cfg.Thresholds.String(),
+		FailureTypes:  failureTypes,
+		AllTypes:      allTypes,
+		Component:     locs,
+		ComponentSize: len(comp),
+		MergedFrom:    append([]int(nil), in.MergedFrom...),
+	})
 }
 
 // coveredByActive reports whether an active incident already covers (or

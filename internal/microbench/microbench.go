@@ -1,0 +1,192 @@
+// Package microbench runs the pipeline's hot-path benchmarks
+// programmatically (via testing.Benchmark) and reports machine-readable
+// results — iterations, ns/op, B/op, allocs/op — backing the
+// `skynet-bench -json` flag so perf regressions can be tracked by tooling
+// instead of eyeballing `go test -bench` text.
+package microbench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/core"
+	"skynet/internal/experiments"
+	"skynet/internal/hierarchy"
+	"skynet/internal/locator"
+	"skynet/internal/preprocess"
+	"skynet/internal/provenance"
+	"skynet/internal/topology"
+)
+
+// Result is one benchmark's measurement in the JSON report.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the full `skynet-bench -json` document.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	OS        string   `json:"goos"`
+	Arch      string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Results   []Result `json:"results"`
+}
+
+var benchEpoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+// suite lists the benchmarks in report order. Each mirrors a hot path
+// also covered by the repo-root `go test -bench` harness.
+var suite = []struct {
+	Name  string
+	Bench func(b *testing.B)
+}{
+	{"engine_tick", func(b *testing.B) { benchEngineTick(b, nil) }},
+	{"engine_tick_provenance", func(b *testing.B) {
+		benchEngineTick(b, provenance.New(provenance.Config{}))
+	}},
+	{"preprocessor_stream", benchPreprocessorStream},
+	{"locator_addcheck", benchLocatorAddCheck},
+	{"ftree_classify", benchFTreeClassify},
+	{"wire_codec", benchWireCodec},
+}
+
+// Names lists the available benchmark names in report order.
+func Names() []string {
+	out := make([]string, len(suite))
+	for i, s := range suite {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Run executes the named benchmarks (all when names is empty) and returns
+// the report. Benchmarks use the default go benchtime (~1s each).
+func Run(names ...string) (*Report, error) {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	rep := &Report{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	for _, s := range suite {
+		if len(want) > 0 && !want[s.Name] {
+			continue
+		}
+		delete(want, s.Name)
+		r := testing.Benchmark(s.Bench)
+		rep.Results = append(rep.Results, Result{
+			Name:        s.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	for n := range want {
+		return nil, fmt.Errorf("microbench: unknown benchmark %q (have %v)", n, Names())
+	}
+	return rep, nil
+}
+
+// benchEngineTick drives repeated ingest+tick rounds over a severe-failure
+// batch, optionally with the lineage recorder attached — the pair bounds
+// the provenance overhead per tick.
+func benchEngineTick(b *testing.B, rec *provenance.Recorder) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
+	classifier, err := preprocess.BootstrapClassifier()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.NewEngine(core.DefaultConfig(), topo, classifier, nil, nil)
+	if rec != nil {
+		eng.EnableProvenance(rec)
+	}
+	now := benchEpoch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range alerts {
+			a := alerts[j]
+			a.Time = now.Add(time.Duration(j%10) * time.Second)
+			eng.Ingest(a)
+		}
+		now = now.Add(10 * time.Second)
+		eng.Tick(now)
+	}
+}
+
+func benchPreprocessorStream(b *testing.B) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	raw := experiments.SyntheticStructuredAlerts(topo, 20000, 2)
+	classifier, err := preprocess.BootstrapClassifier()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _ := preprocess.Process(preprocess.DefaultConfig(), topo, classifier, raw, 10*time.Second)
+		if len(out) == 0 {
+			b.Fatal("no output")
+		}
+	}
+}
+
+func benchLocatorAddCheck(b *testing.B) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	alerts := experiments.SyntheticStructuredAlerts(topo, 40000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loc := locator.New(locator.DefaultConfig(), topo)
+		for j := range alerts {
+			loc.Add(alerts[j])
+		}
+		loc.Check(benchEpoch.Add(time.Minute))
+	}
+}
+
+func benchFTreeClassify(b *testing.B) {
+	classifier, err := preprocess.BootstrapClassifier()
+	if err != nil {
+		b.Fatal(err)
+	}
+	line := "%LINK-3-UPDOWN: Interface TenGigE0/1/0/25, changed state to down (bench)"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := classifier.ClassifyLine(line); !ok {
+			b.Fatal("line did not classify")
+		}
+	}
+}
+
+func benchWireCodec(b *testing.B) {
+	a := alert.Alert{
+		Source: alert.SourcePing, Type: alert.TypePacketLoss, Class: alert.ClassFailure,
+		Time: benchEpoch, End: benchEpoch.Add(time.Minute),
+		Location: hierarchy.MustNew("RG01", "CT01", "LS01", "ST01", "CL01", "dev-1"),
+		Value:    0.25, Count: 3, Raw: "Packet loss 25.0% to peer",
+	}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = alert.AppendWire(buf[:0], &a)
+		if _, err := alert.ParseWire(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"skynet/internal/ftree"
 	"skynet/internal/hierarchy"
 	"skynet/internal/par"
+	"skynet/internal/provenance"
 	"skynet/internal/topology"
 )
 
@@ -128,6 +129,10 @@ type aggregate struct {
 	// downstream, so refreshes carry deltas rather than re-counting.
 	emittedCount int
 	suspended    bool // waiting for corroboration (traffic drops)
+	// headLineage is the provenance lineage of the alert that opened this
+	// aggregate, carried until the aggregate's fate is known (first
+	// emission or a filter drop); refreshes carry no lineage.
+	headLineage uint64
 }
 
 // preShard owns a disjoint subset of the aggregates, selected by hashing
@@ -143,14 +148,19 @@ type preShard struct {
 	dedup   int
 	routed  int // batch alerts consolidated into this shard last Tick
 	deleted int // sweep deletions pending key-list compaction
+
+	// provenance resolutions staged during phase B, flushed serially
+	provAbsorbed []provenance.Pair
 }
 
 // prepared is the phase-A output for one buffered raw alert: normalized
 // and routed, or dropped.
 type prepared struct {
-	a     alert.Alert
-	shard int32
-	drop  bool // unclassifiable syslog
+	a          alert.Alert
+	lin        uint64 // provenance lineage (0 when recording is off)
+	shard      int32
+	drop       bool // unclassifiable syslog
+	classified bool // typed through an FT-tree template this tick
 }
 
 // chunkScratch is the phase-A per-worker scratch; slot i belongs to chunk
@@ -172,6 +182,13 @@ type Preprocessor struct {
 	// pending buffers raw alerts between Ticks; capacity persists at the
 	// flood high-water mark so steady state allocates nothing.
 	pending []alert.Alert
+	// pendingLin mirrors pending with the lineage assigned at Add; empty
+	// when no recorder is attached.
+	pendingLin []uint64
+
+	// prov is the optional lineage recorder; nil keeps every provenance
+	// branch off the hot path.
+	prov *provenance.Recorder
 
 	shards []preShard
 
@@ -216,6 +233,10 @@ func New(cfg Config, topo *topology.Topology, classifier *ftree.Classifier) *Pre
 // Workers reports the resolved fan-out width (shard count).
 func (p *Preprocessor) Workers() int { return p.workers }
 
+// EnableProvenance attaches a lineage recorder. Call before the first Add;
+// with no recorder the pipeline runs exactly as before.
+func (p *Preprocessor) EnableProvenance(rec *provenance.Recorder) { p.prov = rec }
+
 // PendingDepth reports the number of raw alerts buffered since the last
 // Tick — the preprocessor's queue depth.
 func (p *Preprocessor) PendingDepth() int { return len(p.pending) }
@@ -242,8 +263,14 @@ func (p *Preprocessor) Add(a alert.Alert) {
 		mirrored := a
 		mirrored.Location, mirrored.Peer = a.Peer, a.Location
 		p.pending = append(p.pending, mirrored)
+		if p.prov != nil {
+			p.pendingLin = append(p.pendingLin, p.prov.Ingest(&mirrored, true))
+		}
 	}
 	p.pending = append(p.pending, a)
+	if p.prov != nil {
+		p.pendingLin = append(p.pendingLin, p.prov.Ingest(&a, false))
+	}
 }
 
 // absorb ingests the pending batch into the aggregate shards: phase A
@@ -275,9 +302,29 @@ func (p *Preprocessor) absorb() {
 		}
 		scratch := &p.chunks[c]
 		for i := lo; i < hi; i++ {
+			if i < len(p.pendingLin) {
+				p.prep[i].lin = p.pendingLin[i]
+			} else {
+				p.prep[i].lin = 0
+			}
 			p.prepare(&p.pending[i], &p.prep[i], scratch, nshards)
 		}
 	})
+	// Resolve phase-A provenance serially: unclassifiable syslog lines are
+	// terminal here; classified ones record their matched template.
+	if p.prov != nil {
+		for i := range p.prep {
+			it := &p.prep[i]
+			if it.lin == 0 {
+				continue
+			}
+			if it.drop {
+				p.prov.Filtered(it.lin, provenance.FilterUnclassified)
+			} else if it.classified {
+				p.prov.SetTemplate(it.lin, it.a.Type)
+			}
+		}
+	}
 	// Merge corroboration evidence (max observation time per location —
 	// commutative, so chunk order cannot matter) and drop counters.
 	for c := 0; c < nchunks; c++ {
@@ -306,7 +353,7 @@ func (p *Preprocessor) absorb() {
 				continue
 			}
 			shard.routed++
-			p.consolidate(shard, &it.a)
+			p.consolidate(shard, &it.a, it.lin)
 		}
 		if len(shard.newKeys) > 0 {
 			slices.SortFunc(shard.newKeys, compareAggKey)
@@ -315,8 +362,13 @@ func (p *Preprocessor) absorb() {
 	})
 	for s := range p.shards {
 		p.stats.Deduplicated += p.shards[s].dedup
+		if len(p.shards[s].provAbsorbed) > 0 {
+			p.prov.ConsolidatedAll(p.shards[s].provAbsorbed)
+			p.shards[s].provAbsorbed = p.shards[s].provAbsorbed[:0]
+		}
 	}
 	p.pending = p.pending[:0]
+	p.pendingLin = p.pendingLin[:0]
 }
 
 // prepare runs the order-independent per-alert work: syslog
@@ -324,6 +376,7 @@ func (p *Preprocessor) absorb() {
 // collection, and shard routing.
 func (p *Preprocessor) prepare(in *alert.Alert, out *prepared, scratch *chunkScratch, nshards int) {
 	a := *in
+	out.classified = false
 	// Syslog classification: free text → type via FT-tree.
 	if a.Source == alert.SourceSyslog && a.Type == "" {
 		typ, ok := p.classify(a.Raw)
@@ -334,6 +387,7 @@ func (p *Preprocessor) prepare(in *alert.Alert, out *prepared, scratch *chunkScr
 		}
 		a.Type = typ
 		a.Class = alert.Classify(a.Source, typ)
+		out.classified = true
 	}
 	if a.Class == alert.ClassInfo && alert.Classify(a.Source, a.Type) != alert.ClassInfo {
 		// Normalize class from the catalog when the producer left it
@@ -359,8 +413,10 @@ func (p *Preprocessor) prepare(in *alert.Alert, out *prepared, scratch *chunkScr
 }
 
 // consolidate applies consolidation 1 (identical alerts absorb) for one
-// normalized alert within its owning shard.
-func (p *Preprocessor) consolidate(shard *preShard, a *alert.Alert) {
+// normalized alert within its owning shard. lid is the alert's provenance
+// lineage (0 when recording is off); absorptions are staged in shard
+// scratch because this runs in the parallel phase.
+func (p *Preprocessor) consolidate(shard *preShard, a *alert.Alert, lid uint64) {
 	k := aggKey{a.Source, a.Type, a.Location, a.CircuitSet}
 	if g, ok := shard.aggs[k]; ok {
 		shard.dedup++
@@ -372,10 +428,13 @@ func (p *Preprocessor) consolidate(shard *preShard, a *alert.Alert) {
 		}
 		g.a.Count += a.Count
 		g.lastSeen = a.Time
+		if lid != 0 {
+			shard.provAbsorbed = append(shard.provAbsorbed, provenance.Pair{Lid: lid, Head: g.headLineage})
+		}
 		return
 	}
 	suspended := a.Type == alert.TypeTrafficDrop && !p.cfg.DisableCrossSource
-	shard.aggs[k] = &aggregate{a: *a, lastSeen: a.Time, suspended: suspended}
+	shard.aggs[k] = &aggregate{a: *a, lastSeen: a.Time, suspended: suspended, headLineage: lid}
 	shard.newKeys = append(shard.newKeys, k)
 }
 
@@ -396,6 +455,9 @@ func (p *Preprocessor) classify(raw string) (string, bool) {
 // The returned slice is reused by the next Tick or Drain call; callers
 // that retain alerts past that point must copy them.
 func (p *Preprocessor) Tick(now time.Time) []alert.Alert {
+	if p.prov != nil {
+		p.prov.BeginEmitWindow()
+	}
 	p.absorb()
 	// Sweep aggregates in one global lessAggKey order (a k-way merge of
 	// the shards' sorted key lists) so emission order, assigned IDs, and
@@ -408,8 +470,12 @@ func (p *Preprocessor) Tick(now time.Time) []alert.Alert {
 				switch {
 				case g.suspended:
 					p.stats.DroppedUncorroborated++
+					p.resolveFiltered(g, provenance.FilterUncorroborated)
 				case p.isSporadic(g):
 					p.stats.DroppedSporadic++
+					p.resolveFiltered(g, provenance.FilterSporadic)
+				default:
+					p.resolveFiltered(g, provenance.FilterStale)
 				}
 			}
 			delete(shard.aggs, k)
@@ -509,9 +575,20 @@ func (p *Preprocessor) pass(g *aggregate, now time.Time) bool {
 		g.emitted = true // swallow without output
 		g.lastEmit = now
 		p.stats.DroppedRelated++
+		p.resolveFiltered(g, provenance.FilterRelated)
 		return false
 	}
 	return true
+}
+
+// resolveFiltered records a filter drop for the aggregate's head lineage,
+// consuming it so no later path can resolve it twice. Called only from the
+// serial sweep/pass sections.
+func (p *Preprocessor) resolveFiltered(g *aggregate, reason provenance.FilterReason) {
+	if p.prov != nil && g.headLineage != 0 {
+		p.prov.Filtered(g.headLineage, reason)
+		g.headLineage = 0
+	}
 }
 
 // isSporadic reports whether an aggregate is low-rate packet loss.
@@ -554,6 +631,12 @@ func (p *Preprocessor) emit(g *aggregate, now time.Time) alert.Alert {
 		a.Count = 1
 	}
 	g.emittedCount = g.a.Count
+	// The first emission hands the head lineage to the locator via the
+	// structured alert's ID; refreshes carry no lineage.
+	if p.prov != nil && g.headLineage != 0 {
+		p.prov.Emitted(a.ID, g.headLineage)
+		g.headLineage = 0
+	}
 	return a
 }
 
@@ -561,11 +644,23 @@ func (p *Preprocessor) emit(g *aggregate, now time.Time) alert.Alert {
 // end-of-trace so batch analyses see pending data. Like Tick, the
 // returned slice is reused by the next Tick or Drain call.
 func (p *Preprocessor) Drain(now time.Time) []alert.Alert {
+	if p.prov != nil {
+		p.prov.BeginEmitWindow()
+	}
 	p.absorb()
 	p.emitBuf = p.emitBuf[:0]
 	p.sweep(now, func(shard *preShard, k aggKey, g *aggregate) {
 		if !g.emitted && !g.suspended && !p.isSporadic(g) {
 			p.emitBuf = append(p.emitBuf, p.emit(g, now))
+		} else if g.headLineage != 0 {
+			switch {
+			case g.suspended:
+				p.resolveFiltered(g, provenance.FilterUncorroborated)
+			case p.isSporadic(g):
+				p.resolveFiltered(g, provenance.FilterSporadic)
+			default:
+				p.resolveFiltered(g, provenance.FilterStale)
+			}
 		}
 		delete(shard.aggs, k)
 		shard.deleted++

@@ -1,0 +1,164 @@
+package provenance_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skynet/internal/core"
+	"skynet/internal/provenance"
+	"skynet/internal/trace"
+)
+
+// replayTrace generates one small multi-scenario trace, shared across the
+// conservation subtests.
+func replayTrace(t *testing.T) *trace.Generated {
+	t.Helper()
+	opts := trace.DefaultGenerateOptions()
+	opts.Scenarios = 2
+	opts.Spacing = 6 * time.Minute
+	opts.Window = 15 * time.Minute
+	g, err := trace.Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Alerts) == 0 {
+		t.Fatal("generated trace is empty")
+	}
+	return g
+}
+
+// TestConservationOnReplay is the tentpole property: after a replay has
+// quiesced (ReplayWithOptions ticks NodeTTL past the last alert, so every
+// aggregate is swept and every main-tree stream expires), every ingested
+// lineage sits in exactly one terminal bucket — no loss, no double count —
+// at every worker count, and the ledger is identical across worker counts.
+func TestConservationOnReplay(t *testing.T) {
+	g := replayTrace(t)
+
+	var ref provenance.Counters
+	for i, workers := range []int{1, 2, 4, 8} {
+		cfg := core.DefaultConfig()
+		cfg.Workers = workers
+		rec := provenance.New(provenance.Config{SampleEvery: 1})
+		eng, err := trace.ReplayWithOptions(g.Alerts, g.Topo, cfg,
+			trace.ReplayOptions{Provenance: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		c := rec.Counters()
+		if c.Ingested == 0 {
+			t.Fatalf("workers=%d: nothing ingested", workers)
+		}
+		if c.Terminal() != c.Ingested {
+			t.Errorf("workers=%d: conservation violated: ingested=%d != consolidated=%d + filtered=%d + expired=%d + attributed=%d (= %d)",
+				workers, c.Ingested, c.Consolidated, c.Filtered, c.Expired, c.Attributed, c.Terminal())
+		}
+		if fl := rec.InFlight(); fl != 0 {
+			t.Errorf("workers=%d: %d lineages in flight at quiescence", workers, fl)
+		}
+		var byReason int64
+		for _, n := range c.ByReason {
+			byReason += n
+		}
+		if byReason != c.Filtered {
+			t.Errorf("workers=%d: ByReason sums to %d, want Filtered=%d", workers, byReason, c.Filtered)
+		}
+		// Lineages = raw alerts + link-split mirrors: the ledger must tie
+		// out against the engine's own ingest counter.
+		if c.Ingested-c.Split != int64(eng.RawIngested()) {
+			t.Errorf("workers=%d: ingested-split=%d != engine raw ingested %d",
+				workers, c.Ingested-c.Split, eng.RawIngested())
+		}
+		// Per-incident attribution counts must sum to the attributed total
+		// (the trace is far below the incident record cap).
+		var perIncident int64
+		for _, in := range eng.AllIncidents() {
+			if ir, ok := rec.Incident(in.ID); ok {
+				perIncident += ir.Attributed
+			}
+		}
+		if perIncident != c.Attributed {
+			t.Errorf("workers=%d: incident records account for %d attributed lineages, ledger says %d",
+				workers, perIncident, c.Attributed)
+		}
+		if len(eng.AllIncidents()) == 0 || c.Attributed == 0 {
+			t.Errorf("workers=%d: trace produced no attributed incidents — property vacuous", workers)
+		}
+
+		if i == 0 {
+			ref = c
+		} else if c != ref {
+			t.Errorf("workers=%d: ledger diverged from serial:\n  serial   %+v\n  parallel %+v", workers, ref, c)
+		}
+	}
+}
+
+// TestConservationAtDefaultSampling re-runs the ledger check with detail
+// sampling at the production default: sampling bounds memory, never the
+// counters.
+func TestConservationAtDefaultSampling(t *testing.T) {
+	g := replayTrace(t)
+	rec := provenance.New(provenance.Config{}) // all defaults, SampleEvery=16
+	if _, err := trace.ReplayWithOptions(g.Alerts, g.Topo, core.DefaultConfig(),
+		trace.ReplayOptions{Provenance: rec}); err != nil {
+		t.Fatal(err)
+	}
+	c := rec.Counters()
+	if c.Terminal() != c.Ingested || rec.InFlight() != 0 {
+		t.Errorf("conservation violated under sampling: %+v (in flight %d)", c, rec.InFlight())
+	}
+}
+
+// TestExplainOnReplayedIncident walks the full explain surface for a real
+// incident out of a replay: trigger clause, score evidence, evidence
+// streams, and sampled lineage journeys.
+func TestExplainOnReplayedIncident(t *testing.T) {
+	g := replayTrace(t)
+	rec := provenance.New(provenance.Config{SampleEvery: 1})
+	eng, err := trace.ReplayWithOptions(g.Alerts, g.Topo, core.DefaultConfig(),
+		trace.ReplayOptions{Provenance: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := eng.AllIncidents()
+	if len(all) == 0 {
+		t.Fatal("replay produced no incidents")
+	}
+	in := all[0]
+	ex := rec.Explain(in)
+	if ex.Incident != in.ID || ex.Root != in.Root.String() {
+		t.Fatalf("explain header mismatch: %+v", ex)
+	}
+	if ex.Trigger == nil {
+		t.Fatal("explain has no trigger record")
+	}
+	if ex.Trigger.Rule == "" || ex.Trigger.Thresholds == "" {
+		t.Errorf("trigger clause empty: %+v", ex.Trigger)
+	}
+	if ex.Score == nil {
+		t.Error("explain has no score record")
+	} else if ex.Score.Severity != in.Severity {
+		t.Errorf("score record severity %v != incident severity %v", ex.Score.Severity, in.Severity)
+	}
+	if len(ex.Evidence) == 0 {
+		t.Error("explain has no evidence streams")
+	}
+	if len(ex.Lineages) == 0 {
+		t.Error("explain has no lineage samples at SampleEvery=1")
+	}
+	for _, lr := range ex.Lineages {
+		if lr.State != provenance.StateAttributed || lr.Incident != in.ID {
+			t.Errorf("sampled lineage %d: state=%s incident=%d, want attributed to %d",
+				lr.Lineage, lr.State, lr.Incident, in.ID)
+		}
+	}
+
+	out := ex.Render()
+	for _, want := range []string{"Incident", "trigger:", "severity", "evidence:", "lineage samples"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

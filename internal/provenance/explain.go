@@ -1,0 +1,194 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/incident"
+)
+
+// EvidenceStream is one aggregated alert stream inside an incident — the
+// (source, type, circuit set) at one location that the locator counted
+// toward the trigger thresholds.
+type EvidenceStream struct {
+	Location   string    `json:"location"`
+	Source     string    `json:"source"`
+	Type       string    `json:"type"`
+	Class      string    `json:"class"`
+	CircuitSet string    `json:"circuit_set,omitempty"`
+	Count      int       `json:"count"`
+	Value      float64   `json:"value"`
+	First      time.Time `json:"first"`
+	Last       time.Time `json:"last"`
+}
+
+// Explain is the full provenance document for one incident: the trigger
+// decision, the evidence streams, the score breakdown, and sampled raw
+// alert journeys.
+type Explain struct {
+	Incident int    `json:"incident"`
+	Root     string `json:"root"`
+	Zoomed   string `json:"zoomed,omitempty"`
+	Active   bool   `json:"active"`
+
+	Severity float64   `json:"severity"`
+	Start    time.Time `json:"start"`
+	Update   time.Time `json:"update_time"`
+	End      time.Time `json:"end,omitempty"`
+
+	// Trigger is the locator-side record (threshold clause, component,
+	// merges, attribution counts); nil when the recorder never saw this
+	// incident's creation (attached mid-flight or evicted).
+	Trigger *IncidentRecord `json:"trigger,omitempty"`
+	// Score is the §4.3 evidence behind the latest severity.
+	Score *ScoreRecord `json:"score,omitempty"`
+
+	Evidence []EvidenceStream `json:"evidence"`
+
+	// SampleEvery is the lineage sampling rate in force; Lineages holds
+	// the sampled raw-alert journeys attributed to this incident (copied
+	// at attribution time, so they survive detail-ring eviction).
+	SampleEvery int             `json:"sample_every"`
+	Lineages    []LineageRecord `json:"lineage_samples,omitempty"`
+}
+
+// Explain assembles the provenance document for an incident. The incident
+// is read but not retained; call under the engine lock.
+func (r *Recorder) Explain(in *incident.Incident) *Explain {
+	ex := &Explain{
+		Incident:    in.ID,
+		Root:        in.Root.String(),
+		Active:      in.Active(),
+		Severity:    in.Severity,
+		Start:       in.Start,
+		Update:      in.UpdateTime,
+		End:         in.End,
+		SampleEvery: r.cfg.SampleEvery,
+	}
+	if !in.Zoomed.IsRoot() && in.Zoomed != in.Root {
+		ex.Zoomed = in.Zoomed.String()
+	}
+	if rec, ok := r.Incident(in.ID); ok {
+		ex.Trigger = &rec
+		ex.Score = rec.Score
+		ex.Lineages = rec.Samples
+	}
+	for _, loc := range in.Locations() {
+		entries := in.Entries[loc]
+		streams := make([]EvidenceStream, 0, len(entries))
+		for _, e := range entries {
+			a := &e.Alert
+			streams = append(streams, EvidenceStream{
+				Location:   loc.String(),
+				Source:     a.Source.String(),
+				Type:       a.Type,
+				Class:      className(a.Class),
+				CircuitSet: a.CircuitSet,
+				Count:      a.Count,
+				Value:      a.Value,
+				First:      a.Time,
+				Last:       a.End,
+			})
+		}
+		sort.Slice(streams, func(i, j int) bool {
+			if streams[i].Source != streams[j].Source {
+				return streams[i].Source < streams[j].Source
+			}
+			if streams[i].Type != streams[j].Type {
+				return streams[i].Type < streams[j].Type
+			}
+			return streams[i].CircuitSet < streams[j].CircuitSet
+		})
+		ex.Evidence = append(ex.Evidence, streams...)
+	}
+	return ex
+}
+
+func className(c alert.Class) string {
+	switch c {
+	case alert.ClassFailure:
+		return "failure"
+	case alert.ClassAbnormal:
+		return "abnormal"
+	case alert.ClassRootCause:
+		return "root-cause"
+	default:
+		return "info"
+	}
+}
+
+// Render formats the document as a human-readable tree for the CLI
+// (`skynet-replay -explain`).
+func (ex *Explain) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Incident %d  [%s]", ex.Incident, ex.Root)
+	if ex.Zoomed != "" {
+		fmt.Fprintf(&b, "  zoomed=%s", ex.Zoomed)
+	}
+	fmt.Fprintf(&b, "\n├─ window: %s → %s", ex.Start.Format(time.RFC3339), ex.Update.Format(time.RFC3339))
+	if !ex.End.IsZero() {
+		fmt.Fprintf(&b, "  (closed %s)", ex.End.Format(time.RFC3339))
+	}
+	b.WriteByte('\n')
+	if tr := ex.Trigger; tr != nil {
+		fmt.Fprintf(&b, "├─ trigger: %s under thresholds %s  (%d failure types, %d total, component of %d locations)\n",
+			tr.Rule, tr.Thresholds, tr.FailureTypes, tr.AllTypes, tr.ComponentSize)
+		if len(tr.MergedFrom) > 0 {
+			fmt.Fprintf(&b, "│  └─ absorbed incidents %v\n", tr.MergedFrom)
+		}
+		fmt.Fprintf(&b, "├─ attribution: %d lineages fed this incident (%d sampled in detail)\n",
+			tr.Attributed, len(tr.Samples))
+	}
+	if sc := ex.Score; sc != nil {
+		fmt.Fprintf(&b, "├─ severity %.2f = impact %.2f × time factor %.2f  (Eq. 3, at %s)\n",
+			sc.Severity, sc.Impact, sc.TimeFactor, sc.At.Format(time.TimeOnly))
+		fmt.Fprintf(&b, "│  ├─ Eq. 2: R=%.4f  L=%.4f  ΔT=%.2f  U=%d  Sig(U)=%.4f  arg=%.4f\n",
+			sc.R, sc.L, sc.DurationUnits, sc.ImportantCustomers, sc.Sigmoid, sc.TimeArg)
+		for i, c := range sc.Circuits {
+			branch := "├─"
+			if i == len(sc.Circuits)-1 {
+				branch = "└─"
+			}
+			fmt.Fprintf(&b, "│  %s Eq. 1 %s: (d=%.3f + l=%.3f) × g=%.3f × u=%d → %.2f\n",
+				branch, c.Name, c.BreakRatio, c.SLAOverRatio, c.Importance, c.Customers, c.Contribution)
+		}
+	} else {
+		fmt.Fprintf(&b, "├─ severity %.2f (no score record)\n", ex.Severity)
+	}
+	fmt.Fprintf(&b, "├─ evidence: %d alert streams\n", len(ex.Evidence))
+	for i, ev := range ex.Evidence {
+		branch := "│  ├─"
+		if i == len(ex.Evidence)-1 {
+			branch = "│  └─"
+		}
+		fmt.Fprintf(&b, "%s [%s] %s/%s (%s", branch, ev.Location, ev.Source, ev.Type, ev.Class)
+		if ev.CircuitSet != "" {
+			fmt.Fprintf(&b, ", cs=%s", ev.CircuitSet)
+		}
+		fmt.Fprintf(&b, ") ×%d value=%.3f  %s–%s\n",
+			ev.Count, ev.Value, ev.First.Format(time.TimeOnly), ev.Last.Format(time.TimeOnly))
+	}
+	fmt.Fprintf(&b, "└─ lineage samples (1 in %d): %d retained\n", ex.SampleEvery, len(ex.Lineages))
+	for i, lr := range ex.Lineages {
+		branch := "   ├─"
+		if i == len(ex.Lineages)-1 {
+			branch = "   └─"
+		}
+		fmt.Fprintf(&b, "%s #%d %s/%s @%s", branch, lr.Lineage, lr.Source, lr.Type, lr.Location)
+		if lr.Template != "" {
+			fmt.Fprintf(&b, " template=%q", lr.Template)
+		}
+		if lr.Split {
+			b.WriteString(" (link-split mirror)")
+		}
+		fmt.Fprintf(&b, " → %s", lr.State)
+		if lr.StructuredID != 0 {
+			fmt.Fprintf(&b, " as structured #%d", lr.StructuredID)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

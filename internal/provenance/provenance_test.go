@@ -1,0 +1,283 @@
+package provenance_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+	"skynet/internal/provenance"
+	"skynet/internal/telemetry"
+)
+
+var t0 = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+
+func testAlert(typ string) alert.Alert {
+	return alert.Alert{
+		Source:   alert.SourcePing,
+		Type:     typ,
+		Time:     t0,
+		Location: hierarchy.MustNew("RG01", "CT01", "LS01", "ST01", "CL01", "dev-a"),
+	}
+}
+
+// TestLedgerResolvesEachBucket drives one lineage into every terminal
+// bucket and checks the conservation identity plus the per-reason split.
+func TestLedgerResolvesEachBucket(t *testing.T) {
+	r := provenance.New(provenance.Config{SampleEvery: 1})
+	a := testAlert("packet loss")
+
+	l1 := r.Ingest(&a, false)
+	l2 := r.Ingest(&a, true)
+	l3 := r.Ingest(&a, false)
+	l4 := r.Ingest(&a, false)
+	l5 := r.Ingest(&a, false)
+	if l1 != 1 || l2 != 2 || l5 != 5 {
+		t.Fatalf("lineage IDs not sequential from 1: got %d %d ... %d", l1, l2, l5)
+	}
+	if got := r.InFlight(); got != 5 {
+		t.Fatalf("in flight = %d before resolution, want 5", got)
+	}
+
+	r.Consolidated(l1, 0)
+	r.Filtered(l2, provenance.FilterSporadic)
+	r.Filtered(l3, provenance.FilterUnclassified)
+	r.Expired(l4)
+	r.Attributed(l5, 7)
+
+	c := r.Counters()
+	if c.Ingested != 5 || c.Split != 1 {
+		t.Errorf("ingested=%d split=%d, want 5/1", c.Ingested, c.Split)
+	}
+	if c.Consolidated != 1 || c.Filtered != 2 || c.Expired != 1 || c.Attributed != 1 {
+		t.Errorf("terminal buckets = %+v, want 1/2/1/1", c)
+	}
+	if c.Terminal() != c.Ingested {
+		t.Errorf("Terminal()=%d != Ingested=%d", c.Terminal(), c.Ingested)
+	}
+	if r.InFlight() != 0 {
+		t.Errorf("in flight = %d after full resolution, want 0", r.InFlight())
+	}
+	var byReason int64
+	for _, n := range c.ByReason {
+		byReason += n
+	}
+	if byReason != c.Filtered {
+		t.Errorf("ByReason sums to %d, want Filtered=%d", byReason, c.Filtered)
+	}
+	if c.ByReason[provenance.FilterSporadic] != 1 || c.ByReason[provenance.FilterUnclassified] != 1 {
+		t.Errorf("per-reason split wrong: %v", c.ByReason)
+	}
+
+	// Ring detail mirrors the resolutions at SampleEvery=1.
+	for _, tc := range []struct {
+		lid  uint64
+		want provenance.State
+	}{
+		{l1, provenance.StateConsolidated},
+		{l2, provenance.StateFiltered},
+		{l4, provenance.StateExpired},
+		{l5, provenance.StateAttributed},
+	} {
+		rec, ok := r.Lineage(tc.lid)
+		if !ok {
+			t.Fatalf("lineage %d missing from ring", tc.lid)
+		}
+		if rec.State != tc.want {
+			t.Errorf("lineage %d state = %s, want %s", tc.lid, rec.State, tc.want)
+		}
+	}
+	if rec, _ := r.Lineage(l5); rec.Incident != 7 {
+		t.Errorf("attributed lineage incident = %d, want 7", rec.Incident)
+	}
+	if rec, _ := r.Lineage(l2); !rec.Split || rec.Reason != provenance.FilterSporadic {
+		t.Errorf("split lineage record = %+v, want split+sporadic", rec)
+	}
+}
+
+// TestSampling checks the 1-in-N detail decision is a pure function of the
+// lineage ID while the counters stay exact.
+func TestSampling(t *testing.T) {
+	r := provenance.New(provenance.Config{SampleEvery: 4})
+	a := testAlert("packet loss")
+	for i := 0; i < 10; i++ {
+		r.Ingest(&a, false)
+	}
+	for lid := uint64(1); lid <= 10; lid++ {
+		_, ok := r.Lineage(lid)
+		if want := lid%4 == 0; ok != want {
+			t.Errorf("lineage %d sampled=%v, want %v", lid, ok, want)
+		}
+	}
+	if c := r.Counters(); c.Ingested != 10 {
+		t.Errorf("ingested=%d despite sampling, want 10", c.Ingested)
+	}
+	// Resolving unsampled lineages must not panic and still counts.
+	r.Filtered(1, provenance.FilterStale)
+	r.Consolidated(2, 0)
+	if c := r.Counters(); c.Filtered != 1 || c.Consolidated != 1 {
+		t.Errorf("unsampled resolutions not counted: %+v", c)
+	}
+}
+
+// TestRingEviction fills a tiny detail ring past capacity: the oldest
+// records are overwritten, the newest remain addressable.
+func TestRingEviction(t *testing.T) {
+	r := provenance.New(provenance.Config{SampleEvery: 1, RingCap: 4})
+	a := testAlert("packet loss")
+	for i := 0; i < 6; i++ {
+		r.Ingest(&a, false)
+	}
+	for lid := uint64(1); lid <= 2; lid++ {
+		if _, ok := r.Lineage(lid); ok {
+			t.Errorf("lineage %d should have been evicted from a 4-slot ring", lid)
+		}
+	}
+	for lid := uint64(3); lid <= 6; lid++ {
+		if _, ok := r.Lineage(lid); !ok {
+			t.Errorf("lineage %d missing; ring should retain the newest 4", lid)
+		}
+	}
+	if c := r.Counters(); c.Ingested != 6 {
+		t.Errorf("eviction touched the ledger: ingested=%d", c.Ingested)
+	}
+}
+
+// TestEmitWindow pins the structured-ID→lineage handoff protocol: claimed
+// exactly once, and stale handoffs vanish when a new window opens.
+func TestEmitWindow(t *testing.T) {
+	r := provenance.New(provenance.Config{SampleEvery: 1})
+	a := testAlert("packet loss")
+	lid := r.Ingest(&a, false)
+
+	r.BeginEmitWindow()
+	r.Emitted(42, lid)
+	if got := r.TakeEmitted(42); got != lid {
+		t.Fatalf("TakeEmitted = %d, want %d", got, lid)
+	}
+	if got := r.TakeEmitted(42); got != 0 {
+		t.Fatalf("second TakeEmitted = %d, want 0 (exactly-once)", got)
+	}
+	if rec, _ := r.Lineage(lid); rec.StructuredID != 42 {
+		t.Errorf("ring record structured ID = %d, want 42", rec.StructuredID)
+	}
+
+	r.Emitted(43, lid)
+	r.BeginEmitWindow()
+	if got := r.TakeEmitted(43); got != 0 {
+		t.Fatalf("handoff survived a new emit window: got %d", got)
+	}
+}
+
+// TestIncidentSamplesSurviveRingEviction is the explain-side guarantee:
+// lineage detail attributed to an incident is copied onto the incident
+// record, so later ring churn cannot lose the evidence.
+func TestIncidentSamplesSurviveRingEviction(t *testing.T) {
+	r := provenance.New(provenance.Config{SampleEvery: 1, RingCap: 4})
+	a := testAlert("packet loss")
+	lid := r.Ingest(&a, false)
+	r.IncidentCreated(provenance.IncidentInfo{ID: 1, Root: "RG01", At: t0, Rule: "failure-only"})
+	r.Attributed(lid, 1)
+
+	// Churn the ring until the attributed lineage's slot is overwritten.
+	for i := 0; i < 8; i++ {
+		r.Ingest(&a, false)
+	}
+	if _, ok := r.Lineage(lid); ok {
+		t.Fatal("test premise broken: lineage still in ring")
+	}
+	rec, ok := r.Incident(1)
+	if !ok {
+		t.Fatal("incident record missing")
+	}
+	if rec.Attributed != 1 || len(rec.Samples) != 1 {
+		t.Fatalf("attributed=%d samples=%d, want 1/1", rec.Attributed, len(rec.Samples))
+	}
+	if s := rec.Samples[0]; s.Lineage != lid || s.State != provenance.StateAttributed || s.Incident != 1 {
+		t.Errorf("copied sample = %+v", s)
+	}
+}
+
+// TestIncidentSampleCapOverflow bounds the per-incident sample list.
+func TestIncidentSampleCapOverflow(t *testing.T) {
+	r := provenance.New(provenance.Config{SampleEvery: 1, LineagesPerIncident: 2})
+	a := testAlert("packet loss")
+	r.IncidentCreated(provenance.IncidentInfo{ID: 1, Root: "RG01", At: t0})
+	for i := 0; i < 5; i++ {
+		r.Attributed(r.Ingest(&a, false), 1)
+	}
+	rec, _ := r.Incident(1)
+	if len(rec.Samples) != 2 || rec.Overflow != 3 || rec.Attributed != 5 {
+		t.Errorf("samples=%d overflow=%d attributed=%d, want 2/3/5",
+			len(rec.Samples), rec.Overflow, rec.Attributed)
+	}
+}
+
+// TestIncidentRecordEviction: past the cap, the oldest *closed* record is
+// evicted; open incidents are never dropped.
+func TestIncidentRecordEviction(t *testing.T) {
+	r := provenance.New(provenance.Config{IncidentCap: 2})
+	r.IncidentCreated(provenance.IncidentInfo{ID: 1, Root: "a", At: t0})
+	r.IncidentCreated(provenance.IncidentInfo{ID: 2, Root: "b", At: t0})
+	r.IncidentClosed(1, t0.Add(time.Minute))
+	r.IncidentCreated(provenance.IncidentInfo{ID: 3, Root: "c", At: t0})
+
+	if _, ok := r.Incident(1); ok {
+		t.Error("oldest closed record 1 should have been evicted")
+	}
+	for _, id := range []int{2, 3} {
+		if _, ok := r.Incident(id); !ok {
+			t.Errorf("record %d missing", id)
+		}
+	}
+	if rec, _ := r.Incident(2); !rec.ClosedAt.IsZero() {
+		t.Error("record 2 was never closed")
+	}
+}
+
+// TestRegisterMetrics snapshots the /metrics surface and re-derives the
+// conservation identity from the exported counters alone.
+func TestRegisterMetrics(t *testing.T) {
+	r := provenance.New(provenance.Config{SampleEvery: 1})
+	reg := telemetry.New()
+	r.RegisterMetrics(reg)
+
+	a := testAlert("packet loss")
+	r.Consolidated(r.Ingest(&a, false), 0)
+	r.Filtered(r.Ingest(&a, false), provenance.FilterUncorroborated)
+	r.Expired(r.Ingest(&a, false))
+	r.Attributed(r.Ingest(&a, false), 1)
+	r.Ingest(&a, false) // deliberately left in flight
+
+	vals := map[string]float64{}
+	for _, m := range reg.Snapshot() {
+		vals[m.Name] = m.Value
+	}
+	if vals["skynet_lineage_ingested_total"] != 5 {
+		t.Fatalf("ingested metric = %v, want 5", vals["skynet_lineage_ingested_total"])
+	}
+	terminal := vals["skynet_lineage_consolidated_total"] +
+		vals["skynet_lineage_filtered_total"] +
+		vals["skynet_lineage_expired_total"] +
+		vals["skynet_lineage_attributed_total"]
+	if terminal != 4 {
+		t.Errorf("terminal metrics sum to %v, want 4", terminal)
+	}
+	if vals["skynet_lineage_in_flight"] != 1 {
+		t.Errorf("in-flight gauge = %v, want 1", vals["skynet_lineage_in_flight"])
+	}
+	if vals["skynet_lineage_filtered_uncorroborated_total"] != 1 {
+		t.Errorf("per-reason metric = %v, want 1", vals["skynet_lineage_filtered_uncorroborated_total"])
+	}
+	// Every reason has a metric, and they sum to the filtered total.
+	var reasons float64
+	for name, v := range vals {
+		if strings.HasPrefix(name, "skynet_lineage_filtered_") && name != "skynet_lineage_filtered_total" {
+			reasons += v
+		}
+	}
+	if reasons != vals["skynet_lineage_filtered_total"] {
+		t.Errorf("reason metrics sum to %v, want %v", reasons, vals["skynet_lineage_filtered_total"])
+	}
+}

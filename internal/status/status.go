@@ -10,8 +10,14 @@
 //	GET /api/incidents      all incidents, active first, severity-ranked
 //	GET /api/incidents/{id} one incident incl. its Figure 6 report and
 //	                        LLM-ready context bundle
+//	GET /api/incidents/{id}/explain
+//	                        provenance document: trigger rule, evidence
+//	                        streams, score breakdown, lineage samples
+//	                        (WithProvenance)
 //	GET /api/journal        incident lifecycle events (WithJournal);
 //	                        ?since=SEQ returns only newer events
+//	GET /api/buildinfo      binary version, go version, resolved flags
+//	                        (WithBuildInfo)
 //	GET /metrics            Prometheus text exposition (WithTelemetry)
 //	GET /debug/pprof/...    runtime profiles (WithPprof)
 package status
@@ -35,6 +41,7 @@ import (
 	"skynet/internal/incident"
 	"skynet/internal/ingest"
 	"skynet/internal/llmctx"
+	"skynet/internal/provenance"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 	"skynet/internal/viz"
@@ -46,11 +53,24 @@ import (
 type Snapshotter struct {
 	mu      *sync.Mutex
 	engine  *core.Engine
-	ingest  *ingest.Server      // optional
-	topo    *topology.Topology  // optional, enables graph rendering
-	reg     *telemetry.Registry // optional, enables GET /metrics
-	journal *telemetry.Journal  // optional, enables GET /api/journal
-	pprof   bool                // mounts /debug/pprof
+	ingest  *ingest.Server       // optional
+	topo    *topology.Topology   // optional, enables graph rendering
+	reg     *telemetry.Registry  // optional, enables GET /metrics
+	journal *telemetry.Journal   // optional, enables GET /api/journal
+	prov    *provenance.Recorder // optional, enables .../explain
+	build   *BuildInfo           // optional, enables GET /api/buildinfo
+	pprof   bool                 // mounts /debug/pprof
+}
+
+// BuildInfo is the /api/buildinfo JSON shape: enough to identify a fleet
+// member's binary and runtime configuration at a glance.
+type BuildInfo struct {
+	Version   string            `json:"version"`
+	GoVersion string            `json:"go_version"`
+	OS        string            `json:"os"`
+	Arch      string            `json:"arch"`
+	Workers   int               `json:"workers,omitempty"`
+	Flags     map[string]string `json:"flags,omitempty"`
 }
 
 // WithTopology enables the per-incident voting-graph endpoint
@@ -73,6 +93,20 @@ func (s *Snapshotter) WithTelemetry(reg *telemetry.Registry) *Snapshotter {
 // take the engine lock.
 func (s *Snapshotter) WithJournal(j *telemetry.Journal) *Snapshotter {
 	s.journal = j
+	return s
+}
+
+// WithProvenance mounts GET /api/incidents/{id}/explain serving the
+// lineage recorder's provenance document. Incident state is read under
+// the engine lock, like the other incident endpoints.
+func (s *Snapshotter) WithProvenance(rec *provenance.Recorder) *Snapshotter {
+	s.prov = rec
+	return s
+}
+
+// WithBuildInfo mounts GET /api/buildinfo.
+func (s *Snapshotter) WithBuildInfo(bi BuildInfo) *Snapshotter {
+	s.build = &bi
 	return s
 }
 
@@ -199,6 +233,11 @@ func (s *Snapshotter) Handler() http.Handler {
 			writeJSON(w, s.journal.Since(after))
 		})
 	}
+	if s.build != nil {
+		mux.HandleFunc("/api/buildinfo", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, s.build)
+		})
+	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -222,9 +261,11 @@ func (s *Snapshotter) Handler() http.Handler {
 	})
 	mux.HandleFunc("/api/incidents/", func(w http.ResponseWriter, r *http.Request) {
 		idStr := strings.TrimPrefix(r.URL.Path, "/api/incidents/")
-		wantSVG := false
+		wantSVG, wantExplain := false, false
 		if rest, ok := strings.CutSuffix(idStr, "/graph.svg"); ok {
 			idStr, wantSVG = rest, true
+		} else if rest, ok := strings.CutSuffix(idStr, "/explain"); ok {
+			idStr, wantExplain = rest, true
 		}
 		id, err := strconv.Atoi(idStr)
 		if err != nil {
@@ -233,6 +274,10 @@ func (s *Snapshotter) Handler() http.Handler {
 		}
 		if wantSVG {
 			s.serveGraphSVG(w, id)
+			return
+		}
+		if wantExplain {
+			s.serveExplain(w, id)
 			return
 		}
 		s.mu.Lock()
@@ -259,6 +304,30 @@ func (s *Snapshotter) Handler() http.Handler {
 		writeJSON(w, detail)
 	})
 	return mux
+}
+
+// serveExplain renders the provenance document of one incident: the
+// trigger decision, evidence streams, score evidence, and sampled raw
+// alert journeys.
+func (s *Snapshotter) serveExplain(w http.ResponseWriter, id int) {
+	if s.prov == nil {
+		http.Error(w, "explain requires provenance recording (-provenance)", http.StatusNotImplemented)
+		return
+	}
+	s.mu.Lock()
+	var doc *provenance.Explain
+	for _, in := range s.engine.AllIncidents() {
+		if in.ID == id {
+			doc = s.prov.Explain(in)
+			break
+		}
+	}
+	s.mu.Unlock()
+	if doc == nil {
+		http.Error(w, "incident not found", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, doc)
 }
 
 // serveGraphSVG renders the §7.1 voting graph of one incident.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"skynet/internal/core"
 	"skynet/internal/hierarchy"
 	"skynet/internal/preprocess"
+	"skynet/internal/provenance"
 	"skynet/internal/topology"
 )
 
@@ -162,6 +164,108 @@ func TestHTMLIndex(t *testing.T) {
 	}
 	if code, _ := get(t, h, "/nope"); code != http.StatusNotFound {
 		t.Errorf("unknown path: %d", code)
+	}
+}
+
+// loadedEngineProv is loadedEngine with a full-detail lineage recorder
+// attached before ingest.
+func loadedEngineProv(t *testing.T) (*core.Engine, *provenance.Recorder, *sync.Mutex) {
+	t.Helper()
+	classifier, err := preprocess.BootstrapClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(core.DefaultConfig(), nil, classifier, nil, nil)
+	rec := provenance.New(provenance.Config{SampleEvery: 1})
+	eng.EnableProvenance(rec)
+	dev := hierarchy.MustNew("RG01", "CT01", "LS01", "ST01", "CL01", "dev-a")
+	for i, typ := range []string{alert.TypePacketLoss, alert.TypeEndToEndICMP} {
+		eng.Ingest(alert.Alert{
+			Source: alert.SourcePing, Type: typ, Class: alert.ClassFailure,
+			Time: epoch.Add(time.Duration(i) * time.Second), End: epoch.Add(time.Duration(i) * time.Second),
+			Location: dev, Value: 0.4, Count: 1,
+		})
+	}
+	eng.Tick(epoch.Add(30 * time.Second))
+	if len(eng.Active()) == 0 {
+		t.Fatal("setup: no incident")
+	}
+	return eng, rec, &sync.Mutex{}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	eng, rec, mu := loadedEngineProv(t)
+	h := NewSnapshotter(mu, eng, nil).WithProvenance(rec).Handler()
+	id := eng.Active()[0].ID
+	code, body := get(t, h, "/api/incidents/"+itoa(id)+"/explain")
+	if code != http.StatusOK {
+		t.Fatalf("explain: %d %s", code, body)
+	}
+	var ex provenance.Explain
+	if err := json.Unmarshal([]byte(body), &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Incident != id {
+		t.Errorf("explain incident = %d, want %d", ex.Incident, id)
+	}
+	if ex.Trigger == nil || ex.Trigger.Rule == "" {
+		t.Errorf("explain trigger missing or empty: %+v", ex.Trigger)
+	}
+	if len(ex.Evidence) == 0 {
+		t.Error("explain has no evidence streams")
+	}
+	if len(ex.Lineages) == 0 {
+		t.Error("explain has no lineage samples at SampleEvery=1")
+	}
+	if code, _ := get(t, h, "/api/incidents/999/explain"); code != http.StatusNotFound {
+		t.Errorf("unknown incident explain: %d", code)
+	}
+	if code, _ := get(t, h, "/api/incidents/notanumber/explain"); code != http.StatusBadRequest {
+		t.Errorf("bad id explain: %d", code)
+	}
+}
+
+func TestExplainEndpointWithoutRecorder(t *testing.T) {
+	eng, mu := loadedEngine(t)
+	h := NewSnapshotter(mu, eng, nil).Handler()
+	id := eng.Active()[0].ID
+	code, body := get(t, h, "/api/incidents/"+itoa(id)+"/explain")
+	if code != http.StatusNotImplemented {
+		t.Errorf("no-recorder explain: %d %s", code, body)
+	}
+	if !strings.Contains(body, "-provenance") {
+		t.Errorf("degradation should point at the -provenance flag: %q", body)
+	}
+}
+
+func TestBuildInfoEndpoint(t *testing.T) {
+	eng, mu := loadedEngine(t)
+	// Without build info the endpoint is simply absent.
+	h := NewSnapshotter(mu, eng, nil).Handler()
+	if code, _ := get(t, h, "/api/buildinfo"); code != http.StatusNotFound {
+		t.Errorf("buildinfo without info: %d", code)
+	}
+	h2 := NewSnapshotter(mu, eng, nil).WithBuildInfo(BuildInfo{
+		Version:   "test-1.0",
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		Workers:   3,
+		Flags:     map[string]string{"provenance": "16"},
+	}).Handler()
+	code, body := get(t, h2, "/api/buildinfo")
+	if code != http.StatusOK {
+		t.Fatalf("buildinfo: %d %s", code, body)
+	}
+	var bi BuildInfo
+	if err := json.Unmarshal([]byte(body), &bi); err != nil {
+		t.Fatal(err)
+	}
+	if bi.Version != "test-1.0" || bi.GoVersion != runtime.Version() || bi.Workers != 3 {
+		t.Errorf("buildinfo = %+v", bi)
+	}
+	if bi.Flags["provenance"] != "16" {
+		t.Errorf("buildinfo flags = %v", bi.Flags)
 	}
 }
 

@@ -44,6 +44,68 @@ func TestJournalEviction(t *testing.T) {
 	}
 }
 
+// TestJournalSinceAcrossWraparound exercises /api/journal?since=
+// pagination once the ring has wrapped: a cursor older than the retained
+// head returns everything retained (the gap in sequence numbers tells the
+// consumer events were lost), and a cursor at or past the tail returns
+// nothing.
+func TestJournalSinceAcrossWraparound(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Append(Event{Incident: i})
+	}
+	// Retained window is seqs 6..9.
+	for _, tc := range []struct {
+		after     int64
+		wantFirst int64
+		wantLen   int
+	}{
+		{-1, 6, 4}, // everything
+		{0, 6, 4},  // cursor long evicted: full retained window
+		{5, 6, 4},  // cursor exactly one before the head
+		{6, 7, 3},  // cursor inside the window
+		{8, 9, 1},  // penultimate
+		{9, 0, 0},  // cursor at the tail: caught up
+		{42, 0, 0}, // cursor beyond anything ever appended
+	} {
+		got := j.Since(tc.after)
+		if len(got) != tc.wantLen {
+			t.Errorf("Since(%d): %d events, want %d", tc.after, len(got), tc.wantLen)
+			continue
+		}
+		if tc.wantLen > 0 && got[0].Seq != tc.wantFirst {
+			t.Errorf("Since(%d): first seq %d, want %d", tc.after, got[0].Seq, tc.wantFirst)
+		}
+	}
+	// A consumer resuming from a stale cursor can detect the loss: the
+	// first returned seq minus the cursor exceeds one.
+	if got := j.Since(0); got[0].Seq-0 <= 1 {
+		t.Errorf("wraparound gap not visible: first retained seq %d after cursor 0", got[0].Seq)
+	}
+}
+
+// TestJournalCapacityOne pins the degenerate ring: only the newest event
+// is ever retained, and pagination still behaves.
+func TestJournalCapacityOne(t *testing.T) {
+	j := NewJournal(1)
+	for i := 0; i < 3; i++ {
+		j.Append(Event{Incident: i})
+	}
+	if j.Len() != 1 || j.Evicted() != 2 {
+		t.Fatalf("len=%d evicted=%d, want 1/2", j.Len(), j.Evicted())
+	}
+	got := j.Events()
+	if len(got) != 1 || got[0].Seq != 2 || got[0].Incident != 2 {
+		t.Fatalf("retained = %+v, want only seq 2", got)
+	}
+	if got := j.Since(1); len(got) != 1 || got[0].Seq != 2 {
+		t.Errorf("Since(1) = %+v", got)
+	}
+	if got := j.Since(2); len(got) != 0 {
+		t.Errorf("Since(2) = %+v, want empty", got)
+	}
+}
+
 func TestJournalConcurrent(t *testing.T) {
 	j := NewJournal(128)
 	var wg sync.WaitGroup

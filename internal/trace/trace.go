@@ -19,6 +19,7 @@ import (
 	"skynet/internal/monitors"
 	"skynet/internal/netsim"
 	"skynet/internal/preprocess"
+	"skynet/internal/provenance"
 	"skynet/internal/scenario"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
@@ -147,6 +148,9 @@ type ReplayOptions struct {
 	// Journal, when set, receives incident lifecycle events stamped with
 	// simulated time.
 	Journal *telemetry.Journal
+	// Provenance, when set, records per-alert lineage and per-incident
+	// trigger/score evidence on the recorder.
+	Provenance *provenance.Recorder
 }
 
 // Replay pushes a raw trace through a fresh engine, ticking at the given
@@ -167,6 +171,9 @@ func ReplayWithOptions(alerts []alert.Alert, topo *topology.Topology, engineCfg 
 	eng := core.NewEngine(engineCfg, topo, classifier, nil, nil)
 	if opts.Telemetry != nil || opts.Journal != nil {
 		eng.EnableTelemetry(opts.Telemetry, opts.Journal)
+	}
+	if opts.Provenance != nil {
+		eng.EnableProvenance(opts.Provenance)
 	}
 	var start time.Time
 	if opts.Telemetry != nil {
