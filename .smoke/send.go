@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+)
+
+func main() {
+	loc := hierarchy.MustNew("RG01", "CT01", "LS01", "ST01", "CL01", "dev-1")
+	now := time.Now()
+	var alerts []alert.Alert
+	kinds := []struct {
+		src alert.Source
+		typ string
+	}{
+		{alert.SourcePing, "packet loss"},
+		{alert.SourceSNMP, "link down"},
+		{alert.SourceSyslog, "bgp peer down"},
+	}
+	for i := 0; i < 30; i++ {
+		k := kinds[i%len(kinds)]
+		alerts = append(alerts, alert.Alert{
+			Source:   k.src,
+			Type:     k.typ,
+			Location: loc,
+			Time:     now,
+			End:      now.Add(time.Minute),
+			Count:    1,
+			Value:    0.5,
+		})
+	}
+	conn, err := net.Dial("tcp", "127.0.0.1:7070")
+	if err != nil {
+		panic(err)
+	}
+	defer conn.Close()
+	if err := alert.WriteAll(conn, alerts); err != nil {
+		panic(err)
+	}
+	fmt.Println("sent", len(alerts))
+}
