@@ -27,6 +27,7 @@ import (
 	"skynet/internal/netsim"
 	"skynet/internal/preprocess"
 	"skynet/internal/provenance"
+	"skynet/internal/span"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 )
@@ -220,8 +221,8 @@ var telemetryDump = flag.String("telemetrydump", "",
 // over a severe-failure alert batch. With a nil registry it measures the
 // bare pipeline; with one attached it measures the instrumented path, so
 // the pair bounds the telemetry overhead. A lineage recorder likewise
-// bounds the provenance overhead.
-func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal *telemetry.Journal, rec *provenance.Recorder) {
+// bounds the provenance overhead, and a span tracer the tracing overhead.
+func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal *telemetry.Journal, rec *provenance.Recorder, tracer *span.Tracer) {
 	topo := topology.MustGenerate(topology.SmallConfig())
 	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
 	classifier, err := preprocess.BootstrapClassifier()
@@ -236,6 +237,9 @@ func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal
 	}
 	if rec != nil {
 		eng.EnableProvenance(rec)
+	}
+	if tracer != nil {
+		eng.EnableTracing(tracer)
 	}
 	now := benchEpoch
 	b.ResetTimer()
@@ -253,22 +257,29 @@ func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal
 
 // BenchmarkEngineTick measures an uninstrumented ingest+tick round with
 // the default worker fan-out (all cores).
-func BenchmarkEngineTick(b *testing.B) { benchEngineTick(b, 0, nil, nil, nil) }
+func BenchmarkEngineTick(b *testing.B) { benchEngineTick(b, 0, nil, nil, nil, nil) }
 
 // BenchmarkEngineTickSerial pins the pipeline to one worker — the serial
 // reference the parallel path must match bit-for-bit (see
 // TestEngineDeterministicAcrossWorkers).
-func BenchmarkEngineTickSerial(b *testing.B) { benchEngineTick(b, 1, nil, nil, nil) }
+func BenchmarkEngineTickSerial(b *testing.B) { benchEngineTick(b, 1, nil, nil, nil, nil) }
 
 // BenchmarkEngineTickWorkers4 forces four workers regardless of core
 // count, exposing the goroutine fan-out overhead when oversubscribed.
-func BenchmarkEngineTickWorkers4(b *testing.B) { benchEngineTick(b, 4, nil, nil, nil) }
+func BenchmarkEngineTickWorkers4(b *testing.B) { benchEngineTick(b, 4, nil, nil, nil, nil) }
 
 // BenchmarkEngineTickProvenance is BenchmarkEngineTick with the lineage
 // recorder attached at the default 1-in-16 sampling; the delta between
 // the two is the provenance cost per tick (acceptance bound: within 5%).
 func BenchmarkEngineTickProvenance(b *testing.B) {
-	benchEngineTick(b, 0, nil, nil, provenance.New(provenance.Config{}))
+	benchEngineTick(b, 0, nil, nil, provenance.New(provenance.Config{}), nil)
+}
+
+// BenchmarkEngineTickSpans is BenchmarkEngineTick with the span tracer
+// attached; the delta between the two is the tracing cost per tick
+// (acceptance bound: within 2%, see bench_results.txt).
+func BenchmarkEngineTickSpans(b *testing.B) {
+	benchEngineTick(b, 0, nil, nil, nil, span.NewTracer(0))
 }
 
 // BenchmarkEngineTickTelemetry is BenchmarkEngineTick with the metrics
@@ -276,7 +287,7 @@ func BenchmarkEngineTickProvenance(b *testing.B) {
 // the telemetry cost per tick (acceptance bound: within 5%).
 func BenchmarkEngineTickTelemetry(b *testing.B) {
 	reg := telemetry.New()
-	benchEngineTick(b, 0, reg, telemetry.NewJournal(0), nil)
+	benchEngineTick(b, 0, reg, telemetry.NewJournal(0), nil, nil)
 	if *telemetryDump == "" {
 		return
 	}

@@ -8,6 +8,8 @@
 //	skynet-bench -list
 //	skynet-bench -json bench.json          # machine-readable microbenchmarks
 //	skynet-bench -json - engine_tick       # one benchmark, to stdout
+//	skynet-bench -json - -spans            # + per-stage span latency breakdown
+//	skynet-bench -json - -compare BENCH_2026-08-06.json   # CI regression gate
 //
 // Every experiment prints a table plus the paper's reported shape so the
 // two can be compared side by side; EXPERIMENTS.md archives a full run.
@@ -43,6 +45,12 @@ func main() {
 			"pipeline worker fan-out (0 = all cores, 1 = serial; results are identical)")
 		jsonOut = flag.String("json", "",
 			`run the microbenchmark suite and write machine-readable results ("-" for stdout, else a file), then exit`)
+		spans = flag.Bool("spans", false,
+			"with -json: add the per-stage span latency breakdown (span_stages) to the report")
+		compare = flag.String("compare", "",
+			"with -json: compare against this baseline report and exit non-zero on regression")
+		tolerance = flag.Float64("tolerance", 0.15,
+			"with -compare: allowed fractional ns/op regression (0.15 = +15%)")
 	)
 	flag.Parse()
 
@@ -58,7 +66,7 @@ func main() {
 		return
 	}
 	if *jsonOut != "" {
-		if err := runMicrobench(*jsonOut, flag.Args()); err != nil {
+		if err := runMicrobench(*jsonOut, flag.Args(), *spans, *compare, *tolerance); err != nil {
 			fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -111,11 +119,20 @@ func main() {
 
 // runMicrobench executes the hot-path benchmark suite (optionally only
 // the names given as positional args) and writes the JSON report to dst.
-func runMicrobench(dst string, names []string) error {
+// With spans it adds the per-stage span latency breakdown; with a compare
+// baseline it fails when any shared benchmark regressed beyond tolerance.
+func runMicrobench(dst string, names []string, spans bool, compare string, tolerance float64) error {
 	fmt.Fprintf(os.Stderr, "running microbenchmarks: %s\n", strings.Join(microbench.Names(), ", "))
 	rep, err := microbench.Run(names...)
 	if err != nil {
 		return err
+	}
+	if spans {
+		stages, err := microbench.CollectSpanStages(0)
+		if err != nil {
+			return err
+		}
+		rep.SpanStages = stages
 	}
 	var w io.Writer = os.Stdout
 	if dst != "-" {
@@ -134,6 +151,30 @@ func runMicrobench(dst string, names []string) error {
 	if dst != "-" {
 		fmt.Printf("benchmark results written to %s\n", dst)
 	}
+	if compare != "" {
+		return compareBaseline(compare, rep, tolerance)
+	}
+	return nil
+}
+
+// compareBaseline loads a committed baseline report and fails on any
+// ns/op regression beyond the tolerance — the CI bench-regression gate.
+func compareBaseline(path string, cur *microbench.Report, tolerance float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base microbench.Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if regs := microbench.Compare(&base, cur, tolerance); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% vs %s", len(regs), 100*tolerance, path)
+	}
+	fmt.Fprintf(os.Stderr, "baseline %s: all benchmarks within %.0f%% tolerance\n", path, 100*tolerance)
 	return nil
 }
 

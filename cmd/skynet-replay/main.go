@@ -7,10 +7,14 @@
 //	skynet-replay -trace trace.jsonl.gz
 //	skynet-replay -trace trace.jsonl.gz -thresholds 2/1+2/6 -severity 0
 //	skynet-replay -trace trace.jsonl.gz -stats
+//	skynet-replay -trace trace.jsonl.gz -spans
 //
 // With -stats, the replay runs instrumented and a per-stage timing table
 // plus the volume funnel (raw → structured → consolidated → incidents)
-// follow the reports.
+// follow the reports. With -spans, every tick is span-traced and the
+// slowest tick's span tree plus per-stage span aggregates are printed.
+// (The issue sketch called this flag -trace; that name was already taken
+// by the trace-file path, so the span report lives on -spans.)
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"skynet/internal/evaluator"
 	"skynet/internal/locator"
 	"skynet/internal/provenance"
+	"skynet/internal/span"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 	"skynet/internal/trace"
@@ -40,6 +45,8 @@ func main() {
 			"severity filter (0 shows everything)")
 		showStats = flag.Bool("stats", false,
 			"print per-stage timing and the volume funnel after replay")
+		showSpans = flag.Bool("spans", false,
+			"trace the replay and print the slowest tick's span tree plus a per-stage span latency table")
 		workers = flag.Int("workers", 0,
 			"pipeline worker fan-out (0 = all cores, 1 = serial; replays are identical either way)")
 		provEvery = flag.Int("provenance", 0,
@@ -88,6 +95,10 @@ func main() {
 		reg = telemetry.New()
 		journal = telemetry.NewJournal(0)
 	}
+	var tracer *span.Tracer
+	if *showSpans {
+		tracer = span.NewTracer(0)
+	}
 	var prov *provenance.Recorder
 	switch {
 	case *explainID >= 0:
@@ -97,7 +108,7 @@ func main() {
 		prov = provenance.New(provenance.Config{SampleEvery: *provEvery})
 	}
 	eng, err := trace.ReplayWithOptions(alerts, topo, cfg,
-		trace.ReplayOptions{Telemetry: reg, Journal: journal, Provenance: prov})
+		trace.ReplayOptions{Telemetry: reg, Journal: journal, Provenance: prov, Tracer: tracer})
 	if err != nil {
 		fatal(err)
 	}
@@ -119,6 +130,9 @@ func main() {
 	}
 	if *showStats {
 		printStats(eng, reg, journal)
+	}
+	if tracer != nil {
+		printSpans(tracer)
 	}
 	if prov != nil {
 		printConservation(prov)
@@ -206,6 +220,19 @@ func printStats(eng *core.Engine, reg *telemetry.Registry, journal *telemetry.Jo
 		fmt.Printf("\nreplay throughput: %s alerts/s (%s wall)\n",
 			fmtCount(v.Value), fmtSeconds(snaps["skynet_replay_seconds"].Value))
 	}
+}
+
+// printSpans renders the -spans report: the span tree of the slowest tick
+// and the per-stage span latency aggregates over the whole replay.
+func printSpans(tracer *span.Tracer) {
+	fmt.Printf("\n== slowest tick (of %d traced) ==\n", tracer.TickCount())
+	if slow, ok := tracer.Slowest(); ok {
+		fmt.Print(slow.Render())
+	} else {
+		fmt.Println("  no ticks traced")
+	}
+	fmt.Println("\n== per-stage span latency ==")
+	fmt.Print(span.RenderStageStats(tracer.StageStats()))
 }
 
 func reduction(in, out int) string {

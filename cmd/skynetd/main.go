@@ -25,9 +25,11 @@ import (
 
 	"skynet/internal/alert"
 	"skynet/internal/core"
+	"skynet/internal/flight"
 	"skynet/internal/ingest"
 	"skynet/internal/preprocess"
 	"skynet/internal/provenance"
+	"skynet/internal/span"
 	"skynet/internal/status"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
@@ -51,6 +53,10 @@ func main() {
 			"pipeline worker fan-out (0 = all cores, 1 = serial; output is identical)")
 		provEvery = flag.Int("provenance", provenance.DefaultSampleEvery,
 			"record lineage detail for 1 in N ingested alerts (1 = all, 0 disables; conservation counters stay exact)")
+		flightDir = flag.String("flight-dir", "flight-dumps",
+			"flight-recorder dump directory (empty disables dumps; triggers, /api/health, and /api/trace stay on)")
+		sloTickP99 = flag.Duration("slo-tick-p99", flight.DefaultSLOTickP99,
+			"self-SLO on tick latency p99; a breach fires the flight recorder")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -103,6 +109,18 @@ func main() {
 	engine.EnableTelemetry(reg, journal)
 	journal.RegisterMetrics(reg)
 
+	// Tracing: a span tree per tick, feeding /api/trace, the per-stage
+	// span histograms on /metrics, and flight-recorder dumps.
+	tracer := span.NewTracer(0)
+	engine.EnableTracing(tracer)
+
+	// Live event stream: incident lifecycle transitions and anomalies on
+	// GET /api/events.
+	bus := status.NewEventBus()
+	defer bus.Close()
+	bus.RegisterMetrics(reg)
+	journal.SetNotify(func(ev telemetry.Event) { bus.Publish(status.EventTypeIncident, ev) })
+
 	// Provenance: lineage conservation counters on /metrics and the
 	// per-incident explain endpoint.
 	var prov *provenance.Recorder
@@ -152,6 +170,35 @@ func main() {
 		"Alerts buffered between the ingest dispatcher and the engine loop.",
 		func() float64 { return float64(len(in)) })
 	defer srv.Close()
+
+	// Flight recorder: watches tick p99, ingest shed, journal drops, queue
+	// high-water, and provenance conservation; dumps evidence on anomalies.
+	flightSrc := flight.Sources{
+		Shed:           shed.Value,
+		JournalEvicted: journal.Evicted,
+		Queue:          func() (int, int) { return len(in), cap(in) },
+		Metrics:        reg,
+		Tracer:         tracer,
+		Incidents: func() any {
+			engineMu.Lock()
+			defer engineMu.Unlock()
+			active := engine.Active()
+			out := make([]status.IncidentSummary, 0, len(active))
+			for _, inc := range active {
+				out = append(out, status.Summarize(inc))
+			}
+			return out
+		},
+	}
+	if prov != nil {
+		flightSrc.ProvInFlight = prov.InFlight
+	}
+	flightRec := flight.New(flight.Config{Dir: *flightDir, SLOTickP99: *sloTickP99}, flightSrc)
+	flightRec.RegisterMetrics(reg)
+	flightRec.SetNotify(func(ev flight.Event) {
+		bus.Publish(status.EventTypeAnomaly, ev)
+		log.Warn("flight-recorder trigger", "trigger", ev.Trigger, "detail", ev.Detail, "dump", ev.DumpDir)
+	})
 	if a := srv.TCPAddr(); a != nil {
 		log.Info("tcp listening", "addr", a.String())
 	}
@@ -174,7 +221,10 @@ func main() {
 				Workers:   engine.Workers(),
 				Flags:     flags,
 			}).
-			WithPprof(*pprofOn)
+			WithPprof(*pprofOn).
+			WithFlight(flightRec).
+			WithTracer(tracer).
+			WithEvents(bus)
 		statusSrv, err := status.Listen(*httpAddr, snap, log)
 		if err != nil {
 			fatal(log, err)
@@ -197,10 +247,15 @@ func main() {
 			engineMu.Unlock()
 		case now := <-ticker.C:
 			engineMu.Lock()
+			tickStart := time.Now()
 			res := engine.Tick(now)
+			tickDur := time.Since(tickStart)
 			closed := engine.Closed()
 			active := len(engine.Active())
 			engineMu.Unlock()
+			// Observe outside engineMu: a dump's incident snapshot takes
+			// the lock itself.
+			flightRec.Observe(now, tickDur)
 			for _, inc := range res.NewIncidents {
 				known[inc.ID] = true
 				fmt.Printf("--- NEW INCIDENT ---\n%s\n", inc.Render())

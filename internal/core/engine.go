@@ -35,6 +35,7 @@ import (
 	"skynet/internal/preprocess"
 	"skynet/internal/provenance"
 	"skynet/internal/sop"
+	"skynet/internal/span"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 	"skynet/internal/zoomin"
@@ -118,9 +119,14 @@ type Engine struct {
 	// Telemetry is optional; all fields below are nil/zero until
 	// EnableTelemetry, and the pipeline takes no telemetry branches then.
 	tel        *pipelineMetrics
+	reg        *telemetry.Registry
 	journal    *telemetry.Journal
 	lastState  map[int]incidentState
 	closedSeen int
+
+	// Tracing is optional; nil until EnableTracing.
+	tracer  *span.Tracer
+	spanTel *spanMetrics
 
 	// Provenance is optional; nil until EnableProvenance.
 	prov    *provenance.Recorder
@@ -196,13 +202,31 @@ func (e *Engine) Tick(now time.Time) TickResult {
 		mark = start
 		tel.prePending.SetInt(e.pre.PendingDepth())
 	}
+	act := e.tracer.StartTick(e.tickCount, now) // nil when tracing is off
+	preR := act.Begin(span.Root, "preprocess")
+	if act != nil {
+		e.pre.SetSpans(act.Scope(preR))
+	}
 	structured := e.pre.Tick(now)
 	res.Structured = len(structured)
+	act.End(preR, len(structured))
 	if tel != nil {
 		mark = tel.observe(tel.stagePreprocess, mark)
 	}
+	locR := act.Begin(span.Root, "locate")
+	abR := act.Begin(locR, "addbatch")
+	if act != nil {
+		e.loc.SetSpans(act.Scope(abR))
+	}
 	e.loc.AddBatch(structured)
+	act.End(abR, len(structured))
+	ckR := act.Begin(locR, "check")
+	if act != nil {
+		e.loc.SetSpans(act.Scope(ckR))
+	}
 	res.NewIncidents = e.loc.Check(now)
+	act.End(ckR, len(res.NewIncidents))
+	act.End(locR, len(structured))
 	if tel != nil {
 		mark = tel.observe(tel.stageLocate, mark)
 	}
@@ -214,6 +238,7 @@ func (e *Engine) Tick(now time.Time) TickResult {
 	// yields a different ΔT. Otherwise both are pure functions of
 	// unchanged inputs and the stored Severity/Zoomed are already exact.
 	active := e.loc.Active()
+	evR := act.Begin(span.Root, "evaluate")
 	dirty := e.evalDirty[:0]
 	for _, in := range active {
 		st, ok := e.evalStates[in.ID]
@@ -221,19 +246,20 @@ func (e *Engine) Tick(now time.Time) TickResult {
 			dirty = append(dirty, in)
 		}
 	}
+	rf := act.Scope(evR).Fork("refine_score", len(dirty))
 	if e.prov != nil {
 		if cap(e.provBds) < len(dirty) {
 			e.provBds = make([]evaluator.Breakdown, len(dirty))
 		}
 		bds := e.provBds[:len(dirty)]
-		par.Do(e.workers, len(dirty), func(i int) {
+		par.DoTimed(e.workers, len(dirty), rf.Timer(), func(i int) {
 			in := dirty[i]
 			e.refiner.Refine(in, e.samples)
 			bds[i] = e.eval.Score(in, now)
 		})
 		e.recordScores(now, dirty, bds)
 	} else {
-		par.Do(e.workers, len(dirty), func(i int) {
+		par.DoTimed(e.workers, len(dirty), rf.Timer(), func(i int) {
 			in := dirty[i]
 			e.refiner.Refine(in, e.samples)
 			e.eval.Score(in, now)
@@ -246,11 +272,13 @@ func (e *Engine) Tick(now time.Time) TickResult {
 	if e.tickCount%evalStatePruneInterval == 0 {
 		e.pruneEvalStates(active)
 	}
+	act.End(evR, len(dirty))
 	if tel != nil {
 		mark = tel.observe(tel.stageEvaluate, mark)
 		tel.evalRescored.Add(int64(len(dirty)))
 		tel.evalSkipped.Add(int64(len(active) - len(dirty)))
 	}
+	sopR := act.Begin(span.Root, "sop")
 	if e.sopEng != nil {
 		for _, in := range res.NewIncidents {
 			if exec, ok := e.sopEng.Consider(in, now); ok {
@@ -258,6 +286,7 @@ func (e *Engine) Tick(now time.Time) TickResult {
 			}
 		}
 	}
+	act.End(sopR, len(res.SOPExecutions))
 	if tel != nil {
 		tel.observe(tel.stageSOP, mark)
 		tel.tickSeconds.Observe(time.Since(start).Seconds())
@@ -272,6 +301,9 @@ func (e *Engine) Tick(now time.Time) TickResult {
 	}
 	if e.journal != nil {
 		e.observeLifecycle(now, res.NewIncidents, active)
+	}
+	if tr := act.Finish(); tr != nil && e.spanTel != nil {
+		e.spanTel.observe(tr)
 	}
 	return res
 }

@@ -144,9 +144,13 @@ type incidentState struct {
 // reads, no atomic traffic).
 func (e *Engine) EnableTelemetry(reg *telemetry.Registry, j *telemetry.Journal) {
 	if reg != nil {
+		e.reg = reg
 		e.tel = newPipelineMetrics(reg)
 		e.tel.workers.SetInt(e.workers)
 		e.tel.initShardMetrics(reg, e.pre.Workers(), e.loc.Workers())
+		if e.tracer != nil && e.spanTel == nil {
+			e.spanTel = newSpanMetrics(reg)
+		}
 	}
 	if j != nil {
 		e.journal = j

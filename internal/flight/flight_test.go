@@ -1,0 +1,228 @@
+package flight
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skynet/internal/span"
+	"skynet/internal/telemetry"
+)
+
+// dumpRoot returns where this test should write flight dumps: the
+// SKYNET_FLIGHT_DUMP_DIR directory when set (CI uploads it as an
+// artifact), else a per-test temp dir.
+func dumpRoot(t *testing.T) string {
+	t.Helper()
+	if dir := os.Getenv("SKYNET_FLIGHT_DUMP_DIR"); dir != "" {
+		sub := filepath.Join(dir, strings.ReplaceAll(t.Name(), "/", "_"))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+	return t.TempDir()
+}
+
+func at(sec int) time.Time {
+	return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC).Add(time.Duration(sec) * time.Second)
+}
+
+// TestTickP99TriggerFiresAndRecovers induces one slow tick: the p99
+// trigger must fire, write a dump with the span ring, metrics snapshot,
+// and goroutine profile, flip health to degraded — and recover once the
+// slow sample leaves the window.
+func TestTickP99TriggerFiresAndRecovers(t *testing.T) {
+	dir := dumpRoot(t)
+	tracer := span.NewTracer(4)
+	reg := telemetry.New()
+	reg.Counter("skynet_test_sentinel", "Present in dump snapshots.").Inc()
+	// Record one real trace so spans.json has content.
+	act := tracer.StartTick(1, at(0))
+	r := act.Begin(span.Root, "preprocess")
+	act.End(r, 3)
+	act.Finish()
+
+	rec := New(Config{Dir: dir, SLOTickP99: 100 * time.Millisecond, Window: 4},
+		Sources{Tracer: tracer, Metrics: reg, Incidents: func() any { return []string{"inc-1"} }})
+
+	var events []Event
+	rec.SetNotify(func(ev Event) { events = append(events, ev) })
+
+	rec.Observe(at(0), 10*time.Millisecond)
+	if h := rec.Health(); !h.OK {
+		t.Fatalf("healthy tick reported degraded: %+v", h)
+	}
+	rec.Observe(at(10), 500*time.Millisecond) // the induced slow tick
+	h := rec.Health()
+	if h.OK {
+		t.Fatal("slow tick did not flip health to degraded")
+	}
+	if len(h.Degraded) != 1 || h.Degraded[0] != TriggerTickP99 {
+		t.Fatalf("degraded = %v, want [%s]", h.Degraded, TriggerTickP99)
+	}
+	if h.Dumps != 1 || h.LastDump == "" {
+		t.Fatalf("dumps = %d lastDump = %q, want one dump", h.Dumps, h.LastDump)
+	}
+	for _, name := range []string{"trigger.json", "spans.json", "metrics.prom", "goroutines.txt", "heap.pprof", "incidents.json"} {
+		fi, err := os.Stat(filepath.Join(h.LastDump, name))
+		if err != nil {
+			t.Errorf("dump missing %s: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("dump %s is empty", name)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(h.LastDump, "metrics.prom"))
+	if err != nil || !strings.Contains(string(data), "skynet_test_sentinel") {
+		t.Errorf("metrics.prom missing registry content: %v", err)
+	}
+	if len(events) != 1 || events[0].Trigger != TriggerTickP99 || events[0].DumpDir != h.LastDump {
+		t.Fatalf("events = %+v, want one tick_p99 event carrying the dump dir", events)
+	}
+
+	// Window is 4: four more fast ticks evict the slow sample.
+	for i := 0; i < 4; i++ {
+		rec.Observe(at(20+10*i), 10*time.Millisecond)
+	}
+	if h := rec.Health(); !h.OK {
+		t.Fatalf("health did not recover after slow sample left the window: %+v", h)
+	}
+	// Recovery emits no event and no second dump.
+	if len(events) != 1 {
+		t.Fatalf("recovery emitted events: %+v", events[1:])
+	}
+	if h := rec.Health(); h.Dumps != 1 {
+		t.Fatalf("recovery wrote a dump: %d", h.Dumps)
+	}
+}
+
+// TestEdgeTriggersFireOnDeltas drives the shed and journal counters: the
+// triggers must fire on positive deltas only, once per rising edge.
+func TestEdgeTriggersFireOnDeltas(t *testing.T) {
+	var shed, evicted atomic.Int64
+	shed.Store(5) // pre-existing sheds must not fire at construction
+	rec := New(Config{Window: 8},
+		Sources{Shed: shed.Load, JournalEvicted: evicted.Load})
+	var events []Event
+	rec.SetNotify(func(ev Event) { events = append(events, ev) })
+
+	rec.Observe(at(0), time.Millisecond)
+	if h := rec.Health(); !h.OK {
+		t.Fatalf("baseline sheds fired a trigger: %+v", h)
+	}
+	shed.Add(3)
+	evicted.Add(1)
+	rec.Observe(at(10), time.Millisecond)
+	h := rec.Health()
+	if h.OK || len(h.Degraded) != 2 {
+		t.Fatalf("want ingest_shed+journal_drop firing, got %+v", h.Degraded)
+	}
+	if len(events) != 2 {
+		t.Fatalf("want 2 events, got %+v", events)
+	}
+	// No new deltas: both recover.
+	rec.Observe(at(20), time.Millisecond)
+	if h := rec.Health(); !h.OK {
+		t.Fatalf("edge triggers stayed firing with no new deltas: %+v", h.Degraded)
+	}
+	// A second burst re-fires.
+	shed.Add(1)
+	rec.Observe(at(30), time.Millisecond)
+	if got := rec.Health().Triggers[1]; got.Name != TriggerIngestShed || got.Fired != 2 {
+		t.Fatalf("ingest_shed fired = %+v, want 2 edges", got)
+	}
+}
+
+// TestQueueAndConservationTriggers covers the level triggers.
+func TestQueueAndConservationTriggers(t *testing.T) {
+	var depth, inflight atomic.Int64
+	rec := New(Config{Window: 8, QueueFraction: 0.5},
+		Sources{
+			Queue:        func() (int, int) { return int(depth.Load()), 100 },
+			ProvInFlight: inflight.Load,
+		})
+	depth.Store(49)
+	rec.Observe(at(0), time.Millisecond)
+	if !rec.Health().OK {
+		t.Fatal("queue below high water fired")
+	}
+	depth.Store(50)
+	inflight.Store(-1)
+	rec.Observe(at(10), time.Millisecond)
+	h := rec.Health()
+	if len(h.Degraded) != 2 || h.Degraded[0] != TriggerQueueHigh || h.Degraded[1] != TriggerProvViolate {
+		t.Fatalf("degraded = %v", h.Degraded)
+	}
+	depth.Store(0)
+	inflight.Store(0)
+	rec.Observe(at(20), time.Millisecond)
+	if !rec.Health().OK {
+		t.Fatal("level triggers did not recover")
+	}
+}
+
+// TestDumpCooldownAndCap verifies rate limiting: within the cooldown only
+// the first firing dumps, and MaxDumps bounds the lifetime total.
+func TestDumpCooldownAndCap(t *testing.T) {
+	dir := dumpRoot(t)
+	var shed atomic.Int64
+	rec := New(Config{Dir: dir, Window: 4, Cooldown: time.Minute, MaxDumps: 2},
+		Sources{Shed: shed.Load})
+	fire := func(sec int) {
+		shed.Add(1)
+		rec.Observe(at(sec), time.Millisecond)
+		rec.Observe(at(sec+1), time.Millisecond) // recover so the next delta is a rising edge
+	}
+	fire(0)   // dump 1
+	fire(10)  // within cooldown: no dump
+	fire(70)  // dump 2
+	fire(140) // capped
+	h := rec.Health()
+	if h.Dumps != 2 {
+		t.Fatalf("dumps = %d, want 2 (cooldown + cap)", h.Dumps)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("dump dirs on disk = %d, want 2", len(entries))
+	}
+}
+
+// TestRegisterMetrics checks the self-metrics reflect recorder state.
+func TestRegisterMetrics(t *testing.T) {
+	var shed atomic.Int64
+	rec := New(Config{Window: 4}, Sources{Shed: shed.Load})
+	reg := telemetry.New()
+	rec.RegisterMetrics(reg)
+	find := func(name string) float64 {
+		for _, s := range reg.Snapshot() {
+			if s.Name == name {
+				return s.Value
+			}
+		}
+		t.Fatalf("metric %s not registered", name)
+		return 0
+	}
+	rec.Observe(at(0), time.Millisecond)
+	if v := find("skynet_flight_degraded"); v != 0 {
+		t.Fatalf("degraded = %v at rest", v)
+	}
+	shed.Add(1)
+	rec.Observe(at(10), time.Millisecond)
+	if v := find("skynet_flight_degraded"); v != 1 {
+		t.Fatalf("degraded = %v while firing", v)
+	}
+	if v := find("skynet_flight_trigger_ingest_shed_total"); v != 1 {
+		t.Fatalf("trigger counter = %v, want 1", v)
+	}
+	if v := find("skynet_flight_tick_p99_seconds"); v <= 0 {
+		t.Fatalf("tick p99 gauge = %v", v)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"skynet/internal/incident"
 	"skynet/internal/par"
 	"skynet/internal/provenance"
+	"skynet/internal/span"
 	"skynet/internal/topology"
 )
 
@@ -205,6 +206,10 @@ type Locator struct {
 	// branch off the hot path.
 	prov *provenance.Recorder
 
+	// spans is the tracing context of the current engine tick; the zero
+	// Scope (tracing off) makes every span call a no-op.
+	spans span.Scope
+
 	// reused per-Check buffers
 	locBuf []hierarchy.Path
 	linBuf []uint64
@@ -230,6 +235,12 @@ func (l *Locator) Workers() int { return l.workers }
 // EnableProvenance attaches a lineage recorder. Call before the first
 // Add; with no recorder the pipeline runs exactly as before.
 func (l *Locator) EnableProvenance(rec *provenance.Recorder) { l.prov = rec }
+
+// SetSpans installs the span context for the next AddBatch/Check: the
+// batch fan-out, expiry, and component-count phases appear as children
+// of the scope's parent span. The engine refreshes it every tick; it
+// never affects incident output.
+func (l *Locator) SetSpans(sc span.Scope) { l.spans = sc }
 
 // ShardNodes reports the live main-tree node count of one shard.
 func (l *Locator) ShardNodes(i int) int { return len(l.shards[i].nodes) }
@@ -328,7 +339,10 @@ func (l *Locator) AddBatch(batch []alert.Alert) {
 		}
 	}
 	nInc := len(l.active)
-	par.Do(l.workers, nInc+len(l.shards), func(task int) {
+	// Fork tasks mix kinds: task < nInc absorbs into one incident, the
+	// rest consolidate one node shard each.
+	f := l.spans.Fork("addbatch_fan", nInc+len(l.shards))
+	par.DoTimed(l.workers, nInc+len(l.shards), f.Timer(), func(task int) {
 		if task < nInc {
 			in := l.active[task]
 			for i := range batch {
@@ -406,7 +420,8 @@ func (l *Locator) Check(now time.Time) []*incident.Incident {
 // node shard; incident timeout stays serial so the closed list keeps its
 // insertion order.
 func (l *Locator) expire(now time.Time) {
-	par.Do(l.workers, len(l.shards), func(s int) {
+	f := l.spans.Fork("expire", len(l.shards))
+	par.DoTimed(l.workers, len(l.shards), f.Timer(), func(s int) {
 		sh := &l.shards[s]
 		sh.expLin = sh.expLin[:0]
 		for p, n := range sh.nodes {
@@ -453,10 +468,13 @@ func (l *Locator) generate(now time.Time) []*incident.Incident {
 	if l.NodeCount() == 0 {
 		return nil
 	}
+	cmR := l.spans.Begin("components")
 	comps := l.components()
+	l.spans.End(cmR, len(comps))
 	type compCount struct{ failureTypes, allTypes int }
 	counts := make([]compCount, len(comps))
-	par.Do(l.workers, len(comps), func(i int) {
+	cf := l.spans.Fork("compcount", len(comps))
+	par.DoTimed(l.workers, len(comps), cf.Timer(), func(i int) {
 		counts[i].failureTypes, counts[i].allTypes = l.countTypes(comps[i])
 	})
 	var created []*incident.Incident

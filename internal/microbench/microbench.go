@@ -18,6 +18,7 @@ import (
 	"skynet/internal/locator"
 	"skynet/internal/preprocess"
 	"skynet/internal/provenance"
+	"skynet/internal/span"
 	"skynet/internal/topology"
 )
 
@@ -30,13 +31,26 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// Report is the full `skynet-bench -json` document.
+// SpanStage is one pipeline stage's span-latency aggregate in the JSON
+// report, mirrored from span.StageStat with explicit nanosecond fields so
+// the schema is stable for tooling.
+type SpanStage struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	MeanNs  float64 `json:"mean_ns"`
+	MaxNs   int64   `json:"max_ns"`
+	TotalNs int64   `json:"total_ns"`
+}
+
+// Report is the full `skynet-bench -json` document. SpanStages is only
+// present when the run was asked for the per-stage breakdown (-spans).
 type Report struct {
-	GoVersion string   `json:"go_version"`
-	OS        string   `json:"goos"`
-	Arch      string   `json:"goarch"`
-	CPUs      int      `json:"cpus"`
-	Results   []Result `json:"results"`
+	GoVersion  string      `json:"go_version"`
+	OS         string      `json:"goos"`
+	Arch       string      `json:"goarch"`
+	CPUs       int         `json:"cpus"`
+	Results    []Result    `json:"results"`
+	SpanStages []SpanStage `json:"span_stages,omitempty"`
 }
 
 var benchEpoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
@@ -47,9 +61,12 @@ var suite = []struct {
 	Name  string
 	Bench func(b *testing.B)
 }{
-	{"engine_tick", func(b *testing.B) { benchEngineTick(b, nil) }},
+	{"engine_tick", func(b *testing.B) { benchEngineTick(b, nil, nil) }},
 	{"engine_tick_provenance", func(b *testing.B) {
-		benchEngineTick(b, provenance.New(provenance.Config{}))
+		benchEngineTick(b, provenance.New(provenance.Config{}), nil)
+	}},
+	{"engine_tick_spans", func(b *testing.B) {
+		benchEngineTick(b, nil, span.NewTracer(0))
 	}},
 	{"preprocessor_stream", benchPreprocessorStream},
 	{"locator_addcheck", benchLocatorAddCheck},
@@ -99,10 +116,79 @@ func Run(names ...string) (*Report, error) {
 	return rep, nil
 }
 
+// CollectSpanStages drives a span-traced engine through ticks ingest+tick
+// rounds of the engine_tick workload and returns the per-stage span
+// aggregates — the `span_stages` section of the `-spans` JSON report.
+func CollectSpanStages(ticks int) ([]SpanStage, error) {
+	if ticks <= 0 {
+		ticks = 32
+	}
+	topo := topology.MustGenerate(topology.SmallConfig())
+	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
+	classifier, err := preprocess.BootstrapClassifier()
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(core.DefaultConfig(), topo, classifier, nil, nil)
+	tracer := span.NewTracer(ticks)
+	eng.EnableTracing(tracer)
+	now := benchEpoch
+	for i := 0; i < ticks; i++ {
+		for j := range alerts {
+			a := alerts[j]
+			a.Time = now.Add(time.Duration(j%10) * time.Second)
+			eng.Ingest(a)
+		}
+		now = now.Add(10 * time.Second)
+		eng.Tick(now)
+	}
+	stats := tracer.StageStats()
+	out := make([]SpanStage, len(stats))
+	for i, s := range stats {
+		out[i] = SpanStage{
+			Name:    s.Name,
+			Count:   s.Count,
+			MeanNs:  float64(s.Mean().Nanoseconds()),
+			MaxNs:   s.Max.Nanoseconds(),
+			TotalNs: s.Total.Nanoseconds(),
+		}
+	}
+	return out, nil
+}
+
+// Compare checks cur against base: every baseline benchmark whose ns/op
+// regressed by more than tol (fractional — 0.15 means +15%) is reported,
+// as is any baseline benchmark missing from the current run. Benchmarks
+// new in cur are ignored so baselines need not be regenerated to add one.
+// An empty result means the run is within tolerance.
+func Compare(base, cur *Report, tol float64) []string {
+	curBy := make(map[string]Result, len(cur.Results))
+	for _, r := range cur.Results {
+		curBy[r.Name] = r
+	}
+	var out []string
+	for _, b := range base.Results {
+		c, ok := curBy[b.Name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: in baseline but missing from current run", b.Name))
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		if delta := c.NsPerOp/b.NsPerOp - 1; delta > tol {
+			out = append(out, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%, tolerance %+.0f%%)",
+				b.Name, b.NsPerOp, c.NsPerOp, 100*delta, 100*tol))
+		}
+	}
+	return out
+}
+
 // benchEngineTick drives repeated ingest+tick rounds over a severe-failure
-// batch, optionally with the lineage recorder attached — the pair bounds
-// the provenance overhead per tick.
-func benchEngineTick(b *testing.B, rec *provenance.Recorder) {
+// batch, optionally with the lineage recorder or span tracer attached —
+// each pairing with the bare run bounds that instrument's overhead per
+// tick.
+func benchEngineTick(b *testing.B, rec *provenance.Recorder, tracer *span.Tracer) {
 	topo := topology.MustGenerate(topology.SmallConfig())
 	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
 	classifier, err := preprocess.BootstrapClassifier()
@@ -112,6 +198,9 @@ func benchEngineTick(b *testing.B, rec *provenance.Recorder) {
 	eng := core.NewEngine(core.DefaultConfig(), topo, classifier, nil, nil)
 	if rec != nil {
 		eng.EnableProvenance(rec)
+	}
+	if tracer != nil {
+		eng.EnableTracing(tracer)
 	}
 	now := benchEpoch
 	b.ReportAllocs()

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers normalizes a worker-count setting: n > 0 is used as given,
@@ -64,4 +65,22 @@ func Do(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// DoTimed is Do with per-task timing: after each task completes, done is
+// called with the task index, the instant a worker picked it up, and how
+// long it ran. done is invoked on the worker's goroutine, concurrently
+// with other tasks' callbacks — callers pass callbacks that write only
+// task-owned state (a span tracer's pre-allocated shard slots). A nil
+// done is exactly Do: no clock reads, no extra work.
+func DoTimed(workers, n int, done func(i int, start time.Time, d time.Duration), fn func(i int)) {
+	if done == nil {
+		Do(workers, n, fn)
+		return
+	}
+	Do(workers, n, func(i int) {
+		start := time.Now()
+		fn(i)
+		done(i, start, time.Since(start))
+	})
 }

@@ -2,8 +2,10 @@ package par
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestDoRunsEveryTaskExactlyOnce(t *testing.T) {
@@ -50,5 +52,43 @@ func TestWorkers(t *testing.T) {
 	}
 	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
 		t.Errorf("Workers(-2) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestDoTimedReportsEveryTask(t *testing.T) {
+	const n = 32
+	var mu sync.Mutex
+	seen := make(map[int]time.Duration)
+	var ran [n]bool
+	DoTimed(4, n, func(i int, start time.Time, d time.Duration) {
+		if start.IsZero() || d < 0 {
+			t.Errorf("task %d: start=%v d=%v", i, start, d)
+		}
+		mu.Lock()
+		seen[i] = d
+		mu.Unlock()
+	}, func(i int) {
+		ran[i] = true
+	})
+	if len(seen) != n {
+		t.Fatalf("done called for %d of %d tasks", len(seen), n)
+	}
+	for i := range ran {
+		if !ran[i] {
+			t.Fatalf("task %d never ran", i)
+		}
+	}
+}
+
+func TestDoTimedNilDoneIsDo(t *testing.T) {
+	var order []int
+	DoTimed(1, 4, nil, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil-done serial order broken: %v", order)
+		}
+	}
+	if len(order) != 4 {
+		t.Fatalf("ran %d of 4 tasks", len(order))
 	}
 }

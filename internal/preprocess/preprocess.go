@@ -40,6 +40,7 @@ import (
 	"skynet/internal/hierarchy"
 	"skynet/internal/par"
 	"skynet/internal/provenance"
+	"skynet/internal/span"
 	"skynet/internal/topology"
 )
 
@@ -190,6 +191,10 @@ type Preprocessor struct {
 	// branch off the hot path.
 	prov *provenance.Recorder
 
+	// spans is the tracing context of the current engine tick; the zero
+	// Scope (tracing off) makes every span call a no-op.
+	spans span.Scope
+
 	shards []preShard
 
 	// corro records recent corroborating evidence per corroboration-level
@@ -236,6 +241,12 @@ func (p *Preprocessor) Workers() int { return p.workers }
 // EnableProvenance attaches a lineage recorder. Call before the first Add;
 // with no recorder the pipeline runs exactly as before.
 func (p *Preprocessor) EnableProvenance(rec *provenance.Recorder) { p.prov = rec }
+
+// SetSpans installs the span context for the next Tick: the classify and
+// consolidate fan-outs and the sweep appear as children of the scope's
+// parent span. The engine refreshes it every tick; it never affects what
+// the preprocessor emits.
+func (p *Preprocessor) SetSpans(sc span.Scope) { p.spans = sc }
 
 // PendingDepth reports the number of raw alerts buffered since the last
 // Tick — the preprocessor's queue depth.
@@ -295,7 +306,8 @@ func (p *Preprocessor) absorb() {
 	// scheduling cannot reorder anything.
 	chunkSize := (n + p.workers - 1) / p.workers
 	nchunks := (n + chunkSize - 1) / chunkSize
-	par.Do(p.workers, nchunks, func(c int) {
+	cf := p.spans.Fork("classify", nchunks)
+	par.DoTimed(p.workers, nchunks, cf.Timer(), func(c int) {
 		lo, hi := c*chunkSize, (c+1)*chunkSize
 		if hi > n {
 			hi = n
@@ -343,7 +355,8 @@ func (p *Preprocessor) absorb() {
 	// batch in order and applies only its own shard's alerts, so every
 	// aggregate sees its observations in arrival order — exactly the
 	// serial semantics.
-	par.Do(p.workers, nshards, func(s int) {
+	sf := p.spans.Fork("consolidate", nshards)
+	par.DoTimed(p.workers, nshards, sf.Timer(), func(s int) {
 		shard := &p.shards[s]
 		shard.dedup, shard.routed = 0, 0
 		shard.newKeys = shard.newKeys[:0]
@@ -462,6 +475,7 @@ func (p *Preprocessor) Tick(now time.Time) []alert.Alert {
 	// Sweep aggregates in one global lessAggKey order (a k-way merge of
 	// the shards' sorted key lists) so emission order, assigned IDs, and
 	// the related-surge decisions are identical for every worker count.
+	swR := p.spans.Begin("sweep")
 	p.emitBuf = p.emitBuf[:0]
 	p.sweep(now, func(shard *preShard, k aggKey, g *aggregate) {
 		if now.Sub(g.lastSeen) > p.cfg.AggWindow {
@@ -494,6 +508,7 @@ func (p *Preprocessor) Tick(now time.Time) []alert.Alert {
 		p.emitBuf = append(p.emitBuf, p.emit(g, now))
 	})
 	p.compactKeys()
+	p.spans.End(swR, len(p.emitBuf))
 	// Expire stale corroboration evidence.
 	for loc, t := range p.corro {
 		if now.Sub(t) > p.cfg.CorroborationWindow {

@@ -1,0 +1,242 @@
+package status
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"skynet/internal/flight"
+	"skynet/internal/span"
+	"skynet/internal/telemetry"
+)
+
+// Event stream types on GET /api/events.
+const (
+	// EventTypeIncident carries a telemetry.Event — an incident lifecycle
+	// transition (created, updated, zoomed, scored, closed).
+	EventTypeIncident = "incident"
+	// EventTypeAnomaly carries a flight.Event — a flight-recorder trigger
+	// firing (tick_p99, ingest_shed, ...).
+	EventTypeAnomaly = "anomaly"
+)
+
+// subBuffer is each subscriber's channel depth. A consumer that falls
+// further behind than this loses events (counted, never blocking the
+// pipeline).
+const subBuffer = 64
+
+// busMsg is one pre-rendered SSE frame.
+type busMsg struct {
+	event string
+	data  []byte
+}
+
+// EventBus fans pipeline events out to SSE subscribers. Publishes are
+// non-blocking: a slow consumer's buffer overflowing drops the event for
+// that consumer only, accounted in Dropped. Safe for concurrent use;
+// Close is idempotent and Publish after Close is a no-op.
+type EventBus struct {
+	mu     sync.Mutex
+	subs   map[int]chan busMsg
+	nextID int
+	closed bool
+
+	published atomic.Int64
+	dropped   atomic.Int64
+}
+
+// NewEventBus creates an empty bus.
+func NewEventBus() *EventBus {
+	return &EventBus{subs: make(map[int]chan busMsg)}
+}
+
+// Subscribe registers a consumer and returns its id and receive channel.
+// The channel closes when the bus closes. Callers must Unsubscribe when
+// done.
+func (b *EventBus) Subscribe() (int, <-chan busMsg) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := make(chan busMsg, subBuffer)
+	if b.closed {
+		close(ch)
+		return -1, ch
+	}
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = ch
+	return id, ch
+}
+
+// Unsubscribe removes a consumer. Safe to call after Close or twice.
+func (b *EventBus) Unsubscribe(id int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ch, ok := b.subs[id]; ok {
+		delete(b.subs, id)
+		close(ch)
+	}
+}
+
+// Publish renders v as one JSON SSE frame of the given event type and
+// offers it to every subscriber without blocking.
+func (b *EventBus) Publish(event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.published.Add(1)
+	for _, ch := range b.subs {
+		select {
+		case ch <- busMsg{event: event, data: data}:
+		default:
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// Close shuts the bus down: every subscriber's channel closes and later
+// Publish calls are dropped.
+func (b *EventBus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, ch := range b.subs {
+		delete(b.subs, id)
+		close(ch)
+	}
+}
+
+// Subscribers reports the current consumer count.
+func (b *EventBus) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Published reports events offered to the bus over its lifetime.
+func (b *EventBus) Published() int64 { return b.published.Load() }
+
+// Dropped reports per-consumer deliveries lost to full buffers.
+func (b *EventBus) Dropped() int64 { return b.dropped.Load() }
+
+// RegisterMetrics exposes the bus's own accounting on a registry.
+func (b *EventBus) RegisterMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("skynet_events_subscribers",
+		"Current SSE consumers on /api/events.",
+		func() float64 { return float64(b.Subscribers()) })
+	reg.CounterFunc("skynet_events_published_total",
+		"Events published to the SSE bus.",
+		func() float64 { return float64(b.Published()) })
+	reg.CounterFunc("skynet_events_dropped_total",
+		"SSE deliveries dropped because a consumer's buffer was full.",
+		func() float64 { return float64(b.Dropped()) })
+}
+
+// WithFlight mounts GET /api/health serving the flight recorder's
+// self-SLO verdict: HTTP 200 while healthy, 503 while any anomaly
+// trigger is firing. The handler reads recorder state only — it never
+// takes the engine lock.
+func (s *Snapshotter) WithFlight(rec *flight.Recorder) *Snapshotter {
+	s.flight = rec
+	return s
+}
+
+// WithTracer mounts GET /api/trace serving recent tick span trees as
+// JSON (?last=N bounds the count; default the full ring). Traces are
+// deep copies; the handler does not take the engine lock.
+func (s *Snapshotter) WithTracer(tr *span.Tracer) *Snapshotter {
+	s.tracer = tr
+	return s
+}
+
+// WithEvents mounts GET /api/events, a Server-Sent Events stream of
+// incident lifecycle transitions and flight-recorder anomalies.
+func (s *Snapshotter) WithEvents(bus *EventBus) *Snapshotter {
+	s.events = bus
+	return s
+}
+
+// healthView is the /api/health JSON shape: the flight recorder's
+// verdict plus the HTTP-level status string.
+type healthView struct {
+	Status string `json:"status"` // "ok" | "degraded"
+	flight.Health
+}
+
+func (s *Snapshotter) healthHandler(w http.ResponseWriter, r *http.Request) {
+	h := s.flight.Health()
+	view := healthView{Status: "ok", Health: h}
+	code := http.StatusOK
+	if !h.OK {
+		view.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(view)
+}
+
+// traceView is the /api/trace JSON shape.
+type traceView struct {
+	// Ticks is the tracer's lifetime finished-trace count.
+	Ticks int64 `json:"ticks"`
+	// Traces is the requested slice of the ring, oldest first.
+	Traces []span.Trace `json:"traces"`
+}
+
+func (s *Snapshotter) traceHandler(w http.ResponseWriter, r *http.Request) {
+	last := 0 // whole ring
+	if q := r.URL.Query().Get("last"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "bad last count", http.StatusBadRequest)
+			return
+		}
+		last = v
+	}
+	writeJSON(w, traceView{Ticks: s.tracer.TickCount(), Traces: s.tracer.Last(last)})
+}
+
+// eventsHandler streams the bus over SSE until the client disconnects or
+// the bus closes.
+func (s *Snapshotter) eventsHandler(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	id, ch := s.events.Subscribe()
+	defer s.events.Unsubscribe(id)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case msg, open := <-ch:
+			if !open {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", msg.event, msg.data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package status
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"skynet/internal/flight"
+	"skynet/internal/span"
+	"skynet/internal/telemetry"
+)
+
+// listenBus starts a real HTTP server (httptest's recorder cannot stream)
+// serving a snapshotter with the bus mounted and returns the base URL.
+func listenBus(t *testing.T, bus *EventBus) string {
+	t.Helper()
+	eng, mu := loadedEngine(t)
+	srv, err := Listen("127.0.0.1:0", NewSnapshotter(mu, eng, nil).WithEvents(bus), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return "http://" + srv.Addr().String()
+}
+
+// sseFrame is one parsed event/data pair from the stream.
+type sseFrame struct {
+	event string
+	data  string
+}
+
+// readFrames consumes n frames from an open SSE response body.
+func readFrames(t *testing.T, r *bufio.Reader, n int) []sseFrame {
+	t.Helper()
+	var out []sseFrame
+	var cur sseFrame
+	for len(out) < n {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended after %d of %d frames: %v", len(out), n, err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "" && cur.event != "":
+			out = append(out, cur)
+			cur = sseFrame{}
+		}
+	}
+	return out
+}
+
+// TestSSEDeliversJournalAndFlightEvents wires the bus the way skynetd
+// does — journal notify and flight notify — and checks both event types
+// arrive on a live connection, then that disconnecting mid-stream
+// unsubscribes the consumer.
+func TestSSEDeliversJournalAndFlightEvents(t *testing.T) {
+	bus := NewEventBus()
+	defer bus.Close()
+	base := listenBus(t, bus)
+
+	journal := telemetry.NewJournal(16)
+	journal.SetNotify(func(ev telemetry.Event) { bus.Publish(EventTypeIncident, ev) })
+	rec := flight.New(flight.Config{Window: 4, SLOTickP99: time.Millisecond}, flight.Sources{})
+	rec.SetNotify(func(ev flight.Event) { bus.Publish(EventTypeAnomaly, ev) })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	for i := 0; bus.Subscribers() == 0 && i < 100; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if bus.Subscribers() != 1 {
+		t.Fatal("consumer never subscribed")
+	}
+
+	journal.Append(telemetry.Event{Type: telemetry.EventCreated, Incident: 7, Root: "RG01"})
+	rec.Observe(epoch, time.Second) // breaches the 1ms SLO → anomaly event
+
+	frames := readFrames(t, bufio.NewReader(resp.Body), 2)
+	if frames[0].event != EventTypeIncident {
+		t.Fatalf("frame 0 event = %q", frames[0].event)
+	}
+	var je telemetry.Event
+	if err := json.Unmarshal([]byte(frames[0].data), &je); err != nil || je.Incident != 7 {
+		t.Fatalf("frame 0 data = %q (%v)", frames[0].data, err)
+	}
+	if frames[1].event != EventTypeAnomaly {
+		t.Fatalf("frame 1 event = %q", frames[1].event)
+	}
+	var fe flight.Event
+	if err := json.Unmarshal([]byte(frames[1].data), &fe); err != nil || fe.Trigger != flight.TriggerTickP99 {
+		t.Fatalf("frame 1 data = %q (%v)", frames[1].data, err)
+	}
+
+	// Disconnect mid-stream: the handler must unsubscribe.
+	cancel()
+	for i := 0; bus.Subscribers() != 0 && i < 200; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := bus.Subscribers(); got != 0 {
+		t.Fatalf("subscribers = %d after client disconnect", got)
+	}
+	// Publishing after the disconnect must not panic or block.
+	journal.Append(telemetry.Event{Type: telemetry.EventClosed, Incident: 7})
+}
+
+// TestSSESlowConsumerDropAccounting fills a subscriber's buffer without
+// draining it: excess publishes are dropped and counted, and the fast
+// path never blocks.
+func TestSSESlowConsumerDropAccounting(t *testing.T) {
+	bus := NewEventBus()
+	defer bus.Close()
+	id, ch := bus.Subscribe()
+	defer bus.Unsubscribe(id)
+	const extra = 10
+	for i := 0; i < subBuffer+extra; i++ {
+		bus.Publish(EventTypeIncident, map[string]int{"i": i})
+	}
+	if got := bus.Dropped(); got != extra {
+		t.Fatalf("dropped = %d, want %d", got, extra)
+	}
+	if got := bus.Published(); got != subBuffer+extra {
+		t.Fatalf("published = %d, want %d", got, subBuffer+extra)
+	}
+	if got := len(ch); got != subBuffer {
+		t.Fatalf("buffered = %d, want full buffer %d", got, subBuffer)
+	}
+	// The retained frames are the oldest ones, in order.
+	first := <-ch
+	var v map[string]int
+	if err := json.Unmarshal(first.data, &v); err != nil || v["i"] != 0 {
+		t.Fatalf("first retained frame = %s (%v)", first.data, err)
+	}
+}
+
+// TestEventBusConcurrentShutdown races publishers, subscribers, and Close
+// — meaningful under -race. No ordering assertions; the invariant is no
+// panic, no deadlock, and channels all close.
+func TestEventBusConcurrentShutdown(t *testing.T) {
+	bus := NewEventBus()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				bus.Publish(EventTypeAnomaly, i)
+			}
+		}()
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id, ch := bus.Subscribe()
+				for range ch { // drain until closed by Unsubscribe or Close
+					break
+				}
+				bus.Unsubscribe(id)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bus.Close()
+	}()
+	wg.Wait()
+	bus.Close() // idempotent
+	if id, ch := bus.Subscribe(); id != -1 {
+		t.Fatal("subscribe after close returned a live id")
+	} else if _, open := <-ch; open {
+		t.Fatal("subscribe after close returned an open channel")
+	}
+	bus.Publish(EventTypeAnomaly, "after close") // must be a no-op
+}
+
+// TestHealthEndpointFlipsWithRecorder drives the flight recorder through
+// degraded and back; /api/health must follow with 503 and 200.
+func TestHealthEndpointFlipsWithRecorder(t *testing.T) {
+	eng, mu := loadedEngine(t)
+	rec := flight.New(flight.Config{Window: 2, SLOTickP99: 100 * time.Millisecond}, flight.Sources{})
+	h := NewSnapshotter(mu, eng, nil).WithFlight(rec).Handler()
+
+	rec.Observe(epoch, time.Millisecond)
+	code, body := get(t, h, "/api/health")
+	if code != http.StatusOK || !strings.Contains(body, `"status": "ok"`) {
+		t.Fatalf("healthy: code=%d body=%s", code, body)
+	}
+	rec.Observe(epoch.Add(10*time.Second), time.Second)
+	code, body = get(t, h, "/api/health")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"status": "degraded"`) {
+		t.Fatalf("degraded: code=%d body=%s", code, body)
+	}
+	if !strings.Contains(body, flight.TriggerTickP99) {
+		t.Fatalf("degraded body missing trigger name: %s", body)
+	}
+	for i := 0; i < 2; i++ {
+		rec.Observe(epoch.Add(time.Duration(20+10*i)*time.Second), time.Millisecond)
+	}
+	if code, _ = get(t, h, "/api/health"); code != http.StatusOK {
+		t.Fatalf("recovered: code=%d", code)
+	}
+}
+
+// TestTraceEndpoint serves span trees recorded by a tracer.
+func TestTraceEndpoint(t *testing.T) {
+	eng, mu := loadedEngine(t)
+	tracer := span.NewTracer(8)
+	for tick := uint64(1); tick <= 5; tick++ {
+		act := tracer.StartTick(tick, epoch)
+		r := act.Begin(span.Root, "preprocess")
+		act.End(r, int(tick))
+		act.Finish()
+	}
+	h := NewSnapshotter(mu, eng, nil).WithTracer(tracer).Handler()
+	code, body := get(t, h, "/api/trace?last=2")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d", code)
+	}
+	var view struct {
+		Ticks  int64        `json:"ticks"`
+		Traces []span.Trace `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Ticks != 5 || len(view.Traces) != 2 {
+		t.Fatalf("ticks=%d traces=%d, want 5 and 2", view.Ticks, len(view.Traces))
+	}
+	if view.Traces[0].Tick != 4 || view.Traces[1].Tick != 5 {
+		t.Fatalf("trace ticks = %d,%d, want 4,5", view.Traces[0].Tick, view.Traces[1].Tick)
+	}
+	if len(view.Traces[0].Spans) != 2 || view.Traces[0].Spans[1].Name != "preprocess" {
+		t.Fatalf("span tree malformed: %+v", view.Traces[0].Spans)
+	}
+	if code, _ := get(t, h, "/api/trace?last=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad last: code=%d", code)
+	}
+}

@@ -18,6 +18,12 @@
 //	                        ?since=SEQ returns only newer events
 //	GET /api/buildinfo      binary version, go version, resolved flags
 //	                        (WithBuildInfo)
+//	GET /api/health         flight-recorder self-SLO verdict; 200 while
+//	                        healthy, 503 while degraded (WithFlight)
+//	GET /api/trace          recent tick span trees as JSON; ?last=N
+//	                        bounds the count (WithTracer)
+//	GET /api/events         SSE stream of incident lifecycle transitions
+//	                        and flight-recorder anomalies (WithEvents)
 //	GET /metrics            Prometheus text exposition (WithTelemetry)
 //	GET /debug/pprof/...    runtime profiles (WithPprof)
 package status
@@ -38,10 +44,12 @@ import (
 
 	"skynet/internal/core"
 	"skynet/internal/evaluator"
+	"skynet/internal/flight"
 	"skynet/internal/incident"
 	"skynet/internal/ingest"
 	"skynet/internal/llmctx"
 	"skynet/internal/provenance"
+	"skynet/internal/span"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 	"skynet/internal/viz"
@@ -60,6 +68,9 @@ type Snapshotter struct {
 	prov    *provenance.Recorder // optional, enables .../explain
 	build   *BuildInfo           // optional, enables GET /api/buildinfo
 	pprof   bool                 // mounts /debug/pprof
+	flight  *flight.Recorder     // optional, enables GET /api/health
+	tracer  *span.Tracer         // optional, enables GET /api/trace
+	events  *EventBus            // optional, enables GET /api/events
 }
 
 // BuildInfo is the /api/buildinfo JSON shape: enough to identify a fleet
@@ -167,6 +178,10 @@ type StatsView struct {
 	RejectedQueueFull  int `json:"rejected_queue_full,omitempty"`
 }
 
+// Summarize builds the list-view JSON shape for one incident — shared
+// with the flight recorder's dump snapshots so both surfaces agree.
+func Summarize(in *incident.Incident) IncidentSummary { return summarize(in) }
+
 func summarize(in *incident.Incident) IncidentSummary {
 	return IncidentSummary{
 		ID:         in.ID,
@@ -237,6 +252,15 @@ func (s *Snapshotter) Handler() http.Handler {
 		mux.HandleFunc("/api/buildinfo", func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, s.build)
 		})
+	}
+	if s.flight != nil {
+		mux.HandleFunc("/api/health", s.healthHandler)
+	}
+	if s.tracer != nil {
+		mux.HandleFunc("/api/trace", s.traceHandler)
+	}
+	if s.events != nil {
+		mux.HandleFunc("/api/events", s.eventsHandler)
 	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -53,6 +53,7 @@ type Journal struct {
 	n       int     // live events
 	nextSeq int64
 	evicted int64
+	notify  func(Event)
 }
 
 // DefaultJournalCap bounds journal memory: at one event per incident
@@ -68,10 +69,19 @@ func NewJournal(capacity int) *Journal {
 	return &Journal{buf: make([]Event, capacity)}
 }
 
+// SetNotify installs a callback that receives every appended event (with
+// its sequence number stamped). The callback runs on the appender's
+// goroutine after the journal's lock is released, so it may safely call
+// back into the journal or take other locks.
+func (j *Journal) SetNotify(fn func(Event)) {
+	j.mu.Lock()
+	j.notify = fn
+	j.mu.Unlock()
+}
+
 // Append records one event, stamping its sequence number, and returns it.
 func (j *Journal) Append(e Event) Event {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	e.Seq = j.nextSeq
 	j.nextSeq++
 	if j.n == len(j.buf) {
@@ -81,6 +91,11 @@ func (j *Journal) Append(e Event) Event {
 	}
 	j.buf[(j.start+j.n)%len(j.buf)] = e
 	j.n++
+	notify := j.notify
+	j.mu.Unlock()
+	if notify != nil {
+		notify(e)
+	}
 	return e
 }
 

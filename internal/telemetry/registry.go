@@ -288,12 +288,15 @@ type MetricSnapshot struct {
 	Hist  *HistogramView // histograms only
 }
 
-// Snapshot copies every metric, in registration order.
+// Snapshot copies every metric, sorted by name — a stable order no matter
+// when each subsystem registered, so two scrapes of a quiescent registry
+// are textually identical and diffs between scrapes are meaningful.
 func (r *Registry) Snapshot() []MetricSnapshot {
 	r.mu.Lock()
 	metrics := make([]*metric, len(r.metrics))
 	copy(metrics, r.metrics)
 	r.mu.Unlock()
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
 	out := make([]MetricSnapshot, 0, len(metrics))
 	for _, m := range metrics {
 		s := MetricSnapshot{Name: m.name, Help: m.help, Kind: m.kind}

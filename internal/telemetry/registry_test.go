@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -106,11 +107,48 @@ func TestSnapshotOrderAndContent(t *testing.T) {
 	r.Counter("b_total", "").Inc()
 	r.Gauge("a_gauge", "").Set(1)
 	snaps := r.Snapshot()
-	if len(snaps) != 2 || snaps[0].Name != "b_total" || snaps[1].Name != "a_gauge" {
-		t.Fatalf("snapshot order = %+v, want registration order", snaps)
+	if len(snaps) != 2 || snaps[0].Name != "a_gauge" || snaps[1].Name != "b_total" {
+		t.Fatalf("snapshot order = %+v, want name-sorted order", snaps)
 	}
-	if snaps[0].Kind != KindCounter || snaps[0].Value != 1 {
-		t.Errorf("counter snapshot = %+v", snaps[0])
+	if snaps[1].Kind != KindCounter || snaps[1].Value != 1 {
+		t.Errorf("counter snapshot = %+v", snaps[1])
+	}
+}
+
+// TestExposeStableAcrossScrapes is the scrape-stability regression test:
+// at quiescence two consecutive scrapes must be byte-identical regardless
+// of the order subsystems registered their metrics, so scrape diffs only
+// ever show value changes.
+func TestExposeStableAcrossScrapes(t *testing.T) {
+	r := New()
+	// Deliberately register out of name order, interleaving kinds.
+	r.Counter("skynet_z_total", "last registered, first sorted? no — z").Add(3)
+	r.Histogram("skynet_m_seconds", "a histogram", LatencyBuckets()).Observe(0.002)
+	r.Gauge("skynet_a_gauge", "registered after z, exposed before it").Set(42)
+	r.GaugeFunc("skynet_f_gauge", "func-backed", func() float64 { return 7 })
+
+	scrape := func() string {
+		var b strings.Builder
+		if err := r.Expose(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first, second := scrape(), scrape()
+	if first != second {
+		t.Fatalf("consecutive scrapes differ at quiescence:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	// The series must appear in name order.
+	var pos []int
+	for _, name := range []string{"skynet_a_gauge", "skynet_f_gauge", "skynet_m_seconds", "skynet_z_total"} {
+		i := strings.Index(first, "# TYPE "+name)
+		if i < 0 {
+			t.Fatalf("scrape missing %s:\n%s", name, first)
+		}
+		pos = append(pos, i)
+	}
+	if !sort.IntsAreSorted(pos) {
+		t.Fatalf("metrics not name-sorted in exposition (offsets %v):\n%s", pos, first)
 	}
 }
 

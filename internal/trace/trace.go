@@ -21,6 +21,7 @@ import (
 	"skynet/internal/preprocess"
 	"skynet/internal/provenance"
 	"skynet/internal/scenario"
+	"skynet/internal/span"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 )
@@ -151,6 +152,9 @@ type ReplayOptions struct {
 	// Provenance, when set, records per-alert lineage and per-incident
 	// trigger/score evidence on the recorder.
 	Provenance *provenance.Recorder
+	// Tracer, when set, records a span tree per tick into its ring —
+	// the data behind `skynet-replay -spans`.
+	Tracer *span.Tracer
 }
 
 // Replay pushes a raw trace through a fresh engine, ticking at the given
@@ -174,6 +178,9 @@ func ReplayWithOptions(alerts []alert.Alert, topo *topology.Topology, engineCfg 
 	}
 	if opts.Provenance != nil {
 		eng.EnableProvenance(opts.Provenance)
+	}
+	if opts.Tracer != nil {
+		eng.EnableTracing(opts.Tracer)
 	}
 	var start time.Time
 	if opts.Telemetry != nil {
