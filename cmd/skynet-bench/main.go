@@ -51,6 +51,8 @@ func main() {
 			"with -json: compare against this baseline report and exit non-zero on regression")
 		tolerance = flag.Float64("tolerance", 0.15,
 			"with -compare: allowed fractional ns/op regression (0.15 = +15%)")
+		memTolerance = flag.Float64("mem-tolerance", 0.25,
+			"with -compare: allowed fractional bytes/op and allocs/op regression (<=0 disables the memory gate)")
 	)
 	flag.Parse()
 
@@ -66,7 +68,7 @@ func main() {
 		return
 	}
 	if *jsonOut != "" {
-		if err := runMicrobench(*jsonOut, flag.Args(), *spans, *compare, *tolerance); err != nil {
+		if err := runMicrobench(*jsonOut, flag.Args(), *spans, *compare, *tolerance, *memTolerance); err != nil {
 			fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -120,8 +122,9 @@ func main() {
 // runMicrobench executes the hot-path benchmark suite (optionally only
 // the names given as positional args) and writes the JSON report to dst.
 // With spans it adds the per-stage span latency breakdown; with a compare
-// baseline it fails when any shared benchmark regressed beyond tolerance.
-func runMicrobench(dst string, names []string, spans bool, compare string, tolerance float64) error {
+// baseline it fails when any shared benchmark regressed beyond tolerance
+// (ns/op) or memTolerance (bytes/op, allocs/op).
+func runMicrobench(dst string, names []string, spans bool, compare string, tolerance, memTolerance float64) error {
 	fmt.Fprintf(os.Stderr, "running microbenchmarks: %s\n", strings.Join(microbench.Names(), ", "))
 	rep, err := microbench.Run(names...)
 	if err != nil {
@@ -152,14 +155,15 @@ func runMicrobench(dst string, names []string, spans bool, compare string, toler
 		fmt.Printf("benchmark results written to %s\n", dst)
 	}
 	if compare != "" {
-		return compareBaseline(compare, rep, tolerance)
+		return compareBaseline(compare, rep, tolerance, memTolerance)
 	}
 	return nil
 }
 
 // compareBaseline loads a committed baseline report and fails on any
-// ns/op regression beyond the tolerance — the CI bench-regression gate.
-func compareBaseline(path string, cur *microbench.Report, tolerance float64) error {
+// ns/op, bytes/op, or allocs/op regression beyond its tolerance — the CI
+// bench-regression gate.
+func compareBaseline(path string, cur *microbench.Report, tolerance, memTolerance float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -168,13 +172,15 @@ func compareBaseline(path string, cur *microbench.Report, tolerance float64) err
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("baseline %s: %w", path, err)
 	}
-	if regs := microbench.Compare(&base, cur, tolerance); len(regs) > 0 {
+	if regs := microbench.Compare(&base, cur, tolerance, memTolerance); len(regs) > 0 {
 		for _, r := range regs {
 			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
 		}
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% vs %s", len(regs), 100*tolerance, path)
+		return fmt.Errorf("%d benchmark(s) regressed beyond tolerance (%.0f%% ns/op, %.0f%% mem) vs %s",
+			len(regs), 100*tolerance, 100*memTolerance, path)
 	}
-	fmt.Fprintf(os.Stderr, "baseline %s: all benchmarks within %.0f%% tolerance\n", path, 100*tolerance)
+	fmt.Fprintf(os.Stderr, "baseline %s: all benchmarks within tolerance (%.0f%% ns/op, %.0f%% mem)\n",
+		path, 100*tolerance, 100*memTolerance)
 	return nil
 }
 

@@ -134,9 +134,9 @@ func AppendWire(dst []byte, a *Alert) []byte {
 	dst = append(dst, '|')
 	dst = append(dst, a.Class.String()...)
 	dst = append(dst, '|')
-	dst = append(dst, wireLoc(a.Location.String())...)
+	dst = a.Location.AppendString(dst, wireLocSep)
 	dst = append(dst, '|')
-	dst = append(dst, wireLoc(a.Peer.String())...)
+	dst = a.Peer.AppendString(dst, wireLocSep)
 	dst = append(dst, '|')
 	dst = appendFloat(dst, a.Value)
 	dst = append(dst, '|')
@@ -153,9 +153,21 @@ func ParseWire(line []byte) (Alert, error) {
 	if len(line) > MaxLineBytes {
 		return Alert{}, ErrLineTooLong
 	}
-	fields := bytes.Split(line, []byte{'|'})
-	if len(fields) != 11 {
-		return Alert{}, fmt.Errorf("alert: wire: %d fields, want 11", len(fields))
+	// Walk the fields in place rather than bytes.Split, so decoding a
+	// line costs no slice-of-slices allocation.
+	var fields [11][]byte
+	nf, start := 0, 0
+	for i := 0; i <= len(line); i++ {
+		if i == len(line) || line[i] == '|' {
+			if nf < len(fields) {
+				fields[nf] = line[start:i]
+			}
+			nf++
+			start = i + 1
+		}
+	}
+	if nf != 11 {
+		return Alert{}, fmt.Errorf("alert: wire: %d fields, want 11", nf)
 	}
 	var a Alert
 	startNanos, err := parseInt(fields[0])

@@ -14,17 +14,34 @@ import (
 
 // wireLocSep replaces hierarchy.Sep inside wire location fields, because
 // "|" is the wire field delimiter.
-const wireLocSep = "/"
+const wireLocSep = '/'
 
-func wireLoc(loc string) string {
-	return strings.ReplaceAll(loc, hierarchy.Sep, wireLocSep)
-}
-
+// parseWireLoc parses a "/"-separated wire location by slicing segments
+// out of s in place — the substrings share s's backing, so a well-formed
+// location costs no allocation beyond the field's string conversion.
 func parseWireLoc(s string) (hierarchy.Path, error) {
 	if s == "" {
 		return hierarchy.Root(), nil
 	}
-	return hierarchy.Parse(strings.ReplaceAll(s, wireLocSep, hierarchy.Sep))
+	orig := s
+	var segs [hierarchy.NumLevels]string
+	n := 0
+	for {
+		i := strings.IndexByte(s, wireLocSep)
+		if n == len(segs) {
+			// Too deep; let hierarchy report it the canonical way.
+			return hierarchy.Parse(strings.ReplaceAll(orig, string(wireLocSep), hierarchy.Sep))
+		}
+		if i < 0 {
+			segs[n] = s
+			n++
+			break
+		}
+		segs[n] = s[:i]
+		n++
+		s = s[i+1:]
+	}
+	return hierarchy.New(segs[:n]...)
 }
 
 // escapeWire makes free-text fields safe for the pipe-delimited format:

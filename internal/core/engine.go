@@ -112,6 +112,7 @@ type Engine struct {
 
 	evalStates map[int]evalState
 	evalDirty  []*incident.Incident
+	activeBuf  []*incident.Incident
 	tickCount  uint64
 
 	rawIn int
@@ -237,7 +238,8 @@ func (e *Engine) Tick(now time.Time) TickResult {
 	// duration at the evaluation time (now < UpdateTime), so a later now
 	// yields a different ΔT. Otherwise both are pure functions of
 	// unchanged inputs and the stored Severity/Zoomed are already exact.
-	active := e.loc.Active()
+	active := e.loc.ActiveAppend(e.activeBuf[:0])
+	e.activeBuf = active
 	evR := act.Begin(span.Root, "evaluate")
 	dirty := e.evalDirty[:0]
 	for _, in := range active {

@@ -1,0 +1,65 @@
+package ftree
+
+import "testing"
+
+// A cache-hit classification must not allocate: the memo lookup is one
+// read-locked map access keyed by the raw line.
+func TestClassifyLineCacheHitZeroAllocs(t *testing.T) {
+	corpus := []string{
+		"%LINEPROTO-5-UPDOWN: Line protocol on Interface TenGigE0/1, changed state to down",
+		"%LINEPROTO-5-UPDOWN: Line protocol on Interface TenGigE0/2, changed state to down",
+		"%LINK-3-UPDOWN: Interface TenGigE0/1, changed state to down",
+		"%LINK-3-UPDOWN: Interface TenGigE0/3, changed state to down",
+		"%BGP-5-ADJCHANGE: neighbor 10.0.0.1 Down - holdtimer expired",
+		"%BGP-5-ADJCHANGE: neighbor 10.0.0.2 Down - holdtimer expired",
+	}
+	c, err := NewClassifier(corpus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := corpus[0]
+	typ, ok := c.ClassifyLine(line) // warm the cache
+	if !ok {
+		t.Fatalf("ClassifyLine(%q) not classified", line)
+	}
+	sink := 0
+	if avg := testing.AllocsPerRun(200, func() {
+		got, _ := c.ClassifyLine(line)
+		sink += len(got)
+	}); avg != 0 {
+		t.Errorf("cache-hit ClassifyLine allocates %.1f times per call, want 0", avg)
+	}
+	if got, _ := c.ClassifyLine(line); got != typ {
+		t.Errorf("cached type = %q, want %q", got, typ)
+	}
+	_ = sink
+}
+
+// The cache must stop growing at its cap: misses beyond the cap are still
+// classified correctly, just not memoized.
+func TestClassifyCacheBounded(t *testing.T) {
+	corpus := []string{
+		"%LINK-3-UPDOWN: Interface TenGigE0/1, changed state to down",
+		"%LINK-3-UPDOWN: Interface TenGigE0/2, changed state to down",
+	}
+	c, err := NewClassifier(corpus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a full cache and verify inserts stop but answers keep coming.
+	c.mu.Lock()
+	for i := 0; len(c.cache) < classifyCacheCap; i++ {
+		c.cache[string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune(i))] = cacheEntry{}
+	}
+	c.mu.Unlock()
+	typ, ok := c.ClassifyLine("%LINK-3-UPDOWN: Interface TenGigE0/9, changed state to down")
+	if !ok || typ == "" {
+		t.Fatalf("ClassifyLine with full cache: typ=%q ok=%v", typ, ok)
+	}
+	c.mu.RLock()
+	n := len(c.cache)
+	c.mu.RUnlock()
+	if n > classifyCacheCap {
+		t.Errorf("cache grew past cap: %d > %d", n, classifyCacheCap)
+	}
+}

@@ -2,6 +2,7 @@ package ftree
 
 import (
 	"strings"
+	"sync"
 
 	"skynet/internal/alert"
 )
@@ -17,6 +18,23 @@ type Classifier struct {
 	// typeOf maps template ID → alert type, precomputed at construction
 	// by running the keyword rules over every learned template.
 	typeOf []string
+
+	// cache memoizes ClassifyLine by raw line. Real feeds repeat a small
+	// set of message shapes at enormous rates (§3: floods are dominated by
+	// a few types), so the hit rate is high and a hit skips the tokenize +
+	// frequency-sort + tree walk entirely. Bounded at classifyCacheCap;
+	// once full, new lines are classified but not inserted, so a hostile
+	// feed of unique lines cannot grow it without bound.
+	mu    sync.RWMutex
+	cache map[string]cacheEntry
+}
+
+// classifyCacheCap bounds the ClassifyLine memo cache.
+const classifyCacheCap = 8192
+
+type cacheEntry struct {
+	typ string
+	ok  bool
 }
 
 // keywordRule maps template content to an alert type. All words must be
@@ -56,7 +74,11 @@ func NewClassifier(corpus []string, cfg Config) (*Classifier, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Classifier{tree: tree, typeOf: make([]string, tree.NumTemplates())}
+	c := &Classifier{
+		tree:   tree,
+		typeOf: make([]string, tree.NumTemplates()),
+		cache:  make(map[string]cacheEntry, 256),
+	}
 	for _, tpl := range tree.Templates() {
 		c.typeOf[tpl.ID] = matchRules(tpl.Words)
 	}
@@ -99,11 +121,23 @@ func (c *Classifier) Tree() *Tree { return c.tree }
 // ClassifyLine maps a raw syslog line to an alert type. ok is false when
 // the line matches no template or an unlabeled one; such alerts stay
 // informational (ClassInfo) so they can never trip incident thresholds.
+// Safe for concurrent use.
 func (c *Classifier) ClassifyLine(line string) (typ string, ok bool) {
-	tpl, matched := c.tree.Classify(line)
-	if !matched {
-		return "", false
+	c.mu.RLock()
+	e, hit := c.cache[line]
+	c.mu.RUnlock()
+	if hit {
+		return e.typ, e.ok
 	}
-	typ = c.typeOf[tpl.ID]
-	return typ, typ != ""
+	tpl, matched := c.tree.Classify(line)
+	if matched {
+		typ = c.typeOf[tpl.ID]
+		ok = typ != ""
+	}
+	c.mu.Lock()
+	if len(c.cache) < classifyCacheCap {
+		c.cache[line] = cacheEntry{typ: typ, ok: ok}
+	}
+	c.mu.Unlock()
+	return typ, ok
 }

@@ -1,0 +1,50 @@
+package hierarchy
+
+import "testing"
+
+// Allocation caps for the Path operations on the locator's hot paths.
+// Compare, Truncate, Contains, CommonAncestor, and AppendString are pure
+// value manipulation and must never allocate; Ancestors materializes one
+// slice and must never exceed it.
+func TestPathOpAllocCaps(t *testing.T) {
+	p := MustNew("RG01", "CT01", "LS01", "ST01", "CL01", "dev-1")
+	q := MustNew("RG01", "CT01", "LS01", "ST02", "CL09", "dev-7")
+	sink := 0
+	if avg := testing.AllocsPerRun(100, func() {
+		sink += p.Compare(q)
+	}); avg != 0 {
+		t.Errorf("Compare allocates %.1f times per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		sink += p.Truncate(LevelSite).Depth()
+	}); avg != 0 {
+		t.Errorf("Truncate allocates %.1f times per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if p.Contains(q) {
+			sink++
+		}
+	}); avg != 0 {
+		t.Errorf("Contains allocates %.1f times per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		sink += p.CommonAncestor(q).Depth()
+	}); avg != 0 {
+		t.Errorf("CommonAncestor allocates %.1f times per call, want 0", avg)
+	}
+	buf := make([]byte, 0, 128)
+	if avg := testing.AllocsPerRun(100, func() {
+		buf = p.AppendString(buf[:0], '|')
+	}); avg != 0 {
+		t.Errorf("AppendString allocates %.1f times per call, want 0", avg)
+	}
+	if string(buf) != p.String() {
+		t.Errorf("AppendString = %q, want %q", buf, p.String())
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		sink += len(p.Ancestors())
+	}); avg > 1 {
+		t.Errorf("Ancestors allocates %.1f times per call, want <= 1", avg)
+	}
+	_ = sink
+}

@@ -278,6 +278,19 @@ func (p Path) Ancestors() []Path {
 	return out
 }
 
+// AppendString appends the canonical textual form (segments joined by
+// sep) to dst and returns the extended slice — the zero-allocation
+// variant of String for codecs writing into reused buffers.
+func (p Path) AppendString(dst []byte, sep byte) []byte {
+	for i := 0; i < int(p.depth); i++ {
+		if i > 0 {
+			dst = append(dst, sep)
+		}
+		dst = append(dst, p.seg[i]...)
+	}
+	return dst
+}
+
 // MarshalText implements encoding.TextMarshaler using the canonical form.
 func (p Path) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
 

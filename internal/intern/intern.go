@@ -1,0 +1,131 @@
+// Package intern maps the pipeline's repeated composite keys —
+// hierarchy paths and alert type keys — to small dense integer IDs, so
+// hot loops can replace map[hierarchy.Path]T lookups and per-call
+// Ancestors() allocations with array indexing and O(1) parent-chain
+// walks over prebuilt lookup tables.
+//
+// Tables are single-writer: Intern may only be called from the owning
+// goroutine (the engine loop). All read accessors (Path, Parent, Depth,
+// Key, Len) are safe to call concurrently with each other as long as no
+// Intern call is in flight — the locator interns serially before every
+// parallel fan-out, so its workers only ever read.
+package intern
+
+import (
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+)
+
+// PathID is a dense index into a PathTable. IDs are assigned in first-
+// seen order and are never reused or invalidated.
+type PathID int32
+
+// TypeID is a dense index into a TypeTable.
+type TypeID int32
+
+// None marks "no path": the parent of the interned root, or an
+// unresolved lookup.
+const None PathID = -1
+
+// PathTable interns hierarchy.Path values. Interning a path interns its
+// whole ancestor chain (root included), so Parent always resolves to an
+// in-table ID and ancestor walks never touch the Path itself.
+//
+// The index is bucketed by the path's leaf segment rather than keyed by
+// the whole Path: hashing a map key then costs one short string instead
+// of six (a Path is a [6]string under the hood, and hashing it dominated
+// warm Intern calls). Device names embed their full path slug, so device
+// buckets — the overwhelming majority of lookups — hold a single entry;
+// interior segments ("CL01") repeat across sites but are interned orders
+// of magnitude less often, and their bucket scans fail fast on the first
+// differing segment.
+type PathTable struct {
+	buckets map[string][]PathID // leaf segment → IDs; "" holds the root
+	paths   []hierarchy.Path
+	parent  []PathID
+	depth   []uint8
+}
+
+// NewPathTable returns an empty table.
+func NewPathTable() *PathTable {
+	return &PathTable{buckets: make(map[string][]PathID)}
+}
+
+// Len reports how many paths have been interned. Valid PathIDs are
+// exactly [0, Len).
+func (t *PathTable) Len() int { return len(t.paths) }
+
+// Intern returns p's dense ID, assigning one — and interning every
+// ancestor of p up to the root — on first sight.
+func (t *PathTable) Intern(p hierarchy.Path) PathID {
+	leaf := p.Leaf()
+	for _, id := range t.buckets[leaf] {
+		if t.paths[id] == p {
+			return id
+		}
+	}
+	par := None
+	if p.Depth() > 0 {
+		par = t.Intern(p.Parent())
+	}
+	id := PathID(len(t.paths))
+	t.buckets[leaf] = append(t.buckets[leaf], id)
+	t.paths = append(t.paths, p)
+	t.parent = append(t.parent, par)
+	t.depth = append(t.depth, uint8(p.Depth()))
+	return id
+}
+
+// Lookup returns p's ID without interning. The second result is false
+// when p has never been interned.
+func (t *PathTable) Lookup(p hierarchy.Path) (PathID, bool) {
+	for _, id := range t.buckets[p.Leaf()] {
+		if t.paths[id] == p {
+			return id, true
+		}
+	}
+	return None, false
+}
+
+// Path returns the path for a valid ID.
+func (t *PathTable) Path(id PathID) hierarchy.Path { return t.paths[id] }
+
+// Parent returns the ID of id's parent path, or None for the root.
+func (t *PathTable) Parent(id PathID) PathID { return t.parent[id] }
+
+// Depth returns the path depth for a valid ID (0 for the root).
+func (t *PathTable) Depth(id PathID) int { return int(t.depth[id]) }
+
+// TypeTable interns alert.TypeKey values — the (source, type) pairs the
+// locator's per-component type counting deduplicates on. Buckets are
+// keyed by the type string alone (a type string almost never appears
+// under two sources), so hashing skips the struct wrapper.
+type TypeTable struct {
+	buckets map[string][]TypeID // Type → IDs, discriminated by Source
+	keys    []alert.TypeKey
+}
+
+// NewTypeTable returns an empty table.
+func NewTypeTable() *TypeTable {
+	return &TypeTable{buckets: make(map[string][]TypeID)}
+}
+
+// Len reports how many type keys have been interned. Valid TypeIDs are
+// exactly [0, Len).
+func (t *TypeTable) Len() int { return len(t.keys) }
+
+// Intern returns k's dense ID, assigning one on first sight.
+func (t *TypeTable) Intern(k alert.TypeKey) TypeID {
+	for _, id := range t.buckets[k.Type] {
+		if t.keys[id].Source == k.Source {
+			return id
+		}
+	}
+	id := TypeID(len(t.keys))
+	t.buckets[k.Type] = append(t.buckets[k.Type], id)
+	t.keys = append(t.keys, k)
+	return id
+}
+
+// Key returns the type key for a valid ID.
+func (t *TypeTable) Key(id TypeID) alert.TypeKey { return t.keys[id] }

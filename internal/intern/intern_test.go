@@ -1,0 +1,108 @@
+package intern
+
+import (
+	"testing"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+)
+
+func mustPath(t *testing.T, segs ...string) hierarchy.Path {
+	t.Helper()
+	p, err := hierarchy.New(segs...)
+	if err != nil {
+		t.Fatalf("New(%v): %v", segs, err)
+	}
+	return p
+}
+
+func TestPathTableInternsAncestorChain(t *testing.T) {
+	pt := NewPathTable()
+	dev := mustPath(t, "r1", "c1", "ls1", "s1", "cl1", "d1")
+	id := pt.Intern(dev)
+
+	// Interning a device path interns all 7 prefixes (root..device).
+	if got := pt.Len(); got != 7 {
+		t.Fatalf("Len = %d, want 7", got)
+	}
+	if pt.Path(id) != dev {
+		t.Fatalf("Path(%d) = %v, want %v", id, pt.Path(id), dev)
+	}
+	if pt.Depth(id) != 6 {
+		t.Fatalf("Depth = %d, want 6", pt.Depth(id))
+	}
+
+	// Walking Parent from the device ID retraces Path.Parent exactly
+	// and terminates at None.
+	p, cur := dev, id
+	for steps := 0; ; steps++ {
+		if steps > hierarchy.NumLevels {
+			t.Fatal("parent chain did not terminate")
+		}
+		par := pt.Parent(cur)
+		if p.Depth() == 0 {
+			if par != None {
+				t.Fatalf("root parent = %d, want None", par)
+			}
+			break
+		}
+		p = p.Parent()
+		if pt.Path(par) != p {
+			t.Fatalf("Parent path = %v, want %v", pt.Path(par), p)
+		}
+		cur = par
+	}
+}
+
+func TestPathTableStableIDs(t *testing.T) {
+	pt := NewPathTable()
+	a := mustPath(t, "r1", "c1")
+	b := mustPath(t, "r1", "c2")
+	ida, idb := pt.Intern(a), pt.Intern(b)
+	if ida == idb {
+		t.Fatalf("distinct paths share ID %d", ida)
+	}
+	if got := pt.Intern(a); got != ida {
+		t.Fatalf("re-Intern = %d, want %d", got, ida)
+	}
+	if got, ok := pt.Lookup(a); !ok || got != ida {
+		t.Fatalf("Lookup = %d,%v, want %d,true", got, ok, ida)
+	}
+	if got, ok := pt.Lookup(mustPath(t, "r9")); ok || got != None {
+		t.Fatalf("Lookup(unseen) = %d,%v, want None,false", got, ok)
+	}
+}
+
+func TestPathTableInternHitZeroAllocs(t *testing.T) {
+	pt := NewPathTable()
+	p := mustPath(t, "r1", "c1", "ls1", "s1", "cl1", "d1")
+	pt.Intern(p)
+	if avg := testing.AllocsPerRun(200, func() {
+		pt.Intern(p)
+		pt.Parent(pt.parent[len(pt.parent)-1])
+	}); avg != 0 {
+		t.Fatalf("warm Intern allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestTypeTable(t *testing.T) {
+	tt := NewTypeTable()
+	k1 := alert.TypeKey{Source: alert.SourceSyslog, Type: "link_down"}
+	k2 := alert.TypeKey{Source: alert.SourceSyslog, Type: "ospf_down"}
+	id1, id2 := tt.Intern(k1), tt.Intern(k2)
+	if id1 == id2 {
+		t.Fatalf("distinct keys share ID %d", id1)
+	}
+	if got := tt.Intern(k1); got != id1 {
+		t.Fatalf("re-Intern = %d, want %d", got, id1)
+	}
+	if tt.Key(id2) != k2 {
+		t.Fatalf("Key = %+v, want %+v", tt.Key(id2), k2)
+	}
+	if tt.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tt.Len())
+	}
+	if avg := testing.AllocsPerRun(200, func() { tt.Intern(k2) }); avg != 0 {
+		t.Fatalf("warm Intern allocates %.1f/op, want 0", avg)
+	}
+}

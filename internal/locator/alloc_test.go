@@ -1,0 +1,76 @@
+package locator
+
+import (
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/topology"
+)
+
+// TestSteadyCheckZeroAllocs pins the tentpole invariant: a Check where
+// the alerting set did not change — no adds, nothing expired, incidents
+// stable — reuses the cached component partition and per-worker scratch
+// and allocates nothing at all.
+func TestSteadyCheckZeroAllocs(t *testing.T) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	l := New(cfg, topo)
+
+	// A qualifying component (one incident) plus a lone sub-threshold
+	// device, so the steady loop exercises both branches.
+	lnk := topo.Link(0)
+	a, b := topo.Device(lnk.A).Path, topo.Device(lnk.B).Path
+	l.Add(mk(alert.SourcePing, alert.TypePacketLoss, epoch, a))
+	l.Add(mk(alert.SourcePing, alert.TypeEndToEndICMP, epoch, b))
+	far := topo.Clusters()[len(topo.Clusters())-1]
+	farDev := topo.Device(topo.DevicesUnder(far)[0]).Path
+	l.Add(mk(alert.SourceSyslog, alert.TypeLinkDown, epoch, farDev))
+	if created := l.Check(epoch.Add(time.Second)); len(created) != 1 {
+		t.Fatalf("setup: created %d incidents, want 1", len(created))
+	}
+
+	now := epoch.Add(2 * time.Second)
+	if avg := testing.AllocsPerRun(50, func() {
+		l.Check(now)
+	}); avg != 0 {
+		t.Errorf("steady-state Check allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestSteadyCheckZeroAllocsAblation covers the DisableConnectivity
+// short-circuit, which must also stay allocation-free at steady state.
+func TestSteadyCheckZeroAllocsAblation(t *testing.T) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.DisableConnectivity = true
+	l := New(cfg, topo)
+	l.Add(mk(alert.SourceSyslog, alert.TypeLinkDown, epoch, topo.Device(0).Path))
+	l.Check(epoch.Add(time.Second))
+
+	now := epoch.Add(2 * time.Second)
+	if avg := testing.AllocsPerRun(50, func() {
+		l.Check(now)
+	}); avg != 0 {
+		t.Errorf("steady-state ablation Check allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestSteadyAddNoNewStreamsZeroAllocs pins the consolidation path: an
+// alert that merges into an existing stream of an existing node must not
+// allocate.
+func TestSteadyAddZeroAllocs(t *testing.T) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	l := New(cfg, topo)
+	a := mk(alert.SourceSyslog, alert.TypeLinkDown, epoch, topo.Device(0).Path)
+	l.Add(a)
+	if avg := testing.AllocsPerRun(50, func() {
+		l.Add(a)
+	}); avg != 0 {
+		t.Errorf("consolidating Add allocates %.1f times per call, want 0", avg)
+	}
+}

@@ -1,0 +1,156 @@
+package locator
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"time"
+
+	"skynet/internal/experimentsutil"
+	"skynet/internal/hierarchy"
+	"skynet/internal/topology"
+)
+
+// scratchComponents is the historical from-scratch partition algorithm —
+// collect every live location, sort, union alerting ancestors and
+// adjacent devices, group by first-seen root — kept here as the
+// reference the incremental union-find must match exactly.
+func scratchComponents(l *Locator) [][]hierarchy.Path {
+	var locs []hierarchy.Path
+	for s := range l.shards {
+		for _, pid := range l.shards[s].live {
+			locs = append(locs, l.pt.Path(pid))
+		}
+	}
+	slices.SortFunc(locs, hierarchy.Path.Compare)
+	if l.cfg.DisableConnectivity {
+		return [][]hierarchy.Path{locs}
+	}
+	idx := make(map[hierarchy.Path]int, len(locs))
+	for i, p := range locs {
+		idx[p] = i
+	}
+	parent := make([]int, len(locs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for i, p := range locs {
+		for _, anc := range p.Ancestors() {
+			if j, ok := idx[anc]; ok {
+				union(i, j)
+			}
+		}
+		if d, ok := l.topo.DeviceByPath(p); ok {
+			for _, nb := range l.topo.Neighbors(d.ID) {
+				if j, ok := idx[l.topo.Device(nb).Path]; ok {
+					union(i, j)
+				}
+			}
+		}
+	}
+	groups := make(map[int][]hierarchy.Path)
+	var order []int
+	for i, p := range locs {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], p)
+	}
+	out := make([][]hierarchy.Path, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+func samePartition(t *testing.T, step int, got, want [][]hierarchy.Path) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("step %d: %d components, want %d", step, len(got), len(want))
+	}
+	for i := range got {
+		if !slices.Equal(got[i], want[i]) {
+			t.Fatalf("step %d: component %d mismatch:\n got %v\nwant %v", step, i, got[i], want[i])
+		}
+	}
+}
+
+// TestIncrementalComponentsMatchScratch drives randomized add / expire /
+// incident-close sequences through the locator at several worker counts
+// and asserts after every Check that the incrementally maintained
+// partition — eager unions, cached groups, lazy rebuilds — is identical
+// (same groups, same order, same sorted members) to the from-scratch
+// reference.
+func TestIncrementalComponentsMatchScratch(t *testing.T) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	for _, workers := range []int{1, 2, 4, 8} {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := DefaultConfig()
+			cfg.Workers = workers
+			l := New(cfg, topo)
+			r := rand.New(rand.NewSource(seed))
+			now := epoch
+			for step := 0; step < 60; step++ {
+				switch r.Intn(10) {
+				case 0:
+					// Long gap: expire most of the tree and close incidents.
+					now = now.Add(cfg.IncidentTTL + time.Minute)
+				case 1, 2:
+					// Medium gap: expire the older node streams.
+					now = now.Add(cfg.NodeTTL/2 + time.Duration(r.Intn(90))*time.Second)
+				default:
+					batch := experimentsutil.RandomAlerts(topo, r, 5+r.Intn(40), now)
+					l.AddBatch(batch)
+					now = now.Add(time.Duration(r.Intn(30)) * time.Second)
+				}
+				l.Check(now)
+				if l.NodeCount() == 0 {
+					if len(l.members) != 0 {
+						t.Fatalf("step %d: empty tree but %d members", step, len(l.members))
+					}
+					continue
+				}
+				samePartition(t, step, l.components(), scratchComponents(l))
+			}
+		}
+	}
+}
+
+// TestIncrementalComponentsAblation covers the DisableConnectivity path:
+// the cached single group must track the live set exactly.
+func TestIncrementalComponentsAblation(t *testing.T) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	cfg := DefaultConfig()
+	cfg.DisableConnectivity = true
+	l := New(cfg, topo)
+	r := rand.New(rand.NewSource(7))
+	now := epoch
+	for step := 0; step < 40; step++ {
+		if r.Intn(5) == 0 {
+			now = now.Add(cfg.NodeTTL + time.Minute)
+		} else {
+			l.AddBatch(experimentsutil.RandomAlerts(topo, r, 1+r.Intn(20), now))
+			now = now.Add(time.Duration(r.Intn(20)) * time.Second)
+		}
+		l.Check(now)
+		if l.NodeCount() == 0 {
+			continue
+		}
+		samePartition(t, step, l.components(), scratchComponents(l))
+	}
+}

@@ -25,12 +25,29 @@
 // assignment, absorption of smaller incidents, the closed list — stays on
 // the caller's goroutine, so incident sets, IDs, and ordering are
 // identical for every worker count.
+//
+// # Dense IDs and incremental connectivity
+//
+// Locations and type keys are interned into dense integer IDs
+// (internal/intern) on the caller's goroutine, so every hot structure is
+// an int-indexed slice: node lookup, shard routing, ancestor walks, and
+// type deduplication never hash a Path or allocate. Connectivity is
+// maintained incrementally: node additions eagerly union into a dynamic
+// union-find (work proportional to the change, not the tree), node
+// expiry marks the forest dirty for a lazy from-scratch re-link at the
+// next Check, and a tick where the alerting set did not change reuses
+// the cached component partition untouched — a steady-state Check does
+// no connectivity work and allocates nothing.
+//
+// Scratch ownership: every per-ID table and reuse buffer on Locator is
+// written only on the caller's goroutine, except slotOf and the
+// per-shard slabs, which parallel phases write strictly for the IDs
+// their shard owns (shardOfID routes each ID to exactly one shard).
 package locator
 
 import (
 	"fmt"
 	"slices"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -38,6 +55,7 @@ import (
 	"skynet/internal/alert"
 	"skynet/internal/hierarchy"
 	"skynet/internal/incident"
+	"skynet/internal/intern"
 	"skynet/internal/par"
 	"skynet/internal/provenance"
 	"skynet/internal/span"
@@ -164,6 +182,9 @@ func DefaultConfig() Config {
 type entry struct {
 	a        alert.Alert
 	lastSeen time.Time
+	// tid is the interned (source, type) key — what per-component type
+	// counting deduplicates on.
+	tid intern.TypeID
 	// lineage holds the provenance lineages waiting on this stream's fate:
 	// attributed when an incident sweeps the node up, expired when the
 	// stream ages out (empty when recording is off).
@@ -171,21 +192,34 @@ type entry struct {
 }
 
 // node is one main-tree location node. Entries are keyed per stream
-// (source, type, circuit set); type-deduplicated counting collapses them
-// back to (source, type).
+// (source, type, circuit set) — a short linear scan, since a location
+// rarely carries more than a handful of live streams — and
+// type-deduplicated counting collapses them back to (source, type).
 type node struct {
-	loc     hierarchy.Path
-	entries map[alert.StreamKey]*entry
+	pid     intern.PathID
+	entries []*entry
 }
 
 // locShard owns a disjoint, location-hashed subset of the main-tree
-// nodes; exactly one goroutine touches a shard per parallel phase.
+// nodes; exactly one goroutine touches a shard per parallel phase. Nodes
+// live in a slot slab addressed through Locator.slotOf; freed slots and
+// entry structs are recycled so steady-state churn does not allocate.
 type locShard struct {
-	nodes map[hierarchy.Path]*node
+	slots     []node
+	free      []int32
+	live      []intern.PathID
+	entryFree []*entry
 	// expLin stages lineages of streams deleted by the parallel expiry
 	// phase, flushed to the recorder serially.
 	expLin []uint64
+	// newIDs / remIDs stage node creations and removals from the parallel
+	// phases for the serial connectivity update.
+	newIDs []intern.PathID
+	remIDs []intern.PathID
 }
+
+// compCount is one component's distinct-type tally.
+type compCount struct{ failureTypes, allTypes int }
 
 // Locator is the streaming §4.2 stage. Add/AddBatch/Check must be called
 // from one goroutine (the engine loop); the batch paths internally fan
@@ -210,9 +244,61 @@ type Locator struct {
 	// Scope (tracing off) makes every span call a no-op.
 	spans span.Scope
 
-	// reused per-Check buffers
-	locBuf []hierarchy.Path
-	linBuf []uint64
+	// Dense-ID layer. Interning happens only on the caller's goroutine
+	// (Add, or the serial prologue of AddBatch); parallel phases only
+	// read the tables.
+	pt *intern.PathTable
+	tt *intern.TypeTable
+
+	// Per-PathID tables, grown in lockstep with pt by growTables.
+	slotOf     []int32         // slot in the owning shard's slab, -1 when no live node
+	shardOfID  []int32         // owning shard, hashed once per interned path
+	devOf      []int32         // topology.DeviceID, -1 when not a device
+	aliveUnder []int32         // live nodes strictly below this path
+	ufParent   []intern.PathID // dynamic union-find over live node IDs
+	rootGroup  []int32         // regroup scratch: component root -> group index
+	rootEpoch  []uint64
+
+	// pidOfDev maps a topology.DeviceID to its interned path ID (None
+	// until the device's path is first interned) — the pre-resolved
+	// adjacency bridge, so neighbor joins never touch a Path.
+	pidOfDev []intern.PathID
+
+	// Connectivity state. members is the live node IDs in path-sorted
+	// order; comps/compIDs cache the current partition, rebuilt only when
+	// setChanged and re-linked from scratch only when needRebuild (some
+	// node expired — union-find cannot split).
+	members     []intern.PathID
+	needRebuild bool
+	setChanged  bool
+	comps       [][]hierarchy.Path
+	compIDs     [][]intern.PathID
+	compPathBuf []hierarchy.Path
+	compIDBuf   []intern.PathID
+	memberGroup []int32
+	groupSize   []int32
+	groupOff    []int32
+	groupEpoch  uint64
+
+	// Per-worker type-counting scratch: epoch-tagged dense sets indexed
+	// by TypeID, so countTypes allocates nothing.
+	seenAll  [][]uint64
+	seenFail [][]uint64
+	typeMark []uint64
+
+	// Reused per-call buffers.
+	linBuf   []uint64
+	pidBuf   []intern.PathID
+	tidBuf   []intern.TypeID
+	addBuf   []intern.PathID
+	countBuf []compCount
+
+	// Prebuilt fan-out closures (built once in New, parameters passed
+	// through fields), so the steady-state Check allocates nothing.
+	expireNow time.Time
+	expireFn  func(s int)
+	counts    []compCount
+	countFn   func(w, i int)
 }
 
 // New builds a locator over a topology. The topology may be nil, which
@@ -222,10 +308,20 @@ func New(cfg Config, topo *topology.Topology) *Locator {
 		cfg.DisableConnectivity = true
 	}
 	workers := par.Workers(cfg.Workers)
-	l := &Locator{cfg: cfg, topo: topo, workers: workers, shards: make([]locShard, workers)}
-	for i := range l.shards {
-		l.shards[i].nodes = make(map[hierarchy.Path]*node)
+	l := &Locator{
+		cfg: cfg, topo: topo, workers: workers, shards: make([]locShard, workers),
+		pt: intern.NewPathTable(), tt: intern.NewTypeTable(),
+		seenAll: make([][]uint64, workers), seenFail: make([][]uint64, workers),
+		typeMark: make([]uint64, workers),
 	}
+	if topo != nil {
+		l.pidOfDev = make([]intern.PathID, topo.NumDevices())
+		for i := range l.pidOfDev {
+			l.pidOfDev[i] = intern.None
+		}
+	}
+	l.expireFn = l.expireShard
+	l.countFn = func(w, i int) { l.counts[i] = l.countTypes(w, l.compIDs[i]) }
 	return l
 }
 
@@ -243,11 +339,12 @@ func (l *Locator) EnableProvenance(rec *provenance.Recorder) { l.prov = rec }
 func (l *Locator) SetSpans(sc span.Scope) { l.spans = sc }
 
 // ShardNodes reports the live main-tree node count of one shard.
-func (l *Locator) ShardNodes(i int) int { return len(l.shards[i].nodes) }
+func (l *Locator) ShardNodes(i int) int { return len(l.shards[i].live) }
 
 // shardOf routes a location to its owning shard with an FNV-1a hash over
-// the path segments. Routing only affects which goroutine owns the node,
-// never the output.
+// the path segments — computed once per interned path and cached in
+// shardOfID. Routing only affects which goroutine owns the node, never
+// the output.
 func (l *Locator) shardOf(p hierarchy.Path) int {
 	if l.workers == 1 {
 		return 0
@@ -269,16 +366,53 @@ func (l *Locator) shardOf(p hierarchy.Path) int {
 	return int(h % uint64(l.workers))
 }
 
-// nodeAt looks a location up across the shards.
+// growTables extends every per-PathID table to cover newly interned
+// paths. Caller's goroutine only, never during a parallel phase.
+func (l *Locator) growTables() {
+	for id := len(l.slotOf); id < l.pt.Len(); id++ {
+		pid := intern.PathID(id)
+		p := l.pt.Path(pid)
+		l.slotOf = append(l.slotOf, -1)
+		l.shardOfID = append(l.shardOfID, int32(l.shardOf(p)))
+		l.aliveUnder = append(l.aliveUnder, 0)
+		l.ufParent = append(l.ufParent, pid)
+		l.rootGroup = append(l.rootGroup, 0)
+		l.rootEpoch = append(l.rootEpoch, 0)
+		dev := int32(-1)
+		if l.topo != nil {
+			if d, ok := l.topo.DeviceByPath(p); ok {
+				dev = int32(d.ID)
+				l.pidOfDev[d.ID] = pid
+			}
+		}
+		l.devOf = append(l.devOf, dev)
+	}
+}
+
+// nodeByID returns the live node for an ID; the caller must know the
+// node is alive (slotOf >= 0).
+func (l *Locator) nodeByID(pid intern.PathID) *node {
+	return &l.shards[l.shardOfID[pid]].slots[l.slotOf[pid]]
+}
+
+// nodeAt looks a location up across the shards (tests and diagnostics).
 func (l *Locator) nodeAt(p hierarchy.Path) (*node, bool) {
-	n, ok := l.shards[l.shardOf(p)].nodes[p]
-	return n, ok
+	pid, ok := l.pt.Lookup(p)
+	if !ok || pid >= intern.PathID(len(l.slotOf)) || l.slotOf[pid] < 0 {
+		return nil, false
+	}
+	return l.nodeByID(pid), true
 }
 
 // Add inserts one structured alert — Algorithm 1. The alert joins every
 // active incident whose subtree contains its location, and always joins
 // the main tree (so incident scopes can still grow).
 func (l *Locator) Add(a alert.Alert) {
+	pid := l.pt.Intern(a.Location)
+	tid := l.tt.Intern(alert.TypeKey{Source: a.Source, Type: a.Type})
+	if l.pt.Len() > len(l.slotOf) {
+		l.growTables()
+	}
 	var lid uint64
 	if l.prov != nil {
 		lid = l.takeLineage(&a)
@@ -288,7 +422,7 @@ func (l *Locator) Add(a alert.Alert) {
 			in.Add(a)
 		}
 	}
-	l.upsert(&l.shards[l.shardOf(a.Location)], a, lid)
+	l.upsert(&l.shards[l.shardOfID[pid]], a, pid, tid, lid)
 }
 
 // takeLineage claims the head lineage a structured alert carries and, if
@@ -311,10 +445,11 @@ func (l *Locator) takeLineage(a *alert.Alert) uint64 {
 }
 
 // AddBatch inserts one tick's structured alerts — Algorithm 1 over a
-// batch. Active incidents absorb their alerts in batch order (one task
-// per incident) while the main-tree shards consolidate theirs (one task
-// per shard); both mutations are disjoint, so the result is identical to
-// calling Add per alert.
+// batch. The serial prologue interns every location and type key, so the
+// fan-out below only reads the tables. Active incidents absorb their
+// alerts in batch order (one task per incident) while the main-tree
+// shards consolidate theirs (one task per shard); both mutations are
+// disjoint, so the result is identical to calling Add per alert.
 func (l *Locator) AddBatch(batch []alert.Alert) {
 	if len(batch) == 0 {
 		return
@@ -324,6 +459,19 @@ func (l *Locator) AddBatch(batch []alert.Alert) {
 			l.Add(batch[i])
 		}
 		return
+	}
+	if cap(l.pidBuf) < len(batch) {
+		l.pidBuf = make([]intern.PathID, len(batch))
+		l.tidBuf = make([]intern.TypeID, len(batch))
+	}
+	pids := l.pidBuf[:len(batch)]
+	tids := l.tidBuf[:len(batch)]
+	for i := range batch {
+		pids[i] = l.pt.Intern(batch[i].Location)
+		tids[i] = l.tt.Intern(alert.TypeKey{Source: batch[i].Source, Type: batch[i].Type})
+	}
+	if l.pt.Len() > len(l.slotOf) {
+		l.growTables()
 	}
 	// Claim lineages serially before the fan-out: attribution order (first
 	// containing incident) and the emitted-map mutation must not depend on
@@ -352,14 +500,15 @@ func (l *Locator) AddBatch(batch []alert.Alert) {
 			}
 			return
 		}
-		shard := &l.shards[task-nInc]
+		s := int32(task - nInc)
+		shard := &l.shards[s]
 		for i := range batch {
-			if l.shardOf(batch[i].Location) == task-nInc {
+			if l.shardOfID[pids[i]] == s {
 				var lid uint64
 				if lins != nil {
 					lid = lins[i]
 				}
-				l.upsert(shard, batch[i], lid)
+				l.upsert(shard, batch[i], pids[i], tids[i], lid)
 			}
 		}
 	})
@@ -368,36 +517,60 @@ func (l *Locator) AddBatch(batch []alert.Alert) {
 // upsert consolidates one alert into its main-tree node within the owning
 // shard. lid is the head lineage still waiting on this stream's fate
 // (0 when recording is off or the lineage was already attributed).
-func (l *Locator) upsert(shard *locShard, a alert.Alert, lid uint64) {
-	n, ok := shard.nodes[a.Location]
-	if !ok {
-		n = &node{loc: a.Location, entries: make(map[alert.StreamKey]*entry)}
-		shard.nodes[a.Location] = n
-	}
-	k := a.StreamKey()
-	if e, ok := n.entries[k]; ok {
-		if a.End.After(e.a.End) {
-			e.a.End = a.End
+func (l *Locator) upsert(shard *locShard, a alert.Alert, pid intern.PathID, tid intern.TypeID, lid uint64) {
+	slot := l.slotOf[pid]
+	var n *node
+	if slot < 0 {
+		if k := len(shard.free); k > 0 {
+			slot = shard.free[k-1]
+			shard.free = shard.free[:k-1]
+		} else {
+			shard.slots = append(shard.slots, node{})
+			slot = int32(len(shard.slots) - 1)
 		}
-		if a.Value > e.a.Value {
-			e.a.Value = a.Value
-		}
-		e.a.Count += countOf(a)
-		if a.Time.After(e.lastSeen) {
-			e.lastSeen = a.Time
-		}
-		if lid != 0 {
-			e.lineage = append(e.lineage, lid)
-		}
+		n = &shard.slots[slot]
+		n.pid = pid
+		n.entries = n.entries[:0]
+		l.slotOf[pid] = slot
+		shard.live = append(shard.live, pid)
+		shard.newIDs = append(shard.newIDs, pid)
 	} else {
-		cp := a
-		cp.Count = countOf(a)
-		e := &entry{a: cp, lastSeen: a.Time}
-		if lid != 0 {
-			e.lineage = append(e.lineage, lid)
-		}
-		n.entries[k] = e
+		n = &shard.slots[slot]
 	}
+	for _, e := range n.entries {
+		if e.tid == tid && e.a.CircuitSet == a.CircuitSet {
+			if a.End.After(e.a.End) {
+				e.a.End = a.End
+			}
+			if a.Value > e.a.Value {
+				e.a.Value = a.Value
+			}
+			e.a.Count += countOf(a)
+			if a.Time.After(e.lastSeen) {
+				e.lastSeen = a.Time
+			}
+			if lid != 0 {
+				e.lineage = append(e.lineage, lid)
+			}
+			return
+		}
+	}
+	var e *entry
+	if k := len(shard.entryFree); k > 0 {
+		e = shard.entryFree[k-1]
+		shard.entryFree = shard.entryFree[:k-1]
+	} else {
+		e = new(entry)
+	}
+	e.a = a
+	e.a.Count = countOf(a)
+	e.lastSeen = a.Time
+	e.tid = tid
+	e.lineage = e.lineage[:0]
+	if lid != 0 {
+		e.lineage = append(e.lineage, lid)
+	}
+	n.entries = append(n.entries, e)
 }
 
 func countOf(a alert.Alert) int {
@@ -412,6 +585,7 @@ func countOf(a alert.Alert) int {
 // new incident trees for qualifying connected areas. It returns incidents
 // newly created during this call.
 func (l *Locator) Check(now time.Time) []*incident.Incident {
+	l.flushAdds()
 	l.expire(now)
 	return l.generate(now)
 }
@@ -421,30 +595,40 @@ func (l *Locator) Check(now time.Time) []*incident.Incident {
 // insertion order.
 func (l *Locator) expire(now time.Time) {
 	f := l.spans.Fork("expire", len(l.shards))
-	par.DoTimed(l.workers, len(l.shards), f.Timer(), func(s int) {
+	l.expireNow = now
+	par.DoTimed(l.workers, len(l.shards), f.Timer(), l.expireFn)
+	removed := false
+	for s := range l.shards {
 		sh := &l.shards[s]
-		sh.expLin = sh.expLin[:0]
-		for p, n := range sh.nodes {
-			for k, e := range n.entries {
-				if now.Sub(e.lastSeen) > l.cfg.NodeTTL {
-					if len(e.lineage) > 0 {
-						sh.expLin = append(sh.expLin, e.lineage...)
-					}
-					delete(n.entries, k)
-				}
-			}
-			if len(n.entries) == 0 {
-				delete(sh.nodes, p)
-			}
-		}
-	})
-	if l.prov != nil {
-		for s := range l.shards {
-			for _, lid := range l.shards[s].expLin {
+		if l.prov != nil {
+			for _, lid := range sh.expLin {
 				l.prov.Expired(lid)
 			}
-			l.shards[s].expLin = l.shards[s].expLin[:0]
 		}
+		sh.expLin = sh.expLin[:0]
+		if len(sh.remIDs) > 0 {
+			removed = true
+			for _, pid := range sh.remIDs {
+				for anc := l.pt.Parent(pid); anc != intern.None; anc = l.pt.Parent(anc) {
+					l.aliveUnder[anc]--
+				}
+			}
+			sh.remIDs = sh.remIDs[:0]
+		}
+	}
+	if removed {
+		// Union-find cannot split, so removals invalidate the forest; keep
+		// the sorted member list current and re-link lazily at the next
+		// components call.
+		keep := l.members[:0]
+		for _, pid := range l.members {
+			if l.slotOf[pid] >= 0 {
+				keep = append(keep, pid)
+			}
+		}
+		l.members = keep
+		l.needRebuild = true
+		l.setChanged = true
 	}
 	stillActive := l.active[:0]
 	for _, in := range l.active {
@@ -461,28 +645,292 @@ func (l *Locator) expire(now time.Time) {
 	l.active = stillActive
 }
 
+// expireShard ages out one shard's streams at l.expireNow — the task
+// body of expire's fan-out, prebuilt so the call allocates nothing.
+func (l *Locator) expireShard(s int) {
+	now := l.expireNow
+	sh := &l.shards[s]
+	sh.expLin = sh.expLin[:0]
+	for li := 0; li < len(sh.live); {
+		pid := sh.live[li]
+		slot := l.slotOf[pid]
+		n := &sh.slots[slot]
+		keep := n.entries[:0]
+		for _, e := range n.entries {
+			if now.Sub(e.lastSeen) > l.cfg.NodeTTL {
+				if len(e.lineage) > 0 {
+					sh.expLin = append(sh.expLin, e.lineage...)
+					e.lineage = e.lineage[:0]
+				}
+				sh.entryFree = append(sh.entryFree, e)
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		n.entries = keep
+		if len(keep) == 0 {
+			l.slotOf[pid] = -1
+			sh.free = append(sh.free, slot)
+			sh.remIDs = append(sh.remIDs, pid)
+			last := len(sh.live) - 1
+			sh.live[li] = sh.live[last]
+			sh.live = sh.live[:last]
+		} else {
+			li++
+		}
+	}
+}
+
+// flushAdds folds node creations staged by Add/AddBatch into the
+// connectivity state: sorted-merges the new IDs into the member list,
+// bumps ancestor live-counts, and eagerly unions each new node with its
+// nearest alive ancestor, its alive descendants, and its alive topology
+// neighbors — work proportional to the change, never the tree.
+func (l *Locator) flushAdds() {
+	total := 0
+	for s := range l.shards {
+		total += len(l.shards[s].newIDs)
+	}
+	if total == 0 {
+		return
+	}
+	l.setChanged = true
+	buf := l.addBuf[:0]
+	for s := range l.shards {
+		sh := &l.shards[s]
+		buf = append(buf, sh.newIDs...)
+		sh.newIDs = sh.newIDs[:0]
+	}
+	l.addBuf = buf
+	slices.SortFunc(buf, func(a, b intern.PathID) int {
+		return l.pt.Path(a).Compare(l.pt.Path(b))
+	})
+	for _, pid := range buf {
+		for anc := l.pt.Parent(pid); anc != intern.None; anc = l.pt.Parent(anc) {
+			l.aliveUnder[anc]++
+		}
+	}
+	l.mergeMembers(buf)
+	if l.cfg.DisableConnectivity {
+		return
+	}
+	for _, pid := range buf {
+		l.ufParent[pid] = pid
+	}
+	for _, pid := range buf {
+		l.linkNearestAncestor(pid)
+		// A node arriving above already-alive descendants must adopt them:
+		// they linked past it (or to nothing) when they arrived. The
+		// descendants are the contiguous sorted-member run after pid.
+		if l.aliveUnder[pid] > 0 {
+			p := l.pt.Path(pid)
+			i, _ := slices.BinarySearchFunc(l.members, pid, func(a, b intern.PathID) int {
+				return l.pt.Path(a).Compare(l.pt.Path(b))
+			})
+			for j := i + 1; j < len(l.members); j++ {
+				if !p.Contains(l.pt.Path(l.members[j])) {
+					break
+				}
+				l.union(pid, l.members[j])
+			}
+		}
+		l.linkNeighbors(pid)
+	}
+}
+
+// mergeMembers merges the path-sorted new IDs into the path-sorted
+// member list in place (back-to-front, like a merge step).
+func (l *Locator) mergeMembers(add []intern.PathID) {
+	old := len(l.members)
+	l.members = append(l.members, add...)
+	m := l.members
+	i, j := old-1, len(add)-1
+	for k := len(m) - 1; j >= 0; k-- {
+		if i >= 0 && l.pt.Path(m[i]).Compare(l.pt.Path(add[j])) > 0 {
+			m[k] = m[i]
+			i--
+		} else {
+			m[k] = add[j]
+			j--
+		}
+	}
+}
+
+// linkNearestAncestor unions a live node with its nearest alive ancestor.
+// Chained over all members this connects every alive ancestor relation:
+// the nearest alive ancestor's own up-link continues the chain.
+func (l *Locator) linkNearestAncestor(pid intern.PathID) {
+	for anc := l.pt.Parent(pid); anc != intern.None; anc = l.pt.Parent(anc) {
+		if l.slotOf[anc] >= 0 {
+			l.union(pid, anc)
+			break
+		}
+	}
+}
+
+// linkNeighbors unions a live device node with its alive topology
+// neighbors, through the pre-resolved DeviceID -> PathID bridge.
+func (l *Locator) linkNeighbors(pid intern.PathID) {
+	d := l.devOf[pid]
+	if d < 0 {
+		return
+	}
+	for _, nb := range l.topo.Neighbors(topology.DeviceID(d)) {
+		np := l.pidOfDev[nb]
+		if np != intern.None && l.slotOf[np] >= 0 {
+			l.union(pid, np)
+		}
+	}
+}
+
+func (l *Locator) find(x intern.PathID) intern.PathID {
+	for l.ufParent[x] != x {
+		l.ufParent[x] = l.ufParent[l.ufParent[x]]
+		x = l.ufParent[x]
+	}
+	return x
+}
+
+func (l *Locator) union(a, b intern.PathID) {
+	ra, rb := l.find(a), l.find(b)
+	if ra != rb {
+		l.ufParent[rb] = ra
+	}
+}
+
+// rebuild re-links the union-find from scratch over the current member
+// list — the lazy answer to expiry, which union-find cannot express
+// incrementally. Up-links alone suffice here: every member links its
+// nearest alive ancestor, so no descendant adoption pass is needed.
+func (l *Locator) rebuild() {
+	for _, pid := range l.members {
+		l.ufParent[pid] = pid
+	}
+	for _, pid := range l.members {
+		l.linkNearestAncestor(pid)
+		l.linkNeighbors(pid)
+	}
+}
+
+// components returns the partition of alerting locations into connected
+// areas: device locations join via topology adjacency, and any location
+// joins its alerting ancestors (an alert at a site node spans everything
+// under the site). The partition is cached — a Check where the alerting
+// set did not change returns it untouched — and group order matches the
+// historical from-scratch algorithm: groups by first-seen member in path
+// order, members path-sorted.
+func (l *Locator) components() [][]hierarchy.Path {
+	if !l.setChanged {
+		return l.comps
+	}
+	n := len(l.members)
+	if cap(l.compPathBuf) < n {
+		l.compPathBuf = make([]hierarchy.Path, 0, 2*n)
+	}
+	paths := l.compPathBuf[:n]
+	if l.cfg.DisableConnectivity {
+		for i, pid := range l.members {
+			paths[i] = l.pt.Path(pid)
+		}
+		l.comps = append(l.comps[:0], paths)
+		l.compIDs = append(l.compIDs[:0], l.members)
+		l.setChanged = false
+		l.needRebuild = false
+		return l.comps
+	}
+	if l.needRebuild {
+		l.rebuild()
+		l.needRebuild = false
+	}
+	l.regroup()
+	l.setChanged = false
+	return l.comps
+}
+
+// regroup materializes the cached component lists from the union-find:
+// epoch-tagged root scratch maps each component root to a dense group
+// index in first-seen member order, then a counting pass carves the
+// member list into per-group sub-slices of two reused backing arrays.
+func (l *Locator) regroup() {
+	n := len(l.members)
+	l.groupEpoch++
+	if cap(l.memberGroup) < n {
+		l.memberGroup = make([]int32, 0, 2*n)
+	}
+	mg := l.memberGroup[:n]
+	ng := int32(0)
+	for i, pid := range l.members {
+		r := l.find(pid)
+		if l.rootEpoch[r] != l.groupEpoch {
+			l.rootEpoch[r] = l.groupEpoch
+			l.rootGroup[r] = ng
+			ng++
+		}
+		mg[i] = l.rootGroup[r]
+	}
+	if cap(l.groupSize) < int(ng) {
+		l.groupSize = make([]int32, 0, 2*ng)
+		l.groupOff = make([]int32, 0, 2*ng)
+	}
+	sizes := l.groupSize[:ng]
+	offs := l.groupOff[:ng]
+	for g := range sizes {
+		sizes[g] = 0
+	}
+	for _, g := range mg {
+		sizes[g]++
+	}
+	off := int32(0)
+	for g := range sizes {
+		offs[g] = off
+		off += sizes[g]
+	}
+	if cap(l.compIDBuf) < n {
+		l.compIDBuf = make([]intern.PathID, 0, 2*n)
+	}
+	ids := l.compIDBuf[:n]
+	paths := l.compPathBuf[:n]
+	for i, pid := range l.members {
+		g := mg[i]
+		ids[offs[g]] = pid
+		paths[offs[g]] = l.pt.Path(pid)
+		offs[g]++
+	}
+	l.comps = l.comps[:0]
+	l.compIDs = l.compIDs[:0]
+	start := int32(0)
+	for g := int32(0); g < ng; g++ {
+		end := start + sizes[g]
+		l.comps = append(l.comps, paths[start:end:end])
+		l.compIDs = append(l.compIDs, ids[start:end:end])
+		start = end
+	}
+}
+
 // generate implements Algorithm 2 with component scoping. Per-component
 // type counting runs in parallel; incident creation — ID assignment and
 // absorption — stays serial in component order.
 func (l *Locator) generate(now time.Time) []*incident.Incident {
-	if l.NodeCount() == 0 {
+	if len(l.members) == 0 {
 		return nil
 	}
 	cmR := l.spans.Begin("components")
 	comps := l.components()
 	l.spans.End(cmR, len(comps))
-	type compCount struct{ failureTypes, allTypes int }
-	counts := make([]compCount, len(comps))
+	if cap(l.countBuf) < len(comps) {
+		l.countBuf = make([]compCount, 0, 2*len(comps))
+	}
+	counts := l.countBuf[:len(comps)]
+	l.counts = counts
+	l.growTypeScratch()
 	cf := l.spans.Fork("compcount", len(comps))
-	par.DoTimed(l.workers, len(comps), cf.Timer(), func(i int) {
-		counts[i].failureTypes, counts[i].allTypes = l.countTypes(comps[i])
-	})
+	par.DoTimedWorkers(l.workers, len(comps), cf.Timer(), l.countFn)
 	var created []*incident.Incident
 	for ci, comp := range comps {
 		if !l.cfg.Thresholds.Crossed(counts[ci].failureTypes, counts[ci].allTypes) {
 			continue
 		}
-		root := commonAncestor(comp)
+		root := comp[0].CommonAncestor(comp[len(comp)-1])
 		if l.coveredByActive(root) {
 			continue
 		}
@@ -503,24 +951,34 @@ func (l *Locator) generate(now time.Time) []*incident.Incident {
 			l.recordCreation(in, now, comp, counts[ci].failureTypes, counts[ci].allTypes)
 		}
 		// Copy the component's current alerts into the incident tree.
-		for _, loc := range comp {
-			if n, ok := l.nodeAt(loc); ok {
-				for _, e := range n.entries {
-					in.Add(e.a)
-					if l.prov != nil && len(e.lineage) > 0 {
-						for _, lid := range e.lineage {
-							l.prov.Attributed(lid, in.ID)
-						}
-						e.lineage = e.lineage[:0]
+		for _, pid := range l.compIDs[ci] {
+			n := l.nodeByID(pid)
+			for _, e := range n.entries {
+				in.Add(e.a)
+				if l.prov != nil && len(e.lineage) > 0 {
+					for _, lid := range e.lineage {
+						l.prov.Attributed(lid, in.ID)
 					}
+					e.lineage = e.lineage[:0]
 				}
 			}
 		}
 		l.active = append(l.active, in)
 		created = append(created, in)
 	}
-	sort.Slice(created, func(i, j int) bool { return created[i].ID < created[j].ID })
+	slices.SortFunc(created, func(a, b *incident.Incident) int { return a.ID - b.ID })
 	return created
+}
+
+// growTypeScratch sizes the per-worker epoch sets to the type table.
+func (l *Locator) growTypeScratch() {
+	nt := l.tt.Len()
+	for w := 0; w < l.workers; w++ {
+		if len(l.seenAll[w]) < nt {
+			l.seenAll[w] = append(l.seenAll[w], make([]uint64, nt-len(l.seenAll[w]))...)
+			l.seenFail[w] = append(l.seenFail[w], make([]uint64, nt-len(l.seenFail[w]))...)
+		}
+	}
 }
 
 // provComponentCap bounds the component locations stored on an incident's
@@ -562,131 +1020,68 @@ func (l *Locator) coveredByActive(root hierarchy.Path) bool {
 	return false
 }
 
-// components partitions the alerting locations into connected areas:
-// device locations join via topology adjacency, and any location joins
-// its alerting ancestors (an alert at a site node spans everything under
-// the site).
-func (l *Locator) components() [][]hierarchy.Path {
-	locs := l.locBuf[:0]
-	for s := range l.shards {
-		for p := range l.shards[s].nodes {
-			locs = append(locs, p)
-		}
-	}
-	slices.SortFunc(locs, hierarchy.Path.Compare)
-	l.locBuf = locs
-	if l.cfg.DisableConnectivity {
-		return [][]hierarchy.Path{locs}
-	}
-	idx := make(map[hierarchy.Path]int, len(locs))
-	for i, p := range locs {
-		idx[p] = i
-	}
-	parent := make([]int, len(locs))
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(a, b int) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[rb] = ra
-		}
-	}
-	for i, p := range locs {
-		// Join alerting ancestors.
-		for _, anc := range p.Ancestors() {
-			if j, ok := idx[anc]; ok {
-				union(i, j)
-			}
-		}
-		// Join adjacent alerting devices.
-		if d, ok := l.topo.DeviceByPath(p); ok {
-			for _, nb := range l.topo.Neighbors(d.ID) {
-				if j, ok := idx[l.topo.Device(nb).Path]; ok {
-					union(i, j)
-				}
-			}
-		}
-	}
-	groups := make(map[int][]hierarchy.Path)
-	var order []int
-	for i, p := range locs {
-		r := find(i)
-		if _, ok := groups[r]; !ok {
-			order = append(order, r)
-		}
-		groups[r] = append(groups[r], p)
-	}
-	out := make([][]hierarchy.Path, 0, len(order))
-	for _, r := range order {
-		out = append(out, groups[r])
-	}
-	return out
-}
-
 // countTypes counts distinct failure types and total types over a
-// component, honoring the TypeAndLocation baseline. Read-only; safe to
-// run one goroutine per component.
-func (l *Locator) countTypes(comp []hierarchy.Path) (failureTypes, allTypes int) {
+// component through worker w's epoch-tagged scratch, honoring the
+// TypeAndLocation baseline. Read-only on shared state; safe to run one
+// goroutine per component as long as worker indexes are distinct.
+func (l *Locator) countTypes(w int, comp []intern.PathID) (c compCount) {
 	if l.cfg.TypeAndLocation {
-		for _, loc := range comp {
-			n, _ := l.nodeAt(loc)
+		for _, pid := range comp {
+			n := l.nodeByID(pid)
 			for _, e := range n.entries {
 				switch e.a.Class {
 				case alert.ClassFailure:
-					failureTypes++
-					allTypes++
+					c.failureTypes++
+					c.allTypes++
 				case alert.ClassAbnormal, alert.ClassRootCause:
-					allTypes++
+					c.allTypes++
 				}
 			}
 		}
-		return failureTypes, allTypes
+		return c
 	}
-	failures := map[alert.TypeKey]bool{}
-	all := map[alert.TypeKey]bool{}
-	for _, loc := range comp {
-		n, _ := l.nodeAt(loc)
-		for k, e := range n.entries {
+	l.typeMark[w]++
+	mark := l.typeMark[w]
+	seenAll, seenFail := l.seenAll[w], l.seenFail[w]
+	for _, pid := range comp {
+		n := l.nodeByID(pid)
+		for _, e := range n.entries {
 			switch e.a.Class {
 			case alert.ClassFailure:
-				failures[k.TypeKey()] = true
-				all[k.TypeKey()] = true
+				if seenFail[e.tid] != mark {
+					seenFail[e.tid] = mark
+					c.failureTypes++
+				}
+				if seenAll[e.tid] != mark {
+					seenAll[e.tid] = mark
+					c.allTypes++
+				}
 			case alert.ClassAbnormal, alert.ClassRootCause:
-				all[k.TypeKey()] = true
+				if seenAll[e.tid] != mark {
+					seenAll[e.tid] = mark
+					c.allTypes++
+				}
 			}
 		}
 	}
-	return len(failures), len(all)
-}
-
-func commonAncestor(paths []hierarchy.Path) hierarchy.Path {
-	if len(paths) == 0 {
-		return hierarchy.Root()
-	}
-	ca := paths[0]
-	for _, p := range paths[1:] {
-		ca = ca.CommonAncestor(p)
-	}
-	return ca
+	return c
 }
 
 // Active returns the open incidents ordered by ID. The slice is a fresh
 // copy the caller may reorder or append to; the *incident.Incident
 // elements are shared with the locator and must not be mutated.
 func (l *Locator) Active() []*incident.Incident {
-	out := make([]*incident.Incident, len(l.active))
-	copy(out, l.active)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return l.ActiveAppend(make([]*incident.Incident, 0, len(l.active)))
+}
+
+// ActiveAppend appends the open incidents to dst, oldest first, and
+// returns the extended slice — the allocation-free variant of Active for
+// per-tick callers that reuse a buffer.
+func (l *Locator) ActiveAppend(dst []*incident.Incident) []*incident.Incident {
+	n := len(dst)
+	dst = append(dst, l.active...)
+	slices.SortFunc(dst[n:], func(a, b *incident.Incident) int { return a.ID - b.ID })
+	return dst
 }
 
 // Closed returns incidents that have timed out, in closing order. Like
@@ -722,7 +1117,7 @@ func (l *Locator) ClosedSince(i int) []*incident.Incident {
 func (l *Locator) NodeCount() int {
 	n := 0
 	for i := range l.shards {
-		n += len(l.shards[i].nodes)
+		n += len(l.shards[i].live)
 	}
 	return n
 }

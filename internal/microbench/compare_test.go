@@ -1,0 +1,88 @@
+package microbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(results ...Result) *Report { return &Report{Results: results} }
+
+func TestCompareGatesTimeAndMemory(t *testing.T) {
+	base := report(
+		Result{Name: "a", NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 10},
+		Result{Name: "b", NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 10},
+	)
+
+	t.Run("within tolerance", func(t *testing.T) {
+		cur := report(
+			Result{Name: "a", NsPerOp: 1100, BytesPerOp: 1200, AllocsPerOp: 12},
+			Result{Name: "b", NsPerOp: 900, BytesPerOp: 800, AllocsPerOp: 8},
+		)
+		if regs := Compare(base, cur, 0.15, 0.25); len(regs) != 0 {
+			t.Errorf("want no regressions, got %v", regs)
+		}
+	})
+
+	t.Run("time regression", func(t *testing.T) {
+		cur := report(
+			Result{Name: "a", NsPerOp: 1300, BytesPerOp: 1000, AllocsPerOp: 10},
+			Result{Name: "b", NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 10},
+		)
+		regs := Compare(base, cur, 0.15, 0.25)
+		if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+			t.Errorf("want one ns/op regression, got %v", regs)
+		}
+	})
+
+	t.Run("memory regression", func(t *testing.T) {
+		cur := report(
+			Result{Name: "a", NsPerOp: 1000, BytesPerOp: 2000, AllocsPerOp: 10},
+			Result{Name: "b", NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 20},
+		)
+		regs := Compare(base, cur, 0.15, 0.25)
+		if len(regs) != 2 {
+			t.Fatalf("want 2 regressions, got %v", regs)
+		}
+		if !strings.Contains(regs[0], "bytes/op") || !strings.Contains(regs[1], "allocs/op") {
+			t.Errorf("want bytes/op then allocs/op, got %v", regs)
+		}
+	})
+
+	t.Run("memory gate disabled", func(t *testing.T) {
+		cur := report(
+			Result{Name: "a", NsPerOp: 1000, BytesPerOp: 9000, AllocsPerOp: 90},
+			Result{Name: "b", NsPerOp: 1000, BytesPerOp: 9000, AllocsPerOp: 90},
+		)
+		if regs := Compare(base, cur, 0.15, 0); len(regs) != 0 {
+			t.Errorf("memTol=0 must disable the memory gate, got %v", regs)
+		}
+	})
+
+	t.Run("zero-alloc baseline is a hard floor", func(t *testing.T) {
+		zbase := report(Result{Name: "z", NsPerOp: 100, BytesPerOp: 0, AllocsPerOp: 0})
+		cur := report(Result{Name: "z", NsPerOp: 100, BytesPerOp: 16, AllocsPerOp: 1})
+		regs := Compare(zbase, cur, 0.15, 0.25)
+		if len(regs) != 2 {
+			t.Errorf("growth from a zero baseline must always be reported, got %v", regs)
+		}
+	})
+
+	t.Run("missing benchmark", func(t *testing.T) {
+		cur := report(Result{Name: "a", NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 10})
+		regs := Compare(base, cur, 0.15, 0.25)
+		if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+			t.Errorf("want one missing-benchmark report, got %v", regs)
+		}
+	})
+
+	t.Run("new benchmark ignored", func(t *testing.T) {
+		cur := report(
+			Result{Name: "a", NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 10},
+			Result{Name: "b", NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 10},
+			Result{Name: "new", NsPerOp: 5, BytesPerOp: 5, AllocsPerOp: 5},
+		)
+		if regs := Compare(base, cur, 0.15, 0.25); len(regs) != 0 {
+			t.Errorf("benchmarks new in cur must be ignored, got %v", regs)
+		}
+	})
+}

@@ -70,6 +70,7 @@ var suite = []struct {
 	}},
 	{"preprocessor_stream", benchPreprocessorStream},
 	{"locator_addcheck", benchLocatorAddCheck},
+	{"locator_steady_check", benchLocatorSteadyCheck},
 	{"ftree_classify", benchFTreeClassify},
 	{"wire_codec", benchWireCodec},
 }
@@ -158,10 +159,14 @@ func CollectSpanStages(ticks int) ([]SpanStage, error) {
 
 // Compare checks cur against base: every baseline benchmark whose ns/op
 // regressed by more than tol (fractional — 0.15 means +15%) is reported,
-// as is any baseline benchmark missing from the current run. Benchmarks
-// new in cur are ignored so baselines need not be regenerated to add one.
-// An empty result means the run is within tolerance.
-func Compare(base, cur *Report, tol float64) []string {
+// as is any baseline benchmark missing from the current run. When memTol
+// is positive, bytes/op and allocs/op are gated the same way against
+// memTol (allocation counts are far less noisy than wall time, so memTol
+// is typically tighter in spirit even when numerically larger); memTol
+// <= 0 disables the memory gate. Benchmarks new in cur are ignored so
+// baselines need not be regenerated to add one. An empty result means the
+// run is within tolerance.
+func Compare(base, cur *Report, tol, memTol float64) []string {
 	curBy := make(map[string]Result, len(cur.Results))
 	for _, r := range cur.Results {
 		curBy[r.Name] = r
@@ -173,13 +178,34 @@ func Compare(base, cur *Report, tol float64) []string {
 			out = append(out, fmt.Sprintf("%s: in baseline but missing from current run", b.Name))
 			continue
 		}
-		if b.NsPerOp <= 0 {
-			continue
+		if b.NsPerOp > 0 {
+			if delta := c.NsPerOp/b.NsPerOp - 1; delta > tol {
+				out = append(out, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%, tolerance %+.0f%%)",
+					b.Name, b.NsPerOp, c.NsPerOp, 100*delta, 100*tol))
+			}
 		}
-		if delta := c.NsPerOp/b.NsPerOp - 1; delta > tol {
-			out = append(out, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%, tolerance %+.0f%%)",
-				b.Name, b.NsPerOp, c.NsPerOp, 100*delta, 100*tol))
+		if memTol > 0 {
+			out = appendMemRegression(out, b.Name, "bytes/op", b.BytesPerOp, c.BytesPerOp, memTol)
+			out = appendMemRegression(out, b.Name, "allocs/op", b.AllocsPerOp, c.AllocsPerOp, memTol)
 		}
+	}
+	return out
+}
+
+// appendMemRegression gates one memory metric. A baseline of zero is a
+// hard floor: any growth from zero is reported, since no ratio can
+// express it and a zero-alloc path silently starting to allocate is
+// exactly the regression the gate exists for.
+func appendMemRegression(out []string, name, metric string, base, cur int64, memTol float64) []string {
+	if base == 0 {
+		if cur > 0 {
+			out = append(out, fmt.Sprintf("%s: 0 → %d %s (baseline was allocation-free)", name, cur, metric))
+		}
+		return out
+	}
+	if delta := float64(cur)/float64(base) - 1; delta > memTol {
+		out = append(out, fmt.Sprintf("%s: %d → %d %s (%+.1f%%, tolerance %+.0f%%)",
+			name, base, cur, metric, 100*delta, 100*memTol))
 	}
 	return out
 }
@@ -226,8 +252,10 @@ func benchPreprocessorStream(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, _ := preprocess.Process(preprocess.DefaultConfig(), topo, classifier, raw, 10*time.Second)
-		if len(out) == 0 {
+		n := 0
+		preprocess.ProcessFunc(preprocess.DefaultConfig(), topo, classifier, raw, 10*time.Second,
+			func(batch []alert.Alert) { n += len(batch) })
+		if n == 0 {
 			b.Fatal("no output")
 		}
 	}
@@ -244,6 +272,26 @@ func benchLocatorAddCheck(b *testing.B) {
 			loc.Add(alerts[j])
 		}
 		loc.Check(benchEpoch.Add(time.Minute))
+	}
+}
+
+// benchLocatorSteadyCheck measures a Check with no alert-set change — the
+// incremental connectivity path, where the cached component partition is
+// reused and only thresholding runs. This is the per-tick steady-state
+// cost during a long-lived flood.
+func benchLocatorSteadyCheck(b *testing.B) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	alerts := experiments.SyntheticStructuredAlerts(topo, 40000, 1)
+	loc := locator.New(locator.DefaultConfig(), topo)
+	for j := range alerts {
+		loc.Add(alerts[j])
+	}
+	now := benchEpoch.Add(time.Minute)
+	loc.Check(now)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loc.Check(now)
 	}
 }
 

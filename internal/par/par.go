@@ -67,6 +67,59 @@ func Do(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// DoWorkers is Do with the claiming worker's index passed alongside the
+// task index — for fan-outs whose tasks share per-worker scratch buffers
+// (the locator's type-counting epoch arrays). Worker indexes are in
+// [0, workers); with workers <= 1 or n <= 1 every task runs inline, in
+// order, as worker 0.
+func DoWorkers(workers, n int, fn func(worker, task int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// DoTimedWorkers is DoWorkers with DoTimed's per-task timing callback.
+// A nil done is exactly DoWorkers.
+func DoTimedWorkers(workers, n int, done func(i int, start time.Time, d time.Duration), fn func(worker, task int)) {
+	if done == nil {
+		DoWorkers(workers, n, fn)
+		return
+	}
+	DoWorkers(workers, n, func(worker, task int) {
+		start := time.Now()
+		fn(worker, task)
+		done(task, start, time.Since(start))
+	})
+}
+
 // DoTimed is Do with per-task timing: after each task completes, done is
 // called with the task index, the instant a worker picked it up, and how
 // long it ran. done is invoked on the worker's goroutine, concurrently

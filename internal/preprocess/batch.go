@@ -1,7 +1,7 @@
 package preprocess
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"skynet/internal/alert"
@@ -10,40 +10,77 @@ import (
 )
 
 // Batch helpers for experiments and trace replay. The streaming API (Add/
-// Tick) is the production path; Process wraps it for offline corpora.
+// Tick) is the production path; ProcessFunc and Process wrap it for
+// offline corpora.
 
-// Process runs a whole raw-alert slice through a fresh preprocessor,
-// ticking at the given interval, and returns the structured output plus
-// final stats. Alerts are processed in timestamp order.
-func Process(cfg Config, topo *topology.Topology, classifier *ftree.Classifier,
-	raw []alert.Alert, tick time.Duration) ([]alert.Alert, Stats) {
+// ProcessFunc runs a whole raw-alert slice through a fresh preprocessor,
+// ticking at the given interval, and calls fn with every non-empty batch
+// of structured output. Alerts are processed in timestamp order (ties
+// keep their input order). The batch slice passed to fn is reused by the
+// next tick; fn must copy alerts it retains.
+//
+// The raw slice itself is neither copied nor reordered: ordering is done
+// through a sorted index array, so the only per-corpus allocation here is
+// 4 bytes per raw alert.
+func ProcessFunc(cfg Config, topo *topology.Topology, classifier *ftree.Classifier,
+	raw []alert.Alert, tick time.Duration, fn func([]alert.Alert)) Stats {
 	if tick <= 0 {
 		tick = 10 * time.Second
 	}
-	sorted := make([]alert.Alert, len(raw))
-	copy(sorted, raw)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
-
 	p := New(cfg, topo, classifier)
-	var out []alert.Alert
-	if len(sorted) == 0 {
-		return nil, p.Stats()
+	if len(raw) == 0 {
+		return p.Stats()
 	}
-	next := sorted[0].Time.Add(tick)
-	for _, a := range sorted {
+	idx := make([]int32, len(raw))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortFunc(idx, func(i, j int32) int {
+		ti, tj := raw[i].Time, raw[j].Time
+		if ti.Before(tj) {
+			return -1
+		}
+		if tj.Before(ti) {
+			return 1
+		}
+		// Equal timestamps keep input order — the stability guarantee.
+		if i < j {
+			return -1
+		}
+		return 1
+	})
+	emit := func(batch []alert.Alert) {
+		if len(batch) > 0 {
+			fn(batch)
+		}
+	}
+	next := raw[idx[0]].Time.Add(tick)
+	for _, ix := range idx {
+		a := &raw[ix]
 		for a.Time.After(next) {
-			out = append(out, p.Tick(next)...)
+			emit(p.Tick(next))
 			next = next.Add(tick)
 		}
-		p.Add(a)
+		p.Add(*a)
 	}
-	end := sorted[len(sorted)-1].Time
+	end := raw[idx[len(idx)-1]].Time
 	for !next.After(end.Add(cfg.AggWindow)) {
-		out = append(out, p.Tick(next)...)
+		emit(p.Tick(next))
 		next = next.Add(tick)
 	}
-	out = append(out, p.Drain(next)...)
-	return out, p.Stats()
+	emit(p.Drain(next))
+	return p.Stats()
+}
+
+// Process is ProcessFunc with the output batches accumulated into one
+// slice, for callers that want the whole structured corpus at once.
+func Process(cfg Config, topo *topology.Topology, classifier *ftree.Classifier,
+	raw []alert.Alert, tick time.Duration) ([]alert.Alert, Stats) {
+	var out []alert.Alert
+	stats := ProcessFunc(cfg, topo, classifier, raw, tick, func(batch []alert.Alert) {
+		out = append(out, batch...)
+	})
+	return out, stats
 }
 
 // SyslogCorpus extracts the raw lines of syslog alerts, the training input

@@ -38,6 +38,7 @@ import (
 	"skynet/internal/alert"
 	"skynet/internal/ftree"
 	"skynet/internal/hierarchy"
+	"skynet/internal/intern"
 	"skynet/internal/par"
 	"skynet/internal/provenance"
 	"skynet/internal/span"
@@ -112,18 +113,21 @@ type Stats struct {
 
 // aggKey identifies one aggregate: one alert stream at one location.
 // Streams of the same type on different circuit sets stay separate so the
-// evaluator's per-set ratios survive consolidation.
+// evaluator's per-set ratios survive consolidation. All three parts are
+// dense interned IDs (circuit sets included), so hashing a key is a
+// 12-byte memhash with no string walk at all.
 type aggKey struct {
-	src alert.Source
-	typ string
-	loc hierarchy.Path
-	cs  string
+	pid intern.PathID
+	tid intern.TypeID
+	cs  int32
 }
 
 // aggregate is one live (source, type, location) stream.
 type aggregate struct {
+	key      aggKey
 	a        alert.Alert
 	emitted  bool
+	dead     bool // swept away; awaiting key-list compaction
 	lastEmit time.Time
 	lastSeen time.Time
 	// emittedCount is how many raw observations have been reported
@@ -137,15 +141,17 @@ type aggregate struct {
 }
 
 // preShard owns a disjoint subset of the aggregates, selected by hashing
-// the aggregate key. Exactly one worker touches a shard per phase.
+// the aggregate's location. Exactly one worker touches a shard per phase.
 type preShard struct {
 	aggs map[aggKey]*aggregate
-	// keys mirrors the map's key set in lessAggKey order, maintained
-	// incrementally so Tick never re-sorts the full population.
-	keys []aggKey
+	// keys mirrors the map's value set in emission order, maintained
+	// incrementally so Tick never re-sorts the full population. Holding
+	// the aggregates directly lets the sweep and the k-way merge walk the
+	// population with zero map lookups.
+	keys []*aggregate
 
 	// per-tick scratch, merged into Stats serially after each phase
-	newKeys []aggKey
+	newAggs []*aggregate
 	dedup   int
 	routed  int // batch alerts consolidated into this shard last Tick
 	deleted int // sweep deletions pending key-list compaction
@@ -154,20 +160,23 @@ type preShard struct {
 	provAbsorbed []provenance.Pair
 }
 
-// prepared is the phase-A output for one buffered raw alert: normalized
-// and routed, or dropped.
+// prepared is the phase-A output for one buffered raw alert: normalized,
+// or dropped. IDs and shard routing are filled by the serial intern pass
+// between the phases.
 type prepared struct {
 	a          alert.Alert
 	lin        uint64 // provenance lineage (0 when recording is off)
+	pid        intern.PathID
+	tid        intern.TypeID
+	cs         int32 // interned CircuitSet (0 = none)
 	shard      int32
 	drop       bool // unclassifiable syslog
 	classified bool // typed through an FT-tree template this tick
 }
 
 // chunkScratch is the phase-A per-worker scratch; slot i belongs to chunk
-// i, so no two goroutines share a map.
+// i, so no two goroutines share state.
 type chunkScratch struct {
-	corro               map[hierarchy.Path]time.Time
 	droppedUnclassified int
 }
 
@@ -197,9 +206,22 @@ type Preprocessor struct {
 
 	shards []preShard
 
+	// pt/tt intern locations and (source, type) pairs into dense IDs.
+	// Single-writer: Intern is only called from the serial pass between
+	// the parallel phases; the per-PathID tables below grow in lockstep.
+	pt *intern.PathTable
+	tt *intern.TypeTable
+	// routeOf maps PathID → owning shard; corroOf maps PathID → the
+	// PathID of its ancestor at CorroborationLevel.
+	routeOf []int32
+	corroOf []intern.PathID
+	// csIDs interns circuit-set strings; 0 is reserved for "no set" so
+	// the common case skips the map entirely.
+	csIDs map[string]int32
+
 	// corro records recent corroborating evidence per corroboration-level
 	// location: the last time a failure/root-cause alert was seen there.
-	corro map[hierarchy.Path]time.Time
+	corro map[intern.PathID]time.Time
 
 	stats  Stats
 	nextID uint64
@@ -222,17 +244,31 @@ func New(cfg Config, topo *topology.Topology, classifier *ftree.Classifier) *Pre
 		classifier: classifier,
 		workers:    workers,
 		shards:     make([]preShard, workers),
-		corro:      make(map[hierarchy.Path]time.Time),
+		pt:         intern.NewPathTable(),
+		tt:         intern.NewTypeTable(),
+		csIDs:      make(map[string]int32),
+		corro:      make(map[intern.PathID]time.Time),
 		chunks:     make([]chunkScratch, workers),
 		cursors:    make([]int, workers),
 	}
 	for i := range p.shards {
 		p.shards[i].aggs = make(map[aggKey]*aggregate)
 	}
-	for i := range p.chunks {
-		p.chunks[i].corro = make(map[hierarchy.Path]time.Time)
-	}
 	return p
+}
+
+// growTables extends the per-PathID tables to cover newly interned
+// paths. Serial pass only, never during a parallel phase.
+func (p *Preprocessor) growTables() {
+	for id := len(p.routeOf); id < p.pt.Len(); id++ {
+		pid := intern.PathID(id)
+		p.routeOf = append(p.routeOf, int32(shardIndex(p.pt.Path(pid), p.workers)))
+		corro := pid
+		for p.pt.Depth(corro) > int(p.cfg.CorroborationLevel) {
+			corro = p.pt.Parent(corro)
+		}
+		p.corroOf = append(p.corroOf, corro)
+	}
 }
 
 // Workers reports the resolved fan-out width (shard count).
@@ -285,8 +321,10 @@ func (p *Preprocessor) Add(a alert.Alert) {
 }
 
 // absorb ingests the pending batch into the aggregate shards: phase A
-// classifies and normalizes every alert in parallel, phase B consolidates
-// each shard's alerts in arrival order under a single owner.
+// classifies and normalizes every alert in parallel, a serial pass
+// interns IDs and collects corroboration evidence, and phase B
+// consolidates each shard's alerts in arrival order under a single
+// owner.
 func (p *Preprocessor) absorb() {
 	n := len(p.pending)
 	if n == 0 {
@@ -319,36 +357,49 @@ func (p *Preprocessor) absorb() {
 			} else {
 				p.prep[i].lin = 0
 			}
-			p.prepare(&p.pending[i], &p.prep[i], scratch, nshards)
+			p.prepare(&p.pending[i], &p.prep[i], scratch)
 		}
 	})
-	// Resolve phase-A provenance serially: unclassifiable syslog lines are
-	// terminal here; classified ones record their matched template.
-	if p.prov != nil {
-		for i := range p.prep {
-			it := &p.prep[i]
-			if it.lin == 0 {
-				continue
-			}
-			if it.drop {
+	// Serial pass: intern IDs (single-writer tables), route to shards,
+	// record corroboration evidence (max observation time per location),
+	// resolve phase-A provenance, and merge drop counters.
+	for i := range p.prep {
+		it := &p.prep[i]
+		if it.drop {
+			if p.prov != nil && it.lin != 0 {
 				p.prov.Filtered(it.lin, provenance.FilterUnclassified)
-			} else if it.classified {
-				p.prov.SetTemplate(it.lin, it.a.Type)
 			}
+			continue
+		}
+		a := &it.a
+		it.pid = p.pt.Intern(a.Location)
+		it.tid = p.tt.Intern(alert.TypeKey{Source: a.Source, Type: a.Type})
+		it.cs = 0
+		if a.CircuitSet != "" {
+			id, ok := p.csIDs[a.CircuitSet]
+			if !ok {
+				id = int32(len(p.csIDs)) + 1
+				p.csIDs[a.CircuitSet] = id
+			}
+			it.cs = id
+		}
+		if p.pt.Len() > len(p.routeOf) {
+			p.growTables()
+		}
+		it.shard = p.routeOf[it.pid]
+		if a.Class == alert.ClassFailure || a.Class == alert.ClassRootCause {
+			key := p.corroOf[it.pid]
+			if t, ok := p.corro[key]; !ok || a.Time.After(t) {
+				p.corro[key] = a.Time
+			}
+		}
+		if p.prov != nil && it.lin != 0 && it.classified {
+			p.prov.SetTemplate(it.lin, a.Type)
 		}
 	}
-	// Merge corroboration evidence (max observation time per location —
-	// commutative, so chunk order cannot matter) and drop counters.
 	for c := 0; c < nchunks; c++ {
-		scratch := &p.chunks[c]
-		for loc, at := range scratch.corro {
-			if t, ok := p.corro[loc]; !ok || at.After(t) {
-				p.corro[loc] = at
-			}
-		}
-		clear(scratch.corro)
-		p.stats.DroppedUnclassified += scratch.droppedUnclassified
-		scratch.droppedUnclassified = 0
+		p.stats.DroppedUnclassified += p.chunks[c].droppedUnclassified
+		p.chunks[c].droppedUnclassified = 0
 	}
 
 	// Phase B: per-shard consolidation. Each worker scans the prepared
@@ -359,18 +410,18 @@ func (p *Preprocessor) absorb() {
 	par.DoTimed(p.workers, nshards, sf.Timer(), func(s int) {
 		shard := &p.shards[s]
 		shard.dedup, shard.routed = 0, 0
-		shard.newKeys = shard.newKeys[:0]
+		shard.newAggs = shard.newAggs[:0]
 		for i := range p.prep {
 			it := &p.prep[i]
 			if it.drop || int(it.shard) != s {
 				continue
 			}
 			shard.routed++
-			p.consolidate(shard, &it.a, it.lin)
+			p.consolidate(shard, it)
 		}
-		if len(shard.newKeys) > 0 {
-			slices.SortFunc(shard.newKeys, compareAggKey)
-			shard.keys = mergeSortedKeys(shard.keys, shard.newKeys)
+		if len(shard.newAggs) > 0 {
+			slices.SortFunc(shard.newAggs, cmpAgg)
+			shard.keys = mergeSortedAggs(shard.keys, shard.newAggs)
 		}
 	})
 	for s := range p.shards {
@@ -385,23 +436,26 @@ func (p *Preprocessor) absorb() {
 }
 
 // prepare runs the order-independent per-alert work: syslog
-// classification, class/count/end normalization, corroboration evidence
-// collection, and shard routing.
-func (p *Preprocessor) prepare(in *alert.Alert, out *prepared, scratch *chunkScratch, nshards int) {
-	a := *in
+// classification and class/count/end normalization.
+func (p *Preprocessor) prepare(in *alert.Alert, out *prepared, scratch *chunkScratch) {
 	out.classified = false
-	// Syslog classification: free text → type via FT-tree.
-	if a.Source == alert.SourceSyslog && a.Type == "" {
-		typ, ok := p.classify(a.Raw)
+	// Syslog classification: free text → type via FT-tree. Decided
+	// before the copy so dropped alerts never pay for one.
+	if in.Source == alert.SourceSyslog && in.Type == "" {
+		typ, ok := p.classify(in.Raw)
 		if !ok {
 			scratch.droppedUnclassified++
 			out.drop = true
 			return
 		}
-		a.Type = typ
-		a.Class = alert.Classify(a.Source, typ)
+		out.a = *in
+		out.a.Type = typ
+		out.a.Class = alert.Classify(in.Source, typ)
 		out.classified = true
+	} else {
+		out.a = *in
 	}
+	a := &out.a
 	if a.Class == alert.ClassInfo && alert.Classify(a.Source, a.Type) != alert.ClassInfo {
 		// Normalize class from the catalog when the producer left it
 		// unset.
@@ -413,24 +467,16 @@ func (p *Preprocessor) prepare(in *alert.Alert, out *prepared, scratch *chunkScr
 	if a.End.Before(a.Time) {
 		a.End = a.Time
 	}
-	// Record corroborating evidence for the cross-source rule.
-	if a.Class == alert.ClassFailure || a.Class == alert.ClassRootCause {
-		key := a.Location.Truncate(p.cfg.CorroborationLevel)
-		if t, ok := scratch.corro[key]; !ok || a.Time.After(t) {
-			scratch.corro[key] = a.Time
-		}
-	}
-	out.a = a
 	out.drop = false
-	out.shard = int32(shardIndex(aggKey{a.Source, a.Type, a.Location, a.CircuitSet}, nshards))
 }
 
 // consolidate applies consolidation 1 (identical alerts absorb) for one
-// normalized alert within its owning shard. lid is the alert's provenance
-// lineage (0 when recording is off); absorptions are staged in shard
-// scratch because this runs in the parallel phase.
-func (p *Preprocessor) consolidate(shard *preShard, a *alert.Alert, lid uint64) {
-	k := aggKey{a.Source, a.Type, a.Location, a.CircuitSet}
+// normalized alert within its owning shard. it.lin is the alert's
+// provenance lineage (0 when recording is off); absorptions are staged in
+// shard scratch because this runs in the parallel phase.
+func (p *Preprocessor) consolidate(shard *preShard, it *prepared) {
+	a := &it.a
+	k := aggKey{pid: it.pid, tid: it.tid, cs: it.cs}
 	if g, ok := shard.aggs[k]; ok {
 		shard.dedup++
 		if a.End.After(g.a.End) {
@@ -441,14 +487,15 @@ func (p *Preprocessor) consolidate(shard *preShard, a *alert.Alert, lid uint64) 
 		}
 		g.a.Count += a.Count
 		g.lastSeen = a.Time
-		if lid != 0 {
-			shard.provAbsorbed = append(shard.provAbsorbed, provenance.Pair{Lid: lid, Head: g.headLineage})
+		if it.lin != 0 {
+			shard.provAbsorbed = append(shard.provAbsorbed, provenance.Pair{Lid: it.lin, Head: g.headLineage})
 		}
 		return
 	}
 	suspended := a.Type == alert.TypeTrafficDrop && !p.cfg.DisableCrossSource
-	shard.aggs[k] = &aggregate{a: *a, lastSeen: a.Time, suspended: suspended, headLineage: lid}
-	shard.newKeys = append(shard.newKeys, k)
+	g := &aggregate{key: k, a: *a, lastSeen: a.Time, suspended: suspended, headLineage: it.lin}
+	shard.aggs[k] = g
+	shard.newAggs = append(shard.newAggs, g)
 }
 
 // classify runs the FT-tree classifier over a raw line. The classifier is
@@ -477,7 +524,7 @@ func (p *Preprocessor) Tick(now time.Time) []alert.Alert {
 	// the related-surge decisions are identical for every worker count.
 	swR := p.spans.Begin("sweep")
 	p.emitBuf = p.emitBuf[:0]
-	p.sweep(now, func(shard *preShard, k aggKey, g *aggregate) {
+	p.sweep(now, func(shard *preShard, g *aggregate) {
 		if now.Sub(g.lastSeen) > p.cfg.AggWindow {
 			// Aggregate went quiet: account for the never-emitted ones.
 			if !g.emitted {
@@ -492,7 +539,8 @@ func (p *Preprocessor) Tick(now time.Time) []alert.Alert {
 					p.resolveFiltered(g, provenance.FilterStale)
 				}
 			}
-			delete(shard.aggs, k)
+			delete(shard.aggs, g.key)
+			g.dead = true
 			shard.deleted++
 			return
 		}
@@ -518,10 +566,12 @@ func (p *Preprocessor) Tick(now time.Time) []alert.Alert {
 	return p.emitBuf
 }
 
-// sweep visits every live aggregate in global lessAggKey order. The
-// visitor may delete the current aggregate from its shard (bumping
-// shard.deleted); compactKeys reconciles the key lists afterwards.
-func (p *Preprocessor) sweep(now time.Time, visit func(shard *preShard, k aggKey, g *aggregate)) {
+// sweep visits every live aggregate in global emission order (a k-way
+// merge over the shards' sorted aggregate lists — no map lookups). The
+// visitor may delete the current aggregate from its shard (marking it
+// dead and bumping shard.deleted); compactKeys reconciles the lists
+// afterwards.
+func (p *Preprocessor) sweep(now time.Time, visit func(shard *preShard, g *aggregate)) {
 	cursors := p.cursors
 	for i := range cursors {
 		cursors[i] = 0
@@ -533,7 +583,7 @@ func (p *Preprocessor) sweep(now time.Time, visit func(shard *preShard, k aggKey
 			if cursors[s] >= len(keys) {
 				continue
 			}
-			if best < 0 || lessAggKey(keys[cursors[s]], p.shards[best].keys[cursors[best]]) {
+			if best < 0 || cmpAgg(keys[cursors[s]], p.shards[best].keys[cursors[best]]) < 0 {
 				best = s
 			}
 		}
@@ -541,16 +591,14 @@ func (p *Preprocessor) sweep(now time.Time, visit func(shard *preShard, k aggKey
 			return
 		}
 		shard := &p.shards[best]
-		k := shard.keys[cursors[best]]
+		g := shard.keys[cursors[best]]
 		cursors[best]++
-		if g, ok := shard.aggs[k]; ok {
-			visit(shard, k, g)
-		}
+		visit(shard, g)
 	}
 }
 
-// compactKeys drops swept-away keys from each shard's sorted list, in
-// parallel — each shard is owned by one task.
+// compactKeys drops swept-away aggregates from each shard's sorted list,
+// in parallel — each shard is owned by one task.
 func (p *Preprocessor) compactKeys() {
 	par.Do(p.workers, len(p.shards), func(s int) {
 		shard := &p.shards[s]
@@ -558,10 +606,13 @@ func (p *Preprocessor) compactKeys() {
 			return
 		}
 		kept := shard.keys[:0]
-		for _, k := range shard.keys {
-			if _, ok := shard.aggs[k]; ok {
-				kept = append(kept, k)
+		for _, g := range shard.keys {
+			if !g.dead {
+				kept = append(kept, g)
 			}
+		}
+		for i := len(kept); i < len(shard.keys); i++ {
+			shard.keys[i] = nil // release dead aggregates to the GC
 		}
 		shard.keys = kept
 		shard.deleted = 0
@@ -573,7 +624,7 @@ func (p *Preprocessor) compactKeys() {
 func (p *Preprocessor) pass(g *aggregate, now time.Time) bool {
 	// Cross-source rule: traffic drops wait for corroboration.
 	if g.suspended {
-		key := g.a.Location.Truncate(p.cfg.CorroborationLevel)
+		key := p.corroOf[g.key.pid]
 		if t, ok := p.corro[key]; ok && absDuration(t.Sub(g.a.Time)) <= p.cfg.CorroborationWindow {
 			g.suspended = false
 			return true
@@ -613,17 +664,17 @@ func (p *Preprocessor) isSporadic(g *aggregate) bool {
 
 // adjacentSurgeEmitted checks whether a surge at a topologically adjacent
 // device has already been emitted. The existence scan is order-free, so
-// the shards' random map iteration cannot change the answer.
+// shard iteration order cannot change the answer.
 func (p *Preprocessor) adjacentSurgeEmitted(g *aggregate) bool {
 	if p.topo == nil {
 		return false
 	}
 	for s := range p.shards {
-		for k, other := range p.shards[s].aggs {
-			if k.typ != alert.TypeTrafficSurge || !other.emitted || other == g {
+		for _, other := range p.shards[s].keys {
+			if other.dead || other.a.Type != alert.TypeTrafficSurge || !other.emitted || other == g {
 				continue
 			}
-			if p.topo.Adjacent(g.a.Location, k.loc) {
+			if p.topo.Adjacent(g.a.Location, other.a.Location) {
 				return true
 			}
 		}
@@ -664,7 +715,7 @@ func (p *Preprocessor) Drain(now time.Time) []alert.Alert {
 	}
 	p.absorb()
 	p.emitBuf = p.emitBuf[:0]
-	p.sweep(now, func(shard *preShard, k aggKey, g *aggregate) {
+	p.sweep(now, func(shard *preShard, g *aggregate) {
 		if !g.emitted && !g.suspended && !p.isSporadic(g) {
 			p.emitBuf = append(p.emitBuf, p.emit(g, now))
 		} else if g.headLineage != 0 {
@@ -677,17 +728,19 @@ func (p *Preprocessor) Drain(now time.Time) []alert.Alert {
 				p.resolveFiltered(g, provenance.FilterStale)
 			}
 		}
-		delete(shard.aggs, k)
+		delete(shard.aggs, g.key)
+		g.dead = true
 		shard.deleted++
 	})
 	p.compactKeys()
 	return p.emitBuf
 }
 
-// shardIndex routes an aggregate key to its owning shard with an FNV-1a
-// hash over the key's fields. Routing only affects which goroutine owns
-// the aggregate, never the output.
-func shardIndex(k aggKey, n int) int {
+// shardIndex routes a location to its owning shard with an FNV-1a hash
+// over the path segments. Routing only affects which goroutine owns an
+// aggregate, never the output; all streams at one location share a
+// shard.
+func shardIndex(p hierarchy.Path, n int) int {
 	if n == 1 {
 		return 0
 	}
@@ -696,7 +749,8 @@ func shardIndex(k aggKey, n int) int {
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	mix := func(s string) {
+	for l := 1; l <= p.Depth(); l++ {
+		s := p.Segment(hierarchy.Level(l))
 		for i := 0; i < len(s); i++ {
 			h ^= uint64(s[i])
 			h *= prime64
@@ -704,19 +758,12 @@ func shardIndex(k aggKey, n int) int {
 		h ^= 0xff // segment terminator so ("ab","c") != ("a","bc")
 		h *= prime64
 	}
-	h ^= uint64(k.src)
-	h *= prime64
-	mix(k.typ)
-	for l := 1; l <= k.loc.Depth(); l++ {
-		mix(k.loc.Segment(hierarchy.Level(l)))
-	}
-	mix(k.cs)
 	return int(h % uint64(n))
 }
 
-// mergeSortedKeys merges two lessAggKey-sorted, disjoint key lists into
-// one, in place on dst's backing array when capacity allows.
-func mergeSortedKeys(dst, add []aggKey) []aggKey {
+// mergeSortedAggs merges two cmpAgg-sorted, disjoint aggregate lists
+// into one, in place on dst's backing array when capacity allows.
+func mergeSortedAggs(dst, add []*aggregate) []*aggregate {
 	if len(add) == 0 {
 		return dst
 	}
@@ -727,7 +774,7 @@ func mergeSortedKeys(dst, add []aggKey) []aggKey {
 	dst = append(dst, add...) // grow; tail will be overwritten by the merge
 	i, j, w := n-1, m-1, n+m-1
 	for j >= 0 {
-		if i >= 0 && lessAggKey(add[j], dst[i]) {
+		if i >= 0 && cmpAgg(add[j], dst[i]) < 0 {
 			dst[w] = dst[i]
 			i--
 		} else {
@@ -739,29 +786,27 @@ func mergeSortedKeys(dst, add []aggKey) []aggKey {
 	return dst
 }
 
-// lessAggKey orders aggregate keys for deterministic iteration.
-func lessAggKey(a, b aggKey) bool { return compareAggKey(a, b) < 0 }
-
-// compareAggKey orders aggregate keys: source, type, location, circuit
-// set.
-func compareAggKey(a, b aggKey) int {
-	if a.src != b.src {
-		if a.src < b.src {
+// cmpAgg orders aggregates for deterministic emission: source, type,
+// location, circuit set — the same order the aggKey sort used before
+// keys were interned, so output order is unchanged.
+func cmpAgg(x, y *aggregate) int {
+	if x.a.Source != y.a.Source {
+		if x.a.Source < y.a.Source {
 			return -1
 		}
 		return 1
 	}
-	if a.typ != b.typ {
-		if a.typ < b.typ {
+	if x.a.Type != y.a.Type {
+		if x.a.Type < y.a.Type {
 			return -1
 		}
 		return 1
 	}
-	if c := a.loc.Compare(b.loc); c != 0 {
+	if c := x.a.Location.Compare(y.a.Location); c != 0 {
 		return c
 	}
-	if a.cs != b.cs {
-		if a.cs < b.cs {
+	if x.a.CircuitSet != y.a.CircuitSet {
+		if x.a.CircuitSet < y.a.CircuitSet {
 			return -1
 		}
 		return 1

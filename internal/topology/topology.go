@@ -14,6 +14,7 @@ package topology
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"skynet/internal/hierarchy"
 )
@@ -160,6 +161,13 @@ type Topology struct {
 	devLinks [][]LinkID
 	groups   map[string][]DeviceID
 	clusters []hierarchy.Path
+
+	// csUnder memoizes CircuitSetsUnder per scope path. The topology is
+	// immutable after construction, so entries never invalidate; the
+	// evaluator calls this once per scored incident, and a full
+	// Sets-scan-plus-sort per call dominated scoring on wide scopes.
+	csUnderMu sync.RWMutex
+	csUnder   map[hierarchy.Path][]string
 }
 
 // NumDevices returns the device count.
@@ -214,9 +222,15 @@ func (t *Topology) Customer(id CustomerID) *Customer { return &t.Customers[id] }
 func (t *Topology) CircuitSet(name string) *CircuitSet { return t.Sets[name] }
 
 // CircuitSetsUnder returns the names of circuit sets with at least one
-// endpoint device located under the given hierarchy path, sorted.
+// endpoint device located under the given hierarchy path, sorted. The
+// returned slice is shared and memoized; callers must not modify it.
 func (t *Topology) CircuitSetsUnder(p hierarchy.Path) []string {
-	var out []string
+	t.csUnderMu.RLock()
+	out, ok := t.csUnder[p]
+	t.csUnderMu.RUnlock()
+	if ok {
+		return out
+	}
 	for name, cs := range t.Sets {
 		l := &t.Links[cs.Link]
 		if p.Contains(t.Devices[l.A].Path) || p.Contains(t.Devices[l.B].Path) {
@@ -224,6 +238,12 @@ func (t *Topology) CircuitSetsUnder(p hierarchy.Path) []string {
 		}
 	}
 	sort.Strings(out)
+	t.csUnderMu.Lock()
+	if t.csUnder == nil {
+		t.csUnder = make(map[hierarchy.Path][]string)
+	}
+	t.csUnder[p] = out
+	t.csUnderMu.Unlock()
 	return out
 }
 
