@@ -20,6 +20,7 @@ import (
 	"skynet/internal/core"
 	"skynet/internal/evaluator"
 	"skynet/internal/experiments"
+	"skynet/internal/flood"
 	"skynet/internal/hierarchy"
 	"skynet/internal/incident"
 	"skynet/internal/locator"
@@ -221,8 +222,9 @@ var telemetryDump = flag.String("telemetrydump", "",
 // over a severe-failure alert batch. With a nil registry it measures the
 // bare pipeline; with one attached it measures the instrumented path, so
 // the pair bounds the telemetry overhead. A lineage recorder likewise
-// bounds the provenance overhead, and a span tracer the tracing overhead.
-func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal *telemetry.Journal, rec *provenance.Recorder, tracer *span.Tracer) {
+// bounds the provenance overhead, a span tracer the tracing overhead,
+// and a flood recorder the episode-tagging overhead.
+func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal *telemetry.Journal, rec *provenance.Recorder, tracer *span.Tracer, fl *flood.Recorder) {
 	topo := topology.MustGenerate(topology.SmallConfig())
 	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
 	classifier, err := preprocess.BootstrapClassifier()
@@ -241,6 +243,9 @@ func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal
 	if tracer != nil {
 		eng.EnableTracing(tracer)
 	}
+	if fl != nil {
+		eng.EnableFlood(fl)
+	}
 	now := benchEpoch
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -257,29 +262,38 @@ func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal
 
 // BenchmarkEngineTick measures an uninstrumented ingest+tick round with
 // the default worker fan-out (all cores).
-func BenchmarkEngineTick(b *testing.B) { benchEngineTick(b, 0, nil, nil, nil, nil) }
+func BenchmarkEngineTick(b *testing.B) { benchEngineTick(b, 0, nil, nil, nil, nil, nil) }
 
 // BenchmarkEngineTickSerial pins the pipeline to one worker — the serial
 // reference the parallel path must match bit-for-bit (see
 // TestEngineDeterministicAcrossWorkers).
-func BenchmarkEngineTickSerial(b *testing.B) { benchEngineTick(b, 1, nil, nil, nil, nil) }
+func BenchmarkEngineTickSerial(b *testing.B) { benchEngineTick(b, 1, nil, nil, nil, nil, nil) }
 
 // BenchmarkEngineTickWorkers4 forces four workers regardless of core
 // count, exposing the goroutine fan-out overhead when oversubscribed.
-func BenchmarkEngineTickWorkers4(b *testing.B) { benchEngineTick(b, 4, nil, nil, nil, nil) }
+func BenchmarkEngineTickWorkers4(b *testing.B) { benchEngineTick(b, 4, nil, nil, nil, nil, nil) }
 
 // BenchmarkEngineTickProvenance is BenchmarkEngineTick with the lineage
 // recorder attached at the default 1-in-16 sampling; the delta between
 // the two is the provenance cost per tick (acceptance bound: within 5%).
 func BenchmarkEngineTickProvenance(b *testing.B) {
-	benchEngineTick(b, 0, nil, nil, provenance.New(provenance.Config{}), nil)
+	benchEngineTick(b, 0, nil, nil, provenance.New(provenance.Config{}), nil, nil)
 }
 
 // BenchmarkEngineTickSpans is BenchmarkEngineTick with the span tracer
 // attached; the delta between the two is the tracing cost per tick
 // (acceptance bound: within 2%, see bench_results.txt).
 func BenchmarkEngineTickSpans(b *testing.B) {
-	benchEngineTick(b, 0, nil, nil, nil, span.NewTracer(0))
+	benchEngineTick(b, 0, nil, nil, nil, span.NewTracer(0), nil)
+}
+
+// BenchmarkEngineTickFlood is BenchmarkEngineTick with the flood-episode
+// recorder attached; the delta between the two is the episode-tagging
+// cost per tick (acceptance bound: within 2%, see bench_results.txt).
+// The synthetic batch rate keeps an episode open for the whole run, so
+// this measures the recorder's worst case: every tick aggregates.
+func BenchmarkEngineTickFlood(b *testing.B) {
+	benchEngineTick(b, 0, nil, nil, nil, nil, flood.New(flood.Config{}))
 }
 
 // BenchmarkEngineTickTelemetry is BenchmarkEngineTick with the metrics
@@ -287,7 +301,7 @@ func BenchmarkEngineTickSpans(b *testing.B) {
 // the telemetry cost per tick (acceptance bound: within 5%).
 func BenchmarkEngineTickTelemetry(b *testing.B) {
 	reg := telemetry.New()
-	benchEngineTick(b, 0, reg, telemetry.NewJournal(0), nil, nil)
+	benchEngineTick(b, 0, reg, telemetry.NewJournal(0), nil, nil, nil)
 	if *telemetryDump == "" {
 		return
 	}

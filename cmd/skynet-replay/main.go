@@ -8,11 +8,14 @@
 //	skynet-replay -trace trace.jsonl.gz -thresholds 2/1+2/6 -severity 0
 //	skynet-replay -trace trace.jsonl.gz -stats
 //	skynet-replay -trace trace.jsonl.gz -spans
+//	skynet-replay -trace trace.jsonl.gz -floods
 //
 // With -stats, the replay runs instrumented and a per-stage timing table
 // plus the volume funnel (raw → structured → consolidated → incidents)
 // follow the reports. With -spans, every tick is span-traced and the
 // slowest tick's span tree plus per-stage span aggregates are printed.
+// With -floods, the flood-episode detector rides the replay and every
+// detected episode's postmortem report is printed.
 // (The issue sketch called this flag -trace; that name was already taken
 // by the trace-file path, so the span report lives on -spans.)
 package main
@@ -26,6 +29,7 @@ import (
 
 	"skynet/internal/core"
 	"skynet/internal/evaluator"
+	"skynet/internal/flood"
 	"skynet/internal/locator"
 	"skynet/internal/provenance"
 	"skynet/internal/span"
@@ -53,6 +57,8 @@ func main() {
 			"record lineage detail for 1 in N ingested alerts (1 = all, 0 disables) and print the conservation ledger")
 		explainID = flag.Int("explain", -1,
 			"print the provenance tree of one incident after replay (implies full-detail recording)")
+		showFloods = flag.Bool("floods", false,
+			"detect flood episodes during the replay and print per-episode postmortem reports")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -107,8 +113,12 @@ func main() {
 	case *provEvery > 0:
 		prov = provenance.New(provenance.Config{SampleEvery: *provEvery})
 	}
+	var floodRec *flood.Recorder
+	if *showFloods {
+		floodRec = flood.New(flood.Config{})
+	}
 	eng, err := trace.ReplayWithOptions(alerts, topo, cfg,
-		trace.ReplayOptions{Telemetry: reg, Journal: journal, Provenance: prov, Tracer: tracer})
+		trace.ReplayOptions{Telemetry: reg, Journal: journal, Provenance: prov, Tracer: tracer, Flood: floodRec})
 	if err != nil {
 		fatal(err)
 	}
@@ -137,8 +147,26 @@ func main() {
 	if prov != nil {
 		printConservation(prov)
 	}
+	if floodRec != nil {
+		printFloods(floodRec)
+	}
 	if *explainID >= 0 {
 		explain(eng, prov, *explainID)
+	}
+}
+
+// printFloods renders the -floods report: the episode table, then each
+// episode's full postmortem.
+func printFloods(rec *flood.Recorder) {
+	eps := rec.Episodes()
+	fmt.Println("\n== flood episodes ==")
+	if len(eps) == 0 {
+		fmt.Println("  no flood episodes detected")
+		return
+	}
+	fmt.Print(flood.RenderTable(eps))
+	for i := range eps {
+		fmt.Print(eps[i].Render())
 	}
 }
 
@@ -176,6 +204,7 @@ func explain(eng *core.Engine, prov *provenance.Recorder, id int) {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "skynet-replay: -explain %d: no such incident\n", id)
+	os.Exit(1)
 }
 
 // printStats renders the -stats report: the volume funnel of Fig. 5a and

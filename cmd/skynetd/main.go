@@ -26,6 +26,7 @@ import (
 	"skynet/internal/alert"
 	"skynet/internal/core"
 	"skynet/internal/flight"
+	"skynet/internal/flood"
 	"skynet/internal/ingest"
 	"skynet/internal/preprocess"
 	"skynet/internal/provenance"
@@ -57,6 +58,8 @@ func main() {
 			"flight-recorder dump directory (empty disables dumps; triggers, /api/health, and /api/trace stay on)")
 		sloTickP99 = flag.Duration("slo-tick-p99", flight.DefaultSLOTickP99,
 			"self-SLO on tick latency p99; a breach fires the flight recorder")
+		flightMaxDumps = flag.Int("flight-max-dumps", 0,
+			"max flight dump directories kept on disk; oldest are deleted past the cap (0 = keep all)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -130,6 +133,26 @@ func main() {
 		prov.RegisterMetrics(reg)
 	}
 
+	// Flood forensics: the episode detector rides the engine tick, tags
+	// telemetry with the episode ID, and accumulates per-episode
+	// postmortems for GET /api/floods.
+	floodRec := flood.New(flood.Config{})
+	engine.EnableFlood(floodRec)
+	floodRec.RegisterMetrics(reg)
+	floodRec.SetNotify(func(ev flood.Event) {
+		bus.Publish(status.EventTypeFlood, ev)
+		log.Info("flood episode", "episode", ev.Episode, "phase", ev.Phase.String(), "detail", ev.Detail)
+		if ev.Phase == flood.PhaseClosed && *flightDir != "" {
+			if rep, ok := floodRec.Report(ev.Episode); ok {
+				if path, err := flood.WriteReport(*flightDir, &rep); err != nil {
+					log.Warn("flood report archive failed", "err", err)
+				} else {
+					log.Info("flood postmortem archived", "path", path)
+				}
+			}
+		}
+	})
+
 	log.Info("pipeline configured",
 		"workers", engine.Workers(),
 		"preprocess_shards", engine.PreprocessShards(),
@@ -177,6 +200,7 @@ func main() {
 		Shed:           shed.Value,
 		JournalEvicted: journal.Evicted,
 		Queue:          func() (int, int) { return len(in), cap(in) },
+		FloodClosed:    floodRec.ClosedCount,
 		Metrics:        reg,
 		Tracer:         tracer,
 		Incidents: func() any {
@@ -193,7 +217,11 @@ func main() {
 	if prov != nil {
 		flightSrc.ProvInFlight = prov.InFlight
 	}
-	flightRec := flight.New(flight.Config{Dir: *flightDir, SLOTickP99: *sloTickP99}, flightSrc)
+	flightRec := flight.New(flight.Config{
+		Dir:         *flightDir,
+		SLOTickP99:  *sloTickP99,
+		MaxDumpDirs: *flightMaxDumps,
+	}, flightSrc)
 	flightRec.RegisterMetrics(reg)
 	flightRec.SetNotify(func(ev flight.Event) {
 		bus.Publish(status.EventTypeAnomaly, ev)
@@ -224,7 +252,8 @@ func main() {
 			WithPprof(*pprofOn).
 			WithFlight(flightRec).
 			WithTracer(tracer).
-			WithEvents(bus)
+			WithEvents(bus).
+			WithFlood(floodRec)
 		statusSrv, err := status.Listen(*httpAddr, snap, log)
 		if err != nil {
 			fatal(log, err)
@@ -254,7 +283,9 @@ func main() {
 			active := len(engine.Active())
 			engineMu.Unlock()
 			// Observe outside engineMu: a dump's incident snapshot takes
-			// the lock itself.
+			// the lock itself. Perf feeds the open flood episode's report
+			// without touching its deterministic episode state.
+			floodRec.ObservePerf(tickDur, shed.Value())
 			flightRec.Observe(now, tickDur)
 			for _, inc := range res.NewIncidents {
 				known[inc.ID] = true

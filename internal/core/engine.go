@@ -28,6 +28,7 @@ import (
 
 	"skynet/internal/alert"
 	"skynet/internal/evaluator"
+	"skynet/internal/flood"
 	"skynet/internal/ftree"
 	"skynet/internal/incident"
 	"skynet/internal/locator"
@@ -132,6 +133,10 @@ type Engine struct {
 	// Provenance is optional; nil until EnableProvenance.
 	prov    *provenance.Recorder
 	provBds []evaluator.Breakdown
+
+	// Flood detection is optional; nil until EnableFlood.
+	flood           *flood.Recorder
+	floodClosedSeen int
 }
 
 // NewEngine assembles a pipeline. classifier may be nil (raw syslog is
@@ -176,6 +181,9 @@ func (e *Engine) Ingest(a alert.Alert) {
 	e.rawIn++
 	if e.tel != nil {
 		e.tel.rawIngested.Inc()
+	}
+	if e.flood != nil {
+		e.flood.ObserveRaw(a)
 	}
 	e.pre.Add(a)
 }
@@ -303,6 +311,9 @@ func (e *Engine) Tick(now time.Time) TickResult {
 	}
 	if e.journal != nil {
 		e.observeLifecycle(now, res.NewIncidents, active)
+	}
+	if e.flood != nil {
+		e.observeFlood(now, structured, res.NewIncidents, active, act)
 	}
 	if tr := act.Finish(); tr != nil && e.spanTel != nil {
 		e.spanTel.observe(tr)

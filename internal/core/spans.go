@@ -11,10 +11,10 @@ import (
 // they are first recorded; the per-name handle cache keeps the hot path
 // off the registry lock after the first tick.
 type spanMetrics struct {
-	reg   *telemetry.Registry
+	reg    *telemetry.Registry
 	byName map[string]*telemetry.Histogram
-	skew  *telemetry.Histogram
-	wait  *telemetry.Histogram
+	skew   *telemetry.Histogram
+	wait   *telemetry.Histogram
 }
 
 func newSpanMetrics(reg *telemetry.Registry) *spanMetrics {

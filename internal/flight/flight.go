@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -68,6 +69,11 @@ type Config struct {
 	// MaxDumps caps the dump directories written over the recorder's
 	// lifetime. Default 16; negative means unlimited.
 	MaxDumps int
+	// MaxDumpDirs caps the dump directories retained on disk: after each
+	// dump, the oldest flight-* directories under Dir beyond this count
+	// are deleted (a sustained storm keeps only the newest evidence).
+	// 0 disables retention pruning.
+	MaxDumpDirs int
 }
 
 // Sources are the read-only taps the recorder samples every Observe.
@@ -84,6 +90,10 @@ type Sources struct {
 	// ProvInFlight returns the provenance ledger's in-flight count
 	// (ingested − terminal). Negative fires prov_conservation.
 	ProvInFlight func() int64
+	// FloodClosed returns the flood detector's cumulative closed-episode
+	// count. A positive delta fires flood_close, so every finished flood
+	// episode captures a postmortem evidence dump.
+	FloodClosed func() int64
 	// Incidents returns a JSON-serializable snapshot of the active
 	// incident population, captured at dump time.
 	Incidents func() any
@@ -101,11 +111,12 @@ const (
 	TriggerJournalDrop = "journal_drop"
 	TriggerQueueHigh   = "queue_high_water"
 	TriggerProvViolate = "prov_conservation"
+	TriggerFloodClose  = "flood_close"
 )
 
 var triggerNames = []string{
 	TriggerTickP99, TriggerIngestShed, TriggerJournalDrop,
-	TriggerQueueHigh, TriggerProvViolate,
+	TriggerQueueHigh, TriggerProvViolate, TriggerFloodClose,
 }
 
 // TriggerState is the health view of one anomaly trigger.
@@ -171,8 +182,9 @@ type Recorder struct {
 	p99      time.Duration
 	triggers map[string]*TriggerState
 
-	lastShed    int64
-	lastEvicted int64
+	lastShed        int64
+	lastEvicted     int64
+	lastFloodClosed int64
 
 	dumps     int64
 	lastDump  string
@@ -215,6 +227,9 @@ func New(cfg Config, src Sources) *Recorder {
 	}
 	if src.JournalEvicted != nil {
 		r.lastEvicted = src.JournalEvicted()
+	}
+	if src.FloodClosed != nil {
+		r.lastFloodClosed = src.FloodClosed()
 	}
 	return r
 }
@@ -284,6 +299,13 @@ func (r *Recorder) Observe(now time.Time, dur time.Duration) {
 		fl := r.src.ProvInFlight()
 		edge(TriggerProvViolate, fl < 0,
 			fmt.Sprintf("provenance conservation violated: in-flight %d < 0", fl))
+	}
+	if r.src.FloodClosed != nil {
+		cur := r.src.FloodClosed()
+		d := cur - r.lastFloodClosed
+		r.lastFloodClosed = cur
+		edge(TriggerFloodClose, d > 0,
+			fmt.Sprintf("flood episode closed (%d episodes total): capturing postmortem evidence", cur))
 	}
 
 	// Rate-limit dumping, not detection: at most one dump per cooldown,
@@ -458,6 +480,35 @@ func (r *Recorder) writeDump(dir string, fired []Event, health Health) {
 	if f, err := os.Create(filepath.Join(dir, "heap.pprof")); err == nil {
 		_ = pprof.WriteHeapProfile(f)
 		_ = f.Close()
+	}
+	r.pruneDumps()
+}
+
+// pruneDumps enforces Config.MaxDumpDirs: the oldest flight-* dump
+// directories under Dir beyond the cap are deleted, so a long-running
+// daemon riding out a storm keeps the newest evidence instead of
+// filling the disk. Dump names sort chronologically (UTC timestamp plus
+// a monotonic sequence), so lexicographic order is age order.
+func (r *Recorder) pruneDumps() {
+	if r.cfg.MaxDumpDirs <= 0 || r.cfg.Dir == "" {
+		return
+	}
+	entries, err := os.ReadDir(r.cfg.Dir)
+	if err != nil {
+		return
+	}
+	var dumps []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "flight-") {
+			dumps = append(dumps, e.Name())
+		}
+	}
+	if len(dumps) <= r.cfg.MaxDumpDirs {
+		return
+	}
+	sort.Strings(dumps)
+	for _, name := range dumps[:len(dumps)-r.cfg.MaxDumpDirs] {
+		_ = os.RemoveAll(filepath.Join(r.cfg.Dir, name))
 	}
 }
 

@@ -3,6 +3,7 @@ package flight
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -224,5 +225,88 @@ func TestRegisterMetrics(t *testing.T) {
 	}
 	if v := find("skynet_flight_tick_p99_seconds"); v <= 0 {
 		t.Fatalf("tick p99 gauge = %v", v)
+	}
+}
+
+// TestDumpRetention verifies MaxDumpDirs pruning: after each dump the
+// oldest flight-* directories beyond the cap are deleted, while
+// anything else under the dump root is left alone.
+func TestDumpRetention(t *testing.T) {
+	dir := dumpRoot(t)
+	if err := os.MkdirAll(filepath.Join(dir, "keepme"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var shed atomic.Int64
+	rec := New(Config{Dir: dir, Window: 4, Cooldown: time.Second, MaxDumps: -1, MaxDumpDirs: 2},
+		Sources{Shed: shed.Load})
+	fire := func(sec int) {
+		shed.Add(1)
+		rec.Observe(at(sec), time.Millisecond)
+		rec.Observe(at(sec+1), time.Millisecond) // recover so the next delta is a rising edge
+	}
+	for i := 0; i < 4; i++ {
+		fire(i * 70)
+	}
+	if h := rec.Health(); h.Dumps != 4 {
+		t.Fatalf("dumps written = %d, want 4 (MaxDumps<0 is unlimited)", h.Dumps)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dumps []string
+	keep := false
+	for _, e := range entries {
+		if e.Name() == "keepme" {
+			keep = true
+			continue
+		}
+		if strings.HasPrefix(e.Name(), "flight-") {
+			dumps = append(dumps, e.Name())
+		}
+	}
+	if !keep {
+		t.Error("retention pruning deleted an unrelated directory")
+	}
+	if len(dumps) != 2 {
+		t.Fatalf("retained %d dump dirs %v, want the 2 newest", len(dumps), dumps)
+	}
+	// Names embed the observe timestamp, so lexicographic order is
+	// chronological: the survivors must be the two most recent dumps
+	// (sequence numbers 003 and 004).
+	sort.Strings(dumps)
+	for i, want := range []string{"-003", "-004"} {
+		if !strings.HasSuffix(dumps[i], want) {
+			t.Errorf("survivor %d = %q, want suffix %q (oldest-first deletion)", i, dumps[i], want)
+		}
+	}
+}
+
+// TestFloodCloseTrigger verifies the flood_close edge: a closed flood
+// episode fires one dump trigger, and pre-existing closes at
+// construction do not.
+func TestFloodCloseTrigger(t *testing.T) {
+	var closed atomic.Int64
+	closed.Store(2) // episodes closed before the recorder existed
+	rec := New(Config{Window: 4}, Sources{FloodClosed: closed.Load})
+	var events []Event
+	rec.SetNotify(func(ev Event) { events = append(events, ev) })
+
+	rec.Observe(at(0), time.Millisecond)
+	if h := rec.Health(); !h.OK {
+		t.Fatalf("pre-existing flood closes fired at construction: %+v", h.Degraded)
+	}
+	closed.Add(1)
+	rec.Observe(at(10), time.Millisecond)
+	h := rec.Health()
+	if len(h.Degraded) != 1 || h.Degraded[0] != TriggerFloodClose {
+		t.Fatalf("degraded = %v, want [%s]", h.Degraded, TriggerFloodClose)
+	}
+	if len(events) != 1 || events[0].Trigger != TriggerFloodClose {
+		t.Fatalf("events = %+v, want one flood_close", events)
+	}
+	rec.Observe(at(20), time.Millisecond)
+	if h := rec.Health(); !h.OK {
+		t.Fatalf("flood_close stayed firing with no new closes: %+v", h.Degraded)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"skynet/internal/alert"
 	"skynet/internal/core"
 	"skynet/internal/experiments"
+	"skynet/internal/flood"
 	"skynet/internal/hierarchy"
 	"skynet/internal/locator"
 	"skynet/internal/preprocess"
@@ -61,12 +62,15 @@ var suite = []struct {
 	Name  string
 	Bench func(b *testing.B)
 }{
-	{"engine_tick", func(b *testing.B) { benchEngineTick(b, nil, nil) }},
+	{"engine_tick", func(b *testing.B) { benchEngineTick(b, nil, nil, nil) }},
 	{"engine_tick_provenance", func(b *testing.B) {
-		benchEngineTick(b, provenance.New(provenance.Config{}), nil)
+		benchEngineTick(b, provenance.New(provenance.Config{}), nil, nil)
 	}},
 	{"engine_tick_spans", func(b *testing.B) {
-		benchEngineTick(b, nil, span.NewTracer(0))
+		benchEngineTick(b, nil, span.NewTracer(0), nil)
+	}},
+	{"engine_tick_flood", func(b *testing.B) {
+		benchEngineTick(b, nil, nil, flood.New(flood.Config{}))
 	}},
 	{"preprocessor_stream", benchPreprocessorStream},
 	{"locator_addcheck", benchLocatorAddCheck},
@@ -211,10 +215,10 @@ func appendMemRegression(out []string, name, metric string, base, cur int64, mem
 }
 
 // benchEngineTick drives repeated ingest+tick rounds over a severe-failure
-// batch, optionally with the lineage recorder or span tracer attached —
-// each pairing with the bare run bounds that instrument's overhead per
-// tick.
-func benchEngineTick(b *testing.B, rec *provenance.Recorder, tracer *span.Tracer) {
+// batch, optionally with the lineage recorder, span tracer, or flood
+// detector attached — each pairing with the bare run bounds that
+// instrument's overhead per tick.
+func benchEngineTick(b *testing.B, rec *provenance.Recorder, tracer *span.Tracer, fl *flood.Recorder) {
 	topo := topology.MustGenerate(topology.SmallConfig())
 	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
 	classifier, err := preprocess.BootstrapClassifier()
@@ -227,6 +231,9 @@ func benchEngineTick(b *testing.B, rec *provenance.Recorder, tracer *span.Tracer
 	}
 	if tracer != nil {
 		eng.EnableTracing(tracer)
+	}
+	if fl != nil {
+		eng.EnableFlood(fl)
 	}
 	now := benchEpoch
 	b.ReportAllocs()

@@ -263,6 +263,10 @@ type IncidentRecord struct {
 	ComponentSize int       `json:"component_size"`
 	MergedFrom    []int     `json:"merged_from,omitempty"`
 	ClosedAt      time.Time `json:"closed_at,omitempty"`
+	// Episode is the flood episode the incident was attributed to, 0
+	// when it was created outside any detected flood — the join key
+	// shared with metric labels, span ring entries, and flood reports.
+	Episode uint64 `json:"episode,omitempty"`
 
 	// Attributed counts every lineage resolved to this incident; Samples
 	// holds copies of the sampled subset's detail records (copied at
@@ -577,6 +581,13 @@ func (r *Recorder) IncidentCreated(info IncidentInfo) {
 			r.order = append(r.order[:i:i], r.order[i+1:]...)
 			return
 		}
+	}
+}
+
+// SetEpisode attributes an incident to a flood episode.
+func (r *Recorder) SetEpisode(id int, episode uint64) {
+	if in, ok := r.incidents[id]; ok {
+		in.Episode = episode
 	}
 }
 

@@ -75,6 +75,9 @@ type Span struct {
 type Trace struct {
 	// Tick is the engine's tick counter.
 	Tick uint64 `json:"tick"`
+	// Episode is the flood episode the tick belonged to (0 outside any
+	// flood) — the join key between traces, metrics, and flood reports.
+	Episode uint64 `json:"episode,omitempty"`
 	// Time is the pipeline time of the tick (simulated under replay).
 	Time time.Time `json:"time"`
 	// Start is the wall-clock instant the tick began.
@@ -270,6 +273,15 @@ func (a *Active) End(r Region, items int) {
 	sp := &a.t.Spans[r]
 	sp.Dur = time.Since(a.t.Start) - sp.Start
 	sp.Items = items
+}
+
+// SetEpisode tags the in-flight trace with a flood episode ID (0 for
+// none). Nil-safe, like every Active method.
+func (a *Active) SetEpisode(id uint64) {
+	if a == nil {
+		return
+	}
+	a.t.Episode = id
 }
 
 // Scope packages this trace with a parent region for handing to a

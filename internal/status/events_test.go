@@ -256,3 +256,56 @@ func TestTraceEndpoint(t *testing.T) {
 		t.Fatalf("bad last: code=%d", code)
 	}
 }
+
+// TestSSEStalledHTTPConsumerNeverBlocksPublisher is the end-to-end
+// slow-consumer test on a live /api/events connection: a client that
+// reads the response headers and then stalls forever must not block the
+// publishing side — the path an engine tick takes through the journal
+// notify — and the lost deliveries must show up in Dropped().
+func TestSSEStalledHTTPConsumerNeverBlocksPublisher(t *testing.T) {
+	bus := NewEventBus()
+	defer bus.Close()
+	base := listenBus(t, bus)
+
+	journal := telemetry.NewJournal(16)
+	journal.SetNotify(func(ev telemetry.Event) { bus.Publish(EventTypeIncident, ev) })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	for i := 0; bus.Subscribers() == 0 && i < 100; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if bus.Subscribers() != 1 {
+		t.Fatal("consumer never subscribed")
+	}
+	// The client now stalls: it never reads the body. The handler drains
+	// the subscriber channel until the kernel socket buffers fill, then
+	// blocks on the write — from here on the channel stays full and
+	// every publish must drop for this consumer without waiting.
+	// Oversized payloads make the stall happen within a few frames.
+	pad := strings.Repeat("x", 64<<10)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4*subBuffer; i++ {
+			journal.Append(telemetry.Event{Type: telemetry.EventCreated, Incident: i, Root: pad})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publisher blocked behind the stalled SSE consumer")
+	}
+	if got := bus.Dropped(); got == 0 {
+		t.Error("stalled consumer recorded no drops")
+	}
+	if got := bus.Published(); got != 4*subBuffer {
+		t.Errorf("published = %d, want %d (publishes must complete regardless of the stall)", got, 4*subBuffer)
+	}
+}

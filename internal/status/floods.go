@@ -1,0 +1,82 @@
+package status
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"skynet/internal/flood"
+)
+
+// EventTypeFlood carries a flood.Event — a flood-episode lifecycle
+// transition (onset, peak, decay, closed) from the episode detector.
+const EventTypeFlood = "flood"
+
+// WithFlood mounts GET /api/floods (all detected flood episodes, oldest
+// first, the open one last) and GET /api/floods/{id}/report (one
+// episode's full postmortem report). The flood recorder is internally
+// synchronized; the handlers never take the engine lock.
+func (s *Snapshotter) WithFlood(rec *flood.Recorder) *Snapshotter {
+	s.flood = rec
+	return s
+}
+
+// floodSummary is the /api/floods list-view shape: the report minus its
+// bulky sections, enough to rank and pick episodes for a detail fetch.
+type floodSummary struct {
+	ID                 uint64      `json:"id"`
+	Phase              flood.Phase `json:"phase"`
+	StartTick          uint64      `json:"start_tick"`
+	EndTick            uint64      `json:"end_tick"`
+	DurationTicks      uint64      `json:"duration_ticks"`
+	RawTotal           int64       `json:"raw_total"`
+	StructuredTotal    int64       `json:"structured_total"`
+	ConsolidationRatio float64     `json:"consolidation_ratio"`
+	PeakRate           int64       `json:"peak_rate"`
+	Incidents          int         `json:"incidents"`
+	MaxSeverity        float64     `json:"max_severity"`
+	Scenario           string      `json:"scenario,omitempty"`
+}
+
+func (s *Snapshotter) floodsHandler(w http.ResponseWriter, r *http.Request) {
+	eps := s.flood.Episodes()
+	out := make([]floodSummary, 0, len(eps))
+	for i := range eps {
+		ep := &eps[i]
+		out = append(out, floodSummary{
+			ID:                 ep.ID,
+			Phase:              ep.Phase,
+			StartTick:          ep.StartTick,
+			EndTick:            ep.EndTick,
+			DurationTicks:      ep.DurationTicks,
+			RawTotal:           ep.RawTotal,
+			StructuredTotal:    ep.StructuredTotal,
+			ConsolidationRatio: ep.ConsolidationRatio,
+			PeakRate:           ep.PeakRate,
+			Incidents:          len(ep.Incidents),
+			MaxSeverity:        ep.MaxSeverity,
+			Scenario:           ep.Scenario,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Snapshotter) floodReportHandler(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/floods/")
+	idStr, ok := strings.CutSuffix(rest, "/report")
+	if !ok || idStr == "" || strings.Contains(idStr, "/") {
+		http.Error(w, "want /api/floods/{id}/report", http.StatusNotFound)
+		return
+	}
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad flood episode id", http.StatusBadRequest)
+		return
+	}
+	rep, ok := s.flood.Report(id)
+	if !ok {
+		http.Error(w, "flood episode not found", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, rep)
+}

@@ -22,8 +22,16 @@
 //	                        healthy, 503 while degraded (WithFlight)
 //	GET /api/trace          recent tick span trees as JSON; ?last=N
 //	                        bounds the count (WithTracer)
-//	GET /api/events         SSE stream of incident lifecycle transitions
-//	                        and flight-recorder anomalies (WithEvents)
+//	GET /api/events         SSE stream of incident lifecycle transitions,
+//	                        flight-recorder anomalies, and flood-episode
+//	                        transitions (WithEvents)
+//	GET /api/floods         detected flood episodes, summary view
+//	                        (WithFlood)
+//	GET /api/floods/{id}/report
+//	                        one episode's full postmortem report: volume
+//	                        by source/type, top locations, incident
+//	                        timeline, severity trajectory, perf
+//	                        (WithFlood)
 //	GET /metrics            Prometheus text exposition (WithTelemetry)
 //	GET /debug/pprof/...    runtime profiles (WithPprof)
 package status
@@ -45,6 +53,7 @@ import (
 	"skynet/internal/core"
 	"skynet/internal/evaluator"
 	"skynet/internal/flight"
+	"skynet/internal/flood"
 	"skynet/internal/incident"
 	"skynet/internal/ingest"
 	"skynet/internal/llmctx"
@@ -71,6 +80,7 @@ type Snapshotter struct {
 	flight  *flight.Recorder     // optional, enables GET /api/health
 	tracer  *span.Tracer         // optional, enables GET /api/trace
 	events  *EventBus            // optional, enables GET /api/events
+	flood   *flood.Recorder      // optional, enables GET /api/floods
 }
 
 // BuildInfo is the /api/buildinfo JSON shape: enough to identify a fleet
@@ -261,6 +271,10 @@ func (s *Snapshotter) Handler() http.Handler {
 	}
 	if s.events != nil {
 		mux.HandleFunc("/api/events", s.eventsHandler)
+	}
+	if s.flood != nil {
+		mux.HandleFunc("/api/floods", s.floodsHandler)
+		mux.HandleFunc("/api/floods/", s.floodReportHandler)
 	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

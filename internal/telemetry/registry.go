@@ -154,11 +154,23 @@ const (
 // metric is one registered entry.
 type metric struct {
 	name, help string
+	labels     string // rendered label pairs, e.g. `episode="3"`; "" for none
 	kind       Kind
 	counter    *Counter
 	gauge      *Gauge
 	hist       *Histogram
 	fn         func() float64 // gauge-func / counter-func, read at expose time
+}
+
+// key returns the registry lookup key: the family name plus the label set,
+// so one family may carry many labeled series.
+func (m *metric) key() string { return metricKey(m.name, m.labels) }
+
+func metricKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
 }
 
 // Registry holds named metrics and renders them in Prometheus text
@@ -177,18 +189,72 @@ func New() *Registry {
 // lookup returns an existing metric, verifying the kind, or registers a
 // new slot.
 func (r *Registry) lookup(name, help string, kind Kind) (*metric, bool) {
+	return r.lookupLabeled(name, "", help, kind)
+}
+
+// lookupLabeled is lookup for one (family, label set) series.
+func (r *Registry) lookupLabeled(name, labels, help string, kind Kind) (*metric, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m, ok := r.byName[name]; ok {
+	key := metricKey(name, labels)
+	if m, ok := r.byName[key]; ok {
 		if m.kind != kind {
-			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, kind, m.kind))
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", key, kind, m.kind))
 		}
 		return m, true
 	}
-	m := &metric{name: name, help: help, kind: kind}
-	r.byName[name] = m
+	m := &metric{name: name, labels: labels, help: help, kind: kind}
+	r.byName[key] = m
 	r.metrics = append(r.metrics, m)
 	return m, false
+}
+
+// Label renders one label pair for CounterWith/GaugeWith/HistogramWith,
+// escaping the value per the Prometheus text format.
+func Label(key, value string) string {
+	return key + `="` + escapeLabelValue(value) + `"`
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// CounterWith returns the counter series of one family carrying the given
+// label set (built with Label), registering it on first use. Series of one
+// family share a single HELP/TYPE header in the exposition; an exemplar-
+// style label (episode="3") distinguishes the samples.
+func (r *Registry) CounterWith(name, labels, help string) *Counter {
+	m, existed := r.lookupLabeled(name, labels, help, KindCounter)
+	if !existed {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// GaugeWith returns the labeled gauge series of one family, registering it
+// on first use.
+func (r *Registry) GaugeWith(name, labels, help string) *Gauge {
+	m, existed := r.lookupLabeled(name, labels, help, KindGauge)
+	if !existed {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// HistogramWith returns the labeled histogram series of one family,
+// registering it on first use; the label set joins le in the bucket
+// samples.
+func (r *Registry) HistogramWith(name, labels, help string, buckets []float64) *Histogram {
+	m, existed := r.lookupLabeled(name, labels, help, KindHistogram)
+	if !existed {
+		up := make([]float64, len(buckets))
+		copy(up, buckets)
+		sort.Float64s(up)
+		m.hist = &Histogram{upper: up, counts: make([]atomic.Int64, len(up)+1)}
+	}
+	return m.hist
 }
 
 // Counter returns the named counter, registering it on first use.
@@ -281,25 +347,32 @@ func (h *HistogramView) Quantile(q float64) float64 {
 
 // MetricSnapshot is a point-in-time copy of one metric.
 type MetricSnapshot struct {
-	Name  string
-	Help  string
-	Kind  Kind
-	Value float64        // counters, gauges
-	Hist  *HistogramView // histograms only
+	Name   string
+	Labels string // rendered label pairs ("" for unlabeled series)
+	Help   string
+	Kind   Kind
+	Value  float64        // counters, gauges
+	Hist   *HistogramView // histograms only
 }
 
-// Snapshot copies every metric, sorted by name — a stable order no matter
-// when each subsystem registered, so two scrapes of a quiescent registry
-// are textually identical and diffs between scrapes are meaningful.
+// Snapshot copies every metric, sorted by name then label set — a stable
+// order no matter when each subsystem registered, so two scrapes of a
+// quiescent registry are textually identical and diffs between scrapes are
+// meaningful. Labeled series of one family are adjacent.
 func (r *Registry) Snapshot() []MetricSnapshot {
 	r.mu.Lock()
 	metrics := make([]*metric, len(r.metrics))
 	copy(metrics, r.metrics)
 	r.mu.Unlock()
-	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+	sort.Slice(metrics, func(i, j int) bool {
+		if metrics[i].name != metrics[j].name {
+			return metrics[i].name < metrics[j].name
+		}
+		return metrics[i].labels < metrics[j].labels
+	})
 	out := make([]MetricSnapshot, 0, len(metrics))
 	for _, m := range metrics {
-		s := MetricSnapshot{Name: m.name, Help: m.help, Kind: m.kind}
+		s := MetricSnapshot{Name: m.name, Labels: m.labels, Help: m.help, Kind: m.kind}
 		switch {
 		case m.fn != nil:
 			s.Value = m.fn()
@@ -329,35 +402,52 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 // le labels, _sum and _count series.
 func (r *Registry) Expose(w io.Writer) error {
 	var b strings.Builder
+	lastFamily := ""
 	for _, s := range r.Snapshot() {
-		if s.Help != "" {
-			b.WriteString("# HELP ")
+		// One HELP/TYPE header per family; labeled series follow as
+		// additional samples of the same family.
+		if s.Name != lastFamily {
+			lastFamily = s.Name
+			if s.Help != "" {
+				b.WriteString("# HELP ")
+				b.WriteString(s.Name)
+				b.WriteByte(' ')
+				b.WriteString(escapeHelp(s.Help))
+				b.WriteByte('\n')
+			}
+			b.WriteString("# TYPE ")
 			b.WriteString(s.Name)
 			b.WriteByte(' ')
-			b.WriteString(escapeHelp(s.Help))
+			b.WriteString(string(s.Kind))
 			b.WriteByte('\n')
 		}
-		b.WriteString("# TYPE ")
-		b.WriteString(s.Name)
-		b.WriteByte(' ')
-		b.WriteString(string(s.Kind))
-		b.WriteByte('\n')
 		if s.Hist == nil {
 			b.WriteString(s.Name)
+			if s.Labels != "" {
+				b.WriteByte('{')
+				b.WriteString(s.Labels)
+				b.WriteByte('}')
+			}
 			b.WriteByte(' ')
 			b.WriteString(formatFloat(s.Value))
 			b.WriteByte('\n')
 			continue
 		}
+		lePrefix := "" // joins the label set with le in bucket samples
+		suffix := ""
+		if s.Labels != "" {
+			lePrefix = s.Labels + ","
+			suffix = "{" + s.Labels + "}"
+		}
 		var cum int64
 		for i, ub := range s.Hist.Upper {
 			cum += s.Hist.Counts[i]
-			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", s.Name, formatFloat(ub), cum)
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", s.Name, lePrefix, formatFloat(ub), cum)
 		}
 		cum += s.Hist.Counts[len(s.Hist.Counts)-1]
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", s.Name, cum)
-		fmt.Fprintf(&b, "%s_sum %s\n", s.Name, formatFloat(s.Hist.Sum))
-		fmt.Fprintf(&b, "%s_count %d\n", s.Name, s.Hist.Count)
+		fmt.Fprintf(&b, "%s_bucket{%sle=\"+Inf\"} %d\n", s.Name, lePrefix, cum)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", s.Name, suffix, formatFloat(s.Hist.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", s.Name, suffix, s.Hist.Count)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

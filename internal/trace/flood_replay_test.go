@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"skynet/internal/core"
+	"skynet/internal/flood"
+	"skynet/internal/monitors"
+	"skynet/internal/netsim"
+	"skynet/internal/scenario"
+	"skynet/internal/topology"
+)
+
+// archiveReports writes the detected episode postmortems under
+// SKYNET_FLOOD_REPORT_DIR when set (CI uploads that directory as a
+// workflow artifact), one subdirectory per test to keep the
+// flood-episode-<id>.json names from colliding across cases.
+func archiveReports(t *testing.T, eps []flood.Report) {
+	t.Helper()
+	dir := os.Getenv("SKYNET_FLOOD_REPORT_DIR")
+	if dir == "" || len(eps) == 0 {
+		return
+	}
+	sub := filepath.Join(dir, strings.ReplaceAll(t.Name(), "/", "_"))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := range eps {
+		if _, err := flood.WriteReport(sub, &eps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// floodCase is one scenario workload for the detector property test.
+type floodCase struct {
+	name string
+	scs  []scenario.Scenario
+}
+
+// floodCases covers every severe scenario family internal/scenario can
+// inject, plus the benign shapes the detector must ignore.
+func floodCases(topo *topology.Topology, start time.Time) []floodCase {
+	at := start.Add(10 * time.Minute)
+	big, crit := scenario.ConcurrentIncidents(topo, at)
+	gen := scenario.NewGenerator(topo, 7)
+	power := gen.Random(scenario.CatInfrastructure, at)
+	route := gen.Random(scenario.CatRoute, at)
+	minor := gen.Minor(at)
+	return []floodCase{
+		{"fiber-cut", []scenario.Scenario{scenario.FiberCutSevere(topo, at)}},
+		{"ddos-multi", scenario.DDoSMultiSite(topo, 3, at)},
+		{"concurrent", []scenario.Scenario{big, crit}},
+		{"hash-hw", []scenario.Scenario{scenario.UnbalancedHashCase(topo, at)}},
+		{"power", []scenario.Scenario{power}},
+		{"route", []scenario.Scenario{route}},
+		{"minor-benign", []scenario.Scenario{minor}},
+		{"quiet", nil},
+	}
+}
+
+// TestReplayFloodEpisodes is the detector's ground-truth property test:
+// every injected severe scenario must land inside exactly one detected
+// flood episode, benign workloads must detect none, and the full episode
+// record — boundaries, timelines, aggregates — must be bit-identical at
+// workers {1, 2, 4, 8}. Under -race this also exercises the recorder's
+// locking against the parallel pipeline.
+func TestReplayFloodEpisodes(t *testing.T) {
+	topo, err := topology.Generate(topology.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+	for _, c := range floodCases(topo, start) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			sim := netsim.New(topo, 1)
+			for i := range c.scs {
+				if err := c.scs[i].Inject(sim); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mcfg := monitors.DefaultConfig()
+			fleet := monitors.NewFleet(topo, mcfg)
+			alerts, err := fleet.Run(sim, start, start.Add(40*time.Minute), mcfg.PingInterval)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs := make([]flood.ScenarioRef, 0, len(c.scs))
+			severe := 0
+			for _, sc := range c.scs {
+				refs = append(refs, flood.ScenarioRef{
+					Name: sc.Name, Severe: sc.Severe, Start: sc.Start, End: sc.End,
+				})
+				if sc.Severe {
+					severe++
+				}
+			}
+			var ref string
+			for _, workers := range []int{1, 2, 4, 8} {
+				cfg := core.DefaultConfig()
+				cfg.Workers = workers
+				rec := flood.New(flood.Config{})
+				if _, err := ReplayWithOptions(alerts, topo, cfg, ReplayOptions{
+					Tick:  10 * time.Second,
+					Flood: rec,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				eps := rec.Episodes()
+				if severe == 0 {
+					if len(eps) != 0 {
+						t.Fatalf("workers=%d: benign workload detected %d episodes: %+v",
+							workers, len(eps), eps)
+					}
+				} else {
+					for name, n := range flood.MatchScenarios(eps, refs) {
+						if n != 1 {
+							t.Errorf("workers=%d: severe scenario %q overlaps %d episodes, want exactly 1",
+								workers, name, n)
+						}
+					}
+					for i := range eps {
+						if eps[i].Scenario == "" {
+							continue
+						}
+						if lag := eps[i].DetectionLag; lag < -time.Minute || lag > 10*time.Minute {
+							t.Errorf("workers=%d: episode %d detection lag %v vs scenario %q outside (-1m, 10m)",
+								workers, eps[i].ID, lag, eps[i].Scenario)
+						}
+					}
+				}
+				fp := rec.Fingerprint()
+				if workers == 1 {
+					ref = fp
+					archiveReports(t, eps)
+				} else if fp != ref {
+					t.Errorf("workers=%d: flood fingerprint diverged from the serial reference", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayFloodDoesNotPerturb replays one generated multi-scenario
+// trace with and without the flood recorder attached and checks the
+// incident population is bit-identical — forensics must observe the
+// pipeline, never steer it.
+func TestReplayFloodDoesNotPerturb(t *testing.T) {
+	gen := DefaultGenerateOptions()
+	gen.Scenarios = 2
+	gen.Window = 20 * time.Minute
+	g, err := Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Workers = 1
+	refEng, err := Replay(g.Alerts, g.Topo, cfg, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := replayFingerprint(refEng)
+	if ref == "" {
+		t.Fatal("reference replay produced no incidents to compare")
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := core.DefaultConfig()
+		cfg.Workers = workers
+		rec := flood.New(flood.Config{})
+		eng, err := ReplayWithOptions(g.Alerts, g.Topo, cfg, ReplayOptions{
+			Tick:  10 * time.Second,
+			Flood: rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := replayFingerprint(eng); got != ref {
+			t.Errorf("workers=%d: flood-observed replay diverged from the plain reference", workers)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"skynet/internal/alert"
 	"skynet/internal/core"
+	"skynet/internal/flood"
 	"skynet/internal/ftree"
 	"skynet/internal/monitors"
 	"skynet/internal/netsim"
@@ -155,6 +156,10 @@ type ReplayOptions struct {
 	// Tracer, when set, records a span tree per tick into its ring —
 	// the data behind `skynet-replay -spans`.
 	Tracer *span.Tracer
+	// Flood, when set, detects flood episodes during the replay and
+	// accumulates per-episode postmortem reports — the data behind
+	// `skynet-replay -floods`. Tick wall latency feeds its Perf section.
+	Flood *flood.Recorder
 }
 
 // Replay pushes a raw trace through a fresh engine, ticking at the given
@@ -182,6 +187,21 @@ func ReplayWithOptions(alerts []alert.Alert, topo *topology.Topology, engineCfg 
 	if opts.Tracer != nil {
 		eng.EnableTracing(opts.Tracer)
 	}
+	if opts.Flood != nil {
+		eng.EnableFlood(opts.Flood)
+	}
+	// tickOnce advances the engine one tick; with a flood recorder the
+	// tick's wall latency feeds the open episode's Perf section (the
+	// deterministic episode state never sees it).
+	tickOnce := func(at time.Time) {
+		if opts.Flood == nil {
+			eng.Tick(at)
+			return
+		}
+		t0 := time.Now()
+		eng.Tick(at)
+		opts.Flood.ObservePerf(time.Since(t0), 0)
+	}
 	var start time.Time
 	if opts.Telemetry != nil {
 		start = time.Now()
@@ -194,14 +214,14 @@ func ReplayWithOptions(alerts []alert.Alert, topo *topology.Topology, engineCfg 
 		next := alerts[0].Time.Add(tick)
 		for i := range alerts {
 			for alerts[i].Time.After(next) {
-				eng.Tick(next)
+				tickOnce(next)
 				next = next.Add(tick)
 			}
 			eng.Ingest(alerts[i])
 		}
 		end := alerts[len(alerts)-1].Time.Add(engineCfg.Locator.NodeTTL + tick)
 		for !next.After(end) {
-			eng.Tick(next)
+			tickOnce(next)
 			next = next.Add(tick)
 		}
 	}
