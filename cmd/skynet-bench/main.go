@@ -10,6 +10,7 @@
 //	skynet-bench -json - engine_tick       # one benchmark, to stdout
 //	skynet-bench -json - -spans            # + per-stage span latency breakdown
 //	skynet-bench -json - -compare BENCH_2026-08-06.json   # CI regression gate
+//	skynet-bench -json bench.json -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Every experiment prints a table plus the paper's reported shape so the
 // two can be compared side by side; EXPERIMENTS.md archives a full run.
@@ -21,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -53,6 +56,10 @@ func main() {
 			"with -compare: allowed fractional ns/op regression (0.15 = +15%)")
 		memTolerance = flag.Float64("mem-tolerance", 0.25,
 			"with -compare: allowed fractional bytes/op and allocs/op regression (<=0 disables the memory gate)")
+		cpuProfile = flag.String("cpuprofile", "",
+			"with -json: write a CPU pprof profile of the benchmark run to this file")
+		memProfile = flag.String("memprofile", "",
+			"with -json: write a heap pprof profile taken after the benchmark run to this file")
 	)
 	flag.Parse()
 
@@ -68,11 +75,16 @@ func main() {
 		return
 	}
 	if *jsonOut != "" {
-		if err := runMicrobench(*jsonOut, flag.Args(), *spans, *compare, *tolerance, *memTolerance); err != nil {
+		if err := runMicrobench(*jsonOut, flag.Args(), *spans, *compare, *tolerance, *memTolerance,
+			*cpuProfile, *memProfile); err != nil {
 			fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *cpuProfile != "" || *memProfile != "" {
+		fmt.Fprintln(os.Stderr, "skynet-bench: -cpuprofile/-memprofile require -json (they profile the microbenchmark run)")
+		os.Exit(2)
 	}
 
 	opts := experiments.DefaultOptions()
@@ -123,12 +135,41 @@ func main() {
 // the names given as positional args) and writes the JSON report to dst.
 // With spans it adds the per-stage span latency breakdown; with a compare
 // baseline it fails when any shared benchmark regressed beyond tolerance
-// (ns/op) or memTolerance (bytes/op, allocs/op).
-func runMicrobench(dst string, names []string, spans bool, compare string, tolerance, memTolerance float64) error {
+// (ns/op) or memTolerance (bytes/op, allocs/op). cpuProfile/memProfile
+// write pprof profiles of the benchmark run itself, so a regression
+// flagged by the gate ships with the evidence needed to diagnose it.
+func runMicrobench(dst string, names []string, spans bool, compare string, tolerance, memTolerance float64,
+	cpuProfile, memProfile string) error {
 	fmt.Fprintf(os.Stderr, "running microbenchmarks: %s\n", strings.Join(microbench.Names(), ", "))
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	rep, err := microbench.Run(names...)
 	if err != nil {
 		return err
+	}
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle live-heap accounting before the snapshot
+		werr := pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("heap profile: %w", werr)
+		}
+		fmt.Fprintf(os.Stderr, "heap profile written to %s\n", memProfile)
 	}
 	if spans {
 		stages, err := microbench.CollectSpanStages(0)

@@ -158,48 +158,37 @@ func main() {
 		"preprocess_shards", engine.PreprocessShards(),
 		"locator_shards", engine.LocatorShards(),
 		"provenance_sample_every", *provEvery)
-	shed := reg.Counter("skynet_engine_queue_shed_total",
-		"Alerts shed between the ingest dispatcher and the engine loop.")
-
-	// The ingest handler only buffers into a channel; the main loop owns
-	// engine mutation under engineMu, shared with the HTTP handlers.
-	// Alerts that do not fit are shed rather than stalling the listeners
-	// — but counted and warned about, never silently dropped.
-	in := make(chan alert.Alert, 4096)
-	var lastShedWarn time.Time // dispatch goroutine only
-	srv, err := ingest.Listen(ingest.Config{
+	// The batch handler runs on the ingest dispatch goroutine and feeds
+	// the engine's columnar path directly under engineMu (IngestBatch
+	// copies the columns out, so the dispatcher's batch is safe to
+	// reuse). Backpressure lives inside ingest: its queues buffer while
+	// the engine ticks, and overflow is shed there — counted on the
+	// skynet_ingest_rejected_queue_full_total counter, never silently
+	// dropped.
+	srv, err := ingest.ListenBatch(ingest.Config{
 		TCPAddr:     *tcpAddr,
 		UDPAddr:     *udpAddr,
 		MaxConns:    256,
 		ReadTimeout: 5 * time.Minute,
 		QueueDepth:  8192,
 		Logger:      log,
-	}, func(a alert.Alert) {
-		select {
-		case in <- a:
-		default:
-			shed.Inc()
-			if now := time.Now(); now.Sub(lastShedWarn) > 5*time.Second {
-				lastShedWarn = now
-				log.Warn("engine queue full, shedding alerts", "shed_total", shed.Value())
-			}
-		}
+	}, func(b *alert.Batch) {
+		engineMu.Lock()
+		engine.IngestBatch(b)
+		engineMu.Unlock()
 	})
 	if err != nil {
 		fatal(log, err)
 	}
 	srv.RegisterMetrics(reg)
-	reg.GaugeFunc("skynet_engine_queue_depth",
-		"Alerts buffered between the ingest dispatcher and the engine loop.",
-		func() float64 { return float64(len(in)) })
 	defer srv.Close()
 
 	// Flight recorder: watches tick p99, ingest shed, journal drops, queue
 	// high-water, and provenance conservation; dumps evidence on anomalies.
 	flightSrc := flight.Sources{
-		Shed:           shed.Value,
+		Shed:           func() int64 { return int64(srv.Stats().QueueFull) },
 		JournalEvicted: journal.Evicted,
-		Queue:          func() (int, int) { return len(in), cap(in) },
+		Queue:          srv.QueueLoad,
 		FloodClosed:    floodRec.ClosedCount,
 		Metrics:        reg,
 		Tracer:         tracer,
@@ -270,10 +259,6 @@ func main() {
 	known := map[int]bool{}
 	for {
 		select {
-		case a := <-in:
-			engineMu.Lock()
-			engine.Ingest(a)
-			engineMu.Unlock()
 		case now := <-ticker.C:
 			engineMu.Lock()
 			tickStart := time.Now()
@@ -285,7 +270,7 @@ func main() {
 			// Observe outside engineMu: a dump's incident snapshot takes
 			// the lock itself. Perf feeds the open flood episode's report
 			// without touching its deterministic episode state.
-			floodRec.ObservePerf(tickDur, shed.Value())
+			floodRec.ObservePerf(tickDur, int64(srv.Stats().QueueFull))
 			flightRec.Observe(now, tickDur)
 			for _, inc := range res.NewIncidents {
 				known[inc.ID] = true
@@ -308,7 +293,7 @@ func main() {
 			engineMu.Unlock()
 			srvStats := srv.Stats()
 			fmt.Printf("ingested %d alerts (%d rejected, %d shed), %d structured, queue high water %d\n",
-				srvStats.AlertsAccepted, srvStats.AlertsRejected, shed.Value(), stats.Out, srvStats.QueueHighWater)
+				srvStats.AlertsAccepted, srvStats.AlertsRejected, srvStats.QueueFull, stats.Out, srvStats.QueueHighWater)
 			fmt.Printf("%d incidents over the run, %d lifecycle events journaled\n", total, journal.Len())
 			return
 		}

@@ -1,0 +1,31 @@
+package alert
+
+import "testing"
+
+// Allocation pins for batch-column reuse: once a Batch has grown its
+// columns, the Reset-and-refill cycle the ingest dispatcher and the
+// preprocessor's absorb path run every tick must stay off the heap.
+func TestBatchReuseAllocFree(t *testing.T) {
+	a := testAlert()
+	var src, dst Batch
+	fill := func() {
+		src.Reset()
+		for i := 0; i < 64; i++ {
+			src.Append(&a)
+		}
+	}
+	fill() // grow the columns once
+	if avg := testing.AllocsPerRun(100, fill); avg != 0 {
+		t.Errorf("warm Reset+Append cycle allocates %.1f times per run, want 0", avg)
+	}
+	dst.AppendRange(&src, 0, src.Len()) // grow the absorb side once
+	if avg := testing.AllocsPerRun(100, func() {
+		dst.Reset()
+		dst.AppendRange(&src, 0, src.Len())
+	}); avg != 0 {
+		t.Errorf("warm Reset+AppendRange cycle allocates %.1f times per run, want 0", avg)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("absorb lost rows: %d != %d", dst.Len(), src.Len())
+	}
+}

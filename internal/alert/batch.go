@@ -1,0 +1,236 @@
+package alert
+
+import (
+	"fmt"
+	"time"
+
+	"skynet/internal/hierarchy"
+)
+
+// NoID marks a dense-ID column slot that has not been resolved yet. The
+// intern tables live above this package (internal/intern imports alert),
+// so Batch carries plain int32 IDs and the consumer assigns them.
+const NoID int32 = -1
+
+// Batch is a struct-of-arrays buffer of alerts: column i across every
+// slice describes one alert. It is the hand-off unit between ingest and
+// the preprocessor, replacing []Alert so the per-phase scans touch only
+// the columns they need (cache-linear, no ~330-byte struct copies).
+//
+// Ownership model (DESIGN.md §9): the producer appends rows (Append /
+// AppendWire) and never touches dense-ID columns; the consumer may
+// normalize value columns in place and fills PID/TID/CS from its intern
+// tables. A Batch is reused across ticks via Reset, which keeps column
+// capacity — steady-state ingest allocates nothing.
+type Batch struct {
+	// Time/End span of each observation.
+	Time []time.Time
+	End  []time.Time
+	// Source, Type, Class identify what happened.
+	Source []Source
+	Type   []string
+	Class  []Class
+	// Location/Peer place the observation in the hierarchy.
+	Location []hierarchy.Path
+	Peer     []hierarchy.Path
+	// Value and Count carry magnitude and consolidation weight.
+	Value []float64
+	Count []int64
+	// CircuitSet and Raw are the string payloads.
+	CircuitSet []string
+	Raw        []string
+	// PID/TID/CS are the dense interned IDs of Location, (Source, Type)
+	// and CircuitSet. Producers append NoID; the preprocessor's serial
+	// intern pass resolves them so the parallel consolidate phase hashes
+	// pure integers.
+	PID []int32
+	TID []int32
+	CS  []int32
+}
+
+// Len returns the number of rows.
+func (b *Batch) Len() int { return len(b.Time) }
+
+// Reset truncates every column to zero length, keeping capacity so the
+// batch can be refilled without allocating.
+func (b *Batch) Reset() {
+	b.Time = b.Time[:0]
+	b.End = b.End[:0]
+	b.Source = b.Source[:0]
+	b.Type = b.Type[:0]
+	b.Class = b.Class[:0]
+	b.Location = b.Location[:0]
+	b.Peer = b.Peer[:0]
+	b.Value = b.Value[:0]
+	b.Count = b.Count[:0]
+	b.CircuitSet = b.CircuitSet[:0]
+	b.Raw = b.Raw[:0]
+	b.PID = b.PID[:0]
+	b.TID = b.TID[:0]
+	b.CS = b.CS[:0]
+}
+
+// Append adds one alert as a new row. The alert's ID is not carried:
+// structured IDs are assigned downstream at emission.
+func (b *Batch) Append(a *Alert) {
+	b.Time = append(b.Time, a.Time)
+	b.End = append(b.End, a.End)
+	b.Source = append(b.Source, a.Source)
+	b.Type = append(b.Type, a.Type)
+	b.Class = append(b.Class, a.Class)
+	b.Location = append(b.Location, a.Location)
+	b.Peer = append(b.Peer, a.Peer)
+	b.Value = append(b.Value, a.Value)
+	b.Count = append(b.Count, int64(a.Count))
+	b.CircuitSet = append(b.CircuitSet, a.CircuitSet)
+	b.Raw = append(b.Raw, a.Raw)
+	b.PID = append(b.PID, NoID)
+	b.TID = append(b.TID, NoID)
+	b.CS = append(b.CS, NoID)
+}
+
+// AppendRange bulk-appends rows [lo, hi) of src — one memmove per
+// column instead of a per-row scatter. Dense-ID columns are copied as-is
+// (producers only ever hold NoID there).
+func (b *Batch) AppendRange(src *Batch, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	b.Time = append(b.Time, src.Time[lo:hi]...)
+	b.End = append(b.End, src.End[lo:hi]...)
+	b.Source = append(b.Source, src.Source[lo:hi]...)
+	b.Type = append(b.Type, src.Type[lo:hi]...)
+	b.Class = append(b.Class, src.Class[lo:hi]...)
+	b.Location = append(b.Location, src.Location[lo:hi]...)
+	b.Peer = append(b.Peer, src.Peer[lo:hi]...)
+	b.Value = append(b.Value, src.Value[lo:hi]...)
+	b.Count = append(b.Count, src.Count[lo:hi]...)
+	b.CircuitSet = append(b.CircuitSet, src.CircuitSet[lo:hi]...)
+	b.Raw = append(b.Raw, src.Raw[lo:hi]...)
+	b.PID = append(b.PID, src.PID[lo:hi]...)
+	b.TID = append(b.TID, src.TID[lo:hi]...)
+	b.CS = append(b.CS, src.CS[lo:hi]...)
+}
+
+// AlertAt materializes row i into dst. dst's ID is zeroed; dense IDs are
+// not part of the Alert shape.
+func (b *Batch) AlertAt(i int, dst *Alert) {
+	dst.ID = 0
+	dst.Time = b.Time[i]
+	dst.End = b.End[i]
+	dst.Source = b.Source[i]
+	dst.Type = b.Type[i]
+	dst.Class = b.Class[i]
+	dst.Location = b.Location[i]
+	dst.Peer = b.Peer[i]
+	dst.Value = b.Value[i]
+	dst.Count = int(b.Count[i])
+	dst.CircuitSet = b.CircuitSet[i]
+	dst.Raw = b.Raw[i]
+}
+
+// AppendWire decodes one compact pipe-delimited line (the AppendWire /
+// ParseWire format) straight into the columns, with no intermediate
+// Alert struct. On error no partial row is left behind and nothing in
+// the batch aliases the input buffer — line may be a reused socket
+// buffer, so every string column is materialized by the decode.
+func (b *Batch) AppendWire(line []byte) error {
+	fields, err := splitWire(line)
+	if err != nil {
+		return err
+	}
+	startNanos, err := parseInt(fields[0])
+	if err != nil {
+		return fmt.Errorf("alert: wire time: %w", err)
+	}
+	endNanos, err := parseInt(fields[1])
+	if err != nil {
+		return fmt.Errorf("alert: wire end: %w", err)
+	}
+	src, err := ParseSource(string(fields[2]))
+	if err != nil {
+		return err
+	}
+	class, err := ParseClass(string(fields[4]))
+	if err != nil {
+		return err
+	}
+	loc, err := parseWireLoc(string(fields[5]))
+	if err != nil {
+		return fmt.Errorf("alert: wire location: %w", err)
+	}
+	peer, err := parseWireLoc(string(fields[6]))
+	if err != nil {
+		return fmt.Errorf("alert: wire peer: %w", err)
+	}
+	value, err := parseFloat(fields[7])
+	if err != nil {
+		return fmt.Errorf("alert: wire value: %w", err)
+	}
+	count, err := parseInt(fields[8])
+	if err != nil {
+		return fmt.Errorf("alert: wire count: %w", err)
+	}
+	b.Time = append(b.Time, unixNano(startNanos))
+	b.End = append(b.End, unixNano(endNanos))
+	b.Source = append(b.Source, src)
+	b.Type = append(b.Type, unescapeWire(string(fields[3])))
+	b.Class = append(b.Class, class)
+	b.Location = append(b.Location, loc)
+	b.Peer = append(b.Peer, peer)
+	b.Value = append(b.Value, value)
+	b.Count = append(b.Count, count)
+	b.CircuitSet = append(b.CircuitSet, unescapeWire(string(fields[9])))
+	b.Raw = append(b.Raw, unescapeWire(string(fields[10])))
+	b.PID = append(b.PID, NoID)
+	b.TID = append(b.TID, NoID)
+	b.CS = append(b.CS, NoID)
+	return nil
+}
+
+// ValidateRow checks the structural invariants of row i, mirroring
+// Alert.Validate without materializing the row.
+func (b *Batch) ValidateRow(i int) error {
+	if !b.Source[i].Valid() {
+		return fmt.Errorf("alert: invalid source %v", b.Source[i])
+	}
+	if b.Type[i] == "" {
+		return fmt.Errorf("alert: empty type")
+	}
+	if !b.Class[i].Valid() {
+		return fmt.Errorf("alert: invalid class %v", b.Class[i])
+	}
+	if b.Time[i].IsZero() {
+		return fmt.Errorf("alert: zero timestamp")
+	}
+	if b.End[i].Before(b.Time[i]) {
+		return fmt.Errorf("alert: end %v before start %v", b.End[i], b.Time[i])
+	}
+	if b.Location[i].IsRoot() {
+		return fmt.Errorf("alert: root location")
+	}
+	if b.Count[i] < 0 {
+		return fmt.Errorf("alert: negative count %d", b.Count[i])
+	}
+	return nil
+}
+
+// DropLast removes the most recently appended row. Used by producers
+// that validate after appending.
+func (b *Batch) DropLast() {
+	n := b.Len() - 1
+	b.Time = b.Time[:n]
+	b.End = b.End[:n]
+	b.Source = b.Source[:n]
+	b.Type = b.Type[:n]
+	b.Class = b.Class[:n]
+	b.Location = b.Location[:n]
+	b.Peer = b.Peer[:n]
+	b.Value = b.Value[:n]
+	b.Count = b.Count[:n]
+	b.CircuitSet = b.CircuitSet[:n]
+	b.Raw = b.Raw[:n]
+	b.PID = b.PID[:n]
+	b.TID = b.TID[:n]
+	b.CS = b.CS[:n]
+}

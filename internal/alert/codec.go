@@ -148,14 +148,15 @@ func AppendWire(dst []byte, a *Alert) []byte {
 	return dst
 }
 
-// ParseWire parses the compact pipe-delimited form produced by AppendWire.
-func ParseWire(line []byte) (Alert, error) {
-	if len(line) > MaxLineBytes {
-		return Alert{}, ErrLineTooLong
-	}
-	// Walk the fields in place rather than bytes.Split, so decoding a
-	// line costs no slice-of-slices allocation.
+// splitWire walks a wire line's fields in place (no slice-of-slices
+// allocation). The returned sub-slices alias line; callers must
+// materialize anything they keep. Shared by ParseWire and
+// Batch.AppendWire so both decoders agree on framing exactly.
+func splitWire(line []byte) ([11][]byte, error) {
 	var fields [11][]byte
+	if len(line) > MaxLineBytes {
+		return fields, ErrLineTooLong
+	}
 	nf, start := 0, 0
 	for i := 0; i <= len(line); i++ {
 		if i == len(line) || line[i] == '|' {
@@ -167,7 +168,16 @@ func ParseWire(line []byte) (Alert, error) {
 		}
 	}
 	if nf != 11 {
-		return Alert{}, fmt.Errorf("alert: wire: %d fields, want 11", nf)
+		return fields, fmt.Errorf("alert: wire: %d fields, want 11", nf)
+	}
+	return fields, nil
+}
+
+// ParseWire parses the compact pipe-delimited form produced by AppendWire.
+func ParseWire(line []byte) (Alert, error) {
+	fields, err := splitWire(line)
+	if err != nil {
+		return Alert{}, err
 	}
 	var a Alert
 	startNanos, err := parseInt(fields[0])

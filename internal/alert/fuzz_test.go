@@ -49,3 +49,58 @@ func FuzzJSONDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzWireBatchDecode hardens the columnar UDP ingestion path: arbitrary
+// datagram bytes must never panic, a rejected frame must leave the batch
+// exactly as it was (no partial rows, column lengths in lockstep), an
+// accepted frame must decode identically to ParseWire, and no column may
+// alias the caller's buffer — the buffer is reused for the next datagram.
+func FuzzWireBatchDecode(f *testing.F) {
+	a := testAlert()
+	f.Add(AppendWire(nil, &a))
+	f.Add([]byte(""))
+	f.Add([]byte("||||||||||"))
+	f.Add([]byte("0|0|ping|t|failure|R|R|0|1||"))
+	f.Add([]byte("9999999999999999999|x|ping|t|failure|R|R|0.5|1|cs|raw"))
+	f.Add([]byte("\x00\x01\x02|\xff|ping|t|failure|R|R|0|1||"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode from a buffer we can clobber afterwards, like the UDP
+		// reader's reused read buffer.
+		buf := append([]byte(nil), data...)
+		var b Batch
+		b.Append(&a) // pre-existing row that a rejected frame must not disturb
+		err := b.AppendWire(buf)
+
+		want, werr := ParseWire(data)
+		if (err == nil) != (werr == nil) {
+			t.Fatalf("batch/alert decoders disagree: batch err=%v, ParseWire err=%v, in=%q", err, werr, data)
+		}
+		if err != nil {
+			if b.Len() != 1 {
+				t.Fatalf("rejected frame left %d rows, want 1", b.Len())
+			}
+		} else if b.Len() != 2 {
+			t.Fatalf("accepted frame left %d rows, want 2", b.Len())
+		}
+		// Column lengths must stay in lockstep either way.
+		n := b.Len()
+		if len(b.End) != n || len(b.Source) != n || len(b.Type) != n || len(b.Class) != n ||
+			len(b.Location) != n || len(b.Peer) != n || len(b.Value) != n || len(b.Count) != n ||
+			len(b.CircuitSet) != n || len(b.Raw) != n || len(b.PID) != n || len(b.TID) != n || len(b.CS) != n {
+			t.Fatalf("ragged columns after decode of %q", data)
+		}
+		if err != nil {
+			return
+		}
+		// Clobber the input buffer; the decoded row must be unaffected.
+		for i := range buf {
+			buf[i] = 0xAA
+		}
+		var got Alert
+		b.AlertAt(1, &got)
+		want.Count = max(want.Count, 0) // AlertAt reports the stored count verbatim
+		if !alertEqual(&got, &want) {
+			t.Fatalf("columnar decode diverges from ParseWire (or aliased the buffer):\n got:  %+v\n want: %+v\n in: %q", got, want, data)
+		}
+	})
+}

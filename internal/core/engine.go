@@ -188,6 +188,30 @@ func (e *Engine) Ingest(a alert.Alert) {
 	e.pre.Add(a)
 }
 
+// IngestBatch feeds a columnar batch of raw alerts into the preprocessor
+// in one call — the bulk twin of Ingest, avoiding a per-alert struct copy
+// through the call chain. The batch is consumed by value into the
+// preprocessor's pending columns; the caller may Reset and refill it
+// immediately.
+func (e *Engine) IngestBatch(b *alert.Batch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	e.rawIn += n
+	if e.tel != nil {
+		e.tel.rawIngested.Add(int64(n))
+	}
+	if e.flood != nil {
+		var a alert.Alert
+		for i := 0; i < n; i++ {
+			b.AlertAt(i, &a)
+			e.flood.ObserveRaw(a)
+		}
+	}
+	e.pre.AddBatch(b)
+}
+
 // SetReachability installs the latest end-to-end ping observations used by
 // location zoom-in's reachability matrix. Installing an identical sample
 // set is free; a changed set marks every active incident for re-refining.

@@ -179,7 +179,7 @@ func lifecycleEvent(now time.Time, typ telemetry.EventType, in *incident.Inciden
 		Root:      in.Root.String(),
 		Severity:  st.severity,
 		Alerts:    st.alerts,
-		Locations: len(in.Entries),
+		Locations: in.LocationCount(),
 	}
 	if !in.Zoomed.IsRoot() && in.Zoomed != in.Root {
 		ev.Zoomed = st.zoomed

@@ -114,23 +114,20 @@ func New(cfg Config, topo *topology.Topology) *Evaluator {
 // evaluation time, and stores it on the incident.
 func (e *Evaluator) Score(in *incident.Incident, now time.Time) Breakdown {
 	var b Breakdown
-	scope := in.Root
-	if !in.Zoomed.IsRoot() {
-		scope = in.Zoomed
-	}
 
-	// Collect the circuit sets related to the incident: those named by
-	// its alerts plus those under the (zoomed) failure site.
-	related := map[string]bool{}
+	// One linear pass over the entry slab collects every per-alert input
+	// of Equations 1–2: the break/SLA ratios per named circuit set, the
+	// ping-tool loss observations for R_k, and the max SLA overload for
+	// L_k. The slab is first-seen ordered and cache-linear, so this
+	// replaces three walks over the old nested location→stream maps.
 	breakRatio := map[string]float64{}
 	slaOver := map[string]float64{}
-	for _, locEntries := range in.Entries {
-		for _, entry := range locEntries {
-			a := &entry.Alert
-			if a.CircuitSet == "" {
-				continue
-			}
-			related[a.CircuitSet] = true
+	var lossVals []float64
+	var maxOver float64
+	slab := in.EntrySlab()
+	for i := range slab {
+		a := &slab[i].Alert
+		if a.CircuitSet != "" {
 			switch a.Type {
 			case alert.TypeLinkDown, alert.TypePortDown:
 				if a.Value > breakRatio[a.CircuitSet] {
@@ -142,20 +139,38 @@ func (e *Evaluator) Score(in *incident.Incident, now time.Time) Breakdown {
 				}
 			}
 		}
-	}
-	if e.topo != nil {
-		for _, name := range e.topo.CircuitSetsUnder(scope) {
-			related[name] = true
+		lossy := (a.Type == alert.TypePacketLoss &&
+			(a.Source == alert.SourcePing || a.Source == alert.SourceTraffic)) ||
+			(a.Type == alert.TypeInternetLoss && a.Source == alert.SourceInternetTelemetry)
+		if lossy {
+			lossVals = append(lossVals, a.Value)
+		}
+		if a.Type == alert.TypeSLAFlowOverLimit {
+			if over := overloadRatio(a.Value); over > maxOver {
+				maxOver = over
+			}
 		}
 	}
 
-	// Equation 1: impact factor over the related circuit sets. Iterate
-	// in sorted name order: float accumulation is not associative, so a
-	// map-order walk would let severity bits vary run to run, breaking
-	// the engine's exact-replay guarantee.
-	names := make([]string, 0, len(related))
-	for name := range related {
+	// Equation 1: impact factor over the related circuit sets. Only sets
+	// with a positive break or SLA-over ratio can contribute: a set with
+	// d=0 and l=0 has Contribution (d+l)·g·u = 0 exactly, adds +0.0 to
+	// the (non-negative) impact sum without changing a bit of it, and is
+	// excluded from both b.Circuits and the important-customer count. So
+	// the historical sweep over every set under the zoomed scope
+	// (topology.CircuitSetsUnder) is a provable no-op and is skipped —
+	// severity bits are unchanged while the dominant Score cost is gone.
+	// Iterate in sorted name order: float accumulation is not
+	// associative, so a map-order walk would let severity bits vary run
+	// to run, breaking the engine's exact-replay guarantee.
+	names := make([]string, 0, len(breakRatio)+len(slaOver))
+	for name := range breakRatio {
 		names = append(names, name)
+	}
+	for name := range slaOver {
+		if _, dup := breakRatio[name]; !dup {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	importantCustomers := map[topology.CustomerID]bool{}
@@ -195,9 +210,9 @@ func (e *Evaluator) Score(in *incident.Incident, now time.Time) Breakdown {
 	b.Impact = math.Max(1, impact)
 	b.ImportantCustomers = len(importantCustomers)
 
-	// Table 3 inputs for Equation 2.
-	b.R = e.avgPingLoss(in)
-	b.L = e.maxSLAOver(in)
+	// Table 3 inputs for Equation 2, from the slab pass above.
+	b.R = meanSorted(lossVals)
+	b.L = maxOver
 	end := in.UpdateTime
 	if !in.End.IsZero() {
 		end = in.End
@@ -259,50 +274,20 @@ func Rank(ins []*incident.Incident) []*incident.Incident {
 	return out
 }
 
-// avgPingLoss computes R_k: the mean loss ratio over the incident's
-// loss observations from the ping-based tools (the cluster mesh, sFlow
-// sampling, and the internet-telemetry prober of Table 2).
-func (e *Evaluator) avgPingLoss(in *incident.Incident) float64 {
-	var vals []float64
-	for _, locEntries := range in.Entries {
-		for _, entry := range locEntries {
-			a := &entry.Alert
-			lossy := (a.Type == alert.TypePacketLoss &&
-				(a.Source == alert.SourcePing || a.Source == alert.SourceTraffic)) ||
-				(a.Type == alert.TypeInternetLoss && a.Source == alert.SourceInternetTelemetry)
-			if !lossy {
-				continue
-			}
-			vals = append(vals, a.Value)
-		}
-	}
+// meanSorted computes R_k: the mean of the collected loss ratios. The
+// values are summed in sorted order so that the collection order (slab
+// insertion order, or historically a map walk) cannot perturb the
+// non-associative float mean between runs.
+func meanSorted(vals []float64) float64 {
 	if len(vals) == 0 {
 		return 0
 	}
-	// Sum in sorted order so the incident-entries map walk above cannot
-	// perturb the (non-associative) float mean between runs.
 	sort.Float64s(vals)
 	var sum float64
 	for _, v := range vals {
 		sum += v
 	}
 	return sum / float64(len(vals))
-}
-
-// maxSLAOver computes L_k from NetFlow SLA alerts, mapped into (0,1).
-func (e *Evaluator) maxSLAOver(in *incident.Incident) float64 {
-	var best float64
-	for _, locEntries := range in.Entries {
-		for _, entry := range locEntries {
-			a := &entry.Alert
-			if a.Type == alert.TypeSLAFlowOverLimit {
-				if over := overloadRatio(a.Value); over > best {
-					best = over
-				}
-			}
-		}
-	}
-	return best
 }
 
 // overloadRatio maps a demand/capacity ratio (≥1 when overloaded) to the

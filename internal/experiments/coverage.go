@@ -145,11 +145,10 @@ func Fig5d(opts Options) (*Result, error) {
 			// Count aggregated alert streams, not raw instances: the
 			// preprocessor already normalized per-tool cadence (§4.1), so
 			// one persistent condition is one alert here.
-			for _, locEntries := range in.Entries {
-				for _, e := range locEntries {
-					classCounts[e.Alert.Class]++
-					totalAlerts++
-				}
+			slab := in.EntrySlab()
+			for i := range slab {
+				classCounts[slab[i].Alert.Class]++
+				totalAlerts++
 			}
 		}
 	}

@@ -9,6 +9,7 @@ package hierarchy
 import (
 	"fmt"
 	"strings"
+	"unsafe"
 )
 
 // Level identifies one layer of the network location hierarchy.
@@ -142,6 +143,27 @@ func (p Path) Segment(l Level) string {
 		return ""
 	}
 	return p.seg[int(l)-1]
+}
+
+// HeaderEq reports whether q is byte-header-identical to p: same depth
+// and every segment sharing the exact same string header (data pointer
+// and length). Header identity implies equality, but not vice versa —
+// equal paths built from different string backings compare false. It is
+// the O(1) fast path for caches that fall back to a full compare on
+// mismatch.
+func (p *Path) HeaderEq(q *Path) bool {
+	if p.depth != q.depth {
+		return false
+	}
+	for i := range p.seg {
+		if len(p.seg[i]) != len(q.seg[i]) {
+			return false
+		}
+		if len(p.seg[i]) > 0 && unsafe.StringData(p.seg[i]) != unsafe.StringData(q.seg[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Leaf returns the last segment, or "" for the root.

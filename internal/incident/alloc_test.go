@@ -1,0 +1,62 @@
+package incident
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"skynet/internal/alert"
+	"skynet/internal/hierarchy"
+)
+
+// Allocation pins for the pooled entry slab. Aggregating into an
+// existing stream must never allocate, and appending a fresh stream into
+// a Grow-reserved slab must not either — the locator calls Grow with the
+// component's stream count before copying it, and that promise is what
+// keeps incident materialization off the GC during a flood.
+func TestAddRefAggregateAllocFree(t *testing.T) {
+	in := New(1, hierarchy.MustNew("RG01"))
+	a := alert.Alert{
+		Source: alert.SourcePing, Type: alert.TypePacketLoss, Class: alert.ClassFailure,
+		Time:     time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC),
+		Location: hierarchy.MustNew("RG01", "CT01", "LS01", "ST01", "CL01", "dev-1"),
+		Value:    0.25, Count: 1,
+	}
+	in.AddRef(&a)
+	if avg := testing.AllocsPerRun(200, func() {
+		a.Time = a.Time.Add(time.Second)
+		a.End = a.Time
+		in.AddRef(&a)
+	}); avg != 0 {
+		t.Errorf("AddRef into an existing stream allocates %.1f times per call, want 0", avg)
+	}
+}
+
+func TestAddRefGrownAppendAllocFree(t *testing.T) {
+	const runs, perRun = 50, 8
+	total := (runs + 1) * perRun
+	alerts := make([]alert.Alert, total)
+	base := time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+	for i := range alerts {
+		alerts[i] = alert.Alert{
+			Source: alert.SourcePing, Type: alert.TypePacketLoss, Class: alert.ClassFailure,
+			Time:     base.Add(time.Duration(i) * time.Second),
+			Location: hierarchy.MustNew("RG01", "CT01", "LS01", "ST01", "CL01", fmt.Sprintf("dev-%04d", i)),
+			Value:    0.5, Count: 1,
+		}
+	}
+	in := New(1, hierarchy.MustNew("RG01"))
+	in.Grow(total)
+	next := 0
+	if avg := testing.AllocsPerRun(runs, func() {
+		for i := 0; i < perRun; i++ {
+			in.AddRef(&alerts[next])
+			next++
+		}
+	}); avg != 0 {
+		t.Errorf("AddRef of a fresh stream after Grow allocates %.1f times per run of %d, want 0", avg, perRun)
+	}
+	if in.EntryCount() != next {
+		t.Fatalf("slab holds %d entries, want %d", in.EntryCount(), next)
+	}
+}

@@ -22,6 +22,7 @@ type Entry struct {
 	Alert alert.Alert
 }
 
+
 // Incident is a cluster of alerts attributed to one root cause.
 type Incident struct {
 	// ID is unique within a locator's lifetime.
@@ -36,9 +37,22 @@ type Incident struct {
 	// i.updateTime).
 	UpdateTime time.Time
 
-	// Entries maps location → stream key (source, type, circuit set)
-	// → aggregated entry.
-	Entries map[hierarchy.Path]map[alert.StreamKey]*Entry
+	// slab holds the aggregated entries in first-seen order. Entries are
+	// only ever appended or updated in place, so slab indices are stable
+	// for the incident's lifetime. Pointers into the slab (handed out by
+	// the map-shaped views below) stay valid until the next Add/Merge,
+	// which may grow the slab and move it.
+	//
+	// Lookup is two-level: idx maps a location to the head of a chain of
+	// slab indices threaded through next (-1 terminated), and Add scans
+	// that chain comparing stream keys. A location rarely carries more
+	// than a handful of streams, so the scan is short — and keeping the
+	// map key to a bare Path (104 bytes) stays under Go's 128-byte
+	// inline-key limit, so map inserts don't heap-allocate a key copy
+	// the way a (Path, StreamKey) composite did.
+	slab []Entry
+	next []int32
+	idx  map[hierarchy.Path]int32
 
 	// Severity is the evaluator's score y_k (0 until evaluated).
 	Severity float64
@@ -51,20 +65,52 @@ type Incident struct {
 
 	// rev counts content mutations (Add/Merge/Close). The engine's
 	// incremental evaluator compares revisions to skip re-refining and
-	// re-scoring incidents whose inputs cannot have changed.
+	// re-scoring incidents whose inputs cannot have changed; the memoized
+	// views below use it to prove their caches fresh.
 	rev uint64
+
+	// Lazily materialized, rev-stamped views. The slab is the source of
+	// truth; these exist only for report/explain/JSON surfaces that want
+	// the historical map shape. A view built at viewRev==rev is returned
+	// as-is on the next call; any mutation invalidates all of them.
+	viewRev  uint64
+	view     map[hierarchy.Path]map[alert.StreamKey]*Entry
+	locsRev  uint64
+	locs     []hierarchy.Path
+	classRev uint64
+	byClass  map[alert.Class]map[alert.Source][]*Entry
 }
 
 // Rev returns the mutation revision: it changes whenever Add, Merge, or
 // Close alter the incident's content.
 func (in *Incident) Rev() uint64 { return in.rev }
 
-// New creates an empty incident.
+// New creates an empty incident. Entry storage is allocated lazily on the
+// first Add, so incidents that merge-and-close immediately cost nothing.
 func New(id int, root hierarchy.Path) *Incident {
-	return &Incident{
-		ID:      id,
-		Root:    root,
-		Entries: make(map[hierarchy.Path]map[alert.StreamKey]*Entry),
+	return &Incident{ID: id, Root: root}
+}
+
+// Grow pre-sizes the incident for about n additional entries: one slab
+// reservation and one index sized up front instead of a doubling series
+// of reallocations. Callers that know the incoming stream count (the
+// locator copying a component) use this to keep Add allocation-free.
+func (in *Incident) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if cap(in.slab)-len(in.slab) < n {
+		ns := make([]Entry, len(in.slab), len(in.slab)+n)
+		copy(ns, in.slab)
+		in.slab = ns
+	}
+	if cap(in.next)-len(in.next) < n {
+		nn := make([]int32, len(in.next), len(in.next)+n)
+		copy(nn, in.next)
+		in.next = nn
+	}
+	if in.idx == nil {
+		in.idx = make(map[hierarchy.Path]int32, len(in.slab)+n)
 	}
 }
 
@@ -73,32 +119,54 @@ func (in *Incident) Active() bool { return in.End.IsZero() }
 
 // Add merges one alert into the incident, updating Start/UpdateTime and
 // the per-location aggregation.
-func (in *Incident) Add(a alert.Alert) {
+func (in *Incident) Add(a alert.Alert) { in.AddRef(&a) }
+
+// AddRef is Add without the 330-byte argument copy — the hot ingest path.
+// The alert is copied into the slab; the pointer is not retained.
+func (in *Incident) AddRef(a *alert.Alert) {
 	in.rev++
-	locEntries, ok := in.Entries[a.Location]
-	if !ok {
-		locEntries = make(map[alert.StreamKey]*Entry)
-		in.Entries[a.Location] = locEntries
+	if in.idx == nil {
+		in.idx = make(map[hierarchy.Path]int32, 8)
 	}
-	k := a.StreamKey()
-	if e, ok := locEntries[k]; ok {
-		if a.End.After(e.Alert.End) {
-			e.Alert.End = a.End
+	head, found := in.idx[a.Location]
+	if found {
+		for i := head; i >= 0; i = in.next[i] {
+			e := &in.slab[i].Alert
+			if e.Source != a.Source || e.Type != a.Type || e.CircuitSet != a.CircuitSet {
+				continue
+			}
+			if a.End.After(e.End) {
+				e.End = a.End
+			}
+			if a.Time.Before(e.Time) {
+				e.Time = a.Time
+			}
+			if a.Value > e.Value {
+				e.Value = a.Value
+			}
+			e.Count += max(a.Count, 1)
+			in.bumpTimes(a)
+			return
 		}
-		if a.Time.Before(e.Alert.Time) {
-			e.Alert.Time = a.Time
-		}
-		if a.Value > e.Alert.Value {
-			e.Alert.Value = a.Value
-		}
-		e.Alert.Count += max(a.Count, 1)
+	}
+	// New stream: append to the slab and push onto the location's chain
+	// (chain order does not matter — slab order stays first-seen).
+	i := int32(len(in.slab))
+	in.slab = append(in.slab, Entry{Alert: *a})
+	if a.Count <= 0 {
+		in.slab[i].Alert.Count = 1
+	}
+	if found {
+		in.next = append(in.next, head)
 	} else {
-		cp := a
-		if cp.Count <= 0 {
-			cp.Count = 1
-		}
-		locEntries[k] = &Entry{Alert: cp}
+		in.next = append(in.next, -1)
 	}
+	in.idx[a.Location] = i
+	in.bumpTimes(a)
+}
+
+// bumpTimes folds one alert's timestamps into Start/UpdateTime.
+func (in *Incident) bumpTimes(a *alert.Alert) {
 	if in.Start.IsZero() || a.Time.Before(in.Start) {
 		in.Start = a.Time
 	}
@@ -113,10 +181,8 @@ func (in *Incident) Add(a alert.Alert) {
 
 // Merge absorbs all entries of another incident.
 func (in *Incident) Merge(other *Incident) {
-	for _, locEntries := range other.Entries {
-		for _, e := range locEntries {
-			in.Add(e.Alert)
-		}
+	for i := range other.slab {
+		in.Add(other.slab[i].Alert)
 	}
 	in.MergedFrom = append(in.MergedFrom, other.ID)
 	in.MergedFrom = append(in.MergedFrom, other.MergedFrom...)
@@ -130,26 +196,74 @@ func (in *Incident) Close(at time.Time) {
 	}
 }
 
+// EntrySlab returns the incident's aggregated entries in first-seen
+// order. This is the allocation-free view for hot readers (evaluator,
+// zoom-in): iterate by index, do not mutate, and do not retain the slice
+// across a mutation (Add/Merge may grow and move it).
+func (in *Incident) EntrySlab() []Entry { return in.slab }
+
+// EntryCount returns the number of distinct aggregated streams.
+func (in *Incident) EntryCount() int { return len(in.slab) }
+
+// Entries materializes the historical map shape: location → stream key
+// (source, type, circuit set) → aggregated entry. The map is built
+// lazily and memoized against the revision counter, so repeated calls on
+// an unchanged incident are free. Callers must treat the result as
+// read-only; it is shared and invalidated by the next mutation.
+func (in *Incident) Entries() map[hierarchy.Path]map[alert.StreamKey]*Entry {
+	if in.view != nil && in.viewRev == in.rev {
+		return in.view
+	}
+	view := make(map[hierarchy.Path]map[alert.StreamKey]*Entry)
+	for i := range in.slab {
+		e := &in.slab[i]
+		locEntries, ok := view[e.Alert.Location]
+		if !ok {
+			locEntries = make(map[alert.StreamKey]*Entry)
+			view[e.Alert.Location] = locEntries
+		}
+		locEntries[e.Alert.StreamKey()] = e
+	}
+	in.view, in.viewRev = view, in.rev
+	return view
+}
+
 // Locations returns the alerting locations inside the incident, sorted.
+// The slice is memoized against the revision counter and shared: callers
+// must not modify it.
 func (in *Incident) Locations() []hierarchy.Path {
-	out := make([]hierarchy.Path, 0, len(in.Entries))
-	for p := range in.Entries {
-		out = append(out, p)
+	if in.locs != nil && in.locsRev == in.rev {
+		return in.locs
+	}
+	out := make([]hierarchy.Path, 0, len(in.slab))
+	for i := range in.slab {
+		out = append(out, in.slab[i].Alert.Location)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-	return out
+	// Dedupe in place: distinct streams share locations.
+	w := 0
+	for i := range out {
+		if i == 0 || out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	in.locs, in.locsRev = out[:w], in.rev
+	return in.locs
 }
+
+// LocationCount returns the number of distinct alerting locations.
+func (in *Incident) LocationCount() int { return len(in.Locations()) }
 
 // TypeCount returns the number of distinct (source, type) pairs of the
 // given class across the incident — the deduplicated counting unit of
 // §4.2.
 func (in *Incident) TypeCount(c alert.Class) int {
 	seen := map[alert.TypeKey]bool{}
-	for _, locEntries := range in.Entries {
-		for k, e := range locEntries {
-			if e.Alert.Class == c {
-				seen[k.TypeKey()] = true
-			}
+	for i := range in.slab {
+		a := &in.slab[i].Alert
+		if a.Class == c {
+			seen[alert.TypeKey{Source: a.Source, Type: a.Type}] = true
 		}
 	}
 	return len(seen)
@@ -158,23 +272,30 @@ func (in *Incident) TypeCount(c alert.Class) int {
 // AlertCount returns the total number of raw alert instances aggregated.
 func (in *Incident) AlertCount() int {
 	n := 0
-	for _, locEntries := range in.Entries {
-		for _, e := range locEntries {
-			n += e.Alert.Count
-		}
+	for i := range in.slab {
+		n += in.slab[i].Alert.Count
 	}
 	return n
 }
 
 // EntriesByClass groups aggregated entries of one class by source, each
 // source's entries sorted by type — the structure of the Figure 6 report.
+// Results are memoized against the revision counter and shared: callers
+// must treat them as read-only.
 func (in *Incident) EntriesByClass(c alert.Class) map[alert.Source][]*Entry {
+	if in.byClass != nil && in.classRev == in.rev {
+		if out, ok := in.byClass[c]; ok {
+			return out
+		}
+	} else {
+		in.byClass = make(map[alert.Class]map[alert.Source][]*Entry, 3)
+		in.classRev = in.rev
+	}
 	out := make(map[alert.Source][]*Entry)
-	for _, locEntries := range in.Entries {
-		for _, e := range locEntries {
-			if e.Alert.Class == c {
-				out[e.Alert.Source] = append(out[e.Alert.Source], e)
-			}
+	for i := range in.slab {
+		e := &in.slab[i]
+		if e.Alert.Class == c {
+			out[e.Alert.Source] = append(out[e.Alert.Source], e)
 		}
 	}
 	for _, entries := range out {
@@ -185,6 +306,7 @@ func (in *Incident) EntriesByClass(c alert.Class) map[alert.Source][]*Entry {
 			return entries[i].Alert.Location.Compare(entries[j].Alert.Location) < 0
 		})
 	}
+	in.byClass[c] = out
 	return out
 }
 

@@ -29,10 +29,10 @@ func TestAddAggregates(t *testing.T) {
 	if got := in.AlertCount(); got != 3 {
 		t.Errorf("AlertCount = %d, want 3", got)
 	}
-	if len(in.Entries[locA]) != 1 {
+	if len(in.Entries()[locA]) != 1 {
 		t.Error("same type+location should aggregate into one entry")
 	}
-	e := in.Entries[locA][alert.StreamKey{Source: alert.SourcePing, Type: alert.TypePacketLoss}]
+	e := in.Entries()[locA][alert.StreamKey{Source: alert.SourcePing, Type: alert.TypePacketLoss}]
 	if !e.Alert.Time.Equal(epoch) || !e.Alert.End.Equal(epoch.Add(time.Minute)) {
 		t.Error("aggregate span wrong")
 	}

@@ -27,6 +27,21 @@ import (
 // single dispatch goroutine; they must not block for long.
 type Handler func(alert.Alert)
 
+// BatchHandler consumes batches of ingested alerts — the columnar fast
+// path (core.Engine.IngestBatch). Called from a single dispatch
+// goroutine. The batch is reset and reused once the call returns, so
+// implementations must copy any rows they retain.
+type BatchHandler func(*alert.Batch)
+
+// maxIngestBatch caps how many alerts a dispatch batch accumulates
+// before it is handed off; during a flood the dispatcher flushes at
+// this size, otherwise as soon as the queue goes momentarily idle.
+const maxIngestBatch = 512
+
+// udpFlushInterval bounds how long a decoded-but-unflushed UDP batch can
+// sit in the reader while no further datagrams arrive.
+const udpFlushInterval = 2 * time.Millisecond
+
 // Stats counts ingestion activity. Snapshot with Server.Stats. The same
 // struct backs /api/stats and the /metrics exposition (via
 // RegisterMetrics), so the two always agree.
@@ -87,16 +102,23 @@ func DefaultConfig() Config {
 	}
 }
 
-// Server runs the listeners. Create with Listen, stop with Close.
+// Server runs the listeners. Create with Listen or ListenBatch, stop
+// with Close.
 type Server struct {
-	cfg     Config
-	handler Handler
-	log     *slog.Logger
+	cfg      Config
+	handler  Handler      // per-alert mode (Listen)
+	bhandler BatchHandler // batch mode (ListenBatch)
+	log      *slog.Logger
 
 	tcpLn net.Listener
 	udpPc net.PacketConn
 
 	queue chan alert.Alert
+	// batchQ carries whole UDP-decoded batches in batch mode; the wire
+	// codec writes straight into their columns, so a datagram never
+	// materializes an intermediate Alert on the hot path.
+	batchQ chan *alert.Batch
+	pool   sync.Pool // *alert.Batch
 
 	mu    sync.Mutex
 	stats Stats
@@ -112,6 +134,23 @@ func Listen(cfg Config, handler Handler) (*Server, error) {
 	if handler == nil {
 		return nil, errors.New("ingest: nil handler")
 	}
+	return listen(cfg, handler, nil)
+}
+
+// ListenBatch is Listen with columnar dispatch: alerts are accumulated
+// into a reused alert.Batch and handed to the handler in batches — at
+// most maxIngestBatch rows, or whatever arrived when the queue goes
+// idle. UDP datagrams are decoded by Batch.AppendWire directly into the
+// batch columns on the reader goroutine; TCP alerts are batched at the
+// dispatcher. Ordering within each protocol is preserved.
+func ListenBatch(cfg Config, handler BatchHandler) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("ingest: nil batch handler")
+	}
+	return listen(cfg, nil, handler)
+}
+
+func listen(cfg Config, handler Handler, bhandler BatchHandler) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
@@ -124,13 +163,18 @@ func Listen(cfg Config, handler Handler) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		handler: handler,
-		log:     log,
-		queue:   make(chan alert.Alert, cfg.QueueDepth),
-		conns:   make(map[net.Conn]struct{}),
-		ctx:     ctx,
-		cancel:  cancel,
+		cfg:      cfg,
+		handler:  handler,
+		bhandler: bhandler,
+		log:      log,
+		queue:    make(chan alert.Alert, cfg.QueueDepth),
+		conns:    make(map[net.Conn]struct{}),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	s.pool.New = func() any { return new(alert.Batch) }
+	if bhandler != nil {
+		s.batchQ = make(chan *alert.Batch, 64)
 	}
 	if cfg.TCPAddr != "" {
 		ln, err := net.Listen("tcp", cfg.TCPAddr)
@@ -153,10 +197,18 @@ func Listen(cfg Config, handler Handler) (*Server, error) {
 		}
 		s.udpPc = pc
 		s.wg.Add(1)
-		go s.udpLoop()
+		if s.bhandler != nil {
+			go s.udpBatchLoop()
+		} else {
+			go s.udpLoop()
+		}
 	}
 	s.wg.Add(1)
-	go s.dispatch()
+	if s.bhandler != nil {
+		go s.dispatchBatch()
+	} else {
+		go s.dispatch()
+	}
 	return s, nil
 }
 
@@ -181,6 +233,12 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// QueueLoad returns the dispatch queue's current depth and capacity —
+// the backpressure surface watched by the flight recorder.
+func (s *Server) QueueLoad() (depth, capacity int) {
+	return len(s.queue), cap(s.queue)
 }
 
 // Close stops the listeners, drains in-flight work, and returns when all
@@ -221,6 +279,87 @@ func (s *Server) dispatch() {
 			s.handler(a)
 		}
 	}
+}
+
+// dispatchBatch serializes alerts into the batch handler. TCP alerts
+// arrive one at a time on queue and are coalesced here; UDP batches
+// arrive whole on batchQ and are forwarded as-is.
+func (s *Server) dispatchBatch() {
+	defer s.wg.Done()
+	b := s.pool.Get().(*alert.Batch)
+	b.Reset()
+	flush := func() {
+		if b.Len() > 0 {
+			s.bhandler(b)
+			b.Reset()
+		}
+	}
+	forward := func(ub *alert.Batch) {
+		flush() // keep rough arrival order between the two sources
+		s.bhandler(ub)
+		ub.Reset()
+		s.pool.Put(ub)
+	}
+	for {
+		select {
+		case <-s.ctx.Done():
+			// Drain what readers already queued.
+			for {
+				select {
+				case a := <-s.queue:
+					b.Append(&a)
+				case ub := <-s.batchQ:
+					forward(ub)
+				default:
+					flush()
+					return
+				}
+			}
+		case a := <-s.queue:
+			b.Append(&a)
+			more := true
+			for more && b.Len() < maxIngestBatch {
+				select {
+				case a := <-s.queue:
+					b.Append(&a)
+				default:
+					more = false
+				}
+			}
+			flush()
+		case ub := <-s.batchQ:
+			forward(ub)
+		}
+	}
+}
+
+// flushBatch hands a UDP-decoded batch to the dispatcher, dropping (and
+// counting) its rows when the batch queue is full, and returns a fresh
+// batch for the reader to keep decoding into.
+func (s *Server) flushBatch(b *alert.Batch) *alert.Batch {
+	n := b.Len()
+	if n == 0 {
+		return b
+	}
+	select {
+	case s.batchQ <- b:
+		s.mu.Lock()
+		s.stats.AlertsAccepted += n
+		if depth := len(s.queue); depth > s.stats.QueueHighWater {
+			s.stats.QueueHighWater = depth
+		}
+		s.mu.Unlock()
+	default:
+		s.mu.Lock()
+		s.stats.AlertsRejected += n
+		s.stats.QueueFull += n
+		s.mu.Unlock()
+		b.Reset()
+		return b
+	}
+	nb := s.pool.Get().(*alert.Batch)
+	nb.Reset()
+	return nb
 }
 
 // enqueue hands an alert to the dispatcher, dropping (and counting) when
@@ -383,6 +522,54 @@ func (s *Server) udpLoop() {
 			continue
 		}
 		s.enqueue(a)
+	}
+}
+
+// udpBatchLoop is udpLoop for batch mode: datagrams decode straight
+// into batch columns (Batch.AppendWire), and the batch is flushed to the
+// dispatcher when it reaches maxIngestBatch rows or when no further
+// datagram arrives within udpFlushInterval.
+func (s *Server) udpBatchLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, alert.MaxLineBytes)
+	b := s.pool.Get().(*alert.Batch)
+	b.Reset()
+	for {
+		// Block indefinitely while empty; with rows pending, wait only
+		// the flush interval so a lull can't strand decoded alerts.
+		var deadline time.Time
+		if b.Len() > 0 {
+			deadline = time.Now().Add(udpFlushInterval)
+		}
+		s.udpPc.SetReadDeadline(deadline)
+		n, _, err := s.udpPc.ReadFrom(buf)
+		if err != nil {
+			if s.ctx.Err() != nil {
+				s.flushBatch(b)
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				b = s.flushBatch(b)
+				continue
+			}
+			s.log.Warn("ingest: udp read", "err", err)
+			continue
+		}
+		if err := b.AppendWire(trimNewline(buf[:n])); err != nil {
+			s.reject(rejectUDPParse)
+			continue
+		}
+		if i := b.Len() - 1; b.Source[i] != alert.SourceSyslog {
+			if verr := b.ValidateRow(i); verr != nil {
+				b.DropLast()
+				s.reject(rejectUDPInvalid)
+				continue
+			}
+		}
+		if b.Len() >= maxIngestBatch {
+			b = s.flushBatch(b)
+		}
 	}
 }
 

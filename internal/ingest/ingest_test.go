@@ -404,3 +404,169 @@ func TestQueueOverflowShedsNotBlocks(t *testing.T) {
 	}
 	t.Fatal("server stalled instead of shedding")
 }
+
+// batchCollector gathers alerts delivered through the batch handler,
+// copying rows out (the batch is reused after the handler returns).
+type batchCollector struct {
+	mu      sync.Mutex
+	got     []alert.Alert
+	batches int
+}
+
+func (c *batchCollector) handle(b *alert.Batch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.batches++
+	var a alert.Alert
+	for i := 0; i < b.Len(); i++ {
+		b.AlertAt(i, &a)
+		c.got = append(c.got, a)
+	}
+}
+
+func (c *batchCollector) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func (c *batchCollector) waitHandled(n int, deadline time.Duration) int {
+	end := time.Now().Add(deadline)
+	for c.len() < n && time.Now().Before(end) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	return c.len()
+}
+
+func startBatchServer(t *testing.T, cfg Config) (*Server, *batchCollector) {
+	t.Helper()
+	col := &batchCollector{}
+	s, err := ListenBatch(cfg, col.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, col
+}
+
+// TestBatchDispatchRoundTrip pushes alerts over both protocols in batch
+// mode and checks that every one arrives intact, regardless of how the
+// dispatcher chose to group them.
+func TestBatchDispatchRoundTrip(t *testing.T) {
+	s, col := startBatchServer(t, DefaultConfig())
+
+	uc, err := DialUDP(s.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer uc.Close()
+	tc, err := DialTCP(context.Background(), s.TCPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+
+	const perProto = 50
+	for i := 1; i <= perProto; i++ {
+		// The wire carries no ID (the preprocessor assigns them), so rows
+		// are tagged through Value: i for UDP, 1000+i for TCP.
+		a := testAlert(uint64(i))
+		a.Value = float64(i)
+		if err := uc.Send(&a); err != nil {
+			t.Fatal(err)
+		}
+		a = testAlert(uint64(1000 + i))
+		a.Value = float64(1000 + i)
+		if err := tc.Send(&a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.waitHandled(2*perProto, 5*time.Second); got != 2*perProto {
+		t.Fatalf("handled %d of %d", got, 2*perProto)
+	}
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	seen := map[int]bool{}
+	want := testAlert(1)
+	for _, a := range col.got {
+		tag := int(a.Value)
+		if seen[tag] {
+			t.Errorf("alert %d delivered twice", tag)
+		}
+		seen[tag] = true
+		if a.Source != want.Source || a.Type != want.Type || a.Location != want.Location ||
+			!a.Time.Equal(want.Time) || a.Count != want.Count {
+			t.Errorf("mangled alert: %+v", a)
+		}
+	}
+	for i := 1; i <= perProto; i++ {
+		if !seen[i] || !seen[1000+i] {
+			t.Fatalf("missing alert(s): udp[%d]=%v tcp[%d]=%v", i, seen[i], 1000+i, seen[1000+i])
+		}
+	}
+	if col.batches >= 2*perProto {
+		t.Logf("dispatcher never coalesced (batches=%d) — allowed but unexpected", col.batches)
+	}
+}
+
+// TestBatchDispatchRejectsGarbage checks that malformed and invalid UDP
+// frames are dropped from the batch without poisoning neighboring rows.
+func TestBatchDispatchRejectsGarbage(t *testing.T) {
+	s, col := startBatchServer(t, DefaultConfig())
+	c, err := DialUDP(s.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.conn.Write([]byte("not|a|valid|alert")); err != nil {
+		t.Fatal(err)
+	}
+	good := testAlert(7)
+	good.Value = 7
+	if err := c.Send(&good); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.waitHandled(1, 2*time.Second); got != 1 {
+		t.Fatalf("handled %d, want 1", got)
+	}
+	st := s.Stats()
+	if st.UDPParseErrors != 1 {
+		t.Errorf("UDPParseErrors = %d, want 1", st.UDPParseErrors)
+	}
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if col.got[0].Value != 7 {
+		t.Errorf("surviving row = %+v, want Value 7", col.got[0])
+	}
+}
+
+// TestBatchDispatchCloseDrains verifies queued alerts still reach the
+// batch handler when the server closes right after they are accepted.
+func TestBatchDispatchCloseDrains(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TCPAddr = ""
+	s, col := startBatchServer(t, cfg)
+	c, err := DialUDP(s.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 1; i <= 25; i++ {
+		a := testAlert(uint64(i))
+		if err := c.Send(&a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !WaitForAccepted(s, 25, 2*time.Second) {
+		t.Fatalf("accepted %d of 25", s.Stats().AlertsAccepted)
+	}
+	s.Close()
+	if got := col.len(); got != 25 {
+		t.Fatalf("handled %d after Close, want 25", got)
+	}
+}

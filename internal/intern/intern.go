@@ -12,6 +12,8 @@
 package intern
 
 import (
+	"unsafe"
+
 	"skynet/internal/alert"
 	"skynet/internal/hierarchy"
 )
@@ -44,6 +46,57 @@ type PathTable struct {
 	paths   []hierarchy.Path
 	parent  []PathID
 	depth   []uint8
+	// cache is a direct-mapped front cache indexed by a hash of the leaf
+	// segment. Batches re-intern the same locations every tick, and their
+	// Paths carry string headers copied from a stable source (a topology,
+	// or the previous tick's batch), so a probe can verify a hit by
+	// header identity alone (Path.HeaderEq) — no byte compares. Paths
+	// that are equal but differently backed miss here and fall through
+	// to the bucketed map, which refreshes the slot with the caller's
+	// backing. A slot holds id+1 so the zero value means empty.
+	cache [pathCacheSize]pathCacheEnt
+}
+
+const pathCacheSize = 2048 // power of two; must exceed the working set of hot locations
+
+type pathCacheEnt struct {
+	p  hierarchy.Path
+	id PathID // stored id+1; 0 = empty
+}
+
+// quickHash hashes a string word-at-a-time — the memhash technique,
+// reading 8 bytes per multiply instead of one. Slugs are 25-30 bytes, so
+// this is 4 rounds where byte-wise FNV was 30; the final overlapping
+// load covers the tail without a byte loop. Hash quality only affects
+// the front-cache hit rate — a collision falls through to the bucketed
+// map, never changing results.
+func quickHash(s string) uint32 {
+	n := len(s)
+	if n < 8 {
+		h := uint32(2166136261) + uint32(n)
+		for i := 0; i < n; i++ {
+			h = (h ^ uint32(s[i])) * 16777619
+		}
+		return h ^ h>>15
+	}
+	p := unsafe.StringData(s)
+	h := uint64(n) * 0x9E3779B185EBCA87
+	for off := 0; off+8 <= n; off += 8 {
+		w := *(*uint64)(unsafe.Add(unsafe.Pointer(p), off))
+		h = (h ^ w) * 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	w := *(*uint64)(unsafe.Add(unsafe.Pointer(p), n-8))
+	h ^= w
+	// fmix64 finalizer; slugs differ in a handful of digit nibbles, and a
+	// single multiply leaves the table's low index bits nearly constant
+	// across them. Taking the high word after full mixing is what spreads
+	// 171 real device slugs over ~165 of 2048 slots instead of 66.
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return uint32(h >> 32)
 }
 
 // NewPathTable returns an empty table.
@@ -59,6 +112,16 @@ func (t *PathTable) Len() int { return len(t.paths) }
 // ancestor of p up to the root — on first sight.
 func (t *PathTable) Intern(p hierarchy.Path) PathID {
 	leaf := p.Leaf()
+	slot := quickHash(leaf) & (pathCacheSize - 1)
+	if e := &t.cache[slot]; e.id != 0 && e.p.HeaderEq(&p) {
+		return e.id - 1
+	}
+	id := t.internSlow(p, leaf)
+	t.cache[slot] = pathCacheEnt{p: p, id: id + 1}
+	return id
+}
+
+func (t *PathTable) internSlow(p hierarchy.Path, leaf string) PathID {
 	for _, id := range t.buckets[leaf] {
 		if t.paths[id] == p {
 			return id
@@ -103,6 +166,16 @@ func (t *PathTable) Depth(id PathID) int { return int(t.depth[id]) }
 type TypeTable struct {
 	buckets map[string][]TypeID // Type → IDs, discriminated by Source
 	keys    []alert.TypeKey
+	// cache mirrors PathTable's front cache: direct-mapped on the type
+	// string's hash, id stored +1 so zero means empty.
+	cache [typeCacheSize]typeCacheEnt
+}
+
+const typeCacheSize = 256 // power of two; type vocabularies are small
+
+type typeCacheEnt struct {
+	k  alert.TypeKey
+	id TypeID // stored id+1; 0 = empty
 }
 
 // NewTypeTable returns an empty table.
@@ -116,6 +189,16 @@ func (t *TypeTable) Len() int { return len(t.keys) }
 
 // Intern returns k's dense ID, assigning one on first sight.
 func (t *TypeTable) Intern(k alert.TypeKey) TypeID {
+	slot := quickHash(k.Type) & (typeCacheSize - 1)
+	if e := &t.cache[slot]; e.id != 0 && e.k == k {
+		return e.id - 1
+	}
+	id := t.internSlow(k)
+	t.cache[slot] = typeCacheEnt{k: k, id: id + 1}
+	return id
+}
+
+func (t *TypeTable) internSlow(k alert.TypeKey) TypeID {
 	for _, id := range t.buckets[k.Type] {
 		if t.keys[id].Source == k.Source {
 			return id

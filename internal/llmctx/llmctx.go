@@ -104,22 +104,21 @@ func classSection(in *incident.Incident, c alert.Class) string {
 		weight int
 	}
 	var rows []row
-	for loc, entries := range in.Entries {
-		for _, e := range entries {
-			a := &e.Alert
-			if a.Class != c {
-				continue
-			}
-			line := fmt.Sprintf("- %s/%s at %s: %d alerts over %s",
-				a.Source, a.Type, loc, a.Count, a.Duration().Round(time.Second))
-			if a.Value > 0 {
-				line += fmt.Sprintf(" (max %.3g)", a.Value)
-			}
-			if a.CircuitSet != "" {
-				line += " circuitset=" + a.CircuitSet
-			}
-			rows = append(rows, row{line: line + "\n", weight: a.Count})
+	slab := in.EntrySlab()
+	for i := range slab {
+		a := &slab[i].Alert
+		if a.Class != c {
+			continue
 		}
+		line := fmt.Sprintf("- %s/%s at %s: %d alerts over %s",
+			a.Source, a.Type, a.Location, a.Count, a.Duration().Round(time.Second))
+		if a.Value > 0 {
+			line += fmt.Sprintf(" (max %.3g)", a.Value)
+		}
+		if a.CircuitSet != "" {
+			line += " circuitset=" + a.CircuitSet
+		}
+		rows = append(rows, row{line: line + "\n", weight: a.Count})
 	}
 	if len(rows) == 0 {
 		return ""
@@ -142,15 +141,14 @@ func classSection(in *incident.Incident, c alert.Class) string {
 func rawSamples(in *incident.Incident, n int) string {
 	perSource := map[alert.Source][]string{}
 	counts := map[alert.Source][]int{}
-	for _, entries := range in.Entries {
-		for _, e := range entries {
-			if e.Alert.Raw == "" {
-				continue
-			}
-			s := e.Alert.Source
-			perSource[s] = append(perSource[s], e.Alert.Raw)
-			counts[s] = append(counts[s], e.Alert.Count)
+	slab := in.EntrySlab()
+	for i := range slab {
+		a := &slab[i].Alert
+		if a.Raw == "" {
+			continue
 		}
+		perSource[a.Source] = append(perSource[a.Source], a.Raw)
+		counts[a.Source] = append(counts[a.Source], a.Count)
 	}
 	if len(perSource) == 0 {
 		return ""

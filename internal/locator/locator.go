@@ -178,6 +178,15 @@ func DefaultConfig() Config {
 	}
 }
 
+// entryArenaChunk is how many entry structs a shard arena allocates at
+// once; 128 ≈ 45KB per chunk keeps chunk count low through a flood
+// without pinning much idle memory afterwards.
+const entryArenaChunk = 128
+
+// entryPtrCap is the arena-backed initial capacity of a node's entries
+// slice — locations rarely carry more than a handful of live streams.
+const entryPtrCap = 4
+
 // entry is one live (type) stream at one main-tree node.
 type entry struct {
 	a        alert.Alert
@@ -209,6 +218,17 @@ type locShard struct {
 	free      []int32
 	live      []intern.PathID
 	entryFree []*entry
+	// arena hands out entry structs in bulk chunks: fresh streams during
+	// a flood would otherwise hit the allocator one ~350-byte struct at a
+	// time (the dominant allocation in locator_addcheck). Recycled
+	// entries still flow through entryFree first.
+	arena []entry
+	// ptrArena hands out the initial entries backing for brand-new node
+	// slots (recycled slots keep theirs): fixed-cap sub-slices of one
+	// bulk allocation, so slot creation never allocates a slice header.
+	// The three-index slice caps each node at entryPtrCap; a node with
+	// more live streams falls back to a normal append-grow.
+	ptrArena []*entry
 	// expLin stages lineages of streams deleted by the parallel expiry
 	// phase, flushed to the recorder serially.
 	expLin []uint64
@@ -407,7 +427,10 @@ func (l *Locator) nodeAt(p hierarchy.Path) (*node, bool) {
 // Add inserts one structured alert — Algorithm 1. The alert joins every
 // active incident whose subtree contains its location, and always joins
 // the main tree (so incident scopes can still grow).
-func (l *Locator) Add(a alert.Alert) {
+func (l *Locator) Add(a alert.Alert) { l.addRef(&a) }
+
+// addRef is Add without the argument copy — the serial ingest path.
+func (l *Locator) addRef(a *alert.Alert) {
 	pid := l.pt.Intern(a.Location)
 	tid := l.tt.Intern(alert.TypeKey{Source: a.Source, Type: a.Type})
 	if l.pt.Len() > len(l.slotOf) {
@@ -415,11 +438,11 @@ func (l *Locator) Add(a alert.Alert) {
 	}
 	var lid uint64
 	if l.prov != nil {
-		lid = l.takeLineage(&a)
+		lid = l.takeLineage(a)
 	}
 	for _, in := range l.active {
 		if in.Root.Contains(a.Location) {
-			in.Add(a)
+			in.AddRef(a)
 		}
 	}
 	l.upsert(&l.shards[l.shardOfID[pid]], a, pid, tid, lid)
@@ -456,7 +479,7 @@ func (l *Locator) AddBatch(batch []alert.Alert) {
 	}
 	if l.workers == 1 || len(batch) == 1 {
 		for i := range batch {
-			l.Add(batch[i])
+			l.addRef(&batch[i])
 		}
 		return
 	}
@@ -495,7 +518,7 @@ func (l *Locator) AddBatch(batch []alert.Alert) {
 			in := l.active[task]
 			for i := range batch {
 				if in.Root.Contains(batch[i].Location) {
-					in.Add(batch[i])
+					in.AddRef(&batch[i])
 				}
 			}
 			return
@@ -508,7 +531,7 @@ func (l *Locator) AddBatch(batch []alert.Alert) {
 				if lins != nil {
 					lid = lins[i]
 				}
-				l.upsert(shard, batch[i], pids[i], tids[i], lid)
+				l.upsert(shard, &batch[i], pids[i], tids[i], lid)
 			}
 		}
 	})
@@ -517,7 +540,7 @@ func (l *Locator) AddBatch(batch []alert.Alert) {
 // upsert consolidates one alert into its main-tree node within the owning
 // shard. lid is the head lineage still waiting on this stream's fate
 // (0 when recording is off or the lineage was already attributed).
-func (l *Locator) upsert(shard *locShard, a alert.Alert, pid intern.PathID, tid intern.TypeID, lid uint64) {
+func (l *Locator) upsert(shard *locShard, a *alert.Alert, pid intern.PathID, tid intern.TypeID, lid uint64) {
 	slot := l.slotOf[pid]
 	var n *node
 	if slot < 0 {
@@ -530,6 +553,13 @@ func (l *Locator) upsert(shard *locShard, a alert.Alert, pid intern.PathID, tid 
 		}
 		n = &shard.slots[slot]
 		n.pid = pid
+		if n.entries == nil {
+			if len(shard.ptrArena) < entryPtrCap {
+				shard.ptrArena = make([]*entry, entryPtrCap*entryArenaChunk)
+			}
+			n.entries = shard.ptrArena[:0:entryPtrCap]
+			shard.ptrArena = shard.ptrArena[entryPtrCap:]
+		}
 		n.entries = n.entries[:0]
 		l.slotOf[pid] = slot
 		shard.live = append(shard.live, pid)
@@ -545,7 +575,7 @@ func (l *Locator) upsert(shard *locShard, a alert.Alert, pid intern.PathID, tid 
 			if a.Value > e.a.Value {
 				e.a.Value = a.Value
 			}
-			e.a.Count += countOf(a)
+			e.a.Count += countOf(*a)
 			if a.Time.After(e.lastSeen) {
 				e.lastSeen = a.Time
 			}
@@ -560,10 +590,14 @@ func (l *Locator) upsert(shard *locShard, a alert.Alert, pid intern.PathID, tid 
 		e = shard.entryFree[k-1]
 		shard.entryFree = shard.entryFree[:k-1]
 	} else {
-		e = new(entry)
+		if len(shard.arena) == 0 {
+			shard.arena = make([]entry, entryArenaChunk)
+		}
+		e = &shard.arena[0]
+		shard.arena = shard.arena[1:]
 	}
-	e.a = a
-	e.a.Count = countOf(a)
+	e.a = *a
+	e.a.Count = countOf(*a)
 	e.lastSeen = a.Time
 	e.tid = tid
 	e.lineage = e.lineage[:0]
@@ -936,6 +970,20 @@ func (l *Locator) generate(now time.Time) []*incident.Incident {
 		}
 		in := incident.New(l.nextID, root)
 		l.nextID++
+		// Pre-size the incident's entry slab and index for everything it
+		// is about to receive — the entries of the active incidents it
+		// absorbs plus the component's streams — so the merge and copy
+		// below never reallocate either.
+		nEntries := 0
+		for _, old := range l.active {
+			if root.Contains(old.Root) {
+				nEntries += old.EntryCount()
+			}
+		}
+		for _, pid := range l.compIDs[ci] {
+			nEntries += len(l.nodeByID(pid).entries)
+		}
+		in.Grow(nEntries)
 		// Absorb smaller active incidents inside the new subtree
 		// (Algorithm 2, lines 7–9).
 		remaining := l.active[:0]
@@ -954,7 +1002,7 @@ func (l *Locator) generate(now time.Time) []*incident.Incident {
 		for _, pid := range l.compIDs[ci] {
 			n := l.nodeByID(pid)
 			for _, e := range n.entries {
-				in.Add(e.a)
+				in.AddRef(&e.a)
 				if l.prov != nil && len(e.lineage) > 0 {
 					for _, lid := range e.lineage {
 						l.prov.Attributed(lid, in.ID)

@@ -36,7 +36,7 @@ func TestPropertyIncidentRootsContainTheirEntries(t *testing.T) {
 		}
 		l.Check(epoch.Add(20 * time.Minute))
 		for _, in := range append(l.Active(), l.Closed()...) {
-			for loc := range in.Entries {
+			for loc := range in.Entries() {
 				if !in.Root.Contains(loc) {
 					return false
 				}

@@ -16,6 +16,7 @@ import (
 	"skynet/internal/experiments"
 	"skynet/internal/flood"
 	"skynet/internal/hierarchy"
+	"skynet/internal/incident"
 	"skynet/internal/locator"
 	"skynet/internal/preprocess"
 	"skynet/internal/provenance"
@@ -73,6 +74,8 @@ var suite = []struct {
 		benchEngineTick(b, nil, nil, flood.New(flood.Config{}))
 	}},
 	{"preprocessor_stream", benchPreprocessorStream},
+	{"incident_entries", benchIncidentEntries},
+	{"batch_absorb", benchBatchAbsorb},
 	{"locator_addcheck", benchLocatorAddCheck},
 	{"locator_steady_check", benchLocatorSteadyCheck},
 	{"ftree_classify", benchFTreeClassify},
@@ -236,14 +239,23 @@ func benchEngineTick(b *testing.B, rec *provenance.Recorder, tracer *span.Tracer
 		eng.EnableFlood(fl)
 	}
 	now := benchEpoch
+	// Built once; only the Time column is rewritten per round (IngestBatch
+	// copies the columns out, so the engine sees a fresh batch per tick).
+	var batch alert.Batch
+	for j := range alerts {
+		batch.Append(&alerts[j])
+	}
+	var ts [10]time.Time
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for j := range alerts {
-			a := alerts[j]
-			a.Time = now.Add(time.Duration(j%10) * time.Second)
-			eng.Ingest(a)
+		for k := range ts {
+			ts[k] = now.Add(time.Duration(k) * time.Second)
 		}
+		for j := range batch.Time {
+			batch.Time[j] = ts[j%10]
+		}
+		eng.IngestBatch(&batch)
 		now = now.Add(10 * time.Second)
 		eng.Tick(now)
 	}
@@ -264,6 +276,51 @@ func benchPreprocessorStream(b *testing.B) {
 			func(batch []alert.Alert) { n += len(batch) })
 		if n == 0 {
 			b.Fatal("no output")
+		}
+	}
+}
+
+// benchIncidentEntries measures the pooled incident output path: slab
+// appends via AddRef (pre-sized with Grow, so steady state is
+// allocation-free), then the rev-memoized report views the evaluator and
+// status surfaces read every tick.
+func benchIncidentEntries(b *testing.B) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	alerts := experiments.SyntheticStructuredAlerts(topo, 8000, 1)
+	root := hierarchy.MustNew("RG01")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := incident.New(1, root)
+		in.Grow(len(alerts))
+		for j := range alerts {
+			in.AddRef(&alerts[j])
+		}
+		if len(in.Locations()) == 0 || len(in.EntriesByClass(alert.ClassFailure)) == 0 {
+			b.Fatal("incident absorbed nothing")
+		}
+	}
+}
+
+// benchBatchAbsorb measures the columnar hand-off cycle: a reused batch
+// filled row-by-row (the ingest side), then bulk-absorbed into a second
+// reused batch with AppendRange (the preprocess side). Both batches keep
+// their column capacity across rounds, so steady state is allocation-free.
+func benchBatchAbsorb(b *testing.B) {
+	topo := topology.MustGenerate(topology.SmallConfig())
+	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
+	var src, dst alert.Batch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset()
+		for j := range alerts {
+			src.Append(&alerts[j])
+		}
+		dst.Reset()
+		dst.AppendRange(&src, 0, src.Len())
+		if dst.Len() != len(alerts) {
+			b.Fatal("absorb lost rows")
 		}
 	}
 }

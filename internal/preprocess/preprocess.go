@@ -124,7 +124,10 @@ type aggKey struct {
 
 // aggregate is one live (source, type, location) stream.
 type aggregate struct {
-	key      aggKey
+	key aggKey
+	// chain links aggregates that share a location, threaded from the
+	// shard's byPid table — consolidation's lookup structure.
+	chain    *aggregate
 	a        alert.Alert
 	emitted  bool
 	dead     bool // swept away; awaiting key-list compaction
@@ -143,7 +146,14 @@ type aggregate struct {
 // preShard owns a disjoint subset of the aggregates, selected by hashing
 // the aggregate's location. Exactly one worker touches a shard per phase.
 type preShard struct {
-	aggs map[aggKey]*aggregate
+	// byPid indexes the shard's live aggregates by interned location ID:
+	// byPid[pid] heads a short chain (via aggregate.chain) of the
+	// streams at that location. Consolidation's lookup is then an array
+	// index plus a couple of int compares — no hashing at all. The
+	// slice is shard-local, so growing it inside the parallel phase is
+	// race-free; live counts the chained aggregates.
+	byPid []*aggregate
+	live  int
 	// keys mirrors the map's value set in emission order, maintained
 	// incrementally so Tick never re-sorts the full population. Holding
 	// the aggregates directly lets the sweep and the k-way merge walk the
@@ -156,19 +166,21 @@ type preShard struct {
 	routed  int // batch alerts consolidated into this shard last Tick
 	deleted int // sweep deletions pending key-list compaction
 
+	// aggFree recycles swept aggregate structs so steady-state churn
+	// (streams expiring and reappearing) does not allocate.
+	aggFree []*aggregate
+
 	// provenance resolutions staged during phase B, flushed serially
 	provAbsorbed []provenance.Pair
 }
 
-// prepared is the phase-A output for one buffered raw alert: normalized,
-// or dropped. IDs and shard routing are filled by the serial intern pass
-// between the phases.
+// prepared is the small per-row phase-A/serial-pass sidecar for one
+// buffered raw alert. The alert data itself lives in the pending batch's
+// columns (normalized in place by phase A); the interned PID/TID/CS land
+// in the batch's dense-ID columns. What remains here is routing and
+// bookkeeping — 16 bytes per row instead of a full Alert copy.
 type prepared struct {
-	a          alert.Alert
 	lin        uint64 // provenance lineage (0 when recording is off)
-	pid        intern.PathID
-	tid        intern.TypeID
-	cs         int32 // interned CircuitSet (0 = none)
 	shard      int32
 	drop       bool // unclassifiable syslog
 	classified bool // typed through an FT-tree template this tick
@@ -189,11 +201,12 @@ type Preprocessor struct {
 	classifier *ftree.Classifier
 	workers    int
 
-	// pending buffers raw alerts between Ticks; capacity persists at the
-	// flood high-water mark so steady state allocates nothing.
-	pending []alert.Alert
-	// pendingLin mirrors pending with the lineage assigned at Add; empty
-	// when no recorder is attached.
+	// pending buffers raw alerts between Ticks in columnar form; column
+	// capacity persists at the flood high-water mark so steady state
+	// allocates nothing.
+	pending alert.Batch
+	// pendingLin mirrors pending's rows with the lineage assigned at Add;
+	// empty when no recorder is attached.
 	pendingLin []uint64
 
 	// prov is the optional lineage recorder; nil keeps every provenance
@@ -219,9 +232,12 @@ type Preprocessor struct {
 	// the common case skips the map entirely.
 	csIDs map[string]int32
 
-	// corro records recent corroborating evidence per corroboration-level
-	// location: the last time a failure/root-cause alert was seen there.
-	corro map[intern.PathID]time.Time
+	// corroT records recent corroborating evidence per corroboration-level
+	// location: the last time a failure/root-cause alert was seen there,
+	// indexed by interned PathID (zero time = no evidence). corroList
+	// tracks which slots are set so expiry never scans the full table.
+	corroT    []time.Time
+	corroList []intern.PathID
 
 	stats  Stats
 	nextID uint64
@@ -247,12 +263,8 @@ func New(cfg Config, topo *topology.Topology, classifier *ftree.Classifier) *Pre
 		pt:         intern.NewPathTable(),
 		tt:         intern.NewTypeTable(),
 		csIDs:      make(map[string]int32),
-		corro:      make(map[intern.PathID]time.Time),
 		chunks:     make([]chunkScratch, workers),
 		cursors:    make([]int, workers),
-	}
-	for i := range p.shards {
-		p.shards[i].aggs = make(map[aggKey]*aggregate)
 	}
 	return p
 }
@@ -268,6 +280,9 @@ func (p *Preprocessor) growTables() {
 			corro = p.pt.Parent(corro)
 		}
 		p.corroOf = append(p.corroOf, corro)
+	}
+	if len(p.corroT) < p.pt.Len() {
+		p.corroT = append(p.corroT, make([]time.Time, p.pt.Len()-len(p.corroT))...)
 	}
 }
 
@@ -286,10 +301,10 @@ func (p *Preprocessor) SetSpans(sc span.Scope) { p.spans = sc }
 
 // PendingDepth reports the number of raw alerts buffered since the last
 // Tick — the preprocessor's queue depth.
-func (p *Preprocessor) PendingDepth() int { return len(p.pending) }
+func (p *Preprocessor) PendingDepth() int { return p.pending.Len() }
 
 // ShardAggregates reports the live aggregate count of one shard.
-func (p *Preprocessor) ShardAggregates(i int) int { return len(p.shards[i].aggs) }
+func (p *Preprocessor) ShardAggregates(i int) int { return p.shards[i].live }
 
 // ShardRouted reports how many batch alerts the last Tick consolidated
 // into shard i.
@@ -309,15 +324,49 @@ func (p *Preprocessor) Add(a alert.Alert) {
 	if a.CircuitSet != "" && a.Location.IsDevice() && a.Peer.IsDevice() && a.Peer != a.Location {
 		mirrored := a
 		mirrored.Location, mirrored.Peer = a.Peer, a.Location
-		p.pending = append(p.pending, mirrored)
+		p.pending.Append(&mirrored)
 		if p.prov != nil {
 			p.pendingLin = append(p.pendingLin, p.prov.Ingest(&mirrored, true))
 		}
 	}
-	p.pending = append(p.pending, a)
+	p.pending.Append(&a)
 	if p.prov != nil {
 		p.pendingLin = append(p.pendingLin, p.prov.Ingest(&a, false))
 	}
+}
+
+// AddBatch buffers a columnar batch of raw alerts, applying the same
+// link-alert split per row. The batch's rows are copied into the pending
+// columns; the caller may Reset and reuse b immediately.
+func (p *Preprocessor) AddBatch(b *alert.Batch) {
+	n := b.Len()
+	// With the lineage recorder attached every row needs an individual
+	// Ingest call anyway, so take the per-row path.
+	if p.prov != nil {
+		var a alert.Alert
+		for i := 0; i < n; i++ {
+			b.AlertAt(i, &a)
+			p.Add(a)
+		}
+		return
+	}
+	p.stats.In += n
+	// Bulk path: copy maximal runs of ordinary rows with one memmove per
+	// column, dropping to the per-row splitter only for link alerts
+	// (rare — the built-in monitors already emit per-endpoint alerts).
+	var a alert.Alert
+	lo := 0
+	for i := 0; i < n; i++ {
+		if b.CircuitSet[i] != "" && b.Location[i].IsDevice() && b.Peer[i].IsDevice() &&
+			b.Peer[i] != b.Location[i] {
+			p.pending.AppendRange(b, lo, i)
+			b.AlertAt(i, &a)
+			p.Add(a)
+			p.stats.In-- // Add counted it again
+			lo = i + 1
+		}
+	}
+	p.pending.AppendRange(b, lo, n)
 }
 
 // absorb ingests the pending batch into the aggregate shards: phase A
@@ -326,7 +375,7 @@ func (p *Preprocessor) Add(a alert.Alert) {
 // consolidates each shard's alerts in arrival order under a single
 // owner.
 func (p *Preprocessor) absorb() {
-	n := len(p.pending)
+	n := p.pending.Len()
 	if n == 0 {
 		for s := range p.shards {
 			p.shards[s].routed = 0
@@ -340,8 +389,9 @@ func (p *Preprocessor) absorb() {
 	nshards := len(p.shards)
 
 	// Phase A: per-alert classification and normalization, chunked over
-	// the workers. Slot i of prep belongs to pending alert i, so worker
-	// scheduling cannot reorder anything.
+	// the workers. Row i of the batch and slot i of prep belong to each
+	// other, and every column write is row-owned, so worker scheduling
+	// cannot reorder or race anything.
 	chunkSize := (n + p.workers - 1) / p.workers
 	nchunks := (n + chunkSize - 1) / chunkSize
 	cf := p.spans.Fork("classify", nchunks)
@@ -357,12 +407,14 @@ func (p *Preprocessor) absorb() {
 			} else {
 				p.prep[i].lin = 0
 			}
-			p.prepare(&p.pending[i], &p.prep[i], scratch)
+			p.prepareRow(i, &p.prep[i], scratch)
 		}
 	})
-	// Serial pass: intern IDs (single-writer tables), route to shards,
-	// record corroboration evidence (max observation time per location),
-	// resolve phase-A provenance, and merge drop counters.
+	// Serial pass: intern IDs into the batch's dense-ID columns
+	// (single-writer tables), route to shards, record corroboration
+	// evidence (max observation time per location), resolve phase-A
+	// provenance, and merge drop counters.
+	b := &p.pending
 	for i := range p.prep {
 		it := &p.prep[i]
 		if it.drop {
@@ -371,30 +423,33 @@ func (p *Preprocessor) absorb() {
 			}
 			continue
 		}
-		a := &it.a
-		it.pid = p.pt.Intern(a.Location)
-		it.tid = p.tt.Intern(alert.TypeKey{Source: a.Source, Type: a.Type})
-		it.cs = 0
-		if a.CircuitSet != "" {
-			id, ok := p.csIDs[a.CircuitSet]
+		pid := p.pt.Intern(b.Location[i])
+		b.PID[i] = int32(pid)
+		b.TID[i] = int32(p.tt.Intern(alert.TypeKey{Source: b.Source[i], Type: b.Type[i]}))
+		b.CS[i] = 0
+		if cs := b.CircuitSet[i]; cs != "" {
+			id, ok := p.csIDs[cs]
 			if !ok {
 				id = int32(len(p.csIDs)) + 1
-				p.csIDs[a.CircuitSet] = id
+				p.csIDs[cs] = id
 			}
-			it.cs = id
+			b.CS[i] = id
 		}
 		if p.pt.Len() > len(p.routeOf) {
 			p.growTables()
 		}
-		it.shard = p.routeOf[it.pid]
-		if a.Class == alert.ClassFailure || a.Class == alert.ClassRootCause {
-			key := p.corroOf[it.pid]
-			if t, ok := p.corro[key]; !ok || a.Time.After(t) {
-				p.corro[key] = a.Time
+		it.shard = p.routeOf[pid]
+		if b.Class[i] == alert.ClassFailure || b.Class[i] == alert.ClassRootCause {
+			key := p.corroOf[pid]
+			if t := p.corroT[key]; t.IsZero() {
+				p.corroT[key] = b.Time[i]
+				p.corroList = append(p.corroList, key)
+			} else if b.Time[i].After(t) {
+				p.corroT[key] = b.Time[i]
 			}
 		}
 		if p.prov != nil && it.lin != 0 && it.classified {
-			p.prov.SetTemplate(it.lin, a.Type)
+			p.prov.SetTemplate(it.lin, b.Type[i])
 		}
 	}
 	for c := 0; c < nchunks; c++ {
@@ -402,22 +457,28 @@ func (p *Preprocessor) absorb() {
 		p.chunks[c].droppedUnclassified = 0
 	}
 
-	// Phase B: per-shard consolidation. Each worker scans the prepared
-	// batch in order and applies only its own shard's alerts, so every
+	// Phase B: per-shard consolidation. Each worker scans the batch in
+	// row order and applies only its own shard's rows, so every
 	// aggregate sees its observations in arrival order — exactly the
-	// serial semantics.
+	// serial semantics. Merges read only the scalar columns; a full
+	// Alert is materialized once per new aggregate, not per row.
 	sf := p.spans.Fork("consolidate", nshards)
 	par.DoTimed(p.workers, nshards, sf.Timer(), func(s int) {
 		shard := &p.shards[s]
 		shard.dedup, shard.routed = 0, 0
 		shard.newAggs = shard.newAggs[:0]
+		// Cover every PathID interned by the serial pass. byPid is
+		// shard-local, so this grow cannot race other workers.
+		if n := p.pt.Len(); len(shard.byPid) < n {
+			shard.byPid = append(shard.byPid, make([]*aggregate, n-len(shard.byPid))...)
+		}
 		for i := range p.prep {
 			it := &p.prep[i]
 			if it.drop || int(it.shard) != s {
 				continue
 			}
 			shard.routed++
-			p.consolidate(shard, it)
+			p.consolidate(shard, i, it)
 		}
 		if len(shard.newAggs) > 0 {
 			slices.SortFunc(shard.newAggs, cmpAgg)
@@ -431,71 +492,100 @@ func (p *Preprocessor) absorb() {
 			p.shards[s].provAbsorbed = p.shards[s].provAbsorbed[:0]
 		}
 	}
-	p.pending = p.pending[:0]
+	p.pending.Reset()
 	p.pendingLin = p.pendingLin[:0]
 }
 
-// prepare runs the order-independent per-alert work: syslog
-// classification and class/count/end normalization.
-func (p *Preprocessor) prepare(in *alert.Alert, out *prepared, scratch *chunkScratch) {
+// prepareRow runs the order-independent per-alert work on batch row i:
+// syslog classification and class/count/end normalization, in place on
+// the columns.
+func (p *Preprocessor) prepareRow(i int, out *prepared, scratch *chunkScratch) {
 	out.classified = false
-	// Syslog classification: free text → type via FT-tree. Decided
-	// before the copy so dropped alerts never pay for one.
-	if in.Source == alert.SourceSyslog && in.Type == "" {
-		typ, ok := p.classify(in.Raw)
+	b := &p.pending
+	// Syslog classification: free text → type via FT-tree.
+	if b.Source[i] == alert.SourceSyslog && b.Type[i] == "" {
+		typ, ok := p.classify(b.Raw[i])
 		if !ok {
 			scratch.droppedUnclassified++
 			out.drop = true
 			return
 		}
-		out.a = *in
-		out.a.Type = typ
-		out.a.Class = alert.Classify(in.Source, typ)
+		b.Type[i] = typ
+		b.Class[i] = alert.Classify(alert.SourceSyslog, typ)
 		out.classified = true
-	} else {
-		out.a = *in
 	}
-	a := &out.a
-	if a.Class == alert.ClassInfo && alert.Classify(a.Source, a.Type) != alert.ClassInfo {
+	if b.Class[i] == alert.ClassInfo {
 		// Normalize class from the catalog when the producer left it
 		// unset.
-		a.Class = alert.Classify(a.Source, a.Type)
+		if c := alert.Classify(b.Source[i], b.Type[i]); c != alert.ClassInfo {
+			b.Class[i] = c
+		}
 	}
-	if a.Count <= 0 {
-		a.Count = 1
+	if b.Count[i] <= 0 {
+		b.Count[i] = 1
 	}
-	if a.End.Before(a.Time) {
-		a.End = a.Time
+	if b.End[i].Before(b.Time[i]) {
+		b.End[i] = b.Time[i]
 	}
 	out.drop = false
 }
 
 // consolidate applies consolidation 1 (identical alerts absorb) for one
-// normalized alert within its owning shard. it.lin is the alert's
+// normalized batch row within its owning shard. it.lin is the row's
 // provenance lineage (0 when recording is off); absorptions are staged in
 // shard scratch because this runs in the parallel phase.
-func (p *Preprocessor) consolidate(shard *preShard, it *prepared) {
-	a := &it.a
-	k := aggKey{pid: it.pid, tid: it.tid, cs: it.cs}
-	if g, ok := shard.aggs[k]; ok {
+func (p *Preprocessor) consolidate(shard *preShard, i int, it *prepared) {
+	b := &p.pending
+	k := aggKey{pid: intern.PathID(b.PID[i]), tid: intern.TypeID(b.TID[i]), cs: b.CS[i]}
+	for g := shard.byPid[k.pid]; g != nil; g = g.chain {
+		if g.key.tid != k.tid || g.key.cs != k.cs {
+			continue
+		}
 		shard.dedup++
-		if a.End.After(g.a.End) {
-			g.a.End = a.End
+		if b.End[i].After(g.a.End) {
+			g.a.End = b.End[i]
 		}
-		if a.Value > g.a.Value {
-			g.a.Value = a.Value
+		if b.Value[i] > g.a.Value {
+			g.a.Value = b.Value[i]
 		}
-		g.a.Count += a.Count
-		g.lastSeen = a.Time
+		g.a.Count += int(b.Count[i])
+		g.lastSeen = b.Time[i]
 		if it.lin != 0 {
 			shard.provAbsorbed = append(shard.provAbsorbed, provenance.Pair{Lid: it.lin, Head: g.headLineage})
 		}
 		return
 	}
-	suspended := a.Type == alert.TypeTrafficDrop && !p.cfg.DisableCrossSource
-	g := &aggregate{key: k, a: *a, lastSeen: a.Time, suspended: suspended, headLineage: it.lin}
-	shard.aggs[k] = g
+	suspended := b.Type[i] == alert.TypeTrafficDrop && !p.cfg.DisableCrossSource
+	var g *aggregate
+	if n := len(shard.aggFree); n > 0 {
+		g = shard.aggFree[n-1]
+		shard.aggFree = shard.aggFree[:n-1]
+		*g = aggregate{key: k, lastSeen: b.Time[i], suspended: suspended, headLineage: it.lin}
+	} else {
+		g = &aggregate{key: k, lastSeen: b.Time[i], suspended: suspended, headLineage: it.lin}
+	}
+	b.AlertAt(i, &g.a)
+	g.chain = shard.byPid[k.pid]
+	shard.byPid[k.pid] = g
+	shard.live++
 	shard.newAggs = append(shard.newAggs, g)
+}
+
+// unlink removes g from its location's consolidation chain. Chains are a
+// handful of streams long, so the predecessor walk is trivial.
+func (shard *preShard) unlink(g *aggregate) {
+	if cur := shard.byPid[g.key.pid]; cur == g {
+		shard.byPid[g.key.pid] = g.chain
+	} else {
+		for ; cur != nil; cur = cur.chain {
+			if cur.chain == g {
+				cur.chain = g.chain
+				break
+			}
+		}
+	}
+	g.chain = nil
+	shard.live--
 }
 
 // classify runs the FT-tree classifier over a raw line. The classifier is
@@ -539,7 +629,7 @@ func (p *Preprocessor) Tick(now time.Time) []alert.Alert {
 					p.resolveFiltered(g, provenance.FilterStale)
 				}
 			}
-			delete(shard.aggs, g.key)
+			shard.unlink(g)
 			g.dead = true
 			shard.deleted++
 			return
@@ -558,9 +648,15 @@ func (p *Preprocessor) Tick(now time.Time) []alert.Alert {
 	p.compactKeys()
 	p.spans.End(swR, len(p.emitBuf))
 	// Expire stale corroboration evidence.
-	for loc, t := range p.corro {
-		if now.Sub(t) > p.cfg.CorroborationWindow {
-			delete(p.corro, loc)
+	for i := 0; i < len(p.corroList); {
+		loc := p.corroList[i]
+		if now.Sub(p.corroT[loc]) > p.cfg.CorroborationWindow {
+			p.corroT[loc] = time.Time{}
+			last := len(p.corroList) - 1
+			p.corroList[i] = p.corroList[last]
+			p.corroList = p.corroList[:last]
+		} else {
+			i++
 		}
 	}
 	return p.emitBuf
@@ -609,10 +705,14 @@ func (p *Preprocessor) compactKeys() {
 		for _, g := range shard.keys {
 			if !g.dead {
 				kept = append(kept, g)
+			} else {
+				// Recycle: the struct is unreferenced once off the keys
+				// list (unlink already dropped it from the byPid chain).
+				shard.aggFree = append(shard.aggFree, g)
 			}
 		}
 		for i := len(kept); i < len(shard.keys); i++ {
-			shard.keys[i] = nil // release dead aggregates to the GC
+			shard.keys[i] = nil
 		}
 		shard.keys = kept
 		shard.deleted = 0
@@ -625,7 +725,7 @@ func (p *Preprocessor) pass(g *aggregate, now time.Time) bool {
 	// Cross-source rule: traffic drops wait for corroboration.
 	if g.suspended {
 		key := p.corroOf[g.key.pid]
-		if t, ok := p.corro[key]; ok && absDuration(t.Sub(g.a.Time)) <= p.cfg.CorroborationWindow {
+		if t := p.corroT[key]; !t.IsZero() && absDuration(t.Sub(g.a.Time)) <= p.cfg.CorroborationWindow {
 			g.suspended = false
 			return true
 		}
@@ -728,7 +828,7 @@ func (p *Preprocessor) Drain(now time.Time) []alert.Alert {
 				p.resolveFiltered(g, provenance.FilterStale)
 			}
 		}
-		delete(shard.aggs, g.key)
+		shard.unlink(g)
 		g.dead = true
 		shard.deleted++
 	})

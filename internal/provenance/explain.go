@@ -76,8 +76,9 @@ func (r *Recorder) Explain(in *incident.Incident) *Explain {
 		ex.Score = rec.Score
 		ex.Lineages = rec.Samples
 	}
+	byLoc := in.Entries()
 	for _, loc := range in.Locations() {
-		entries := in.Entries[loc]
+		entries := byLoc[loc]
 		streams := make([]EvidenceStream, 0, len(entries))
 		for _, e := range entries {
 			a := &e.Alert

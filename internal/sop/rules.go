@@ -48,15 +48,15 @@ func (r FlapDampeningRule) Match(topo *topology.Topology, in *incident.Incident,
 		return Plan{}, false
 	}
 	flaps := 0
-	for loc, entries := range in.Entries {
-		if loc != dev.Path {
+	slab := in.EntrySlab()
+	for i := range slab {
+		a := &slab[i].Alert
+		if a.Location != dev.Path {
 			continue
 		}
-		for k, e := range entries {
-			switch k.Type {
-			case alert.TypeLinkFlapping, alert.TypePortFlapping, alert.TypeBGPLinkJitter:
-				flaps += e.Alert.Count
-			}
+		switch a.Type {
+		case alert.TypeLinkFlapping, alert.TypePortFlapping, alert.TypeBGPLinkJitter:
+			flaps += a.Count
 		}
 	}
 	if flaps < r.MinFlapCount {
@@ -64,7 +64,7 @@ func (r FlapDampeningRule) Match(topo *topology.Topology, in *incident.Incident,
 	}
 	// Other group members alerting means a shared cause, not a local
 	// flap: stand down.
-	for loc := range in.Entries {
+	for _, loc := range in.Locations() {
 		other, ok := topo.DeviceByPath(loc)
 		if !ok || other.ID == dev.ID {
 			continue
@@ -98,18 +98,18 @@ func (r EntryFiberTicketRule) Match(topo *topology.Topology, in *incident.Incide
 		return Plan{}, false
 	}
 	entrySets := 0
-	for _, entries := range in.Entries {
-		for k, e := range entries {
-			if k.Type != alert.TypeLinkDown || e.Alert.CircuitSet == "" {
-				continue
-			}
-			cs := topo.CircuitSet(e.Alert.CircuitSet)
-			if cs == nil {
-				continue
-			}
-			if topo.Link(cs.Link).InternetEntry {
-				entrySets++
-			}
+	slab := in.EntrySlab()
+	for i := range slab {
+		a := &slab[i].Alert
+		if a.Type != alert.TypeLinkDown || a.CircuitSet == "" {
+			continue
+		}
+		cs := topo.CircuitSet(a.CircuitSet)
+		if cs == nil {
+			continue
+		}
+		if topo.Link(cs.Link).InternetEntry {
+			entrySets++
 		}
 	}
 	if entrySets < 2 {
@@ -143,14 +143,13 @@ func (r BGPPeerResetRule) Match(topo *topology.Topology, in *incident.Incident, 
 		return Plan{}, false
 	}
 	hasBGPDown, hasPhysical := false, false
-	for _, entries := range in.Entries {
-		for k := range entries {
-			switch k.Type {
-			case alert.TypeBGPPeerDown:
-				hasBGPDown = true
-			case alert.TypeLinkDown, alert.TypePortDown, alert.TypeInterfaceDown, alert.TypeDeviceDown:
-				hasPhysical = true
-			}
+	slab := in.EntrySlab()
+	for i := range slab {
+		switch slab[i].Alert.Type {
+		case alert.TypeBGPPeerDown:
+			hasBGPDown = true
+		case alert.TypeLinkDown, alert.TypePortDown, alert.TypeInterfaceDown, alert.TypeDeviceDown:
+			hasPhysical = true
 		}
 	}
 	if !hasBGPDown || hasPhysical {

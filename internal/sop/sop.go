@@ -197,14 +197,11 @@ func (r DeviceLossIsolationRule) Match(topo *topology.Topology, in *incident.Inc
 	}
 	// Condition 1: that device is losing packets.
 	losing := false
-	for loc, entries := range in.Entries {
-		if loc != dev.Path {
-			continue
-		}
-		for k := range entries {
-			if k.Type == alert.TypePacketLoss {
-				losing = true
-			}
+	slab := in.EntrySlab()
+	for i := range slab {
+		a := &slab[i].Alert
+		if a.Location == dev.Path && a.Type == alert.TypePacketLoss {
+			losing = true
 		}
 	}
 	if !losing {
@@ -215,7 +212,7 @@ func (r DeviceLossIsolationRule) Match(topo *topology.Topology, in *incident.Inc
 	if len(group) < 2 {
 		return Plan{}, false // lone device: isolation would black-hole the location
 	}
-	for loc := range in.Entries {
+	for _, loc := range in.Locations() {
 		other, ok := topo.DeviceByPath(loc)
 		if !ok || other.ID == dev.ID {
 			continue

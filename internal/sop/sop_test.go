@@ -205,7 +205,7 @@ type observeRule struct{}
 func (observeRule) Name() string { return "observe-route-hijack" }
 
 func (o observeRule) Match(topo *topology.Topology, in *incident.Incident, util TrafficOracle) (Plan, bool) {
-	for _, entries := range in.Entries {
+	for _, entries := range in.Entries() {
 		for k := range entries {
 			if k.Type == alert.TypeRouteHijack {
 				return Plan{Rule: o.Name(), Reason: "hijack observed"}, true

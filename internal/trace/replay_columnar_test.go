@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"skynet/internal/core"
+	"skynet/internal/monitors"
+	"skynet/internal/netsim"
+	"skynet/internal/topology"
+)
+
+// columnarCases mirrors the flood-replay catalog: every severe scenario
+// family internal/scenario can inject, plus benign and quiet workloads.
+func columnarCases(topo *topology.Topology, start time.Time) []floodCase {
+	return floodCases(topo, start)
+}
+
+// TestReplayColumnarBitIdentical runs the full scenario catalog through
+// the columnar ingest path (Engine.IngestBatch on a reused batch) at
+// workers {1, 2, 4, 8} and requires the incident population — IDs,
+// severity bits, zoom-in verdicts, rendered reports — to be bit-identical
+// to the per-alert serial reference. Under -race this doubles as a
+// concurrency check of batch absorption against the sharded stages.
+func TestReplayColumnarBitIdentical(t *testing.T) {
+	topo, err := topology.Generate(topology.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
+	for _, c := range columnarCases(topo, start) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			sim := netsim.New(topo, 1)
+			for i := range c.scs {
+				if err := c.scs[i].Inject(sim); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mcfg := monitors.DefaultConfig()
+			fleet := monitors.NewFleet(topo, mcfg)
+			alerts, err := fleet.Run(sim, start, start.Add(40*time.Minute), mcfg.PingInterval)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Reference: per-alert ingest, fully serial.
+			refCfg := core.DefaultConfig()
+			refCfg.Workers = 1
+			refEng, err := ReplayWithOptions(alerts, topo, refCfg, ReplayOptions{Tick: 10 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := replayFingerprint(refEng)
+			severe := 0
+			for _, sc := range c.scs {
+				if sc.Severe {
+					severe++
+				}
+			}
+			if severe > 0 && ref == "" {
+				t.Fatal("reference replay produced no incidents to compare")
+			}
+
+			for _, workers := range []int{1, 2, 4, 8} {
+				cfg := core.DefaultConfig()
+				cfg.Workers = workers
+				eng, err := ReplayWithOptions(alerts, topo, cfg, ReplayOptions{
+					Tick:     10 * time.Second,
+					Columnar: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := replayFingerprint(eng); got != ref {
+					t.Errorf("workers=%d: columnar replay diverged from per-alert serial reference", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayColumnarScenario is a quick sanity check that the columnar
+// path still detects a generated multi-scenario workload end to end.
+func TestReplayColumnarScenario(t *testing.T) {
+	gen := DefaultGenerateOptions()
+	gen.Scenarios = 2
+	gen.Window = 20 * time.Minute
+	g, err := Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	eng, err := ReplayWithOptions(g.Alerts, g.Topo, cfg, ReplayOptions{Columnar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.AllIncidents()) == 0 {
+		t.Fatal("columnar replay produced no incidents")
+	}
+}

@@ -160,6 +160,11 @@ type ReplayOptions struct {
 	// accumulates per-episode postmortem reports — the data behind
 	// `skynet-replay -floods`. Tick wall latency feeds its Perf section.
 	Flood *flood.Recorder
+	// Columnar routes ingestion through the engine's batch path
+	// (core.Engine.IngestBatch on a reused alert.Batch, flushed before
+	// every tick) instead of per-alert Ingest. Output is identical; the
+	// columnar path is what the ingest listeners feed in production.
+	Columnar bool
 }
 
 // Replay pushes a raw trace through a fresh engine, ticking at the given
@@ -211,14 +216,30 @@ func ReplayWithOptions(alerts []alert.Alert, topo *topology.Topology, engineCfg 
 		if tick <= 0 {
 			tick = 10 * time.Second
 		}
+		// In columnar mode alerts accumulate into a reused batch that is
+		// flushed right before each tick — the same order the per-alert
+		// path ingests them in, so replays are bit-identical either way.
+		var batch alert.Batch
+		flush := func() {
+			if batch.Len() > 0 {
+				eng.IngestBatch(&batch)
+				batch.Reset()
+			}
+		}
 		next := alerts[0].Time.Add(tick)
 		for i := range alerts {
 			for alerts[i].Time.After(next) {
+				flush()
 				tickOnce(next)
 				next = next.Add(tick)
 			}
-			eng.Ingest(alerts[i])
+			if opts.Columnar {
+				batch.Append(&alerts[i])
+			} else {
+				eng.Ingest(alerts[i])
+			}
 		}
+		flush()
 		end := alerts[len(alerts)-1].Time.Add(engineCfg.Locator.NodeTTL + tick)
 		for !next.After(end) {
 			tickOnce(next)

@@ -208,16 +208,16 @@ func (r *Refiner) Refine(in *incident.Incident, samples []Sample) string {
 func singleLocationOf(in *incident.Incident, src alert.Source, typ string) (hierarchy.Path, bool) {
 	var loc hierarchy.Path
 	found := false
-	for p, locEntries := range in.Entries {
-		for k := range locEntries {
-			if k.Source != src || k.Type != typ {
-				continue
-			}
-			if found && p != loc {
-				return hierarchy.Path{}, false
-			}
-			loc, found = p, true
+	slab := in.EntrySlab()
+	for i := range slab {
+		a := &slab[i].Alert
+		if a.Source != src || a.Type != typ {
+			continue
 		}
+		if found && a.Location != loc {
+			return hierarchy.Path{}, false
+		}
+		loc, found = a.Location, true
 	}
 	return loc, found
 }
@@ -226,11 +226,11 @@ func singleLocationOf(in *incident.Incident, src alert.Source, typ string) (hier
 // packet-loss locations.
 func commonLossAncestor(in *incident.Incident) (hierarchy.Path, bool) {
 	var locs []hierarchy.Path
-	for p, locEntries := range in.Entries {
-		for k := range locEntries {
-			if k.Source == alert.SourceTraffic && k.Type == alert.TypePacketLoss {
-				locs = append(locs, p)
-			}
+	slab := in.EntrySlab()
+	for i := range slab {
+		a := &slab[i].Alert
+		if a.Source == alert.SourceTraffic && a.Type == alert.TypePacketLoss {
+			locs = append(locs, a.Location)
 		}
 	}
 	if len(locs) == 0 {
