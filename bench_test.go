@@ -28,9 +28,11 @@ import (
 	"skynet/internal/netsim"
 	"skynet/internal/preprocess"
 	"skynet/internal/provenance"
+	"skynet/internal/slo"
 	"skynet/internal/span"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
+	"skynet/internal/tsdb"
 )
 
 var benchEpoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
@@ -222,9 +224,11 @@ var telemetryDump = flag.String("telemetrydump", "",
 // over a severe-failure alert batch. With a nil registry it measures the
 // bare pipeline; with one attached it measures the instrumented path, so
 // the pair bounds the telemetry overhead. A lineage recorder likewise
-// bounds the provenance overhead, a span tracer the tracing overhead,
-// and a flood recorder the episode-tagging overhead.
-func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal *telemetry.Journal, rec *provenance.Recorder, tracer *span.Tracer, fl *flood.Recorder) {
+// bounds the provenance overhead, a span tracer the tracing overhead, a
+// flood recorder the episode-tagging overhead, and history the full
+// telemetry-history stack (per-tick sampler + SLO burn-rate engine with
+// self-monitoring on; requires reg).
+func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal *telemetry.Journal, rec *provenance.Recorder, tracer *span.Tracer, fl *flood.Recorder, history bool) {
 	topo := topology.MustGenerate(topology.SmallConfig())
 	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
 	classifier, err := preprocess.BootstrapClassifier()
@@ -245,6 +249,14 @@ func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal
 	}
 	if fl != nil {
 		eng.EnableFlood(fl)
+	}
+	if history {
+		db := tsdb.New(tsdb.Config{})
+		db.RegisterMetrics(reg)
+		eng.EnableHistory(tsdb.NewSampler(db, reg))
+		sloEng := slo.New(db, slo.DefaultRules(500*time.Millisecond))
+		sloEng.RegisterMetrics(reg)
+		eng.EnableSLO(sloEng, true)
 	}
 	now := benchEpoch
 	// The batch is built once and only its Time column is rewritten per
@@ -273,29 +285,29 @@ func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal
 
 // BenchmarkEngineTick measures an uninstrumented ingest+tick round with
 // the default worker fan-out (all cores).
-func BenchmarkEngineTick(b *testing.B) { benchEngineTick(b, 0, nil, nil, nil, nil, nil) }
+func BenchmarkEngineTick(b *testing.B) { benchEngineTick(b, 0, nil, nil, nil, nil, nil, false) }
 
 // BenchmarkEngineTickSerial pins the pipeline to one worker — the serial
 // reference the parallel path must match bit-for-bit (see
 // TestEngineDeterministicAcrossWorkers).
-func BenchmarkEngineTickSerial(b *testing.B) { benchEngineTick(b, 1, nil, nil, nil, nil, nil) }
+func BenchmarkEngineTickSerial(b *testing.B) { benchEngineTick(b, 1, nil, nil, nil, nil, nil, false) }
 
 // BenchmarkEngineTickWorkers4 forces four workers regardless of core
 // count, exposing the goroutine fan-out overhead when oversubscribed.
-func BenchmarkEngineTickWorkers4(b *testing.B) { benchEngineTick(b, 4, nil, nil, nil, nil, nil) }
+func BenchmarkEngineTickWorkers4(b *testing.B) { benchEngineTick(b, 4, nil, nil, nil, nil, nil, false) }
 
 // BenchmarkEngineTickProvenance is BenchmarkEngineTick with the lineage
 // recorder attached at the default 1-in-16 sampling; the delta between
 // the two is the provenance cost per tick (acceptance bound: within 5%).
 func BenchmarkEngineTickProvenance(b *testing.B) {
-	benchEngineTick(b, 0, nil, nil, provenance.New(provenance.Config{}), nil, nil)
+	benchEngineTick(b, 0, nil, nil, provenance.New(provenance.Config{}), nil, nil, false)
 }
 
 // BenchmarkEngineTickSpans is BenchmarkEngineTick with the span tracer
 // attached; the delta between the two is the tracing cost per tick
 // (acceptance bound: within 2%, see bench_results.txt).
 func BenchmarkEngineTickSpans(b *testing.B) {
-	benchEngineTick(b, 0, nil, nil, nil, span.NewTracer(0), nil)
+	benchEngineTick(b, 0, nil, nil, nil, span.NewTracer(0), nil, false)
 }
 
 // BenchmarkEngineTickFlood is BenchmarkEngineTick with the flood-episode
@@ -304,7 +316,7 @@ func BenchmarkEngineTickSpans(b *testing.B) {
 // The synthetic batch rate keeps an episode open for the whole run, so
 // this measures the recorder's worst case: every tick aggregates.
 func BenchmarkEngineTickFlood(b *testing.B) {
-	benchEngineTick(b, 0, nil, nil, nil, nil, flood.New(flood.Config{}))
+	benchEngineTick(b, 0, nil, nil, nil, nil, flood.New(flood.Config{}), false)
 }
 
 // BenchmarkEngineTickTelemetry is BenchmarkEngineTick with the metrics
@@ -312,7 +324,7 @@ func BenchmarkEngineTickFlood(b *testing.B) {
 // the telemetry cost per tick (acceptance bound: within 5%).
 func BenchmarkEngineTickTelemetry(b *testing.B) {
 	reg := telemetry.New()
-	benchEngineTick(b, 0, reg, telemetry.NewJournal(0), nil, nil, nil)
+	benchEngineTick(b, 0, reg, telemetry.NewJournal(0), nil, nil, nil, false)
 	if *telemetryDump == "" {
 		return
 	}
@@ -325,6 +337,15 @@ func BenchmarkEngineTickTelemetry(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Logf("telemetry snapshot written to %s", *telemetryDump)
+}
+
+// BenchmarkEngineTickHistory is BenchmarkEngineTickTelemetry with the
+// tick-indexed history sampler and the SLO burn-rate engine attached
+// (self-monitoring on); the delta between the two is the telemetry-
+// history cost per tick (acceptance bound: within 2%, see
+// EXPERIMENTS.md).
+func BenchmarkEngineTickHistory(b *testing.B) {
+	benchEngineTick(b, 0, telemetry.New(), nil, nil, nil, nil, true)
 }
 
 // BenchmarkWireCodec measures the UDP wire format round trip.

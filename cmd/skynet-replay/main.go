@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 	"time"
 
 	"skynet/internal/core"
@@ -36,6 +37,7 @@ import (
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
 	"skynet/internal/trace"
+	"skynet/internal/tsdb"
 )
 
 func main() {
@@ -59,6 +61,8 @@ func main() {
 			"print the provenance tree of one incident after replay (implies full-detail recording)")
 		showFloods = flag.Bool("floods", false,
 			"detect flood episodes during the replay and print per-episode postmortem reports")
+		historyMetrics = flag.String("history", "",
+			"sample telemetry history during the replay and print terminal sparklines for the comma-separated metrics (\"all\" lists every recorded series)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -101,6 +105,13 @@ func main() {
 		reg = telemetry.New()
 		journal = telemetry.NewJournal(0)
 	}
+	var db *tsdb.DB
+	if *historyMetrics != "" {
+		if reg == nil {
+			reg = telemetry.New() // the sampler reads registry handles
+		}
+		db = tsdb.New(tsdb.Config{})
+	}
 	var tracer *span.Tracer
 	if *showSpans {
 		tracer = span.NewTracer(0)
@@ -118,7 +129,8 @@ func main() {
 		floodRec = flood.New(flood.Config{})
 	}
 	eng, err := trace.ReplayWithOptions(alerts, topo, cfg,
-		trace.ReplayOptions{Telemetry: reg, Journal: journal, Provenance: prov, Tracer: tracer, Flood: floodRec})
+		trace.ReplayOptions{Telemetry: reg, Journal: journal, Provenance: prov, Tracer: tracer, Flood: floodRec,
+			History: db})
 	if err != nil {
 		fatal(err)
 	}
@@ -150,8 +162,48 @@ func main() {
 	if floodRec != nil {
 		printFloods(floodRec)
 	}
+	if db != nil {
+		printHistory(db, *historyMetrics)
+	}
 	if *explainID >= 0 {
 		explain(eng, prov, *explainID)
+	}
+}
+
+// printHistory renders the -history report: a terminal sparkline per
+// requested metric from the replay's tick-indexed store. "all" lists
+// every recorded series instead.
+func printHistory(db *tsdb.DB, metrics string) {
+	fmt.Printf("\n== telemetry history (%d series, %d samples, %s resident) ==\n",
+		len(db.SeriesNames()), db.Samples(), formatBytes(db.MemoryBytes()))
+	if metrics == "all" {
+		for _, name := range db.SeriesNames() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
+	}
+	for _, metric := range strings.Split(metrics, ",") {
+		metric = strings.TrimSpace(metric)
+		if metric == "" {
+			continue
+		}
+		res, err := db.Query(metric, 0, 0, 1)
+		if err != nil {
+			fmt.Printf("%s: %v (try -history all for the recorded series)\n", metric, err)
+			continue
+		}
+		fmt.Print(tsdb.RenderHistory(res, 72))
+	}
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
 	}
 }
 

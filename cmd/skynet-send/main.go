@@ -1,0 +1,77 @@
+// Command skynet-send streams a recorded alert trace to a running
+// skynetd over its TCP ingest listener — the workload driver behind the
+// CI daemon-smoke job and a convenient way to feed a local daemon a
+// synthetic flood:
+//
+//	skynet-gen -out flood.jsonl.gz -scenarios 3
+//	skynetd -tcp 127.0.0.1:7070 &
+//	skynet-send -trace flood.jsonl.gz -addr 127.0.0.1:7070
+//
+// Alerts are sent in trace order as fast as the connection accepts them
+// (JSON Lines, the format skynetd's TCP listener speaks); -limit
+// truncates the trace and -flush bounds client-side batching.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"skynet/internal/ingest"
+	"skynet/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "alert trace to send (JSON Lines, .gz ok; required)")
+		addr      = flag.String("addr", "127.0.0.1:7070", "skynetd TCP ingest address")
+		limit     = flag.Int("limit", 0, "send at most this many alerts (0 = whole trace)")
+		flushN    = flag.Int("flush", 512, "flush the connection every N alerts")
+		timeout   = flag.Duration("timeout", 10*time.Second, "dial timeout")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "skynet-send: -trace is required")
+		os.Exit(2)
+	}
+
+	alerts, err := trace.Read(*tracePath)
+	if err != nil {
+		die(err)
+	}
+	if *limit > 0 && len(alerts) > *limit {
+		alerts = alerts[:*limit]
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	client, err := ingest.DialTCP(ctx, *addr)
+	if err != nil {
+		die(err)
+	}
+	start := time.Now()
+	for i := range alerts {
+		if err := client.Send(&alerts[i]); err != nil {
+			die(err)
+		}
+		if *flushN > 0 && (i+1)%*flushN == 0 {
+			if err := client.Flush(); err != nil {
+				die(err)
+			}
+		}
+	}
+	if err := client.Close(); err != nil {
+		die(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("sent %d alerts to %s in %s (%.0f alerts/s)\n",
+		len(alerts), *addr, elapsed.Round(time.Millisecond),
+		float64(len(alerts))/elapsed.Seconds())
+}
+
+func die(err error) {
+	fmt.Fprintf(os.Stderr, "skynet-send: %v\n", err)
+	os.Exit(1)
+}

@@ -15,9 +15,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"syscall"
@@ -30,10 +32,12 @@ import (
 	"skynet/internal/ingest"
 	"skynet/internal/preprocess"
 	"skynet/internal/provenance"
+	"skynet/internal/slo"
 	"skynet/internal/span"
 	"skynet/internal/status"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
+	"skynet/internal/tsdb"
 )
 
 // version identifies the build; release pipelines override it with
@@ -60,6 +64,10 @@ func main() {
 			"self-SLO on tick latency p99; a breach fires the flight recorder")
 		flightMaxDumps = flag.Int("flight-max-dumps", 0,
 			"max flight dump directories kept on disk; oldest are deleted past the cap (0 = keep all)")
+		selfMonitor = flag.Bool("self-monitor", true,
+			"inject synthetic meta/skynetd alerts through the ingest path when an SLO burn-rate rule fires")
+		historySnap = flag.String("history-snapshot", "",
+			"file for the final telemetry-history snapshot written on shutdown (default <flight-dir>/history-final.json; empty flight dir disables)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -117,6 +125,20 @@ func main() {
 	tracer := span.NewTracer(0)
 	engine.EnableTracing(tracer)
 
+	// Telemetry history: every registry metric sampled once per tick into
+	// the tick-indexed store behind GET /api/query, flight-dump history
+	// sections, and flood postmortem trajectory curves.
+	db := tsdb.New(tsdb.Config{})
+	db.RegisterMetrics(reg)
+	engine.EnableHistory(tsdb.NewSampler(db, reg))
+
+	// SLO watchdog: multi-window burn-rate rules over the history store;
+	// with -self-monitor, burns feed back into the pipeline as synthetic
+	// meta/skynetd alerts.
+	sloEng := slo.New(db, slo.DefaultRules(*sloTickP99))
+	sloEng.RegisterMetrics(reg)
+	engine.EnableSLO(sloEng, *selfMonitor)
+
 	// Live event stream: incident lifecycle transitions and anomalies on
 	// GET /api/events.
 	bus := status.NewEventBus()
@@ -139,6 +161,11 @@ func main() {
 	floodRec := flood.New(flood.Config{})
 	engine.EnableFlood(floodRec)
 	floodRec.RegisterMetrics(reg)
+	floodRec.SetHistory(flood.HistoryFromDB(db,
+		tsdb.MetricTickDuration,
+		"skynet_raw_alerts_total",
+		"skynet_active_incidents",
+		"skynet_preprocess_pending_depth"))
 	floodRec.SetNotify(func(ev flood.Event) {
 		bus.Publish(status.EventTypeFlood, ev)
 		log.Info("flood episode", "episode", ev.Episode, "phase", ev.Phase.String(), "detail", ev.Detail)
@@ -192,6 +219,9 @@ func main() {
 		FloodClosed:    floodRec.ClosedCount,
 		Metrics:        reg,
 		Tracer:         tracer,
+		SLOBurnEvents:  sloEng.EventCount,
+		SLODetail:      sloEng.LastDetail,
+		History:        func(w io.Writer) error { return db.SnapshotTo(w, time.Now()) },
 		Incidents: func() any {
 			engineMu.Lock()
 			defer engineMu.Unlock()
@@ -215,6 +245,10 @@ func main() {
 	flightRec.SetNotify(func(ev flight.Event) {
 		bus.Publish(status.EventTypeAnomaly, ev)
 		log.Warn("flight-recorder trigger", "trigger", ev.Trigger, "detail", ev.Detail, "dump", ev.DumpDir)
+	})
+	sloEng.SetNotify(func(ev slo.Event) {
+		bus.Publish(status.EventTypeSLO, ev)
+		log.Warn("slo burn event", "rule", ev.Rule, "firing", ev.Firing, "detail", ev.Detail)
 	})
 	if a := srv.TCPAddr(); a != nil {
 		log.Info("tcp listening", "addr", a.String())
@@ -242,7 +276,9 @@ func main() {
 			WithFlight(flightRec).
 			WithTracer(tracer).
 			WithEvents(bus).
-			WithFlood(floodRec)
+			WithFlood(floodRec).
+			WithHistory(db).
+			WithSLO(sloEng)
 		statusSrv, err := status.Listen(*httpAddr, snap, log)
 		if err != nil {
 			fatal(log, err)
@@ -287,6 +323,21 @@ func main() {
 			}
 		case sig := <-stop:
 			log.Info("shutting down", "signal", sig.String())
+			// Close the event bus first so every SSE subscriber's channel
+			// closes and /api/events handlers return before the HTTP
+			// server's deferred graceful shutdown runs.
+			bus.Close()
+			// Flush the final telemetry-history snapshot: the whole run's
+			// tick-indexed series, the postmortem artifact CI uploads.
+			if path := finalSnapshotPath(*historySnap, *flightDir); path != "" {
+				if err := writeHistorySnapshot(db, path); err != nil {
+					log.Warn("history snapshot failed", "err", err)
+				} else {
+					log.Info("history snapshot written", "path", path,
+						"series", len(db.SeriesNames()), "samples", db.Samples(),
+						"resident_bytes", db.MemoryBytes())
+				}
+			}
 			engineMu.Lock()
 			stats := engine.PreprocessStats()
 			total := len(engine.AllIncidents())
@@ -298,6 +349,36 @@ func main() {
 			return
 		}
 	}
+}
+
+// finalSnapshotPath resolves the -history-snapshot flag: an explicit
+// path wins; otherwise the snapshot lands next to the flight dumps, and
+// an empty flight dir disables it.
+func finalSnapshotPath(flagPath, flightDir string) string {
+	if flagPath != "" {
+		return flagPath
+	}
+	if flightDir == "" {
+		return ""
+	}
+	return filepath.Join(flightDir, "history-final.json")
+}
+
+func writeHistorySnapshot(db *tsdb.DB, path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = db.SnapshotTo(f, time.Now())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(log *slog.Logger, err error) {

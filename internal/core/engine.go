@@ -24,21 +24,25 @@ package core
 import (
 	"slices"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"skynet/internal/alert"
 	"skynet/internal/evaluator"
 	"skynet/internal/flood"
 	"skynet/internal/ftree"
+	"skynet/internal/hierarchy"
 	"skynet/internal/incident"
 	"skynet/internal/locator"
 	"skynet/internal/par"
 	"skynet/internal/preprocess"
 	"skynet/internal/provenance"
+	"skynet/internal/slo"
 	"skynet/internal/sop"
 	"skynet/internal/span"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
+	"skynet/internal/tsdb"
 	"skynet/internal/zoomin"
 )
 
@@ -137,6 +141,16 @@ type Engine struct {
 	// Flood detection is optional; nil until EnableFlood.
 	flood           *flood.Recorder
 	floodClosedSeen int
+
+	// Telemetry history + self-SLO are optional; nil until EnableHistory
+	// and EnableSLO. latModel, when set, replaces the measured tick
+	// latency with a deterministic function of the tick index.
+	hist        *tsdb.Sampler
+	sloEng      *slo.Engine
+	sloLocs     []hierarchy.Path
+	selfMon     bool
+	selfAlertsN atomic.Int64
+	latModel    func(tick uint64) time.Duration
 }
 
 // NewEngine assembles a pipeline. classifier may be nil (raw syslog is
@@ -230,9 +244,11 @@ func (e *Engine) Tick(now time.Time) TickResult {
 	e.tickCount++
 	tel := e.tel
 	var start, mark time.Time
-	if tel != nil {
+	if tel != nil || e.hist != nil {
 		start = time.Now()
 		mark = start
+	}
+	if tel != nil {
 		tel.prePending.SetInt(e.pre.PendingDepth())
 	}
 	act := e.tracer.StartTick(e.tickCount, now) // nil when tracing is off
@@ -341,6 +357,13 @@ func (e *Engine) Tick(now time.Time) TickResult {
 	}
 	if tr := act.Finish(); tr != nil && e.spanTel != nil {
 		e.spanTel.observe(tr)
+	}
+	// History sampling runs last so this tick's counters, gauges, and
+	// span aggregates are all final before the sample is cut. It may
+	// inject self-alerts, which enter the preprocessor's pending buffer
+	// for the NEXT tick — nothing this tick already computed moves.
+	if e.hist != nil {
+		e.observeHistory(now, start)
 	}
 	return res
 }

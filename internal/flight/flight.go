@@ -10,6 +10,10 @@
 // of anomaly triggers every tick:
 //
 //   - tick_p99          — tick latency p99 over the window breached the SLO
+//     (only when no burn-rate engine is wired; see slo_burn)
+//   - slo_burn          — the multi-window SLO burn-rate engine emitted a
+//     fire/resolve event; supersedes the single-window tick_p99 trigger
+//     when Sources.SLOBurnEvents is set
 //   - ingest_shed       — the daemon dropped raw alerts on a full queue
 //   - journal_drop      — the lifecycle journal evicted events
 //   - queue_high_water  — the ingest queue passed its high-water fraction
@@ -28,6 +32,7 @@ package flight
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime/pprof"
@@ -101,12 +106,28 @@ type Sources struct {
 	Metrics *telemetry.Registry
 	// Tracer supplies the recent span-trace ring written into dumps.
 	Tracer *span.Tracer
+	// SLOBurnEvents returns the burn-rate engine's cumulative event count
+	// (fire + resolve edges). When set it SUPERSEDES the recorder's
+	// internal single-window tick-p99 self-SLO: tick_p99 stops being
+	// evaluated and a positive delta here fires slo_burn instead — the
+	// rule engine's fast/slow windows are strictly better at telling a
+	// blip from a breach.
+	SLOBurnEvents func() int64
+	// SLODetail describes the most recent burn event, joined into the
+	// slo_burn trigger detail.
+	SLODetail func() string
+	// History writes the pre-trigger telemetry history window into dumps
+	// as history.json — typically tsdb.DB.SnapshotTo, so every dump
+	// carries how the pipeline trended INTO the anomaly, not just the
+	// instant of it.
+	History func(w io.Writer) error
 }
 
 // Trigger names, stable identifiers used in health reports, events,
 // metrics, and dump file names.
 const (
 	TriggerTickP99     = "tick_p99"
+	TriggerSLOBurn     = "slo_burn"
 	TriggerIngestShed  = "ingest_shed"
 	TriggerJournalDrop = "journal_drop"
 	TriggerQueueHigh   = "queue_high_water"
@@ -115,7 +136,7 @@ const (
 )
 
 var triggerNames = []string{
-	TriggerTickP99, TriggerIngestShed, TriggerJournalDrop,
+	TriggerTickP99, TriggerSLOBurn, TriggerIngestShed, TriggerJournalDrop,
 	TriggerQueueHigh, TriggerProvViolate, TriggerFloodClose,
 }
 
@@ -185,6 +206,7 @@ type Recorder struct {
 	lastShed        int64
 	lastEvicted     int64
 	lastFloodClosed int64
+	lastSLOBurn     int64
 
 	dumps     int64
 	lastDump  string
@@ -231,6 +253,9 @@ func New(cfg Config, src Sources) *Recorder {
 	if src.FloodClosed != nil {
 		r.lastFloodClosed = src.FloodClosed()
 	}
+	if src.SLOBurnEvents != nil {
+		r.lastSLOBurn = src.SLOBurnEvents()
+	}
 	return r
 }
 
@@ -272,8 +297,22 @@ func (r *Recorder) Observe(now time.Time, dur time.Duration) {
 		}
 	}
 
-	edge(TriggerTickP99, r.p99 > r.cfg.SLOTickP99,
-		fmt.Sprintf("tick p99 %s over %d ticks > SLO %s", r.p99, r.wn, r.cfg.SLOTickP99))
+	if r.src.SLOBurnEvents == nil {
+		edge(TriggerTickP99, r.p99 > r.cfg.SLOTickP99,
+			fmt.Sprintf("tick p99 %s over %d ticks > SLO %s", r.p99, r.wn, r.cfg.SLOTickP99))
+	} else {
+		// The burn-rate engine owns latency (and more) judgement; the
+		// recorder just converts its event stream into dump triggers.
+		cur := r.src.SLOBurnEvents()
+		d := cur - r.lastSLOBurn
+		r.lastSLOBurn = cur
+		detail := ""
+		if d > 0 && r.src.SLODetail != nil {
+			detail = ": " + r.src.SLODetail()
+		}
+		edge(TriggerSLOBurn, d > 0,
+			fmt.Sprintf("slo burn-rate engine emitted %d events (%d total)%s", d, cur, detail))
+	}
 
 	if r.src.Shed != nil {
 		cur := r.src.Shed()
@@ -472,6 +511,18 @@ func (r *Recorder) writeDump(dir string, fired []Event, health Health) {
 	}
 	if r.src.Incidents != nil {
 		writeJSON("incidents.json", r.src.Incidents())
+	}
+	if r.src.History != nil {
+		f, err := os.Create(filepath.Join(dir, "history.json"))
+		if err == nil {
+			err = r.src.History(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			writeErr("history.json", err)
+		}
 	}
 	if f, err := os.Create(filepath.Join(dir, "goroutines.txt")); err == nil {
 		_ = pprof.Lookup("goroutine").WriteTo(f, 2)

@@ -1,10 +1,12 @@
 package flight
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -134,8 +136,17 @@ func TestEdgeTriggersFireOnDeltas(t *testing.T) {
 	// A second burst re-fires.
 	shed.Add(1)
 	rec.Observe(at(30), time.Millisecond)
-	if got := rec.Health().Triggers[1]; got.Name != TriggerIngestShed || got.Fired != 2 {
-		t.Fatalf("ingest_shed fired = %+v, want 2 edges", got)
+	found := false
+	for _, got := range rec.Health().Triggers {
+		if got.Name == TriggerIngestShed {
+			found = true
+			if got.Fired != 2 {
+				t.Fatalf("ingest_shed fired = %+v, want 2 edges", got)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("ingest_shed missing from health triggers")
 	}
 }
 
@@ -193,6 +204,157 @@ func TestDumpCooldownAndCap(t *testing.T) {
 	}
 	if len(entries) != 2 {
 		t.Fatalf("dump dirs on disk = %d, want 2", len(entries))
+	}
+}
+
+// TestTwoTriggersWithinCooldown pins the cooldown/cap interaction when
+// two DIFFERENT triggers fire inside one cooldown window: the first
+// firing carries the dump, the second is an event only (empty DumpDir,
+// dump count unchanged), and once the cooldown elapses the suppressed
+// trigger class dumps normally.
+func TestTwoTriggersWithinCooldown(t *testing.T) {
+	dir := dumpRoot(t)
+	var shed, evicted atomic.Int64
+	rec := New(Config{Dir: dir, Window: 4, Cooldown: time.Minute, MaxDumps: 4},
+		Sources{Shed: shed.Load, JournalEvicted: evicted.Load})
+	var events []Event
+	rec.SetNotify(func(ev Event) { events = append(events, ev) })
+
+	shed.Add(1)
+	rec.Observe(at(0), time.Millisecond) // dump 1
+	evicted.Add(1)
+	rec.Observe(at(10), time.Millisecond) // within cooldown: event only
+	h := rec.Health()
+	if h.Dumps != 1 {
+		t.Fatalf("dumps = %d after second trigger inside cooldown, want 1", h.Dumps)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %+v, want 2", events)
+	}
+	if events[0].Trigger != TriggerIngestShed || events[0].DumpDir == "" {
+		t.Fatalf("first event %+v should carry the dump", events[0])
+	}
+	if events[1].Trigger != TriggerJournalDrop || events[1].DumpDir != "" {
+		t.Fatalf("second event %+v should be event-only (no dump dir)", events[1])
+	}
+	// The suppressed trigger was detected, just not dumped.
+	for _, tr := range h.Triggers {
+		if tr.Name == TriggerJournalDrop && tr.Fired != 1 {
+			t.Fatalf("journal_drop fired = %d, want 1 (detection is never rate-limited)", tr.Fired)
+		}
+	}
+
+	// Recover both edges, then re-fire the suppressed class after the
+	// cooldown: it must dump this time.
+	rec.Observe(at(20), time.Millisecond)
+	evicted.Add(1)
+	rec.Observe(at(70), time.Millisecond)
+	if h := rec.Health(); h.Dumps != 2 {
+		t.Fatalf("dumps = %d after cooldown elapsed, want 2", h.Dumps)
+	}
+	if last := events[len(events)-1]; last.Trigger != TriggerJournalDrop || last.DumpDir == "" {
+		t.Fatalf("post-cooldown event %+v should carry a dump", last)
+	}
+	if entries, err := os.ReadDir(dir); err != nil || len(entries) != 2 {
+		t.Fatalf("dump dirs on disk = %d (%v), want 2", len(entries), err)
+	}
+}
+
+// TestSLOBurnSupersedesTickP99 wires the burn-rate engine taps: the
+// internal single-window tick_p99 trigger must stop evaluating (a tick
+// far over the SLO does not fire), a positive burn-event delta fires
+// slo_burn with the engine's detail, and dumps embed the pre-trigger
+// history window as history.json.
+func TestSLOBurnSupersedesTickP99(t *testing.T) {
+	dir := dumpRoot(t)
+	var burns atomic.Int64
+	burns.Store(3) // events from before the recorder existed must not fire
+	rec := New(Config{Dir: dir, SLOTickP99: 100 * time.Millisecond, Window: 4},
+		Sources{
+			SLOBurnEvents: burns.Load,
+			SLODetail:     func() string { return "tick-latency fast 15.00 slow 7.10" },
+			History: func(w io.Writer) error {
+				_, err := io.WriteString(w, `{"series":[]}`)
+				return err
+			},
+		})
+	var events []Event
+	rec.SetNotify(func(ev Event) { events = append(events, ev) })
+
+	rec.Observe(at(0), 500*time.Millisecond) // 5x the tick SLO
+	if h := rec.Health(); !h.OK {
+		t.Fatalf("tick_p99 fired despite burn-rate engine wired: %+v", h.Degraded)
+	}
+	burns.Add(1)
+	rec.Observe(at(10), time.Millisecond)
+	h := rec.Health()
+	if len(h.Degraded) != 1 || h.Degraded[0] != TriggerSLOBurn {
+		t.Fatalf("degraded = %v, want [%s]", h.Degraded, TriggerSLOBurn)
+	}
+	if len(events) != 1 || events[0].Trigger != TriggerSLOBurn ||
+		!strings.Contains(events[0].Detail, "tick-latency fast 15.00") {
+		t.Fatalf("events = %+v, want one slo_burn carrying the engine detail", events)
+	}
+	data, err := os.ReadFile(filepath.Join(h.LastDump, "history.json"))
+	if err != nil || string(data) != `{"series":[]}` {
+		t.Fatalf("history.json = %q (%v), want the history snapshot", data, err)
+	}
+	// No new events: slo_burn recovers.
+	rec.Observe(at(20), time.Millisecond)
+	if h := rec.Health(); !h.OK {
+		t.Fatalf("slo_burn stayed firing with no new events: %+v", h.Degraded)
+	}
+}
+
+// TestRetentionRacesDumpInProgress hammers MaxDumpDirs pruning while
+// dumps are still being written from concurrent Observe calls: the slow
+// Incidents callback keeps each dump in progress while other goroutines
+// prune, which must never panic or corrupt recorder state, and a final
+// quiescent dump must leave exactly MaxDumpDirs directories.
+func TestRetentionRacesDumpInProgress(t *testing.T) {
+	dir := dumpRoot(t)
+	var shed atomic.Int64
+	rec := New(Config{Dir: dir, Window: 4, Cooldown: time.Nanosecond, MaxDumps: -1, MaxDumpDirs: 2},
+		Sources{
+			Shed: shed.Load,
+			Incidents: func() any {
+				time.Sleep(2 * time.Millisecond) // hold the dump open mid-write
+				return []string{"inc"}
+			},
+		})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				shed.Add(1)
+				rec.Observe(at(g*100+i*2), time.Millisecond)
+				rec.Observe(at(g*100+i*2+1), time.Millisecond) // recover the edge
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h := rec.Health(); h.Dumps < 1 {
+		t.Fatalf("no dumps written under concurrency: %+v", h)
+	}
+	// Quiesce, then one final sequential dump: its prune pass sees every
+	// completed directory and must enforce the cap.
+	rec.Observe(at(1000), time.Millisecond)
+	shed.Add(1)
+	rec.Observe(at(1001), time.Millisecond)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dumps []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "flight-") {
+			dumps = append(dumps, e.Name())
+		}
+	}
+	if len(dumps) != 2 {
+		t.Fatalf("retained %d dump dirs %v after quiescent prune, want 2", len(dumps), dumps)
 	}
 }
 

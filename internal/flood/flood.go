@@ -51,6 +51,7 @@ import (
 	"skynet/internal/incident"
 	"skynet/internal/intern"
 	"skynet/internal/telemetry"
+	"skynet/internal/tsdb"
 )
 
 // Defaults for Config's zero fields, calibrated against the small
@@ -297,7 +298,8 @@ type Recorder struct {
 	curGauge   *telemetry.Gauge
 	epCounter  *telemetry.Counter
 
-	notify func(Event)
+	notify  func(Event)
+	history func(fromTick, toTick uint64) []HistoryCurve
 }
 
 // New builds a recorder, applying defaults for zero Config fields.
@@ -317,6 +319,44 @@ func (r *Recorder) SetNotify(fn func(Event)) {
 	r.mu.Lock()
 	r.notify = fn
 	r.mu.Unlock()
+}
+
+// SetHistory installs the history-store tap: at episode close the
+// recorder calls fn with the episode's tick window and attaches the
+// returned curves to the report, so postmortems carry the pipeline's
+// rate and latency trajectories through the flood. The callback runs
+// under the recorder's lock on the ObserveTick goroutine — it must read
+// the store and nothing else (HistoryFromDB qualifies).
+func (r *Recorder) SetHistory(fn func(fromTick, toTick uint64) []HistoryCurve) {
+	r.mu.Lock()
+	r.history = fn
+	r.mu.Unlock()
+}
+
+// HistoryFromDB builds a SetHistory tap reading the named metrics from
+// the tick-indexed store. Metrics the store has never seen are skipped,
+// so the list can name series that only appear under load.
+func HistoryFromDB(db *tsdb.DB, metrics ...string) func(fromTick, toTick uint64) []HistoryCurve {
+	return func(fromTick, toTick uint64) []HistoryCurve {
+		out := make([]HistoryCurve, 0, len(metrics))
+		for _, m := range metrics {
+			res, err := db.Query(m, fromTick, toTick, 1)
+			if err != nil || len(res.Points) == 0 {
+				continue
+			}
+			hc := HistoryCurve{
+				Metric:   m,
+				FromTick: res.Points[0].Tick,
+				Step:     res.Step,
+				Values:   make([]float64, len(res.Points)),
+			}
+			for i := range res.Points {
+				hc.Values[i] = res.Points[i].Value
+			}
+			out = append(out, hc)
+		}
+		return out
+	}
 }
 
 // RegisterMetrics exposes detector state on a registry and arms the
@@ -609,6 +649,9 @@ func (r *Recorder) closeLocked(rep *Report, tick uint64, now time.Time, out *Tic
 	rep.RawBySource = r.sourceCountsLocked(rep)
 	rep.ByType = r.typeCountsLocked(rep)
 	rep.TopLocations = r.topLocationsLocked(rep)
+	if r.history != nil {
+		rep.History = r.history(rep.StartTick, tick)
+	}
 	r.transitionLocked(rep, PhaseClosed, tick, now, out,
 		fmt.Sprintf("flood closed: %d raw alerts over %d ticks, peak %d/tick",
 			rep.RawTotal, rep.DurationTicks, rep.PeakRate))

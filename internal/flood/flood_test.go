@@ -11,6 +11,7 @@ import (
 	"skynet/internal/hierarchy"
 	"skynet/internal/incident"
 	"skynet/internal/telemetry"
+	"skynet/internal/tsdb"
 )
 
 var epoch = time.Date(2024, 7, 2, 11, 0, 0, 0, time.UTC)
@@ -290,5 +291,38 @@ func TestPhaseTextRoundTrip(t *testing.T) {
 	var bad Phase
 	if err := bad.UnmarshalText([]byte("nope")); err == nil {
 		t.Error("unknown phase text silently accepted")
+	}
+}
+
+// TestHistoryTapAttachesCurves wires a tick-indexed store behind the
+// SetHistory tap: the closed report must carry the metric's samples over
+// the episode window, unknown metrics are skipped, and the curves stay
+// out of the determinism fingerprint.
+func TestHistoryTapAttachesCurves(t *testing.T) {
+	db := tsdb.New(tsdb.Config{})
+	for tick := uint64(0); tick < 40; tick++ {
+		db.Append("skynet_preprocess_pending", tick, float64(tick))
+	}
+	r := New(Config{})
+	r.SetHistory(HistoryFromDB(db, "skynet_preprocess_pending", "skynet_no_such_metric"))
+	rep := quietThenBurst(t, r)
+	if len(rep.History) != 1 {
+		t.Fatalf("History = %+v, want the one known metric", rep.History)
+	}
+	hc := rep.History[0]
+	if hc.Metric != "skynet_preprocess_pending" || hc.FromTick != rep.StartTick || hc.Step != 1 {
+		t.Fatalf("curve = %+v, want window starting at %d step 1", hc, rep.StartTick)
+	}
+	if want := int(rep.EndTick - rep.StartTick + 1); len(hc.Values) != want {
+		t.Fatalf("curve has %d samples, want %d (one per episode tick)", len(hc.Values), want)
+	}
+	if hc.Values[0] != float64(rep.StartTick) {
+		t.Fatalf("curve[0] = %v, want %v (the stored tick value)", hc.Values[0], rep.StartTick)
+	}
+	if fp := rep.Fingerprint(); strings.Contains(fp, "skynet_preprocess_pending") {
+		t.Error("history curves leaked into the determinism fingerprint")
+	}
+	if !strings.Contains(rep.Render(), "history") {
+		t.Error("Render omits the history curves")
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"skynet/internal/tsdb"
 )
 
 // PhaseChange is one entry of an episode's phase timeline.
@@ -36,6 +38,21 @@ type TrajectoryPoint struct {
 	Active       int       `json:"active"`
 	NewIncidents int       `json:"new_incidents,omitempty"`
 	MaxSeverity  float64   `json:"max_severity,omitempty"`
+}
+
+// HistoryCurve is one store-sourced metric trajectory attached to a
+// closed episode: the metric's samples over the episode window, read
+// from the tick-indexed history store at close. Unlike Trajectory
+// (which the recorder accumulates from the alert stream itself), curves
+// cover whatever the sampler recorded — tick latency, ingest rates,
+// queue depth — so a postmortem shows how the whole pipeline trended
+// through the flood. Excluded from Fingerprint: latency series are
+// wall-clock in production.
+type HistoryCurve struct {
+	Metric   string    `json:"metric"`
+	FromTick uint64    `json:"from_tick"`
+	Step     uint64    `json:"step"`
+	Values   []float64 `json:"values"`
 }
 
 // LocationCount is one row of an episode's top-locations ranking.
@@ -130,6 +147,11 @@ type Report struct {
 	Trajectory        []TrajectoryPoint `json:"trajectory,omitempty"`
 	TrajectoryDropped int64             `json:"trajectory_dropped,omitempty"`
 
+	// History holds store-sourced metric trajectories over the episode
+	// window, attached at close by the SetHistory tap (nil without one).
+	// Excluded from Fingerprint.
+	History []HistoryCurve `json:"history,omitempty"`
+
 	// Scenario and DetectionLag are ground-truth annotations filled in
 	// by MatchScenarios when the workload's injected scenarios are
 	// known (replays and experiments; empty in production).
@@ -150,6 +172,7 @@ func (rep *Report) clone() Report {
 	cp.Incidents = append([]IncidentEvent(nil), rep.Incidents...)
 	cp.Trajectory = append([]TrajectoryPoint(nil), rep.Trajectory...)
 	cp.TopLocations = append([]LocationCount(nil), rep.TopLocations...)
+	cp.History = append([]HistoryCurve(nil), rep.History...)
 	if rep.RawBySource != nil {
 		cp.RawBySource = make(map[string]int64, len(rep.RawBySource))
 		for k, v := range rep.RawBySource {
@@ -313,6 +336,22 @@ func (rep *Report) Render() string {
 	for _, ie := range rep.Incidents {
 		fmt.Fprintf(&b, "    #%-4d %-28s created %s  severity %.1f\n",
 			ie.ID, ie.Root, ie.Created.Format(time.TimeOnly), ie.Severity)
+	}
+	for _, hc := range rep.History {
+		if len(hc.Values) == 0 {
+			continue
+		}
+		lo, hi := hc.Values[0], hc.Values[0]
+		for _, v := range hc.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		fmt.Fprintf(&b, "  history     %-34s %s  [%.3g, %.3g]\n",
+			hc.Metric, tsdb.Sparkline(hc.Values, 40), lo, hi)
 	}
 	if rep.Scenario != "" {
 		fmt.Fprintf(&b, "  truth       scenario %s, detection lag %s\n", rep.Scenario, rep.DetectionLag)

@@ -1,0 +1,40 @@
+package hierarchy
+
+// The meta subtree is the reserved corner of the hierarchy where SkyNet
+// files alerts about itself: the self-monitoring loop injects synthetic
+// alerts for SLO burn events at meta|skynetd|<rule>, so a degrading
+// pipeline surfaces as a first-class incident alongside real network
+// failures. No topology generator produces locations under MetaRegion —
+// the subtree is disjoint from every real fault domain by construction.
+const (
+	// MetaRegion is the reserved region segment of the meta subtree.
+	MetaRegion = "meta"
+	// MetaDaemon is the reserved second segment naming the pipeline
+	// itself.
+	MetaDaemon = "skynetd"
+)
+
+// MetaRoot returns the root of the self-monitoring subtree,
+// meta|skynetd.
+func MetaRoot() Path { return MustNew(MetaRegion, MetaDaemon) }
+
+// MetaComponent returns the location for one self-monitored component —
+// in practice an SLO rule name: meta|skynetd|<component>. The component
+// must be non-empty and separator-free, which rule names guarantee.
+func MetaComponent(component string) (Path, error) {
+	return MetaRoot().Child(component)
+}
+
+// MustMetaComponent is MetaComponent but panics on error.
+func MustMetaComponent(component string) Path {
+	p, err := MetaComponent(component)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// IsMeta reports whether p lies in the self-monitoring subtree.
+func IsMeta(p Path) bool {
+	return p.depth >= 2 && p.seg[0] == MetaRegion && p.seg[1] == MetaDaemon
+}

@@ -22,7 +22,6 @@ type Entry struct {
 	Alert alert.Alert
 }
 
-
 // Incident is a cluster of alerts attributed to one root cause.
 type Incident struct {
 	// ID is unique within a locator's lifetime.

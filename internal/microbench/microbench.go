@@ -20,8 +20,11 @@ import (
 	"skynet/internal/locator"
 	"skynet/internal/preprocess"
 	"skynet/internal/provenance"
+	"skynet/internal/slo"
 	"skynet/internal/span"
+	"skynet/internal/telemetry"
 	"skynet/internal/topology"
+	"skynet/internal/tsdb"
 )
 
 // Result is one benchmark's measurement in the JSON report.
@@ -63,15 +66,18 @@ var suite = []struct {
 	Name  string
 	Bench func(b *testing.B)
 }{
-	{"engine_tick", func(b *testing.B) { benchEngineTick(b, nil, nil, nil) }},
+	{"engine_tick", func(b *testing.B) { benchEngineTick(b, nil, nil, nil, false) }},
 	{"engine_tick_provenance", func(b *testing.B) {
-		benchEngineTick(b, provenance.New(provenance.Config{}), nil, nil)
+		benchEngineTick(b, provenance.New(provenance.Config{}), nil, nil, false)
 	}},
 	{"engine_tick_spans", func(b *testing.B) {
-		benchEngineTick(b, nil, span.NewTracer(0), nil)
+		benchEngineTick(b, nil, span.NewTracer(0), nil, false)
 	}},
 	{"engine_tick_flood", func(b *testing.B) {
-		benchEngineTick(b, nil, nil, flood.New(flood.Config{}))
+		benchEngineTick(b, nil, nil, flood.New(flood.Config{}), false)
+	}},
+	{"engine_tick_history", func(b *testing.B) {
+		benchEngineTick(b, nil, nil, nil, true)
 	}},
 	{"preprocessor_stream", benchPreprocessorStream},
 	{"incident_entries", benchIncidentEntries},
@@ -218,10 +224,11 @@ func appendMemRegression(out []string, name, metric string, base, cur int64, mem
 }
 
 // benchEngineTick drives repeated ingest+tick rounds over a severe-failure
-// batch, optionally with the lineage recorder, span tracer, or flood
-// detector attached — each pairing with the bare run bounds that
-// instrument's overhead per tick.
-func benchEngineTick(b *testing.B, rec *provenance.Recorder, tracer *span.Tracer, fl *flood.Recorder) {
+// batch, optionally with the lineage recorder, span tracer, flood
+// detector, or the full telemetry-history stack (registry + per-tick
+// sampler + SLO burn-rate engine with self-monitoring on) attached — each
+// pairing with the bare run bounds that instrument's overhead per tick.
+func benchEngineTick(b *testing.B, rec *provenance.Recorder, tracer *span.Tracer, fl *flood.Recorder, history bool) {
 	topo := topology.MustGenerate(topology.SmallConfig())
 	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
 	classifier, err := preprocess.BootstrapClassifier()
@@ -237,6 +244,16 @@ func benchEngineTick(b *testing.B, rec *provenance.Recorder, tracer *span.Tracer
 	}
 	if fl != nil {
 		eng.EnableFlood(fl)
+	}
+	if history {
+		reg := telemetry.New()
+		eng.EnableTelemetry(reg, nil)
+		db := tsdb.New(tsdb.Config{})
+		db.RegisterMetrics(reg)
+		eng.EnableHistory(tsdb.NewSampler(db, reg))
+		sloEng := slo.New(db, slo.DefaultRules(500*time.Millisecond))
+		sloEng.RegisterMetrics(reg)
+		eng.EnableSLO(sloEng, true)
 	}
 	now := benchEpoch
 	// Built once; only the Time column is rewritten per round (IngestBatch

@@ -1,0 +1,99 @@
+package status
+
+import (
+	"net/http"
+	"strconv"
+
+	"skynet/internal/slo"
+	"skynet/internal/tsdb"
+)
+
+// EventTypeSLO carries a slo.Event — a burn-rate rule starting or
+// stopping to fire.
+const EventTypeSLO = "slo"
+
+// WithHistory mounts GET /api/query serving the tick-indexed telemetry
+// history store. The store is internally synchronized; the handler does
+// not take the engine lock.
+//
+//	GET /api/query?metric=NAME[&from=T][&to=T][&step=N]
+//
+// from/to bound the tick window (to=0 means "latest"); step selects the
+// resolution — 1 reads raw samples, ≥10 and ≥100 read the downsample
+// tiers re-bucketed to the requested step.
+func (s *Snapshotter) WithHistory(db *tsdb.DB) *Snapshotter {
+	s.history = db
+	return s
+}
+
+// WithSLO mounts GET /api/slo serving the burn-rate engine's per-rule
+// status and recent burn events. Status reads copy under the engine's
+// own lock; the handler does not take the engine lock.
+func (s *Snapshotter) WithSLO(eng *slo.Engine) *Snapshotter {
+	s.slo = eng
+	return s
+}
+
+func (s *Snapshotter) queryHandler(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		http.Error(w, "missing metric parameter", http.StatusBadRequest)
+		return
+	}
+	parse := func(key string) (uint64, bool) {
+		raw := q.Get(key)
+		if raw == "" {
+			return 0, true
+		}
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, "bad "+key+" parameter", http.StatusBadRequest)
+			return 0, false
+		}
+		return v, true
+	}
+	from, ok := parse("from")
+	if !ok {
+		return
+	}
+	to, ok := parse("to")
+	if !ok {
+		return
+	}
+	step, ok := parse("step")
+	if !ok {
+		return
+	}
+	res, err := s.history.Query(metric, from, to, step)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// sloView is the /api/slo JSON shape.
+type sloView struct {
+	// Tick is the history store's latest sampled tick — the evaluation
+	// horizon of every rule status below.
+	Tick uint64 `json:"tick"`
+	// Firing counts rules currently burning.
+	Firing int64 `json:"firing"`
+	// Rules is the per-rule burn status.
+	Rules []slo.RuleStatus `json:"rules"`
+	// Events is the recent burn-event ring, oldest first.
+	Events []slo.Event `json:"events"`
+}
+
+func (s *Snapshotter) sloHandler(w http.ResponseWriter, r *http.Request) {
+	view := sloView{
+		Firing: s.slo.FiringCount(),
+		Rules:  s.slo.Status(),
+		Events: s.slo.Events(),
+	}
+	if s.history != nil {
+		view.Tick = s.history.LastTick()
+	}
+	writeJSON(w, view)
+}

@@ -1,0 +1,86 @@
+package status
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"skynet/internal/slo"
+	"skynet/internal/tsdb"
+)
+
+// historyHandler builds a handler over a small populated store and an
+// SLO engine driven into a burn.
+func historyHandler(t *testing.T) http.Handler {
+	t.Helper()
+	db := tsdb.New(tsdb.Config{})
+	for tick := uint64(0); tick < 200; tick++ {
+		db.Append("skynet_active_incidents", tick, float64(tick%7))
+		db.Append(tsdb.MetricTickDuration, tick, 0.5) // 5x the 0.1s target
+	}
+	rules := []slo.Rule{{Name: "tick-latency", Metric: tsdb.MetricTickDuration,
+		Target: 0.1, FastWindow: 4, SlowWindow: 8, FastBurn: 1, SlowBurn: 1}}
+	eng := slo.New(db, rules)
+	for tick := uint64(0); tick < 200; tick++ {
+		eng.Evaluate(tick)
+	}
+	return NewSnapshotter(&sync.Mutex{}, nil, nil).WithHistory(db).WithSLO(eng).Handler()
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	h := historyHandler(t)
+	code, body := get(t, h, "/api/query?metric=skynet_active_incidents&from=10&to=19")
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, body)
+	}
+	var res tsdb.QueryResult
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "raw" || len(res.Points) != 10 || res.Points[0].Tick != 10 {
+		t.Fatalf("raw query = %+v", res)
+	}
+	// Downsampled read through the 10-tick tier.
+	code, body = get(t, h, "/api/query?metric=skynet_active_incidents&step=10")
+	if code != http.StatusOK {
+		t.Fatalf("tier query: %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "10-tick" || len(res.Points) == 0 {
+		t.Fatalf("tier query = %+v", res)
+	}
+
+	if code, _ := get(t, h, "/api/query"); code != http.StatusBadRequest {
+		t.Errorf("missing metric: %d, want 400", code)
+	}
+	if code, _ := get(t, h, "/api/query?metric=skynet_active_incidents&from=x"); code != http.StatusBadRequest {
+		t.Errorf("bad from: %d, want 400", code)
+	}
+	if code, _ := get(t, h, "/api/query?metric=no_such_series"); code != http.StatusNotFound {
+		t.Errorf("unknown metric: %d, want 404", code)
+	}
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	h := historyHandler(t)
+	code, body := get(t, h, "/api/slo")
+	if code != http.StatusOK {
+		t.Fatalf("slo: %d %s", code, body)
+	}
+	var view sloView
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Firing != 1 || len(view.Rules) != 1 || !view.Rules[0].Firing {
+		t.Fatalf("slo view = %+v, want the tick-latency rule firing", view)
+	}
+	if view.Tick != 199 {
+		t.Errorf("view tick = %d, want 199 (the store horizon)", view.Tick)
+	}
+	if len(view.Events) == 0 || !view.Events[0].Firing {
+		t.Fatalf("events = %+v, want the burn-start edge", view.Events)
+	}
+}

@@ -32,6 +32,11 @@
 //	                        by source/type, top locations, incident
 //	                        timeline, severity trajectory, perf
 //	                        (WithFlood)
+//	GET /api/query          tick-indexed telemetry history:
+//	                        ?metric=NAME[&from=T][&to=T][&step=N]
+//	                        (WithHistory)
+//	GET /api/slo            burn-rate rule status and recent burn events
+//	                        (WithSLO)
 //	GET /metrics            Prometheus text exposition (WithTelemetry)
 //	GET /debug/pprof/...    runtime profiles (WithPprof)
 package status
@@ -58,9 +63,11 @@ import (
 	"skynet/internal/ingest"
 	"skynet/internal/llmctx"
 	"skynet/internal/provenance"
+	"skynet/internal/slo"
 	"skynet/internal/span"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
+	"skynet/internal/tsdb"
 	"skynet/internal/viz"
 )
 
@@ -81,6 +88,8 @@ type Snapshotter struct {
 	tracer  *span.Tracer         // optional, enables GET /api/trace
 	events  *EventBus            // optional, enables GET /api/events
 	flood   *flood.Recorder      // optional, enables GET /api/floods
+	history *tsdb.DB             // optional, enables GET /api/query
+	slo     *slo.Engine          // optional, enables GET /api/slo
 }
 
 // BuildInfo is the /api/buildinfo JSON shape: enough to identify a fleet
@@ -275,6 +284,12 @@ func (s *Snapshotter) Handler() http.Handler {
 	if s.flood != nil {
 		mux.HandleFunc("/api/floods", s.floodsHandler)
 		mux.HandleFunc("/api/floods/", s.floodReportHandler)
+	}
+	if s.history != nil {
+		mux.HandleFunc("/api/query", s.queryHandler)
+	}
+	if s.slo != nil {
+		mux.HandleFunc("/api/slo", s.sloHandler)
 	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

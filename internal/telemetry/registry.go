@@ -179,6 +179,7 @@ type Registry struct {
 	mu      sync.Mutex
 	metrics []*metric
 	byName  map[string]*metric
+	rev     atomic.Uint64 // bumped on every new series registration
 }
 
 // New creates an empty registry.
@@ -206,7 +207,79 @@ func (r *Registry) lookupLabeled(name, labels, help string, kind Kind) (*metric,
 	m := &metric{name: name, labels: labels, help: help, kind: kind}
 	r.byName[key] = m
 	r.metrics = append(r.metrics, m)
+	r.rev.Add(1)
 	return m, false
+}
+
+// Rev returns the registration revision: it changes whenever a new series
+// is registered, and never otherwise. Samplers that pre-resolve Handles
+// compare it each cycle and re-resolve only when it moved — the steady
+// state is one atomic load.
+func (r *Registry) Rev() uint64 { return r.rev.Load() }
+
+// Handle is a pre-resolved, lock-free reader for one exposition sample.
+// Resolving handles once and reading them every tick is how the history
+// sampler avoids Snapshot's per-scrape allocations.
+type Handle struct {
+	// Name is the series key: the family name plus the rendered label
+	// set (`family{label="v"}`), or the bare family name when unlabeled.
+	// Histograms expand to two handles, `family_count` and `family_sum`.
+	Name string
+	Kind Kind
+	read func() float64
+}
+
+// Read returns the sample's current value. Safe to call concurrently
+// with metric mutation; never takes the registry lock.
+func (h Handle) Read() float64 { return h.read() }
+
+// Handles resolves every registered series into lock-free readers, sorted
+// by series key — the same stable order Snapshot uses. Counters and gauges
+// yield one handle; histograms yield cumulative `_count` and `_sum`
+// handles (bucket series are left to full exposition). Callers cache the
+// result and re-resolve when Rev changes.
+func (r *Registry) Handles() []Handle {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+	sort.Slice(metrics, func(i, j int) bool {
+		if metrics[i].name != metrics[j].name {
+			return metrics[i].name < metrics[j].name
+		}
+		return metrics[i].labels < metrics[j].labels
+	})
+	out := make([]Handle, 0, len(metrics))
+	for _, m := range metrics {
+		m := m
+		if m.kind == KindHistogram {
+			if m.hist == nil {
+				continue
+			}
+			h := m.hist
+			out = append(out,
+				Handle{Name: metricKey(m.name+"_count", m.labels), Kind: KindCounter,
+					read: func() float64 { return float64(h.Count()) }},
+				Handle{Name: metricKey(m.name+"_sum", m.labels), Kind: KindCounter,
+					read: func() float64 { return h.Sum() }},
+			)
+			continue
+		}
+		out = append(out, Handle{Name: m.key(), Kind: m.kind, read: func() float64 {
+			// fn is re-read on every call: GaugeFunc may replace the
+			// callback after this handle was resolved.
+			switch {
+			case m.fn != nil:
+				return m.fn()
+			case m.counter != nil:
+				return float64(m.counter.Value())
+			case m.gauge != nil:
+				return m.gauge.Value()
+			}
+			return 0
+		}})
+	}
+	return out
 }
 
 // Label renders one label pair for CounterWith/GaugeWith/HistogramWith,
@@ -408,13 +481,16 @@ func (r *Registry) Expose(w io.Writer) error {
 		// additional samples of the same family.
 		if s.Name != lastFamily {
 			lastFamily = s.Name
+			// Every family gets a HELP line, even with an empty docstring
+			// (the text format allows it) — scrapers that key families off
+			// HELP see a uniform stream.
+			b.WriteString("# HELP ")
+			b.WriteString(s.Name)
 			if s.Help != "" {
-				b.WriteString("# HELP ")
-				b.WriteString(s.Name)
 				b.WriteByte(' ')
 				b.WriteString(escapeHelp(s.Help))
-				b.WriteByte('\n')
 			}
+			b.WriteByte('\n')
 			b.WriteString("# TYPE ")
 			b.WriteString(s.Name)
 			b.WriteByte(' ')

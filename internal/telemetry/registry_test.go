@@ -86,9 +86,11 @@ func TestExposeFormat(t *testing.T) {
 		"# HELP skynet_raw_total Raw alerts ingested.",
 		"# TYPE skynet_raw_total counter",
 		"skynet_raw_total 42",
+		"# HELP skynet_active Active incidents.",
 		"# TYPE skynet_active gauge",
 		"skynet_active 3",
 		"skynet_func 9",
+		"# HELP skynet_tick_seconds Tick latency.",
 		"# TYPE skynet_tick_seconds histogram",
 		`skynet_tick_seconds_bucket{le="0.01"} 1`,
 		`skynet_tick_seconds_bucket{le="0.1"} 2`,
@@ -99,6 +101,87 @@ func TestExposeFormat(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q\n%s", want, out)
 		}
+	}
+	// Prometheus text-format compliance: every family carries a HELP and a
+	// TYPE comment, HELP first, exactly once per family — even families
+	// registered with an empty docstring.
+	families := map[string][2]int{} // family -> {help count, type count}
+	lastHelp := ""
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name := strings.Fields(line)[2]
+			f := families[name]
+			f[0]++
+			families[name] = f
+			lastHelp = name
+		case strings.HasPrefix(line, "# TYPE "):
+			name := strings.Fields(line)[2]
+			f := families[name]
+			f[1]++
+			families[name] = f
+			if lastHelp != name {
+				t.Errorf("TYPE for %s not preceded by its HELP line", name)
+			}
+		}
+	}
+	for _, name := range []string{"skynet_raw_total", "skynet_active", "skynet_func", "skynet_tick_seconds"} {
+		if f := families[name]; f[0] != 1 || f[1] != 1 {
+			t.Errorf("family %s: %d HELP / %d TYPE lines, want exactly 1 of each", name, f[0], f[1])
+		}
+	}
+}
+
+func TestHandlesAndRev(t *testing.T) {
+	r := New()
+	rev0 := r.Rev()
+	c := r.Counter("skynet_h_total", "")
+	g := r.Gauge("skynet_h_gauge", "")
+	h := r.Histogram("skynet_h_seconds", "", []float64{0.01, 0.1})
+	r.GaugeFunc("skynet_h_func", "", func() float64 { return 11 })
+	r.CounterWith("skynet_h_labeled_total", Label("shard", "2"), "")
+	if r.Rev() == rev0 {
+		t.Fatal("Rev did not advance on registration")
+	}
+	c.Add(5)
+	g.Set(2.5)
+	h.Observe(0.05)
+	h.Observe(0.05)
+
+	handles := r.Handles()
+	byName := map[string]Handle{}
+	for i, hd := range handles {
+		byName[hd.Name] = hd
+		if i > 0 && handles[i-1].Name > hd.Name {
+			t.Fatalf("handles not sorted: %q before %q", handles[i-1].Name, hd.Name)
+		}
+	}
+	for name, want := range map[string]float64{
+		"skynet_h_total":                    5,
+		"skynet_h_gauge":                    2.5,
+		"skynet_h_func":                     11,
+		"skynet_h_seconds_count":            2,
+		"skynet_h_seconds_sum":              0.1,
+		`skynet_h_labeled_total{shard="2"}`: 0,
+	} {
+		hd, ok := byName[name]
+		if !ok {
+			t.Fatalf("Handles missing %q (have %d handles)", name, len(handles))
+		}
+		if got := hd.Read(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	// Handles are live readers, not snapshots.
+	c.Add(5)
+	if got := byName["skynet_h_total"].Read(); got != 10 {
+		t.Errorf("handle after mutation = %v, want 10", got)
+	}
+	// Re-registering an existing series must not move Rev.
+	rev1 := r.Rev()
+	r.Counter("skynet_h_total", "")
+	if r.Rev() != rev1 {
+		t.Error("Rev advanced on repeat registration of an existing series")
 	}
 }
 

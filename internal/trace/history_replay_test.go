@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"skynet/internal/core"
+	"skynet/internal/hierarchy"
+	"skynet/internal/provenance"
+	"skynet/internal/slo"
+	"skynet/internal/telemetry"
+	"skynet/internal/tsdb"
+)
+
+// breachModel is the forced tick-latency SLO breach: benign 1 ms ticks
+// until breachAt, then a sustained 5x violation of the 100 ms target.
+func breachModel(breachAt uint64) func(uint64) time.Duration {
+	return func(tick uint64) time.Duration {
+		if tick >= breachAt {
+			return 500 * time.Millisecond
+		}
+		return time.Millisecond
+	}
+}
+
+// benignModel keeps every tick far inside the latency target.
+func benignModel(uint64) time.Duration { return time.Millisecond }
+
+// historySnapshot renders the store without a wall-clock stamp — the
+// byte string the bit-identity comparison runs on.
+func historySnapshot(t *testing.T, db *tsdb.DB) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.SnapshotTo(&buf, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// sloEventLog renders the burn-event sequence as a comparable string.
+func sloEventLog(events []slo.Event) string {
+	var b strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&b, "%d %s firing=%t fast=%.6f slow=%.6f\n",
+			ev.Tick, ev.Rule, ev.Firing, ev.FastBurn, ev.SlowBurn)
+	}
+	return b.String()
+}
+
+// TestReplayHistoryDeterministic is the tentpole's bit-identity property
+// test: one generated multi-scenario trace replayed at workers
+// {1, 2, 4, 8} with the sampler, the burn-rate engine, and the
+// self-monitoring loop all on (under a deterministic breach latency
+// model) must produce byte-identical history snapshots, identical SLO
+// burn-event sequences, and identical incident populations — and the
+// compressed history must stay under the 8 MiB residency budget.
+func TestReplayHistoryDeterministic(t *testing.T) {
+	gen := DefaultGenerateOptions()
+	gen.Scenarios = 4
+	gen.Window = 30 * time.Minute
+	g, err := Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refSnap, refEvents, refInc string
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := core.DefaultConfig()
+		cfg.Workers = workers
+		reg := telemetry.New()
+		db := tsdb.New(tsdb.Config{Filter: tsdb.DeterministicFilter})
+		eng, err := ReplayWithOptions(g.Alerts, g.Topo, cfg, ReplayOptions{
+			Telemetry:        reg,
+			History:          db,
+			SLORules:         slo.DefaultRules(100 * time.Millisecond),
+			SelfMonitor:      true,
+			TickLatencyModel: breachModel(40),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eng.SLOEngine().EventCount() == 0 {
+			t.Fatalf("workers=%d: breach model never produced a burn event", workers)
+		}
+		snap := historySnapshot(t, db)
+		events := sloEventLog(eng.SLOEngine().Events())
+		inc := replayFingerprint(eng)
+		if mem := db.MemoryBytes(); mem >= 8<<20 {
+			t.Errorf("workers=%d: history store resident %d bytes, want < 8 MiB", workers, mem)
+		}
+		if workers == 1 {
+			refSnap, refEvents, refInc = snap, events, inc
+			continue
+		}
+		if snap != refSnap {
+			t.Errorf("workers=%d: history snapshot diverged from the serial reference (%d vs %d bytes)",
+				workers, len(snap), len(refSnap))
+		}
+		if events != refEvents {
+			t.Errorf("workers=%d: burn-event sequence diverged:\n%s\nvs serial:\n%s", workers, events, refEvents)
+		}
+		if inc != refInc {
+			t.Errorf("workers=%d: incident population diverged under self-monitoring", workers)
+		}
+	}
+}
+
+// TestReplaySelfMonitorBreach pins the self-monitoring loop end to end:
+// a forced tick-latency breach must surface as a first-class incident
+// rooted in the reserved meta/skynetd subtree with a provenance chain,
+// while the identical benign run raises no self-alerts and no meta
+// incidents.
+func TestReplaySelfMonitorBreach(t *testing.T) {
+	gen := DefaultGenerateOptions()
+	gen.Scenarios = 2
+	gen.Window = 30 * time.Minute
+	g, err := Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(model func(uint64) time.Duration) (*core.Engine, *provenance.Recorder) {
+		t.Helper()
+		cfg := core.DefaultConfig()
+		prov := provenance.New(provenance.Config{SampleEvery: 1})
+		eng, err := ReplayWithOptions(g.Alerts, g.Topo, cfg, ReplayOptions{
+			Telemetry:        telemetry.New(),
+			Provenance:       prov,
+			History:          tsdb.New(tsdb.Config{Filter: tsdb.DeterministicFilter}),
+			SLORules:         slo.DefaultRules(100 * time.Millisecond),
+			SelfMonitor:      true,
+			TickLatencyModel: model,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng, prov
+	}
+
+	benign, _ := run(benignModel)
+	if n := benign.SelfAlerts(); n != 0 {
+		t.Fatalf("benign run injected %d self-alerts", n)
+	}
+	for _, in := range benign.AllIncidents() {
+		if hierarchy.IsMeta(in.Root) {
+			t.Fatalf("benign run raised meta incident %d at %s", in.ID, in.Root)
+		}
+	}
+
+	breached, prov := run(breachModel(40))
+	if n := breached.SelfAlerts(); n == 0 {
+		t.Fatal("breach run injected no self-alerts")
+	}
+	var meta []int
+	for _, in := range breached.AllIncidents() {
+		if !hierarchy.IsMeta(in.Root) {
+			continue
+		}
+		meta = append(meta, in.ID)
+		doc := prov.Explain(in)
+		if doc == nil {
+			t.Fatalf("meta incident %d has no provenance document", in.ID)
+		}
+		// The synthetic alerts travel the ordinary ingest path, so the
+		// incident's provenance chain must attribute real lineage.
+		if doc.Trigger == nil || doc.Trigger.Rule == "" {
+			t.Errorf("meta incident %d: provenance has no trigger record", in.ID)
+		}
+		if len(doc.Evidence) == 0 {
+			t.Errorf("meta incident %d: provenance has no evidence streams", in.ID)
+		}
+	}
+	if len(meta) == 0 {
+		t.Fatal("forced tick-latency breach raised no meta/skynetd incident")
+	}
+}

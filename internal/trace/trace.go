@@ -22,9 +22,11 @@ import (
 	"skynet/internal/preprocess"
 	"skynet/internal/provenance"
 	"skynet/internal/scenario"
+	"skynet/internal/slo"
 	"skynet/internal/span"
 	"skynet/internal/telemetry"
 	"skynet/internal/topology"
+	"skynet/internal/tsdb"
 )
 
 // Write stores alerts to a file. Paths ending in ".gz" are compressed.
@@ -165,6 +167,22 @@ type ReplayOptions struct {
 	// every tick) instead of per-alert Ingest. Output is identical; the
 	// columnar path is what the ingest listeners feed in production.
 	Columnar bool
+	// History, when set (Telemetry required), samples every registry
+	// metric once per tick into the tick-indexed store — the data behind
+	// `skynet-replay -history`. Configure the store with
+	// tsdb.DeterministicFilter to keep replay snapshots bit-identical
+	// across worker counts.
+	History *tsdb.DB
+	// SLORules, when non-empty (History required), attaches a burn-rate
+	// engine evaluated over the store after every tick.
+	SLORules []slo.Rule
+	// SelfMonitor converts SLO burn verdicts into synthetic meta/skynetd
+	// alerts injected through the engine's own ingest path.
+	SelfMonitor bool
+	// TickLatencyModel, when set, replaces the measured tick latency fed
+	// to the history store and SLO engine with a deterministic function
+	// of the tick index — the forced-breach hook for replay tests.
+	TickLatencyModel func(tick uint64) time.Duration
 }
 
 // Replay pushes a raw trace through a fresh engine, ticking at the given
@@ -194,6 +212,15 @@ func ReplayWithOptions(alerts []alert.Alert, topo *topology.Topology, engineCfg 
 	}
 	if opts.Flood != nil {
 		eng.EnableFlood(opts.Flood)
+	}
+	if opts.History != nil {
+		eng.EnableHistory(tsdb.NewSampler(opts.History, opts.Telemetry))
+		if len(opts.SLORules) > 0 {
+			eng.EnableSLO(slo.New(opts.History, opts.SLORules), opts.SelfMonitor)
+		}
+		if opts.TickLatencyModel != nil {
+			eng.SetTickLatencyModel(opts.TickLatencyModel)
+		}
 	}
 	// tickOnce advances the engine one tick; with a flood recorder the
 	// tick's wall latency feeds the open episode's Perf section (the

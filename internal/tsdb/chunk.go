@@ -1,0 +1,203 @@
+// Package tsdb is SkyNet's embedded time-series store: every registry
+// metric is sampled once per engine tick into a tick-indexed series of
+// XOR-compressed float chunks, with raw→10-tick→100-tick downsampling
+// tiers and chunk-granular retention.
+//
+// The design premise is the same determinism contract the rest of the
+// pipeline honors: the store is indexed by tick, not wall time, and its
+// write path never reads a clock. Feed two stores the same (tick, value)
+// sequence and their contents — including the compressed bit streams —
+// are identical, no matter the worker count or host. That is what lets
+// replay tests compare whole history snapshots byte-for-byte, and what
+// the ROADMAP's distributed-SkyNet item needs to merge per-region health
+// history deterministically.
+//
+// Timestamps cost zero bits: because the index is the tick and samples
+// are consecutive, a chunk stores only its start tick and a count — the
+// delta-of-delta timestamp stream of a general-purpose TSDB degenerates
+// to nothing. Values use the Facebook Gorilla float scheme: XOR against
+// the previous value, then either a single 0 bit (repeat), or the
+// meaningful bits inside the previous leading/trailing-zero window, or a
+// re-sized window. Flat series — most gauges most of the time — cost
+// ~1.1 bits per sample.
+package tsdb
+
+import (
+	"math"
+	"math/bits"
+)
+
+// chunkDataBytes is the fixed payload size of one chunk. Chunks are
+// pooled and recycled through the DB freelist, so steady-state appends
+// allocate nothing.
+const chunkDataBytes = 256
+
+// maxSampleBits is the worst-case encoded size of one sample: control
+// bits + 5-bit leading count + 6-bit significant-bit count + 64 value
+// bits.
+const maxSampleBits = 1 + 1 + 5 + 6 + 64
+
+// leadingSentinel marks "no window established yet" in chunk.leading.
+const leadingSentinel = 0xff
+
+// chunk is one compressed run of consecutive samples. start is the tick
+// of the first sample; sample i sits at tick start + i*step, where step
+// belongs to the owning column (1 for raw, 10/100 for the tiers).
+type chunk struct {
+	start    uint64
+	count    uint32
+	bits     uint32 // bits written into buf
+	prev     uint64 // last value's IEEE bits
+	leading  uint8  // current XOR window; leadingSentinel when unset
+	trailing uint8
+	buf      []byte
+	next     *chunk // freelist link
+}
+
+func newChunk() *chunk {
+	return &chunk{buf: make([]byte, chunkDataBytes), leading: leadingSentinel}
+}
+
+// reset prepares a recycled chunk for reuse.
+func (c *chunk) reset() {
+	for i := range c.buf {
+		c.buf[i] = 0
+	}
+	c.start, c.count, c.bits, c.prev = 0, 0, 0, 0
+	c.leading, c.trailing = leadingSentinel, 0
+	c.next = nil
+}
+
+// room reports whether n more bits fit.
+func (c *chunk) room(n uint32) bool {
+	return c.bits+n <= uint32(len(c.buf))*8
+}
+
+// writeBits appends the low n bits of v, most significant first.
+func (c *chunk) writeBits(v uint64, n uint) {
+	for n > 0 {
+		byteIdx := c.bits >> 3
+		bitOff := uint(c.bits & 7)
+		free := 8 - bitOff
+		take := n
+		if take > free {
+			take = free
+		}
+		part := byte(v>>(n-take)) & byte((1<<take)-1)
+		c.buf[byteIdx] |= part << (free - take)
+		c.bits += uint32(take)
+		n -= take
+	}
+}
+
+// append encodes one more value; false means the chunk is full and must
+// be sealed (the value was NOT written).
+func (c *chunk) append(v float64) bool {
+	vb := math.Float64bits(v)
+	if c.count == 0 {
+		if !c.room(64) {
+			return false
+		}
+		c.writeBits(vb, 64)
+		c.prev = vb
+		c.count++
+		return true
+	}
+	if !c.room(maxSampleBits) {
+		return false
+	}
+	xor := c.prev ^ vb
+	if xor == 0 {
+		c.writeBits(0, 1)
+	} else {
+		c.writeBits(1, 1)
+		lead := uint8(bits.LeadingZeros64(xor))
+		if lead > 31 { // 5-bit field; extra leading zeros ride in the payload
+			lead = 31
+		}
+		trail := uint8(bits.TrailingZeros64(xor))
+		if c.leading != leadingSentinel && lead >= c.leading && trail >= c.trailing {
+			// Fits the established window: control 0 + meaningful bits.
+			c.writeBits(0, 1)
+			sig := uint(64 - c.leading - c.trailing)
+			c.writeBits(xor>>c.trailing, sig)
+		} else {
+			// New window: control 1 + 5-bit leading + 6-bit (sig-1) + bits.
+			c.writeBits(1, 1)
+			c.leading, c.trailing = lead, trail
+			sig := uint(64 - lead - trail)
+			c.writeBits(uint64(lead), 5)
+			c.writeBits(uint64(sig-1), 6)
+			c.writeBits(xor>>trail, sig)
+		}
+	}
+	c.prev = vb
+	c.count++
+	return true
+}
+
+// lastTick returns the tick of the final sample for the given column step.
+func (c *chunk) lastTick(step uint64) uint64 {
+	if c.count == 0 {
+		return c.start
+	}
+	return c.start + uint64(c.count-1)*step
+}
+
+// chunkIter decodes a chunk sequentially.
+type chunkIter struct {
+	buf      []byte
+	total    uint32
+	i        uint32
+	bits     uint32
+	prev     uint64
+	leading  uint8
+	trailing uint8
+}
+
+func (c *chunk) iter() chunkIter {
+	return chunkIter{buf: c.buf, total: c.count, leading: leadingSentinel}
+}
+
+func (it *chunkIter) readBits(n uint) uint64 {
+	var v uint64
+	for n > 0 {
+		byteIdx := it.bits >> 3
+		bitOff := uint(it.bits & 7)
+		avail := 8 - bitOff
+		take := n
+		if take > avail {
+			take = avail
+		}
+		part := (it.buf[byteIdx] >> (avail - take)) & byte((1<<take)-1)
+		v = v<<take | uint64(part)
+		it.bits += uint32(take)
+		n -= take
+	}
+	return v
+}
+
+// next decodes the following sample; ok is false past the end.
+func (it *chunkIter) next() (float64, bool) {
+	if it.i >= it.total {
+		return 0, false
+	}
+	if it.i == 0 {
+		it.prev = it.readBits(64)
+		it.i++
+		return math.Float64frombits(it.prev), true
+	}
+	it.i++
+	if it.readBits(1) == 0 {
+		return math.Float64frombits(it.prev), true
+	}
+	if it.readBits(1) == 1 {
+		it.leading = uint8(it.readBits(5))
+		sig := uint8(it.readBits(6)) + 1
+		it.trailing = 64 - it.leading - sig
+	}
+	sig := uint(64 - it.leading - it.trailing)
+	xor := it.readBits(sig) << it.trailing
+	it.prev ^= xor
+	return math.Float64frombits(it.prev), true
+}

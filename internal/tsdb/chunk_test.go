@@ -1,0 +1,135 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeAll drains a chunk's iterator.
+func decodeAll(t *testing.T, c *chunk) []float64 {
+	t.Helper()
+	out := make([]float64, 0, c.count)
+	it := c.iter()
+	for {
+		v, ok := it.next()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	if _, ok := it.next(); ok {
+		t.Fatal("iterator yielded a value past the end")
+	}
+	return out
+}
+
+// sameBits compares float slices bit-exactly, so NaN and -0 round-trips
+// are checked too.
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChunkRoundTrip pins the XOR codec on the value shapes the sampler
+// produces: flat gauges (repeat bits), integer ramps (window reuse), sign
+// flips and exponent jumps (window re-size), and the IEEE specials.
+func TestChunkRoundTrip(t *testing.T) {
+	ramp := make([]float64, 120)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	cases := map[string][]float64{
+		"constant":    {3.5, 3.5, 3.5, 3.5, 3.5, 3.5},
+		"ramp":        ramp,
+		"gauge-steps": {0, 0, 0, 5, 5, 5, 2, 2, 2, 2, 7, 7, 0, 0},
+		"sign-flips":  {1.5, -1.5, 2.25, math.Copysign(0, -1), 0, -1e10, 1e10},
+		"exponents":   {1e-300, 1e300, 2, 6.02214076e23, 1e-9, 0.1},
+		"specials":    {0, math.Inf(1), math.Inf(-1), math.NaN(), 42, math.NaN()},
+	}
+	for name, vals := range cases {
+		c := newChunk()
+		for i, v := range vals {
+			if !c.append(v) {
+				t.Fatalf("%s: chunk full after only %d samples", name, i)
+			}
+		}
+		got := decodeAll(t, c)
+		if !sameBits(got, vals) {
+			t.Errorf("%s: decoded %v, want %v", name, got, vals)
+		}
+	}
+}
+
+// TestChunkFullRefusesWithoutWriting pins the seal contract: a full chunk
+// returns false from append and the rejected value must NOT appear in the
+// decoded stream.
+func TestChunkFullRefusesWithoutWriting(t *testing.T) {
+	c := newChunk()
+	var want []float64
+	for i := 0; ; i++ {
+		// Irrational-ish values keep most mantissa bits busy, so the chunk
+		// fills in a few dozen samples instead of thousands.
+		v := math.Sqrt(float64(i) + 2)
+		if !c.append(v) {
+			break
+		}
+		want = append(want, v)
+	}
+	if len(want) == 0 {
+		t.Fatal("chunk refused its first sample")
+	}
+	if c.count != uint32(len(want)) {
+		t.Fatalf("count %d, want %d", c.count, len(want))
+	}
+	if c.append(12345.6789) {
+		t.Fatal("full chunk accepted another sample")
+	}
+	if got := decodeAll(t, c); !sameBits(got, want) {
+		t.Fatalf("decode after refusal diverged: got %d samples, want %d", len(got), len(want))
+	}
+}
+
+// TestChunkResetReusable pins the freelist contract: a reset chunk
+// encodes a fresh stream with no residue from its previous life.
+func TestChunkResetReusable(t *testing.T) {
+	c := newChunk()
+	for i := 0; i < 50; i++ {
+		if !c.append(math.Sqrt(float64(i) + 3)) {
+			break
+		}
+	}
+	c.reset()
+	if c.count != 0 || c.bits != 0 || c.leading != leadingSentinel {
+		t.Fatalf("reset left state behind: count=%d bits=%d leading=%#x", c.count, c.bits, c.leading)
+	}
+	want := []float64{7, 7, 8.25, -1, 7}
+	for _, v := range want {
+		if !c.append(v) {
+			t.Fatal("reset chunk refused a sample")
+		}
+	}
+	if got := decodeAll(t, c); !sameBits(got, want) {
+		t.Fatalf("recycled chunk decoded %v, want %v", got, want)
+	}
+}
+
+// TestChunkFlatSeriesDensity guards the ~1.1 bits/sample claim for flat
+// gauges: a constant series must pack well over a thousand samples into
+// one 256-byte chunk.
+func TestChunkFlatSeriesDensity(t *testing.T) {
+	c := newChunk()
+	n := 0
+	for c.append(0.25) {
+		n++
+	}
+	if n < 1500 {
+		t.Fatalf("constant series packed only %d samples per chunk", n)
+	}
+}

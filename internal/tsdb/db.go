@@ -1,0 +1,380 @@
+package tsdb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skynet/internal/telemetry"
+)
+
+// Config sizes a DB. The zero value takes every default.
+type Config struct {
+	// RawRetention is how many ticks of raw-resolution history to keep
+	// (default 4096; 0 picks the default, negative keeps everything).
+	RawRetention int
+	// Tier10Retention / Tier100Retention bound the downsample tiers, in
+	// raw ticks (defaults 40960 / 409600).
+	Tier10Retention  int
+	Tier100Retention int
+	// RecentWindow is the per-series uncompressed tail ring, in ticks
+	// (default 512). Tail reads never touch the compressed chunks.
+	RecentWindow int
+	// Filter, when set, decides which metric names are stored; nil keeps
+	// everything. The filter must be a pure function of the name so that
+	// two stores fed the same samples hold the same series.
+	Filter func(name string) bool
+}
+
+func (c Config) withDefaults() Config {
+	pick := func(v, def int) int {
+		switch {
+		case v == 0:
+			return def
+		case v < 0:
+			return 0 // keep all
+		default:
+			return v
+		}
+	}
+	c.RawRetention = pick(c.RawRetention, 4096)
+	c.Tier10Retention = pick(c.Tier10Retention, 40960)
+	c.Tier100Retention = pick(c.Tier100Retention, 409600)
+	if c.RecentWindow <= 0 {
+		c.RecentWindow = 512
+	}
+	return c
+}
+
+// DB is the embedded store: a set of named tick-indexed series sharing
+// one chunk freelist. Writers (the per-tick sampler) and readers (HTTP
+// query handlers, the SLO engine, dump writers) synchronize on one
+// RWMutex; the write path holds it once per tick for all series.
+type DB struct {
+	mu      sync.RWMutex
+	cfg     Config
+	byName  map[string]*Series
+	ordered []*Series // insertion order; sorted views sort on demand
+	free    *chunk    // freelist of recycled chunks
+	lastT   uint64
+
+	// Exposition counters are atomics so GaugeFuncs never take db.mu —
+	// the sampler reads them while holding the write lock.
+	seriesN    atomic.Int64
+	samplesN   atomic.Int64
+	bytesN     atomic.Int64
+	chunksNewN atomic.Int64
+	recycledN  atomic.Int64
+}
+
+// New creates an empty store.
+func New(cfg Config) *DB {
+	return &DB{cfg: cfg.withDefaults(), byName: make(map[string]*Series)}
+}
+
+// getChunk pops a recycled chunk or allocates one. Called with db.mu held.
+func (db *DB) getChunk() *chunk {
+	if c := db.free; c != nil {
+		db.free = c.next
+		c.next = nil
+		db.recycledN.Add(1)
+		return c
+	}
+	db.chunksNewN.Add(1)
+	db.bytesN.Add(chunkDataBytes)
+	return newChunk()
+}
+
+// putChunk returns a retired chunk to the freelist. Called with db.mu held.
+func (db *DB) putChunk(c *chunk) {
+	c.reset()
+	c.next = db.free
+	db.free = c
+}
+
+// seriesLocked returns the named series, creating it on first use.
+// Called with db.mu held.
+func (db *DB) seriesLocked(name string) *Series {
+	if s, ok := db.byName[name]; ok {
+		return s
+	}
+	s := &Series{
+		name:   name,
+		recent: make([]float64, db.cfg.RecentWindow),
+		raw:    column{step: 1, maxTicks: uint64(db.cfg.RawRetention)},
+		t10m:   column{step: 10, maxTicks: uint64(db.cfg.Tier10Retention)},
+		t10x:   column{step: 10, maxTicks: uint64(db.cfg.Tier10Retention)},
+		t100m:  column{step: 100, maxTicks: uint64(db.cfg.Tier100Retention)},
+		t100x:  column{step: 100, maxTicks: uint64(db.cfg.Tier100Retention)},
+	}
+	db.byName[name] = s
+	db.ordered = append(db.ordered, s)
+	db.seriesN.Add(1)
+	db.bytesN.Add(int64(len(s.recent)) * 8)
+	return s
+}
+
+// Append records one sample outside a sampler cycle (tests, ad-hoc use).
+func (db *DB) Append(name string, tick uint64, v float64) {
+	db.mu.Lock()
+	db.seriesLocked(name).append(db, tick, v)
+	if tick > db.lastT {
+		db.lastT = tick
+	}
+	db.samplesN.Add(1)
+	db.mu.Unlock()
+}
+
+// LastTick reports the newest tick any series holds.
+func (db *DB) LastTick() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.lastT
+}
+
+// SeriesNames returns every stored series name, sorted.
+func (db *DB) SeriesNames() []string {
+	db.mu.RLock()
+	out := make([]string, 0, len(db.ordered))
+	for _, s := range db.ordered {
+		out = append(out, s.name)
+	}
+	db.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Tail copies the newest n raw samples of one series (oldest first) into
+// buf and returns the filled slice; ok is false for an unknown series.
+// The result length may be shorter than n when the series is younger
+// than n ticks.
+func (db *DB) Tail(name string, n int, buf []float64) ([]float64, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.byName[name]
+	if !ok {
+		return buf[:0], false
+	}
+	return s.tail(n, buf), true
+}
+
+// Point is one sample of a query result.
+type Point struct {
+	Tick  uint64  `json:"tick"`
+	Value float64 `json:"value"`
+	Max   float64 `json:"max,omitempty"` // downsampled results: block max
+}
+
+// QueryResult is the JSON shape of GET /api/query.
+type QueryResult struct {
+	Metric string  `json:"metric"`
+	From   uint64  `json:"from"`
+	To     uint64  `json:"to"`
+	Step   uint64  `json:"step"`
+	Source string  `json:"source"` // raw | 10-tick | 100-tick
+	Points []Point `json:"points"`
+}
+
+// Query reads one series over [from, to] at the requested step (0 or 1 =
+// raw resolution). Steps ≥ 10 read the mean/max downsample tiers; the
+// result is re-bucketed to exactly the requested step by averaging means
+// and taking the max of maxes, with buckets aligned to absolute tick
+// multiples of step.
+func (db *DB) Query(metric string, from, to, step uint64) (QueryResult, error) {
+	if step == 0 {
+		step = 1
+	}
+	res := QueryResult{Metric: metric, From: from, To: to, Step: step}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.byName[metric]
+	if !ok {
+		return res, fmt.Errorf("tsdb: unknown series %q", metric)
+	}
+	if to == 0 || to > s.last {
+		to = s.last
+		res.To = to
+	}
+	if from > to {
+		return res, nil
+	}
+	var mean, max *column
+	switch {
+	case step >= 100:
+		mean, max = &s.t100m, &s.t100x
+		res.Source = "100-tick"
+	case step >= 10:
+		mean, max = &s.t10m, &s.t10x
+		res.Source = "10-tick"
+	default:
+		res.Source = "raw"
+	}
+	if res.Source == "raw" {
+		s.raw.visit(from, to, func(tick uint64, v float64) {
+			res.Points = append(res.Points, Point{Tick: tick, Value: v})
+		})
+		return res, nil
+	}
+	// Bucket tier samples into the requested step. Tier blocks are
+	// step-10/step-100 aligned, so buckets of any multiple re-aggregate
+	// exactly.
+	var (
+		cur   Point
+		curN  int
+		open  bool
+		flush = func() {
+			if open && curN > 0 {
+				cur.Value /= float64(curN)
+				res.Points = append(res.Points, cur)
+			}
+			open = false
+		}
+	)
+	maxAt := map[uint64]float64{}
+	max.visit(from, to, func(tick uint64, v float64) { maxAt[tick] = v })
+	mean.visit(from, to, func(tick uint64, v float64) {
+		bucket := tick - tick%step
+		if !open || bucket != cur.Tick {
+			flush()
+			cur = Point{Tick: bucket}
+			curN = 0
+			open = true
+		}
+		cur.Value += v
+		curN++
+		if m, ok := maxAt[tick]; ok && (curN == 1 || m > cur.Max) {
+			cur.Max = m
+		}
+	})
+	flush()
+	return res, nil
+}
+
+// MemoryBytes reports the store's resident footprint: chunk payloads plus
+// recent-window rings (freelist chunks included — they are still resident).
+func (db *DB) MemoryBytes() int64 { return db.bytesN.Load() }
+
+// Samples reports the total samples ever appended.
+func (db *DB) Samples() int64 { return db.samplesN.Load() }
+
+// RegisterMetrics publishes the store's own accounting. The callbacks
+// read atomics only — never db.mu — so the sampler can sample them while
+// holding the write lock.
+func (db *DB) RegisterMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("skynet_tsdb_series",
+		"Series held by the telemetry history store.",
+		func() float64 { return float64(db.seriesN.Load()) })
+	reg.CounterFunc("skynet_tsdb_samples_total",
+		"Samples appended to the telemetry history store.",
+		func() float64 { return float64(db.samplesN.Load()) })
+	reg.GaugeFunc("skynet_tsdb_bytes",
+		"Resident bytes of the telemetry history store (chunks + tail rings).",
+		func() float64 { return float64(db.bytesN.Load()) })
+	reg.CounterFunc("skynet_tsdb_chunks_allocated_total",
+		"Chunks ever allocated by the history store.",
+		func() float64 { return float64(db.chunksNewN.Load()) })
+	reg.CounterFunc("skynet_tsdb_chunks_recycled_total",
+		"Chunk reuses served from the history store freelist.",
+		func() float64 { return float64(db.recycledN.Load()) })
+}
+
+// SeriesSnapshot is the portable form of one series in SnapshotTo.
+type SeriesSnapshot struct {
+	Name    string    `json:"name"`
+	First   uint64    `json:"first_tick"`
+	Last    uint64    `json:"last_tick"`
+	Samples uint64    `json:"samples"`
+	RawFrom uint64    `json:"raw_from"` // oldest retained raw tick
+	Raw     []float64 `json:"raw"`
+	T10Mean []float64 `json:"t10_mean,omitempty"`
+	T10Max  []float64 `json:"t10_max,omitempty"`
+}
+
+// Snapshot decodes every retained series, sorted by name — the shutdown
+// artifact and the byte-exact comparison surface of the determinism
+// tests.
+type Snapshot struct {
+	TakenAt  string           `json:"taken_at,omitempty"` // wall stamp, caller-provided
+	LastTick uint64           `json:"last_tick"`
+	Series   []SeriesSnapshot `json:"series"`
+}
+
+// SnapshotAt builds a Snapshot. at may be zero (omitted from the JSON) —
+// the determinism tests rely on that: everything else in the snapshot is
+// a pure function of the appended samples.
+func (db *DB) SnapshotAt(at time.Time) Snapshot {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap := Snapshot{LastTick: db.lastT}
+	if !at.IsZero() {
+		snap.TakenAt = at.UTC().Format(time.RFC3339Nano)
+	}
+	names := make([]*Series, len(db.ordered))
+	copy(names, db.ordered)
+	sort.Slice(names, func(i, j int) bool { return names[i].name < names[j].name })
+	for _, s := range names {
+		ss := SeriesSnapshot{Name: s.name, First: s.first, Last: s.last, Samples: s.n}
+		first := true
+		s.raw.visit(0, ^uint64(0), func(tick uint64, v float64) {
+			if first {
+				ss.RawFrom = tick
+				first = false
+			}
+			ss.Raw = append(ss.Raw, v)
+		})
+		s.t10m.visit(0, ^uint64(0), func(_ uint64, v float64) { ss.T10Mean = append(ss.T10Mean, v) })
+		s.t10x.visit(0, ^uint64(0), func(_ uint64, v float64) { ss.T10Max = append(ss.T10Max, v) })
+		snap.Series = append(snap.Series, ss)
+	}
+	return snap
+}
+
+// SnapshotTo writes the snapshot as deterministic JSON: series sorted by
+// name, floats in shortest round-trip form, one series per line.
+func (db *DB) SnapshotTo(w io.Writer, at time.Time) error {
+	snap := db.SnapshotAt(at)
+	var b strings.Builder
+	b.WriteString("{")
+	if snap.TakenAt != "" {
+		fmt.Fprintf(&b, "%q:%q,", "taken_at", snap.TakenAt)
+	}
+	fmt.Fprintf(&b, "%q:%d,%q:[", "last_tick", snap.LastTick, "series")
+	for i := range snap.Series {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+		writeSeriesJSON(&b, &snap.Series[i])
+	}
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSeriesJSON(b *strings.Builder, s *SeriesSnapshot) {
+	fmt.Fprintf(b, "{%q:%q,%q:%d,%q:%d,%q:%d,%q:%d,%q:",
+		"name", s.Name, "first_tick", s.First, "last_tick", s.Last,
+		"samples", s.Samples, "raw_from", s.RawFrom, "raw")
+	writeFloats(b, s.Raw)
+	fmt.Fprintf(b, ",%q:", "t10_mean")
+	writeFloats(b, s.T10Mean)
+	fmt.Fprintf(b, ",%q:", "t10_max")
+	writeFloats(b, s.T10Max)
+	b.WriteString("}")
+}
+
+func writeFloats(b *strings.Builder, vs []float64) {
+	b.WriteString("[")
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	b.WriteString("]")
+}

@@ -1,0 +1,382 @@
+package tsdb
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"skynet/internal/telemetry"
+)
+
+// TestDownsampleTiers pins the 10- and 100-tick mean/max tiers on an
+// integer ramp, where block aggregates have exact closed forms.
+func TestDownsampleTiers(t *testing.T) {
+	db := New(Config{})
+	for tick := uint64(0); tick < 200; tick++ {
+		db.Append("m", tick, float64(tick))
+	}
+
+	res, err := db.Query("m", 0, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "10-tick" || len(res.Points) != 20 {
+		t.Fatalf("step 10: source %q, %d points", res.Source, len(res.Points))
+	}
+	for k, p := range res.Points {
+		base := float64(k * 10)
+		if p.Tick != uint64(k*10) || p.Value != base+4.5 || p.Max != base+9 {
+			t.Fatalf("block %d: got (tick=%d mean=%g max=%g), want (%d %g %g)",
+				k, p.Tick, p.Value, p.Max, k*10, base+4.5, base+9)
+		}
+	}
+
+	res, err = db.Query("m", 0, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "100-tick" || len(res.Points) != 2 {
+		t.Fatalf("step 100: source %q, %d points", res.Source, len(res.Points))
+	}
+	want := []Point{{Tick: 0, Value: 49.5, Max: 99}, {Tick: 100, Value: 149.5, Max: 199}}
+	for i, p := range res.Points {
+		if p != want[i] {
+			t.Fatalf("100-tick block %d: got %+v, want %+v", i, p, want[i])
+		}
+	}
+}
+
+// TestDownsamplePartialFirstBlock pins block alignment for a series that
+// appears mid-block: the first block is a partial aggregate over the
+// ticks the series actually saw, and every later block is exact.
+func TestDownsamplePartialFirstBlock(t *testing.T) {
+	db := New(Config{})
+	for tick := uint64(7); tick <= 29; tick++ {
+		db.Append("m", tick, float64(tick))
+	}
+	res, err := db.Query("m", 0, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 0 saw ticks 7..9 only.
+	want := []Point{{Tick: 0, Value: 8, Max: 9}, {Tick: 10, Value: 14.5, Max: 19}, {Tick: 20, Value: 24.5, Max: 29}}
+	if len(res.Points) != len(want) {
+		t.Fatalf("got %d points, want %d", len(res.Points), len(want))
+	}
+	for i, p := range res.Points {
+		if p != want[i] {
+			t.Fatalf("block %d: got %+v, want %+v", i, p, want[i])
+		}
+	}
+}
+
+// TestQueryRebucketsTierMultiples pins re-aggregation at steps that are
+// multiples of the tier resolution: means of means, max of maxes, buckets
+// aligned to absolute tick multiples of the requested step.
+func TestQueryRebucketsTierMultiples(t *testing.T) {
+	db := New(Config{})
+	for tick := uint64(0); tick < 200; tick++ {
+		db.Append("m", tick, float64(tick))
+	}
+
+	res, err := db.Query("m", 0, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "10-tick" || len(res.Points) != 10 {
+		t.Fatalf("step 20: source %q, %d points", res.Source, len(res.Points))
+	}
+	for k, p := range res.Points {
+		base := float64(k * 20)
+		if p.Tick != uint64(k*20) || p.Value != base+9.5 || p.Max != base+19 {
+			t.Fatalf("bucket %d: got (tick=%d mean=%g max=%g), want (%d %g %g)",
+				k, p.Tick, p.Value, p.Max, k*20, base+9.5, base+19)
+		}
+	}
+
+	res, err = db.Query("m", 0, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "100-tick" || len(res.Points) != 1 {
+		t.Fatalf("step 200: source %q, %d points", res.Source, len(res.Points))
+	}
+	if p := res.Points[0]; p.Tick != 0 || p.Value != 99.5 || p.Max != 199 {
+		t.Fatalf("step 200 bucket: got %+v", p)
+	}
+}
+
+// TestQueryRawAndBounds pins the raw path and the range edge cases.
+func TestQueryRawAndBounds(t *testing.T) {
+	db := New(Config{})
+	for tick := uint64(0); tick < 50; tick++ {
+		db.Append("m", tick, float64(tick)*0.5)
+	}
+
+	res, err := db.Query("m", 10, 19, 0) // step 0 means raw
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "raw" || res.Step != 1 || len(res.Points) != 10 {
+		t.Fatalf("raw window: source %q step %d, %d points", res.Source, res.Step, len(res.Points))
+	}
+	for i, p := range res.Points {
+		if p.Tick != uint64(10+i) || p.Value != float64(10+i)*0.5 {
+			t.Fatalf("point %d: got %+v", i, p)
+		}
+	}
+
+	// to=0 clamps to the series' newest tick.
+	res, err = db.Query("m", 45, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.To != 49 || len(res.Points) != 5 {
+		t.Fatalf("clamped query: to=%d, %d points", res.To, len(res.Points))
+	}
+
+	// An inverted range is empty, not an error.
+	res, err = db.Query("m", 30, 20, 1)
+	if err != nil || len(res.Points) != 0 {
+		t.Fatalf("inverted range: err=%v, %d points", err, len(res.Points))
+	}
+
+	if _, err := db.Query("nope", 0, 0, 1); err == nil {
+		t.Fatal("unknown series did not error")
+	}
+}
+
+// TestTailReadsRing pins the uncompressed tail: oldest-first order,
+// clamping to both the series age and the ring size, and the unknown-
+// series miss.
+func TestTailReadsRing(t *testing.T) {
+	db := New(Config{RecentWindow: 16})
+	for tick := uint64(0); tick < 100; tick++ {
+		db.Append("m", tick, float64(tick))
+	}
+
+	buf, ok := db.Tail("m", 8, nil)
+	if !ok || len(buf) != 8 {
+		t.Fatalf("tail(8): ok=%t len=%d", ok, len(buf))
+	}
+	for i, v := range buf {
+		if v != float64(92+i) {
+			t.Fatalf("tail(8)[%d] = %g, want %d", i, v, 92+i)
+		}
+	}
+
+	// Requests past the ring clamp to the ring.
+	buf, ok = db.Tail("m", 100, buf)
+	if !ok || len(buf) != 16 {
+		t.Fatalf("tail(100): ok=%t len=%d, want ring size 16", ok, len(buf))
+	}
+	if buf[0] != 84 || buf[15] != 99 {
+		t.Fatalf("tail(100) spans [%g, %g], want [84, 99]", buf[0], buf[15])
+	}
+
+	// A young series yields only what it has.
+	db.Append("young", 0, 1)
+	db.Append("young", 1, 2)
+	buf, ok = db.Tail("young", 10, buf)
+	if !ok || len(buf) != 2 || buf[0] != 1 || buf[1] != 2 {
+		t.Fatalf("young tail: ok=%t %v", ok, buf)
+	}
+
+	if _, ok := db.Tail("nope", 4, nil); ok {
+		t.Fatal("unknown series reported ok")
+	}
+}
+
+// TestRetentionRecyclesChunks drives one series far past a small raw
+// retention horizon and asserts the expired chunks are recycled through
+// the freelist, the resident footprint stays bounded, and the surviving
+// window still decodes exactly.
+func TestRetentionRecyclesChunks(t *testing.T) {
+	db := New(Config{RawRetention: 256, Tier10Retention: 2560, Tier100Retention: 25600, RecentWindow: 32})
+	value := func(tick uint64) float64 { return math.Sin(float64(tick) * 0.7) }
+	const ticks = 50000
+	for tick := uint64(0); tick < ticks; tick++ {
+		db.Append("m", tick, value(tick))
+	}
+
+	if db.recycledN.Load() == 0 {
+		t.Fatal("retention never recycled a chunk")
+	}
+	s := db.byName["m"]
+	if s.raw.dropped == 0 {
+		t.Fatal("raw column reports zero dropped samples")
+	}
+	if n := s.raw.samples(); n > 4096 {
+		t.Fatalf("raw column retains %d samples despite a 256-tick horizon", n)
+	}
+	// Steady state pulls chunks from the freelist, so fresh allocations
+	// stay near the live-chunk high water instead of growing with time.
+	if allocated := db.chunksNewN.Load(); allocated > 100 {
+		t.Fatalf("allocated %d chunks over the run; freelist is not recycling", allocated)
+	}
+	if mem := db.MemoryBytes(); mem > 1<<20 {
+		t.Fatalf("resident footprint %d bytes for one bounded series", mem)
+	}
+
+	res, err := db.Query("m", ticks-50, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 50 {
+		t.Fatalf("post-retention raw window has %d points, want 50", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Value != value(p.Tick) {
+			t.Fatalf("tick %d decoded %g, want %g", p.Tick, p.Value, value(p.Tick))
+		}
+	}
+}
+
+// TestSnapshotDeterministicBytes pins the snapshot contract: two stores
+// fed the same samples serialize to the same bytes, a zero stamp omits
+// taken_at entirely, and the output is valid JSON either way.
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	feed := func() *DB {
+		db := New(Config{})
+		for tick := uint64(0); tick < 500; tick++ {
+			db.Append("b_second", tick, math.Cos(float64(tick)*0.3))
+			db.Append("a_first", tick, float64(tick%17)*0.25)
+		}
+		return db
+	}
+	snapshot := func(db *DB, at time.Time) string {
+		var buf bytes.Buffer
+		if err := db.SnapshotTo(&buf, at); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	a, b := snapshot(feed(), time.Time{}), snapshot(feed(), time.Time{})
+	if a != b {
+		t.Fatal("identically-fed stores produced different snapshot bytes")
+	}
+	if strings.Contains(a, "taken_at") {
+		t.Fatal("zero-stamp snapshot contains taken_at")
+	}
+	if !json.Valid([]byte(a)) {
+		t.Fatal("snapshot is not valid JSON")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(a), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Series) != 2 || snap.Series[0].Name != "a_first" || snap.Series[1].Name != "b_second" {
+		t.Fatalf("snapshot series not sorted by name: %+v", snap.Series)
+	}
+
+	stamped := snapshot(feed(), time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC))
+	if !strings.Contains(stamped, `"taken_at":"2026-08-08T12:00:00Z"`) {
+		t.Fatal("stamped snapshot missing taken_at")
+	}
+	if !json.Valid([]byte(stamped)) {
+		t.Fatal("stamped snapshot is not valid JSON")
+	}
+}
+
+// TestSamplerPicksUpNewSeries pins handle re-resolution: a metric
+// registered mid-run starts recording at the next tick, the tick-latency
+// series takes the sampler's direct value, and the store filter is
+// honored.
+func TestSamplerPicksUpNewSeries(t *testing.T) {
+	reg := telemetry.New()
+	ctr := reg.Counter("skynet_smoke_total", "Test counter.")
+	reg.Gauge("skynet_pipeline_workers", "Filtered out by DeterministicFilter.").Set(8)
+	db := New(Config{Filter: DeterministicFilter})
+	sp := NewSampler(db, reg)
+
+	for tick := uint64(0); tick < 10; tick++ {
+		ctr.Add(2)
+		sp.ObserveTick(tick, 0.25)
+	}
+	late := reg.Gauge("skynet_late_depth", "Registered mid-run.")
+	for tick := uint64(10); tick < 20; tick++ {
+		late.Set(float64(tick))
+		sp.ObserveTick(tick, 0.25)
+	}
+
+	res, err := db.Query("skynet_late_depth", 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].Tick != 10 {
+		t.Fatalf("late series first tick %d, want 10", res.Points[0].Tick)
+	}
+	tail, ok := db.Tail(MetricTickDuration, 1, nil)
+	if !ok || tail[0] != 0.25 {
+		t.Fatalf("tick-duration tail: ok=%t %v", ok, tail)
+	}
+	if _, err := db.Query("skynet_pipeline_workers", 0, 0, 1); err == nil {
+		t.Fatal("filtered metric was stored anyway")
+	}
+}
+
+// TestDeterministicFilter pins the drop list: anything wall-clock-, host-
+// or fan-out-dependent is excluded; pipeline counters stay.
+func TestDeterministicFilter(t *testing.T) {
+	keep := []string{
+		"skynet_raw_alerts_total",
+		"skynet_active_incidents",
+		"skynet_preprocess_pending_depth",
+		"skynet_self_alerts_total",
+	}
+	drop := []string{
+		"skynet_tick_duration_seconds",
+		"skynet_stage_locate_seconds_sum",
+		"skynet_replay_alerts_per_second",
+		"skynet_pipeline_workers",
+		"skynet_tsdb_bytes",
+		"skynet_flight_dumps_total",
+		"skynet_preprocess_shard_0_aggregates",
+		"skynet_locator_shard_3_nodes",
+	}
+	for _, name := range keep {
+		if !DeterministicFilter(name) {
+			t.Errorf("filter drops %s, want keep", name)
+		}
+	}
+	for _, name := range drop {
+		if DeterministicFilter(name) {
+			t.Errorf("filter keeps %s, want drop", name)
+		}
+	}
+}
+
+// TestSamplerSteadyStateAllocs is the allocation pin from the issue's
+// acceptance criteria: once handles are resolved and the chunk freelist
+// is warm, a sampler tick — every registered metric appended across all
+// tiers, retention included — allocates nothing.
+func TestSamplerSteadyStateAllocs(t *testing.T) {
+	reg := telemetry.New()
+	ctr := reg.Counter("skynet_smoke_events_total", "Test counter.")
+	g := reg.Gauge("skynet_smoke_depth", "Test gauge.")
+	db := New(Config{RawRetention: 64, Tier10Retention: 640, Tier100Retention: 6400, RecentWindow: 32})
+	sp := NewSampler(db, reg)
+
+	tick := uint64(0)
+	step := func() {
+		ctr.Add(3)
+		g.Set(float64(tick % 113))
+		sp.ObserveTick(tick, 0.0015)
+		tick++
+	}
+	// Warm far past every retention horizon so sealed-slice capacity and
+	// the freelist reach steady state.
+	for tick < 20000 {
+		step()
+	}
+	if db.recycledN.Load() == 0 {
+		t.Fatal("warmup never recycled a chunk; the measurement would not cover retention")
+	}
+	if allocs := testing.AllocsPerRun(2000, step); allocs != 0 {
+		t.Fatalf("sampler steady state allocates %.3f allocs/tick, want 0", allocs)
+	}
+}

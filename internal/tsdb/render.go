@@ -1,0 +1,94 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkTicks is the eight-level block ramp used by Sparkline.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-width terminal sparkline. When
+// len(values) exceeds width, consecutive values are averaged into width
+// cells; fewer values render one cell each. A flat series renders at the
+// lowest level.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	cells := values
+	if len(values) > width {
+		cells = make([]float64, width)
+		for i := 0; i < width; i++ {
+			lo := i * len(values) / width
+			hi := (i + 1) * len(values) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, v := range values[lo:hi] {
+				sum += v
+			}
+			cells[i] = sum / float64(hi-lo)
+		}
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range cells {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	var b strings.Builder
+	for _, v := range cells {
+		lvl := 0
+		if max > min {
+			lvl = int((v - min) / (max - min) * float64(len(sparkTicks)-1))
+			if lvl < 0 {
+				lvl = 0
+			}
+			if lvl >= len(sparkTicks) {
+				lvl = len(sparkTicks) - 1
+			}
+		}
+		b.WriteRune(sparkTicks[lvl])
+	}
+	return b.String()
+}
+
+// RenderHistory formats one query result as a labeled sparkline block for
+// skynet-replay -history:
+//
+//	skynet_active_incidents                 ticks 0..412 (raw)
+//	  min 0    max 14    last 3
+//	  ▁▁▂▃▅█▇▅▃▂▁▁ ...
+func RenderHistory(res QueryResult, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  ticks %d..%d (%s, %d points)\n",
+		res.Metric, res.From, res.To, res.Source, len(res.Points))
+	if len(res.Points) == 0 {
+		b.WriteString("  (no samples)\n")
+		return b.String()
+	}
+	values := make([]float64, len(res.Points))
+	min, max := math.Inf(1), math.Inf(-1)
+	for i, p := range res.Points {
+		values[i] = p.Value
+		min = math.Min(min, p.Value)
+		max = math.Max(max, p.Value)
+	}
+	fmt.Fprintf(&b, "  min %s  max %s  last %s\n",
+		formatShort(min), formatShort(max), formatShort(values[len(values)-1]))
+	fmt.Fprintf(&b, "  %s\n", Sparkline(values, width))
+	return b.String()
+}
+
+func formatShort(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 0.01:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3e", v)
+	}
+}

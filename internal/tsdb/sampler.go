@@ -1,0 +1,107 @@
+package tsdb
+
+import (
+	"strings"
+
+	"skynet/internal/telemetry"
+)
+
+// MetricTickDuration is the series the sampler writes directly from the
+// engine's measured (or modeled) tick latency — the SLO engine's primary
+// input. It bypasses the registry so a deterministic latency model can
+// drive it in replay tests.
+const MetricTickDuration = "skynet_tick_duration_seconds"
+
+// Sampler snapshots every registry metric into the DB once per engine
+// tick. Handles are pre-resolved through telemetry.Registry.Handles and
+// re-resolved only when the registration revision moves, so the steady
+// state allocates nothing: one lock, one append per series.
+//
+// Not safe for concurrent use; it runs on the engine goroutine like
+// every other per-tick observer.
+type Sampler struct {
+	db     *DB
+	reg    *telemetry.Registry
+	rev    uint64
+	init   bool
+	tickS  *Series
+	series []*Series // parallel to handles
+	reads  []telemetry.Handle
+}
+
+// NewSampler binds a store to a registry. The DB's Filter decides which
+// metric families are recorded.
+func NewSampler(db *DB, reg *telemetry.Registry) *Sampler {
+	return &Sampler{db: db, reg: reg}
+}
+
+// DB returns the backing store.
+func (sp *Sampler) DB() *DB { return sp.db }
+
+// ObserveTick samples every handle at the given tick and records the
+// tick's duration (seconds) under MetricTickDuration. Ticks must be
+// strictly increasing.
+func (sp *Sampler) ObserveTick(tick uint64, durSeconds float64) {
+	db := sp.db
+	db.mu.Lock()
+	if !sp.init || sp.reg.Rev() != sp.rev {
+		sp.resolveLocked()
+	}
+	sp.tickS.append(db, tick, durSeconds)
+	for i, h := range sp.reads {
+		sp.series[i].append(db, tick, h.Read())
+	}
+	if tick > db.lastT {
+		db.lastT = tick
+	}
+	db.samplesN.Add(int64(len(sp.reads)) + 1)
+	db.mu.Unlock()
+}
+
+// resolveLocked rebuilds the handle set. Runs with db.mu held; rare (only
+// when a new series registers, e.g. a labeled flood episode counter).
+func (sp *Sampler) resolveLocked() {
+	sp.rev = sp.reg.Rev()
+	sp.init = true
+	if sp.tickS == nil {
+		sp.tickS = sp.db.seriesLocked(MetricTickDuration)
+	}
+	handles := sp.reg.Handles()
+	sp.reads = sp.reads[:0]
+	sp.series = sp.series[:0]
+	for _, h := range handles {
+		if h.Name == MetricTickDuration {
+			continue // the sampler's own direct series wins
+		}
+		if sp.db.cfg.Filter != nil && !sp.db.cfg.Filter(h.Name) {
+			continue
+		}
+		sp.reads = append(sp.reads, h)
+		sp.series = append(sp.series, sp.db.seriesLocked(h.Name))
+	}
+}
+
+// DeterministicFilter is the Config.Filter for bit-identity tests and
+// deterministic replays: it drops every series whose value depends on the
+// wall clock, the host, or the worker fan-out (latency histograms, replay
+// throughput, the store's own byte accounting, per-shard occupancy) and
+// keeps the pure pipeline counters and gauges. MetricTickDuration itself
+// is written directly by the sampler from the engine's latency model, so
+// it stays deterministic under this filter.
+func DeterministicFilter(name string) bool {
+	if strings.Contains(name, "_seconds") {
+		return false
+	}
+	if name == "skynet_pipeline_workers" {
+		return false
+	}
+	for _, prefix := range []string{
+		"skynet_replay_", "skynet_tsdb_", "skynet_flight_",
+		"skynet_preprocess_shard_", "skynet_locator_shard_",
+	} {
+		if strings.HasPrefix(name, prefix) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,207 @@
+package tsdb
+
+// column is one resolution tier of a series: a run of sealed chunks plus
+// the open chunk being appended to. step is the tick stride between
+// consecutive samples (1 raw, 10 and 100 for the downsample tiers).
+type column struct {
+	step     uint64
+	maxTicks uint64 // retention horizon in raw ticks; 0 = keep all
+	sealed   []*chunk
+	cur      *chunk
+	dropped  uint64 // samples discarded by retention
+}
+
+// append encodes one sample at the given tick. Ticks must arrive in
+// strictly increasing step-aligned order — the sampler guarantees it.
+func (col *column) append(db *DB, tick uint64, v float64) {
+	if col.cur == nil {
+		col.cur = db.getChunk()
+		col.cur.start = tick
+	}
+	if col.cur.append(v) {
+		return
+	}
+	col.seal(db, tick)
+	col.cur = db.getChunk()
+	col.cur.start = tick
+	col.cur.append(v) // fresh chunk always fits the first sample
+}
+
+// seal retires the open chunk and enforces retention: sealed chunks whose
+// newest sample is older than nowTick-maxTicks go back to the freelist.
+// The slice is compacted in place (memmove, no allocation once capacity
+// has grown to the steady-state chunk count).
+func (col *column) seal(db *DB, nowTick uint64) {
+	col.sealed = append(col.sealed, col.cur)
+	col.cur = nil
+	if col.maxTicks == 0 || nowTick < col.maxTicks {
+		return
+	}
+	cut := nowTick - col.maxTicks
+	drop := 0
+	for drop < len(col.sealed) && col.sealed[drop].lastTick(col.step) < cut {
+		col.dropped += uint64(col.sealed[drop].count)
+		db.putChunk(col.sealed[drop])
+		drop++
+	}
+	if drop > 0 {
+		n := copy(col.sealed, col.sealed[drop:])
+		for i := n; i < len(col.sealed); i++ {
+			col.sealed[i] = nil
+		}
+		col.sealed = col.sealed[:n]
+	}
+}
+
+// oldestTick returns the tick of the oldest retained sample (ok=false
+// when the column is empty).
+func (col *column) oldestTick() (uint64, bool) {
+	if len(col.sealed) > 0 {
+		return col.sealed[0].start, true
+	}
+	if col.cur != nil && col.cur.count > 0 {
+		return col.cur.start, true
+	}
+	return 0, false
+}
+
+// visit decodes every retained sample overlapping [from, to] in tick
+// order, calling fn(tick, value).
+func (col *column) visit(from, to uint64, fn func(tick uint64, v float64)) {
+	scan := func(c *chunk) {
+		if c == nil || c.count == 0 || c.lastTick(col.step) < from || c.start > to {
+			return
+		}
+		it := c.iter()
+		tick := c.start
+		for {
+			v, ok := it.next()
+			if !ok {
+				break
+			}
+			if tick >= from && tick <= to {
+				fn(tick, v)
+			}
+			tick += col.step
+		}
+	}
+	for _, c := range col.sealed {
+		scan(c)
+	}
+	scan(col.cur)
+}
+
+// samples reports how many samples the column retains.
+func (col *column) samples() uint64 {
+	var n uint64
+	for _, c := range col.sealed {
+		n += uint64(c.count)
+	}
+	if col.cur != nil {
+		n += uint64(col.cur.count)
+	}
+	return n
+}
+
+// memBytes reports the column's chunk payload footprint.
+func (col *column) memBytes() uint64 {
+	n := uint64(len(col.sealed)) * chunkDataBytes
+	if col.cur != nil {
+		n += chunkDataBytes
+	}
+	return n
+}
+
+// Series is the tick-indexed history of one metric: a raw tier at tick
+// resolution, mean and max tiers at 10- and 100-tick resolution, and an
+// uncompressed recent-window ring for O(1) tail reads (the SLO engine's
+// working set). Owned by the DB; all access goes through its lock.
+type Series struct {
+	name  string
+	first uint64 // tick of the first sample
+	last  uint64 // tick of the newest sample
+	n     uint64 // samples ever appended
+
+	recent []float64 // ring indexed by tick % len
+
+	raw          column
+	t10m, t10x   column // 10-tick mean / max
+	t100m, t100x column // 100-tick mean / max
+
+	aggN   int // 10-tick accumulator
+	aggSum float64
+	aggMax float64
+	a2N    int // 100-tick accumulator
+	a2Sum  float64
+	a2Max  float64
+}
+
+// append records the sample for one tick. Ticks are consecutive per
+// series (a series that appears mid-run simply starts at a later first
+// tick). Downsample blocks align to absolute tick multiples — block k
+// covers [k*10, k*10+9] — so a series appearing mid-block flushes a
+// partial first block and every later block is exact.
+func (s *Series) append(db *DB, tick uint64, v float64) {
+	if s.n == 0 {
+		s.first = tick
+	}
+	s.last = tick
+	s.n++
+	s.recent[tick%uint64(len(s.recent))] = v
+	s.raw.append(db, tick, v)
+
+	if s.aggN == 0 || v > s.aggMax {
+		s.aggMax = v
+	}
+	s.aggSum += v
+	s.aggN++
+	if s.a2N == 0 || v > s.a2Max {
+		s.a2Max = v
+	}
+	s.a2Sum += v
+	s.a2N++
+	if tick%10 == 9 {
+		s.t10m.append(db, tick-tick%10, s.aggSum/float64(s.aggN))
+		s.t10x.append(db, tick-tick%10, s.aggMax)
+		s.aggN, s.aggSum, s.aggMax = 0, 0, 0
+	}
+	if tick%100 == 99 {
+		s.t100m.append(db, tick-tick%100, s.a2Sum/float64(s.a2N))
+		s.t100x.append(db, tick-tick%100, s.a2Max)
+		s.a2N, s.a2Sum, s.a2Max = 0, 0, 0
+	}
+}
+
+// tail copies the newest n raw samples (oldest first) into buf, growing
+// it as needed, and returns the filled slice. Reads come from the
+// uncompressed recent ring, so the SLO engine's per-tick reads never
+// touch the compressed tiers.
+func (s *Series) tail(n int, buf []float64) []float64 {
+	if s.n == 0 || n <= 0 {
+		return buf[:0]
+	}
+	span := uint64(n)
+	if span > s.n {
+		span = s.n
+	}
+	if ring := uint64(len(s.recent)); span > ring {
+		span = ring
+	}
+	if cap(buf) < int(span) {
+		buf = make([]float64, span)
+	}
+	buf = buf[:span]
+	start := s.last - span + 1
+	for i := uint64(0); i < span; i++ {
+		buf[i] = s.recent[(start+i)%uint64(len(s.recent))]
+	}
+	return buf
+}
+
+// memBytes reports the series' resident footprint.
+func (s *Series) memBytes() uint64 {
+	return uint64(len(s.recent))*8 +
+		s.raw.memBytes() +
+		s.t10m.memBytes() + s.t10x.memBytes() +
+		s.t100m.memBytes() + s.t100x.memBytes()
+}
