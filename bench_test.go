@@ -27,6 +27,7 @@ import (
 	"skynet/internal/monitors"
 	"skynet/internal/netsim"
 	"skynet/internal/preprocess"
+	"skynet/internal/prof"
 	"skynet/internal/provenance"
 	"skynet/internal/slo"
 	"skynet/internal/span"
@@ -225,10 +226,11 @@ var telemetryDump = flag.String("telemetrydump", "",
 // bare pipeline; with one attached it measures the instrumented path, so
 // the pair bounds the telemetry overhead. A lineage recorder likewise
 // bounds the provenance overhead, a span tracer the tracing overhead, a
-// flood recorder the episode-tagging overhead, and history the full
+// flood recorder the episode-tagging overhead, history the full
 // telemetry-history stack (per-tick sampler + SLO burn-rate engine with
-// self-monitoring on; requires reg).
-func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal *telemetry.Journal, rec *provenance.Recorder, tracer *span.Tracer, fl *flood.Recorder, history bool) {
+// self-monitoring on; requires reg), and profiled the pprof stage
+// labeler plus the runtime/metrics sampler.
+func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal *telemetry.Journal, rec *provenance.Recorder, tracer *span.Tracer, fl *flood.Recorder, history, profiled bool) {
 	topo := topology.MustGenerate(topology.SmallConfig())
 	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
 	classifier, err := preprocess.BootstrapClassifier()
@@ -249,6 +251,10 @@ func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal
 	}
 	if fl != nil {
 		eng.EnableFlood(fl)
+	}
+	if profiled {
+		eng.EnableProfiling(prof.NewLabeler(eng.MaxShards()))
+		eng.EnableRuntimeMetrics(prof.NewRuntime(telemetry.New()))
 	}
 	if history {
 		db := tsdb.New(tsdb.Config{})
@@ -285,29 +291,33 @@ func benchEngineTick(b *testing.B, workers int, reg *telemetry.Registry, journal
 
 // BenchmarkEngineTick measures an uninstrumented ingest+tick round with
 // the default worker fan-out (all cores).
-func BenchmarkEngineTick(b *testing.B) { benchEngineTick(b, 0, nil, nil, nil, nil, nil, false) }
+func BenchmarkEngineTick(b *testing.B) { benchEngineTick(b, 0, nil, nil, nil, nil, nil, false, false) }
 
 // BenchmarkEngineTickSerial pins the pipeline to one worker — the serial
 // reference the parallel path must match bit-for-bit (see
 // TestEngineDeterministicAcrossWorkers).
-func BenchmarkEngineTickSerial(b *testing.B) { benchEngineTick(b, 1, nil, nil, nil, nil, nil, false) }
+func BenchmarkEngineTickSerial(b *testing.B) {
+	benchEngineTick(b, 1, nil, nil, nil, nil, nil, false, false)
+}
 
 // BenchmarkEngineTickWorkers4 forces four workers regardless of core
 // count, exposing the goroutine fan-out overhead when oversubscribed.
-func BenchmarkEngineTickWorkers4(b *testing.B) { benchEngineTick(b, 4, nil, nil, nil, nil, nil, false) }
+func BenchmarkEngineTickWorkers4(b *testing.B) {
+	benchEngineTick(b, 4, nil, nil, nil, nil, nil, false, false)
+}
 
 // BenchmarkEngineTickProvenance is BenchmarkEngineTick with the lineage
 // recorder attached at the default 1-in-16 sampling; the delta between
 // the two is the provenance cost per tick (acceptance bound: within 5%).
 func BenchmarkEngineTickProvenance(b *testing.B) {
-	benchEngineTick(b, 0, nil, nil, provenance.New(provenance.Config{}), nil, nil, false)
+	benchEngineTick(b, 0, nil, nil, provenance.New(provenance.Config{}), nil, nil, false, false)
 }
 
 // BenchmarkEngineTickSpans is BenchmarkEngineTick with the span tracer
 // attached; the delta between the two is the tracing cost per tick
 // (acceptance bound: within 2%, see bench_results.txt).
 func BenchmarkEngineTickSpans(b *testing.B) {
-	benchEngineTick(b, 0, nil, nil, nil, span.NewTracer(0), nil, false)
+	benchEngineTick(b, 0, nil, nil, nil, span.NewTracer(0), nil, false, false)
 }
 
 // BenchmarkEngineTickFlood is BenchmarkEngineTick with the flood-episode
@@ -316,7 +326,7 @@ func BenchmarkEngineTickSpans(b *testing.B) {
 // The synthetic batch rate keeps an episode open for the whole run, so
 // this measures the recorder's worst case: every tick aggregates.
 func BenchmarkEngineTickFlood(b *testing.B) {
-	benchEngineTick(b, 0, nil, nil, nil, nil, flood.New(flood.Config{}), false)
+	benchEngineTick(b, 0, nil, nil, nil, nil, flood.New(flood.Config{}), false, false)
 }
 
 // BenchmarkEngineTickTelemetry is BenchmarkEngineTick with the metrics
@@ -324,7 +334,7 @@ func BenchmarkEngineTickFlood(b *testing.B) {
 // the telemetry cost per tick (acceptance bound: within 5%).
 func BenchmarkEngineTickTelemetry(b *testing.B) {
 	reg := telemetry.New()
-	benchEngineTick(b, 0, reg, telemetry.NewJournal(0), nil, nil, nil, false)
+	benchEngineTick(b, 0, reg, telemetry.NewJournal(0), nil, nil, nil, false, false)
 	if *telemetryDump == "" {
 		return
 	}
@@ -345,7 +355,17 @@ func BenchmarkEngineTickTelemetry(b *testing.B) {
 // history cost per tick (acceptance bound: within 2%, see
 // EXPERIMENTS.md).
 func BenchmarkEngineTickHistory(b *testing.B) {
-	benchEngineTick(b, 0, telemetry.New(), nil, nil, nil, nil, true)
+	benchEngineTick(b, 0, telemetry.New(), nil, nil, nil, nil, true, false)
+}
+
+// BenchmarkEngineTickProfiled is BenchmarkEngineTick with the pprof
+// stage labeler and the runtime/metrics sampler attached — the always-on
+// parts of the continuous profiler (the windowed collector is off; its
+// cost is duty-cycled and bounded separately). The delta between the two
+// is the labeling cost per tick (acceptance bound: within 2% on time and
+// bytes/op, see bench_results.txt).
+func BenchmarkEngineTickProfiled(b *testing.B) {
+	benchEngineTick(b, 0, nil, nil, nil, nil, nil, false, true)
 }
 
 // BenchmarkWireCodec measures the UDP wire format round trip.

@@ -60,8 +60,21 @@ func main() {
 			"with -json: write a CPU pprof profile of the benchmark run to this file")
 		memProfile = flag.String("memprofile", "",
 			"with -json: write a heap pprof profile taken after the benchmark run to this file")
+		mutexFraction = flag.Int("mutex-fraction", 0,
+			"runtime mutex-contention sampling rate, as in skynetd (0 = off); for measuring its overhead")
+		blockRate = flag.Int("block-rate", 0,
+			"runtime blocking-event sampling threshold in ns, as in skynetd (0 = off); for measuring its overhead")
 	)
 	flag.Parse()
+
+	// Mirror skynetd's contention-profiling knobs so their overhead can be
+	// measured on the same microbenchmarks the regression gate runs.
+	if *mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -140,7 +153,11 @@ func main() {
 // flagged by the gate ships with the evidence needed to diagnose it.
 func runMicrobench(dst string, names []string, spans bool, compare string, tolerance, memTolerance float64,
 	cpuProfile, memProfile string) error {
-	fmt.Fprintf(os.Stderr, "running microbenchmarks: %s\n", strings.Join(microbench.Names(), ", "))
+	banner := microbench.Names()
+	if len(names) > 0 {
+		banner = names
+	}
+	fmt.Fprintf(os.Stderr, "running microbenchmarks: %s\n", strings.Join(banner, ", "))
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {

@@ -31,6 +31,7 @@ import (
 	"skynet/internal/flood"
 	"skynet/internal/ingest"
 	"skynet/internal/preprocess"
+	"skynet/internal/prof"
 	"skynet/internal/provenance"
 	"skynet/internal/slo"
 	"skynet/internal/span"
@@ -68,9 +69,31 @@ func main() {
 			"inject synthetic meta/skynetd alerts through the ingest path when an SLO burn-rate rule fires")
 		historySnap = flag.String("history-snapshot", "",
 			"file for the final telemetry-history snapshot written on shutdown (default <flight-dir>/history-final.json; empty flight dir disables)")
+		mutexFraction = flag.Int("mutex-fraction", 0,
+			"mutex contention profiling: record 1 in N contention events (0 disables; see bench_results.txt for overhead)")
+		blockRate = flag.Int("block-rate", 0,
+			"block profiling: record blocking events lasting >= N ns (0 disables; see bench_results.txt for overhead)")
+		profileDir = flag.String("profile-dir", "profiles",
+			"continuous-profiler window archive directory (empty disables archiving; capture, telemetry, and /api/profile stay on)")
+		profileInterval = flag.Duration("profile-interval", time.Minute,
+			"continuous-profiler capture cadence, start to start")
+		profileWindow = flag.Duration("profile-window", 5*time.Second,
+			"continuous-profiler CPU capture length per window")
+		profileMaxWindows = flag.Int("profile-max-windows", 16,
+			"max profile window directories kept on disk; oldest are deleted past the cap")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// Contention profiling is sampled and default-off; the flags wire
+	// straight through to the runtime. Profiles appear on /debug/pprof
+	// (with -pprof), in continuous-profiler windows, and in flight dumps.
+	if *mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 
 	var topo *topology.Topology
 	if *topoFile != "" {
@@ -138,6 +161,24 @@ func main() {
 	sloEng := slo.New(db, slo.DefaultRules(*sloTickP99))
 	sloEng.RegisterMetrics(reg)
 	engine.EnableSLO(sloEng, *selfMonitor)
+
+	// Continuous profiling: pipeline stages run under pprof labels, a
+	// background collector captures short windowed CPU profiles on a
+	// cadence and aggregates per-stage CPU fractions into skynet_prof_*
+	// telemetry behind GET /api/profile; the runtime sampler feeds GC /
+	// heap / scheduler health into the registry and the history store
+	// (where the gc_pause burn-rate rule watches it).
+	engine.EnableProfiling(prof.NewLabeler(engine.MaxShards()))
+	engine.EnableRuntimeMetrics(prof.NewRuntime(reg))
+	profiler := prof.NewCollector(prof.CollectorConfig{
+		Dir:        *profileDir,
+		Interval:   *profileInterval,
+		Window:     *profileWindow,
+		MaxWindows: *profileMaxWindows,
+		Registry:   reg,
+	})
+	profiler.Start()
+	defer profiler.Stop()
 
 	// Live event stream: incident lifecycle transitions and anomalies on
 	// GET /api/events.
@@ -222,6 +263,7 @@ func main() {
 		SLOBurnEvents:  sloEng.EventCount,
 		SLODetail:      sloEng.LastDetail,
 		History:        func(w io.Writer) error { return db.SnapshotTo(w, time.Now()) },
+		Profiles:       profiler.WriteLatest,
 		Incidents: func() any {
 			engineMu.Lock()
 			defer engineMu.Unlock()
@@ -278,7 +320,8 @@ func main() {
 			WithEvents(bus).
 			WithFlood(floodRec).
 			WithHistory(db).
-			WithSLO(sloEng)
+			WithSLO(sloEng).
+			WithProfiler(profiler)
 		statusSrv, err := status.Listen(*httpAddr, snap, log)
 		if err != nil {
 			fatal(log, err)

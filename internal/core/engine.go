@@ -36,6 +36,7 @@ import (
 	"skynet/internal/locator"
 	"skynet/internal/par"
 	"skynet/internal/preprocess"
+	"skynet/internal/prof"
 	"skynet/internal/provenance"
 	"skynet/internal/slo"
 	"skynet/internal/sop"
@@ -151,6 +152,13 @@ type Engine struct {
 	selfMon     bool
 	selfAlertsN atomic.Int64
 	latModel    func(tick uint64) time.Duration
+
+	// Continuous profiling + runtime sampling are optional; nil until
+	// EnableProfiling / EnableRuntimeMetrics. profL's methods are
+	// nil-receiver safe, so the hot path calls them unconditionally.
+	profL       *prof.Labeler
+	profEpisode uint64
+	rtm         *prof.Runtime
 }
 
 // NewEngine assembles a pipeline. classifier may be nil (raw syslog is
@@ -267,7 +275,9 @@ func (e *Engine) Tick(now time.Time) TickResult {
 	if act != nil {
 		e.loc.SetSpans(act.Scope(abR))
 	}
+	e.profL.Enter(prof.StageLocatorAdd)
 	e.loc.AddBatch(structured)
+	e.profL.Exit()
 	act.End(abR, len(structured))
 	ckR := act.Begin(locR, "check")
 	if act != nil {
@@ -297,6 +307,7 @@ func (e *Engine) Tick(now time.Time) TickResult {
 		}
 	}
 	rf := act.Scope(evR).Fork("refine_score", len(dirty))
+	e.profL.Enter(prof.StageRefineScore)
 	if e.prov != nil {
 		if cap(e.provBds) < len(dirty) {
 			e.provBds = make([]evaluator.Breakdown, len(dirty))
@@ -315,6 +326,7 @@ func (e *Engine) Tick(now time.Time) TickResult {
 			e.eval.Score(in, now)
 		})
 	}
+	e.profL.Exit()
 	for _, in := range dirty {
 		e.evalStates[in.ID] = evalState{rev: in.Rev(), gen: e.sampleGen, now: now, seen: e.tickCount}
 	}
@@ -330,11 +342,13 @@ func (e *Engine) Tick(now time.Time) TickResult {
 	}
 	sopR := act.Begin(span.Root, "sop")
 	if e.sopEng != nil {
+		e.profL.Enter(prof.StageSOP)
 		for _, in := range res.NewIncidents {
 			if exec, ok := e.sopEng.Consider(in, now); ok {
 				res.SOPExecutions = append(res.SOPExecutions, exec)
 			}
 		}
+		e.profL.Exit()
 	}
 	act.End(sopR, len(res.SOPExecutions))
 	if tel != nil {
@@ -358,6 +372,10 @@ func (e *Engine) Tick(now time.Time) TickResult {
 	if tr := act.Finish(); tr != nil && e.spanTel != nil {
 		e.spanTel.observe(tr)
 	}
+	// Runtime sampling refreshes the skynet_runtime_ gauges before the
+	// history sample is cut, so each tick's history row carries the GC /
+	// scheduler state as of that tick. Nil-safe no-op when disabled.
+	e.rtm.Refresh()
 	// History sampling runs last so this tick's counters, gauges, and
 	// span aggregates are all final before the sample is cut. It may
 	// inject self-alerts, which enter the preprocessor's pending buffer

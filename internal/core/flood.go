@@ -32,6 +32,13 @@ func (e *Engine) observeFlood(now time.Time, structured []alert.Alert, created, 
 	closedInc := e.loc.ClosedSince(e.floodClosedSeen)
 	e.floodClosedSeen = e.loc.ClosedCount()
 	out := e.flood.ObserveTick(now, e.tickCount, structured, created, active, closedInc)
+	// Keep the profiler's episode label in lockstep with the detector:
+	// tag label contexts when an episode opens, untag when it closes —
+	// the close transition is why this runs before the idle early-return.
+	if e.profL != nil && out.EpisodeID != e.profEpisode {
+		e.profL.SetEpisode(out.EpisodeID)
+		e.profEpisode = out.EpisodeID
+	}
 	if out.EpisodeID == 0 {
 		return
 	}

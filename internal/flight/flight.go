@@ -121,6 +121,12 @@ type Sources struct {
 	// carries how the pipeline trended INTO the anomaly, not just the
 	// instant of it.
 	History func(w io.Writer) error
+	// Profiles drops extra profile files into a dump directory —
+	// typically prof.Collector.WriteLatest, which copies the continuous
+	// profiler's most recent stage-labeled CPU window. Must not block
+	// (dumps run on the engine loop): copy captured evidence, never
+	// capture fresh.
+	Profiles func(dir string)
 }
 
 // Trigger names, stable identifiers used in health reports, events,
@@ -531,6 +537,20 @@ func (r *Recorder) writeDump(dir string, fired []Event, health Health) {
 	if f, err := os.Create(filepath.Join(dir, "heap.pprof")); err == nil {
 		_ = pprof.WriteHeapProfile(f)
 		_ = f.Close()
+	}
+	// Contention snapshots ride along (cheap; empty unless the daemon
+	// enabled -mutex-fraction / -block-rate), then the profiler's latest
+	// labeled CPU window via the Profiles hook.
+	for _, name := range []string{"mutex", "block"} {
+		if p := pprof.Lookup(name); p != nil {
+			if f, err := os.Create(filepath.Join(dir, name+".pprof")); err == nil {
+				_ = p.WriteTo(f, 0)
+				_ = f.Close()
+			}
+		}
+	}
+	if r.src.Profiles != nil {
+		r.src.Profiles(dir)
 	}
 	r.pruneDumps()
 }

@@ -57,6 +57,7 @@ import (
 	"skynet/internal/incident"
 	"skynet/internal/intern"
 	"skynet/internal/par"
+	"skynet/internal/prof"
 	"skynet/internal/provenance"
 	"skynet/internal/span"
 	"skynet/internal/topology"
@@ -264,6 +265,10 @@ type Locator struct {
 	// Scope (tracing off) makes every span call a no-op.
 	spans span.Scope
 
+	// profL labels the expiry fan-out with its pprof stage; nil
+	// (profiling off) makes every call a nil-receiver no-op.
+	profL *prof.Labeler
+
 	// Dense-ID layer. Interning happens only on the caller's goroutine
 	// (Add, or the serial prologue of AddBatch); parallel phases only
 	// read the tables.
@@ -357,6 +362,10 @@ func (l *Locator) EnableProvenance(rec *provenance.Recorder) { l.prov = rec }
 // of the scope's parent span. The engine refreshes it every tick; it
 // never affects incident output.
 func (l *Locator) SetSpans(sc span.Scope) { l.spans = sc }
+
+// SetProf installs the pprof stage labeler; the expiry fan-out then runs
+// under its stage (and shard) labels. Never affects incident output.
+func (l *Locator) SetProf(p *prof.Labeler) { l.profL = p }
 
 // ShardNodes reports the live main-tree node count of one shard.
 func (l *Locator) ShardNodes(i int) int { return len(l.shards[i].live) }
@@ -630,7 +639,9 @@ func (l *Locator) Check(now time.Time) []*incident.Incident {
 func (l *Locator) expire(now time.Time) {
 	f := l.spans.Fork("expire", len(l.shards))
 	l.expireNow = now
+	l.profL.Enter(prof.StageLocatorExpire)
 	par.DoTimed(l.workers, len(l.shards), f.Timer(), l.expireFn)
+	l.profL.Exit()
 	removed := false
 	for s := range l.shards {
 		sh := &l.shards[s]

@@ -19,6 +19,7 @@ import (
 	"skynet/internal/incident"
 	"skynet/internal/locator"
 	"skynet/internal/preprocess"
+	"skynet/internal/prof"
 	"skynet/internal/provenance"
 	"skynet/internal/slo"
 	"skynet/internal/span"
@@ -66,18 +67,21 @@ var suite = []struct {
 	Name  string
 	Bench func(b *testing.B)
 }{
-	{"engine_tick", func(b *testing.B) { benchEngineTick(b, nil, nil, nil, false) }},
+	{"engine_tick", func(b *testing.B) { benchEngineTick(b, nil, nil, nil, false, false) }},
 	{"engine_tick_provenance", func(b *testing.B) {
-		benchEngineTick(b, provenance.New(provenance.Config{}), nil, nil, false)
+		benchEngineTick(b, provenance.New(provenance.Config{}), nil, nil, false, false)
 	}},
 	{"engine_tick_spans", func(b *testing.B) {
-		benchEngineTick(b, nil, span.NewTracer(0), nil, false)
+		benchEngineTick(b, nil, span.NewTracer(0), nil, false, false)
 	}},
 	{"engine_tick_flood", func(b *testing.B) {
-		benchEngineTick(b, nil, nil, flood.New(flood.Config{}), false)
+		benchEngineTick(b, nil, nil, flood.New(flood.Config{}), false, false)
 	}},
 	{"engine_tick_history", func(b *testing.B) {
-		benchEngineTick(b, nil, nil, nil, true)
+		benchEngineTick(b, nil, nil, nil, true, false)
+	}},
+	{"engine_tick_profiled", func(b *testing.B) {
+		benchEngineTick(b, nil, nil, nil, false, true)
 	}},
 	{"preprocessor_stream", benchPreprocessorStream},
 	{"incident_entries", benchIncidentEntries},
@@ -110,8 +114,11 @@ func Run(names ...string) (*Report, error) {
 		Arch:      runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
 	}
+	// want shrinks as names are matched (leftovers are unknown names), so
+	// filter on the original request, not on want's emptiness.
+	filtered := len(names) > 0
 	for _, s := range suite {
-		if len(want) > 0 && !want[s.Name] {
+		if filtered && !want[s.Name] {
 			continue
 		}
 		delete(want, s.Name)
@@ -226,9 +233,11 @@ func appendMemRegression(out []string, name, metric string, base, cur int64, mem
 // benchEngineTick drives repeated ingest+tick rounds over a severe-failure
 // batch, optionally with the lineage recorder, span tracer, flood
 // detector, or the full telemetry-history stack (registry + per-tick
-// sampler + SLO burn-rate engine with self-monitoring on) attached — each
-// pairing with the bare run bounds that instrument's overhead per tick.
-func benchEngineTick(b *testing.B, rec *provenance.Recorder, tracer *span.Tracer, fl *flood.Recorder, history bool) {
+// sampler + SLO burn-rate engine with self-monitoring on) or the
+// continuous profiler's always-on parts (pprof stage labeler +
+// runtime/metrics sampler) attached — each pairing with the bare run
+// bounds that instrument's overhead per tick.
+func benchEngineTick(b *testing.B, rec *provenance.Recorder, tracer *span.Tracer, fl *flood.Recorder, history, profiled bool) {
 	topo := topology.MustGenerate(topology.SmallConfig())
 	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
 	classifier, err := preprocess.BootstrapClassifier()
@@ -244,6 +253,10 @@ func benchEngineTick(b *testing.B, rec *provenance.Recorder, tracer *span.Tracer
 	}
 	if fl != nil {
 		eng.EnableFlood(fl)
+	}
+	if profiled {
+		eng.EnableProfiling(prof.NewLabeler(eng.MaxShards()))
+		eng.EnableRuntimeMetrics(prof.NewRuntime(telemetry.New()))
 	}
 	if history {
 		reg := telemetry.New()

@@ -28,6 +28,25 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// spawnHook, when installed, runs first on every worker goroutine Do and
+// DoWorkers spawn, with the worker's index in [0, workers). internal/prof
+// installs it to stamp worker goroutines with their shard identity as a
+// pprof label (the stage and episode labels are inherited from the
+// spawning goroutine automatically). When unset the cost is one atomic
+// load per fan-out, so the uninstrumented hot path is unchanged.
+var spawnHook atomic.Pointer[func(worker int)]
+
+// SetSpawnHook installs fn as the worker-goroutine spawn hook. It runs
+// concurrently on every spawned worker and must be safe for that; nil
+// uninstalls. Installation is expected once at setup time.
+func SetSpawnHook(fn func(worker int)) {
+	if fn == nil {
+		spawnHook.Store(nil)
+		return
+	}
+	spawnHook.Store(&fn)
+}
+
 // Do runs fn(i) for every i in [0, n), spread over at most `workers`
 // goroutines, and returns when all calls have completed. Tasks are
 // claimed from a shared counter so uneven task costs balance out. With
@@ -49,12 +68,16 @@ func Do(workers, n int, fn func(i int)) {
 		}
 		return
 	}
+	hook := spawnHook.Load()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			if hook != nil {
+				(*hook)(worker)
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -62,7 +85,7 @@ func Do(workers, n int, fn func(i int)) {
 				}
 				fn(i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -88,12 +111,16 @@ func DoWorkers(workers, n int, fn func(worker, task int)) {
 		}
 		return
 	}
+	hook := spawnHook.Load()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
+			if hook != nil {
+				(*hook)(worker)
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {

@@ -40,6 +40,7 @@ import (
 	"skynet/internal/hierarchy"
 	"skynet/internal/intern"
 	"skynet/internal/par"
+	"skynet/internal/prof"
 	"skynet/internal/provenance"
 	"skynet/internal/span"
 	"skynet/internal/topology"
@@ -217,6 +218,10 @@ type Preprocessor struct {
 	// Scope (tracing off) makes every span call a no-op.
 	spans span.Scope
 
+	// profL labels the classify/consolidate fan-outs with their pprof
+	// stage; nil (profiling off) makes every call a nil-receiver no-op.
+	profL *prof.Labeler
+
 	shards []preShard
 
 	// pt/tt intern locations and (source, type) pairs into dense IDs.
@@ -298,6 +303,11 @@ func (p *Preprocessor) EnableProvenance(rec *provenance.Recorder) { p.prov = rec
 // parent span. The engine refreshes it every tick; it never affects what
 // the preprocessor emits.
 func (p *Preprocessor) SetSpans(sc span.Scope) { p.spans = sc }
+
+// SetProf installs the pprof stage labeler; the classify and consolidate
+// fan-outs then run under their stage (and shard) labels. Never affects
+// what the preprocessor emits.
+func (p *Preprocessor) SetProf(l *prof.Labeler) { p.profL = l }
 
 // PendingDepth reports the number of raw alerts buffered since the last
 // Tick — the preprocessor's queue depth.
@@ -395,6 +405,7 @@ func (p *Preprocessor) absorb() {
 	chunkSize := (n + p.workers - 1) / p.workers
 	nchunks := (n + chunkSize - 1) / chunkSize
 	cf := p.spans.Fork("classify", nchunks)
+	p.profL.Enter(prof.StageClassify)
 	par.DoTimed(p.workers, nchunks, cf.Timer(), func(c int) {
 		lo, hi := c*chunkSize, (c+1)*chunkSize
 		if hi > n {
@@ -410,6 +421,7 @@ func (p *Preprocessor) absorb() {
 			p.prepareRow(i, &p.prep[i], scratch)
 		}
 	})
+	p.profL.Exit()
 	// Serial pass: intern IDs into the batch's dense-ID columns
 	// (single-writer tables), route to shards, record corroboration
 	// evidence (max observation time per location), resolve phase-A
@@ -463,6 +475,7 @@ func (p *Preprocessor) absorb() {
 	// serial semantics. Merges read only the scalar columns; a full
 	// Alert is materialized once per new aggregate, not per row.
 	sf := p.spans.Fork("consolidate", nshards)
+	p.profL.Enter(prof.StageConsolidate)
 	par.DoTimed(p.workers, nshards, sf.Timer(), func(s int) {
 		shard := &p.shards[s]
 		shard.dedup, shard.routed = 0, 0
@@ -485,6 +498,7 @@ func (p *Preprocessor) absorb() {
 			shard.keys = mergeSortedAggs(shard.keys, shard.newAggs)
 		}
 	})
+	p.profL.Exit()
 	for s := range p.shards {
 		p.stats.Deduplicated += p.shards[s].dedup
 		if len(p.shards[s].provAbsorbed) > 0 {

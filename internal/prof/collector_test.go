@@ -1,0 +1,175 @@
+package prof
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+
+	"skynet/internal/telemetry"
+)
+
+func profDirs(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "prof-") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// TestCollectorCaptureArchivePrune drives three synchronous windows
+// through a collector with MaxWindows=2 and checks the full contract:
+// archives written, oldest pruned, telemetry published, the in-memory
+// ring bounded, and WriteLatest replaying the cached CPU bytes.
+func TestCollectorCaptureArchivePrune(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.New()
+	c := NewCollector(CollectorConfig{
+		Dir:        dir,
+		Interval:   time.Minute,
+		Window:     30 * time.Millisecond,
+		MaxWindows: 2,
+		Keep:       2,
+		Registry:   reg,
+	})
+	for i := 0; i < 3; i++ {
+		w := c.CaptureWindow()
+		if w.Err != "" {
+			t.Fatalf("window %d failed: %s", i, w.Err)
+		}
+		if w.Seq != i {
+			t.Errorf("window %d has seq %d", i, w.Seq)
+		}
+		if w.Dir == "" {
+			t.Fatalf("window %d was not archived", i)
+		}
+		if _, err := os.Stat(filepath.Join(w.Dir, "cpu.pprof")); err != nil {
+			t.Errorf("window %d: %v", i, err)
+		}
+		if _, err := os.Stat(filepath.Join(w.Dir, "window.json")); err != nil {
+			t.Errorf("window %d: %v", i, err)
+		}
+	}
+
+	// Retention: three windows captured, only the newest two on disk.
+	dirs := profDirs(t, dir)
+	if len(dirs) != 2 {
+		t.Fatalf("retained %d window dirs %v, want 2", len(dirs), dirs)
+	}
+	for _, name := range dirs {
+		if strings.HasSuffix(name, "-000000") {
+			t.Errorf("oldest window %s survived pruning", name)
+		}
+	}
+
+	captures, errors := c.Counts()
+	if captures != 3 || errors != 0 {
+		t.Errorf("Counts() = %d, %d, want 3, 0", captures, errors)
+	}
+	if ws := c.Windows(); len(ws) != 2 { // Keep=2 bounds the ring
+		t.Errorf("Windows() kept %d summaries, want 2", len(ws))
+	}
+	last, ok := c.Latest()
+	if !ok || last.Seq != 2 {
+		t.Errorf("Latest() = %+v ok=%t, want seq 2", last, ok)
+	}
+	if v := reg.Counter("skynet_prof_windows_total", "").Value(); v != 3 {
+		t.Errorf("skynet_prof_windows_total = %d, want 3", v)
+	}
+
+	// WriteLatest copies the cached window — no fresh capture.
+	out := t.TempDir()
+	c.WriteLatest(out)
+	cpu, err := os.ReadFile(filepath.Join(out, "cpu.pprof"))
+	if err != nil {
+		t.Fatalf("WriteLatest wrote nothing: %v", err)
+	}
+	if _, err := ParseProfile(cpu); err != nil {
+		t.Errorf("WriteLatest bytes do not parse: %v", err)
+	}
+}
+
+// TestCollectorCompetingProfile pins the error path: when another CPU
+// profile is already running (the /debug/pprof/profile case), the window
+// records the failure, counts it, and archives nothing.
+func TestCollectorCompetingProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Fatalf("start competing profile: %v", err)
+	}
+	defer pprof.StopCPUProfile()
+
+	dir := t.TempDir()
+	reg := telemetry.New()
+	c := NewCollector(CollectorConfig{Dir: dir, Window: 10 * time.Millisecond, Registry: reg})
+	w := c.CaptureWindow()
+	if w.Err == "" {
+		t.Fatal("capture under a competing profile reported success")
+	}
+	if w.Dir != "" {
+		t.Errorf("failed window archived to %s", w.Dir)
+	}
+	if captures, errors := c.Counts(); captures != 0 || errors != 1 {
+		t.Errorf("Counts() = %d, %d, want 0, 1", captures, errors)
+	}
+	if v := reg.Counter("skynet_prof_capture_errors_total", "").Value(); v != 1 {
+		t.Errorf("skynet_prof_capture_errors_total = %d, want 1", v)
+	}
+	if dirs := profDirs(t, dir); len(dirs) != 0 {
+		t.Errorf("failed window left archive dirs %v", dirs)
+	}
+	// No good window yet: WriteLatest must write nothing.
+	out := t.TempDir()
+	c.WriteLatest(out)
+	if _, err := os.Stat(filepath.Join(out, "cpu.pprof")); !os.IsNotExist(err) {
+		t.Error("WriteLatest wrote a cpu.pprof with no captured window")
+	}
+}
+
+// TestCollectorStartStop exercises the background loop: Start captures a
+// first window immediately, Stop interrupts the wait and joins the
+// goroutine.
+func TestCollectorStartStop(t *testing.T) {
+	c := NewCollector(CollectorConfig{Interval: time.Minute, Window: 20 * time.Millisecond})
+	c.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := c.Latest(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never captured a window")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	if captures, _ := c.Counts(); captures < 1 {
+		t.Errorf("captures = %d, want >= 1", captures)
+	}
+}
+
+// TestCollectorConfigDefaults pins the zero-value clamps.
+func TestCollectorConfigDefaults(t *testing.T) {
+	cfg := CollectorConfig{}.withDefaults()
+	if cfg.Interval != time.Minute || cfg.Window != 5*time.Second {
+		t.Errorf("defaults = interval %v window %v", cfg.Interval, cfg.Window)
+	}
+	if cfg.MaxWindows != 16 || cfg.Keep != 32 {
+		t.Errorf("defaults = maxwindows %d keep %d", cfg.MaxWindows, cfg.Keep)
+	}
+	cfg = CollectorConfig{Interval: 10 * time.Second, Window: time.Minute}.withDefaults()
+	if cfg.Window != 5*time.Second {
+		t.Errorf("window %v not clamped below interval", cfg.Window)
+	}
+}

@@ -1,0 +1,365 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// A minimal decoder for the pprof profile.proto wire format — just the
+// fields the collector and tests need: sample types, sample values,
+// per-sample string labels, and the profile duration. Locations,
+// mappings, and functions are skipped, so parsing a multi-second CPU
+// window costs little more than a pass over the bytes. Dependency-free
+// by the repo's ground rules: no protobuf runtime, no
+// github.com/google/pprof.
+
+// ProfileValueType is one sample-value dimension (e.g. cpu/nanoseconds).
+type ProfileValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// ProfileSample is one decoded sample: its values (parallel to the
+// profile's SampleTypes) and its string labels (stage, shard, episode).
+type ProfileSample struct {
+	Values []int64
+	Labels map[string]string
+}
+
+// Profile is the decoded subset of a pprof profile.
+type Profile struct {
+	SampleTypes   []ProfileValueType
+	Samples       []ProfileSample
+	DurationNanos int64
+}
+
+// ValueIndex returns the index of the sample-value dimension with the
+// given unit (e.g. "nanoseconds"), or -1. When several match (mutex and
+// block profiles have count + nanoseconds), the last wins — matching
+// pprof's convention of putting the primary dimension last.
+func (p *Profile) ValueIndex(unit string) int {
+	idx := -1
+	for i, st := range p.SampleTypes {
+		if st.Unit == unit {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// SumByLabel sums the vi-th sample value grouped by the given label key.
+// Samples missing the label are summed under "". The second return is
+// the grand total across all samples.
+func (p *Profile) SumByLabel(key string, vi int) (map[string]int64, int64) {
+	out := make(map[string]int64)
+	var total int64
+	if vi < 0 {
+		return out, 0
+	}
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		if vi >= len(s.Values) {
+			continue
+		}
+		v := s.Values[vi]
+		out[s.Labels[key]] += v
+		total += v
+	}
+	return out, total
+}
+
+// ParseProfile decodes a pprof profile (gzipped or raw proto bytes).
+func ParseProfile(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		data = raw
+	}
+	return parseProfileProto(data)
+}
+
+// Raw intermediate forms: string-table indexes are resolved after the
+// whole message (table included) has been walked, since the table may
+// appear after its first use.
+type rawValueType struct{ typ, unit int64 }
+
+type rawLabel struct{ key, str int64 }
+
+type rawSample struct {
+	values []int64
+	labels []rawLabel
+}
+
+var errTruncated = errors.New("prof: truncated profile proto")
+
+func parseProfileProto(data []byte) (*Profile, error) {
+	var (
+		strings     []string
+		sampleTypes []rawValueType
+		samples     []rawSample
+		duration    int64
+	)
+	b := protoBuf{data: data}
+	for !b.done() {
+		field, wire, err := b.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case field == 1 && wire == 2: // sample_type
+			msg, err := b.bytes()
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case field == 2 && wire == 2: // sample
+			msg, err := b.bytes()
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseSample(msg)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		case field == 6 && wire == 2: // string_table
+			msg, err := b.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strings = append(strings, string(msg))
+		case field == 10 && wire == 0: // duration_nanos
+			v, err := b.varint()
+			if err != nil {
+				return nil, err
+			}
+			duration = int64(v)
+		default:
+			if err := b.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i int64) string {
+		if i > 0 && i < int64(len(strings)) {
+			return strings[i]
+		}
+		return ""
+	}
+	p := &Profile{DurationNanos: duration}
+	for _, vt := range sampleTypes {
+		p.SampleTypes = append(p.SampleTypes, ProfileValueType{
+			Type: str(vt.typ), Unit: str(vt.unit),
+		})
+	}
+	for _, rs := range samples {
+		s := ProfileSample{Values: rs.values}
+		if len(rs.labels) > 0 {
+			s.Labels = make(map[string]string, len(rs.labels))
+			for _, l := range rs.labels {
+				if k := str(l.key); k != "" {
+					s.Labels[k] = str(l.str)
+				}
+			}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}
+
+func parseValueType(data []byte) (rawValueType, error) {
+	var vt rawValueType
+	b := protoBuf{data: data}
+	for !b.done() {
+		field, wire, err := b.tag()
+		if err != nil {
+			return vt, err
+		}
+		switch {
+		case field == 1 && wire == 0:
+			v, err := b.varint()
+			if err != nil {
+				return vt, err
+			}
+			vt.typ = int64(v)
+		case field == 2 && wire == 0:
+			v, err := b.varint()
+			if err != nil {
+				return vt, err
+			}
+			vt.unit = int64(v)
+		default:
+			if err := b.skip(wire); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(data []byte) (rawSample, error) {
+	var s rawSample
+	b := protoBuf{data: data}
+	for !b.done() {
+		field, wire, err := b.tag()
+		if err != nil {
+			return s, err
+		}
+		switch {
+		case field == 2 && wire == 2: // packed value
+			msg, err := b.bytes()
+			if err != nil {
+				return s, err
+			}
+			pb := protoBuf{data: msg}
+			for !pb.done() {
+				v, err := pb.varint()
+				if err != nil {
+					return s, err
+				}
+				s.values = append(s.values, int64(v))
+			}
+		case field == 2 && wire == 0: // unpacked value
+			v, err := b.varint()
+			if err != nil {
+				return s, err
+			}
+			s.values = append(s.values, int64(v))
+		case field == 3 && wire == 2: // label
+			msg, err := b.bytes()
+			if err != nil {
+				return s, err
+			}
+			l, err := parseLabel(msg)
+			if err != nil {
+				return s, err
+			}
+			if l.str != 0 { // string labels only; numeric labels skipped
+				s.labels = append(s.labels, l)
+			}
+		default:
+			if err := b.skip(wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func parseLabel(data []byte) (rawLabel, error) {
+	var l rawLabel
+	b := protoBuf{data: data}
+	for !b.done() {
+		field, wire, err := b.tag()
+		if err != nil {
+			return l, err
+		}
+		switch {
+		case field == 1 && wire == 0:
+			v, err := b.varint()
+			if err != nil {
+				return l, err
+			}
+			l.key = int64(v)
+		case field == 2 && wire == 0:
+			v, err := b.varint()
+			if err != nil {
+				return l, err
+			}
+			l.str = int64(v)
+		default:
+			if err := b.skip(wire); err != nil {
+				return l, err
+			}
+		}
+	}
+	return l, nil
+}
+
+// protoBuf is a cursor over protobuf wire bytes.
+type protoBuf struct {
+	data []byte
+	pos  int
+}
+
+func (b *protoBuf) done() bool { return b.pos >= len(b.data) }
+
+func (b *protoBuf) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < 10; i++ {
+		if b.pos >= len(b.data) {
+			return 0, errTruncated
+		}
+		c := b.data[b.pos]
+		b.pos++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+	return 0, errors.New("prof: varint overflow")
+}
+
+// tag reads one field tag, returning field number and wire type.
+func (b *protoBuf) tag() (int, int, error) {
+	v, err := b.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+// bytes reads one length-delimited payload.
+func (b *protoBuf) bytes() ([]byte, error) {
+	n, err := b.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(b.data)-b.pos) {
+		return nil, errTruncated
+	}
+	out := b.data[b.pos : b.pos+int(n)]
+	b.pos += int(n)
+	return out, nil
+}
+
+func (b *protoBuf) skip(wire int) error {
+	switch wire {
+	case 0: // varint
+		_, err := b.varint()
+		return err
+	case 1: // fixed64
+		if b.pos+8 > len(b.data) {
+			return errTruncated
+		}
+		b.pos += 8
+		return nil
+	case 2: // length-delimited
+		_, err := b.bytes()
+		return err
+	case 5: // fixed32
+		if b.pos+4 > len(b.data) {
+			return errTruncated
+		}
+		b.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("prof: unsupported wire type %d", wire)
+	}
+}

@@ -36,6 +36,12 @@ const (
 	DefaultSlowBurn   = 6
 )
 
+// DefaultGCPauseTarget is the gc_pause rule's objective: the worst GC
+// stop-the-world pause between two ticks. Go's collector targets
+// sub-millisecond pauses, so sustained 50ms pauses mean severe heap
+// pressure — the regime where tick latency becomes GC-bound.
+const DefaultGCPauseTarget = 50 * time.Millisecond
+
 // Rule is one burn-rate alerting rule over a stored series.
 type Rule struct {
 	// Name identifies the rule; it becomes the third segment of the
@@ -113,6 +119,19 @@ func DefaultRules(tickP99 time.Duration) []Rule {
 			Help:   "The lifecycle journal must not evict unread events.",
 			Delta:  true,
 			Target: 0,
+		},
+		{
+			// The runtime sampler publishes the worst GC pause between
+			// ticks; sustained pauses past the objective mean the
+			// pipeline's latency budget is being spent in the collector,
+			// not the alert stream. The series is host-dependent and
+			// filtered out of deterministic replays, where a missing
+			// series never violates — replay burn-event logs are
+			// unaffected by this rule.
+			Name:   "gc_pause",
+			Metric: "skynet_runtime_gc_pause_max_seconds",
+			Help:   "Worst GC pause between ticks must stay under the runtime objective.",
+			Target: DefaultGCPauseTarget.Seconds(),
 		},
 		{
 			// Conservation must never go negative; tight windows make a

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"skynet/internal/flight"
+	"skynet/internal/prof"
 	"skynet/internal/span"
 	"skynet/internal/telemetry"
 )
@@ -168,15 +169,17 @@ func (s *Snapshotter) WithEvents(bus *EventBus) *Snapshotter {
 }
 
 // healthView is the /api/health JSON shape: the flight recorder's
-// verdict plus the HTTP-level status string.
+// verdict, the HTTP-level status string, and the Go-runtime panel
+// (goroutines, heap, last GC pause) so a single probe feeds a dashboard.
 type healthView struct {
 	Status string `json:"status"` // "ok" | "degraded"
 	flight.Health
+	Runtime prof.RuntimeStats `json:"runtime"`
 }
 
 func (s *Snapshotter) healthHandler(w http.ResponseWriter, r *http.Request) {
 	h := s.flight.Health()
-	view := healthView{Status: "ok", Health: h}
+	view := healthView{Status: "ok", Health: h, Runtime: prof.ReadRuntimeStats()}
 	code := http.StatusOK
 	if !h.OK {
 		view.Status = "degraded"

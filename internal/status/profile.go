@@ -1,0 +1,41 @@
+package status
+
+import (
+	"net/http"
+
+	"skynet/internal/prof"
+)
+
+// WithProfiler mounts GET /api/profile serving the continuous profiler's
+// state: the retained window list and the most recent per-stage CPU
+// table. The collector is internally synchronized; the handler never
+// takes the engine lock.
+func (s *Snapshotter) WithProfiler(c *prof.Collector) *Snapshotter {
+	s.profiler = c
+	return s
+}
+
+// profileView is the /api/profile JSON shape.
+type profileView struct {
+	// Windows is the retained capture history, oldest first.
+	Windows []prof.ProfileWindow `json:"windows"`
+	// Stages is the most recent window's per-stage CPU table, highest
+	// CPU first.
+	Stages []prof.StageCPUSample `json:"stages,omitempty"`
+	// Captures / Errors count clean and failed windows over the
+	// collector's lifetime.
+	Captures int64 `json:"captures"`
+	Errors   int64 `json:"errors"`
+}
+
+func (s *Snapshotter) profileHandler(w http.ResponseWriter, r *http.Request) {
+	view := profileView{Windows: s.profiler.Windows()}
+	view.Captures, view.Errors = s.profiler.Counts()
+	for i := len(view.Windows) - 1; i >= 0; i-- {
+		if view.Windows[i].Err == "" {
+			view.Stages = view.Windows[i].Stages
+			break
+		}
+	}
+	writeJSON(w, view)
+}

@@ -37,6 +37,8 @@
 //	                        (WithHistory)
 //	GET /api/slo            burn-rate rule status and recent burn events
 //	                        (WithSLO)
+//	GET /api/profile        continuous-profiler window list + per-stage
+//	                        CPU table (WithProfiler)
 //	GET /metrics            Prometheus text exposition (WithTelemetry)
 //	GET /debug/pprof/...    runtime profiles (WithPprof)
 package status
@@ -62,6 +64,7 @@ import (
 	"skynet/internal/incident"
 	"skynet/internal/ingest"
 	"skynet/internal/llmctx"
+	"skynet/internal/prof"
 	"skynet/internal/provenance"
 	"skynet/internal/slo"
 	"skynet/internal/span"
@@ -75,21 +78,22 @@ import (
 // dispatch loop owns the engine; the HTTP handlers must go through the
 // same lock.
 type Snapshotter struct {
-	mu      *sync.Mutex
-	engine  *core.Engine
-	ingest  *ingest.Server       // optional
-	topo    *topology.Topology   // optional, enables graph rendering
-	reg     *telemetry.Registry  // optional, enables GET /metrics
-	journal *telemetry.Journal   // optional, enables GET /api/journal
-	prov    *provenance.Recorder // optional, enables .../explain
-	build   *BuildInfo           // optional, enables GET /api/buildinfo
-	pprof   bool                 // mounts /debug/pprof
-	flight  *flight.Recorder     // optional, enables GET /api/health
-	tracer  *span.Tracer         // optional, enables GET /api/trace
-	events  *EventBus            // optional, enables GET /api/events
-	flood   *flood.Recorder      // optional, enables GET /api/floods
-	history *tsdb.DB             // optional, enables GET /api/query
-	slo     *slo.Engine          // optional, enables GET /api/slo
+	mu       *sync.Mutex
+	engine   *core.Engine
+	ingest   *ingest.Server       // optional
+	topo     *topology.Topology   // optional, enables graph rendering
+	reg      *telemetry.Registry  // optional, enables GET /metrics
+	journal  *telemetry.Journal   // optional, enables GET /api/journal
+	prov     *provenance.Recorder // optional, enables .../explain
+	build    *BuildInfo           // optional, enables GET /api/buildinfo
+	pprof    bool                 // mounts /debug/pprof
+	flight   *flight.Recorder     // optional, enables GET /api/health
+	tracer   *span.Tracer         // optional, enables GET /api/trace
+	events   *EventBus            // optional, enables GET /api/events
+	flood    *flood.Recorder      // optional, enables GET /api/floods
+	history  *tsdb.DB             // optional, enables GET /api/query
+	slo      *slo.Engine          // optional, enables GET /api/slo
+	profiler *prof.Collector      // optional, enables GET /api/profile
 }
 
 // BuildInfo is the /api/buildinfo JSON shape: enough to identify a fleet
@@ -290,6 +294,9 @@ func (s *Snapshotter) Handler() http.Handler {
 	}
 	if s.slo != nil {
 		mux.HandleFunc("/api/slo", s.sloHandler)
+	}
+	if s.profiler != nil {
+		mux.HandleFunc("/api/profile", s.profileHandler)
 	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -52,11 +52,15 @@ func sloEventLog(events []slo.Event) string {
 
 // TestReplayHistoryDeterministic is the tentpole's bit-identity property
 // test: one generated multi-scenario trace replayed at workers
-// {1, 2, 4, 8} with the sampler, the burn-rate engine, and the
-// self-monitoring loop all on (under a deterministic breach latency
-// model) must produce byte-identical history snapshots, identical SLO
-// burn-event sequences, and identical incident populations — and the
-// compressed history must stay under the 8 MiB residency budget.
+// {1, 2, 4, 8} with the sampler, the burn-rate engine, the
+// self-monitoring loop, the pprof stage labeler, AND the runtime/metrics
+// sampler all on (under a deterministic breach latency model) must
+// produce byte-identical history snapshots, identical SLO burn-event
+// sequences, and identical incident populations — and the compressed
+// history must stay under the 8 MiB residency budget. The profiler and
+// runtime sampler are deliberately enabled here: labels must never
+// perturb pipeline output, and DeterministicFilter must keep the
+// host-dependent skynet_runtime_ series out of the snapshot.
 func TestReplayHistoryDeterministic(t *testing.T) {
 	gen := DefaultGenerateOptions()
 	gen.Scenarios = 4
@@ -77,6 +81,8 @@ func TestReplayHistoryDeterministic(t *testing.T) {
 			SLORules:         slo.DefaultRules(100 * time.Millisecond),
 			SelfMonitor:      true,
 			TickLatencyModel: breachModel(40),
+			Profile:          true,
+			RuntimeMetrics:   true,
 		})
 		if err != nil {
 			t.Fatal(err)

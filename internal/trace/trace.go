@@ -20,6 +20,7 @@ import (
 	"skynet/internal/monitors"
 	"skynet/internal/netsim"
 	"skynet/internal/preprocess"
+	"skynet/internal/prof"
 	"skynet/internal/provenance"
 	"skynet/internal/scenario"
 	"skynet/internal/slo"
@@ -183,6 +184,16 @@ type ReplayOptions struct {
 	// to the history store and SLO engine with a deterministic function
 	// of the tick index — the forced-breach hook for replay tests.
 	TickLatencyModel func(tick uint64) time.Duration
+	// Profile runs the replay under pprof stage labels (a prof.Labeler
+	// sized to the engine's widest fan-out). Labels only change what a
+	// concurrently captured profile attributes, never the pipeline's
+	// output — the bit-identity tests replay with this on.
+	Profile bool
+	// RuntimeMetrics attaches a runtime/metrics sampler (Telemetry
+	// required): skynet_runtime_ gauges refresh every tick. The series
+	// are host-dependent; tsdb.DeterministicFilter excludes them, so
+	// deterministic history snapshots are unaffected.
+	RuntimeMetrics bool
 }
 
 // Replay pushes a raw trace through a fresh engine, ticking at the given
@@ -212,6 +223,12 @@ func ReplayWithOptions(alerts []alert.Alert, topo *topology.Topology, engineCfg 
 	}
 	if opts.Flood != nil {
 		eng.EnableFlood(opts.Flood)
+	}
+	if opts.Profile {
+		eng.EnableProfiling(prof.NewLabeler(eng.MaxShards()))
+	}
+	if opts.RuntimeMetrics && opts.Telemetry != nil {
+		eng.EnableRuntimeMetrics(prof.NewRuntime(opts.Telemetry))
 	}
 	if opts.History != nil {
 		eng.EnableHistory(tsdb.NewSampler(opts.History, opts.Telemetry))

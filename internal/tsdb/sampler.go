@@ -98,6 +98,9 @@ func DeterministicFilter(name string) bool {
 	for _, prefix := range []string{
 		"skynet_replay_", "skynet_tsdb_", "skynet_flight_",
 		"skynet_preprocess_shard_", "skynet_locator_shard_",
+		// Continuous-profiler and Go-runtime series measure the host
+		// machine (CPU samples, GC, scheduler), never the alert stream.
+		"skynet_prof_", "skynet_runtime_",
 	} {
 		if strings.HasPrefix(name, prefix) {
 			return false
