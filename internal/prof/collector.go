@@ -9,6 +9,7 @@ import (
 	"runtime/pprof"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skynet/internal/telemetry"
@@ -35,9 +36,11 @@ type Collector struct {
 	errorsCtr   *telemetry.Counter
 	windowCPU   *telemetry.Gauge
 
-	stopOnce sync.Once
-	stop     chan struct{}
-	done     chan struct{}
+	startOnce sync.Once
+	started   atomic.Bool
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
 
 	mu        sync.Mutex
 	windows   []ProfileWindow // oldest first, bounded by cfg.Keep
@@ -150,15 +153,22 @@ func NewCollector(cfg CollectorConfig) *Collector {
 const otherStage = "other"
 
 // Start launches the capture loop: one window immediately, then one per
-// Interval.
+// Interval. Repeated calls are no-ops.
 func (c *Collector) Start() {
-	go c.run()
+	c.startOnce.Do(func() {
+		c.started.Store(true)
+		go c.run()
+	})
 }
 
-// Stop halts the loop and waits for an in-flight window to finish.
+// Stop halts the loop and waits for an in-flight window to finish. Safe
+// on a never-started collector: there is no run goroutine to drain, so
+// it returns immediately instead of blocking on done.
 func (c *Collector) Stop() {
 	c.stopOnce.Do(func() { close(c.stop) })
-	<-c.done
+	if c.started.Load() {
+		<-c.done
+	}
 }
 
 func (c *Collector) run() {
@@ -183,6 +193,13 @@ func (c *Collector) run() {
 // background loop calls it on its cadence.
 func (c *Collector) CaptureWindow() ProfileWindow {
 	w := ProfileWindow{Start: time.Now().UTC()}
+
+	// Claim the sequence number up front so failed windows are uniquely
+	// numbered too — /api/profile consumers key on Seq.
+	c.mu.Lock()
+	w.Seq = c.seq
+	c.seq++
+	c.mu.Unlock()
 
 	var cpuBuf bytes.Buffer
 	if err := pprof.StartCPUProfile(&cpuBuf); err != nil {
@@ -209,8 +226,6 @@ func (c *Collector) CaptureWindow() ProfileWindow {
 	blockBytes, blockTotals := lookupProfile("block")
 
 	c.mu.Lock()
-	w.Seq = c.seq
-	c.seq++
 	w.MutexDelayNanos = mutexTotals.delayNanos - c.prevMutex.delayNanos
 	w.BlockDelayNanos = blockTotals.delayNanos - c.prevBlock.delayNanos
 	if w.MutexDelayNanos < 0 {

@@ -134,6 +134,28 @@ func TestCollectorCompetingProfile(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(out, "cpu.pprof")); !os.IsNotExist(err) {
 		t.Error("WriteLatest wrote a cpu.pprof with no captured window")
 	}
+
+	// Failed windows still claim unique sequence numbers — /api/profile
+	// consumers key on Seq.
+	if w2 := c.CaptureWindow(); w2.Seq != w.Seq+1 {
+		t.Errorf("second failed window Seq = %d, want %d", w2.Seq, w.Seq+1)
+	}
+}
+
+// TestCollectorStopWithoutStart pins that Stop on a never-started
+// collector returns instead of blocking on the absent run goroutine.
+func TestCollectorStopWithoutStart(t *testing.T) {
+	c := NewCollector(CollectorConfig{})
+	stopped := make(chan struct{})
+	go func() {
+		c.Stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop() on a never-started collector blocked")
+	}
 }
 
 // TestCollectorStartStop exercises the background loop: Start captures a

@@ -164,40 +164,46 @@ func bucketUpper(h *metrics.Float64Histogram, i int) float64 {
 
 // histDeltaMax returns the upper edge of the highest bucket that gained
 // counts since prev (0 when none did), plus the new cumulative counts to
-// carry forward.
+// carry forward. The deltas are computed before snapshotCounts runs:
+// snapshotCounts reuses prev's backing array, so reading prev afterwards
+// would compare the histogram against itself.
 func histDeltaMax(h *metrics.Float64Histogram, prev []uint64) (float64, []uint64) {
-	next := snapshotCounts(h, prev)
+	max := 0.0
 	for i := len(h.Counts) - 1; i >= 0; i-- {
 		if delta(h.Counts[i], prev, i) > 0 {
-			return bucketUpper(h, i), next
+			max = bucketUpper(h, i)
+			break
 		}
 	}
-	return 0, next
+	return max, snapshotCounts(h, prev)
 }
 
 // histDeltaQuantile returns quantile q of the events added since prev
-// (0 when no events were added), plus the new cumulative counts.
+// (0 when no events were added), plus the new cumulative counts. Like
+// histDeltaMax, it must finish reading prev before snapshotCounts
+// overwrites it in place.
 func histDeltaQuantile(h *metrics.Float64Histogram, prev []uint64, q float64) (float64, []uint64) {
-	next := snapshotCounts(h, prev)
 	var total uint64
 	for i := range h.Counts {
 		total += delta(h.Counts[i], prev, i)
 	}
 	if total == 0 {
-		return 0, next
+		return 0, snapshotCounts(h, prev)
 	}
 	rank := uint64(math.Ceil(q * float64(total)))
 	if rank < 1 {
 		rank = 1
 	}
+	val := bucketUpper(h, len(h.Counts)-1)
 	var cum uint64
 	for i := range h.Counts {
 		cum += delta(h.Counts[i], prev, i)
 		if cum >= rank {
-			return bucketUpper(h, i), next
+			val = bucketUpper(h, i)
+			break
 		}
 	}
-	return bucketUpper(h, len(h.Counts)-1), next
+	return val, snapshotCounts(h, prev)
 }
 
 func delta(cur uint64, prev []uint64, i int) uint64 {

@@ -1,7 +1,9 @@
 package prof
 
 import (
+	"math"
 	"runtime"
+	"runtime/metrics"
 	"strings"
 	"testing"
 
@@ -58,6 +60,64 @@ func TestRuntimeRefreshIdempotent(t *testing.T) {
 	}
 	runtime.GC()
 	r.Refresh()
+}
+
+// TestHistDeltaAfterBaseline pins the delta computation against the
+// in-place prev reuse: snapshotCounts hands back prev's own backing
+// array, so a second call must still see the events added since the
+// first — not compare the histogram against itself and report 0.
+func TestHistDeltaAfterBaseline(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{3, 1, 0},
+		Buckets: []float64{0, 0.001, 0.01, math.Inf(1)},
+	}
+
+	// Establish a baseline; prev now aliases the returned slice.
+	_, prev := histDeltaMax(h, nil)
+	_, prev = histDeltaMax(h, prev)
+
+	// Inject 10 new events into the middle bucket (upper edge 0.01).
+	h.Counts[1] += 10
+	max, prev := histDeltaMax(h, prev)
+	if max != 0.01 {
+		t.Errorf("histDeltaMax after injecting events = %v, want 0.01", max)
+	}
+	// Quiet interval: no new events, delta collapses back to 0.
+	if max, prev = histDeltaMax(h, prev); max != 0 {
+		t.Errorf("histDeltaMax with no new events = %v, want 0", max)
+	}
+
+	// Same aliasing hazard on the quantile path.
+	h.Counts[0] += 99
+	h.Counts[2] += 1
+	p99, prev := histDeltaQuantile(h, prev, 0.99)
+	if p99 != 0.001 {
+		t.Errorf("histDeltaQuantile(0.99) = %v, want 0.001 (99 of 100 events in bucket 0)", p99)
+	}
+	if p100, _ := histDeltaQuantile(h, prev, 0.99); p100 != 0 {
+		t.Errorf("histDeltaQuantile with no new events = %v, want 0", p100)
+	}
+}
+
+// TestRuntimeGCPauseDelta drives the full Refresh path: a forced GC
+// between two refreshes must surface a nonzero pause on the second one
+// (the tick where the aliased-baseline bug zeroed every delta).
+func TestRuntimeGCPauseDelta(t *testing.T) {
+	reg := telemetry.New()
+	r := NewRuntime(reg)
+	r.Refresh() // quiet tick so prevPause has been through the reuse path
+	runtime.GC()
+	r.Refresh()
+
+	for _, h := range reg.Handles() {
+		if h.Name == "skynet_runtime_gc_pause_max_seconds" {
+			if v := h.Read(); v <= 0 {
+				t.Errorf("gc pause max after forced GC = %v, want > 0", v)
+			}
+			return
+		}
+	}
+	t.Fatal("skynet_runtime_gc_pause_max_seconds not registered")
 }
 
 // TestRuntimeNilSafe pins the optional-observer contract for the engine
