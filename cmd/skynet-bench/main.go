@@ -64,6 +64,22 @@ func main() {
 			"runtime mutex-contention sampling rate, as in skynetd (0 = off); for measuring its overhead")
 		blockRate = flag.Int("block-rate", 0,
 			"runtime blocking-event sampling threshold in ns, as in skynetd (0 = off); for measuring its overhead")
+		fanoutBench = flag.Bool("fanout", false,
+			"run the fan-out serving benchmark (in-process hub swarm, or an SSE swarm with -fanout-sse), then exit")
+		fanoutSubs = flag.Int("fanout-subs", 100000,
+			"with -fanout: concurrent subscribers")
+		fanoutTicks = flag.Int("fanout-ticks", 30,
+			"with -fanout: flood ticks to publish (in-process), or seconds to stream (SSE mode)")
+		fanoutAlerts = flag.Int("fanout-alerts", 10000,
+			"with -fanout: alerts ingested per tick — one tick per simulated second, so also the alerts/sec flood rate")
+		fanoutSSE = flag.String("fanout-sse", "",
+			"with -fanout: swarm this running skynetd's /api/events over HTTP instead of an in-process hub")
+		fanoutJSON = flag.String("fanout-json", "",
+			`with -fanout: write the latency-histogram artifact ("-" for stdout, else a file)`)
+		fanoutP99 = flag.Duration("fanout-p99", 50*time.Millisecond,
+			"with -fanout: fail when p99 publish→subscriber-write latency exceeds this")
+		fanoutNoInterference = flag.Bool("fanout-no-interference", false,
+			"with -fanout: skip the interleaved engine_tick interference measurement (in-process mode)")
 	)
 	flag.Parse()
 
@@ -90,6 +106,14 @@ func main() {
 	if *jsonOut != "" {
 		if err := runMicrobench(*jsonOut, flag.Args(), *spans, *compare, *tolerance, *memTolerance,
 			*cpuProfile, *memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fanoutBench {
+		if err := runFanoutBench(*fanoutSubs, *fanoutTicks, *fanoutAlerts,
+			*fanoutSSE, *fanoutJSON, *fanoutP99, *fanoutNoInterference); err != nil {
 			fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -12,9 +12,10 @@
 //	skynet-top -once                 # render one snapshot and exit (CI)
 //
 // Data sources: /api/query (sparkline series), /api/slo, /api/floods,
-// /api/profile, /api/health, and the /api/events SSE stream (live mode).
-// Endpoints that are disabled on the daemon render as "(unavailable)"
-// panels rather than failing the whole dashboard.
+// /api/profile, /api/health, /api/fanout (serving-layer stats), and the
+// /api/events SSE stream (live mode, resumed with Last-Event-ID across
+// reconnects). Endpoints that are disabled on the daemon render as
+// "(unavailable)" panels rather than failing the whole dashboard.
 package main
 
 import (
@@ -138,9 +139,24 @@ type profileView struct {
 	Errors   int64                 `json:"errors"`
 }
 
+// fanoutView mirrors /api/fanout — the serving hub's accounting.
+type fanoutView struct {
+	Subscribers    int64             `json:"subscribers"`
+	RingSize       int               `json:"ring_size"`
+	HeadSeq        uint64            `json:"head_seq"`
+	Published      uint64            `json:"published_total"`
+	Ticks          uint64            `json:"ticks_total"`
+	Resyncs        uint64            `json:"resyncs_total"`
+	Coalesced      uint64            `json:"deltas_coalesced_total"`
+	Evictions      uint64            `json:"evictions_total"`
+	DroppedTotal   uint64            `json:"dropped_total"`
+	Dropped        map[string]uint64 `json:"dropped_by_kind"`
+	QueueHighWater uint64            `json:"queue_depth_high_water"`
+}
+
 // Panel-failure bitmask: render exits nonzero in -once mode only when
 // every data source failed.
-const allPanels = (1 << 5) - 1
+const allPanels = (1 << 6) - 1
 
 // render fetches every panel's data and assembles one frame.
 func render(c *client, events *eventTail, width int, span uint64) (string, int) {
@@ -150,6 +166,7 @@ func render(c *client, events *eventTail, width int, span uint64) (string, int) 
 		sloV   sloView
 		floods []floodSummary
 		profV  profileView
+		fanV   fanoutView
 	)
 	if err := c.getJSON("/api/health", &health); err != nil {
 		errs |= 1
@@ -163,6 +180,10 @@ func render(c *client, events *eventTail, width int, span uint64) (string, int) 
 	}
 	if err := c.getJSON("/api/profile", &profV); err != nil {
 		errs |= 8
+	}
+	fanOK := c.getJSON("/api/fanout", &fanV) == nil
+	if !fanOK {
+		errs |= 32
 	}
 
 	var b strings.Builder
@@ -180,8 +201,23 @@ func render(c *client, events *eventTail, width int, span uint64) (string, int) 
 	renderSLO(&b, sloV)
 	renderRuntime(&b, health)
 	renderStages(&b, profV, width)
+	renderFanout(&b, fanV, fanOK)
 	renderEvents(&b, events)
 	return b.String(), errs
+}
+
+// renderFanout prints the serving-layer panel from /api/fanout: how many
+// consumers the snapshot+delta hub is carrying and how hard it is
+// working to keep laggards alive (coalesced deltas, resyncs, evictions).
+func renderFanout(b *strings.Builder, v fanoutView, ok bool) {
+	if !ok {
+		b.WriteString("FANOUT    (unavailable)\n\n")
+		return
+	}
+	fmt.Fprintf(b, "FANOUT    %d subscribers  ring %d @ seq %d  %d frames (%d ticks)\n",
+		v.Subscribers, v.RingSize, v.HeadSeq, v.Published, v.Ticks)
+	fmt.Fprintf(b, "          coalesced %d  resyncs %d  evictions %d  dropped %d  queue hw %d\n\n",
+		v.Coalesced, v.Resyncs, v.Evictions, v.DroppedTotal, v.QueueHighWater)
 }
 
 // renderFlood prints the FLOOD banner: the open episode if any, else the
@@ -324,11 +360,15 @@ func renderEvents(b *strings.Builder, events *eventTail) {
 }
 
 // eventTail follows the /api/events SSE stream, keeping the last N
-// event lines for the dashboard's footer.
+// event lines for the dashboard's footer. The last SSE id seen is
+// echoed back as Last-Event-ID on reconnect, so a dropped connection
+// resumes mid-stream (resynced from the snapshot if it fell too far
+// behind) instead of replaying the feed from scratch.
 type eventTail struct {
-	mu    sync.Mutex
-	lines []string
-	keep  int
+	mu     sync.Mutex
+	lines  []string
+	keep   int
+	lastID string
 }
 
 func newEventTail(keep int) *eventTail { return &eventTail{keep: keep} }
@@ -360,7 +400,18 @@ func (t *eventTail) follow(c *client) {
 }
 
 func (t *eventTail) followOnce(c *client) {
-	resp, err := http.Get(c.base + "/api/events")
+	req, err := http.NewRequest(http.MethodGet, c.base+"/api/events", nil)
+	if err != nil {
+		return
+	}
+	t.mu.Lock()
+	if t.lastID != "" {
+		req.Header.Set("Last-Event-ID", t.lastID)
+	}
+	t.mu.Unlock()
+	// Streaming must bypass c.hc's 5s request timeout: the SSE
+	// connection is long-lived by design.
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil || resp.StatusCode != http.StatusOK {
 		if resp != nil {
 			resp.Body.Close()
@@ -374,6 +425,10 @@ func (t *eventTail) followOnce(c *client) {
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
+		case strings.HasPrefix(line, "id: "):
+			t.mu.Lock()
+			t.lastID = strings.TrimPrefix(line, "id: ")
+			t.mu.Unlock()
 		case strings.HasPrefix(line, "event: "):
 			event = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):

@@ -27,6 +27,7 @@ import (
 
 	"skynet/internal/alert"
 	"skynet/internal/core"
+	"skynet/internal/fanout"
 	"skynet/internal/flight"
 	"skynet/internal/flood"
 	"skynet/internal/ingest"
@@ -81,6 +82,10 @@ func main() {
 			"continuous-profiler CPU capture length per window")
 		profileMaxWindows = flag.Int("profile-max-windows", 16,
 			"max profile window directories kept on disk; oldest are deleted past the cap")
+		fanoutRing = flag.Int("fanout-ring", 1024,
+			"fan-out ring capacity in frames (rounded up to a power of two); lagging subscribers past ring+slack are resynced from the snapshot")
+		fanoutRate = flag.Float64("fanout-rate", 0,
+			"per-subscriber event deliveries per second on /api/events (0 = unlimited; backlog coalesces, never queues)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -180,12 +185,20 @@ func main() {
 	profiler.Start()
 	defer profiler.Stop()
 
-	// Live event stream: incident lifecycle transitions and anomalies on
-	// GET /api/events.
-	bus := status.NewEventBus()
-	defer bus.Close()
-	bus.RegisterMetrics(reg)
-	journal.SetNotify(func(ev telemetry.Event) { bus.Publish(status.EventTypeIncident, ev) })
+	// Fan-out serving layer: every tick the engine publishes one encoded
+	// incident-feed snapshot plus delta into the hub's shared ring, and
+	// GET /api/events serves frames by reference — subscriber count never
+	// touches the tick path. Event chatter (journal, flood, flight, SLO)
+	// rides the same ring with SSE ids for Last-Event-ID resume.
+	hub := fanout.NewHub(fanout.Config{
+		Ring:      *fanoutRing,
+		Rate:      *fanoutRate,
+		WallStamp: true,
+	})
+	defer hub.Close()
+	hub.RegisterMetrics(reg)
+	engine.EnableFanout(hub)
+	journal.SetNotify(func(ev telemetry.Event) { hub.Publish(status.EventTypeIncident, ev) })
 
 	// Provenance: lineage conservation counters on /metrics and the
 	// per-incident explain endpoint.
@@ -208,7 +221,7 @@ func main() {
 		"skynet_active_incidents",
 		"skynet_preprocess_pending_depth"))
 	floodRec.SetNotify(func(ev flood.Event) {
-		bus.Publish(status.EventTypeFlood, ev)
+		hub.Publish(status.EventTypeFlood, ev)
 		log.Info("flood episode", "episode", ev.Episode, "phase", ev.Phase.String(), "detail", ev.Detail)
 		if ev.Phase == flood.PhaseClosed && *flightDir != "" {
 			if rep, ok := floodRec.Report(ev.Episode); ok {
@@ -285,11 +298,11 @@ func main() {
 	}, flightSrc)
 	flightRec.RegisterMetrics(reg)
 	flightRec.SetNotify(func(ev flight.Event) {
-		bus.Publish(status.EventTypeAnomaly, ev)
+		hub.Publish(status.EventTypeAnomaly, ev)
 		log.Warn("flight-recorder trigger", "trigger", ev.Trigger, "detail", ev.Detail, "dump", ev.DumpDir)
 	})
 	sloEng.SetNotify(func(ev slo.Event) {
-		bus.Publish(status.EventTypeSLO, ev)
+		hub.Publish(status.EventTypeSLO, ev)
 		log.Warn("slo burn event", "rule", ev.Rule, "firing", ev.Firing, "detail", ev.Detail)
 	})
 	if a := srv.TCPAddr(); a != nil {
@@ -317,7 +330,7 @@ func main() {
 			WithPprof(*pprofOn).
 			WithFlight(flightRec).
 			WithTracer(tracer).
-			WithEvents(bus).
+			WithEvents(hub).
 			WithFlood(floodRec).
 			WithHistory(db).
 			WithSLO(sloEng).
@@ -366,10 +379,10 @@ func main() {
 			}
 		case sig := <-stop:
 			log.Info("shutting down", "signal", sig.String())
-			// Close the event bus first so every SSE subscriber's channel
-			// closes and /api/events handlers return before the HTTP
-			// server's deferred graceful shutdown runs.
-			bus.Close()
+			// Close the fan-out hub first so every SSE subscriber wakes
+			// with ErrClosed and /api/events handlers return before the
+			// HTTP server's deferred graceful shutdown runs.
+			hub.Close()
 			// Flush the final telemetry-history snapshot: the whole run's
 			// tick-indexed series, the postmortem artifact CI uploads.
 			if path := finalSnapshotPath(*historySnap, *flightDir); path != "" {

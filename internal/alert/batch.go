@@ -135,6 +135,18 @@ func (b *Batch) AlertAt(i int, dst *Alert) {
 // the batch aliases the input buffer — line may be a reused socket
 // buffer, so every string column is materialized by the decode.
 func (b *Batch) AppendWire(line []byte) error {
+	return b.appendWire(line, nil)
+}
+
+// AppendWireScratch is AppendWire through the scratch's intern caches:
+// repeated type names, locations, and raw lines are decoded without
+// allocating. The interned strings are shared across rows and batches —
+// safe because batch consumers never mutate string columns in place.
+func (b *Batch) AppendWireScratch(line []byte, sc *WireScratch) error {
+	return b.appendWire(line, sc)
+}
+
+func (b *Batch) appendWire(line []byte, sc *WireScratch) error {
 	fields, err := splitWire(line)
 	if err != nil {
 		return err
@@ -147,19 +159,19 @@ func (b *Batch) AppendWire(line []byte) error {
 	if err != nil {
 		return fmt.Errorf("alert: wire end: %w", err)
 	}
-	src, err := ParseSource(string(fields[2]))
+	src, err := parseSourceBytes(fields[2])
 	if err != nil {
 		return err
 	}
-	class, err := ParseClass(string(fields[4]))
+	class, err := parseClassBytes(fields[4])
 	if err != nil {
 		return err
 	}
-	loc, err := parseWireLoc(string(fields[5]))
+	loc, err := wireLoc(fields[5], sc)
 	if err != nil {
 		return fmt.Errorf("alert: wire location: %w", err)
 	}
-	peer, err := parseWireLoc(string(fields[6]))
+	peer, err := wireLoc(fields[6], sc)
 	if err != nil {
 		return fmt.Errorf("alert: wire peer: %w", err)
 	}
@@ -174,14 +186,14 @@ func (b *Batch) AppendWire(line []byte) error {
 	b.Time = append(b.Time, unixNano(startNanos))
 	b.End = append(b.End, unixNano(endNanos))
 	b.Source = append(b.Source, src)
-	b.Type = append(b.Type, unescapeWire(string(fields[3])))
+	b.Type = append(b.Type, wireString(fields[3], sc))
 	b.Class = append(b.Class, class)
 	b.Location = append(b.Location, loc)
 	b.Peer = append(b.Peer, peer)
 	b.Value = append(b.Value, value)
 	b.Count = append(b.Count, count)
-	b.CircuitSet = append(b.CircuitSet, unescapeWire(string(fields[9])))
-	b.Raw = append(b.Raw, unescapeWire(string(fields[10])))
+	b.CircuitSet = append(b.CircuitSet, wireString(fields[9], sc))
+	b.Raw = append(b.Raw, wireString(fields[10], sc))
 	b.PID = append(b.PID, NoID)
 	b.TID = append(b.TID, NoID)
 	b.CS = append(b.CS, NoID)

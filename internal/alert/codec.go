@@ -174,7 +174,19 @@ func splitWire(line []byte) ([11][]byte, error) {
 }
 
 // ParseWire parses the compact pipe-delimited form produced by AppendWire.
+// Every string field is materialized fresh; decoders on a hot loop should
+// use WireScratch.ParseWire instead, which interns repeated values.
 func ParseWire(line []byte) (Alert, error) {
+	return parseWire(line, nil)
+}
+
+// ParseWire is ParseWire through the scratch's intern caches: decoding a
+// line whose string fields have all been seen before is allocation-free.
+func (sc *WireScratch) ParseWire(line []byte) (Alert, error) {
+	return parseWire(line, sc)
+}
+
+func parseWire(line []byte, sc *WireScratch) (Alert, error) {
 	fields, err := splitWire(line)
 	if err != nil {
 		return Alert{}, err
@@ -190,17 +202,17 @@ func ParseWire(line []byte) (Alert, error) {
 	}
 	a.Time = unixNano(startNanos)
 	a.End = unixNano(endNanos)
-	if a.Source, err = ParseSource(string(fields[2])); err != nil {
+	if a.Source, err = parseSourceBytes(fields[2]); err != nil {
 		return Alert{}, err
 	}
-	a.Type = unescapeWire(string(fields[3]))
-	if a.Class, err = ParseClass(string(fields[4])); err != nil {
+	a.Type = wireString(fields[3], sc)
+	if a.Class, err = parseClassBytes(fields[4]); err != nil {
 		return Alert{}, err
 	}
-	if a.Location, err = parseWireLoc(string(fields[5])); err != nil {
+	if a.Location, err = wireLoc(fields[5], sc); err != nil {
 		return Alert{}, fmt.Errorf("alert: wire location: %w", err)
 	}
-	if a.Peer, err = parseWireLoc(string(fields[6])); err != nil {
+	if a.Peer, err = wireLoc(fields[6], sc); err != nil {
 		return Alert{}, fmt.Errorf("alert: wire peer: %w", err)
 	}
 	if a.Value, err = parseFloat(fields[7]); err != nil {
@@ -211,7 +223,7 @@ func ParseWire(line []byte) (Alert, error) {
 		return Alert{}, fmt.Errorf("alert: wire count: %w", err)
 	}
 	a.Count = int(count)
-	a.CircuitSet = unescapeWire(string(fields[9]))
-	a.Raw = unescapeWire(string(fields[10]))
+	a.CircuitSet = wireString(fields[9], sc)
+	a.Raw = wireString(fields[10], sc)
 	return a, nil
 }

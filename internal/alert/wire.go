@@ -57,6 +57,102 @@ func escapeWire(s string) string {
 
 func unescapeWire(s string) string { return s }
 
+// parseSourceBytes is ParseSource without the string materialization:
+// the comparison against each known name is allocation-free, so a
+// decoder calling it in a hot loop costs nothing on the happy path.
+func parseSourceBytes(b []byte) (Source, error) {
+	for i, n := range sourceNames {
+		if string(b) == n && Source(i) != SourceUnknown {
+			return Source(i), nil
+		}
+	}
+	return SourceUnknown, fmt.Errorf("alert: unknown source %q", b)
+}
+
+// parseClassBytes is ParseClass without the string materialization.
+func parseClassBytes(b []byte) (Class, error) {
+	for i, n := range classNames {
+		if string(b) == n {
+			return Class(i), nil
+		}
+	}
+	return ClassInfo, fmt.Errorf("alert: unknown class %q", b)
+}
+
+// wireScratchMaxEntries caps each WireScratch cache; hostile or
+// unbounded-cardinality input resets a full cache instead of growing it
+// forever.
+const wireScratchMaxEntries = 1 << 16
+
+// WireScratch is a caller-owned decode cache for the compact wire
+// format. Alert streams are massively repetitive — the same few dozen
+// type names, locations, and (during a flood) even raw lines recur on
+// every datagram — so the scratch interns decoded strings and parsed
+// locations keyed by their wire bytes. A cache hit costs a map lookup
+// and zero allocations; only the first sighting of a value pays the
+// string materialization the reused socket buffer forces. Not safe for
+// concurrent use: each reader goroutine owns one.
+type WireScratch struct {
+	strs map[string]string
+	locs map[string]hierarchy.Path
+}
+
+// str returns the interned copy of b. The cache is keyed by the
+// unescaped value, which equals the raw bytes while unescapeWire is the
+// identity; if that ever changes, escaped inputs simply stop caching —
+// they never return a wrong value.
+func (sc *WireScratch) str(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if v, ok := sc.strs[string(b)]; ok {
+		return v
+	}
+	if sc.strs == nil || len(sc.strs) >= wireScratchMaxEntries {
+		sc.strs = make(map[string]string, 64)
+	}
+	v := unescapeWire(string(b))
+	sc.strs[v] = v
+	return v
+}
+
+// loc returns the parsed and cached location for wire field b.
+func (sc *WireScratch) loc(b []byte) (hierarchy.Path, error) {
+	if len(b) == 0 {
+		return hierarchy.Root(), nil
+	}
+	if p, ok := sc.locs[string(b)]; ok {
+		return p, nil
+	}
+	p, err := parseWireLoc(string(b))
+	if err != nil {
+		return p, err
+	}
+	if sc.locs == nil || len(sc.locs) >= wireScratchMaxEntries {
+		sc.locs = make(map[string]hierarchy.Path, 64)
+	}
+	sc.locs[string(b)] = p
+	return p, nil
+}
+
+// wireString materializes a free-text wire field, through the scratch
+// cache when one is supplied.
+func wireString(b []byte, sc *WireScratch) string {
+	if sc != nil {
+		return sc.str(b)
+	}
+	return unescapeWire(string(b))
+}
+
+// wireLoc parses a location wire field, through the scratch cache when
+// one is supplied.
+func wireLoc(b []byte, sc *WireScratch) (hierarchy.Path, error) {
+	if sc != nil {
+		return sc.loc(b)
+	}
+	return parseWireLoc(string(b))
+}
+
 func appendInt(dst []byte, v int64) []byte { return strconv.AppendInt(dst, v, 10) }
 
 func parseInt(b []byte) (int64, error) { return strconv.ParseInt(string(b), 10, 64) }

@@ -29,6 +29,7 @@ import (
 
 	"skynet/internal/alert"
 	"skynet/internal/evaluator"
+	"skynet/internal/fanout"
 	"skynet/internal/flood"
 	"skynet/internal/ftree"
 	"skynet/internal/hierarchy"
@@ -159,6 +160,14 @@ type Engine struct {
 	profL       *prof.Labeler
 	profEpisode uint64
 	rtm         *prof.Runtime
+
+	// Fan-out serving is optional; nil until EnableFanout. The tick's
+	// snapshot and delta documents are built directly into hub-pooled
+	// scratch (AcquireDelta/AcquireSnapshot) and ownership transfers on
+	// publish; only the seen set is engine-owned.
+	fan           *fanout.Hub
+	fanSeen       map[int]struct{}
+	fanClosedSeen int
 }
 
 // NewEngine assembles a pipeline. classifier may be nil (raw syslog is
@@ -382,6 +391,12 @@ func (e *Engine) Tick(now time.Time) TickResult {
 	// for the NEXT tick — nothing this tick already computed moves.
 	if e.hist != nil {
 		e.observeHistory(now, start)
+	}
+	// Fan-out publish is the true tail of the tick: one snapshot + one
+	// delta, encoded once, pushed into the serving hub's ring. Cost is
+	// independent of the subscriber count.
+	if e.fan != nil {
+		e.observeFanout(now, &res, active)
 	}
 	return res
 }

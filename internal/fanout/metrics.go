@@ -1,0 +1,42 @@
+package fanout
+
+import "skynet/internal/telemetry"
+
+// RegisterMetrics exposes the hub's accounting as skynet_fanout_*
+// series. The hub's own atomics stay the single source of truth; the
+// registry reads them at exposition time. Drops are a labeled family —
+// kind="flood" losses are distinguishable from kind="incident" journal
+// chatter, which the EventBus-era aggregate counter could not show.
+func (h *Hub) RegisterMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("skynet_fanout_subscribers",
+		"Current feed subscribers attached to the fan-out hub.",
+		func() float64 { return float64(h.subCount.Load()) })
+	reg.CounterFunc("skynet_fanout_frames_total",
+		"Frames published into the fan-out ring (deltas plus event chatter).",
+		func() float64 { return float64(h.published.Load()) })
+	reg.CounterFunc("skynet_fanout_ticks_total",
+		"Snapshot+delta tick publishes into the fan-out hub.",
+		func() float64 { return float64(h.ticks.Load()) })
+	reg.CounterFunc("skynet_fanout_resyncs_total",
+		"Subscribers resynced from a snapshot after falling off the ring.",
+		func() float64 { return float64(h.resyncs.Load()) })
+	reg.CounterFunc("skynet_fanout_deltas_coalesced_total",
+		"Delta frames folded into merged deltas for lagging subscribers.",
+		func() float64 { return float64(h.coalesced.Load()) })
+	reg.CounterFunc("skynet_fanout_evictions_total",
+		"Subscribers evicted for lagging beyond the ring plus the configured slack.",
+		func() float64 { return float64(h.evictions.Load()) })
+	reg.GaugeFunc("skynet_fanout_queue_depth_high_water",
+		"Worst per-subscriber backlog observed, in frames.",
+		func() float64 { return float64(h.queueHW.Load()) })
+	const dropHelp = "Frames skipped past subscribers during resyncs, by frame kind."
+	for k := Kind(0); k < numKinds; k++ {
+		c := &h.dropped[k]
+		reg.CounterFuncWith("skynet_fanout_dropped_total",
+			telemetry.Label("kind", kindNames[k]), dropHelp,
+			func() float64 { return float64(c.Load()) })
+	}
+	reg.CounterFuncWith("skynet_fanout_dropped_total",
+		telemetry.Label("kind", "unknown"), dropHelp,
+		func() float64 { return float64(h.droppedUnkn.Load()) })
+}

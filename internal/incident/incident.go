@@ -252,7 +252,11 @@ func (in *Incident) Locations() []hierarchy.Path {
 }
 
 // LocationCount returns the number of distinct alerting locations.
-func (in *Incident) LocationCount() int { return len(in.Locations()) }
+// O(1): idx is keyed by location and entries are never removed, so its
+// size is exactly the distinct-location count — no need to materialize
+// the sorted Locations view (which costs O(slab log slab) per revision,
+// far too much for per-tick surfaces like the fan-out delta).
+func (in *Incident) LocationCount() int { return len(in.idx) }
 
 // TypeCount returns the number of distinct (source, type) pairs of the
 // given class across the incident — the deduplicated counting unit of

@@ -499,10 +499,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// udpLoop reads one compact-format alert per datagram.
+// udpLoop reads one compact-format alert per datagram. The loop owns a
+// WireScratch (single goroutine, no locking) so repeated field values
+// across datagrams decode without allocating.
 func (s *Server) udpLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, alert.MaxLineBytes)
+	var sc alert.WireScratch
 	for {
 		n, _, err := s.udpPc.ReadFrom(buf)
 		if err != nil {
@@ -512,7 +515,7 @@ func (s *Server) udpLoop() {
 			s.log.Warn("ingest: udp read", "err", err)
 			continue
 		}
-		a, err := alert.ParseWire(trimNewline(buf[:n]))
+		a, err := sc.ParseWire(trimNewline(buf[:n]))
 		if err != nil {
 			s.reject(rejectUDPParse)
 			continue
@@ -532,6 +535,7 @@ func (s *Server) udpLoop() {
 func (s *Server) udpBatchLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, alert.MaxLineBytes)
+	var sc alert.WireScratch
 	b := s.pool.Get().(*alert.Batch)
 	b.Reset()
 	for {
@@ -556,7 +560,7 @@ func (s *Server) udpBatchLoop() {
 			s.log.Warn("ingest: udp read", "err", err)
 			continue
 		}
-		if err := b.AppendWire(trimNewline(buf[:n])); err != nil {
+		if err := b.AppendWireScratch(trimNewline(buf[:n]), &sc); err != nil {
 			s.reject(rejectUDPParse)
 			continue
 		}

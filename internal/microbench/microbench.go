@@ -14,6 +14,7 @@ import (
 	"skynet/internal/alert"
 	"skynet/internal/core"
 	"skynet/internal/experiments"
+	"skynet/internal/fanout"
 	"skynet/internal/flood"
 	"skynet/internal/hierarchy"
 	"skynet/internal/incident"
@@ -67,21 +68,24 @@ var suite = []struct {
 	Name  string
 	Bench func(b *testing.B)
 }{
-	{"engine_tick", func(b *testing.B) { benchEngineTick(b, nil, nil, nil, false, false) }},
+	{"engine_tick", func(b *testing.B) { benchEngineTick(b, nil, nil, nil, false, false, false) }},
 	{"engine_tick_provenance", func(b *testing.B) {
-		benchEngineTick(b, provenance.New(provenance.Config{}), nil, nil, false, false)
+		benchEngineTick(b, provenance.New(provenance.Config{}), nil, nil, false, false, false)
 	}},
 	{"engine_tick_spans", func(b *testing.B) {
-		benchEngineTick(b, nil, span.NewTracer(0), nil, false, false)
+		benchEngineTick(b, nil, span.NewTracer(0), nil, false, false, false)
 	}},
 	{"engine_tick_flood", func(b *testing.B) {
-		benchEngineTick(b, nil, nil, flood.New(flood.Config{}), false, false)
+		benchEngineTick(b, nil, nil, flood.New(flood.Config{}), false, false, false)
 	}},
 	{"engine_tick_history", func(b *testing.B) {
-		benchEngineTick(b, nil, nil, nil, true, false)
+		benchEngineTick(b, nil, nil, nil, true, false, false)
 	}},
 	{"engine_tick_profiled", func(b *testing.B) {
-		benchEngineTick(b, nil, nil, nil, false, true)
+		benchEngineTick(b, nil, nil, nil, false, true, false)
+	}},
+	{"engine_tick_fanout", func(b *testing.B) {
+		benchEngineTick(b, nil, nil, nil, false, false, true)
 	}},
 	{"preprocessor_stream", benchPreprocessorStream},
 	{"incident_entries", benchIncidentEntries},
@@ -90,6 +94,9 @@ var suite = []struct {
 	{"locator_steady_check", benchLocatorSteadyCheck},
 	{"ftree_classify", benchFTreeClassify},
 	{"wire_codec", benchWireCodec},
+	{"wire_codec_scratch", benchWireCodecScratch},
+	{"fanout_publish", benchFanoutPublish},
+	{"fanout_delta_encode", benchFanoutDeltaEncode},
 }
 
 // Names lists the available benchmark names in report order.
@@ -232,12 +239,12 @@ func appendMemRegression(out []string, name, metric string, base, cur int64, mem
 
 // benchEngineTick drives repeated ingest+tick rounds over a severe-failure
 // batch, optionally with the lineage recorder, span tracer, flood
-// detector, or the full telemetry-history stack (registry + per-tick
-// sampler + SLO burn-rate engine with self-monitoring on) or the
+// detector, the full telemetry-history stack (registry + per-tick
+// sampler + SLO burn-rate engine with self-monitoring on), the
 // continuous profiler's always-on parts (pprof stage labeler +
-// runtime/metrics sampler) attached — each pairing with the bare run
-// bounds that instrument's overhead per tick.
-func benchEngineTick(b *testing.B, rec *provenance.Recorder, tracer *span.Tracer, fl *flood.Recorder, history, profiled bool) {
+// runtime/metrics sampler), or the fan-out serving hub attached — each
+// pairing with the bare run bounds that instrument's overhead per tick.
+func benchEngineTick(b *testing.B, rec *provenance.Recorder, tracer *span.Tracer, fl *flood.Recorder, history, profiled, fan bool) {
 	topo := topology.MustGenerate(topology.SmallConfig())
 	alerts := experiments.SyntheticStructuredAlerts(topo, 2000, 1)
 	classifier, err := preprocess.BootstrapClassifier()
@@ -257,6 +264,11 @@ func benchEngineTick(b *testing.B, rec *provenance.Recorder, tracer *span.Tracer
 	if profiled {
 		eng.EnableProfiling(prof.NewLabeler(eng.MaxShards()))
 		eng.EnableRuntimeMetrics(prof.NewRuntime(telemetry.New()))
+	}
+	if fan {
+		hub := fanout.NewHub(fanout.Config{Ring: 1024})
+		defer hub.Close()
+		eng.EnableFanout(hub)
 	}
 	if history {
 		reg := telemetry.New()
@@ -417,6 +429,32 @@ func benchWireCodec(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		buf = alert.AppendWire(buf[:0], &a)
 		if _, err := alert.ParseWire(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWireCodecScratch is benchWireCodec through a WireScratch — the
+// steady-state ingest decode path, where every string field is a cache
+// hit and the round trip allocates nothing.
+func benchWireCodecScratch(b *testing.B) {
+	a := alert.Alert{
+		Source: alert.SourcePing, Type: alert.TypePacketLoss, Class: alert.ClassFailure,
+		Time: benchEpoch, End: benchEpoch.Add(time.Minute),
+		Location: hierarchy.MustNew("RG01", "CT01", "LS01", "ST01", "CL01", "dev-1"),
+		Value:    0.25, Count: 3, Raw: "Packet loss 25.0% to peer",
+	}
+	buf := make([]byte, 0, 256)
+	var sc alert.WireScratch
+	buf = alert.AppendWire(buf, &a)
+	if _, err := sc.ParseWire(buf); err != nil { // warm the caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = alert.AppendWire(buf[:0], &a)
+		if _, err := sc.ParseWire(buf); err != nil {
 			b.Fatal(err)
 		}
 	}

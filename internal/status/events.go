@@ -2,147 +2,36 @@ package status
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
-	"sync/atomic"
 
+	"skynet/internal/fanout"
 	"skynet/internal/flight"
 	"skynet/internal/prof"
 	"skynet/internal/span"
-	"skynet/internal/telemetry"
 )
 
-// Event stream types on GET /api/events.
+// Event stream types on GET /api/events. Wire-compatible with the
+// pre-fanout EventBus stream; frames now additionally carry SSE id
+// lines (ring sequence numbers), which old clients ignore and new
+// clients echo back as Last-Event-ID to resume.
 const (
 	// EventTypeIncident carries a telemetry.Event — an incident lifecycle
 	// transition (created, updated, zoomed, scored, closed).
-	EventTypeIncident = "incident"
+	EventTypeIncident = fanout.EventIncident
 	// EventTypeAnomaly carries a flight.Event — a flight-recorder trigger
 	// firing (tick_p99, ingest_shed, ...).
-	EventTypeAnomaly = "anomaly"
+	EventTypeAnomaly = fanout.EventAnomaly
+	// EventTypeSnapshot carries the full incident-feed state as of one
+	// tick — what a fresh or resyncing consumer renders from.
+	EventTypeSnapshot = fanout.EventSnapshot
+	// EventTypeDelta carries one tick's feed changes (possibly merged
+	// across several ticks for a lagging consumer).
+	EventTypeDelta = fanout.EventDelta
+	// EventTypeResync announces a drop-accounted gap: the consumer fell
+	// off the ring and continues from the accompanying snapshot.
+	EventTypeResync = fanout.EventResync
 )
-
-// subBuffer is each subscriber's channel depth. A consumer that falls
-// further behind than this loses events (counted, never blocking the
-// pipeline).
-const subBuffer = 64
-
-// busMsg is one pre-rendered SSE frame.
-type busMsg struct {
-	event string
-	data  []byte
-}
-
-// EventBus fans pipeline events out to SSE subscribers. Publishes are
-// non-blocking: a slow consumer's buffer overflowing drops the event for
-// that consumer only, accounted in Dropped. Safe for concurrent use;
-// Close is idempotent and Publish after Close is a no-op.
-type EventBus struct {
-	mu     sync.Mutex
-	subs   map[int]chan busMsg
-	nextID int
-	closed bool
-
-	published atomic.Int64
-	dropped   atomic.Int64
-}
-
-// NewEventBus creates an empty bus.
-func NewEventBus() *EventBus {
-	return &EventBus{subs: make(map[int]chan busMsg)}
-}
-
-// Subscribe registers a consumer and returns its id and receive channel.
-// The channel closes when the bus closes. Callers must Unsubscribe when
-// done.
-func (b *EventBus) Subscribe() (int, <-chan busMsg) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	ch := make(chan busMsg, subBuffer)
-	if b.closed {
-		close(ch)
-		return -1, ch
-	}
-	id := b.nextID
-	b.nextID++
-	b.subs[id] = ch
-	return id, ch
-}
-
-// Unsubscribe removes a consumer. Safe to call after Close or twice.
-func (b *EventBus) Unsubscribe(id int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if ch, ok := b.subs[id]; ok {
-		delete(b.subs, id)
-		close(ch)
-	}
-}
-
-// Publish renders v as one JSON SSE frame of the given event type and
-// offers it to every subscriber without blocking.
-func (b *EventBus) Publish(event string, v any) {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return
-	}
-	b.published.Add(1)
-	for _, ch := range b.subs {
-		select {
-		case ch <- busMsg{event: event, data: data}:
-		default:
-			b.dropped.Add(1)
-		}
-	}
-}
-
-// Close shuts the bus down: every subscriber's channel closes and later
-// Publish calls are dropped.
-func (b *EventBus) Close() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return
-	}
-	b.closed = true
-	for id, ch := range b.subs {
-		delete(b.subs, id)
-		close(ch)
-	}
-}
-
-// Subscribers reports the current consumer count.
-func (b *EventBus) Subscribers() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.subs)
-}
-
-// Published reports events offered to the bus over its lifetime.
-func (b *EventBus) Published() int64 { return b.published.Load() }
-
-// Dropped reports per-consumer deliveries lost to full buffers.
-func (b *EventBus) Dropped() int64 { return b.dropped.Load() }
-
-// RegisterMetrics exposes the bus's own accounting on a registry.
-func (b *EventBus) RegisterMetrics(reg *telemetry.Registry) {
-	reg.GaugeFunc("skynet_events_subscribers",
-		"Current SSE consumers on /api/events.",
-		func() float64 { return float64(b.Subscribers()) })
-	reg.CounterFunc("skynet_events_published_total",
-		"Events published to the SSE bus.",
-		func() float64 { return float64(b.Published()) })
-	reg.CounterFunc("skynet_events_dropped_total",
-		"SSE deliveries dropped because a consumer's buffer was full.",
-		func() float64 { return float64(b.Dropped()) })
-}
 
 // WithFlight mounts GET /api/health serving the flight recorder's
 // self-SLO verdict: HTTP 200 while healthy, 503 while any anomaly
@@ -161,10 +50,12 @@ func (s *Snapshotter) WithTracer(tr *span.Tracer) *Snapshotter {
 	return s
 }
 
-// WithEvents mounts GET /api/events, a Server-Sent Events stream of
-// incident lifecycle transitions and flight-recorder anomalies.
-func (s *Snapshotter) WithEvents(bus *EventBus) *Snapshotter {
-	s.events = bus
+// WithEvents mounts GET /api/events — the snapshot+delta SSE feed
+// served from the fan-out hub's shared ring — and GET /api/fanout, the
+// hub's serving statistics. Handlers never take the engine lock; they
+// hold references into pre-encoded frames.
+func (s *Snapshotter) WithEvents(hub *fanout.Hub) *Snapshotter {
+	s.events = hub
 	return s
 }
 
@@ -213,33 +104,77 @@ func (s *Snapshotter) traceHandler(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, traceView{Ticks: s.tracer.TickCount(), Traces: s.tracer.Last(last)})
 }
 
-// eventsHandler streams the bus over SSE until the client disconnects or
-// the bus closes.
+// lastEventID extracts the resume cursor: the standard SSE
+// Last-Event-ID header (set by EventSource on reconnect), with a
+// last_event_id query parameter as the curl-friendly fallback.
+// Returns -1 (fresh subscriber) when absent or malformed.
+func lastEventID(r *http.Request) int64 {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("last_event_id")
+	}
+	if raw == "" {
+		return -1
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || v < 0 {
+		return -1
+	}
+	return v
+}
+
+// eventsHandler streams the fan-out hub over SSE until the client
+// disconnects, the hub closes, or the subscriber is evicted as a slow
+// consumer. Frames are written by reference from the hub's shared
+// ring: the handler never copies or re-encodes a payload. A fresh
+// client receives the latest snapshot then live deltas; a resuming
+// client (Last-Event-ID) continues mid-stream, resynced from the
+// snapshot if its cursor has fallen off the ring.
 func (s *Snapshotter) eventsHandler(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
-	id, ch := s.events.Subscribe()
-	defer s.events.Unsubscribe(id)
+	sub, err := s.events.Subscribe(fanout.SubscribeOptions{Cursor: lastEventID(r)})
+	if err != nil {
+		http.Error(w, "event stream closed", http.StatusServiceUnavailable)
+		return
+	}
+	defer sub.Close()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
+	ctx := r.Context()
 	for {
-		select {
-		case <-r.Context().Done():
+		frames, err := sub.Wait(ctx)
+		if err != nil {
+			if err == fanout.ErrEvicted {
+				// Best-effort notice; the client reconnects with its
+				// Last-Event-ID and is resynced from the snapshot.
+				_, _ = w.Write([]byte("event: eviction\ndata: {\"reason\":\"slow_consumer\"}\n\n"))
+			}
 			return
-		case msg, open := <-ch:
-			if !open {
-				return
-			}
-			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", msg.event, msg.data); err != nil {
-				return
-			}
-			fl.Flush()
 		}
+		werr := error(nil)
+		for _, f := range frames {
+			if werr == nil {
+				_, werr = w.Write(f.Bytes())
+			}
+			f.Release()
+		}
+		if werr != nil {
+			return
+		}
+		fl.Flush()
 	}
+}
+
+// fanoutHandler serves the hub's serving-layer statistics: subscriber
+// count, ring position, coalescing/resync/eviction counters, and
+// per-kind drop accounting.
+func (s *Snapshotter) fanoutHandler(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.events.StatsSnapshot())
 }

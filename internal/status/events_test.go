@@ -10,17 +10,19 @@ import (
 	"testing"
 	"time"
 
+	"skynet/internal/fanout"
 	"skynet/internal/flight"
 	"skynet/internal/span"
 	"skynet/internal/telemetry"
 )
 
-// listenBus starts a real HTTP server (httptest's recorder cannot stream)
-// serving a snapshotter with the bus mounted and returns the base URL.
-func listenBus(t *testing.T, bus *EventBus) string {
+// listenHub starts a real HTTP server (httptest's recorder cannot
+// stream) serving a snapshotter with the fan-out hub mounted and
+// returns the base URL.
+func listenHub(t *testing.T, hub *fanout.Hub) string {
 	t.Helper()
 	eng, mu := loadedEngine(t)
-	srv, err := Listen("127.0.0.1:0", NewSnapshotter(mu, eng, nil).WithEvents(bus), nil)
+	srv, err := Listen("127.0.0.1:0", NewSnapshotter(mu, eng, nil).WithEvents(hub), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,8 +30,9 @@ func listenBus(t *testing.T, bus *EventBus) string {
 	return "http://" + srv.Addr().String()
 }
 
-// sseFrame is one parsed event/data pair from the stream.
+// sseFrame is one parsed id/event/data record from the stream.
 type sseFrame struct {
+	id    string
 	event string
 	data  string
 }
@@ -46,6 +49,8 @@ func readFrames(t *testing.T, r *bufio.Reader, n int) []sseFrame {
 		}
 		line = strings.TrimRight(line, "\n")
 		switch {
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
 		case strings.HasPrefix(line, "event: "):
 			cur.event = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):
@@ -58,19 +63,21 @@ func readFrames(t *testing.T, r *bufio.Reader, n int) []sseFrame {
 	return out
 }
 
-// TestSSEDeliversJournalAndFlightEvents wires the bus the way skynetd
+func hubSubscribers(hub *fanout.Hub) int64 { return hub.StatsSnapshot().Subscribers }
+
+// TestSSEDeliversJournalAndFlightEvents wires the hub the way skynetd
 // does — journal notify and flight notify — and checks both event types
-// arrive on a live connection, then that disconnecting mid-stream
-// unsubscribes the consumer.
+// arrive on a live connection with ring-sequence ids, then that
+// disconnecting mid-stream unsubscribes the consumer.
 func TestSSEDeliversJournalAndFlightEvents(t *testing.T) {
-	bus := NewEventBus()
-	defer bus.Close()
-	base := listenBus(t, bus)
+	hub := fanout.NewHub(fanout.Config{Ring: 64})
+	defer hub.Close()
+	base := listenHub(t, hub)
 
 	journal := telemetry.NewJournal(16)
-	journal.SetNotify(func(ev telemetry.Event) { bus.Publish(EventTypeIncident, ev) })
+	journal.SetNotify(func(ev telemetry.Event) { hub.Publish(EventTypeIncident, ev) })
 	rec := flight.New(flight.Config{Window: 4, SLOTickP99: time.Millisecond}, flight.Sources{})
-	rec.SetNotify(func(ev flight.Event) { bus.Publish(EventTypeAnomaly, ev) })
+	rec.SetNotify(func(ev flight.Event) { hub.Publish(EventTypeAnomaly, ev) })
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -83,10 +90,10 @@ func TestSSEDeliversJournalAndFlightEvents(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
 		t.Fatalf("Content-Type = %q", ct)
 	}
-	for i := 0; bus.Subscribers() == 0 && i < 100; i++ {
+	for i := 0; hubSubscribers(hub) == 0 && i < 100; i++ {
 		time.Sleep(5 * time.Millisecond)
 	}
-	if bus.Subscribers() != 1 {
+	if hubSubscribers(hub) != 1 {
 		t.Fatal("consumer never subscribed")
 	}
 
@@ -96,6 +103,9 @@ func TestSSEDeliversJournalAndFlightEvents(t *testing.T) {
 	frames := readFrames(t, bufio.NewReader(resp.Body), 2)
 	if frames[0].event != EventTypeIncident {
 		t.Fatalf("frame 0 event = %q", frames[0].event)
+	}
+	if frames[0].id == "" || frames[1].id == "" {
+		t.Fatalf("frames missing SSE ids: %+v", frames)
 	}
 	var je telemetry.Event
 	if err := json.Unmarshal([]byte(frames[0].data), &je); err != nil || je.Incident != 7 {
@@ -111,57 +121,90 @@ func TestSSEDeliversJournalAndFlightEvents(t *testing.T) {
 
 	// Disconnect mid-stream: the handler must unsubscribe.
 	cancel()
-	for i := 0; bus.Subscribers() != 0 && i < 200; i++ {
+	for i := 0; hubSubscribers(hub) != 0 && i < 200; i++ {
 		time.Sleep(5 * time.Millisecond)
 	}
-	if got := bus.Subscribers(); got != 0 {
+	if got := hubSubscribers(hub); got != 0 {
 		t.Fatalf("subscribers = %d after client disconnect", got)
 	}
 	// Publishing after the disconnect must not panic or block.
 	journal.Append(telemetry.Event{Type: telemetry.EventClosed, Incident: 7})
 }
 
-// TestSSESlowConsumerDropAccounting fills a subscriber's buffer without
-// draining it: excess publishes are dropped and counted, and the fast
-// path never blocks.
-func TestSSESlowConsumerDropAccounting(t *testing.T) {
-	bus := NewEventBus()
-	defer bus.Close()
-	id, ch := bus.Subscribe()
-	defer bus.Unsubscribe(id)
-	const extra = 10
-	for i := 0; i < subBuffer+extra; i++ {
-		bus.Publish(EventTypeIncident, map[string]int{"i": i})
+// TestSSELastEventIDResume reconnects with the Last-Event-ID of a frame
+// from a first connection and must receive exactly the frames published
+// after it — no snapshot replay, no duplicates.
+func TestSSELastEventIDResume(t *testing.T) {
+	hub := fanout.NewHub(fanout.Config{Ring: 64})
+	defer hub.Close()
+	base := listenHub(t, hub)
+
+	resp, err := http.Get(base + "/api/events")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := bus.Dropped(); got != extra {
-		t.Fatalf("dropped = %d, want %d", got, extra)
+	for i := 0; hubSubscribers(hub) == 0 && i < 100; i++ {
+		time.Sleep(5 * time.Millisecond)
 	}
-	if got := bus.Published(); got != subBuffer+extra {
-		t.Fatalf("published = %d, want %d", got, subBuffer+extra)
+	hub.Publish(EventTypeIncident, map[string]int{"i": 0})
+	frames := readFrames(t, bufio.NewReader(resp.Body), 1)
+	resp.Body.Close()
+	if frames[0].id == "" {
+		t.Fatalf("no id on first frame: %+v", frames)
 	}
-	if got := len(ch); got != subBuffer {
-		t.Fatalf("buffered = %d, want full buffer %d", got, subBuffer)
+
+	hub.Publish(EventTypeIncident, map[string]int{"i": 1})
+	hub.Publish(EventTypeAnomaly, map[string]int{"i": 2})
+
+	req, _ := http.NewRequest(http.MethodGet, base+"/api/events", nil)
+	req.Header.Set("Last-Event-ID", frames[0].id)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// The retained frames are the oldest ones, in order.
-	first := <-ch
-	var v map[string]int
-	if err := json.Unmarshal(first.data, &v); err != nil || v["i"] != 0 {
-		t.Fatalf("first retained frame = %s (%v)", first.data, err)
+	defer resp2.Body.Close()
+	resumed := readFrames(t, bufio.NewReader(resp2.Body), 2)
+	var a, b map[string]int
+	if err := json.Unmarshal([]byte(resumed[0].data), &a); err != nil || a["i"] != 1 {
+		t.Fatalf("resumed frame 0 = %+v (%v)", resumed[0], err)
+	}
+	if err := json.Unmarshal([]byte(resumed[1].data), &b); err != nil || b["i"] != 2 || resumed[1].event != EventTypeAnomaly {
+		t.Fatalf("resumed frame 1 = %+v (%v)", resumed[1], err)
 	}
 }
 
-// TestEventBusConcurrentShutdown races publishers, subscribers, and Close
-// — meaningful under -race. No ordering assertions; the invariant is no
-// panic, no deadlock, and channels all close.
-func TestEventBusConcurrentShutdown(t *testing.T) {
-	bus := NewEventBus()
+// TestFanoutStatsEndpoint pins the /api/fanout JSON shape.
+func TestFanoutStatsEndpoint(t *testing.T) {
+	hub := fanout.NewHub(fanout.Config{Ring: 64})
+	defer hub.Close()
+	eng, mu := loadedEngine(t)
+	h := NewSnapshotter(mu, eng, nil).WithEvents(hub).Handler()
+	hub.Publish(EventTypeIncident, map[string]int{"i": 0})
+	code, body := get(t, h, "/api/fanout")
+	if code != http.StatusOK {
+		t.Fatalf("code=%d", code)
+	}
+	var st fanout.Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Published != 1 || st.RingSize != 64 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestFanoutHubConcurrentShutdown races publishers, subscribers, and
+// Close — meaningful under -race. No ordering assertions; the invariant
+// is no panic, no deadlock, and every Wait returns.
+func TestFanoutHubConcurrentShutdown(t *testing.T) {
+	hub := fanout.NewHub(fanout.Config{Ring: 32})
 	var wg sync.WaitGroup
 	for p := 0; p < 4; p++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				bus.Publish(EventTypeAnomaly, i)
+				hub.Publish(EventTypeAnomaly, i)
 			}
 		}()
 	}
@@ -170,27 +213,28 @@ func TestEventBusConcurrentShutdown(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				id, ch := bus.Subscribe()
-				for range ch { // drain until closed by Unsubscribe or Close
-					break
+				sub, err := hub.Subscribe(fanout.SubscribeOptions{Cursor: -1})
+				if err != nil {
+					return // hub closed
 				}
-				bus.Unsubscribe(id)
+				if frames, _, err := sub.Poll(); err == nil {
+					sub.ReleaseAll(frames)
+				}
+				sub.Close()
 			}
 		}()
 	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		bus.Close()
+		hub.Close()
 	}()
 	wg.Wait()
-	bus.Close() // idempotent
-	if id, ch := bus.Subscribe(); id != -1 {
-		t.Fatal("subscribe after close returned a live id")
-	} else if _, open := <-ch; open {
-		t.Fatal("subscribe after close returned an open channel")
+	hub.Close() // idempotent
+	if _, err := hub.Subscribe(fanout.SubscribeOptions{Cursor: -1}); err != fanout.ErrClosed {
+		t.Fatalf("subscribe after close: %v", err)
 	}
-	bus.Publish(EventTypeAnomaly, "after close") // must be a no-op
+	hub.Publish(EventTypeAnomaly, "after close") // must be a no-op
 }
 
 // TestHealthEndpointFlipsWithRecorder drives the flight recorder through
@@ -261,14 +305,15 @@ func TestTraceEndpoint(t *testing.T) {
 // slow-consumer test on a live /api/events connection: a client that
 // reads the response headers and then stalls forever must not block the
 // publishing side — the path an engine tick takes through the journal
-// notify — and the lost deliveries must show up in Dropped().
+// notify. The hub keeps rolling its ring past the stalled consumer and
+// eventually evicts it; publishes always complete.
 func TestSSEStalledHTTPConsumerNeverBlocksPublisher(t *testing.T) {
-	bus := NewEventBus()
-	defer bus.Close()
-	base := listenBus(t, bus)
+	hub := fanout.NewHub(fanout.Config{Ring: 64, EvictAfter: 16})
+	defer hub.Close()
+	base := listenHub(t, hub)
 
 	journal := telemetry.NewJournal(16)
-	journal.SetNotify(func(ev telemetry.Event) { bus.Publish(EventTypeIncident, ev) })
+	journal.SetNotify(func(ev telemetry.Event) { hub.Publish(EventTypeIncident, ev) })
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -278,22 +323,23 @@ func TestSSEStalledHTTPConsumerNeverBlocksPublisher(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	for i := 0; bus.Subscribers() == 0 && i < 100; i++ {
+	for i := 0; hubSubscribers(hub) == 0 && i < 100; i++ {
 		time.Sleep(5 * time.Millisecond)
 	}
-	if bus.Subscribers() != 1 {
+	if hubSubscribers(hub) != 1 {
 		t.Fatal("consumer never subscribed")
 	}
-	// The client now stalls: it never reads the body. The handler drains
-	// the subscriber channel until the kernel socket buffers fill, then
-	// blocks on the write — from here on the channel stays full and
-	// every publish must drop for this consumer without waiting.
-	// Oversized payloads make the stall happen within a few frames.
+	// The client now stalls: it never reads the body. The handler's
+	// write blocks once the kernel socket buffers fill, its cursor
+	// freezes, and every publish must complete without waiting while
+	// the ring rolls past it. Oversized payloads make the stall happen
+	// within a few frames.
 	pad := strings.Repeat("x", 64<<10)
+	const publishes = 512
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for i := 0; i < 4*subBuffer; i++ {
+		for i := 0; i < publishes; i++ {
 			journal.Append(telemetry.Event{Type: telemetry.EventCreated, Incident: i, Root: pad})
 		}
 	}()
@@ -302,10 +348,17 @@ func TestSSEStalledHTTPConsumerNeverBlocksPublisher(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("publisher blocked behind the stalled SSE consumer")
 	}
-	if got := bus.Dropped(); got == 0 {
-		t.Error("stalled consumer recorded no drops")
+	st := hub.StatsSnapshot()
+	if st.Published != publishes {
+		t.Errorf("published = %d, want %d (publishes must complete regardless of the stall)",
+			st.Published, publishes)
 	}
-	if got := bus.Published(); got != 4*subBuffer {
-		t.Errorf("published = %d, want %d (publishes must complete regardless of the stall)", got, 4*subBuffer)
+	// The stalled consumer stopped polling with 512 frames queued
+	// against a 64-slot ring + 16 slack: it must have been evicted.
+	if st.Evictions == 0 {
+		t.Error("stalled consumer was never evicted")
+	}
+	if st.QueueHighWater == 0 {
+		t.Error("queue high-water never recorded the stalled consumer's backlog")
 	}
 }

@@ -59,6 +59,7 @@ import (
 
 	"skynet/internal/core"
 	"skynet/internal/evaluator"
+	"skynet/internal/fanout"
 	"skynet/internal/flight"
 	"skynet/internal/flood"
 	"skynet/internal/incident"
@@ -89,7 +90,7 @@ type Snapshotter struct {
 	pprof    bool                 // mounts /debug/pprof
 	flight   *flight.Recorder     // optional, enables GET /api/health
 	tracer   *span.Tracer         // optional, enables GET /api/trace
-	events   *EventBus            // optional, enables GET /api/events
+	events   *fanout.Hub          // optional, enables GET /api/events + /api/fanout
 	flood    *flood.Recorder      // optional, enables GET /api/floods
 	history  *tsdb.DB             // optional, enables GET /api/query
 	slo      *slo.Engine          // optional, enables GET /api/slo
@@ -284,6 +285,7 @@ func (s *Snapshotter) Handler() http.Handler {
 	}
 	if s.events != nil {
 		mux.HandleFunc("/api/events", s.eventsHandler)
+		mux.HandleFunc("/api/fanout", s.fanoutHandler)
 	}
 	if s.flood != nil {
 		mux.HandleFunc("/api/floods", s.floodsHandler)

@@ -365,6 +365,15 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	m.fn = fn
 }
 
+// CounterFuncWith registers one labeled series of a counter family whose
+// value is read from fn at exposition time — the bridge for subsystems
+// keeping per-dimension counters of their own (e.g. per-kind fan-out
+// drops). fn must be monotonic.
+func (r *Registry) CounterFuncWith(name, labels, help string, fn func() float64) {
+	m, _ := r.lookupLabeled(name, labels, help, KindCounter)
+	m.fn = fn
+}
+
 // Histogram returns the named histogram, registering it on first use with
 // the given upper bounds (sorted ascending; +Inf is implicit). Buckets
 // are fixed at first registration; later calls ignore the argument.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"skynet/internal/core"
+	"skynet/internal/fanout"
 	"skynet/internal/hierarchy"
 	"skynet/internal/provenance"
 	"skynet/internal/slo"
@@ -69,12 +70,17 @@ func TestReplayHistoryDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var refSnap, refEvents, refInc string
+	var refSnap, refEvents, refInc, refFeed, refStream string
 	for _, workers := range []int{1, 2, 4, 8} {
 		cfg := core.DefaultConfig()
 		cfg.Workers = workers
 		reg := telemetry.New()
 		db := tsdb.New(tsdb.Config{Filter: tsdb.DeterministicFilter})
+		// The fan-out serving layer rides along (ring sized to keep the
+		// whole replay's deltas live): publishing must not perturb any
+		// pipeline output, and the feed itself must be bit-identical
+		// across worker counts.
+		hub := fanout.NewHub(fanout.Config{Ring: 16384})
 		eng, err := ReplayWithOptions(g.Alerts, g.Topo, cfg, ReplayOptions{
 			Telemetry:        reg,
 			History:          db,
@@ -83,6 +89,7 @@ func TestReplayHistoryDeterministic(t *testing.T) {
 			TickLatencyModel: breachModel(40),
 			Profile:          true,
 			RuntimeMetrics:   true,
+			Fanout:           hub,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -93,11 +100,13 @@ func TestReplayHistoryDeterministic(t *testing.T) {
 		snap := historySnapshot(t, db)
 		events := sloEventLog(eng.SLOEngine().Events())
 		inc := replayFingerprint(eng)
+		feed, stream := fanoutFingerprint(t, hub)
+		hub.Close()
 		if mem := db.MemoryBytes(); mem >= 8<<20 {
 			t.Errorf("workers=%d: history store resident %d bytes, want < 8 MiB", workers, mem)
 		}
 		if workers == 1 {
-			refSnap, refEvents, refInc = snap, events, inc
+			refSnap, refEvents, refInc, refFeed, refStream = snap, events, inc, feed, stream
 			continue
 		}
 		if snap != refSnap {
@@ -110,7 +119,61 @@ func TestReplayHistoryDeterministic(t *testing.T) {
 		if inc != refInc {
 			t.Errorf("workers=%d: incident population diverged under self-monitoring", workers)
 		}
+		if feed != refFeed {
+			t.Errorf("workers=%d: fan-out snapshot frame diverged from the serial reference", workers)
+		}
+		if stream != refStream {
+			t.Errorf("workers=%d: fan-out delta stream diverged from the serial reference", workers)
+		}
 	}
+}
+
+// fanoutFingerprint drains the serving hub after a replay and returns
+// (final snapshot frame, merged delta stream) as comparable strings.
+// Both must be byte-identical for every worker count: the snapshot is
+// the feed state the last tick encoded, and the merged delta folds the
+// whole replay's per-tick deltas through the hub's deterministic
+// coalescing merge.
+func fanoutFingerprint(t *testing.T, hub *fanout.Hub) (string, string) {
+	t.Helper()
+	fresh, err := hub.Subscribe(fanout.SubscribeOptions{Cursor: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	frames, _, err := fresh.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshots go out on the hub's cadence, so a fresh subscriber gets
+	// the latest snapshot plus one merged delta covering the ticks since.
+	if len(frames) == 0 || frames[0].Kind() != fanout.KindSnapshot {
+		t.Fatalf("fresh subscriber after replay: want snapshot first, got %d frames", len(frames))
+	}
+	var feedB strings.Builder
+	for _, f := range frames {
+		feedB.Write(f.Bytes())
+	}
+	feed := feedB.String()
+	fresh.ReleaseAll(frames)
+
+	// Resume right after the first delta: everything else coalesces
+	// into one merged frame covering the whole replay window.
+	resumed, err := hub.Subscribe(fanout.SubscribeOptions{Cursor: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	frames, _, err = resumed.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream strings.Builder
+	for _, f := range frames {
+		stream.Write(f.Bytes())
+	}
+	resumed.ReleaseAll(frames)
+	return feed, stream.String()
 }
 
 // TestReplaySelfMonitorBreach pins the self-monitoring loop end to end:

@@ -15,6 +15,7 @@ import (
 
 	"skynet/internal/alert"
 	"skynet/internal/core"
+	"skynet/internal/fanout"
 	"skynet/internal/flood"
 	"skynet/internal/ftree"
 	"skynet/internal/monitors"
@@ -194,6 +195,12 @@ type ReplayOptions struct {
 	// are host-dependent; tsdb.DeterministicFilter excludes them, so
 	// deterministic history snapshots are unaffected.
 	RuntimeMetrics bool
+	// Fanout, when set, attaches the snapshot+delta serving hub: every
+	// tick publishes one encoded feed snapshot plus delta into the
+	// hub's ring. Publishing changes no pipeline state, so replays stay
+	// bit-identical; skynet_fanout_ metrics are subscriber-dependent
+	// and excluded by tsdb.DeterministicFilter.
+	Fanout *fanout.Hub
 }
 
 // Replay pushes a raw trace through a fresh engine, ticking at the given
@@ -229,6 +236,9 @@ func ReplayWithOptions(alerts []alert.Alert, topo *topology.Topology, engineCfg 
 	}
 	if opts.RuntimeMetrics && opts.Telemetry != nil {
 		eng.EnableRuntimeMetrics(prof.NewRuntime(opts.Telemetry))
+	}
+	if opts.Fanout != nil {
+		eng.EnableFanout(opts.Fanout)
 	}
 	if opts.History != nil {
 		eng.EnableHistory(tsdb.NewSampler(opts.History, opts.Telemetry))

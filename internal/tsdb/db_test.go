@@ -337,6 +337,8 @@ func TestDeterministicFilter(t *testing.T) {
 		"skynet_flight_dumps_total",
 		"skynet_preprocess_shard_0_aggregates",
 		"skynet_locator_shard_3_nodes",
+		"skynet_fanout_subscribers",
+		"skynet_fanout_dropped_total",
 	}
 	for _, name := range keep {
 		if !DeterministicFilter(name) {

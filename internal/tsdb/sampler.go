@@ -101,6 +101,9 @@ func DeterministicFilter(name string) bool {
 		// Continuous-profiler and Go-runtime series measure the host
 		// machine (CPU samples, GC, scheduler), never the alert stream.
 		"skynet_prof_", "skynet_runtime_",
+		// Fan-out series count subscribers, queue depths, and drops —
+		// all functions of who is connected, not of the alert stream.
+		"skynet_fanout_",
 	} {
 		if strings.HasPrefix(name, prefix) {
 			return false
